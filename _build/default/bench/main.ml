@@ -1,0 +1,140 @@
+(* Benchmark harness: one runner per table and figure of the paper, plus
+   Bechamel microbenchmarks of the real kernels on this host and the
+   ablation suite.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig2 fig8    # selected experiments
+     dune exec bench/main.exe -- micro        # Bechamel kernel benches
+*)
+
+open Bechamel
+open Toolkit
+
+(* ---- Bechamel microbenchmarks of the real kernels ---- *)
+
+let gemm_bench ~name ~dtype ~vnni_b dim block =
+  let rng = Prng.create 99 in
+  let cfg =
+    Gemm.make_config ~bm:block ~bn:block ~bk:block ~dtype ~vnni_b ~k_step:4
+      ~m:dim ~n:dim ~k:dim ()
+  in
+  let g = Gemm.create cfg "BCa" in
+  let a = Tensor.create dtype [| dim; dim |] in
+  let b = Tensor.create dtype [| dim; dim |] in
+  Tensor.fill_random a rng ~scale:1.0;
+  Tensor.fill_random b rng ~scale:1.0;
+  let ap = Gemm.pack_a cfg a and bp = Gemm.pack_b cfg b in
+  let cp = Gemm.alloc_c cfg in
+  Test.make ~name (Staged.stage (fun () -> Gemm.run g ~a:ap ~b:bp ~c:cp))
+
+let conv_bench ~name dim =
+  let rng = Prng.create 98 in
+  let cfg =
+    Conv.make_config ~pad:1 ~bc:16 ~bk:16 ~c_step:2 ~n:1 ~c:32 ~k:32 ~h:dim
+      ~w:dim ~r:3 ~s:3 ()
+  in
+  let cv = Conv.create cfg "acdebfg" in
+  let inp = Tensor.create Datatype.F32 [| 1; 32; dim; dim |] in
+  Tensor.fill_random inp rng ~scale:1.0;
+  let wts = Tensor.create Datatype.F32 [| 32; 32; 3; 3 |] in
+  Tensor.fill_random wts rng ~scale:1.0;
+  let ip = Conv.pack_input cfg inp and wp = Conv.pack_weights cfg wts in
+  let o = Conv.alloc_output cfg in
+  Test.make ~name
+    (Staged.stage (fun () -> Conv.run cv ~input:ip ~weights:wp ~output:o))
+
+let spmm_bench ~name ~sparsity dim =
+  let rng = Prng.create 97 in
+  let a =
+    Bcsc.random ~rng ~dtype:Datatype.F32 ~rows:dim ~cols:dim ~bm:16 ~bk:16
+      ~sparsity
+  in
+  let b = Tensor.create Datatype.F32 [| dim; dim |] in
+  Tensor.fill_random b rng ~scale:1.0;
+  let cfg = Spmm_kernel.make_config ~bn:32 ~m:dim ~n:dim ~k:dim ~bm:16 ~bk:16 () in
+  let sp = Spmm_kernel.create cfg "AB" in
+  let bp = Spmm_kernel.pack_b cfg b in
+  let c = Tensor.create Datatype.F32 [| dim; dim |] in
+  Test.make ~name (Staged.stage (fun () -> Spmm_kernel.run sp ~a ~b:bp ~c))
+
+let bert_layer_bench ~name =
+  let rng = Prng.create 96 in
+  let bert = Bert.create ~rng ~block:16 Bert.tiny_config in
+  let x = Tensor.create Datatype.F32 [| 32; Bert.tiny_config.Bert.hidden |] in
+  Tensor.fill_random x rng ~scale:1.0;
+  let layer = bert.Bert.encoder.(0) in
+  Test.make ~name
+    (Staged.stage (fun () -> ignore (Bert.encoder_layer bert layer x)))
+
+let micro_tests () =
+  [
+    gemm_bench ~name:"gemm 256^3 f32" ~dtype:Datatype.F32 ~vnni_b:false 256 32;
+    gemm_bench ~name:"gemm 256^3 bf16-vnni" ~dtype:Datatype.BF16 ~vnni_b:true
+      256 32;
+    conv_bench ~name:"conv 32x32x28^2 3x3" 28;
+    spmm_bench ~name:"spmm 256^3 80% sparse" ~sparsity:0.8 256;
+    spmm_bench ~name:"spmm 256^3 dense" ~sparsity:0.0 256;
+    bert_layer_bench ~name:"bert-tiny encoder layer";
+  ]
+
+let run_micro () =
+  Modelkit.section "Bechamel microbenchmarks (real kernels, this host)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-28s %14.1f ns/run\n%!" name est
+          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+        results)
+    (micro_tests ())
+
+(* ---- experiment registry ---- *)
+
+let experiments =
+  [
+    ("fig2", Fig2.run);
+    ("fig3", Fig3.run);
+    ("fig4", Fig4.run);
+    ("fig5", Fig5.run);
+    ("fig6", Fig6.run);
+    ("fig7", Fig7.run);
+    ("fig8", Fig8.run);
+    ("fig9", Fig9.run);
+    ("fig10", Fig10.run);
+    ("fig11", Fig11.run);
+    ("tables", Tables.run);
+    ("ablations", Ablations.run);
+    ("micro", run_micro);
+  ]
+
+let run_all () =
+  List.iter
+    (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Printf.printf "[%s completed in %.1fs]\n%!" name
+        (Unix.gettimeofday () -. t0))
+    experiments
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as names) ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+      names
+  | _ -> run_all ()

@@ -1,0 +1,135 @@
+(* Command-line front-end for the PARLOOPER/TPP library:
+
+     parlooper gemm  -m 512 -n 512 -k 512 --spec BCa --threads 4
+     parlooper tune  -m 512 -n 512 -k 512 --platform spr --candidates 200
+     parlooper model -m 2048 -n 2048 -k 2048 --spec BCa --platform zen4
+     parlooper platforms
+*)
+
+open Cmdliner
+
+let dtype_of_string = function
+  | "f32" -> Datatype.F32
+  | "bf16" -> Datatype.BF16
+  | s -> invalid_arg ("unknown dtype " ^ s)
+
+let m_arg = Arg.(value & opt int 512 & info [ "m" ] ~doc:"GEMM M dimension")
+let n_arg = Arg.(value & opt int 512 & info [ "n" ] ~doc:"GEMM N dimension")
+let k_arg = Arg.(value & opt int 512 & info [ "k" ] ~doc:"GEMM K dimension")
+
+let block_arg =
+  Arg.(value & opt int 32 & info [ "block" ] ~doc:"bm = bn = bk block size")
+
+let spec_arg =
+  Arg.(
+    value & opt string "BCa"
+    & info [ "spec" ] ~doc:"loop_spec_string (e.g. 'BCa', 'bcaBCb')")
+
+let threads_arg =
+  Arg.(value & opt int 4 & info [ "threads" ] ~doc:"team size")
+
+let dtype_arg =
+  Arg.(value & opt string "f32" & info [ "dtype" ] ~doc:"f32 or bf16")
+
+let platform_arg =
+  Arg.(
+    value & opt string "spr"
+    & info [ "platform" ] ~doc:"spr | gvt3 | zen4 | adl | host")
+
+let candidates_arg =
+  Arg.(value & opt int 200 & info [ "candidates" ] ~doc:"tuning candidates")
+
+let make_cfg m n k block dtype =
+  Gemm.make_config ~bm:block ~bn:block ~bk:block
+    ~dtype:(dtype_of_string dtype) ~m ~n ~k ()
+
+let gemm_run m n k block spec threads dtype =
+  let cfg = make_cfg m n k block dtype in
+  let g = Gemm.create cfg spec in
+  let rng = Prng.create 1 in
+  let a = Tensor.create (dtype_of_string dtype) [| m; k |] in
+  let b = Tensor.create (dtype_of_string dtype) [| k; n |] in
+  Tensor.fill_random a rng ~scale:1.0;
+  Tensor.fill_random b rng ~scale:1.0;
+  let t0 = Unix.gettimeofday () in
+  let c = Gemm.run_logical ~nthreads:threads g ~a ~b in
+  let dt = Unix.gettimeofday () -. t0 in
+  let ok = Tensor.approx_equal ~tol:1e-3 c (Reference.matmul a b) in
+  Printf.printf "%dx%dx%d %s spec=%s threads=%d: %.2f GFLOPS, correct=%b\n" m
+    k n dtype spec threads
+    (Gemm.flops cfg /. dt /. 1e9)
+    ok;
+  if not ok then exit 1
+
+let tune m n k block dtype platform candidates =
+  match Platform.by_name platform with
+  | None ->
+    Printf.eprintf "unknown platform %s\n" platform;
+    exit 1
+  | Some p ->
+    let cfg = make_cfg m n k block dtype in
+    let report =
+      Autotune.tune_gemm ~max_candidates:candidates
+        (Autotune.Modeled { platform = p; nthreads = Platform.cores p })
+        cfg
+    in
+    Printf.printf "evaluated %d instantiations in %.2fs; top 10 for %s:\n"
+      report.Autotune.evaluated report.Autotune.tuning_seconds
+      p.Platform.name;
+    List.iteri
+      (fun i e ->
+        if i < 10 then
+          Printf.printf "  #%-2d %-16s %10.0f GFLOPS (modeled)\n" (i + 1)
+            e.Autotune.spec e.Autotune.gflops)
+      report.Autotune.ranked
+
+let model m n k block dtype platform spec threads =
+  match Platform.by_name platform with
+  | None ->
+    Printf.eprintf "unknown platform %s\n" platform;
+    exit 1
+  | Some p ->
+    let cfg = make_cfg m n k block dtype in
+    let r = Gemm_trace.score ~platform:p ~nthreads:threads cfg spec in
+    Printf.printf
+      "%s on %s with %d threads: %.0f GFLOPS modeled (%.0f%% compute-bound \
+       invocations, %.1f MB DRAM reads)\n"
+      spec p.Platform.name threads r.Perf_model.gflops
+      (100.0 *. r.Perf_model.compute_bound_fraction)
+      (r.Perf_model.mem_read_bytes /. 1e6)
+
+let platforms () =
+  List.iter
+    (fun (p : Platform.t) ->
+      Printf.printf "%-12s %3d cores, f32 %8.0f GF, bf16 %8.0f GF, %6.0f GB/s\n"
+        p.Platform.name (Platform.cores p)
+        (Platform.peak_gflops p Datatype.F32)
+        (Platform.peak_gflops p Datatype.BF16)
+        p.Platform.mem_bw_gbs)
+    Platform.all
+
+let gemm_cmd =
+  Cmd.v (Cmd.info "gemm" ~doc:"run and verify a PARLOOPER GEMM")
+    Term.(
+      const gemm_run $ m_arg $ n_arg $ k_arg $ block_arg $ spec_arg
+      $ threads_arg $ dtype_arg)
+
+let tune_cmd =
+  Cmd.v (Cmd.info "tune" ~doc:"auto-tune loop instantiations (modeled)")
+    Term.(
+      const tune $ m_arg $ n_arg $ k_arg $ block_arg $ dtype_arg
+      $ platform_arg $ candidates_arg)
+
+let model_cmd =
+  Cmd.v (Cmd.info "model" ~doc:"score one instantiation with the perf model")
+    Term.(
+      const model $ m_arg $ n_arg $ k_arg $ block_arg $ dtype_arg
+      $ platform_arg $ spec_arg $ threads_arg)
+
+let platforms_cmd =
+  Cmd.v (Cmd.info "platforms" ~doc:"list modeled platforms")
+    Term.(const platforms $ const ())
+
+let () =
+  let info = Cmd.info "parlooper" ~doc:"PARLOOPER/TPP kernel toolbox" in
+  exit (Cmd.eval (Cmd.group info [ gemm_cmd; tune_cmd; model_cmd; platforms_cmd ]))

@@ -1,0 +1,1 @@
+examples/autotune_gemm.ml: Autotune Gemm List Platform Printf

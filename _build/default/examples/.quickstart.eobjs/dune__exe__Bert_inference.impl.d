@@ -1,0 +1,1 @@
+examples/bert_inference.ml: Array Bert Datatype Printf Prng Tensor Unix

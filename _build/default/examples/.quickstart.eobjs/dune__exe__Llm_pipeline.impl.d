@@ -1,0 +1,1 @@
+examples/llm_pipeline.ml: Array Datatype List Llm Option Printf Prng Tensor Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Datatype Gemm List Printf Prng Reference Tensor Threaded_loop Unix

@@ -1,0 +1,1 @@
+examples/resnet_convs.ml: Datatype List Printf Prng Resnet Tensor Unix

@@ -1,0 +1,1 @@
+examples/sparse_transformer.ml: Bcsc Bert Datatype Printf Prng Sparse_bert Spmm_kernel Tensor Unix

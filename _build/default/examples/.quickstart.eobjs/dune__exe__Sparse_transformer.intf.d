@@ -1,0 +1,1 @@
+examples/sparse_transformer.mli:

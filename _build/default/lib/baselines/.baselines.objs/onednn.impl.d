@@ -1,0 +1,1 @@
+lib/baselines/onednn.ml: Array Conv Conv_trace Datatype Float Gemm Gemm_trace Isa List Perf_model Platform

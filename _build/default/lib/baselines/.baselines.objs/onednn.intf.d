@@ -1,0 +1,1 @@
+lib/baselines/onednn.mli: Conv Datatype Gemm Platform

@@ -1,0 +1,1 @@
+lib/baselines/tvm.ml: Datatype Float Gemm Gemm_trace List Perf_model

@@ -1,0 +1,28 @@
+(* Shapes from the Modular matmul blog (BERT/GPT/DLRM workloads) with
+   Mojo's reported GFLOPS on the AWS c5.4xlarge (Xeon 8223) instance.
+   Values are anchor approximations of the published bar chart. *)
+let mojo_gemms =
+  [
+    ("BERT-attn", (768, 768, 512), 700.0);
+    ("BERT-ffn1", (3072, 768, 512), 790.0);
+    ("BERT-ffn2", (768, 3072, 512), 690.0);
+    ("GPT-proj", (2304, 768, 512), 780.0);
+    ("GPT-mlp", (3072, 768, 1024), 740.0);
+    ("DLRM-bot", (512, 256, 2048), 680.0);
+    ("DLRM-top", (1024, 512, 2048), 730.0);
+  ]
+
+(* neuralmagic.com pruning blog: compound-sparsified BERT-base SQuAD,
+   FP32, BS=32, 24 cores *)
+let deepsparse_bert_items_per_s = 46.0
+
+(* MLPerf v2.1 (Nov'22) closed division, Table I *)
+let dgx_a100_bert_ttt_minutes = 19.6
+
+(* eager-mode per-op dispatch, no fusion, extra layout conversions *)
+let hf_eager_efficiency_factor = 0.30
+
+let hf_gvt3_bf16_usable = false
+
+(* SQuAD sequences padded to 384; average real length ~170 tokens *)
+let squad_real_token_fraction = 0.45

@@ -1,0 +1,87 @@
+(* fixed vendor heuristic schedule: parallel over M and N blocks, K inner,
+   single-level blocking *)
+let vendor_gemm_spec = "BCa"
+let vendor_conv_spec = "Acdebfg"
+
+let gemm_gflops ~platform ~nthreads (cfg : Gemm.config) =
+  let cfg = { cfg with Gemm.mk_blocks = []; nk_blocks = []; kk_blocks = [] } in
+  (Gemm_trace.score ~flat_b:true ~platform ~nthreads cfg vendor_gemm_spec)
+    .Perf_model.gflops
+
+(* halve a platform's contraction throughput (ACL FP32-front-end
+   conversion stalls on GVT3) *)
+let halved_fma (p : Platform.t) =
+  {
+    p with
+    Platform.core_groups =
+      Array.map
+        (fun (g : Platform.core_group) ->
+          { g with Platform.fma_scale = g.fma_scale *. 0.6 })
+        p.core_groups;
+  }
+
+let per_core_groups (p : Platform.t) dtype =
+  Array.to_list p.core_groups
+  |> List.mapi (fun gi (g : Platform.core_group) ->
+         let gf =
+           match Isa.best_for dtype g.isas with
+           | Some i -> Isa.flops_per_cycle i *. g.freq_ghz *. g.fma_scale
+           | None -> (
+             match Isa.best_for Datatype.F32 g.isas with
+             | Some i -> Isa.flops_per_cycle i *. g.freq_ghz *. g.fma_scale
+             | None -> 0.0)
+         in
+         ignore gi;
+         (g.count, gf))
+
+let conv_gflops ~(platform : Platform.t) (cfg : Conv.config) =
+  (* per-core score at one image per core; vendor library uses the fixed
+     schedule, static partitioning, and no batch-reduce folding over the
+     channel-block loop (c_step = 1 -> the output block is re-visited per
+     channel block) *)
+  let cfg1 = { cfg with Conv.n = 1; c_step = min 2 cfg.Conv.c_step; h_step = 1 } in
+  let acl_conversion_path =
+    platform.Platform.name = "GVT3" && Datatype.equal cfg.Conv.dtype Datatype.BF16
+  in
+  let sim_platform =
+    if acl_conversion_path then halved_fma platform else platform
+  in
+  let r =
+    Conv_trace.score ~flat_input:acl_conversion_path ~platform:sim_platform
+      ~nthreads:1 ~representative:1 cfg1 vendor_conv_spec
+  in
+  let per_core = r.Perf_model.gflops in
+  (* scale per-core throughput to the whole chip; heterogeneous cores with
+     a STATIC schedule straggle on the slowest group *)
+  let groups = per_core_groups platform cfg.Conv.dtype in
+  match groups with
+  | [ (n, _) ] -> per_core *. float_of_int n
+  | groups ->
+    let fastest = List.fold_left (fun a (_, g) -> Float.max a g) 0.0 groups in
+    let total_cores = List.fold_left (fun a (n, _) -> a + n) 0 groups in
+    let slowest_pos =
+      List.fold_left (fun a (_, g) -> Float.min a g) infinity groups
+    in
+    (* static partitioning straggles on the slowest core group; vendor
+       runtimes commonly fall back to pinning work on the fast cores
+       only, so take the better of the two *)
+    let static_all =
+      per_core *. float_of_int total_cores *. (slowest_pos /. fastest)
+    in
+    let fast_only =
+      List.fold_left
+        (fun acc (cnt, g) -> if g = fastest then acc + cnt else acc)
+        0 groups
+      |> float_of_int |> ( *. ) per_core
+    in
+    Float.max static_all fast_only
+
+let dense_efficiency ~(platform : Platform.t) dtype =
+  let cfg =
+    Gemm.make_config ~bm:64 ~bn:64 ~bk:64 ~dtype
+      ~vnni_b:false ~k_step:4 ~m:2048 ~n:2048 ~k:2048 ()
+  in
+  let cores = Platform.cores platform in
+  let g = gemm_gflops ~platform ~nthreads:cores cfg in
+  let peak = Platform.peak_gflops ~cores platform dtype in
+  if peak <= 0.0 then 0.0 else g /. peak

@@ -1,0 +1,30 @@
+(** Behavioural model of a vendor library (oneDNN / ACL / AOCL) — the
+    paper's principal comparator.
+
+    Rather than hard-coding the paper's bars, this model reproduces the
+    {e mechanisms} the paper attributes the gaps to, running the same
+    cache/cycle simulator as the PARLOOPER score:
+
+    - GEMM: B is consumed {e flat} (not blocked), so panels with large
+      power-of-two leading dimensions suffer set-conflict capacity waste
+      (§V-A1's "extraneous cache-conflict misses for the case with leading
+      dimension 4096");
+    - a fixed heuristic loop schedule per kernel rather than per-shape
+      tuned instantiations;
+    - convolutions on hybrid ADL use static scheduling (no
+      [schedule(dynamic)]), so the slower E-cores straggle;
+    - the oneDNN/ACL integration on Graviton 3 runs an FP32 front-end that
+      converts tensors to BF16 on the fly (§V-A4), charged as extra
+      streaming traffic and halved effective contraction peak. *)
+
+(** Modeled GEMM performance of the vendor library. *)
+val gemm_gflops :
+  platform:Platform.t -> nthreads:int -> Gemm.config -> float
+
+(** Modeled convolution performance of the vendor library at minibatch
+    [n] images spread over the platform's cores. *)
+val conv_gflops : platform:Platform.t -> Conv.config -> float
+
+(** Dense-contraction efficiency of the vendor library at a
+    representative workload shape (used by the end-to-end models). *)
+val dense_efficiency : platform:Platform.t -> Datatype.t -> float

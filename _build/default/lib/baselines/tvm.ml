@@ -1,0 +1,31 @@
+(* per-candidate compile + on-hardware measurement cost (seconds);
+   the paper's 1000-schedule searches take 17-50 minutes *)
+let per_schedule_seconds = 1.8
+
+let autotune_seconds ~n_schedules = float_of_int n_schedules *. per_schedule_seconds
+
+(* graph-executor dispatch + packed-function call overhead per kernel
+   launch; negligible for large GEMMs, significant for small ones *)
+let dispatch_overhead_s = 25e-6
+
+let gemm_gflops ~platform ~nthreads (cfg : Gemm.config) =
+  (* no AMX/VNNI codegen: BF16 falls back to an FP32-class pipeline *)
+  let dtype = Datatype.F32 in
+  let m = cfg.Gemm.m and n = cfg.Gemm.n and k = cfg.Gemm.k in
+  (* Ansor explores tilings freely, but its generated kernels reduce K in
+     register-tile steps (no batch-reduce) and use static schedules *)
+  let blocks =
+    List.filter (fun b -> m mod b = 0 && n mod b = 0 && k mod b = 0)
+      [ 32; 64; 128 ]
+  in
+  List.map
+    (fun b ->
+      let cfg' = Gemm.make_config ~bm:b ~bn:b ~bk:b ~dtype ~k_step:1 ~m ~n ~k () in
+      (Gemm_trace.score ~representative:4 ~platform ~nthreads cfg' "BCa")
+        .Perf_model.gflops)
+    blocks
+  |> List.fold_left Float.max 0.0
+  |> fun gflops ->
+  let flops = 2.0 *. float_of_int m *. float_of_int n *. float_of_int k in
+  let t = (flops /. (gflops *. 1e9)) +. dispatch_overhead_s in
+  flops /. t /. 1e9

@@ -1,0 +1,20 @@
+(** Behavioural model of TVM-Autoscheduler / Ansor (Fig. 4 comparator).
+
+    Mechanisms reproduced rather than hard-coded outcomes:
+    - the search space extends down to register blocking and instruction
+      selection, so each candidate must be compiled and measured —
+      auto-tuning costs seconds per schedule (the paper observes 17-50
+      minutes for 1000 schedules, i.e. 2.3x-500x slower than PARLOOPER's
+      outer-loop-only search);
+    - no BF16 VNNI/AMX code generation: low-precision requests fall back
+      to FP32-class instruction sequences (§V-A2);
+    - generated kernels lack the BRGEMM batch-reduce accumulation: K is
+      reduced in register-tile-sized steps with the C tile re-visited per
+      step, which costs extra C traffic on small/skewed shapes while
+      large compute-bound shapes still reach comparable performance. *)
+
+(** Seconds to search [n_schedules] candidates. *)
+val autotune_seconds : n_schedules:int -> float
+
+(** Modeled performance of the best schedule TVM finds. *)
+val gemm_gflops : platform:Platform.t -> nthreads:int -> Gemm.config -> float

@@ -1,0 +1,1 @@
+lib/dnn/attention.ml: Array Blocks Brgemm Datatype Fc Gemm Reference Tensor Tpp_unary

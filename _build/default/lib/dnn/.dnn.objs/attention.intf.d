@@ -1,0 +1,1 @@
+lib/dnn/attention.mli: Datatype Fc Prng Tensor

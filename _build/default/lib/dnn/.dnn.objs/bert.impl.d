@@ -1,0 +1,1 @@
+lib/dnn/bert.ml: Array Attention Blocks Datatype Fc Fun Gemm Prng Reference Tensor Tpp_binary

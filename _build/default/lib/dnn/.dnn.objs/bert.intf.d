@@ -1,0 +1,1 @@
+lib/dnn/bert.mli: Attention Datatype Fc Prng Tensor

@@ -1,0 +1,1 @@
+lib/dnn/dlrm.ml: Array Datatype Fc Gemm List Reference Tensor Tpp_unary

@@ -1,0 +1,1 @@
+lib/dnn/dlrm.mli: Prng Tensor

@@ -1,0 +1,1 @@
+lib/dnn/fc.ml: Array Datatype Gemm Prng Reference Tensor Tpp_binary Tpp_unary

@@ -1,0 +1,1 @@
+lib/dnn/fc.mli: Datatype Prng Tensor

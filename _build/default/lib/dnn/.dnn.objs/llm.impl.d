@@ -1,0 +1,1 @@
+lib/dnn/llm.ml: Array Attention Blocks Datatype Fc Gemm List Prng Tensor Tpp_binary Tpp_unary

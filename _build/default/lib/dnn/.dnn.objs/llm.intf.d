@@ -1,0 +1,1 @@
+lib/dnn/llm.mli: Datatype Prng Tensor

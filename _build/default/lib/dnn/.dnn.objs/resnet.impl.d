@@ -1,0 +1,1 @@
+lib/dnn/resnet.ml: Array Conv Datatype Fc List Prng Reference Tensor Tpp_binary Tpp_unary

@@ -1,0 +1,1 @@
+lib/dnn/sparse_bert.ml: Array Attention Bcsc Bert Blocks Datatype Fc List Spmm_kernel Tensor Tpp_binary Tpp_unary

@@ -1,0 +1,1 @@
+lib/dnn/sparse_bert.mli: Bert Tensor

@@ -1,0 +1,44 @@
+(** Multi-head self-attention built from TPP blocks: blocked tensor
+    contractions fused with scale, mask, softmax and dropout TPPs — the
+    computational pattern of Bert-Self-Attention (§IV-A) and of the
+    decoder-attention in the LLM pipelines (with a KV cache and causal
+    masking). *)
+
+type t = {
+  hidden : int;
+  heads : int;
+  head_dim : int;
+  wq : Fc.t;
+  wk : Fc.t;
+  wv : Fc.t;
+  wo : Fc.t;
+}
+
+val create :
+  rng:Prng.t ->
+  ?dtype:Datatype.t ->
+  ?block:int ->
+  ?spec:string ->
+  hidden:int ->
+  heads:int ->
+  unit ->
+  t
+
+(** QKV projections of [tokens x hidden] input. *)
+val project : ?nthreads:int -> t -> Tensor.t -> Tensor.t * Tensor.t * Tensor.t
+
+(** [attend ~heads ~causal q k v] — scaled-dot-product attention per head.
+    [q : Nq x hidden], [k v : Nk x hidden]; returns [Nq x hidden].
+    With [causal], query i attends keys j <= i + (Nk - Nq), which is the
+    standard decode-with-cache alignment. *)
+val attend :
+  ?causal:bool -> heads:int -> Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t
+
+(** Full block: projections, attention, output projection. *)
+val forward : ?nthreads:int -> ?causal:bool -> t -> Tensor.t -> Tensor.t
+
+(** Naive float reference of the whole block (tests). *)
+val reference_forward : ?causal:bool -> t -> Tensor.t -> Tensor.t
+
+(** Forward FLOPs for a [n]-token sequence attending [nk] keys. *)
+val flops : t -> n:int -> nk:int -> float

@@ -1,0 +1,189 @@
+module View = Tensor.View
+
+type config = {
+  hidden : int;
+  heads : int;
+  intermediate : int;
+  layers : int;
+  vocab : int;
+  max_seq : int;
+}
+
+let base_config =
+  { hidden = 768; heads = 12; intermediate = 3072; layers = 12; vocab = 30522;
+    max_seq = 512 }
+
+let large_config =
+  { hidden = 1024; heads = 16; intermediate = 4096; layers = 24;
+    vocab = 30522; max_seq = 512 }
+
+let tiny_config =
+  { hidden = 64; heads = 4; intermediate = 128; layers = 2; vocab = 100;
+    max_seq = 64 }
+
+type layer = {
+  attention : Attention.t;
+  att_output : Fc.t;
+  att_gamma : Tensor.t;
+  att_beta : Tensor.t;
+  intermediate_fc : Fc.t;
+  out_fc : Fc.t;
+  out_gamma : Tensor.t;
+  out_beta : Tensor.t;
+}
+
+type t = {
+  cfg : config;
+  token_embedding : Tensor.t;
+  position_embedding : Tensor.t;
+  emb_gamma : Tensor.t;
+  emb_beta : Tensor.t;
+  encoder : layer array;
+  dropout_p : float;
+}
+
+let ln_params rng hidden =
+  let gamma =
+    Tensor.init Datatype.F32 [| 1; hidden |] (fun _ ->
+        1.0 +. Prng.uniform rng ~scale:0.02)
+  in
+  let beta =
+    Tensor.init Datatype.F32 [| 1; hidden |] (fun _ ->
+        Prng.uniform rng ~scale:0.02)
+  in
+  (gamma, beta)
+
+let create ~rng ?(dtype = Datatype.F32) ?(block = 32) ?(spec = Gemm.default_spec)
+    ?(dropout_p = 0.1) cfg =
+  let mk_layer () =
+    let attention =
+      Attention.create ~rng ~dtype ~block ~spec ~hidden:cfg.hidden
+        ~heads:cfg.heads ()
+    in
+    let att_output =
+      Fc.create ~rng ~dtype ~block ~spec ~in_features:cfg.hidden
+        ~out_features:cfg.hidden ()
+    in
+    let att_gamma, att_beta = ln_params rng cfg.hidden in
+    let intermediate_fc =
+      Fc.create ~rng ~dtype ~block ~spec ~act:Fc.Gelu_act
+        ~in_features:cfg.hidden ~out_features:cfg.intermediate ()
+    in
+    let out_fc =
+      Fc.create ~rng ~dtype ~block ~spec ~in_features:cfg.intermediate
+        ~out_features:cfg.hidden ()
+    in
+    let out_gamma, out_beta = ln_params rng cfg.hidden in
+    { attention; att_output; att_gamma; att_beta; intermediate_fc; out_fc;
+      out_gamma; out_beta }
+  in
+  let emb scale rows =
+    Tensor.init Datatype.F32 [| rows; cfg.hidden |] (fun _ ->
+        Prng.uniform rng ~scale)
+  in
+  let emb_gamma, emb_beta = ln_params rng cfg.hidden in
+  {
+    cfg;
+    token_embedding = emb 0.05 cfg.vocab;
+    position_embedding = emb 0.05 cfg.max_seq;
+    emb_gamma;
+    emb_beta;
+    encoder = Array.init cfg.layers (fun _ -> mk_layer ());
+    dropout_p;
+  }
+
+let embed ?(training = false) ~rng t ids =
+  let seq = Array.length ids in
+  assert (seq <= t.cfg.max_seq);
+  let x =
+    Tensor.init Datatype.F32 [| seq; t.cfg.hidden |] (fun i ->
+        Tensor.get t.token_embedding [| ids.(i.(0)); i.(1) |]
+        +. Tensor.get t.position_embedding [| i.(0); i.(1) |])
+  in
+  let y = Tensor.create Datatype.F32 [| seq; t.cfg.hidden |] in
+  let _ =
+    Blocks.layernorm_rows ~eps:1e-12 ~inp:(Tensor.view2d x)
+      ~gamma:(Tensor.view2d t.emb_gamma) ~beta:(Tensor.view2d t.emb_beta)
+      ~out:(Tensor.view2d y)
+  in
+  if training && t.dropout_p > 0.0 then begin
+    let mask = Tensor.create Datatype.F32 [| seq; t.cfg.hidden |] in
+    Blocks.dropout ~rng ~p:t.dropout_p ~inp:(Tensor.view2d y)
+      ~mask:(Tensor.view2d mask) ~out:(Tensor.view2d y)
+  end;
+  y
+
+(* dense + residual add + layernorm: the Listing 6 fusion (inference mode,
+   dropout off) *)
+let output_block ?nthreads fc gamma beta ~residual x =
+  let dense = Fc.forward ?nthreads fc x in
+  Tpp_binary.exec Tpp_binary.Add ~bcast:Tpp_binary.Full
+    ~a:(Tensor.view2d dense) ~b:(Tensor.view2d residual)
+    ~out:(Tensor.view2d dense);
+  let y = Tensor.create Datatype.F32 (Tensor.dims dense) in
+  let _ =
+    Blocks.layernorm_rows ~eps:1e-12 ~inp:(Tensor.view2d dense)
+      ~gamma:(Tensor.view2d gamma) ~beta:(Tensor.view2d beta)
+      ~out:(Tensor.view2d y)
+  in
+  y
+
+let encoder_layer ?nthreads t layer x =
+  ignore t;
+  (* Bert-Self-Attention *)
+  let att = Attention.forward ?nthreads layer.attention x in
+  (* Bert-SelfOutput: dense + residual + layernorm *)
+  let x1 =
+    output_block ?nthreads layer.att_output layer.att_gamma layer.att_beta
+      ~residual:x att
+  in
+  (* Bert-Intermediate: dense + GELU (fused in the FC post-op) *)
+  let inter = Fc.forward ?nthreads layer.intermediate_fc x1 in
+  (* Bert-Output: dense + residual + layernorm *)
+  output_block ?nthreads layer.out_fc layer.out_gamma layer.out_beta
+    ~residual:x1 inter
+
+let forward ?nthreads ~rng t ids =
+  let x = embed ~rng t ids in
+  Array.fold_left (fun x l -> encoder_layer ?nthreads t l x) x t.encoder
+
+(* naive reference for one layer *)
+let reference_encoder_layer t layer x =
+  ignore t;
+  let ln x gamma beta =
+    let cols = (Tensor.dims x).(1) in
+    let g = Array.init cols (fun j -> Tensor.get gamma [| 0; j |]) in
+    let b = Array.init cols (fun j -> Tensor.get beta [| 0; j |]) in
+    Reference.layernorm_rows ~eps:1e-12 x g b
+  in
+  let fc_ref (fc : Fc.t) act x =
+    let wt =
+      Tensor.init Datatype.F32 [| fc.Fc.in_features; fc.Fc.out_features |]
+        (fun i -> Tensor.get fc.Fc.weights [| i.(1); i.(0) |])
+    in
+    let y = Reference.matmul x wt in
+    Tensor.init Datatype.F32 (Tensor.dims y) (fun i ->
+        act (Tensor.get y i +. Tensor.get fc.Fc.bias [| i.(1) |]))
+  in
+  let add a b =
+    Tensor.init Datatype.F32 (Tensor.dims a) (fun i ->
+        Tensor.get a i +. Tensor.get b i)
+  in
+  let att = Attention.reference_forward layer.attention x in
+  let x1 = ln (add (fc_ref layer.att_output Fun.id att) x) layer.att_gamma layer.att_beta in
+  let inter = fc_ref layer.intermediate_fc Reference.gelu x1 in
+  ln (add (fc_ref layer.out_fc Fun.id inter) x1) layer.out_gamma layer.out_beta
+
+let layer_flops cfg ~seq =
+  let h = float_of_int cfg.hidden
+  and i = float_of_int cfg.intermediate
+  and s = float_of_int seq in
+  (* 4 attention projections + scores + context + 2 FFN matmuls *)
+  (4.0 *. 2.0 *. s *. h *. h)
+  +. (2.0 *. 2.0 *. s *. s *. h)
+  +. (2.0 *. 2.0 *. s *. h *. i)
+
+let forward_flops cfg ~seq = float_of_int cfg.layers *. layer_flops cfg ~seq
+
+let train_step_flops cfg ~seq ~batch =
+  3.0 *. float_of_int batch *. forward_flops cfg ~seq

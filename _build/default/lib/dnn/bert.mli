@@ -1,0 +1,76 @@
+(** BERT encoder built from the four fused PARLOOPER/TPP modules of §IV-A:
+
+    - {b Embeddings}: token + position + segment lookups, layernorm, dropout
+    - {b Self-Attention}: blocked contractions fused with scale/softmax
+    - {b Output / Self-Output}: BRGEMM fused with bias, dropout, residual
+      add and layernorm TPPs on 2D-block granularity (Listing 6)
+    - {b Intermediate}: BRGEMM cascaded with bias add and GELU
+
+    The implementation is exact (verified against naive references at small
+    shapes); the paper-scale BERT-Base/Large shapes are exposed via
+    {!base_config} / {!large_config} and consumed by the benchmark
+    harness's analytic workload models. *)
+
+type config = {
+  hidden : int;
+  heads : int;
+  intermediate : int;
+  layers : int;
+  vocab : int;
+  max_seq : int;
+}
+
+val base_config : config  (** BERT-Base: 768/12/3072/12 *)
+val large_config : config  (** BERT-Large: 1024/16/4096/24 *)
+
+(** Tiny config for executable tests/examples. *)
+val tiny_config : config
+
+(** One encoder layer's parameters. *)
+type layer = {
+  attention : Attention.t;
+  att_output : Fc.t;  (** hidden -> hidden (Bert-SelfOutput dense) *)
+  att_gamma : Tensor.t;
+  att_beta : Tensor.t;
+  intermediate_fc : Fc.t;  (** hidden -> intermediate, fused GELU *)
+  out_fc : Fc.t;  (** intermediate -> hidden (Bert-Output dense) *)
+  out_gamma : Tensor.t;
+  out_beta : Tensor.t;
+}
+
+type t = {
+  cfg : config;
+  token_embedding : Tensor.t;  (** [vocab x hidden] *)
+  position_embedding : Tensor.t;  (** [max_seq x hidden] *)
+  emb_gamma : Tensor.t;
+  emb_beta : Tensor.t;
+  encoder : layer array;
+  dropout_p : float;
+}
+
+val create :
+  rng:Prng.t -> ?dtype:Datatype.t -> ?block:int -> ?spec:string ->
+  ?dropout_p:float -> config -> t
+
+(** Bert-Embeddings: token ids -> [seq x hidden] (layernormed; dropout is
+    applied only when [training]). *)
+val embed : ?training:bool -> rng:Prng.t -> t -> int array -> Tensor.t
+
+(** One encoder layer forward on [seq x hidden]. Inference mode (dropout
+    off). *)
+val encoder_layer : ?nthreads:int -> t -> layer -> Tensor.t -> Tensor.t
+
+(** Full forward: token ids -> final hidden states. *)
+val forward : ?nthreads:int -> rng:Prng.t -> t -> int array -> Tensor.t
+
+(** Naive reference of one encoder layer (tests). *)
+val reference_encoder_layer : t -> layer -> Tensor.t -> Tensor.t
+
+(** FLOPs of one encoder layer forward at sequence length [seq]. *)
+val layer_flops : config -> seq:int -> float
+
+(** FLOPs of a full forward pass. *)
+val forward_flops : config -> seq:int -> float
+
+(** FLOPs of one training step (fwd + bwd ~ 3x fwd contraction work). *)
+val train_step_flops : config -> seq:int -> batch:int -> float

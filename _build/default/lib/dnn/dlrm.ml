@@ -1,0 +1,165 @@
+type config = {
+  dense_features : int;
+  num_tables : int;
+  rows_per_table : int;
+  embed_dim : int;
+  bottom : int list;
+  top : int list;
+}
+
+let default_config =
+  {
+    dense_features = 16;
+    num_tables = 8;
+    rows_per_table = 64;
+    embed_dim = 16;
+    bottom = [ 32 ];
+    top = [ 64; 32 ];
+  }
+
+let interaction_features cfg =
+  let v = cfg.num_tables + 1 in
+  cfg.embed_dim + (v * (v - 1) / 2)
+
+type t = {
+  cfg : config;
+  tables : Tensor.t array;  (** [rows x embed_dim] each *)
+  bottom_mlp : Fc.t list;
+  top_mlp : Fc.t list;  (** last layer is linear; sigmoid applied after *)
+}
+
+let build_mlp ~rng ~block ~spec ~act widths =
+  let rec go = function
+    | fin :: (fout :: _ as rest) ->
+      let is_last = List.length rest = 1 in
+      Fc.create ~rng ~block ~spec
+        ~act:(if is_last then Fc.Linear else act)
+        ~in_features:fin ~out_features:fout ()
+      :: go rest
+    | _ -> []
+  in
+  go widths
+
+let create ~rng ?(block = 16) ?(spec = Gemm.default_spec) cfg =
+  let tables =
+    Array.init cfg.num_tables (fun _ ->
+        let t =
+          Tensor.create Datatype.F32 [| cfg.rows_per_table; cfg.embed_dim |]
+        in
+        Tensor.fill_random t rng ~scale:0.1;
+        t)
+  in
+  let bottom_widths = (cfg.dense_features :: cfg.bottom) @ [ cfg.embed_dim ] in
+  let top_widths = (interaction_features cfg :: cfg.top) @ [ 1 ] in
+  {
+    cfg;
+    tables;
+    (* bottom MLP keeps ReLU through its output (standard DLRM) *)
+    bottom_mlp =
+      List.map
+        (fun fc -> { fc with Fc.act = Fc.Relu_act })
+        (build_mlp ~rng ~block ~spec ~act:Fc.Relu_act bottom_widths);
+    top_mlp = build_mlp ~rng ~block ~spec ~act:Fc.Relu_act top_widths;
+  }
+
+let config t = t.cfg
+
+let run_mlp ?nthreads layers x =
+  List.fold_left (fun x fc -> Fc.forward ?nthreads fc x) x layers
+
+(* embedding lookup: gather one row per batch item *)
+let lookup t f ids =
+  let table = t.tables.(f) in
+  Tensor.init Datatype.F32
+    [| Array.length ids; t.cfg.embed_dim |]
+    (fun i -> Tensor.get table [| ids.(i.(0)); i.(1) |])
+
+(* pairwise dot-product interaction of (num_tables+1) embed_dim vectors
+   per batch item, concatenated after the bottom output *)
+let interact t bottom embs =
+  let batch = (Tensor.dims bottom).(0) in
+  let d = t.cfg.embed_dim in
+  let vectors = Array.of_list (bottom :: Array.to_list embs) in
+  let v = Array.length vectors in
+  let out =
+    Tensor.create Datatype.F32 [| batch; interaction_features t.cfg |]
+  in
+  for i = 0 to batch - 1 do
+    for x = 0 to d - 1 do
+      Tensor.set out [| i; x |] (Tensor.get bottom [| i; x |])
+    done;
+    let col = ref d in
+    for a = 0 to v - 1 do
+      for b = a + 1 to v - 1 do
+        let dot = ref 0.0 in
+        for x = 0 to d - 1 do
+          dot :=
+            !dot
+            +. (Tensor.get vectors.(a) [| i; x |]
+               *. Tensor.get vectors.(b) [| i; x |])
+        done;
+        Tensor.set out [| i; !col |] !dot;
+        incr col
+      done
+    done
+  done;
+  out
+
+let sigmoid_inplace x =
+  let v =
+    Tensor.view_flat x ~off:0 ~rows:1 ~cols:(Tensor.numel x)
+      ~ld:(Tensor.numel x)
+  in
+  Tpp_unary.exec Tpp_unary.Sigmoid ~inp:v ~out:v
+
+let forward ?nthreads t ~dense ~sparse =
+  let dims = Tensor.dims dense in
+  assert (dims.(1) = t.cfg.dense_features);
+  assert (Array.length sparse = t.cfg.num_tables);
+  let bottom = run_mlp ?nthreads t.bottom_mlp dense in
+  let embs = Array.mapi (fun f ids -> lookup t f ids) sparse in
+  let feats = interact t bottom embs in
+  let logit = run_mlp ?nthreads t.top_mlp feats in
+  sigmoid_inplace logit;
+  logit
+
+let reference_forward t ~dense ~sparse =
+  let fc_ref (fc : Fc.t) x =
+    let wt =
+      Tensor.init Datatype.F32 [| fc.Fc.in_features; fc.Fc.out_features |]
+        (fun i -> Tensor.get fc.Fc.weights [| i.(1); i.(0) |])
+    in
+    let y = Reference.matmul x wt in
+    Tensor.init Datatype.F32 (Tensor.dims y) (fun i ->
+        let v = Tensor.get y i +. Tensor.get fc.Fc.bias [| i.(1) |] in
+        match fc.Fc.act with
+        | Fc.Linear -> v
+        | Fc.Relu_act -> Reference.relu v
+        | Fc.Gelu_act -> Reference.gelu v)
+  in
+  let run_ref layers x = List.fold_left (fun x fc -> fc_ref fc x) x layers in
+  let bottom = run_ref t.bottom_mlp dense in
+  let embs = Array.mapi (fun f ids -> lookup t f ids) sparse in
+  let feats = interact t bottom embs in
+  let logit = run_ref t.top_mlp feats in
+  Tensor.init Datatype.F32 (Tensor.dims logit) (fun i ->
+      Reference.sigmoid (Tensor.get logit i))
+
+let mlp_flops widths ~batch =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      (2.0 *. float_of_int (a * b) *. float_of_int batch) +. go rest
+    | _ -> 0.0
+  in
+  go widths
+
+let flops cfg ~batch =
+  let bottom = (cfg.dense_features :: cfg.bottom) @ [ cfg.embed_dim ] in
+  let top = (interaction_features cfg :: cfg.top) @ [ 1 ] in
+  let v = cfg.num_tables + 1 in
+  let interact =
+    2.0
+    *. float_of_int (v * (v - 1) / 2)
+    *. float_of_int cfg.embed_dim *. float_of_int batch
+  in
+  mlp_flops bottom ~batch +. mlp_flops top ~batch +. interact

@@ -1,0 +1,45 @@
+(** DLRM — Deep Learning Recommendation Model (Naumov et al.), the
+    end-to-end workload the paper names as future work (§VII) and whose
+    GEMM shapes appear in Fig. 5.
+
+    Architecture: a bottom MLP embeds the dense features; sparse
+    categorical features are looked up in embedding tables; all pairwise
+    dot-product interactions between the bottom output and the embeddings
+    are concatenated back with the bottom output and fed to a top MLP
+    ending in a sigmoid CTR probability. The MLPs run on the PARLOOPER FC
+    kernels; lookups and interactions are TPP-style 2D-block operations. *)
+
+type config = {
+  dense_features : int;
+  num_tables : int;  (** categorical features *)
+  rows_per_table : int;
+  embed_dim : int;  (** must equal the bottom MLP's output width *)
+  bottom : int list;  (** hidden widths of the bottom MLP (output is
+                          [embed_dim]) *)
+  top : int list;  (** hidden widths of the top MLP (output is 1 logit) *)
+}
+
+(** A small runnable default (Criteo-like structure, reduced sizes). *)
+val default_config : config
+
+type t
+
+val create : rng:Prng.t -> ?block:int -> ?spec:string -> config -> t
+
+val config : t -> config
+
+(** Width of the interaction feature vector fed to the top MLP:
+    embed_dim + (num_tables+1 choose 2). *)
+val interaction_features : config -> int
+
+(** [forward t ~dense ~sparse] — [dense : batch x dense_features];
+    [sparse.(f).(i)] is the category id of feature [f] for batch item [i].
+    Returns CTR probabilities [batch x 1] in (0, 1). *)
+val forward :
+  ?nthreads:int -> t -> dense:Tensor.t -> sparse:int array array -> Tensor.t
+
+(** Naive reference forward (tests). *)
+val reference_forward : t -> dense:Tensor.t -> sparse:int array array -> Tensor.t
+
+(** Forward FLOPs per batch of [batch] (MLPs + interaction dots). *)
+val flops : config -> batch:int -> float

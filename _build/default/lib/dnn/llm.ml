@@ -1,0 +1,203 @@
+module View = Tensor.View
+
+type config = {
+  name : string;
+  hidden : int;
+  heads : int;
+  intermediate : int;
+  layers : int;
+  vocab : int;
+  gated_ffn : bool;
+}
+
+let gptj_6b =
+  { name = "GPTJ-6B"; hidden = 4096; heads = 16; intermediate = 16384;
+    layers = 28; vocab = 50400; gated_ffn = false }
+
+let llama2_13b =
+  { name = "Llama2-13B"; hidden = 5120; heads = 40; intermediate = 13824;
+    layers = 40; vocab = 32000; gated_ffn = true }
+
+let tiny =
+  { name = "tiny"; hidden = 32; heads = 2; intermediate = 64; layers = 2;
+    vocab = 64; gated_ffn = true }
+
+type layer = {
+  attention : Attention.t;
+  ffn_up : Fc.t;
+  ffn_gate : Fc.t option;  (** SwiGLU gate projection *)
+  ffn_down : Fc.t;
+  ln1_gamma : Tensor.t;
+  ln1_beta : Tensor.t;
+  ln2_gamma : Tensor.t;
+  ln2_beta : Tensor.t;
+}
+
+type t = { cfg : config; decoder : layer array }
+
+let ln_params rng hidden =
+  ( Tensor.init Datatype.F32 [| 1; hidden |] (fun _ ->
+        1.0 +. Prng.uniform rng ~scale:0.02),
+    Tensor.init Datatype.F32 [| 1; hidden |] (fun _ ->
+        Prng.uniform rng ~scale:0.02) )
+
+let create ~rng ?(dtype = Datatype.F32) ?(block = 16) ?(spec = Gemm.default_spec)
+    cfg =
+  let mk_layer () =
+    let attention =
+      Attention.create ~rng ~dtype ~block ~spec ~hidden:cfg.hidden
+        ~heads:cfg.heads ()
+    in
+    let ffn_up =
+      Fc.create ~rng ~dtype ~block ~spec
+        ~act:(if cfg.gated_ffn then Fc.Linear else Fc.Gelu_act)
+        ~in_features:cfg.hidden ~out_features:cfg.intermediate ()
+    in
+    let ffn_gate =
+      if cfg.gated_ffn then
+        Some
+          (Fc.create ~rng ~dtype ~block ~spec ~in_features:cfg.hidden
+             ~out_features:cfg.intermediate ())
+      else None
+    in
+    let ffn_down =
+      Fc.create ~rng ~dtype ~block ~spec ~in_features:cfg.intermediate
+        ~out_features:cfg.hidden ()
+    in
+    let ln1_gamma, ln1_beta = ln_params rng cfg.hidden in
+    let ln2_gamma, ln2_beta = ln_params rng cfg.hidden in
+    { attention; ffn_up; ffn_gate; ffn_down; ln1_gamma; ln1_beta; ln2_gamma;
+      ln2_beta }
+  in
+  { cfg; decoder = Array.init cfg.layers (fun _ -> mk_layer ()) }
+
+let config t = t.cfg
+
+(* growing [tokens x hidden] K/V store per layer *)
+type kv_entry = { mutable k : Tensor.t option; mutable v : Tensor.t option }
+type kv_cache = { entries : kv_entry array; mutable len : int }
+
+let new_cache t =
+  { entries = Array.init t.cfg.layers (fun _ -> { k = None; v = None });
+    len = 0 }
+
+let cache_len c = c.len
+
+let append_rows old fresh =
+  match old with
+  | None -> fresh
+  | Some old ->
+    let d0 = Tensor.dims old and d1 = Tensor.dims fresh in
+    assert (d0.(1) = d1.(1));
+    Tensor.init Datatype.F32 [| d0.(0) + d1.(0); d0.(1) |] (fun i ->
+        if i.(0) < d0.(0) then Tensor.get old i
+        else Tensor.get fresh [| i.(0) - d0.(0); i.(1) |])
+
+let layernorm gamma beta x =
+  let y = Tensor.create Datatype.F32 (Tensor.dims x) in
+  let _ =
+    Blocks.layernorm_rows ~eps:1e-5 ~inp:(Tensor.view2d x)
+      ~gamma:(Tensor.view2d gamma) ~beta:(Tensor.view2d beta)
+      ~out:(Tensor.view2d y)
+  in
+  y
+
+let add_inplace a b =
+  Tpp_binary.exec Tpp_binary.Add ~bcast:Tpp_binary.Full ~a:(Tensor.view2d a)
+    ~b:(Tensor.view2d b) ~out:(Tensor.view2d a)
+
+(* pre-norm decoder block with a cache: x += Attn(LN1(x)); x += FFN(LN2(x)) *)
+let decoder_block ?nthreads t (layer : layer) (entry : kv_entry) x =
+  ignore t;
+  let normed = layernorm layer.ln1_gamma layer.ln1_beta x in
+  let q, k_new, v_new = Attention.project ?nthreads layer.attention normed in
+  let k_all = append_rows entry.k k_new in
+  let v_all = append_rows entry.v v_new in
+  entry.k <- Some k_all;
+  entry.v <- Some v_all;
+  let ctx =
+    Attention.attend ~causal:true ~heads:layer.attention.Attention.heads q
+      k_all v_all
+  in
+  let att = Fc.forward ?nthreads layer.attention.Attention.wo ctx in
+  add_inplace att x;
+  (* att now holds x + attention *)
+  let normed2 = layernorm layer.ln2_gamma layer.ln2_beta att in
+  let up = Fc.forward ?nthreads layer.ffn_up normed2 in
+  (match layer.ffn_gate with
+  | Some gate_fc ->
+    (* SwiGLU: up := silu(gate) * up *)
+    let gate = Fc.forward ?nthreads gate_fc normed2 in
+    let s = Tensor.create Datatype.F32 (Tensor.dims gate) in
+    Tpp_unary.exec Tpp_unary.Sigmoid ~inp:(Tensor.view2d gate)
+      ~out:(Tensor.view2d s);
+    Tpp_binary.exec Tpp_binary.Mul ~bcast:Tpp_binary.Full
+      ~a:(Tensor.view2d gate) ~b:(Tensor.view2d s) ~out:(Tensor.view2d gate);
+    Tpp_binary.exec Tpp_binary.Mul ~bcast:Tpp_binary.Full
+      ~a:(Tensor.view2d up) ~b:(Tensor.view2d gate) ~out:(Tensor.view2d up)
+  | None -> ());
+  let down = Fc.forward ?nthreads layer.ffn_down up in
+  add_inplace down att;
+  down
+
+let run_tokens ?nthreads t cache x =
+  let out =
+    Array.to_list t.decoder
+    |> List.mapi (fun i l -> (i, l))
+    |> List.fold_left
+         (fun acc (i, layer) ->
+           decoder_block ?nthreads t layer cache.entries.(i) acc)
+         x
+  in
+  cache.len <- cache.len + (Tensor.dims x).(0);
+  out
+
+let last_row x =
+  let d = Tensor.dims x in
+  Tensor.init Datatype.F32 [| 1; d.(1) |] (fun i ->
+      Tensor.get x [| d.(0) - 1; i.(1) |])
+
+let prefill ?nthreads t cache x =
+  assert (cache.len = 0);
+  last_row (run_tokens ?nthreads t cache x)
+
+let decode_step ?nthreads t cache x =
+  assert ((Tensor.dims x).(0) = 1);
+  run_tokens ?nthreads t cache x
+
+let forward_full ?nthreads t x =
+  let cache = new_cache t in
+  run_tokens ?nthreads t cache x
+
+let embed t ~rng ids =
+  (* deterministic per-token-id synthetic embedding *)
+  ignore rng;
+  Tensor.init Datatype.F32
+    [| Array.length ids; t.cfg.hidden |]
+    (fun i ->
+      let r = Prng.create ((ids.(i.(0)) * 7919) + i.(1)) in
+      Prng.uniform r ~scale:0.5)
+
+let layer_params cfg =
+  (* 4 attention mats + 2 (or 3 gated) FFN mats *)
+  let ffn_mats = if cfg.gated_ffn then 3.0 else 2.0 in
+  (4.0 *. float_of_int cfg.hidden *. float_of_int cfg.hidden)
+  +. (ffn_mats *. float_of_int cfg.hidden *. float_of_int cfg.intermediate)
+
+let prefill_flops cfg ~n_in =
+  let n = float_of_int n_in in
+  let h = float_of_int cfg.hidden in
+  float_of_int cfg.layers
+  *. ((2.0 *. n *. layer_params cfg) (* dense contractions *)
+     +. (2.0 *. 2.0 *. n *. n *. h) (* attention scores + context *))
+
+let decode_flops cfg ~past =
+  let h = float_of_int cfg.hidden in
+  float_of_int cfg.layers
+  *. ((2.0 *. layer_params cfg)
+     +. (2.0 *. 2.0 *. float_of_int (past + 1) *. h))
+
+let param_bytes cfg dtype =
+  (float_of_int cfg.layers *. layer_params cfg
+  +. (float_of_int cfg.vocab *. float_of_int cfg.hidden))
+  *. float_of_int (Datatype.bytes dtype)

@@ -1,0 +1,64 @@
+(** Decoder-only LLM inference pipeline (§IV-A / Fig. 11): GPT-J- and
+    Llama2-style transformer decoders with causal attention, a KV cache,
+    and the two-phase latency structure the paper measures — a
+    compute-bound {e first token} (prefill over all input tokens) and
+    bandwidth-bound {e next tokens} (one token per step against the cache).
+
+    Executable at scaled-down shapes (verified: incremental decoding with
+    the cache reproduces full-sequence forward); paper-scale GPT-J-6B and
+    Llama2-13B shapes feed the benchmark harness's analytic models. *)
+
+type config = {
+  name : string;
+  hidden : int;
+  heads : int;
+  intermediate : int;
+  layers : int;
+  vocab : int;
+  gated_ffn : bool;
+      (** SwiGLU-style 3-matrix FFN (Llama2) vs 2-matrix GELU FFN (GPT-J) *)
+}
+
+val gptj_6b : config
+val llama2_13b : config
+val tiny : config
+
+type t
+
+val create :
+  rng:Prng.t -> ?dtype:Datatype.t -> ?block:int -> ?spec:string -> config -> t
+
+val config : t -> config
+
+type kv_cache
+
+(** Fresh empty cache. *)
+val new_cache : t -> kv_cache
+
+(** Tokens currently cached. *)
+val cache_len : kv_cache -> int
+
+(** [prefill t cache embeddings] runs the prefill phase over
+    [n_in x hidden] input embeddings, fills the cache and returns the last
+    hidden state [1 x hidden] ("first token" computation). *)
+val prefill : ?nthreads:int -> t -> kv_cache -> Tensor.t -> Tensor.t
+
+(** [decode_step t cache emb] appends one token ([1 x hidden]) and returns
+    its output hidden state ("next token" computation). *)
+val decode_step : ?nthreads:int -> t -> kv_cache -> Tensor.t -> Tensor.t
+
+(** Full-sequence forward without a cache (reference for tests). *)
+val forward_full : ?nthreads:int -> t -> Tensor.t -> Tensor.t
+
+(** Random embedding matrix for a token-id sequence (synthetic inputs). *)
+val embed : t -> rng:Prng.t -> int array -> Tensor.t
+
+(** FLOPs of the prefill phase for [n_in] tokens. *)
+val prefill_flops : config -> n_in:int -> float
+
+(** FLOPs of one decode step at cache length [past]. *)
+val decode_flops : config -> past:int -> float
+
+(** Total parameter bytes at a given precision (weights streamed per next
+    token — the bandwidth-bound term of Fig. 11). *)
+val param_bytes : config -> Datatype.t -> float

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Array Datatype Fig6 Float Gemm Gemm_trace List Loop_spec Modelkit Perf_model Platform Printf Resnet Threaded_loop Unix

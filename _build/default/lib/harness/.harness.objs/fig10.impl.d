@@ -1,0 +1,1 @@
+lib/harness/fig10.ml: Anchors Bert Datatype Float Isa List Modelkit Platform Printf

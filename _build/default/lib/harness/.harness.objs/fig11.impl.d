@@ -1,0 +1,1 @@
+lib/harness/fig11.ml: Anchors Datatype Float List Llm Modelkit Onednn Platform Printf

@@ -1,0 +1,1 @@
+lib/harness/fig11.mli: Datatype

@@ -1,0 +1,1 @@
+lib/harness/fig2.ml: Datatype Float Gemm List Modelkit Onednn Platform Printf

@@ -1,0 +1,1 @@
+lib/harness/fig2.mli: Datatype

@@ -1,0 +1,1 @@
+lib/harness/fig3.ml: Datatype Float List Modelkit Platform Printf

@@ -1,0 +1,1 @@
+lib/harness/fig4.ml: Autotune Datatype Float Gemm List Modelkit Onednn Platform Printf Tvm Unix

@@ -1,0 +1,1 @@
+lib/harness/fig5.ml: Anchors Datatype List Modelkit Platform Printf

@@ -1,0 +1,1 @@
+lib/harness/fig6.ml: Autotune Gemm Gemm_trace List Modelkit Perf_model Platform Printf String

@@ -1,0 +1,1 @@
+lib/harness/fig7.ml: Datatype List Modelkit Platform Printf Resnet

@@ -1,0 +1,1 @@
+lib/harness/fig7.mli:

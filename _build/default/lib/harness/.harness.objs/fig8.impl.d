@@ -1,0 +1,1 @@
+lib/harness/fig8.ml: Datatype Float Isa List Modelkit Option Platform Printf

@@ -1,0 +1,1 @@
+lib/harness/fig9.ml: Anchors Bert Datatype Float Gemm Gemm_trace List Modelkit Onednn Perf_model Platform Printf

@@ -1,0 +1,1 @@
+lib/harness/modelkit.ml: Array Conv Conv_trace Datatype Float Gemm Gemm_trace Hashtbl Isa List Onednn Perf_model Platform Printf Resnet

@@ -1,0 +1,1 @@
+lib/harness/modelkit.mli: Datatype Platform Resnet

@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Anchors Datatype Fig9 Float List Modelkit Platform Printf Resnet

@@ -1,0 +1,96 @@
+let blocked_vs_flat () =
+  Modelkit.section "Ablation: blocked vs flat B layout (SPR BF16, LD 4096)";
+  let cfg =
+    Gemm.make_config ~bm:128 ~bn:128 ~bk:128 ~dtype:Datatype.BF16 ~k_step:4
+      ~m:2048 ~n:4096 ~k:2048 ()
+  in
+  let blocked =
+    (Gemm_trace.score ~representative:4 ~platform:Platform.spr ~nthreads:112
+       cfg "BCa")
+      .Perf_model.gflops
+  in
+  let flat =
+    (Gemm_trace.score ~flat_b:true ~representative:4 ~platform:Platform.spr
+       ~nthreads:112 cfg "BCa")
+      .Perf_model.gflops
+  in
+  Printf.printf "blocked B: %.0f GF, flat B: %.0f GF -> %.2fx from layout\n"
+    blocked flat (blocked /. flat)
+
+let jit_cache_cost () =
+  Modelkit.section "Ablation: loop-nest JIT compile vs cache hit (measured)";
+  Threaded_loop.cache_clear ();
+  let specs =
+    [
+      Loop_spec.make ~bound:64 ~step:1 ~block_steps:[ 16; 4 ] ();
+      Loop_spec.make ~bound:64 ~step:1 ~block_steps:[ 8 ] ();
+      Loop_spec.make ~bound:64 ~step:2 ();
+    ]
+  in
+  let reps = 2000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to reps - 1 do
+    (* distinct strings defeat the cache: compile every time *)
+    let s = if i mod 2 = 0 then "aabcab" else "aabcba" in
+    Threaded_loop.cache_clear ();
+    ignore (Threaded_loop.create specs s)
+  done;
+  let compile_us = (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e6 in
+  Threaded_loop.cache_clear ();
+  ignore (Threaded_loop.create specs "aabcab");
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Threaded_loop.create specs "aabcab")
+  done;
+  let hit_us = (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e6 in
+  Printf.printf
+    "compile: %.1f us/nest, cache hit: %.2f us -> %.0fx cheaper (hits %d)\n"
+    compile_us hit_us
+    (compile_us /. Float.max 1e-3 hit_us)
+    (fst (Threaded_loop.cache_stats ()))
+
+let hybrid_scheduling () =
+  Modelkit.section "Ablation: static vs dynamic scheduling on hybrid ADL";
+  let sh = List.nth Resnet.conv_shapes 4 in
+  let dyn =
+    Modelkit.parlooper_conv ~platform:Platform.adl ~dtype:Datatype.F32 sh
+  in
+  let stat =
+    Modelkit.onednn_conv ~platform:Platform.adl ~dtype:Datatype.F32 sh
+  in
+  Printf.printf
+    "dynamic (P+E proportional): %.0f GF, static: %.0f GF -> %.2fx\n" dyn stat
+    (dyn /. stat)
+
+let model_robustness () =
+  Modelkit.section
+    "Ablation: perf-model ranking robustness to cache-size error";
+  let pts = Fig6.compute ~candidates:10 () in
+  let rank = Fig6.best_measured_model_rank pts in
+  let perturb scale =
+    {
+      Platform.host with
+      Platform.caches =
+        Array.map
+          (fun (c : Platform.cache_level) ->
+            { c with
+              Platform.size_bytes =
+                int_of_float (float_of_int c.Platform.size_bytes *. scale) })
+          Platform.host.Platform.caches;
+    }
+  in
+  let rank_under platform =
+    Fig6.best_measured_model_rank (Fig6.remodel ~platform pts)
+  in
+  Printf.printf
+    "best-measured schedule modeled rank: %d (nominal), %d (caches x0.5), %d \
+     (caches x1.5)\n"
+    rank
+    (rank_under (perturb 0.5))
+    (rank_under (perturb 1.5))
+
+let run () =
+  blocked_vs_flat ();
+  jit_cache_cost ();
+  hybrid_scheduling ();
+  model_robustness ()

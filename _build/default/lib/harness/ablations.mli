@@ -1,0 +1,12 @@
+(** Ablation benches for the design choices DESIGN.md calls out — beyond
+    the paper's own figures:
+
+    - blocked vs flat B layout at a power-of-two leading dimension
+      (isolates Fig. 2's conflict-miss mechanism);
+    - JIT cache: cost of compiling a loop nest vs a cache hit, measured
+      for real on this host;
+    - static vs dynamic scheduling on hybrid (P/E) cores, modeled;
+    - performance-model robustness: the top schedule's rank under +/-50%
+      cache-size perturbation. *)
+
+val run : unit -> unit

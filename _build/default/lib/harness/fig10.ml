@@ -1,0 +1,124 @@
+type point = {
+  platform : string;
+  dense_items_per_s : float;
+  sparse_items_per_s : float;
+  roofline_items_per_s : float;
+}
+
+let cfg = Bert.base_config
+let seq = 384
+let sparsity = 0.8
+let block = 8
+let cores = 8
+
+(* per-sequence contraction work split into FC (prunable) and attention
+   score/context (kept dense) *)
+let fc_flops =
+  float_of_int cfg.Bert.layers
+  *. ((4.0 *. 2.0 *. float_of_int (seq * cfg.Bert.hidden * cfg.Bert.hidden))
+     +. (2.0 *. 2.0 *. float_of_int (seq * cfg.Bert.hidden * cfg.Bert.intermediate)))
+
+let attn_flops =
+  float_of_int cfg.Bert.layers
+  *. (2.0 *. 2.0 *. float_of_int (seq * seq * cfg.Bert.hidden))
+
+(* FC weight bytes streamed per sequence at BS=1 (no weight reuse) *)
+let fc_weight_bytes dtype =
+  float_of_int cfg.Bert.layers
+  *. float_of_int
+       (((4 * cfg.Bert.hidden * cfg.Bert.hidden)
+        + (2 * cfg.Bert.hidden * cfg.Bert.intermediate))
+       * Datatype.bytes dtype)
+
+(* softmax/layernorm/gelu/residual passes over the activations *)
+let elementwise_bytes =
+  20.0 *. float_of_int (cfg.Bert.layers * seq * cfg.Bert.hidden * 4)
+
+let mem_bw_share (p : Platform.t) used_cores =
+  p.Platform.mem_bw_gbs *. 1e9
+  *. Float.min 1.0 (2.0 *. float_of_int used_cores /. float_of_int (Platform.cores p))
+
+let times (p : Platform.t) dtype =
+  let isa = Platform.contraction_isa p dtype in
+  let dtype = match isa with Some _ -> dtype | None -> Datatype.F32 in
+  let peak =
+    Platform.core_peak_gflops p dtype *. float_of_int cores *. 1e9
+  in
+  let eff = Modelkit.parlooper_efficiency_at ~platform:p ~cores dtype in
+  let bw = mem_bw_share p cores in
+  let chain_eff =
+    match Platform.contraction_isa p dtype with
+    | Some isa -> Isa.chain_efficiency isa ~chain:block
+    | None -> 1.0
+  in
+  let density = 1.0 -. sparsity in
+  (* dense: compute vs streaming the dense weights *)
+  let t_dense_fc =
+    Float.max (fc_flops /. (peak *. eff)) (fc_weight_bytes dtype /. bw)
+  in
+  (* sparse: 5x fewer weight bytes (+12% index), compute at the block's
+     chain efficiency *)
+  let t_sparse_fc =
+    Float.max
+      (density *. fc_flops /. (peak *. eff *. chain_eff))
+      (density *. 1.12 *. fc_weight_bytes dtype /. bw)
+  in
+  let t_attn = attn_flops /. (peak *. eff) in
+  let t_elem = elementwise_bytes /. bw in
+  let t_other = t_attn +. t_elem in
+  let dense = t_dense_fc +. t_other in
+  let sparse = t_sparse_fc +. t_other in
+  let roofline = (t_dense_fc /. 5.0) +. t_other in
+  (dense, sparse, roofline)
+
+let compute () =
+  List.map
+    (fun (p : Platform.t) ->
+      let dense, sparse, roofline = times p Datatype.BF16 in
+      {
+        platform = p.Platform.name;
+        dense_items_per_s = 1.0 /. dense;
+        sparse_items_per_s = 1.0 /. sparse;
+        roofline_items_per_s = 1.0 /. roofline;
+      })
+    [ Platform.spr; Platform.gvt3; Platform.zen4 ]
+
+let deepsparse_comparison () =
+  (* FP32, BS=32, all 24 cores of c5.12xlarge: batch amortizes weight
+     streaming across 32 sequences *)
+  let p = Platform.c5_12xlarge in
+  let peak = Platform.peak_gflops p Datatype.F32 *. 1e9 in
+  let eff = Modelkit.parlooper_efficiency ~platform:p Datatype.F32 in
+  let chain_eff = 1.0 in
+  let density = 1.0 -. sparsity in
+  let bs = 32.0 in
+  let bw = p.Platform.mem_bw_gbs *. 1e9 in
+  let t_fc =
+    Float.max
+      (bs *. density *. fc_flops /. (peak *. eff *. chain_eff))
+      (density *. 1.12 *. fc_weight_bytes Datatype.F32 /. bw)
+  in
+  let t_other = (bs *. attn_flops /. (peak *. eff)) +. (bs *. elementwise_bytes /. bw) in
+  let ours = bs /. (t_fc +. t_other) in
+  (ours, Anchors.deepsparse_bert_items_per_s)
+
+let run () =
+  Modelkit.section
+    "Figure 10: block-sparse BERT-Base inference (BS=1, 8 cores, 80% 8x8)";
+  Printf.printf "%-6s %10s %10s %10s %9s %9s\n" "plat" "dense/s" "sparse/s"
+    "roofline" "speedup" "of-roof";
+  let pts = compute () in
+  List.iter
+    (fun pt ->
+      Printf.printf "%-6s %10.1f %10.1f %10.1f %8.2fx %8.0f%%\n" pt.platform
+        pt.dense_items_per_s pt.sparse_items_per_s pt.roofline_items_per_s
+        (pt.sparse_items_per_s /. pt.dense_items_per_s)
+        (100.0 *. pt.sparse_items_per_s /. pt.roofline_items_per_s))
+    pts;
+  Printf.printf
+    "(paper: speedups 1.75x/1.95x/2.79x; 71%%/72%%/88%% of roofline)\n";
+  let ours, ds = deepsparse_comparison () in
+  Printf.printf
+    "c5.12xlarge FP32 BS=32: PARLOOPER %.0f items/s vs DeepSparse %.0f => \
+     %.2fx (paper: 1.56x)\n"
+    ours ds (ours /. ds)

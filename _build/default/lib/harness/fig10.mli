@@ -1,0 +1,18 @@
+(** Fig. 10 — block-sparse BERT-Base SQuAD inference (BS = 1, 8 cores,
+    BF16): dense vs 80%-sparse 8x8 blocks, with the paper's roofline
+    (max 5x on contractions, no speedup elsewhere), plus the FP32 BS=32
+    DeepSparse comparison on c5.12xlarge (Fig. 10-Right). *)
+
+type point = {
+  platform : string;
+  dense_items_per_s : float;
+  sparse_items_per_s : float;
+  roofline_items_per_s : float;
+}
+
+val compute : unit -> point list
+
+(** (PARLOOPER items/s, DeepSparse items/s) on c5.12xlarge, FP32 BS=32. *)
+val deepsparse_comparison : unit -> float * float
+
+val run : unit -> unit

@@ -1,0 +1,109 @@
+type point = {
+  model : string;
+  platform : string;
+  impl : string;
+  dtype : Datatype.t;
+  first_token_ms : float;
+  next_token_ms : float;
+  total_ms : float;
+}
+
+let n_in = 1024
+let n_out = 32
+
+let latencies (p : Platform.t) (cfg : Llm.config) dtype ~eff ~extra =
+  let peak = Platform.peak_gflops p dtype *. 1e9 *. eff in
+  let bw = p.Platform.mem_bw_gbs *. 1e9 in
+  let params = Llm.param_bytes cfg dtype in
+  (* prefill: compute-dominated, but weights stream at least once *)
+  let first =
+    Float.max (Llm.prefill_flops cfg ~n_in /. peak) (params /. bw) *. extra
+  in
+  (* decode: every step streams all weights + KV cache *)
+  let kv_bytes past =
+    2.0
+    *. float_of_int (cfg.Llm.layers * cfg.Llm.hidden * past)
+    *. float_of_int (Datatype.bytes dtype)
+  in
+  let next =
+    List.init n_out (fun i ->
+        let past = n_in + i in
+        Float.max
+          (Llm.decode_flops cfg ~past /. peak)
+          ((params +. kv_bytes past) /. bw)
+        *. extra)
+    |> List.fold_left ( +. ) 0.0
+    |> fun t -> t /. float_of_int n_out
+  in
+  (first *. 1e3, next *. 1e3)
+
+let impls (p : Platform.t) dtype =
+  let ours_eff = Modelkit.parlooper_efficiency ~platform:p dtype in
+  let hf_eff =
+    Onednn.dense_efficiency ~platform:p dtype
+    *. Anchors.hf_eager_efficiency_factor
+  in
+  let hf_unusable =
+    p.Platform.name = "GVT3"
+    && Datatype.equal dtype Datatype.BF16
+    && not Anchors.hf_gvt3_bf16_usable
+  in
+  [ ("PARLOOPER+TPP", ours_eff, 1.0, false); ("HuggingFace", hf_eff, 1.0, hf_unusable) ]
+
+let compute () =
+  List.concat_map
+    (fun (p : Platform.t) ->
+      List.concat_map
+        (fun cfg ->
+          List.concat_map
+            (fun dtype ->
+              List.filter_map
+                (fun (impl, eff, extra, unusable) ->
+                  if unusable || eff <= 0.0 then None
+                  else begin
+                    let first, next = latencies p cfg dtype ~eff ~extra in
+                    Some
+                      {
+                        model = cfg.Llm.name;
+                        platform = p.Platform.name;
+                        impl;
+                        dtype;
+                        first_token_ms = first;
+                        next_token_ms = next;
+                        total_ms = first +. (float_of_int (n_out - 1) *. next);
+                      }
+                  end)
+                (impls p dtype))
+            [ Datatype.F32; Datatype.BF16 ])
+        [ Llm.gptj_6b; Llm.llama2_13b ])
+    [ Platform.spr; Platform.gvt3 ]
+
+let run () =
+  Modelkit.section
+    "Figure 11: LLM inference (1024 in / 32 out tokens, BS=1)";
+  Printf.printf "%-11s %-5s %-14s %-5s %10s %10s %10s\n" "model" "plat"
+    "impl" "dtype" "first(ms)" "next(ms)" "total(ms)";
+  let pts = compute () in
+  List.iter
+    (fun pt ->
+      Printf.printf "%-11s %-5s %-14s %-5s %10.0f %10.1f %10.0f\n" pt.model
+        pt.platform pt.impl
+        (Datatype.to_string pt.dtype)
+        pt.first_token_ms pt.next_token_ms pt.total_ms)
+    pts;
+  let get model plat impl dtype =
+    List.find
+      (fun x ->
+        x.model = model && x.platform = plat && x.impl = impl
+        && x.dtype = dtype)
+      pts
+  in
+  let ours = get "GPTJ-6B" "SPR" "PARLOOPER+TPP" Datatype.BF16 in
+  let ours32 = get "GPTJ-6B" "SPR" "PARLOOPER+TPP" Datatype.F32 in
+  let hf = get "GPTJ-6B" "SPR" "HuggingFace" Datatype.BF16 in
+  Printf.printf
+    "\nSPR GPTJ BF16: %.1fx over HF (paper: 1.1x-2.3x); BF16 speeds first \
+     token %.1fx and next tokens %.1fx over FP32 (paper: 5.7x / 1.9x)\n"
+    (hf.total_ms /. ours.total_ms)
+    (ours32.first_token_ms /. ours.first_token_ms)
+    (ours32.next_token_ms /. ours.next_token_ms)

@@ -1,0 +1,17 @@
+(** Fig. 11 — LLM inference (GPT-J-6B and Llama2-13B) on SPR and GVT3:
+    first-token latency (compute-bound prefill over 1024 input tokens) and
+    next-token latency (bandwidth-bound decode, 32 output tokens), BF16 vs
+    FP32, PARLOOPER/TPP vs HuggingFace. *)
+
+type point = {
+  model : string;
+  platform : string;
+  impl : string;
+  dtype : Datatype.t;
+  first_token_ms : float;
+  next_token_ms : float;
+  total_ms : float;  (** 1 first + 31 next *)
+}
+
+val compute : unit -> point list
+val run : unit -> unit

@@ -1,0 +1,77 @@
+type point = {
+  platform : string;
+  dtype : Datatype.t;
+  m : int;
+  n : int;
+  k : int;
+  parlooper : float;
+  onednn : float;
+}
+
+let shapes =
+  [
+    (512, 512, 512);
+    (1024, 1024, 1024);
+    (2048, 2048, 2048);
+    (4096, 4096, 4096);
+    (1024, 4096, 1024);
+  ]
+
+let platforms = [ Platform.spr; Platform.gvt3; Platform.zen4 ]
+
+let compute () =
+  List.concat_map
+    (fun (p : Platform.t) ->
+      let cores = Platform.cores p in
+      List.concat_map
+        (fun dtype ->
+          List.map
+            (fun (m, n, k) ->
+              let parlooper =
+                Modelkit.parlooper_gemm ~platform:p ~nthreads:cores ~dtype ~m
+                  ~n ~k
+              in
+              let b = if m >= 1024 then 128 else 64 in
+              let cfg =
+                Gemm.make_config ~bm:b ~bn:b ~bk:b ~dtype ~k_step:4 ~m ~n ~k ()
+              in
+              let onednn = Onednn.gemm_gflops ~platform:p ~nthreads:cores cfg in
+              { platform = p.Platform.name; dtype; m; n; k; parlooper; onednn })
+            shapes)
+        [ Datatype.F32; Datatype.BF16 ])
+    platforms
+
+let run () =
+  Modelkit.section "Figure 2: GEMM vs vendor library (GFLOPS, modeled)";
+  Printf.printf "%-6s %-5s %-18s %12s %12s %8s\n" "plat" "dtype" "MxKxN"
+    "PARLOOPER" "oneDNN" "speedup";
+  let pts = compute () in
+  List.iter
+    (fun pt ->
+      Printf.printf "%-6s %-5s %6dx%-6dx%-5d %12.0f %12.0f %7.2fx\n"
+        pt.platform
+        (Datatype.to_string pt.dtype)
+        pt.m pt.k pt.n pt.parlooper pt.onednn
+        (pt.parlooper /. pt.onednn))
+    pts;
+  (* headline checks from §V-A1 *)
+  let spr_bf16 =
+    List.filter (fun p -> p.platform = "SPR" && p.dtype = Datatype.BF16) pts
+  in
+  let max_speedup =
+    List.fold_left (fun a p -> Float.max a (p.parlooper /. p.onednn)) 0.0
+      spr_bf16
+  in
+  let spr_f32 =
+    List.filter (fun p -> p.platform = "SPR" && p.dtype = Datatype.F32) pts
+  in
+  let bf16_over_f32 =
+    List.fold_left2
+      (fun a b f -> Float.max a (b.parlooper /. f.parlooper))
+      0.0 spr_bf16 spr_f32
+  in
+  Printf.printf
+    "SPR BF16 max speedup over vendor: %.2fx (paper: up to 1.98x)\n"
+    max_speedup;
+  Printf.printf "SPR BF16 over FP32: up to %.1fx (paper: up to 9x)\n"
+    bf16_over_f32

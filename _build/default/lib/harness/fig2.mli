@@ -1,0 +1,17 @@
+(** Fig. 2 — GEMM performance of varying sizes on SPR / GVT3 / Zen4 for
+    FP32 and BF16: PARLOOPER/TPP vs the vendor library (oneDNN; on Zen4
+    the AOCL bar behaves like oneDNN within 4%, per §V-A1). *)
+
+type point = {
+  platform : string;
+  dtype : Datatype.t;
+  m : int;
+  n : int;
+  k : int;
+  parlooper : float;  (** GFLOPS *)
+  onednn : float;
+}
+
+val shapes : (int * int * int) list
+val compute : unit -> point list
+val run : unit -> unit

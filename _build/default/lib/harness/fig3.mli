@@ -1,0 +1,15 @@
+(** Fig. 3 — BF16 MLP with bias + ReLU: performance and efficiency vs
+    weight size (M = K sweep, N = 512 minibatch) on SPR / GVT3 / Zen4.
+
+    The cascading layers hand activations core-to-core through the LLC;
+    on SPR this bandwidth (not compute) caps efficiency at ~37%. *)
+
+type point = {
+  platform : string;
+  mk : int;
+  tflops : float;
+  efficiency : float;
+}
+
+val compute : unit -> point list
+val run : unit -> unit

@@ -1,0 +1,18 @@
+(** Fig. 4 — FP32 GEMM on SPR: PARLOOPER vs oneDNN vs TVM-Autoscheduler
+    (1000 searched schedules), plus the auto-tuning-cost comparison
+    (PARLOOPER searched ~1000 outer-loop configs in 2s-22min; TVM took
+    17-50 minutes, i.e. 2.3x-500x slower). *)
+
+type point = {
+  m : int;
+  n : int;
+  k : int;
+  parlooper : float;
+  onednn : float;
+  tvm : float;
+  parlooper_tune_s : float;  (** measured on this host, scaled candidates *)
+  tvm_tune_s : float;
+}
+
+val compute : unit -> point list
+val run : unit -> unit

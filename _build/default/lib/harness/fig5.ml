@@ -1,0 +1,35 @@
+type point = {
+  name : string;
+  m : int;
+  k : int;
+  n : int;
+  parlooper : float;
+  mojo : float;
+}
+
+let compute () =
+  let p = Platform.xeon_8223 in
+  let cores = Platform.cores p in
+  List.map
+    (fun (name, (m, k, n), mojo) ->
+      let parlooper =
+        Modelkit.parlooper_gemm ~platform:p ~nthreads:cores
+          ~dtype:Datatype.F32 ~m ~n ~k
+      in
+      { name; m; k; n; parlooper; mojo })
+    Anchors.mojo_gemms
+
+let run () =
+  Modelkit.section
+    "Figure 5: GEMM shapes from BERT/GPT/DLRM - PARLOOPER vs Mojo (Xeon 8223)";
+  Printf.printf "%-10s %-16s %10s %10s %8s\n" "workload" "MxKxN" "PARLOOPER"
+    "Mojo" "speedup";
+  let pts = compute () in
+  List.iter
+    (fun pt ->
+      Printf.printf "%-10s %5dx%-5dx%-4d %10.0f %10.0f %7.2fx\n" pt.name pt.m
+        pt.k pt.n pt.parlooper pt.mojo
+        (pt.parlooper /. pt.mojo))
+    pts;
+  let g = Modelkit.geomean (List.map (fun p -> p.parlooper /. p.mojo) pts) in
+  Printf.printf "geomean speedup: %.2fx (paper: 1.35x)\n" g

@@ -1,0 +1,16 @@
+(** Fig. 5 — FP32 GEMM with BERT/GPT/DLRM shapes: the 20-LOC
+    PARLOOPER/TPP GEMM vs the Mojo matmul (anchored from the Modular blog)
+    on a Xeon 8223 (c5.4xlarge). The paper reports a geomean speedup of
+    1.35x. *)
+
+type point = {
+  name : string;
+  m : int;
+  k : int;
+  n : int;
+  parlooper : float;
+  mojo : float;
+}
+
+val compute : unit -> point list
+val run : unit -> unit

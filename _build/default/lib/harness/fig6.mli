@@ -1,0 +1,28 @@
+(** Fig. 6 — performance-model fidelity: measured vs modeled GFLOPS across
+    many loop instantiations of a GEMM.
+
+    Unlike the other figures, the "measured" series here is {e real}: each
+    candidate [loop_spec_string] is executed by the actual OCaml kernels
+    on this machine and timed; the "modeled" series replays the same
+    instantiations through the §II-E cache model with the host's platform
+    description. The paper's claim — the top-5 modeled schedules always
+    contain the most performant one — is then checked directly. *)
+
+type point = {
+  spec : string;
+  cfg : Gemm.config;
+  measured : float;  (** GFLOPS on this host *)
+  modeled : float;  (** GFLOPS predicted by the cache model *)
+}
+
+(** Re-score the modeled series against a (possibly perturbed) platform,
+    keeping the measured series. *)
+val remodel : platform:Platform.t -> point list -> point list
+
+(** [compute ~candidates ()] — default 16 schedules on a 256^3 GEMM. *)
+val compute : ?candidates:int -> unit -> point list
+
+(** Rank (1-based) of the best measured schedule in the modeled ordering. *)
+val best_measured_model_rank : point list -> int
+
+val run : unit -> unit

@@ -1,0 +1,62 @@
+type point = {
+  platform : string;
+  layer_id : int;
+  parlooper : float;
+  onednn : float;
+}
+
+let platform_dtype =
+  [
+    (Platform.spr, Datatype.BF16);
+    (Platform.gvt3, Datatype.BF16);
+    (Platform.zen4, Datatype.BF16);
+    (Platform.adl, Datatype.F32);
+  ]
+
+let compute () =
+  List.concat_map
+    (fun ((p : Platform.t), dtype) ->
+      List.map
+        (fun (sh : Resnet.conv_shape) ->
+          {
+            platform = p.Platform.name;
+            layer_id = sh.Resnet.layer_id;
+            parlooper = Modelkit.parlooper_conv ~platform:p ~dtype sh;
+            onednn = Modelkit.onednn_conv ~platform:p ~dtype sh;
+          })
+        Resnet.conv_shapes)
+    platform_dtype
+
+let geomeans pts =
+  List.map
+    (fun ((p : Platform.t), _) ->
+      let name = p.Platform.name in
+      let mine = List.filter (fun x -> x.platform = name) pts in
+      ( name,
+        Modelkit.geomean (List.map (fun x -> x.parlooper /. x.onednn) mine) ))
+    platform_dtype
+
+let run () =
+  Modelkit.section
+    "Figure 7: ResNet-50 convolutions vs oneDNN (GFLOPS, modeled)";
+  let pts = compute () in
+  List.iter
+    (fun ((p : Platform.t), dtype) ->
+      let name = p.Platform.name in
+      Printf.printf "--- %s (%s, minibatch=%d) ---\n" name
+        (Datatype.to_string dtype)
+        (if name = "ADL" then 1 else Platform.cores p);
+      Printf.printf "%-6s %12s %12s %8s\n" "layer" "PARLOOPER" "oneDNN"
+        "speedup";
+      List.iter
+        (fun x ->
+          if x.platform = name then
+            Printf.printf "%-6d %12.0f %12.0f %7.2fx\n" x.layer_id x.parlooper
+              x.onednn
+              (x.parlooper /. x.onednn))
+        pts)
+    platform_dtype;
+  Printf.printf "\ngeomean speedups (paper: SPR 1.16x GVT3 1.75x Zen4 1.12x ADL 1.14x):\n";
+  List.iter
+    (fun (name, g) -> Printf.printf "  %-5s %.2fx\n" name g)
+    (geomeans pts)

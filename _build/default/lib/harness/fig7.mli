@@ -1,0 +1,19 @@
+(** Fig. 7 — ResNet-50 convolution shapes on SPR / GVT3 / Zen4 / ADL:
+    PARLOOPER/TPP vs oneDNN. BF16 on the first three platforms, FP32 on
+    ADL (no BF16 hardware); minibatch = core count (1 on ADL); ADL uses
+    [schedule(dynamic)] for the hybrid P/E cores. Paper geomeans:
+    1.16x / 1.75x / 1.12x / 1.14x. *)
+
+type point = {
+  platform : string;
+  layer_id : int;
+  parlooper : float;  (** GFLOPS *)
+  onednn : float;
+}
+
+val compute : unit -> point list
+
+(** Geomean speedup per platform name. *)
+val geomeans : point list -> (string * float) list
+
+val run : unit -> unit

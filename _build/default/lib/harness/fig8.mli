@@ -1,0 +1,20 @@
+(** Fig. 8 — BF16 Block-SpMM (M = N = K = 2048) vs sparsity on SPR / GVT3
+    / Zen4 for block sizes 32x32 .. 4x4, against the dense GEMM baseline.
+
+    Mechanisms: effective FLOPs scale with density; the contraction rate
+    is capped by the ISA's accumulation-chain efficiency at the block's
+    K extent (AMX needs 32 -> 4x4 blocks peak at 12.5%); and the kernel
+    streams the surviving A blocks plus dense B/C, so at high sparsity the
+    dense-operand bandwidth bounds the attainable speedup (9.4x / 9.8x on
+    GVT3 / Zen4). *)
+
+type point = {
+  platform : string;
+  block : int;  (** bm = bk *)
+  sparsity : float;
+  effective_gflops : float;
+  dense_gflops : float;  (** dense GEMM baseline *)
+}
+
+val compute : unit -> point list
+val run : unit -> unit

@@ -1,0 +1,19 @@
+(** Fig. 9 — BERT-Large SQuAD fine-tuning throughput (sequences/s):
+    PARLOOPER/TPP vs TPP-with-static-loops [12], IPEX+oneDNN and
+    HuggingFace on SPR, plus PARLOOPER on GVT3 and Zen4.
+
+    Mechanisms: contraction rate from the cache model per implementation
+    (tuned instantiations vs a fixed static order vs the vendor model);
+    the Unpad optimization computes only on real tokens while IPEX/HF
+    process the full padded batch; HF additionally pays the eager-mode
+    anchor factor. Non-contraction work (optimizer, dropout/softmax/
+    layernorm traffic, embeddings) is charged as streamed bytes. *)
+
+type point = {
+  label : string;
+  platform : string;
+  sequences_per_s : float;
+}
+
+val compute : unit -> point list
+val run : unit -> unit

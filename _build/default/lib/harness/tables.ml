@@ -1,0 +1,95 @@
+type table1_row = { system : string; minutes : float }
+
+(* per-socket sustained BERT training throughput (seq/s) from the Fig. 9
+   machinery, halved from the 2-socket figure *)
+let per_socket_seq_s () =
+  let pts = Fig9.compute () in
+  let two_socket =
+    (List.find
+       (fun (p : Fig9.point) ->
+         p.Fig9.label = "PARLOOPER+TPP" && p.Fig9.platform = "SPR")
+       pts)
+      .Fig9.sequences_per_s
+  in
+  two_socket /. 2.0
+
+(* per-step gradient allreduce of BERT-Large (~334M params, fp32 grads)
+   over 100 Gb/s fabric with a ring: 2 * bytes / link_bw, overlapped 50% *)
+let allreduce_seconds = 2.0 *. (334.0e6 *. 4.0) /. 12.5e9 *. 0.5
+
+let global_batch = 448
+let steps_per_second sockets =
+  let seqs = per_socket_seq_s () *. float_of_int sockets in
+  let t_compute = float_of_int global_batch /. seqs in
+  1.0 /. (t_compute +. allreduce_seconds)
+
+(* MLPerf-defined training work, in optimizer steps: calibrated once so
+   the 8-node (16-socket) configuration reproduces the submitted 85.91
+   minutes; the 16-node row is then a genuine prediction *)
+let mlperf_steps =
+  Float.round (steps_per_second 16 *. 85.91 *. 60.0)
+
+let table1 () =
+  let minutes sockets =
+    mlperf_steps /. steps_per_second sockets /. 60.0
+  in
+  [
+    { system = "8 nodes SPR (16 sockets)"; minutes = minutes 16 };
+    { system = "16 nodes SPR (32 sockets)"; minutes = minutes 32 };
+    { system = "DGX Box (8xA100 GPU)"; minutes = Anchors.dgx_a100_bert_ttt_minutes };
+  ]
+
+type table2_row = { system : string; implementation : string; images_per_s : float }
+
+(* ResNet-50 BF16 training on one socket: conv fwd+bwd at the modeled conv
+   rate, batchnorm/elementwise as streamed bytes *)
+let resnet_imgs_per_s (p : Platform.t) ~conv_gflops_fn =
+  let sockets_scale = if p.Platform.name = "SPR" then 0.5 else 1.0 in
+  let conv_rate =
+    (* throughput-weighted geomean across the layer shapes *)
+    Modelkit.geomean
+      (List.map (fun sh -> conv_gflops_fn sh) Resnet.conv_shapes)
+    *. sockets_scale
+  in
+  let conv_flops = Resnet.train_step_flops ~n:1 in
+  let t_conv = conv_flops /. (conv_rate *. 1e9) in
+  (* activation traffic: ~25M activations, ~20 fwd+bwd elementwise passes
+     of batchnorm/relu/residual at 2 bytes *)
+  let elem_bytes = 25.0e6 *. 20.0 *. 2.0 in
+  let t_elem =
+    elem_bytes /. (p.Platform.mem_bw_gbs *. sockets_scale *. 1e9)
+  in
+  1.0 /. (t_conv +. t_elem)
+
+let table2 () =
+  let ours p =
+    resnet_imgs_per_s p ~conv_gflops_fn:(fun sh ->
+        Modelkit.parlooper_conv ~platform:p ~dtype:Datatype.BF16 sh)
+  in
+  let ipex p =
+    resnet_imgs_per_s p ~conv_gflops_fn:(fun sh ->
+        Modelkit.onednn_conv ~platform:p ~dtype:Datatype.BF16 sh)
+  in
+  [
+    { system = "GVT3"; implementation = "PARLOOPER + TPP";
+      images_per_s = ours Platform.gvt3 };
+    { system = "SPR"; implementation = "PARLOOPER + TPP";
+      images_per_s = ours Platform.spr };
+    { system = "SPR"; implementation = "IPEX + oneDNN";
+      images_per_s = ipex Platform.spr };
+  ]
+
+let run () =
+  Modelkit.section "Table I: BERT MLPerf v2.1 time-to-train";
+  List.iter
+    (fun (r : table1_row) ->
+      Printf.printf "%-26s %8.2f minutes\n" r.system r.minutes)
+    (table1 ());
+  Printf.printf "(paper: 85.91 / 47.26 / 19.6 minutes)\n";
+  Modelkit.section "Table II: ResNet-50 BF16 training (images/s)";
+  List.iter
+    (fun r ->
+      Printf.printf "%-6s %-18s %8.0f images/s\n" r.system r.implementation
+        r.images_per_s)
+    (table2 ());
+  Printf.printf "(paper: GVT3 145, SPR 255 vs IPEX 265)\n"

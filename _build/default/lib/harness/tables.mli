@@ -1,0 +1,19 @@
+(** Table I — MLPerf v2.1 BERT time-to-train on 8/16 SPR nodes (with the
+    published DGX-A100 anchor), via a distributed scaling model: total
+    training work is fixed by the MLPerf workload (calibrated once against
+    the 8-node submission), per-socket throughput comes from the Fig. 9
+    model, and multi-node efficiency from a per-step gradient allreduce.
+
+    Table II — ResNet-50 BF16 training throughput (images/s) on single-
+    socket SPR and GVT3: convolution time from the Fig. 7 conv model plus
+    streamed batchnorm/elementwise traffic; IPEX+oneDNN anchored. *)
+
+type table1_row = { system : string; minutes : float }
+
+val table1 : unit -> table1_row list
+
+type table2_row = { system : string; implementation : string; images_per_s : float }
+
+val table2 : unit -> table2_row list
+
+val run : unit -> unit

@@ -1,0 +1,1 @@
+lib/kernels/conv.ml: Array Brgemm Datatype Dispatch Loop_spec Tensor Threaded_loop

@@ -1,0 +1,1 @@
+lib/kernels/conv.mli: Datatype Loop_spec Tensor

@@ -1,0 +1,1 @@
+lib/kernels/gemm.mli: Datatype Loop_spec Tensor

@@ -1,0 +1,1 @@
+lib/kernels/mlp.ml: Array Datatype Gemm List Prng Reference Tensor Tpp_binary Tpp_unary

@@ -1,0 +1,1 @@
+lib/kernels/mlp.mli: Datatype Gemm Prng Tensor

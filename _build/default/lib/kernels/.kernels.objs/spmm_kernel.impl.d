@@ -1,0 +1,1 @@
+lib/kernels/spmm_kernel.ml: Array Bcsc Datatype Dispatch Loop_spec Spmm Tensor Threaded_loop Vnni

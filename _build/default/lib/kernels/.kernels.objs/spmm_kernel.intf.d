@@ -1,0 +1,1 @@
+lib/kernels/spmm_kernel.mli: Bcsc Datatype Loop_spec Tensor

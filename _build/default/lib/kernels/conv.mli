@@ -1,0 +1,98 @@
+(** Direct convolution via PARLOOPER + BRGEMM TPP — the paper's Listing 4.
+
+    Blocked layouts:
+    - input  I [N][Cb][Hp][Wp][bc]   (Hp, Wp include physical padding)
+    - weight W [Kb][Cb][R][S][bc][bk]
+    - output O [N][Kb][P][Q][bk]
+
+    Seven logical loops are declared (a: N, b: Cb, c: Kb, d: P, e: Q,
+    f: R, g: S). The kernel body zeroes an output block on the first
+    (ic, ir, is) visit and issues one BRGEMM whose batch folds
+    [c_step x r_step x s_step] reductions: stride-based when R = S = 1,
+    offset-based otherwise (§III-B). The microkernel contraction per
+    output row is [w_step pixels x bc] x [bc x bk]. *)
+
+type config = {
+  n : int;  (** minibatch *)
+  c : int;  (** input feature maps *)
+  k : int;  (** output feature maps *)
+  h : int;
+  w : int;  (** input spatial dims (unpadded) *)
+  r : int;
+  s : int;  (** filter spatial dims *)
+  stride : int;
+  pad : int;
+  bc : int;
+  bk : int;  (** feature-map blockings *)
+  c_step : int;  (** Cb-loop step = channel-block batch count *)
+  h_step : int;
+  w_step : int;  (** output-pixel blocking of the P and Q loops *)
+  r_step : int;
+  s_step : int;  (** filter-tap folding (r_step = R folds all taps) *)
+  dtype : Datatype.t;
+}
+
+val make_config :
+  ?stride:int ->
+  ?pad:int ->
+  ?bc:int ->
+  ?bk:int ->
+  ?c_step:int ->
+  ?h_step:int ->
+  ?w_step:int ->
+  ?r_step:int ->
+  ?s_step:int ->
+  ?dtype:Datatype.t ->
+  n:int ->
+  c:int ->
+  k:int ->
+  h:int ->
+  w:int ->
+  r:int ->
+  s:int ->
+  unit ->
+  config
+
+(** Output spatial dims P, Q. *)
+val out_dims : config -> int * int
+
+(** FLOPs: 2*N*K*P*Q*C*R*S. *)
+val flops : config -> float
+
+val loop_specs : config -> Loop_spec.t list
+
+(** Parallel over minibatch, then Kb / P / Q, with channel and filter
+    reductions innermost. *)
+val default_spec : string
+
+type t
+
+val create : config -> string -> t
+val config : t -> config
+
+(** Pack a logical [N; C; H; W] activation into blocked padded storage. *)
+val pack_input : config -> Tensor.t -> Tensor.t
+
+(** Pack logical [K; C; R; S] weights. *)
+val pack_weights : config -> Tensor.t -> Tensor.t
+
+val alloc_output : ?dtype:Datatype.t -> config -> Tensor.t
+
+(** Unpack blocked output to logical [N; K; P; Q]. *)
+val unpack_output : config -> Tensor.t -> Tensor.t
+
+(** [run t ~input ~weights ~output] on blocked tensors. [post], if given,
+    runs on each finished [w_step x bk] output row block (fusion point for
+    batchnorm/ReLU). *)
+val run :
+  ?nthreads:int ->
+  ?post:(n:int -> kb:int -> p:int -> q:int -> block:Tensor.View.t -> unit) ->
+  t ->
+  input:Tensor.t ->
+  weights:Tensor.t ->
+  output:Tensor.t ->
+  unit
+
+(** Pack, run, unpack against logical tensors. *)
+val run_logical :
+  ?nthreads:int -> t -> input:Tensor.t -> weights:Tensor.t -> Tensor.t

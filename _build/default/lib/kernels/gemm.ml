@@ -1,0 +1,161 @@
+type config = {
+  m : int;
+  n : int;
+  k : int;
+  bm : int;
+  bn : int;
+  bk : int;
+  dtype : Datatype.t;
+  vnni_b : bool;
+  k_step : int;
+  mk_blocks : int list;
+  nk_blocks : int list;
+  kk_blocks : int list;
+}
+
+let make_config ?(bm = 32) ?(bn = 32) ?(bk = 32) ?(dtype = Datatype.F32)
+    ?(vnni_b = false) ?(k_step = 1) ?(mk_blocks = []) ?(nk_blocks = [])
+    ?(kk_blocks = []) ~m ~n ~k () =
+  let bm = min bm m and bn = min bn n and bk = min bk k in
+  if m mod bm <> 0 || n mod bn <> 0 || k mod bk <> 0 then
+    invalid_arg "Gemm.make_config: block sizes must divide M, N, K";
+  if vnni_b && bk mod Datatype.vnni_factor dtype <> 0 then
+    invalid_arg "Gemm.make_config: bk must be divisible by the VNNI factor";
+  { m; n; k; bm; bn; bk; dtype; vnni_b; k_step; mk_blocks; nk_blocks; kk_blocks }
+
+let mb c = c.m / c.bm
+let nb c = c.n / c.bn
+let kb c = c.k / c.bk
+
+let flops c = 2.0 *. float_of_int c.m *. float_of_int c.n *. float_of_int c.k
+
+let loop_specs c =
+  [
+    Loop_spec.make ~bound:(kb c) ~step:c.k_step ~block_steps:c.kk_blocks ();
+    Loop_spec.make ~bound:(mb c) ~step:1 ~block_steps:c.mk_blocks ();
+    Loop_spec.make ~bound:(nb c) ~step:1 ~block_steps:c.nk_blocks ();
+  ]
+
+let default_spec = "BCa"
+
+type t = {
+  cfg : config;
+  loop : Threaded_loop.t;
+  ker_first : Brgemm.kernel;  (** beta = 0: zeroing fold of the first visit *)
+  ker_acc : Brgemm.kernel;  (** beta = 1 *)
+}
+
+let create cfg spec_string =
+  let b_layout = if cfg.vnni_b then Brgemm.Vnni else Brgemm.Flat in
+  let mk beta =
+    Dispatch.brgemm
+      (Brgemm.make_config ~dtype:cfg.dtype ~b_layout ~beta ~m:cfg.bm ~n:cfg.bn
+         ~k:cfg.bk ())
+  in
+  {
+    cfg;
+    loop = Threaded_loop.create (loop_specs cfg) spec_string;
+    ker_first = mk 0.0;
+    ker_acc = mk 1.0;
+  }
+
+let config t = t.cfg
+let spec t = Threaded_loop.spec_string t.loop
+
+(* ---- layout helpers ---- *)
+
+let pack_a c a =
+  assert (Tensor.dims a = [| c.m; c.k |]);
+  Tensor.init c.dtype
+    [| mb c; kb c; c.bm; c.bk |]
+    (fun i ->
+      Tensor.get a [| (i.(0) * c.bm) + i.(2); (i.(1) * c.bk) + i.(3) |])
+
+let pack_b c b =
+  assert (Tensor.dims b = [| c.k; c.n |]);
+  if c.vnni_b then begin
+    let v = Datatype.vnni_factor c.dtype in
+    (* [Nb][Kb][bk/v][bn][v] *)
+    Tensor.init c.dtype
+      [| nb c; kb c; c.bk / v; c.bn; v |]
+      (fun i ->
+        Tensor.get b
+          [|
+            (i.(1) * c.bk) + (i.(2) * v) + i.(4); (i.(0) * c.bn) + i.(3);
+          |])
+  end
+  else
+    Tensor.init c.dtype
+      [| nb c; kb c; c.bk; c.bn |]
+      (fun i ->
+        Tensor.get b [| (i.(1) * c.bk) + i.(2); (i.(0) * c.bn) + i.(3) |])
+
+let pack_c c t =
+  assert (Tensor.dims t = [| c.m; c.n |]);
+  Tensor.init Datatype.F32
+    [| nb c; mb c; c.bm; c.bn |]
+    (fun i ->
+      Tensor.get t [| (i.(1) * c.bm) + i.(2); (i.(0) * c.bn) + i.(3) |])
+
+let unpack_c c t =
+  Tensor.init Datatype.F32 [| c.m; c.n |] (fun i ->
+      Tensor.get t
+        [| i.(1) / c.bn; i.(0) / c.bm; i.(0) mod c.bm; i.(1) mod c.bn |])
+
+let alloc_c ?(dtype = Datatype.F32) c =
+  Tensor.create dtype [| nb c; mb c; c.bm; c.bn |]
+
+(* ---- execution (the paper's Listing 1 body) ---- *)
+
+let block_elems_b c =
+  (* elements per [ik] step of B, both layouts *)
+  c.bk * c.bn
+
+let run ?nthreads ?post t ~a ~b ~c =
+  let cfg = t.cfg in
+  let v = Datatype.vnni_factor cfg.dtype in
+  let stride_a = cfg.bm * cfg.bk in
+  let stride_b = block_elems_b cfg in
+  let a_row = cfg.k * cfg.bm in
+  (* elements per [im] block row of A *)
+  let b_row = cfg.k * cfg.bn in
+  let c_row = cfg.m * cfg.bn in
+  let body ind =
+    let ik = ind.(0) and im = ind.(1) and in_ = ind.(2) in
+    let brcount = min cfg.k_step (kb cfg - ik) in
+    let av =
+      Tensor.view_flat a
+        ~off:((im * a_row) + (ik * stride_a))
+        ~rows:cfg.bm ~cols:cfg.bk ~ld:cfg.bk
+    in
+    let bv =
+      if cfg.vnni_b then
+        Tensor.view_flat b
+          ~off:((in_ * b_row) + (ik * stride_b))
+          ~rows:(cfg.bk / v) ~cols:(cfg.bn * v) ~ld:(cfg.bn * v)
+      else
+        Tensor.view_flat b
+          ~off:((in_ * b_row) + (ik * stride_b))
+          ~rows:cfg.bk ~cols:cfg.bn ~ld:cfg.bn
+    in
+    let cv =
+      Tensor.view_flat c
+        ~off:((in_ * c_row) + (im * cfg.bm * cfg.bn))
+        ~rows:cfg.bm ~cols:cfg.bn ~ld:cfg.bn
+    in
+    let ker = if ik = 0 then t.ker_first else t.ker_acc in
+    Brgemm.exec_stride ker ~a:av ~b:bv ~c:cv ~stride_a ~stride_b ~count:brcount;
+    (* fused post-op on the finished C block (bias, activation, ...) *)
+    match post with
+    | Some f when ik + brcount >= kb cfg -> f ~im ~in_ ~c_block:cv
+    | _ -> ()
+  in
+  Threaded_loop.run ?nthreads t.loop body
+
+let run_logical ?nthreads t ~a ~b =
+  let cfg = t.cfg in
+  let ap = pack_a cfg a in
+  let bp = pack_b cfg b in
+  let cp = alloc_c cfg in
+  run ?nthreads t ~a:ap ~b:bp ~c:cp;
+  unpack_c cfg cp

@@ -1,0 +1,98 @@
+(** Blocked GEMM via PARLOOPER + BRGEMM TPP — the paper's Listing 1.
+
+    Logical tensors are [A: M x K], [B: K x N], [C: M x N] with
+    [C += A x B]; storage is blocked:
+    - A as [Mb][Kb][bm][bk]
+    - B as [Nb][Kb][bk][bn]        (or its VNNI packing for BF16)
+    - C as [Nb][Mb][bm][bn]
+
+    Three logical loops are declared — a: Kb (step [k_step], the
+    batch-reduce count), b: Mb, c: Nb — and the instantiation is entirely
+    governed by the [loop_spec_string]. The kernel body zeroes a C block on
+    its first K-visit and issues one stride-based BRGEMM per visit; the
+    code is identical for all precisions. *)
+
+type config = {
+  m : int;
+  n : int;
+  k : int;
+  bm : int;
+  bn : int;
+  bk : int;
+  dtype : Datatype.t;
+  vnni_b : bool;  (** store B VNNI-packed (required path for BF16 HW) *)
+  k_step : int;  (** K-loop step in block units = batch-reduce count *)
+  mk_blocks : int list;  (** blocking steps for the M loop (block units) *)
+  nk_blocks : int list;  (** blocking steps for the N loop *)
+  kk_blocks : int list;  (** blocking steps for the K loop *)
+}
+
+(** [make_config ~m ~n ~k ()] with defaults: 32x32x32 blocks (clamped to
+    the problem), FP32, flat B, k_step = 1, no extra blocking steps. *)
+val make_config :
+  ?bm:int ->
+  ?bn:int ->
+  ?bk:int ->
+  ?dtype:Datatype.t ->
+  ?vnni_b:bool ->
+  ?k_step:int ->
+  ?mk_blocks:int list ->
+  ?nk_blocks:int list ->
+  ?kk_blocks:int list ->
+  m:int ->
+  n:int ->
+  k:int ->
+  unit ->
+  config
+
+val mb : config -> int  (** M / bm *)
+val nb : config -> int
+val kb : config -> int
+
+(** FLOPs of one full GEMM: 2*M*N*K. *)
+val flops : config -> float
+
+(** The logical loop declarations (a = K blocks, b = M blocks,
+    c = N blocks) fed to PARLOOPER. *)
+val loop_specs : config -> Loop_spec.t list
+
+(** A safe default instantiation: M and N blocks collapsed-parallel
+    outermost, K innermost ("BCa"). *)
+val default_spec : string
+
+type t
+
+(** [create cfg spec_string] — compiles (or fetches from the JIT cache)
+    the loop nest and dispatches the BRGEMM kernels. *)
+val create : config -> string -> t
+
+val config : t -> config
+val spec : t -> string
+
+(** Layout helpers between logical rank-2 tensors and blocked storage. *)
+val pack_a : config -> Tensor.t -> Tensor.t
+val pack_b : config -> Tensor.t -> Tensor.t
+val pack_c : config -> Tensor.t -> Tensor.t
+val unpack_c : config -> Tensor.t -> Tensor.t
+
+(** Fresh zeroed blocked C ([dtype] defaults to FP32 accumulation; pass
+    the input dtype to emulate low-precision activation stores). *)
+val alloc_c : ?dtype:Datatype.t -> config -> Tensor.t
+
+(** [run ?nthreads ?post t ~a ~b ~c] with blocked tensors; C is
+    overwritten (each block is zeroed on its first K-visit). [post], if
+    given, is invoked on each C block right after its last K-visit — the
+    fusion point for bias/activation TPPs (requires a spec in which, for a
+    fixed (im, in), all K iterations run on one thread in order, which
+    holds whenever the K loop is not parallelized). *)
+val run :
+  ?nthreads:int ->
+  ?post:(im:int -> in_:int -> c_block:Tensor.View.t -> unit) ->
+  t ->
+  a:Tensor.t ->
+  b:Tensor.t ->
+  c:Tensor.t ->
+  unit
+
+(** Convenience: packs logical rank-2 A and B, runs, unpacks C. *)
+val run_logical : ?nthreads:int -> t -> a:Tensor.t -> b:Tensor.t -> Tensor.t

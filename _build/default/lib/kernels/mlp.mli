@@ -1,0 +1,63 @@
+(** Multi-Layer Perceptron via PARLOOPER + TPP (§III-A).
+
+    Each layer is a fully-connected GEMM [O_l = W_l x I_l] with optional
+    bias addition and activation fused into the GEMM body on 2D-block
+    granularity (the paper's [if (ik == Kb-k_step) relu_tpp(...)]). The
+    cascading structure makes layer l's output tensor (GEMM C, layout
+    [Nb][Mb][bm][bn]) directly consumable as layer l+1's input (GEMM B,
+    layout [Nb][Kb][bk][bn]) when bm = bk — which [create] enforces.
+
+    Tensor roles per layer: A = weights [features_out x features_in],
+    B = activations [features_in x batch], C = [features_out x batch];
+    bias is per output feature (C-block rows). *)
+
+type activation = No_activation | Relu | Gelu | Sigmoid
+
+type layer = {
+  gemm : Gemm.t;
+  weights : Tensor.t;  (** blocked [Mb][Kb][bm][bk] *)
+  bias : Tensor.t option;  (** [features_out] *)
+  act : activation;
+}
+
+type t = {
+  layers : layer array;
+  batch : int;
+  block : int;  (** shared bm = bk = bn block size *)
+  dtype : Datatype.t;
+}
+
+(** [create ~rng ~dtype ~batch ~features ~block ~bias ~act ~spec ()] builds
+    an MLP with [List.length features - 1] layers; [features] lists layer
+    widths (input first). Weights are Xavier-ish random from [rng]; all
+    dimensions must be divisible by [block]. [spec] is the PARLOOPER
+    instantiation used by every layer's GEMM. *)
+val create :
+  rng:Prng.t ->
+  ?dtype:Datatype.t ->
+  ?bias:bool ->
+  ?act:activation ->
+  ?spec:string ->
+  batch:int ->
+  features:int list ->
+  block:int ->
+  unit ->
+  t
+
+(** Blocked input activations [Nb][Kb][bk][bn] for the first layer from a
+    logical [features_in x batch] tensor. *)
+val pack_input : t -> Tensor.t -> Tensor.t
+
+(** Run all layers; returns the blocked output of the last layer. *)
+val forward : ?nthreads:int -> t -> Tensor.t -> Tensor.t
+
+(** Logical [features_out x batch] view of a blocked activation tensor
+    produced by layer [layer_idx] (or the output of {!forward} with the
+    last index). *)
+val unpack_output : t -> layer_idx:int -> Tensor.t -> Tensor.t
+
+(** Total forward FLOPs (2*M*N*K summed over layers). *)
+val flops : t -> float
+
+(** Naive reference forward on logical tensors, for testing. *)
+val reference_forward : t -> Tensor.t -> Tensor.t

@@ -1,0 +1,48 @@
+(** Block-sparse x dense GEMM via PARLOOPER + BCSC-SpMM TPP — the paper's
+    Listing 5.
+
+    C[M x N] = A x B where A [M x K] is block-sparse (BCSC, [bm x bk]
+    blocks) and B/C are dense. B is consumed VNNI-packed ([K/v][N][v]);
+    C is a plain row-major [M x N] tensor. Two logical loops are declared
+    (a: M block rows, b: N column panels of width bn); the K reduction over
+    the stored blocks of a row happens inside the TPP. *)
+
+type config = {
+  m : int;
+  n : int;
+  k : int;
+  bm : int;
+  bk : int;  (** sparsity block size (must match the BCSC matrix) *)
+  bn : int;  (** N panel width *)
+  dtype : Datatype.t;
+}
+
+val make_config :
+  ?bn:int -> ?dtype:Datatype.t -> m:int -> n:int -> k:int -> bm:int -> bk:int ->
+  unit -> config
+
+(** Effective FLOPs given the sparse A actually used (2*M*N*K * density). *)
+val effective_flops : config -> a:Bcsc.t -> float
+
+(** Dense-equivalent FLOPs 2*M*N*K. *)
+val dense_flops : config -> float
+
+val loop_specs : config -> Loop_spec.t list
+
+(** Block rows and column panels collapsed-parallel. *)
+val default_spec : string
+
+type t
+
+val create : config -> string -> t
+val config : t -> config
+
+(** VNNI-pack a logical [K x N] dense B. *)
+val pack_b : config -> Tensor.t -> Tensor.t
+
+(** [run t ~a ~b ~c] — [b] VNNI-packed, [c] a zero-or-overwritten
+    [M x N] tensor. *)
+val run : ?nthreads:int -> t -> a:Bcsc.t -> b:Tensor.t -> c:Tensor.t -> unit
+
+(** Pack + run against logical dense B; returns dense C. *)
+val run_logical : ?nthreads:int -> t -> a:Bcsc.t -> b:Tensor.t -> Tensor.t

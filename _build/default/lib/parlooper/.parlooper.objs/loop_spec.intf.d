@@ -1,0 +1,1 @@
+lib/parlooper/loop_spec.mli:

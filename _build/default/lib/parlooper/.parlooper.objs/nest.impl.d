@@ -1,0 +1,1 @@
+lib/parlooper/nest.ml: Array Char Loop_spec Printf Spec_parser Team

@@ -1,0 +1,1 @@
+lib/parlooper/nest.mli: Loop_spec Spec_parser

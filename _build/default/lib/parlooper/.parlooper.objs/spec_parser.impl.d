@@ -1,0 +1,1 @@
+lib/parlooper/spec_parser.ml: Buffer Char List Printf String

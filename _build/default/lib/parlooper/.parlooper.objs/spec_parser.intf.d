@@ -1,0 +1,1 @@
+lib/parlooper/spec_parser.mli:

@@ -1,0 +1,1 @@
+lib/parlooper/team.ml: Array Atomic Condition Domain Fun Hashtbl List Mutex Thread

@@ -1,0 +1,1 @@
+lib/parlooper/team.mli:

@@ -1,0 +1,1 @@
+lib/parlooper/threaded_loop.ml: Array Domain Hashtbl List Loop_spec Mutex Nest Printf Spec_parser String

@@ -1,0 +1,1 @@
+lib/parlooper/threaded_loop.mli: Loop_spec

@@ -1,0 +1,169 @@
+type grid_axis = R | C | L
+
+type occurrence = {
+  loop : int;
+  parallel : bool;
+  grid : (grid_axis * int) option;
+  barrier_after : bool;
+}
+
+type schedule = Static | Dynamic of int
+
+type t = {
+  occurrences : occurrence list;
+  schedule : schedule;
+  directives : string option;
+}
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_directives tail =
+  let tail = String.trim tail in
+  let sched =
+    (* recognize schedule(dynamic[, chunk]) / schedule(static) *)
+    let lower = String.lowercase_ascii tail in
+    match String.index_opt lower '(' with
+    | Some i when String.length lower >= 8 && String.sub lower 0 8 = "schedule"
+      -> begin
+      match String.index_opt lower ')' with
+      | None -> fail "unterminated schedule directive: %s" tail
+      | Some j ->
+        let args = String.sub lower (i + 1) (j - i - 1) in
+        let parts =
+          String.split_on_char ',' args |> List.map String.trim
+        in
+        (match parts with
+        | [ "static" ] -> Static
+        | [ "dynamic" ] -> Dynamic 1
+        | [ "dynamic"; c ] -> (
+          match int_of_string_opt c with
+          | Some n when n > 0 -> Dynamic n
+          | _ -> fail "bad dynamic chunk %S" c)
+        | _ -> fail "unsupported schedule clause %S" args)
+    end
+    | _ -> Static
+  in
+  (sched, if tail = "" then None else Some tail)
+
+let parse s =
+  let n = String.length s in
+  let occurrences = ref [] in
+  let push o = occurrences := o :: !occurrences in
+  let set_barrier () =
+    match !occurrences with
+    | [] -> fail "'|' before any loop character"
+    | o :: rest -> occurrences := { o with barrier_after = true } :: rest
+  in
+  let schedule = ref Static in
+  let directives = ref None in
+  let i = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '@' then begin
+      let sched, dirs = parse_directives (String.sub s (!i + 1) (n - !i - 1)) in
+      schedule := sched;
+      directives := dirs;
+      stop := true
+    end
+    else if c = '|' then begin
+      set_barrier ();
+      incr i
+    end
+    else if c >= 'a' && c <= 'z' then begin
+      push
+        {
+          loop = Char.code c - Char.code 'a';
+          parallel = false;
+          grid = None;
+          barrier_after = false;
+        };
+      incr i
+    end
+    else if c >= 'A' && c <= 'Z' then begin
+      let loop = Char.code c - Char.code 'A' in
+      incr i;
+      (* optional {R:n} / {C:n} / {L:n} *)
+      let grid =
+        if !i < n && s.[!i] = '{' then begin
+          match String.index_from_opt s !i '}' with
+          | None -> fail "unterminated '{' in spec string"
+          | Some j ->
+            let body = String.sub s (!i + 1) (j - !i - 1) in
+            i := j + 1;
+            (match String.split_on_char ':' body |> List.map String.trim with
+            | [ axis; ways ] ->
+              let axis =
+                match String.uppercase_ascii axis with
+                | "R" -> R
+                | "C" -> C
+                | "L" -> L
+                | _ -> fail "unknown grid axis %S" axis
+              in
+              (match int_of_string_opt ways with
+              | Some w when w > 0 -> Some (axis, w)
+              | _ -> fail "bad grid ways %S" ways)
+            | _ -> fail "bad grid annotation {%s}" body)
+        end
+        else None
+      in
+      push { loop; parallel = true; grid; barrier_after = false }
+    end
+    else fail "unexpected character %C in spec string" c
+  done;
+  let occurrences = List.rev !occurrences in
+  if occurrences = [] then fail "empty spec string";
+  { occurrences; schedule = !schedule; directives = !directives }
+
+let occurrence_count t l =
+  List.length (List.filter (fun o -> o.loop = l) t.occurrences)
+
+let num_loops_used t =
+  1 + List.fold_left (fun m o -> max m o.loop) (-1) t.occurrences
+
+let grid_shape t =
+  let get axis =
+    List.fold_left
+      (fun acc o ->
+        match o.grid with
+        | Some (a, w) when a = axis -> (
+          match acc with
+          | None -> Some w
+          | Some w' when w' = w -> acc
+          | Some w' ->
+            fail "grid axis annotated with conflicting ways %d and %d" w' w)
+        | _ -> acc)
+      None t.occurrences
+  in
+  let v = function None -> 1 | Some w -> w in
+  (v (get R), v (get C), v (get L))
+
+let has_grid t = List.exists (fun o -> o.grid <> None) t.occurrences
+
+let to_string t =
+  let buf = Buffer.create 32 in
+  List.iter
+    (fun o ->
+      let c =
+        Char.chr
+          (o.loop + if o.parallel then Char.code 'A' else Char.code 'a')
+      in
+      Buffer.add_char buf c;
+      (match o.grid with
+      | Some (axis, w) ->
+        Buffer.add_string buf
+          (Printf.sprintf "{%s:%d}"
+             (match axis with R -> "R" | C -> "C" | L -> "L")
+             w)
+      | None -> ());
+      if o.barrier_after then Buffer.add_char buf '|')
+    t.occurrences;
+  (match t.directives with
+  | Some d ->
+    Buffer.add_string buf " @ ";
+    Buffer.add_string buf d
+  | None -> ());
+  Buffer.contents buf

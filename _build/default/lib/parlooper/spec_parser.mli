@@ -1,0 +1,54 @@
+(** Parser for the [loop_spec_string] runtime knob (§II-B).
+
+    Grammar (whitespace ignored):
+    - a lowercase letter [a]..[z] names a logical loop occurrence (RULE 1:
+      order = nesting order, repetition = blocking);
+    - an UPPERCASE letter requests parallelization of that occurrence
+      (RULE 2); consecutive uppercase letters form an OpenMP-style
+      [collapse] group (PAR-MODE 1);
+    - an uppercase letter followed by [{R:n}], [{C:n}] or [{L:n}] requests
+      an explicit n-way split on the corresponding axis of a logical thread
+      grid (PAR-MODE 2);
+    - [|] after an occurrence requests a team barrier each time that loop
+      level completes;
+    - [@] terminates the loop list; the remainder is an OpenMP-like
+      directive tail, of which [schedule(dynamic[,chunk])] and
+      [schedule(static)] are recognized. *)
+
+type grid_axis = R | C | L
+
+type occurrence = {
+  loop : int;  (** 0 for 'a', 1 for 'b', ... *)
+  parallel : bool;
+  grid : (grid_axis * int) option;  (** PAR-MODE 2 annotation *)
+  barrier_after : bool;
+}
+
+type schedule = Static | Dynamic of int  (** chunk size *)
+
+type t = {
+  occurrences : occurrence list;  (** outermost first *)
+  schedule : schedule;
+  directives : string option;  (** raw tail after '@', for display *)
+}
+
+exception Parse_error of string
+
+(** Parse; raises {!Parse_error} on malformed input. *)
+val parse : string -> t
+
+(** Number of occurrences of logical loop [l]. *)
+val occurrence_count : t -> int -> int
+
+(** Highest loop id mentioned + 1. *)
+val num_loops_used : t -> int
+
+(** Thread-grid shape (R, C, L ways; 1 where absent). Raises
+    {!Parse_error} if an axis is annotated twice with different ways. *)
+val grid_shape : t -> int * int * int
+
+(** True if any PAR-MODE 2 annotation is present. *)
+val has_grid : t -> bool
+
+(** Render back to a canonical spec string (for cache keys and display). *)
+val to_string : t -> string

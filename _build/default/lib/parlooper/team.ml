@@ -1,0 +1,156 @@
+type ctx = {
+  tid : int;
+  nthreads : int;
+  barrier : unit -> unit;
+  fetch_chunk : instance:int -> chunk:int -> int;
+}
+
+(* Sense-reversing barrier, safe across domains and systhreads. *)
+module Barrier = struct
+  type t = {
+    mutex : Mutex.t;
+    cond : Condition.t;
+    total : int;
+    mutable arrived : int;
+    mutable generation : int;
+  }
+
+  let create total =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      total;
+      arrived = 0;
+      generation = 0;
+    }
+
+  let wait t =
+    Mutex.lock t.mutex;
+    let gen = t.generation in
+    t.arrived <- t.arrived + 1;
+    if t.arrived = t.total then begin
+      t.arrived <- 0;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.cond
+    end
+    else
+      while t.generation = gen do
+        Condition.wait t.cond t.mutex
+      done;
+    Mutex.unlock t.mutex
+end
+
+(* Per-instance dynamic work-sharing counters. Work-sharing constructs are
+   matched across threads by per-thread encounter order (like the OpenMP
+   runtime), so the table is indexed by the instance number and grown on
+   demand. *)
+module Counters = struct
+  type t = {
+    mutex : Mutex.t;
+    mutable table : int Atomic.t array;
+  }
+
+  let create () = { mutex = Mutex.create (); table = [||] }
+
+  let get t instance =
+    let n = Array.length t.table in
+    if instance < n then t.table.(instance)
+    else begin
+      Mutex.lock t.mutex;
+      let n = Array.length t.table in
+      if instance >= n then begin
+        let fresh = Array.init (instance + 1 - n) (fun _ -> Atomic.make 0) in
+        t.table <- Array.append t.table fresh
+      end;
+      let c = t.table.(instance) in
+      Mutex.unlock t.mutex;
+      c
+    end
+
+  let fetch t ~instance ~chunk =
+    let c = get t instance in
+    Atomic.fetch_and_add c chunk
+end
+
+let domains_for n =
+  let cores = Domain.recommended_domain_count () in
+  max 1 (min n cores)
+
+let run ~nthreads f =
+  assert (nthreads > 0);
+  if nthreads = 1 then
+    f
+      {
+        tid = 0;
+        nthreads = 1;
+        barrier = (fun () -> ());
+        fetch_chunk =
+          (let counters = Counters.create () in
+           fun ~instance ~chunk -> Counters.fetch counters ~instance ~chunk);
+      }
+  else begin
+    let barrier = Barrier.create nthreads in
+    let counters = Counters.create () in
+    let failure = Atomic.make None in
+    let record_exn e =
+      ignore (Atomic.compare_and_set failure None (Some e))
+    in
+    let thread_body tid () =
+      try
+        f
+          {
+            tid;
+            nthreads;
+            barrier = (fun () -> Barrier.wait barrier);
+            fetch_chunk =
+              (fun ~instance ~chunk ->
+                Counters.fetch counters ~instance ~chunk);
+          }
+      with e -> record_exn e
+    in
+    let ndomains = domains_for nthreads in
+    (* round-robin logical threads over domains; each domain runs its
+       share as systhreads so barriers interleave correctly *)
+    let domains =
+      List.init (ndomains - 1) (fun d ->
+          Domain.spawn (fun () ->
+              let mine =
+                List.init nthreads Fun.id
+                |> List.filter (fun t -> t mod ndomains = d + 1)
+              in
+              let threads =
+                List.map (fun tid -> Thread.create (thread_body tid) ()) mine
+              in
+              List.iter Thread.join threads))
+    in
+    (* domain 0 = current domain *)
+    let mine =
+      List.init nthreads Fun.id |> List.filter (fun t -> t mod ndomains = 0)
+    in
+    let threads = List.map (fun tid -> Thread.create (thread_body tid) ()) mine in
+    List.iter Thread.join threads;
+    List.iter Domain.join domains;
+    match Atomic.get failure with Some e -> raise e | None -> ()
+  end
+
+let run_sequential ~nthreads f =
+  assert (nthreads > 0);
+  (* deterministic round-robin dynamic assignment: per-(instance, tid)
+     private counters stepping by nthreads*chunk *)
+  for tid = 0 to nthreads - 1 do
+    let local : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+    let fetch_chunk ~instance ~chunk =
+      let r =
+        match Hashtbl.find_opt local instance with
+        | Some r -> r
+        | None ->
+          let r = ref (tid * chunk) in
+          Hashtbl.replace local instance r;
+          r
+      in
+      let v = !r in
+      r := v + (nthreads * chunk);
+      v
+    in
+    f { tid; nthreads; barrier = (fun () -> ()); fetch_chunk }
+  done

@@ -1,0 +1,34 @@
+(** Thread-team runtime — the concurrency substrate PARLOOPER generates
+    loops for (the paper's POC uses OpenMP; the back-end is designed to be
+    swappable, §II-B).
+
+    A team of [nthreads] logical threads executes a function in SPMD style,
+    like an [omp parallel] region. Logical threads are real preemptive
+    threads spread over OCaml domains (true parallelism when cores are
+    available, correct interleaving always), so team barriers and dynamic
+    work-sharing behave like their OpenMP counterparts regardless of the
+    physical core count. *)
+
+type ctx = {
+  tid : int;  (** logical thread id, 0-based *)
+  nthreads : int;
+  barrier : unit -> unit;  (** team-wide barrier *)
+  fetch_chunk : instance:int -> chunk:int -> int;
+      (** dynamic work-sharing: atomically claim the next [chunk]-sized
+          range start for work-sharing construct number [instance] (the
+          per-thread encounter index); returns the claimed start. *)
+}
+
+(** [run ~nthreads f] executes [f ctx] on every logical thread and waits
+    for all of them. Exceptions raised by any thread are re-raised (the
+    first one observed) after the team finishes. *)
+val run : nthreads:int -> (ctx -> unit) -> unit
+
+(** Sequential "trace" execution: runs logical threads one after another
+    (tid order) with barriers as no-ops and [fetch_chunk] replaced by a
+    deterministic round-robin assignment. Used by the performance model to
+    extract per-thread access traces without timing effects. *)
+val run_sequential : nthreads:int -> (ctx -> unit) -> unit
+
+(** Number of physical domains [run] will use for a team of [n]. *)
+val domains_for : int -> int

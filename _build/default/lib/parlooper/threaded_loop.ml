@@ -1,0 +1,91 @@
+exception Invalid_spec of string
+
+type t = {
+  specs : Loop_spec.t array;
+  spec_string : string;
+  nest : Nest.t;
+}
+
+(* ---- JIT cache ---- *)
+
+let cache : (string, t) Hashtbl.t = Hashtbl.create 64
+let cache_lock = Mutex.create ()
+let hits = ref 0
+let misses = ref 0
+
+let cache_key specs spec_string =
+  String.concat ";" (List.map Loop_spec.to_string specs) ^ "|" ^ spec_string
+
+let compile specs_list spec_string =
+  let specs = Array.of_list specs_list in
+  let parsed =
+    try Spec_parser.parse spec_string
+    with Spec_parser.Parse_error m -> raise (Invalid_spec m)
+  in
+  let nest =
+    try Nest.compile specs parsed
+    with Nest.Invalid_spec m -> raise (Invalid_spec m)
+  in
+  { specs; spec_string; nest }
+
+let create specs_list spec_string =
+  let key = cache_key specs_list spec_string in
+  Mutex.lock cache_lock;
+  match Hashtbl.find_opt cache key with
+  | Some t ->
+    incr hits;
+    Mutex.unlock cache_lock;
+    t
+  | None ->
+    Mutex.unlock cache_lock;
+    (* compile outside the lock; racing duplicates are harmless *)
+    let t = compile specs_list spec_string in
+    Mutex.lock cache_lock;
+    if not (Hashtbl.mem cache key) then begin
+      incr misses;
+      Hashtbl.replace cache key t
+    end
+    else incr hits;
+    Mutex.unlock cache_lock;
+    t
+
+let spec_string t = t.spec_string
+let specs t = Array.copy t.specs
+
+let default_threads () = Domain.recommended_domain_count ()
+
+let threads_used ?nthreads t =
+  let default = match nthreads with Some n -> n | None -> default_threads () in
+  Nest.required_threads t.nest ~default
+
+let run ?nthreads ?init ?term t body =
+  let n = threads_used ?nthreads t in
+  (* a serial spec just runs serially whatever team size was offered; an
+     explicit thread count only conflicts with a PAR-MODE 2 grid *)
+  (match (nthreads, Nest.grid_threads t.nest) with
+  | Some m, Some g when m <> g ->
+    raise
+      (Invalid_spec
+         (Printf.sprintf "spec %S requires %d threads but %d were requested"
+            t.spec_string g m))
+  | _ -> ());
+  Nest.exec t.nest ~nthreads:n ~init ~term ~body
+
+let run_traced ?nthreads t body =
+  let n = threads_used ?nthreads t in
+  Nest.exec_sequential t.nest ~nthreads:n ~body
+
+let body_invocations t = Nest.body_invocations t.nest
+
+let cache_stats () =
+  Mutex.lock cache_lock;
+  let s = (!hits, !misses) in
+  Mutex.unlock cache_lock;
+  s
+
+let cache_clear () =
+  Mutex.lock cache_lock;
+  Hashtbl.reset cache;
+  hits := 0;
+  misses := 0;
+  Mutex.unlock cache_lock

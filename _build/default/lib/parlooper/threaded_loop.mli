@@ -1,0 +1,64 @@
+(** The PARLOOPER user API — the OCaml counterpart of the paper's
+    [ThreadedLoop<N>] (Listing 1).
+
+    {[
+      let gemm_loop =
+        Threaded_loop.create
+          [ Loop_spec.make ~bound:kb ~step:k_step ();       (* loop a *)
+            Loop_spec.make ~bound:mb ~step:m_step ();       (* loop b *)
+            Loop_spec.make ~bound:nb ~step:n_step () ]      (* loop c *)
+          "bcaBCb"
+      in
+      Threaded_loop.run gemm_loop ~nthreads:16 (fun ind ->
+          let ik = ind.(0) and im = ind.(1) and in_ = ind.(2) in
+          ...)
+    ]}
+
+    [create] validates and compiles the requested instantiation — or
+    returns it from the JIT cache when the same (loops, spec string) pair
+    was compiled before, mirroring the paper's cached JIT of loop nests. *)
+
+type t
+
+exception Invalid_spec of string
+(** Raised by {!create} for illegal spec strings (RULE 1 / RULE 2
+    violations, undeclared loops, missing blocking steps). *)
+
+(** [create specs spec_string] — [specs.(0)] is logical loop [a], etc. *)
+val create : Loop_spec.t list -> string -> t
+
+val spec_string : t -> string
+val specs : t -> Loop_spec.t array
+
+(** [run ?nthreads ?init ?term t body]:
+    - PAR-MODE 2 strings fix the team size to R*C*L ([nthreads], if given,
+      must agree);
+    - PAR-MODE 1 strings use [nthreads] (default: the machine's
+      recommended domain count);
+    - serial strings run on one thread.
+    [init]/[term] run once per team thread before/after the nest.
+    [body] receives the logical indices in alphabetical order; the array
+    is reused — copy it if you must retain it. *)
+val run :
+  ?nthreads:int ->
+  ?init:(unit -> unit) ->
+  ?term:(unit -> unit) ->
+  t ->
+  (int array -> unit) ->
+  unit
+
+(** Team size [run] would use. *)
+val threads_used : ?nthreads:int -> t -> int
+
+(** Deterministic sequential execution exposing the thread id; used for
+    tracing and in tests (identical iteration assignment to [run] with
+    static scheduling; dynamic scheduling becomes round-robin). *)
+val run_traced : ?nthreads:int -> t -> (tid:int -> int array -> unit) -> unit
+
+(** Total body invocations [run] will perform (all threads together). *)
+val body_invocations : t -> int
+
+(** JIT-cache statistics: (hits, misses) since start/clear. *)
+val cache_stats : unit -> int * int
+
+val cache_clear : unit -> unit

@@ -1,0 +1,1 @@
+lib/perfmodel/conv_trace.ml: Array Conv Datatype Perf_model Threaded_loop

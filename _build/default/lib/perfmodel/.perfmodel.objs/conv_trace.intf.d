@@ -1,0 +1,1 @@
+lib/perfmodel/conv_trace.mli: Conv Perf_model Platform

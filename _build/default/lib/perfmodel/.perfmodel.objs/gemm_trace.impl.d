@@ -1,0 +1,1 @@
+lib/perfmodel/gemm_trace.ml: Array Datatype Gemm Perf_model Threaded_loop

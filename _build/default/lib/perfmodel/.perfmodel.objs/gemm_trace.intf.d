@@ -1,0 +1,1 @@
+lib/perfmodel/gemm_trace.mli: Gemm Perf_model Platform

@@ -1,0 +1,1 @@
+lib/perfmodel/lru.ml: Hashtbl List

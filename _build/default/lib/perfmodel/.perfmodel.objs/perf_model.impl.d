@@ -1,0 +1,1 @@
+lib/perfmodel/perf_model.ml: Array Datatype Float Isa List Lru Platform Threaded_loop

@@ -1,0 +1,1 @@
+lib/perfmodel/perf_model.mli: Datatype Platform Threaded_loop

@@ -1,0 +1,22 @@
+(** Trace generation and modeled performance for PARLOOPER convolutions
+    (used by the Fig. 7 harness).
+
+    Slices: input rows per (image, channel-block, padded row), weight taps
+    per (K-block, C-block, r, s), output rows per (image, K-block, row). *)
+
+val trace :
+  ?flat_input:bool ->
+  Conv.config ->
+  string ->
+  nthreads:int ->
+  Perf_model.work list array
+
+(** Modeled performance of one (config, spec, platform, threads) point. *)
+val score :
+  ?flat_input:bool ->
+  ?representative:int ->
+  platform:Platform.t ->
+  nthreads:int ->
+  Conv.config ->
+  string ->
+  Perf_model.result

@@ -1,0 +1,56 @@
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let trace ?(flat_b = false) ?(overhead_cycles = 0.0) (cfg : Gemm.config) spec
+    ~nthreads =
+  let loop = Threaded_loop.create (Gemm.loop_specs cfg) spec in
+  let dt = Datatype.bytes cfg.Gemm.dtype in
+  let kb = Gemm.kb cfg in
+  let a_bytes = cfg.Gemm.bm * cfg.Gemm.bk * dt in
+  let b_bytes = cfg.Gemm.bk * cfg.Gemm.bn * dt in
+  let c_bytes = cfg.Gemm.bm * cfg.Gemm.bn * 4 in
+  (* flat B with a power-of-two row length >= 4K bytes suffers set
+     conflicts: panels inhabit few sets, wasting ~4x capacity *)
+  let b_occupancy =
+    if flat_b && is_pow2 cfg.Gemm.n && cfg.Gemm.n * dt >= 4096 then
+      b_bytes * 6
+    else b_bytes
+  in
+  let body ind =
+    let ik = ind.(0) and im = ind.(1) and in_ = ind.(2) in
+    let count = min cfg.Gemm.k_step (kb - ik) in
+    let accesses = ref [] in
+    for j = count - 1 downto 0 do
+      accesses :=
+        Perf_model.access ~tensor:0
+          ~block:((im * kb) + ik + j)
+          ~bytes:a_bytes ()
+        :: Perf_model.access ~tensor:1
+             ~block:((in_ * kb) + ik + j)
+             ~bytes:b_bytes ~occupancy:b_occupancy ()
+        :: !accesses
+    done;
+    (* C block is read (when accumulating) and written back *)
+    let c_access =
+      Perf_model.access ~tensor:2
+        ~block:((in_ * Gemm.mb cfg) + im)
+        ~bytes:c_bytes ()
+    in
+    (* FP32 accumulator tile + the batch's B blocks + an A block *)
+    let working_set_bytes =
+      (8 * cfg.Gemm.bm * cfg.Gemm.bn) + (count * b_bytes) + a_bytes
+    in
+    Perf_model.work ~overhead_cycles ~working_set_bytes
+      ~flops:
+        (2.0 *. float_of_int cfg.Gemm.bm *. float_of_int cfg.Gemm.bn
+        *. float_of_int cfg.Gemm.bk *. float_of_int count)
+      ~chain:(cfg.Gemm.bk * count)
+      ~accesses:(c_access :: !accesses)
+      ~store_bytes:c_bytes ()
+  in
+  Perf_model.trace_loop loop ~nthreads ~body
+
+let score ?flat_b ?overhead_cycles ?representative ~platform ~nthreads cfg
+    spec =
+  let traces = trace ?flat_b ?overhead_cycles cfg spec ~nthreads in
+  Perf_model.simulate ?representative ~platform ~dtype:cfg.Gemm.dtype
+    ~nthreads ~traces ()

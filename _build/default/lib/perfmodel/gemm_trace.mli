@@ -1,0 +1,30 @@
+(** Trace generation and modeled performance for PARLOOPER GEMMs.
+
+    [score] is the tool of Fig. 1-Box B3 / Fig. 6: given a GEMM blocking,
+    a candidate [loop_spec_string] and a platform, it replays the exact
+    loop instantiation's per-thread slice traces through the cache model
+    and predicts GFLOPS. *)
+
+(** [trace cfg spec ~nthreads ~flat_b] — per-thread work lists for the
+    GEMM of Listing 1. [flat_b] models a vendor-library-style flat
+    (unblocked) B operand: panel slices that additionally waste cache
+    capacity when the leading dimension is a large power of two (the
+    conflict-miss mechanism of §V-A1). *)
+val trace :
+  ?flat_b:bool ->
+  ?overhead_cycles:float ->
+  Gemm.config ->
+  string ->
+  nthreads:int ->
+  Perf_model.work list array
+
+(** Modeled performance of one (config, spec, platform, threads) point. *)
+val score :
+  ?flat_b:bool ->
+  ?overhead_cycles:float ->
+  ?representative:int ->
+  platform:Platform.t ->
+  nthreads:int ->
+  Gemm.config ->
+  string ->
+  Perf_model.result

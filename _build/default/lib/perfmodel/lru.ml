@@ -1,0 +1,80 @@
+(* Doubly-linked recency list + hashtable index. *)
+
+type node = {
+  key : int;
+  mutable bytes : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  index : (int, node) Hashtbl.t;
+  mutable head : node option;  (** most recently used *)
+  mutable tail : node option;  (** least recently used *)
+  mutable used : int;
+}
+
+let create ~capacity_bytes =
+  assert (capacity_bytes > 0);
+  { capacity = capacity_bytes; index = Hashtbl.create 256; head = None;
+    tail = None; used = 0 }
+
+let mem t key = Hashtbl.mem t.index key
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.index node.key;
+    t.used <- t.used - node.bytes
+
+let touch t key ~bytes =
+  (match Hashtbl.find_opt t.index key with
+  | Some node ->
+    t.used <- t.used - node.bytes + bytes;
+    node.bytes <- bytes;
+    unlink t node;
+    push_front t node
+  | None ->
+    if bytes <= t.capacity then begin
+      let node = { key; bytes; prev = None; next = None } in
+      Hashtbl.replace t.index key node;
+      push_front t node;
+      t.used <- t.used + bytes
+    end);
+  while t.used > t.capacity do
+    evict_lru t
+  done
+
+let occupancy t = t.used
+
+let contents t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.head
+
+let clear t =
+  Hashtbl.reset t.index;
+  t.head <- None;
+  t.tail <- None;
+  t.used <- 0

@@ -1,0 +1,24 @@
+(** Byte-capacity LRU set of tensor slices — one cache level of the
+    performance model (§II-E: "Each level of cache is represented as set
+    and is updated based on the LRU policy"). *)
+
+type t
+
+(** [create ~capacity_bytes]. *)
+val create : capacity_bytes:int -> t
+
+(** Is the slice resident? Does not touch recency. *)
+val mem : t -> int -> bool
+
+(** [touch t key ~bytes] inserts (or refreshes) a slice occupying [bytes],
+    evicting least-recently-used slices until it fits. Slices larger than
+    the capacity simply never become resident. *)
+val touch : t -> int -> bytes:int -> unit
+
+(** Current resident bytes (tests). *)
+val occupancy : t -> int
+
+(** Resident keys in most-recently-used-first order (tests). *)
+val contents : t -> int list
+
+val clear : t -> unit

@@ -1,0 +1,227 @@
+type access = {
+  tensor : int;
+  block : int;
+  bytes : int;
+  occupancy : int;
+}
+
+let access ?occupancy ~tensor ~block ~bytes () =
+  let occupancy = match occupancy with Some o -> o | None -> bytes in
+  { tensor; block; bytes; occupancy }
+
+type work = {
+  flops : float;
+  chain : int;
+  accesses : access list;
+  store_bytes : int;
+  overhead_cycles : float;
+  working_set_bytes : int;
+}
+
+let work ?(overhead_cycles = 0.0) ?(working_set_bytes = 0) ~flops ~chain
+    ~accesses ~store_bytes () =
+  { flops; chain; accesses; store_bytes; overhead_cycles; working_set_bytes }
+
+type result = {
+  time_s : float;
+  gflops : float;
+  max_thread_cycles : float;
+  mem_read_bytes : float;
+  total_flops : float;
+  level_hits : int array;
+  mem_accesses : int;
+  compute_bound_fraction : float;
+}
+
+(* slice key: tensor id in the top bits *)
+let key_of a = (a.tensor * 0x40000000) + a.block
+
+type thread_sim = {
+  l1_bytes : int;
+  levels : Lru.t array;
+  bandwidths : float array;  (** bytes/cycle per level *)
+  latencies : float array;  (** cycles per slice access per level *)
+  mem_bw_cycles : float;  (** bytes/cycle/core from DRAM *)
+  peak_flops_per_cycle : float;
+  isa : Isa.t option;
+  mutable cycles : float;
+  mutable mem_bytes : float;
+  mutable hits : int array;
+  mutable mem_accesses : int;
+  mutable compute_bound : int;
+  mutable invocations : int;
+}
+
+let make_thread_sim (platform : Platform.t) dtype ~nthreads =
+  let isa = Platform.contraction_isa platform dtype in
+  let isa =
+    match isa with
+    | Some _ -> isa
+    | None -> Platform.contraction_isa platform Datatype.F32
+  in
+  let freq =
+    (* fastest group clock *)
+    Array.fold_left
+      (fun m (g : Platform.core_group) -> Float.max m g.freq_ghz)
+      0.0 platform.core_groups
+  in
+  let peak =
+    Platform.core_peak_gflops platform dtype /. freq
+    (* flops per cycle per core *)
+  in
+  let peak =
+    if peak > 0.0 then peak
+    else Platform.core_peak_gflops platform Datatype.F32 /. freq
+  in
+  let active = max 1 (min nthreads (Platform.cores platform)) in
+  let mem_bw_cycles =
+    platform.mem_bw_gbs /. float_of_int active /. freq
+  in
+  {
+    l1_bytes = platform.caches.(0).Platform.size_bytes;
+    levels =
+      Array.map
+        (fun (c : Platform.cache_level) ->
+          Lru.create ~capacity_bytes:c.size_bytes)
+        platform.caches;
+    bandwidths =
+      Array.map
+        (fun (c : Platform.cache_level) -> c.bw_bytes_per_cycle)
+        platform.caches;
+    latencies =
+      Array.map
+        (fun (c : Platform.cache_level) -> c.latency_cycles)
+        platform.caches;
+    mem_bw_cycles;
+    peak_flops_per_cycle = peak;
+    isa;
+    cycles = 0.0;
+    mem_bytes = 0.0;
+    hits = Array.make (Array.length platform.caches) 0;
+    mem_accesses = 0;
+    compute_bound = 0;
+    invocations = 0;
+  }
+
+let run_work sim w =
+  let eff =
+    match sim.isa with
+    | Some isa -> Isa.chain_efficiency isa ~chain:w.chain
+    | None -> 1.0
+  in
+  (* an L1-spilling microkernel working set throttles the pipeline *)
+  let l1_penalty =
+    if float_of_int w.working_set_bytes > 0.55 *. float_of_int sim.l1_bytes
+    then 0.7
+    else 1.0
+  in
+  let compute =
+    w.flops /. Float.max 1e-9 (sim.peak_flops_per_cycle *. eff *. l1_penalty)
+  in
+  let nlevels = Array.length sim.levels in
+  let transfer = ref 0.0 in
+  List.iter
+    (fun a ->
+      (* find the innermost level holding the slice *)
+      let level = ref (-1) in
+      (try
+         for l = 0 to nlevels - 1 do
+           if Lru.mem sim.levels.(l) (key_of a) then begin
+             level := l;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      (* hardware prefetchers stream the body of a slice at bandwidth;
+         latency is paid once on the leading miss *)
+      (if !level >= 0 then begin
+         sim.hits.(!level) <- sim.hits.(!level) + 1;
+         transfer :=
+           !transfer
+           +. (float_of_int a.bytes /. sim.bandwidths.(!level))
+           +. sim.latencies.(!level)
+       end
+       else begin
+         sim.mem_accesses <- sim.mem_accesses + 1;
+         sim.mem_bytes <- sim.mem_bytes +. float_of_int a.bytes;
+         transfer :=
+           !transfer
+           +. (float_of_int a.bytes /. sim.mem_bw_cycles)
+           +. Platform.mem_latency_cycles
+       end);
+      (* inclusive insertion into every level *)
+      for l = 0 to nlevels - 1 do
+        Lru.touch sim.levels.(l) (key_of a) ~bytes:a.occupancy
+      done)
+    w.accesses;
+  (* stores stream out at the L1 write bandwidth; also count DRAM
+     write-back pressure at half weight *)
+  let store = float_of_int w.store_bytes /. sim.bandwidths.(0) in
+  let total_transfer = !transfer +. store in
+  sim.invocations <- sim.invocations + 1;
+  if compute >= total_transfer then sim.compute_bound <- sim.compute_bound + 1;
+  sim.cycles <-
+    sim.cycles +. Float.max compute total_transfer +. w.overhead_cycles
+
+let simulate ?representative ~(platform : Platform.t) ~dtype ~nthreads ~traces
+    () =
+  let nthreads_actual = Array.length traces in
+  let to_sim =
+    match representative with
+    | Some r -> min r nthreads_actual
+    | None -> nthreads_actual
+  in
+  let freq =
+    Array.fold_left
+      (fun m (g : Platform.core_group) -> Float.max m g.freq_ghz)
+      0.0 platform.core_groups
+  in
+  let max_cycles = ref 0.0 in
+  let mem_bytes = ref 0.0 in
+  let flops = ref 0.0 in
+  let hits = Array.make (Array.length platform.caches) 0 in
+  let mem_accesses = ref 0 in
+  let compute_bound = ref 0 in
+  let invocations = ref 0 in
+  for t = 0 to to_sim - 1 do
+    let sim = make_thread_sim platform dtype ~nthreads in
+    List.iter (fun w -> run_work sim w) traces.(t);
+    if sim.cycles > !max_cycles then max_cycles := sim.cycles;
+    mem_bytes := !mem_bytes +. sim.mem_bytes;
+    Array.iteri (fun l h -> hits.(l) <- hits.(l) + h) sim.hits;
+    mem_accesses := !mem_accesses + sim.mem_accesses;
+    compute_bound := !compute_bound + sim.compute_bound;
+    invocations := !invocations + sim.invocations
+  done;
+  (* account flops over ALL traces (cheap), and extrapolate the memory
+     traffic of unsimulated threads from the simulated average *)
+  Array.iter
+    (fun tr -> List.iter (fun w -> flops := !flops +. w.flops) tr)
+    traces;
+  let scale =
+    if to_sim = 0 then 0.0
+    else float_of_int nthreads_actual /. float_of_int to_sim
+  in
+  let mem_bytes_total = !mem_bytes *. scale in
+  let t_compute = !max_cycles /. (freq *. 1e9) in
+  let t_mem = mem_bytes_total /. (platform.mem_bw_gbs *. 1e9) in
+  let time_s = Float.max t_compute t_mem in
+  {
+    time_s;
+    gflops = (if time_s > 0.0 then !flops /. time_s /. 1e9 else 0.0);
+    max_thread_cycles = !max_cycles;
+    mem_read_bytes = mem_bytes_total;
+    total_flops = !flops;
+    level_hits = hits;
+    mem_accesses = !mem_accesses;
+    compute_bound_fraction =
+      (if !invocations = 0 then 0.0
+       else float_of_int !compute_bound /. float_of_int !invocations);
+  }
+
+let trace_loop loop ~nthreads ~body =
+  let n = Threaded_loop.threads_used ~nthreads loop in
+  let acc = Array.make n [] in
+  Threaded_loop.run_traced ~nthreads loop (fun ~tid ind ->
+      acc.(tid) <- body ind :: acc.(tid));
+  Array.map List.rev acc

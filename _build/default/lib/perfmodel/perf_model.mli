@@ -1,0 +1,77 @@
+(** The paper's lightweight performance model (§II-E).
+
+    Each thread of a PARLOOPER instantiation produces a chronological
+    {e trace} of the tensor slices its BRGEMM invocations touch. The trace
+    is replayed through a private multi-level LRU cache simulator; every
+    invocation is charged the maximum of its compute time (ISA peak scaled
+    by accumulation-chain efficiency) and its data-movement time (bytes
+    served from the level where each slice was found, at that level's
+    bandwidth). Kernel time is the slowest thread, further bounded below by
+    aggregate DRAM traffic over the platform's memory bandwidth. *)
+
+(** One tensor-slice access of a kernel invocation. [occupancy] is the
+    cache footprint the slice charges (> [bytes] models set-conflict waste,
+    e.g. flat-B panels with power-of-two leading dimensions). *)
+type access = {
+  tensor : int;  (** operand id: disjoint per logical tensor *)
+  block : int;  (** slice id within the tensor *)
+  bytes : int;
+  occupancy : int;
+}
+
+val access : ?occupancy:int -> tensor:int -> block:int -> bytes:int -> unit -> access
+
+(** One body invocation (e.g. one BRGEMM call). *)
+type work = {
+  flops : float;
+  chain : int;  (** accumulation-chain length (K extent x batch count) *)
+  accesses : access list;
+  store_bytes : int;  (** output write-back traffic *)
+  overhead_cycles : float;
+      (** fixed per-invocation cost (dispatch, accumulator setup) that
+          overlaps with neither compute nor transfer *)
+  working_set_bytes : int;
+      (** microkernel-resident bytes (accumulator + operand tiles); when
+          this exceeds the platform's L1, the compute rate degrades — the
+          register/L1-blocking constraint the TPP backend honors *)
+}
+
+val work :
+  ?overhead_cycles:float ->
+  ?working_set_bytes:int ->
+  flops:float ->
+  chain:int ->
+  accesses:access list ->
+  store_bytes:int ->
+  unit ->
+  work
+
+type result = {
+  time_s : float;
+  gflops : float;
+  max_thread_cycles : float;
+  mem_read_bytes : float;  (** aggregate DRAM reads *)
+  total_flops : float;
+  level_hits : int array;  (** per cache level, summed over threads *)
+  mem_accesses : int;
+  compute_bound_fraction : float;
+      (** fraction of invocations whose compute time dominated *)
+}
+
+(** [simulate ~platform ~dtype ~nthreads ~traces] — [traces.(t)] is thread
+    t's chronological work list. [representative] (default: all threads)
+    simulates only the first r per-thread traces and takes the max-cycles
+    thread among them (valid when threads are symmetric). *)
+val simulate :
+  ?representative:int ->
+  platform:Platform.t ->
+  dtype:Datatype.t ->
+  nthreads:int ->
+  traces:work list array ->
+  unit ->
+  result
+
+(** Build per-thread traces from a compiled PARLOOPER loop: [body ind] maps
+    logical indices to the work of one invocation. *)
+val trace_loop :
+  Threaded_loop.t -> nthreads:int -> body:(int array -> work) -> work list array

@@ -1,0 +1,226 @@
+type core_group = {
+  count : int;
+  freq_ghz : float;
+  isas : Isa.t list;
+  fma_scale : float;
+}
+
+type cache_level = {
+  size_bytes : int;
+  bw_bytes_per_cycle : float;
+  latency_cycles : float;
+  shared : bool;
+}
+
+let mem_latency_cycles = 300.0
+
+type t = {
+  name : string;
+  core_groups : core_group array;
+  caches : cache_level array;
+  mem_bw_gbs : float;
+  tdp_watts : float option;
+}
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+let spr =
+  {
+    name = "SPR";
+    core_groups =
+      [|
+        {
+          count = 112;
+          freq_ghz = 1.9;
+          isas = [ Isa.AVX512F; Isa.AVX512_BF16; Isa.AMX_BF16 ];
+          fma_scale = 1.0;
+        };
+      |];
+    caches =
+      [|
+        { size_bytes = kib 48; bw_bytes_per_cycle = 128.0; latency_cycles = 4.0; shared = false };
+        { size_bytes = mib 2; bw_bytes_per_cycle = 48.0; latency_cycles = 14.0; shared = false };
+        (* 105 MB LLC per socket / 56 cores: per-core share *)
+        { size_bytes = kib 1920; bw_bytes_per_cycle = 12.0; latency_cycles = 50.0; shared = true };
+      |];
+    mem_bw_gbs = 614.0;
+    tdp_watts = Some 700.0;
+  }
+
+let gvt3 =
+  {
+    name = "GVT3";
+    core_groups =
+      [|
+        {
+          count = 64;
+          freq_ghz = 2.6;
+          isas = [ Isa.SVE256; Isa.BF16_MMLA; Isa.BF16_DOT ];
+          fma_scale = 1.0;
+        };
+      |];
+    caches =
+      [|
+        { size_bytes = kib 64; bw_bytes_per_cycle = 96.0; latency_cycles = 4.0; shared = false };
+        { size_bytes = mib 1; bw_bytes_per_cycle = 40.0; latency_cycles = 14.0; shared = false };
+        { size_bytes = kib 512; bw_bytes_per_cycle = 10.0; latency_cycles = 50.0; shared = true };
+      |];
+    mem_bw_gbs = 307.0;
+    tdp_watts = None;
+  }
+
+let zen4 =
+  {
+    name = "Zen4";
+    core_groups =
+      [|
+        {
+          count = 16;
+          freq_ghz = 4.5;
+          isas = [ Isa.AVX512F; Isa.AVX512_BF16 ];
+          (* Zen4 executes AVX-512 double-pumped on 256-bit datapaths *)
+          fma_scale = 0.5;
+        };
+      |];
+    caches =
+      [|
+        { size_bytes = kib 32; bw_bytes_per_cycle = 96.0; latency_cycles = 4.0; shared = false };
+        { size_bytes = mib 1; bw_bytes_per_cycle = 40.0; latency_cycles = 14.0; shared = false };
+        { size_bytes = mib 4; bw_bytes_per_cycle = 14.0; latency_cycles = 50.0; shared = true };
+      |];
+    mem_bw_gbs = 96.0;
+    tdp_watts = Some 205.0;
+  }
+
+let adl =
+  {
+    name = "ADL";
+    core_groups =
+      [|
+        { count = 8; freq_ghz = 4.9; isas = [ Isa.AVX2 ]; fma_scale = 1.0 };
+        (* Gracemont E-cores: 2x128-bit FMA, roughly half the vector
+           throughput of a P-core and lower clock *)
+        { count = 8; freq_ghz = 3.7; isas = [ Isa.AVX2 ]; fma_scale = 0.5 };
+      |];
+    caches =
+      [|
+        { size_bytes = kib 48; bw_bytes_per_cycle = 96.0; latency_cycles = 4.0; shared = false };
+        { size_bytes = kib 1280; bw_bytes_per_cycle = 40.0; latency_cycles = 14.0; shared = false };
+        { size_bytes = kib 1920; bw_bytes_per_cycle = 12.0; latency_cycles = 50.0; shared = true };
+      |];
+    mem_bw_gbs = 89.6;
+    tdp_watts = Some 241.0;
+  }
+
+let xeon_8223 =
+  {
+    name = "Xeon-8223";
+    core_groups =
+      [|
+        { count = 8; freq_ghz = 2.7; isas = [ Isa.AVX512F ]; fma_scale = 1.0 };
+      |];
+    caches =
+      [|
+        { size_bytes = kib 32; bw_bytes_per_cycle = 96.0; latency_cycles = 4.0; shared = false };
+        { size_bytes = mib 1; bw_bytes_per_cycle = 32.0; latency_cycles = 14.0; shared = false };
+        { size_bytes = kib 1408; bw_bytes_per_cycle = 10.0; latency_cycles = 50.0; shared = true };
+      |];
+    mem_bw_gbs = 120.0;
+    tdp_watts = None;
+  }
+
+let c5_12xlarge =
+  {
+    name = "c5.12xlarge";
+    core_groups =
+      [|
+        { count = 24; freq_ghz = 3.0; isas = [ Isa.AVX512F ]; fma_scale = 1.0 };
+      |];
+    caches =
+      [|
+        { size_bytes = kib 32; bw_bytes_per_cycle = 96.0; latency_cycles = 4.0; shared = false };
+        { size_bytes = mib 1; bw_bytes_per_cycle = 32.0; latency_cycles = 14.0; shared = false };
+        { size_bytes = kib 1408; bw_bytes_per_cycle = 10.0; latency_cycles = 50.0; shared = true };
+      |];
+    mem_bw_gbs = 140.0;
+    tdp_watts = None;
+  }
+
+(* Generic model of the machine running this repository: one core,
+   scalar OCaml kernels (~2 flops/cycle), desktop-ish cache hierarchy.
+   Used by the Fig. 6 harness to rank loop instantiations whose measured
+   counterpart is the actual wall-clock of our kernels on this host. *)
+let host =
+  {
+    name = "host";
+    core_groups =
+      [|
+        (* AVX2 table entry scaled down to scalar-OCaml FMA throughput *)
+        { count = 1; freq_ghz = 2.1; isas = [ Isa.AVX2 ]; fma_scale = 0.017 };
+      |];
+    caches =
+      [|
+        { size_bytes = kib 48; bw_bytes_per_cycle = 16.0; latency_cycles = 4.0; shared = false };
+        { size_bytes = mib 2; bw_bytes_per_cycle = 6.0; latency_cycles = 14.0; shared = false };
+        (* slice of the machine's large shared L3 *)
+        { size_bytes = mib 32; bw_bytes_per_cycle = 3.0; latency_cycles = 50.0; shared = true };
+      |];
+    mem_bw_gbs = 10.0;
+    tdp_watts = None;
+  }
+
+let all = [ spr; gvt3; zen4; adl; xeon_8223; c5_12xlarge; host ]
+
+let by_name n =
+  List.find_opt (fun p -> String.lowercase_ascii p.name = String.lowercase_ascii n) all
+
+let cores t = Array.fold_left (fun acc g -> acc + g.count) 0 t.core_groups
+
+let fastest_group t =
+  Array.fold_left
+    (fun best g ->
+      let peak g' =
+        match Isa.best_for Datatype.F32 g'.isas with
+        | Some i -> Isa.flops_per_cycle i *. g'.freq_ghz
+        | None -> 0.0
+      in
+      if peak g > peak best then g else best)
+    t.core_groups.(0) t.core_groups
+
+let contraction_isa t dtype = Isa.best_for dtype (fastest_group t).isas
+
+let group_core_gflops t gi dtype =
+  let g = t.core_groups.(gi) in
+  match Isa.best_for dtype g.isas with
+  | None -> 0.0
+  | Some i -> Isa.flops_per_cycle i *. g.freq_ghz *. g.fma_scale
+
+let peak_gflops ?cores:(n = -1) t dtype =
+  let total_cores = cores t in
+  let n = if n < 0 then total_cores else min n total_cores in
+  (* fill from the fastest group first *)
+  let order =
+    let idx = Array.mapi (fun i _ -> i) t.core_groups in
+    Array.sort
+      (fun a b ->
+        compare (group_core_gflops t b dtype) (group_core_gflops t a dtype))
+      idx;
+    idx
+  in
+  let remaining = ref n and acc = ref 0.0 in
+  Array.iter
+    (fun gi ->
+      let take = min !remaining t.core_groups.(gi).count in
+      acc := !acc +. (float_of_int take *. group_core_gflops t gi dtype);
+      remaining := !remaining - take)
+    order;
+  !acc
+
+let core_peak_gflops t dtype =
+  Array.to_list t.core_groups
+  |> List.mapi (fun i _ -> group_core_gflops t i dtype)
+  |> List.fold_left Float.max 0.0
+
+let has_bf16 t =
+  Array.exists (fun g -> List.exists Isa.has_bf16 g.isas) t.core_groups

@@ -1,0 +1,78 @@
+(** Machine models of the four CPUs the paper evaluates on (§V).
+
+    A platform bundles the parameters the performance model needs: core
+    topology (including hybrid P/E cores on ADL), clock, supported ISAs,
+    a three-level cache hierarchy with sizes and bandwidths, and memory
+    bandwidth. Peak FLOPs derive from the ISA table in {!Isa}. *)
+
+type core_group = {
+  count : int;
+  freq_ghz : float;  (** sustained all-core frequency under vector load *)
+  isas : Isa.t list;  (** contraction ISAs available on these cores *)
+  fma_scale : float;
+      (** throughput scale vs. a full-width implementation of the ISA:
+          0.5 for Zen4's double-pumped AVX-512 and ADL Gracemont's
+          half-width FMA, 1.0 elsewhere *)
+}
+
+type cache_level = {
+  size_bytes : int;  (** capacity per core (or per-core share if shared) *)
+  bw_bytes_per_cycle : float;  (** sustained load bandwidth per core *)
+  latency_cycles : float;  (** access latency charged once per slice *)
+  shared : bool;  (** shared across cores (LLC) vs private *)
+}
+
+(** DRAM access latency in core cycles (charged once per slice miss). *)
+val mem_latency_cycles : float
+
+type t = {
+  name : string;
+  core_groups : core_group array;  (** ADL has two groups; others one *)
+  caches : cache_level array;  (** index 0 = L1 ... *)
+  mem_bw_gbs : float;  (** aggregate DRAM bandwidth, GB/s *)
+  tdp_watts : float option;
+}
+
+(** 2-socket Intel Xeon 8480+ "Sapphire Rapids": 112 Golden Cove cores,
+    AVX-512 + AMX, DDR5-4800 x 16 channels. *)
+val spr : t
+
+(** AWS Graviton 3: 64 Neoverse V1 cores, SVE256 + BF16 MMLA, DDR5 8ch. *)
+val gvt3 : t
+
+(** AMD Ryzen 9 7950X "Zen4": 16 cores, AVX-512 + AVX512-BF16, DDR5-6000. *)
+val zen4 : t
+
+(** Intel i9-12900K "Alder Lake": 8 P-cores + 8 E-cores, AVX2, DDR5-5600. *)
+val adl : t
+
+(** Xeon 8223 (AWS c5.4xlarge) model used for the Mojo comparison (Fig 5). *)
+val xeon_8223 : t
+
+(** Xeon 8275CL-class (AWS c5.12xlarge, 24 cores) used for the DeepSparse
+    comparison (Fig 10-Right). *)
+val c5_12xlarge : t
+
+(** Generic model of the machine running this repository (single core,
+    scalar kernels); lets the Fig. 6 harness rank loop instantiations that
+    are then actually measured on this host. *)
+val host : t
+
+val all : t list
+val by_name : string -> t option
+
+(** Total core count. *)
+val cores : t -> int
+
+(** Best contraction ISA for [dtype] on the platform's fastest core group. *)
+val contraction_isa : t -> Datatype.t -> Isa.t option
+
+(** Aggregate peak GFLOPS for [dtype] over [cores] cores (defaults to all),
+    summing heterogeneous groups proportionally. *)
+val peak_gflops : ?cores:int -> t -> Datatype.t -> float
+
+(** Peak GFLOPS of one core of the fastest group. *)
+val core_peak_gflops : t -> Datatype.t -> float
+
+(** Does any core group expose native BF16 contraction hardware? *)
+val has_bf16 : t -> bool

@@ -1,0 +1,1 @@
+lib/tensor/bcsc.ml: Array Datatype Float Hashtbl List Prng Tensor

@@ -1,0 +1,1 @@
+lib/tensor/bcsc.mli: Datatype Prng Tensor

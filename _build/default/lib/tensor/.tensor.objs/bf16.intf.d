@@ -1,0 +1,1 @@
+lib/tensor/bf16.mli:

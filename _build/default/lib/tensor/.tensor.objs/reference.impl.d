@@ -1,0 +1,1 @@
+lib/tensor/reference.ml: Array Datatype Float Tensor

@@ -1,0 +1,1 @@
+lib/tensor/vnni.mli: Tensor

@@ -1,0 +1,62 @@
+(** Block Compressed Sparse Column (BCSC) matrices.
+
+    The paper's Block-SpMM TPP (§III-C) takes the sparse A operand of
+    C = A x B in BCSC format with a parameterized [bm x bk] block size:
+    the M x K matrix is tiled into (M/bm) x (K/bk) blocks and only
+    non-empty blocks are stored, compressed along block columns.
+
+    In addition to the column-compressed index we keep a row-major index
+    (built once at construction) because the SpMM microkernel walks a block
+    row of A for each output block row of C. *)
+
+type t = private {
+  rows : int;  (** M *)
+  cols : int;  (** K *)
+  bm : int;
+  bk : int;
+  colptr : int array;  (** length K/bk + 1, offsets into [rowind] *)
+  rowind : int array;  (** block-row index of each stored block *)
+  values : Tensor.t;  (** [nnzb; bm; bk] dense payloads, colptr order *)
+  row_index : (int * int) array array;
+      (** [row_index.(ib)] = (block-col, block-slot) pairs of block row ib,
+          sorted by block-col *)
+  dtype : Datatype.t;
+}
+
+(** Number of stored (non-empty) blocks. *)
+val nnz_blocks : t -> int
+
+(** Fraction of blocks that are zero (dropped), in [0, 1]. *)
+val sparsity : t -> float
+
+(** [of_dense ~bm ~bk a] compresses a rank-2 tensor, dropping blocks that
+    are entirely zero. M, K must be divisible by bm, bk. *)
+val of_dense : bm:int -> bk:int -> Tensor.t -> t
+
+(** Reconstruct the dense matrix (zero-filled where blocks are absent). *)
+val to_dense : t -> Tensor.t
+
+(** [random ~rng ~dtype ~rows ~cols ~bm ~bk ~sparsity] draws a block-sparse
+    matrix: each block survives with probability [1 - sparsity], surviving
+    blocks hold uniform values in [-1, 1). *)
+val random :
+  rng:Prng.t ->
+  dtype:Datatype.t ->
+  rows:int ->
+  cols:int ->
+  bm:int ->
+  bk:int ->
+  sparsity:float ->
+  t
+
+(** View of a stored block's [bm x bk] payload by slot index. *)
+val block_view : t -> int -> Tensor.View.t
+
+(** Blocks of block-row [ib] as (block-col, payload view) pairs. *)
+val row_blocks : t -> int -> (int * Tensor.View.t) array
+
+(** [prune_dense ~bm ~bk ~sparsity a] magnitude-prunes a dense matrix to the
+    requested block sparsity: blocks with the smallest Frobenius norms are
+    zeroed until [sparsity] fraction of blocks is empty. Returns the BCSC
+    form. This is the "block-wise weight pruning" step of §IV-B. *)
+val prune_dense : bm:int -> bk:int -> sparsity:float -> Tensor.t -> t

@@ -1,0 +1,17 @@
+let epsilon = 1.0 /. 256.0
+
+let bits_of_float x =
+  if Float.is_nan x then 0x7FC0
+  else begin
+    let b32 = Int32.bits_of_float x in
+    (* round-to-nearest-even on the low 16 bits *)
+    let lsb = Int32.to_int (Int32.shift_right_logical b32 16) land 1 in
+    let bias = Int32.of_int (0x7FFF + lsb) in
+    let rounded = Int32.add b32 bias in
+    Int32.to_int (Int32.shift_right_logical rounded 16) land 0xFFFF
+  end
+
+let float_of_bits bits =
+  Int32.float_of_bits (Int32.shift_left (Int32.of_int (bits land 0xFFFF)) 16)
+
+let round x = if Float.is_nan x then x else float_of_bits (bits_of_float x)

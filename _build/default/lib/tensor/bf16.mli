@@ -1,0 +1,20 @@
+(** BF16 (bfloat16) arithmetic emulation.
+
+    BF16 keeps the FP32 exponent and truncates the mantissa to 7 bits.
+    Hardware (AMX, AVX512-BF16, SVE BF16-MMLA) converts with round-to-nearest
+    -even; accumulation happens in FP32. We reproduce exactly that: [round]
+    maps an FP32 value to the nearest representable BF16 value, returned as
+    FP32. *)
+
+(** Round-to-nearest-even onto the BF16 grid. NaN is preserved. *)
+val round : float -> float
+
+(** Raw 16-bit pattern of the BF16 encoding of [x] (top half of the FP32
+    bits after rounding). *)
+val bits_of_float : float -> int
+
+(** Decode a 16-bit BF16 pattern back to FP32. *)
+val float_of_bits : int -> float
+
+(** Relative unit roundoff of BF16 (2^-8), handy for test tolerances. *)
+val epsilon : float

@@ -1,0 +1,25 @@
+(** Tensor element datatypes supported by the TPP backend.
+
+    The paper's TPPs are precision-aware: the same kernel code runs with any
+    supported datatype. We model FP32 and BF16 (the two precisions evaluated
+    in the paper); BF16 values are stored as FP32 values rounded to the BF16
+    grid, which is bit-equivalent to hardware BF16 semantics with FP32
+    accumulation. *)
+
+type t = F32 | BF16
+
+(** Size in bytes of one element as stored by real hardware — used by the
+    performance model for bandwidth accounting (2 for BF16, 4 for FP32). *)
+val bytes : t -> int
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+(** [quantize dt x] rounds [x] onto the representable grid of [dt].
+    Identity for [F32]; round-to-nearest-even BF16 truncation for [BF16]. *)
+val quantize : t -> float -> float
+
+(** VNNI packing factor for low-precision contractions: 32 bits divided by
+    the element width (2 for BF16, 1 for FP32). *)
+val vnni_factor : t -> int

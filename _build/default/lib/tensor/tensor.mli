@@ -1,0 +1,103 @@
+(** Dense N-dimensional tensors over a flat FP32 buffer.
+
+    Tensors are row-major and contiguous. Each tensor carries a {!Datatype.t}
+    tag; for [BF16] tensors every store rounds the value onto the BF16 grid
+    (see {!Bf16}), matching hardware semantics where data at rest is BF16 and
+    arithmetic accumulates in FP32.
+
+    The TPP backend operates on {!View.t}: a strided 2D window into a
+    tensor's buffer (offset, rows, cols, leading dimension), the exact
+    sub-tensor granularity of the paper's TPPs. *)
+
+type buffer =
+  (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = private {
+  data : buffer;
+  dims : int array;
+  strides : int array;  (** row-major element strides *)
+  dtype : Datatype.t;
+}
+
+module View : sig
+  (** A 2D window: element [(i, j)] lives at [off + i*ld + j]. *)
+  type view = {
+    data : buffer;
+    off : int;
+    rows : int;
+    cols : int;
+    ld : int;
+    dtype : Datatype.t;
+  }
+
+  type t = view
+
+  val get : t -> int -> int -> float
+
+  (** Stores quantize to the view's dtype. *)
+  val set : t -> int -> int -> float -> unit
+
+  (** Sub-window at row/col offset within the view. *)
+  val sub : t -> row:int -> col:int -> rows:int -> cols:int -> t
+end
+
+(** [create dtype dims] allocates a zero-filled tensor. *)
+val create : Datatype.t -> int array -> t
+
+(** [init dtype dims f] fills element-wise from multi-index. *)
+val init : Datatype.t -> int array -> (int array -> float) -> t
+
+(** Total number of elements. *)
+val numel : t -> int
+
+(** Number of dimensions. *)
+val rank : t -> int
+
+val dims : t -> int array
+val dtype : t -> Datatype.t
+
+(** Flat (linear, row-major) element access. Stores quantize to dtype. *)
+val get_flat : t -> int -> float
+val set_flat : t -> int -> float -> unit
+
+(** Multi-index element access; index length must equal [rank]. *)
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+
+(** Linear offset of a multi-index. *)
+val offset : t -> int array -> int
+
+val fill : t -> float -> unit
+
+(** Fill with uniform values in [-scale, scale) from [rng]. *)
+val fill_random : t -> Prng.t -> scale:float -> unit
+
+(** Deep copy (same dtype and contents). *)
+val copy : t -> t
+
+(** Same buffer reinterpreted with new dims; [numel] must be preserved. *)
+val reshape : t -> int array -> t
+
+(** Convert to another datatype (rounding values as needed). *)
+val cast : t -> Datatype.t -> t
+
+(** Element-wise maximum absolute difference. Dims must match. *)
+val max_abs_diff : t -> t -> float
+
+(** [approx_equal ?tol a b] — max |a-b| <= tol * (1 + max|reference|). *)
+val approx_equal : ?tol:float -> t -> t -> bool
+
+(** All elements as a list (tests only; small tensors). *)
+val to_list : t -> float list
+
+(** [view t idx ~rows ~cols] — 2D window whose top-left corner is
+    multi-index [idx] (length = [rank t]), spanning [rows] of the
+    second-to-last dimension and [cols] of the last dimension. *)
+val view : t -> int array -> rows:int -> cols:int -> View.t
+
+(** Whole rank-2 tensor as a view. *)
+val view2d : t -> View.t
+
+(** Arbitrary window by flat element offset — for kernels addressing
+    blocked tensors by strides (BRGEMM stride variant). *)
+val view_flat : t -> off:int -> rows:int -> cols:int -> ld:int -> View.t

@@ -1,0 +1,17 @@
+let pack b =
+  assert (Tensor.rank b = 2);
+  let dims = Tensor.dims b in
+  let k = dims.(0) and n = dims.(1) in
+  let v = Datatype.vnni_factor (Tensor.dtype b) in
+  assert (k mod v = 0);
+  Tensor.init (Tensor.dtype b) [| k / v; n; v |] (fun idx ->
+      Tensor.get b [| (idx.(0) * v) + idx.(2); idx.(1) |])
+
+let unpack p =
+  assert (Tensor.rank p = 3);
+  let dims = Tensor.dims p in
+  let kv = dims.(0) and n = dims.(1) and v = dims.(2) in
+  Tensor.init (Tensor.dtype p) [| kv * v; n |] (fun idx ->
+      Tensor.get p [| idx.(0) / v; idx.(1); idx.(0) mod v |])
+
+let get p ~v ~k ~n = Tensor.get p [| k / v; n; k mod v |]

@@ -1,0 +1,1 @@
+lib/tpp/blocks.ml: Array Float Prng Tensor

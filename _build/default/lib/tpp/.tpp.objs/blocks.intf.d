@@ -1,0 +1,1 @@
+lib/tpp/blocks.mli: Prng Tensor

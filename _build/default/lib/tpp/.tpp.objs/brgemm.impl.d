@@ -1,0 +1,1 @@
+lib/tpp/brgemm.ml: Array Bigarray Datatype List Printf Tensor

@@ -1,0 +1,1 @@
+lib/tpp/brgemm.mli: Datatype Tensor

@@ -1,0 +1,1 @@
+lib/tpp/dispatch.ml: Brgemm Hashtbl Mutex Spmm

@@ -1,0 +1,1 @@
+lib/tpp/dispatch.mli: Brgemm Spmm

@@ -1,0 +1,1 @@
+lib/tpp/equation.ml: Array Float Fun Printf Tensor Tpp_binary Tpp_unary

@@ -1,0 +1,1 @@
+lib/tpp/equation.mli: Tensor Tpp_binary Tpp_unary

@@ -1,0 +1,1 @@
+lib/tpp/spmm.ml: Array Bcsc Bigarray Datatype Printf Tensor

@@ -1,0 +1,1 @@
+lib/tpp/spmm.mli: Bcsc Datatype Tensor

@@ -1,0 +1,1 @@
+lib/tpp/tpp_unary.mli: Tensor

@@ -1,0 +1,159 @@
+module View = Tensor.View
+
+type b_layout = Flat | Vnni
+
+type config = {
+  m : int;
+  n : int;
+  k : int;
+  dtype : Datatype.t;
+  b_layout : b_layout;
+  beta : float;
+}
+
+let make_config ?(dtype = Datatype.F32) ?(b_layout = Flat) ?(beta = 1.0) ~m ~n
+    ~k () =
+  assert (m > 0 && n > 0 && k > 0);
+  assert (beta = 0.0 || beta = 1.0);
+  (match b_layout with
+  | Vnni -> assert (k mod Datatype.vnni_factor dtype = 0)
+  | Flat -> ());
+  { m; n; k; dtype; b_layout; beta }
+
+let config_to_string c =
+  Printf.sprintf "brgemm_%dx%dx%d_%s_%s_beta%g" c.m c.n c.k
+    (Datatype.to_string c.dtype)
+    (match c.b_layout with Flat -> "flat" | Vnni -> "vnni")
+    c.beta
+
+(* Kernels are stateless (safe to share across threads from the dispatch
+   cache); the FP32 accumulator — the emulated tile-register file — is
+   allocated per invocation. *)
+type kernel = { cfg : config }
+
+let compile cfg = { cfg }
+
+let config_of k = k.cfg
+
+let load_acc ker acc (c : View.t) =
+  let { m; n; beta; _ } = ker.cfg in
+  if beta = 0.0 then Array.fill acc 0 (m * n) 0.0
+  else
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        acc.((i * n) + j) <- View.get c i j
+      done
+    done
+
+let store_acc ker acc (c : View.t) =
+  let { m; n; _ } = ker.cfg in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      View.set c i j acc.((i * n) + j)
+    done
+  done
+
+(* One batch step: acc += A x B with A at element offset [oa] from [a]'s
+   origin and B at [ob] from [b]'s. The i-k-j loop order walks both B and
+   the accumulator row-contiguously (the emulated register-blocked
+   microkernel). *)
+let accumulate ker acc (a : View.t) (b : View.t) oa ob =
+  let { m; n; k; b_layout; dtype; _ } = ker.cfg in
+  let adata = a.View.data and bdata = b.View.data in
+  let abase = a.View.off + oa and bbase = b.View.off + ob in
+  let alda = a.View.ld and bldb = b.View.ld in
+  match b_layout with
+  | Flat ->
+    for i = 0 to m - 1 do
+      let arow = abase + (i * alda) in
+      let crow = i * n in
+      for p = 0 to k - 1 do
+        let av = Bigarray.Array1.unsafe_get adata (arow + p) in
+        if av <> 0.0 then begin
+          let brow = bbase + (p * bldb) in
+          for j = 0 to n - 1 do
+            acc.(crow + j) <-
+              acc.(crow + j)
+              +. (av *. Bigarray.Array1.unsafe_get bdata (brow + j))
+          done
+        end
+      done
+    done
+  | Vnni ->
+    (* B stored as [k/v] rows of [n*v] elements: element (p, j) lives at
+       row (p/v), column j*v + p mod v. *)
+    let v = Datatype.vnni_factor dtype in
+    for i = 0 to m - 1 do
+      let arow = abase + (i * alda) in
+      let crow = i * n in
+      for p = 0 to k - 1 do
+        let av = Bigarray.Array1.unsafe_get adata (arow + p) in
+        if av <> 0.0 then begin
+          let brow = bbase + (p / v * bldb) + (p mod v) in
+          for j = 0 to n - 1 do
+            acc.(crow + j) <-
+              acc.(crow + j)
+              +. (av *. Bigarray.Array1.unsafe_get bdata (brow + (j * v)))
+          done
+        end
+      done
+    done
+
+let check_views ker ~(a : View.t) ~(b : View.t) ~(c : View.t) =
+  let { m; n; k; b_layout; dtype; _ } = ker.cfg in
+  assert (a.View.rows >= m && a.View.cols >= k);
+  (match b_layout with
+  | Flat -> assert (b.View.rows >= k && b.View.cols >= n)
+  | Vnni ->
+    let v = Datatype.vnni_factor dtype in
+    assert (b.View.rows >= k / v && b.View.cols >= n * v));
+  assert (c.View.rows >= m && c.View.cols >= n)
+
+let fresh_acc ker = Array.make (ker.cfg.m * ker.cfg.n) 0.0
+
+let exec_stride ker ~a ~b ~c ~stride_a ~stride_b ~count =
+  check_views ker ~a ~b ~c;
+  let acc = fresh_acc ker in
+  load_acc ker acc c;
+  for i = 0 to count - 1 do
+    accumulate ker acc a b (i * stride_a) (i * stride_b)
+  done;
+  store_acc ker acc c
+
+let exec_offsets ker ~a ~b ~c ~offs_a ~offs_b =
+  assert (Array.length offs_a = Array.length offs_b);
+  check_views ker ~a ~b ~c;
+  let acc = fresh_acc ker in
+  load_acc ker acc c;
+  for i = 0 to Array.length offs_a - 1 do
+    accumulate ker acc a b offs_a.(i) offs_b.(i)
+  done;
+  store_acc ker acc c
+
+let exec_list ker ~ab ~c =
+  match ab with
+  | [] ->
+    if ker.cfg.beta = 0.0 then begin
+      let acc = fresh_acc ker in
+      load_acc ker acc c;
+      store_acc ker acc c
+    end
+  | (a0, b0) :: _ ->
+    check_views ker ~a:a0 ~b:b0 ~c;
+    let acc = fresh_acc ker in
+    load_acc ker acc c;
+    List.iter
+      (fun ((a : View.t), (b : View.t)) ->
+        (* views may come from different buffers; fold their origins in *)
+        accumulate ker acc
+          { a with View.off = 0 }
+          { b with View.off = 0 }
+          a.View.off b.View.off)
+      ab;
+    store_acc ker acc c
+
+let exec ker ~a ~b ~c = exec_stride ker ~a ~b ~c ~stride_a:0 ~stride_b:0 ~count:1
+
+let flops cfg ~count =
+  2.0 *. float_of_int cfg.m *. float_of_int cfg.n *. float_of_int cfg.k
+  *. float_of_int count

@@ -1,0 +1,41 @@
+type stats = { hits : int; misses : int }
+
+let lock = Mutex.create ()
+let hits = ref 0
+let misses = ref 0
+
+let brgemm_cache : (Brgemm.config, Brgemm.kernel) Hashtbl.t = Hashtbl.create 64
+let spmm_cache : (Spmm.config, Spmm.kernel) Hashtbl.t = Hashtbl.create 64
+
+let cached cache compile cfg =
+  Mutex.lock lock;
+  let kernel =
+    match Hashtbl.find_opt cache cfg with
+    | Some k ->
+      incr hits;
+      k
+    | None ->
+      incr misses;
+      let k = compile cfg in
+      Hashtbl.replace cache cfg k;
+      k
+  in
+  Mutex.unlock lock;
+  kernel
+
+let brgemm cfg = cached brgemm_cache Brgemm.compile cfg
+let spmm cfg = cached spmm_cache Spmm.compile cfg
+
+let stats () =
+  Mutex.lock lock;
+  let s = { hits = !hits; misses = !misses } in
+  Mutex.unlock lock;
+  s
+
+let clear () =
+  Mutex.lock lock;
+  hits := 0;
+  misses := 0;
+  Hashtbl.reset brgemm_cache;
+  Hashtbl.reset spmm_cache;
+  Mutex.unlock lock

@@ -1,0 +1,21 @@
+(** Kernel dispatch and caching — the analogue of LIBXSMM's JIT dispatcher.
+
+    In the real system, requesting a TPP for a (shape, datatype, ISA) tuple
+    the first time JIT-compiles machine code, and subsequent requests return
+    the cached function pointer. Here "compilation" builds a specialized
+    kernel value; the cache makes repeat dispatches O(1) and is shared,
+    thread-safe, and instrumented (hit/miss counters drive the JIT-overhead
+    ablation bench). *)
+
+(** Cached BRGEMM kernel for a configuration. *)
+val brgemm : Brgemm.config -> Brgemm.kernel
+
+(** Cached Block-SpMM kernel. *)
+val spmm : Spmm.config -> Spmm.kernel
+
+type stats = { hits : int; misses : int }
+
+val stats : unit -> stats
+
+(** Reset counters and drop all cached kernels (tests/benches). *)
+val clear : unit -> unit

@@ -1,0 +1,103 @@
+module View = Tensor.View
+
+type expr =
+  | Arg of int
+  | Const of float
+  | Unary of Tpp_unary.op * expr
+  | Binary of Tpp_binary.op * expr * expr
+
+type t = { expr : expr; nargs : int }
+
+exception Invalid_equation of string
+
+let rec validate nargs = function
+  | Arg i ->
+    if i < 0 || i >= nargs then
+      raise
+        (Invalid_equation
+           (Printf.sprintf "argument %d out of range (nargs = %d)" i nargs))
+  | Const _ -> ()
+  | Unary (op, e) ->
+    (match op with
+    | Tpp_unary.Relu_backward | Tpp_unary.Gelu_backward ->
+      raise
+        (Invalid_equation
+           (Tpp_unary.op_to_string op ^ " needs two inputs; not allowed"))
+    | _ -> ());
+    validate nargs e
+  | Binary (_, a, b) ->
+    validate nargs a;
+    validate nargs b
+
+let compile ~nargs expr =
+  if nargs < 0 then raise (Invalid_equation "negative nargs");
+  validate nargs expr;
+  { expr; nargs }
+
+let nargs t = t.nargs
+
+let unary_fn op =
+  match op with
+  | Tpp_unary.Zero -> fun _ -> 0.0
+  | Tpp_unary.Copy -> Fun.id
+  | Tpp_unary.Relu -> fun x -> if x > 0.0 then x else 0.0
+  | Tpp_unary.Gelu -> fun x -> 0.5 *. x *. (1.0 +. Float.erf (x /. Float.sqrt 2.0))
+  | Tpp_unary.Sigmoid -> fun x -> 1.0 /. (1.0 +. exp (-.x))
+  | Tpp_unary.Tanh -> tanh
+  | Tpp_unary.Exp -> exp
+  | Tpp_unary.Sqrt -> sqrt
+  | Tpp_unary.Square -> fun x -> x *. x
+  | Tpp_unary.Reciprocal -> fun x -> 1.0 /. x
+  | Tpp_unary.Negate -> fun x -> -.x
+  | Tpp_unary.Abs -> Float.abs
+  | Tpp_unary.Scale a -> fun x -> a *. x
+  | Tpp_unary.Shift a -> fun x -> a +. x
+  | Tpp_unary.Relu_backward | Tpp_unary.Gelu_backward -> assert false
+
+let binary_fn = function
+  | Tpp_binary.Add -> ( +. )
+  | Tpp_binary.Sub -> ( -. )
+  | Tpp_binary.Mul -> ( *. )
+  | Tpp_binary.Div -> ( /. )
+  | Tpp_binary.Max -> Float.max
+  | Tpp_binary.Min -> Float.min
+
+(* stage the tree into a closure once, then apply per element *)
+let rec stage = function
+  | Arg i -> fun (args : float array) -> args.(i)
+  | Const c -> fun _ -> c
+  | Unary (op, e) ->
+    let f = unary_fn op and inner = stage e in
+    fun args -> f (inner args)
+  | Binary (op, a, b) ->
+    let f = binary_fn op and fa = stage a and fb = stage b in
+    fun args -> f (fa args) (fb args)
+
+let exec t ~args ~out =
+  if Array.length args <> t.nargs then
+    raise
+      (Invalid_equation
+         (Printf.sprintf "expected %d arguments, got %d" t.nargs
+            (Array.length args)));
+  Array.iter
+    (fun (a : View.t) ->
+      if a.View.rows <> out.View.rows || a.View.cols <> out.View.cols then
+        raise (Invalid_equation "argument/output shape mismatch"))
+    args;
+  let f = stage t.expr in
+  let cell = Array.make t.nargs 0.0 in
+  for i = 0 to out.View.rows - 1 do
+    for j = 0 to out.View.cols - 1 do
+      for a = 0 to t.nargs - 1 do
+        cell.(a) <- View.get args.(a) i j
+      done;
+      View.set out i j (f cell)
+    done
+  done
+
+let bias_gelu =
+  compile ~nargs:2 (Unary (Tpp_unary.Gelu, Binary (Tpp_binary.Add, Arg 0, Arg 1)))
+
+let residual_scale c =
+  compile ~nargs:2
+    (Binary (Tpp_binary.Mul, Binary (Tpp_binary.Add, Arg 0, Arg 1), Const c))

@@ -1,0 +1,35 @@
+(** TPP equations: small fused element-wise operator trees evaluated on 2D
+    blocks in one pass — the mechanism behind the paper's fused
+    "layernorm-equation TPPs" and bias+GELU / residual-add chains (§IV-A).
+
+    An equation is built from argument views, constants, and the unary /
+    binary TPP operators; [compile] validates it once (argument arity,
+    supported operators) and returns a kernel that evaluates the whole
+    tree per element without materializing intermediates. *)
+
+type expr =
+  | Arg of int  (** index into the argument array passed at exec *)
+  | Const of float
+  | Unary of Tpp_unary.op * expr
+  | Binary of Tpp_binary.op * expr * expr
+
+type t
+
+exception Invalid_equation of string
+
+(** [compile ~nargs expr] — rejects out-of-range arguments and the
+    two-input unary ops (which need [Tpp_unary.exec2]). *)
+val compile : nargs:int -> expr -> t
+
+val nargs : t -> int
+
+(** [exec t ~args ~out] — all argument views and [out] must share the
+    output's shape; [out] may alias an argument. *)
+val exec : t -> args:Tensor.View.t array -> out:Tensor.View.t -> unit
+
+(** Common fused blocks, prebuilt:
+    bias+GELU: gelu(arg0 + arg1) — the Bert-Intermediate tail. *)
+val bias_gelu : t
+
+(** residual add + scale: (arg0 + arg1) * c. *)
+val residual_scale : float -> t

@@ -1,0 +1,69 @@
+module View = Tensor.View
+
+type config = {
+  n : int;
+  bm : int;
+  bk : int;
+  dtype : Datatype.t;
+  beta : float;
+}
+
+let make_config ?(dtype = Datatype.F32) ?(beta = 1.0) ~n ~bm ~bk () =
+  assert (n > 0 && bm > 0 && bk > 0);
+  assert (beta = 0.0 || beta = 1.0);
+  { n; bm; bk; dtype; beta }
+
+let config_to_string c =
+  Printf.sprintf "bcsc_spmm_n%d_%dx%d_%s_beta%g" c.n c.bm c.bk
+    (Datatype.to_string c.dtype)
+    c.beta
+
+type kernel = { cfg : config }
+
+let compile cfg = { cfg }
+let config_of k = k.cfg
+
+let exec ker ~a ~block_row ~b ~col ~c =
+  let { n; bm; bk; dtype; beta } = ker.cfg in
+  assert (a.Bcsc.bm = bm && a.Bcsc.bk = bk);
+  assert (c.View.rows >= bm && c.View.cols >= n);
+  let v = Datatype.vnni_factor dtype in
+  let acc = Array.make (bm * n) 0.0 in
+  if beta <> 0.0 then
+    for i = 0 to bm - 1 do
+      for j = 0 to n - 1 do
+        acc.((i * n) + j) <- View.get c i j
+      done
+    done;
+  let blocks = Bcsc.row_blocks a block_row in
+  Array.iter
+    (fun (jb, ablk) ->
+      let bdata = b.View.data in
+      let bbase = b.View.off + (col * v) in
+      for i = 0 to bm - 1 do
+        let crow = i * n in
+        for p = 0 to bk - 1 do
+          let av = View.get ablk i p in
+          if av <> 0.0 then begin
+            (* logical K row of this element; VNNI packed row = lp/v *)
+            let lp = (jb * bk) + p in
+            let boff = bbase + (lp / v * b.View.ld) + (lp mod v) in
+            for j = 0 to n - 1 do
+              acc.(crow + j) <-
+                acc.(crow + j)
+                +. (av *. Bigarray.Array1.unsafe_get bdata (boff + (j * v)))
+            done
+          end
+        done
+      done)
+    blocks;
+  for i = 0 to bm - 1 do
+    for j = 0 to n - 1 do
+      View.set c i j acc.((i * n) + j)
+    done
+  done
+
+let effective_flops cfg ~a ~block_row =
+  let nblocks = Array.length (Bcsc.row_blocks a block_row) in
+  2.0 *. float_of_int cfg.bm *. float_of_int cfg.bk *. float_of_int cfg.n
+  *. float_of_int nblocks

@@ -1,0 +1,63 @@
+module View = Tensor.View
+
+type op = Add | Sub | Mul | Div | Max | Min
+
+type broadcast = Full | Row | Col | Scalar
+
+let op_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Max -> "max"
+  | Min -> "min"
+
+let fn = function
+  | Add -> ( +. )
+  | Sub -> ( -. )
+  | Mul -> ( *. )
+  | Div -> ( /. )
+  | Max -> Float.max
+  | Min -> Float.min
+
+let exec op ?(bcast = Full) ~a ~b ~out =
+  assert (a.View.rows = out.View.rows && a.View.cols = out.View.cols);
+  (match bcast with
+  | Full -> assert (b.View.rows = out.View.rows && b.View.cols = out.View.cols)
+  | Row -> assert (b.View.rows = 1 && b.View.cols = out.View.cols)
+  | Col -> assert (b.View.cols = 1 && b.View.rows = out.View.rows)
+  | Scalar -> assert (b.View.rows = 1 && b.View.cols = 1));
+  let f = fn op in
+  let bval i j =
+    match bcast with
+    | Full -> View.get b i j
+    | Row -> View.get b 0 j
+    | Col -> View.get b i 0
+    | Scalar -> View.get b 0 0
+  in
+  for i = 0 to out.View.rows - 1 do
+    for j = 0 to out.View.cols - 1 do
+      View.set out i j (f (View.get a i j) (bval i j))
+    done
+  done
+
+let muladd ~a ~b ~c ~out =
+  assert (
+    a.View.rows = out.View.rows && a.View.cols = out.View.cols
+    && b.View.rows = out.View.rows
+    && b.View.cols = out.View.cols
+    && c.View.rows = out.View.rows
+    && c.View.cols = out.View.cols);
+  for i = 0 to out.View.rows - 1 do
+    for j = 0 to out.View.cols - 1 do
+      View.set out i j ((View.get a i j *. View.get b i j) +. View.get c i j)
+    done
+  done
+
+let axpy ~alpha ~a ~out =
+  assert (a.View.rows = out.View.rows && a.View.cols = out.View.cols);
+  for i = 0 to out.View.rows - 1 do
+    for j = 0 to out.View.cols - 1 do
+      View.set out i j (View.get out i j +. (alpha *. View.get a i j))
+    done
+  done

@@ -1,0 +1,31 @@
+(** Binary (and ternary-FMA) Tensor Processing Primitives over 2D views. *)
+
+type op = Add | Sub | Mul | Div | Max | Min
+
+(** Broadcast mode for the second operand. *)
+type broadcast =
+  | Full  (** same shape as output *)
+  | Row  (** [1 x cols], broadcast down rows — e.g. bias add *)
+  | Col  (** [rows x 1], broadcast across columns *)
+  | Scalar  (** [1 x 1] *)
+
+val op_to_string : op -> string
+
+(** [exec op ?bcast ~a ~b ~out] — out := a (op) broadcast(b). [a] and [out]
+    must have identical shapes; [b]'s shape must match [bcast]. [out] may
+    alias [a] (in-place accumulate patterns). *)
+val exec :
+  op ->
+  ?bcast:broadcast ->
+  a:Tensor.View.t ->
+  b:Tensor.View.t ->
+  out:Tensor.View.t ->
+  unit
+
+(** Fused multiply-add: out := a * b + c (elementwise, all same shape;
+    [out] may alias [c]). *)
+val muladd :
+  a:Tensor.View.t -> b:Tensor.View.t -> c:Tensor.View.t -> out:Tensor.View.t -> unit
+
+(** out := out + alpha * a (axpy on 2D blocks). *)
+val axpy : alpha:float -> a:Tensor.View.t -> out:Tensor.View.t -> unit

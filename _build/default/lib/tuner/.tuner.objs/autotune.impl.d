@@ -1,0 +1,1 @@
+lib/tuner/autotune.ml: Array Gemm Gemm_trace List Perf_model Platform Prng Spec_gen Tensor Threaded_loop Unix

@@ -1,0 +1,1 @@
+lib/tuner/autotune.mli: Gemm Platform Spec_gen

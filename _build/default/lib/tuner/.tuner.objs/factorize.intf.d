@@ -1,0 +1,1 @@
+lib/tuner/factorize.mli:

@@ -1,0 +1,1 @@
+lib/tuner/spec_gen.ml: Array Char Factorize Fun List String

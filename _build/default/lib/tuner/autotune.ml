@@ -1,0 +1,88 @@
+type objective =
+  | Measured of { nthreads : int; repeats : int }
+  | Modeled of { platform : Platform.t; nthreads : int }
+
+type entry = {
+  spec : string;
+  cfg : Gemm.config;
+  gflops : float;
+}
+
+type report = {
+  ranked : entry list;
+  evaluated : int;
+  tuning_seconds : float;
+}
+
+let candidate_config (base : Gemm.config) (c : Spec_gen.candidate) =
+  {
+    base with
+    Gemm.kk_blocks = c.Spec_gen.block_steps.(0);
+    mk_blocks = c.Spec_gen.block_steps.(1);
+    nk_blocks = c.Spec_gen.block_steps.(2);
+  }
+
+let measure_gemm ~nthreads ~repeats cfg spec =
+  let g = Gemm.create cfg spec in
+  let rng = Prng.create 1234 in
+  let a =
+    Tensor.init cfg.Gemm.dtype [| cfg.Gemm.m; cfg.Gemm.k |] (fun _ ->
+        Prng.uniform rng ~scale:1.0)
+  in
+  let b =
+    Tensor.init cfg.Gemm.dtype [| cfg.Gemm.k; cfg.Gemm.n |] (fun _ ->
+        Prng.uniform rng ~scale:1.0)
+  in
+  let ap = Gemm.pack_a cfg a and bp = Gemm.pack_b cfg b in
+  let cp = Gemm.alloc_c cfg in
+  (* warm-up resolves JIT compilation outside the timed region *)
+  Gemm.run ~nthreads g ~a:ap ~b:bp ~c:cp;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to repeats do
+    Gemm.run ~nthreads g ~a:ap ~b:bp ~c:cp
+  done;
+  let dt = (Unix.gettimeofday () -. t0) /. float_of_int repeats in
+  if dt <= 0.0 then 0.0 else Gemm.flops cfg /. dt /. 1e9
+
+let default_constraints (base : Gemm.config) =
+  Spec_gen.gemm_constraints
+    ~trip_a:(Gemm.kb base / base.Gemm.k_step)
+    ~trip_b:(Gemm.mb base) ~trip_c:(Gemm.nb base) ~step_a:base.Gemm.k_step ()
+
+let tune_gemm ?max_candidates ?constraints objective base =
+  let cons =
+    match constraints with
+    | Some c -> c
+    | None -> default_constraints base
+  in
+  let candidates = Spec_gen.generate ?max_candidates cons in
+  let t0 = Unix.gettimeofday () in
+  let entries =
+    List.filter_map
+      (fun cand ->
+        let cfg = candidate_config base cand in
+        match
+          (try Some (Gemm.create cfg cand.Spec_gen.spec)
+           with Threaded_loop.Invalid_spec _ | Invalid_argument _ -> None)
+        with
+        | None -> None
+        | Some _ ->
+          let gflops =
+            match objective with
+            | Measured { nthreads; repeats } ->
+              measure_gemm ~nthreads ~repeats cfg cand.Spec_gen.spec
+            | Modeled { platform; nthreads } ->
+              (Gemm_trace.score ~platform ~nthreads cfg cand.Spec_gen.spec)
+                .Perf_model.gflops
+          in
+          Some { spec = cand.Spec_gen.spec; cfg; gflops })
+      candidates
+  in
+  let ranked =
+    List.sort (fun a b -> compare b.gflops a.gflops) entries
+  in
+  {
+    ranked;
+    evaluated = List.length entries;
+    tuning_seconds = Unix.gettimeofday () -. t0;
+  }

@@ -1,0 +1,33 @@
+(** Off-line auto-tuning of PARLOOPER GEMMs (§II-D / Fig. 1-Box B2).
+
+    Candidates from {!Spec_gen} are evaluated either by actually running
+    the kernel (measured objective) or through the §II-E performance model
+    (modeled objective, enabling cross-architecture tuning without the
+    target machine). Zero lines of user kernel code change between
+    candidates — only the [loop_spec_string] and blocking lists vary. *)
+
+type objective =
+  | Measured of { nthreads : int; repeats : int }
+  | Modeled of { platform : Platform.t; nthreads : int }
+
+type entry = {
+  spec : string;
+  cfg : Gemm.config;
+  gflops : float;
+}
+
+type report = {
+  ranked : entry list;  (** best first *)
+  evaluated : int;
+  tuning_seconds : float;
+}
+
+(** [tune_gemm ?max_candidates objective base] sweeps instantiations of the
+    GEMM described by [base] (its m/n/k/block sizes and dtype are kept; its
+    blocking lists are replaced per candidate). *)
+val tune_gemm :
+  ?max_candidates:int -> ?constraints:Spec_gen.constraints -> objective ->
+  Gemm.config -> report
+
+(** Measured GFLOPS of a single (config, spec) point (used by benches). *)
+val measure_gemm : nthreads:int -> repeats:int -> Gemm.config -> string -> float

@@ -1,0 +1,53 @@
+let factorize n =
+  assert (n > 0);
+  let rec go n d acc =
+    if n = 1 then List.rev acc
+    else if d * d > n then List.rev (n :: acc)
+    else if n mod d = 0 then go (n / d) d (d :: acc)
+    else go n (d + 1) acc
+  in
+  go n 2 []
+
+let prefix_products n =
+  let fs = factorize n in
+  let rec go acc p = function
+    | [] -> List.rev acc
+    | f :: rest ->
+      let p = p * f in
+      if p = n then List.rev acc else go (p :: acc) p rest
+  in
+  go [] 1 fs
+
+let divisors n =
+  let rec go d acc =
+    if d > n then List.rev acc
+    else if n mod d = 0 then go (d + 1) (d :: acc)
+    else go (d + 1) acc
+  in
+  go 1 []
+
+(* Strictly decreasing chains of length [depth] of divisors of [trip]
+   (excluding trip and 1) in which each element divides the previous —
+   scaled by [step] so the lists slot directly into Loop_spec.block_steps. *)
+let blocking_lists ~trip ~step ~depth =
+  if depth = 0 then [ [] ]
+  else begin
+    let divs = divisors trip |> List.filter (fun d -> d > 1 && d < trip) in
+    (* strictly decreasing divisibility chains, outermost first *)
+    let rec chains depth upper =
+      if depth = 0 then [ [] ]
+      else
+        List.concat_map
+          (fun d ->
+            let ok =
+              match upper with None -> true | Some u -> d < u && u mod d = 0
+            in
+            if ok then
+              List.map (fun rest -> d :: rest) (chains (depth - 1) (Some d))
+            else [])
+          divs
+    in
+    chains depth None
+    |> List.map (List.map (fun d -> d * step))
+    |> List.sort_uniq compare
+  end

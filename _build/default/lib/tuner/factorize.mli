@@ -1,0 +1,19 @@
+(** Integer factorization helpers for the auto-tuner's blocking-size
+    selection (§II-D constraint 2: blocking factors are prefix products of
+    the prime factorization of a loop's trip count). *)
+
+(** Prime factors in non-decreasing order; [factorize 12] = [2; 2; 3]. *)
+val factorize : int -> int list
+
+(** Prefix products of the prime factors, excluding 1 and the number
+    itself; [prefix_products 12] = [2; 4] (from 2, 2*2). *)
+val prefix_products : int -> int list
+
+(** All divisors, ascending. *)
+val divisors : int -> int list
+
+(** Candidate blocking-step lists (outer-to-inner, each dividing the
+    previous) with exactly [depth] levels, built from prefix products
+    scaled by [step]. Lists are returned with the largest factor outermost
+    and are guaranteed perfectly nested. *)
+val blocking_lists : trip:int -> step:int -> depth:int -> int list list

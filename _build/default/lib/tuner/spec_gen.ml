@@ -1,0 +1,152 @@
+type constraints = {
+  trip_counts : int array;
+  steps : int array;
+  max_blockings : int array;
+  parallelizable : bool array;
+  max_parallel : int;
+}
+
+type candidate = { spec : string; block_steps : int list array }
+
+let gemm_constraints ?(max_k_blockings = 1) ?(max_mn_blockings = 2) ~trip_a
+    ~trip_b ~trip_c ~step_a () =
+  {
+    trip_counts = [| trip_a; trip_b; trip_c |];
+    steps = [| step_a; 1; 1 |];
+    max_blockings = [| max_k_blockings; max_mn_blockings; max_mn_blockings |];
+    parallelizable = [| false; true; true |];
+    max_parallel = 2;
+  }
+
+(* multiset permutations of a char list, deterministic order *)
+let rec multiset_perms = function
+  | [] -> [ [] ]
+  | items ->
+    List.sort_uniq compare items
+    |> List.concat_map (fun x ->
+           let rec remove_one = function
+             | [] -> []
+             | y :: rest -> if y = x then rest else y :: remove_one rest
+           in
+           multiset_perms (remove_one items)
+           |> List.map (fun p -> x :: p))
+
+(* all choices of blocking depth per loop, within max_blockings and the
+   available divisor chains *)
+let depth_choices cons =
+  let nloops = Array.length cons.trip_counts in
+  let rec go l =
+    if l = nloops then [ [] ]
+    else begin
+      let max_d = cons.max_blockings.(l) in
+      let rest = go (l + 1) in
+      List.concat_map
+        (fun d -> List.map (fun r -> d :: r) rest)
+        (List.init (max_d + 1) Fun.id)
+    end
+  in
+  go 0
+
+(* capitalize parallel occurrences: choose a run of [np] consecutive
+   positions whose letters are all parallelizable and distinct (OpenMP
+   collapse of distinct loops) *)
+let parallel_variants cons chars =
+  let n = List.length chars in
+  let arr = Array.of_list chars in
+  (* the all-serial instantiation is itself a candidate *)
+  let serial =
+    String.init n (fun i -> Char.chr (arr.(i) + Char.code 'a'))
+  in
+  let variants = ref [ serial ] in
+  for np = 1 to cons.max_parallel do
+    for start = 0 to n - np do
+      let letters = Array.sub arr start np in
+      let distinct =
+        Array.length letters
+        = List.length (List.sort_uniq compare (Array.to_list letters))
+      in
+      let all_par =
+        Array.for_all (fun c -> cons.parallelizable.(c)) letters
+      in
+      if distinct && all_par then begin
+        let s =
+          String.init n (fun i ->
+              let c = arr.(i) in
+              let ch = Char.chr (c + Char.code 'a') in
+              if i >= start && i < start + np then Char.uppercase_ascii ch
+              else ch)
+        in
+        variants := s :: !variants
+      end
+    done
+  done;
+  List.sort_uniq compare !variants
+
+let generate ?(max_candidates = 1000) cons =
+  let nloops = Array.length cons.trip_counts in
+  let out = ref [] in
+  let count = ref 0 in
+  (try
+     List.iter
+       (fun depths ->
+         let depths = Array.of_list depths in
+         (* per-loop blocking lists for this depth choice *)
+         let per_loop_lists =
+           Array.init nloops (fun l ->
+               Factorize.blocking_lists ~trip:cons.trip_counts.(l)
+                 ~step:cons.steps.(l) ~depth:depths.(l))
+         in
+         if Array.for_all (fun l -> l <> []) per_loop_lists then begin
+           (* character multiset: loop l appears depths.(l)+1 times *)
+           let chars =
+             List.concat
+               (List.init nloops (fun l ->
+                    List.init (depths.(l) + 1) (fun _ -> l)))
+           in
+           let perms = multiset_perms chars in
+           (* combine: first blocking list per loop is the canonical one;
+              additionally sweep blocking lists for the identity order *)
+           let emit spec block_steps =
+             if !count < max_candidates then begin
+               out := { spec; block_steps } :: !out;
+               incr count
+             end
+             else raise Exit
+           in
+           List.iter
+             (fun perm ->
+               let specs = parallel_variants cons perm in
+               let canonical =
+                 Array.map
+                   (fun l -> match l with [] -> [] | x :: _ -> x)
+                   per_loop_lists
+               in
+               List.iter (fun s -> emit s canonical) specs)
+             perms;
+           (* blocking-size sweep on the canonical loop order *)
+           match perms with
+           | first :: _ ->
+             let rec cartesian = function
+               | [] -> [ [] ]
+               | opts :: rest ->
+                 List.concat_map
+                   (fun choice ->
+                     List.map (fun r -> choice :: r) (cartesian rest))
+                   opts
+             in
+             let all_lists =
+               cartesian (Array.to_list per_loop_lists)
+               |> List.map Array.of_list
+             in
+             let specs = parallel_variants cons first in
+             (match specs with
+             | s :: _ ->
+               List.iter
+                 (fun bs -> if bs <> Array.map (fun l -> match l with [] -> [] | x :: _ -> x) per_loop_lists then emit s bs)
+                 all_lists
+             | [] -> ())
+           | [] -> ()
+         end)
+       (depth_choices cons)
+   with Exit -> ());
+  List.rev !out

@@ -1,0 +1,36 @@
+(** Exhaustive [loop_spec_string] generation under constraints — the
+    paper's auto-tuning infrastructure (§II-D, Fig. 1-Box B2).
+
+    Tunable decisions mapped 1-to-1 onto spec strings:
+    (i) how many times each loop is blocked, (ii) the blocking sizes
+    (prefix products of the trip count's prime factors), (iii) which loops
+    are parallelized, (iv) the loop order. *)
+
+type constraints = {
+  trip_counts : int array;  (** per logical loop *)
+  steps : int array;  (** innermost steps (block units) *)
+  max_blockings : int array;  (** per loop, e.g. a<=2 and b,c<=3 for GEMM *)
+  parallelizable : bool array;  (** loops that define independent tasks *)
+  max_parallel : int;  (** capitalize at most this many occurrences *)
+}
+
+(** A candidate instantiation: the spec string plus the per-loop blocking
+    step lists that make it legal. *)
+type candidate = { spec : string; block_steps : int list array }
+
+(** GEMM defaults: a (K) up to [ka] blockings, b/c (M/N) up to [mb]/[nb];
+    only M and N parallelizable (K is a reduction); up to 2 consecutive
+    parallel occurrences (collapse). *)
+val gemm_constraints :
+  ?max_k_blockings:int ->
+  ?max_mn_blockings:int ->
+  trip_a:int ->
+  trip_b:int ->
+  trip_c:int ->
+  step_a:int ->
+  unit ->
+  constraints
+
+(** Deterministic candidate enumeration, capped at [max_candidates]
+    (default 1000, matching the paper's ~1000-configuration searches). *)
+val generate : ?max_candidates:int -> constraints -> candidate list

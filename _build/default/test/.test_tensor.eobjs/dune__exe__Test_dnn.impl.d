@@ -1,0 +1,1 @@
+test/test_dnn.ml: Alcotest Array Attention Bert Datatype Dlrm Fc Float List Llm Option Prng Reference Resnet Sparse_bert Tensor

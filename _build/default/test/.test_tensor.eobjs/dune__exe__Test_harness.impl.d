@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Anchors Datatype Fig10 Fig11 Fig2 Fig3 Fig5 Fig8 Fig9 Float Lazy List Modelkit Onednn Option Platform Printf Tables Tvm

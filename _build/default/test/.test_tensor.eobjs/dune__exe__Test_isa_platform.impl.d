@@ -1,0 +1,1 @@
+test/test_isa_platform.ml: Alcotest Array Datatype Isa List Platform

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Bcsc Conv Datatype Gemm List Mlp Printf Prng QCheck QCheck_alcotest Reference Spmm_kernel Tensor

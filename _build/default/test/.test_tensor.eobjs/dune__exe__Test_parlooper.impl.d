@@ -1,0 +1,1 @@
+test/test_parlooper.ml: Alcotest Array Atomic Fun List Loop_spec Mutex QCheck QCheck_alcotest Spec_parser Team Threaded_loop

@@ -1,0 +1,1 @@
+test/test_perfmodel.ml: Alcotest Array Datatype Gemm Gemm_trace List Lru Perf_model Platform QCheck QCheck_alcotest

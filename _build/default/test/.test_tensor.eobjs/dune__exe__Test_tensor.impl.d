@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Bcsc Bf16 Datatype Float List Prng QCheck QCheck_alcotest Tensor Vnni

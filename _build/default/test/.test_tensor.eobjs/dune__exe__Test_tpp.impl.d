@@ -1,0 +1,1 @@
+test/test_tpp.ml: Alcotest Array Bcsc Blocks Brgemm Datatype Dispatch Equation Float Fun List Prng QCheck QCheck_alcotest Reference Spmm Tensor Tpp_binary Tpp_unary Vnni

@@ -1,0 +1,1 @@
+test/test_tuner.ml: Alcotest Array Autotune Factorize Gemm Gemm_trace List Loop_spec Perf_model Platform QCheck QCheck_alcotest Spec_gen String Threaded_loop

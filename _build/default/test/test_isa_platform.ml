@@ -1,0 +1,136 @@
+(* Tests for the ISA descriptors and platform models — these anchor the
+   performance model, so several paper-stated ratios are asserted. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf msg = Alcotest.(check (float 1e-6)) msg
+
+let test_amx_16x_over_avx512 () =
+  (* §V-A1: AMX offers up to 16x more peak flops than FP32 AVX512 *)
+  checkf "amx/avx512 = 16" 16.0
+    (Isa.flops_per_cycle Isa.AMX_BF16 /. Isa.flops_per_cycle Isa.AVX512F)
+
+let test_amx_chain_4x4_restriction () =
+  (* Fig. 8 analysis: 4x4 blocks reach 4/32 = 12.5% of AMX BF16 peak *)
+  checkf "4/32 chain" 0.125 (Isa.chain_efficiency Isa.AMX_BF16 ~chain:4);
+  checkf "full chain" 1.0 (Isa.chain_efficiency Isa.AMX_BF16 ~chain:32);
+  checkf "over-chain clamps" 1.0 (Isa.chain_efficiency Isa.AMX_BF16 ~chain:64)
+
+let test_mmla_4x_over_sve () =
+  (* §V-A1: BF16-MMLA up to ~4x (measured 3.43x) over FP32 SVE256 *)
+  checkf "mmla/sve" 4.0
+    (Isa.flops_per_cycle Isa.BF16_MMLA /. Isa.flops_per_cycle Isa.SVE256)
+
+let test_min_chains () =
+  checki "amx" 32 (Isa.min_chain Isa.AMX_BF16);
+  checki "mmla" 4 (Isa.min_chain Isa.BF16_MMLA);
+  checki "avx512-bf16" 2 (Isa.min_chain Isa.AVX512_BF16);
+  checki "avx512f" 1 (Isa.min_chain Isa.AVX512F)
+
+let test_best_for () =
+  let spr = [ Isa.AVX512F; Isa.AVX512_BF16; Isa.AMX_BF16 ] in
+  checkb "bf16 -> amx" true
+    (Isa.best_for Datatype.BF16 spr = Some Isa.AMX_BF16);
+  checkb "f32 -> avx512f" true
+    (Isa.best_for Datatype.F32 spr = Some Isa.AVX512F);
+  checkb "no bf16 -> none" true (Isa.best_for Datatype.BF16 [ Isa.AVX2 ] = None)
+
+let test_native_dtype_consistency () =
+  List.iter
+    (fun i ->
+      checkb "has_bf16 consistent" true
+        (Isa.has_bf16 i = Datatype.equal (Isa.native_dtype i) Datatype.BF16))
+    [ Isa.AVX2; Isa.AVX512F; Isa.AVX512_BF16; Isa.AMX_BF16; Isa.SVE256;
+      Isa.BF16_MMLA; Isa.BF16_DOT ]
+
+(* ---- platforms ---- *)
+
+let test_core_counts () =
+  checki "spr" 112 (Platform.cores Platform.spr);
+  checki "gvt3" 64 (Platform.cores Platform.gvt3);
+  checki "zen4" 16 (Platform.cores Platform.zen4);
+  checki "adl" 16 (Platform.cores Platform.adl)
+
+let test_spr_bf16_peak_ratio () =
+  let f32 = Platform.peak_gflops Platform.spr Datatype.F32 in
+  let bf16 = Platform.peak_gflops Platform.spr Datatype.BF16 in
+  checkf "spr bf16/f32 = 16" 16.0 (bf16 /. f32)
+
+let test_zen4_bf16_peak_ratio () =
+  (* §V-A1: AVX512-BF16 gives 2x over FP32 on Zen4 *)
+  let f32 = Platform.peak_gflops Platform.zen4 Datatype.F32 in
+  let bf16 = Platform.peak_gflops Platform.zen4 Datatype.BF16 in
+  checkf "zen4 bf16/f32 = 2" 2.0 (bf16 /. f32)
+
+let test_gvt3_bf16_peak_ratio () =
+  let f32 = Platform.peak_gflops Platform.gvt3 Datatype.F32 in
+  let bf16 = Platform.peak_gflops Platform.gvt3 Datatype.BF16 in
+  checkf "gvt3 bf16/f32 = 4" 4.0 (bf16 /. f32)
+
+let test_spr_vs_others_peak () =
+  (* §V-A1 Fig 3: SPR up to 3.3x GVT3 and 6.6x Zen4 on BF16 MLP *)
+  let spr = Platform.peak_gflops Platform.spr Datatype.BF16 in
+  let gvt3 = Platform.peak_gflops Platform.gvt3 Datatype.BF16 in
+  let zen4 = Platform.peak_gflops Platform.zen4 Datatype.BF16 in
+  checkb "spr >> gvt3 (>=3x)" true (spr /. gvt3 >= 3.0);
+  checkb "spr >> zen4 (>=6x)" true (spr /. zen4 >= 6.0)
+
+let test_adl_no_bf16 () =
+  checkb "adl f32 only" false (Platform.has_bf16 Platform.adl);
+  checkb "spr has bf16" true (Platform.has_bf16 Platform.spr)
+
+let test_adl_hybrid_peak () =
+  (* P-cores contribute more than E-cores: 8-core peak > half of 16-core *)
+  let p8 = Platform.peak_gflops ~cores:8 Platform.adl Datatype.F32 in
+  let all = Platform.peak_gflops Platform.adl Datatype.F32 in
+  checkb "heterogeneous halves" true (p8 > all /. 2.0)
+
+let test_by_name () =
+  checkb "lookup spr" true (Platform.by_name "spr" = Some Platform.spr);
+  checkb "lookup Zen4" true (Platform.by_name "Zen4" = Some Platform.zen4);
+  checkb "lookup nonsense" true (Platform.by_name "tpu" = None)
+
+let test_contraction_isa () =
+  checkb "spr bf16 = amx" true
+    (Platform.contraction_isa Platform.spr Datatype.BF16 = Some Isa.AMX_BF16);
+  checkb "gvt3 bf16 = mmla" true
+    (Platform.contraction_isa Platform.gvt3 Datatype.BF16 = Some Isa.BF16_MMLA);
+  checkb "adl bf16 = none" true
+    (Platform.contraction_isa Platform.adl Datatype.BF16 = None)
+
+let test_cache_shapes () =
+  List.iter
+    (fun p ->
+      checki
+        (p.Platform.name ^ " has 3 cache levels")
+        3
+        (Array.length p.Platform.caches))
+    Platform.all
+
+let () =
+  Alcotest.run "isa-platform"
+    [
+      ( "isa",
+        [
+          Alcotest.test_case "AMX 16x AVX512" `Quick test_amx_16x_over_avx512;
+          Alcotest.test_case "AMX 4x4 chain = 12.5%" `Quick
+            test_amx_chain_4x4_restriction;
+          Alcotest.test_case "MMLA 4x SVE" `Quick test_mmla_4x_over_sve;
+          Alcotest.test_case "min chains" `Quick test_min_chains;
+          Alcotest.test_case "best_for" `Quick test_best_for;
+          Alcotest.test_case "native dtype" `Quick test_native_dtype_consistency;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "core counts" `Quick test_core_counts;
+          Alcotest.test_case "SPR bf16 16x f32" `Quick test_spr_bf16_peak_ratio;
+          Alcotest.test_case "Zen4 bf16 2x f32" `Quick test_zen4_bf16_peak_ratio;
+          Alcotest.test_case "GVT3 bf16 4x f32" `Quick test_gvt3_bf16_peak_ratio;
+          Alcotest.test_case "SPR dominates peaks" `Quick test_spr_vs_others_peak;
+          Alcotest.test_case "ADL lacks bf16" `Quick test_adl_no_bf16;
+          Alcotest.test_case "ADL hybrid peak" `Quick test_adl_hybrid_peak;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+          Alcotest.test_case "contraction isa" `Quick test_contraction_isa;
+          Alcotest.test_case "cache levels" `Quick test_cache_shapes;
+        ] );
+    ]

@@ -1,0 +1,310 @@
+(* Tests for the PARLOOPER/TPP kernels: GEMM (Listing 1), MLP, direct
+   convolution (Listing 4) and Block-SpMM (Listing 5), all verified against
+   naive references. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let qt t = QCheck_alcotest.to_alcotest t
+
+let random_tensor ?(dtype = Datatype.F32) rng dims =
+  let t = Tensor.create dtype dims in
+  Tensor.fill_random t rng ~scale:1.0;
+  t
+
+(* ---- gemm ---- *)
+
+let gemm_case ~spec ~dtype ~vnni_b ~nthreads () =
+  let rng = Prng.create 100 in
+  let m, n, k = (64, 48, 96) in
+  let a = random_tensor ~dtype rng [| m; k |] in
+  let b = random_tensor ~dtype rng [| k; n |] in
+  let cfg =
+    Gemm.make_config ~bm:16 ~bn:16 ~bk:16 ~dtype ~vnni_b ~k_step:2
+      ~mk_blocks:[ 4; 2 ] ~nk_blocks:[ 3 ] ~m ~n ~k ()
+  in
+  let g = Gemm.create cfg spec in
+  let c = Gemm.run_logical ~nthreads g ~a ~b in
+  checkb
+    (Printf.sprintf "gemm %s %s" spec (Datatype.to_string dtype))
+    true
+    (Tensor.approx_equal ~tol:1e-4 c (Reference.matmul a b))
+
+let test_gemm_specs () =
+  List.iter
+    (fun spec -> gemm_case ~spec ~dtype:Datatype.F32 ~vnni_b:false ~nthreads:4 ())
+    [
+      "BCa"; "aBC"; "bca"; "cab"; "acb"; "bcabcb"; "bC{R:2}aB{C:2}cb";
+      "BCa @ schedule(dynamic,2)"; "aBC @ schedule(dynamic,1)"; "caBbc";
+    ]
+
+let test_gemm_bf16 () =
+  gemm_case ~spec:"BCa" ~dtype:Datatype.BF16 ~vnni_b:false ~nthreads:2 ();
+  gemm_case ~spec:"BCa" ~dtype:Datatype.BF16 ~vnni_b:true ~nthreads:2 ();
+  gemm_case ~spec:"bcaBCb" ~dtype:Datatype.BF16 ~vnni_b:true ~nthreads:3 ()
+
+let test_gemm_flops () =
+  let cfg = Gemm.make_config ~m:100 ~n:50 ~k:20 ~bm:10 ~bn:10 ~bk:10 () in
+  Alcotest.(check (float 0.0)) "2MNK" 200000.0 (Gemm.flops cfg)
+
+let test_gemm_pack_roundtrip () =
+  let rng = Prng.create 4 in
+  let cfg = Gemm.make_config ~bm:8 ~bn:8 ~bk:8 ~m:16 ~n:24 ~k:16 () in
+  let c = random_tensor rng [| 16; 24 |] in
+  let packed = Gemm.pack_c cfg c in
+  checkb "pack_c/unpack_c" true
+    (Tensor.max_abs_diff (Gemm.unpack_c cfg packed) c = 0.0)
+
+let test_gemm_rejects_bad_blocks () =
+  match Gemm.make_config ~bm:7 ~m:16 ~n:16 ~k:16 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected invalid block size"
+
+let prop_gemm_random_shapes =
+  QCheck.Test.make ~name:"gemm == reference on random divisible shapes"
+    ~count:25
+    QCheck.(
+      quad (int_range 1 4) (int_range 1 4) (int_range 1 4) (int_range 0 2))
+    (fun (mb, nb, kb, which) ->
+      let bm, bn, bk = (8, 8, 8) in
+      let m = mb * bm and n = nb * bn and k = kb * bk in
+      let rng = Prng.create ((m * 7) + (n * 13) + k + which) in
+      let a = random_tensor rng [| m; k |] in
+      let b = random_tensor rng [| k; n |] in
+      let spec = List.nth [ "BCa"; "abc"; "cba" ] which in
+      let cfg = Gemm.make_config ~bm ~bn ~bk ~m ~n ~k () in
+      let g = Gemm.create cfg spec in
+      let c = Gemm.run_logical ~nthreads:3 g ~a ~b in
+      Tensor.approx_equal ~tol:1e-4 c (Reference.matmul a b))
+
+let test_gemm_post_hook_runs_once_per_block () =
+  let cfg =
+    Gemm.make_config ~bm:8 ~bn:8 ~bk:8 ~k_step:2 ~m:16 ~n:16 ~k:32 ()
+  in
+  let g = Gemm.create cfg "abc" in
+  let rng = Prng.create 5 in
+  let a = Gemm.pack_a cfg (random_tensor rng [| 16; 32 |]) in
+  let b = Gemm.pack_b cfg (random_tensor rng [| 32; 16 |]) in
+  let c = Gemm.alloc_c cfg in
+  let calls = ref 0 in
+  Gemm.run ~post:(fun ~im:_ ~in_:_ ~c_block:_ -> incr calls) g ~a ~b ~c;
+  checki "post per C block" 4 !calls
+
+(* ---- mlp ---- *)
+
+let test_mlp_matches_reference () =
+  let rng = Prng.create 6 in
+  let mlp =
+    Mlp.create ~rng ~batch:16 ~features:[ 32; 48; 16 ] ~block:16 ()
+  in
+  let input = random_tensor rng [| 32; 16 |] in
+  let out = Mlp.forward ~nthreads:3 mlp (Mlp.pack_input mlp input) in
+  let got = Mlp.unpack_output mlp ~layer_idx:1 out in
+  let expect = Mlp.reference_forward mlp input in
+  checkb "mlp relu" true (Tensor.approx_equal ~tol:1e-4 got expect)
+
+let test_mlp_activations () =
+  List.iter
+    (fun act ->
+      let rng = Prng.create 7 in
+      let mlp =
+        Mlp.create ~rng ~act ~batch:8 ~features:[ 16; 8 ] ~block:8 ()
+      in
+      let input = random_tensor rng [| 16; 8 |] in
+      let out = Mlp.forward mlp (Mlp.pack_input mlp input) in
+      let got = Mlp.unpack_output mlp ~layer_idx:0 out in
+      checkb "activation variant" true
+        (Tensor.approx_equal ~tol:1e-4 got (Mlp.reference_forward mlp input)))
+    [ Mlp.No_activation; Mlp.Relu; Mlp.Gelu; Mlp.Sigmoid ]
+
+let test_mlp_bf16 () =
+  let rng = Prng.create 8 in
+  let mlp =
+    Mlp.create ~rng ~dtype:Datatype.BF16 ~batch:16 ~features:[ 32; 32; 32 ]
+      ~block:16 ()
+  in
+  let input = random_tensor ~dtype:Datatype.BF16 rng [| 32; 16 |] in
+  let out = Mlp.forward ~nthreads:2 mlp (Mlp.pack_input mlp input) in
+  let got = Mlp.unpack_output mlp ~layer_idx:1 out in
+  let expect = Mlp.reference_forward mlp input in
+  checkb "bf16 mlp close to reference" true
+    (Tensor.approx_equal ~tol:0.05 got expect)
+
+let test_mlp_relu_nonnegative () =
+  let rng = Prng.create 9 in
+  let mlp = Mlp.create ~rng ~batch:8 ~features:[ 16; 16 ] ~block:8 () in
+  let input = random_tensor rng [| 16; 8 |] in
+  let out = Mlp.forward mlp (Mlp.pack_input mlp input) in
+  let got = Mlp.unpack_output mlp ~layer_idx:0 out in
+  checkb "relu output nonnegative" true
+    (List.for_all (fun x -> x >= 0.0) (Tensor.to_list got))
+
+(* ---- conv ---- *)
+
+let conv_case ~stride ~pad ~spec ~c_step ~r_step ~s_step ~h_step ~w_step () =
+  let rng = Prng.create 10 in
+  let n, c, k, h, w, r, s = (2, 16, 16, 8, 8, 3, 3) in
+  let inp = random_tensor rng [| n; c; h; w |] in
+  let wts = random_tensor rng [| k; c; r; s |] in
+  let cfg =
+    Conv.make_config ~stride ~pad ~bc:8 ~bk:8 ~c_step ~r_step ~s_step ~h_step
+      ~w_step ~n ~c ~k ~h ~w ~r ~s ()
+  in
+  let cv = Conv.create cfg spec in
+  let got = Conv.run_logical ~nthreads:3 cv ~input:inp ~weights:wts in
+  let expect = Reference.conv2d ~stride ~pad inp wts in
+  checkb
+    (Printf.sprintf "conv s%d p%d %s" stride pad spec)
+    true
+    (Tensor.approx_equal ~tol:1e-4 got expect)
+
+let test_conv_variants () =
+  conv_case ~stride:1 ~pad:1 ~spec:"Acdebfg" ~c_step:1 ~r_step:3 ~s_step:3
+    ~h_step:1 ~w_step:0 ();
+  conv_case ~stride:1 ~pad:1 ~spec:"abcdefg" ~c_step:2 ~r_step:1 ~s_step:1
+    ~h_step:2 ~w_step:4 ();
+  conv_case ~stride:2 ~pad:1 ~spec:"ACdebfg" ~c_step:1 ~r_step:1 ~s_step:3
+    ~h_step:1 ~w_step:0 ();
+  conv_case ~stride:1 ~pad:0 ~spec:"gfAcdeb" ~c_step:2 ~r_step:1 ~s_step:1
+    ~h_step:1 ~w_step:3 ();
+  conv_case ~stride:1 ~pad:1 ~spec:"ADcebfg" ~c_step:1 ~r_step:3 ~s_step:3
+    ~h_step:1 ~w_step:2 ()
+
+let test_conv_1x1_stride_path () =
+  (* R = S = 1 takes the stride-based BRGEMM fast path *)
+  let rng = Prng.create 11 in
+  let n, c, k, h, w = (2, 32, 16, 6, 6) in
+  let inp = random_tensor rng [| n; c; h; w |] in
+  let wts = random_tensor rng [| k; c; 1; 1 |] in
+  List.iter
+    (fun stride ->
+      let cfg =
+        Conv.make_config ~stride ~bc:16 ~bk:16 ~c_step:2 ~n ~c ~k ~h ~w ~r:1
+          ~s:1 ()
+      in
+      let cv = Conv.create cfg "Acdebfg" in
+      let got = Conv.run_logical ~nthreads:2 cv ~input:inp ~weights:wts in
+      let expect = Reference.conv2d ~stride ~pad:0 inp wts in
+      checkb "1x1 conv" true (Tensor.approx_equal ~tol:1e-4 got expect))
+    [ 1; 2 ]
+
+let test_conv_bf16 () =
+  let rng = Prng.create 12 in
+  let n, c, k, h, w, r, s = (1, 16, 8, 6, 6, 3, 3) in
+  let inp = random_tensor ~dtype:Datatype.BF16 rng [| n; c; h; w |] in
+  let wts = random_tensor ~dtype:Datatype.BF16 rng [| k; c; r; s |] in
+  let cfg =
+    Conv.make_config ~pad:1 ~bc:8 ~bk:8 ~dtype:Datatype.BF16 ~n ~c ~k ~h ~w ~r
+      ~s ()
+  in
+  let cv = Conv.create cfg "Acdebfg" in
+  let got = Conv.run_logical cv ~input:inp ~weights:wts in
+  let expect = Reference.conv2d ~stride:1 ~pad:1 inp wts in
+  checkb "bf16 conv" true (Tensor.approx_equal ~tol:0.05 got expect)
+
+let test_conv_post_hook () =
+  let cfg =
+    Conv.make_config ~pad:1 ~bc:8 ~bk:8 ~n:1 ~c:8 ~k:8 ~h:4 ~w:4 ~r:3 ~s:3 ()
+  in
+  let cv = Conv.create cfg "Acdebfg" in
+  let rng = Prng.create 13 in
+  let ip = Conv.pack_input cfg (random_tensor rng [| 1; 8; 4; 4 |]) in
+  let wp = Conv.pack_weights cfg (random_tensor rng [| 8; 8; 3; 3 |]) in
+  let o = Conv.alloc_output cfg in
+  let calls = ref 0 in
+  Conv.run ~post:(fun ~n:_ ~kb:_ ~p:_ ~q:_ ~block:_ -> incr calls) cv
+    ~input:ip ~weights:wp ~output:o;
+  (* one call per (n, kb, p) row since w_step = Q *)
+  checki "post per output row" 4 !calls
+
+let test_conv_flops () =
+  let cfg =
+    Conv.make_config ~pad:1 ~n:2 ~c:4 ~k:8 ~h:4 ~w:4 ~r:3 ~s:3 ~bc:4 ~bk:8 ()
+  in
+  (* P=Q=4: 2*2*8*4*4*4*3*3 = 18432 *)
+  Alcotest.(check (float 0.0)) "conv flops" 18432.0 (Conv.flops cfg)
+
+(* ---- spmm ---- *)
+
+let spmm_case ~sparsity ~bm ~bk ~dtype ~spec () =
+  let rng = Prng.create 14 in
+  let m, n, k = (64, 48, 64) in
+  let a = Bcsc.random ~rng ~dtype ~rows:m ~cols:k ~bm ~bk ~sparsity in
+  let b = random_tensor ~dtype rng [| k; n |] in
+  let cfg = Spmm_kernel.make_config ~bn:16 ~dtype ~m ~n ~k ~bm ~bk () in
+  let sp = Spmm_kernel.create cfg spec in
+  let got = Spmm_kernel.run_logical ~nthreads:3 sp ~a ~b in
+  let expect = Reference.matmul (Bcsc.to_dense a) b in
+  checkb
+    (Printf.sprintf "spmm %.1f %dx%d" sparsity bm bk)
+    true
+    (Tensor.approx_equal ~tol:1e-4 got expect)
+
+let test_spmm_sparsities () =
+  List.iter
+    (fun sp -> spmm_case ~sparsity:sp ~bm:8 ~bk:8 ~dtype:Datatype.F32 ~spec:"AB" ())
+    [ 0.0; 0.3; 0.7; 0.9; 1.0 ]
+
+let test_spmm_block_sizes () =
+  List.iter
+    (fun (bm, bk) ->
+      spmm_case ~sparsity:0.5 ~bm ~bk ~dtype:Datatype.F32 ~spec:"AB" ())
+    [ (4, 4); (8, 16); (16, 8); (32, 32) ]
+
+let test_spmm_bf16_and_specs () =
+  spmm_case ~sparsity:0.5 ~bm:16 ~bk:16 ~dtype:Datatype.BF16 ~spec:"AB" ();
+  spmm_case ~sparsity:0.5 ~bm:8 ~bk:8 ~dtype:Datatype.F32 ~spec:"BA" ();
+  spmm_case ~sparsity:0.5 ~bm:8 ~bk:8 ~dtype:Datatype.F32 ~spec:"ab" ()
+
+let test_spmm_effective_flops () =
+  let rng = Prng.create 15 in
+  let a =
+    Bcsc.random ~rng ~dtype:Datatype.F32 ~rows:32 ~cols:32 ~bm:8 ~bk:8
+      ~sparsity:0.5
+  in
+  let cfg = Spmm_kernel.make_config ~m:32 ~n:32 ~k:32 ~bm:8 ~bk:8 () in
+  let eff = Spmm_kernel.effective_flops cfg ~a in
+  let dense = Spmm_kernel.dense_flops cfg in
+  Alcotest.(check (float 1.0))
+    "effective = density * dense"
+    (dense *. (1.0 -. Bcsc.sparsity a))
+    eff
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "gemm",
+        [
+          Alcotest.test_case "spec strings" `Quick test_gemm_specs;
+          Alcotest.test_case "bf16 / vnni" `Quick test_gemm_bf16;
+          Alcotest.test_case "flops" `Quick test_gemm_flops;
+          Alcotest.test_case "pack roundtrip" `Quick test_gemm_pack_roundtrip;
+          Alcotest.test_case "bad blocks rejected" `Quick
+            test_gemm_rejects_bad_blocks;
+          qt prop_gemm_random_shapes;
+          Alcotest.test_case "post hook" `Quick
+            test_gemm_post_hook_runs_once_per_block;
+        ] );
+      ( "mlp",
+        [
+          Alcotest.test_case "matches reference" `Quick
+            test_mlp_matches_reference;
+          Alcotest.test_case "activations" `Quick test_mlp_activations;
+          Alcotest.test_case "bf16" `Quick test_mlp_bf16;
+          Alcotest.test_case "relu nonneg" `Quick test_mlp_relu_nonnegative;
+        ] );
+      ( "conv",
+        [
+          Alcotest.test_case "variants" `Quick test_conv_variants;
+          Alcotest.test_case "1x1 stride path" `Quick test_conv_1x1_stride_path;
+          Alcotest.test_case "bf16" `Quick test_conv_bf16;
+          Alcotest.test_case "post hook" `Quick test_conv_post_hook;
+          Alcotest.test_case "flops" `Quick test_conv_flops;
+        ] );
+      ( "spmm",
+        [
+          Alcotest.test_case "sparsity sweep" `Quick test_spmm_sparsities;
+          Alcotest.test_case "block sizes" `Quick test_spmm_block_sizes;
+          Alcotest.test_case "bf16 + specs" `Quick test_spmm_bf16_and_specs;
+          Alcotest.test_case "effective flops" `Quick test_spmm_effective_flops;
+        ] );
+    ]

@@ -1,0 +1,289 @@
+(* Tests for the performance model: LRU cache level, the multi-level
+   simulator, and GEMM trace scoring. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let qt t = QCheck_alcotest.to_alcotest t
+
+(* ---- lru ---- *)
+
+let test_lru_basic () =
+  let l = Lru.create ~capacity_bytes:100 in
+  Lru.touch l 1 ~bytes:40;
+  Lru.touch l 2 ~bytes:40;
+  checkb "both resident" true (Lru.mem l 1 && Lru.mem l 2);
+  Lru.touch l 3 ~bytes:40;
+  checkb "lru evicted" false (Lru.mem l 1);
+  checkb "recent kept" true (Lru.mem l 2 && Lru.mem l 3)
+
+let test_lru_touch_refreshes () =
+  let l = Lru.create ~capacity_bytes:100 in
+  Lru.touch l 1 ~bytes:40;
+  Lru.touch l 2 ~bytes:40;
+  Lru.touch l 1 ~bytes:40;
+  (* 1 is now MRU *)
+  Lru.touch l 3 ~bytes:40;
+  checkb "2 evicted" false (Lru.mem l 2);
+  checkb "1 kept" true (Lru.mem l 1)
+
+let test_lru_oversized_never_resident () =
+  let l = Lru.create ~capacity_bytes:100 in
+  Lru.touch l 1 ~bytes:500;
+  checkb "too big" false (Lru.mem l 1);
+  checki "empty" 0 (Lru.occupancy l)
+
+let test_lru_mru_order () =
+  let l = Lru.create ~capacity_bytes:1000 in
+  Lru.touch l 1 ~bytes:10;
+  Lru.touch l 2 ~bytes:10;
+  Lru.touch l 3 ~bytes:10;
+  Lru.touch l 1 ~bytes:10;
+  Alcotest.(check (list int)) "mru first" [ 1; 3; 2 ] (Lru.contents l)
+
+let test_lru_resize_entry () =
+  let l = Lru.create ~capacity_bytes:100 in
+  Lru.touch l 1 ~bytes:30;
+  Lru.touch l 1 ~bytes:60;
+  checki "occupancy updated" 60 (Lru.occupancy l)
+
+let prop_lru_matches_naive_model =
+  (* model-based test against a naive list implementation *)
+  QCheck.Test.make ~name:"lru matches naive model" ~count:100
+    QCheck.(list (pair (int_range 0 9) (int_range 1 30)))
+    (fun ops ->
+      let cap = 64 in
+      let l = Lru.create ~capacity_bytes:cap in
+      (* naive: (key, bytes) list, head = MRU *)
+      let naive = ref [] in
+      let naive_touch k b =
+        naive := (k, b) :: List.remove_assoc k !naive;
+        let rec trim acc used = function
+          | [] -> List.rev acc
+          | (k', b') :: rest ->
+            if used + b' <= cap then trim ((k', b') :: acc) (used + b') rest
+            else trim acc used rest
+        in
+        (* evict from tail until fits *)
+        let total = List.fold_left (fun a (_, b') -> a + b') 0 !naive in
+        if total > cap then begin
+          let rec drop_tail lst =
+            let tot = List.fold_left (fun a (_, b') -> a + b') 0 lst in
+            if tot <= cap then lst
+            else
+              match List.rev lst with
+              | [] -> []
+              | _ :: rev_rest -> drop_tail (List.rev rev_rest)
+          in
+          naive := drop_tail !naive
+        end;
+        ignore trim
+      in
+      List.for_all
+        (fun (k, b) ->
+          if b <= cap then begin
+            Lru.touch l k ~bytes:b;
+            naive_touch k b;
+            List.map fst !naive = Lru.contents l
+          end
+          else true)
+        ops)
+
+(* ---- simulator ---- *)
+
+let mk_work ~flops ~chain accesses =
+  Perf_model.work ~flops ~chain
+    ~accesses:
+      (List.map
+         (fun (t, b, bytes) -> Perf_model.access ~tensor:t ~block:b ~bytes ())
+         accesses)
+    ~store_bytes:0 ()
+
+let test_simulate_compute_bound_peak () =
+  (* tiny working set, lots of flops: should run at core peak *)
+  let w = mk_work ~flops:1e6 ~chain:64 [ (0, 0, 1024) ] in
+  let traces = [| List.init 100 (fun _ -> w) |] in
+  let r =
+    Perf_model.simulate ~platform:Platform.zen4 ~dtype:Datatype.F32
+      ~nthreads:1 ~traces ()
+  in
+  let peak = Platform.core_peak_gflops Platform.zen4 Datatype.F32 in
+  checkb "near peak" true (r.Perf_model.gflops > 0.9 *. peak);
+  checkb "not above peak" true (r.Perf_model.gflops <= peak *. 1.0001)
+
+let test_simulate_repeated_slice_hits_cache () =
+  let w = mk_work ~flops:1.0 ~chain:1 [ (0, 0, 4096) ] in
+  let traces = [| [ w; w; w; w ] |] in
+  let r =
+    Perf_model.simulate ~platform:Platform.spr ~dtype:Datatype.F32 ~nthreads:1
+      ~traces ()
+  in
+  checki "one memory access" 1 r.Perf_model.mem_accesses;
+  checki "three L1 hits" 3 r.Perf_model.level_hits.(0)
+
+let test_simulate_capacity_spill_to_l2 () =
+  (* cycle through slices larger than L1 (48KB on SPR) but within L2 *)
+  let slices = List.init 4 (fun i -> mk_work ~flops:1.0 ~chain:1 [ (0, i, 16384) ]) in
+  let trace = List.concat [ slices; slices; slices ] in
+  let r =
+    Perf_model.simulate ~platform:Platform.spr ~dtype:Datatype.F32 ~nthreads:1
+      ~traces:[| trace |] ()
+  in
+  checki "4 cold misses" 4 r.Perf_model.mem_accesses;
+  checkb "L2 serves repeats" true (r.Perf_model.level_hits.(1) >= 4)
+
+let test_simulate_memory_bound () =
+  (* every access a fresh huge slice: time bounded by DRAM bandwidth *)
+  let trace =
+    List.init 100 (fun i -> mk_work ~flops:1.0 ~chain:1 [ (0, i, 1 lsl 21) ])
+  in
+  let r =
+    Perf_model.simulate ~platform:Platform.zen4 ~dtype:Datatype.F32
+      ~nthreads:1 ~traces:[| trace |] ()
+  in
+  let bytes = 100.0 *. float_of_int (1 lsl 21) in
+  let min_time = bytes /. (Platform.zen4.Platform.mem_bw_gbs *. 1e9) in
+  checkb "respects DRAM bound" true (r.Perf_model.time_s >= min_time *. 0.99)
+
+let test_simulate_slowest_thread_dominates () =
+  let w = mk_work ~flops:1e6 ~chain:64 [ (0, 0, 1024) ] in
+  let traces = [| List.init 10 (fun _ -> w); List.init 100 (fun _ -> w) |] in
+  let r1 =
+    Perf_model.simulate ~platform:Platform.spr ~dtype:Datatype.F32 ~nthreads:2
+      ~traces ()
+  in
+  let r2 =
+    Perf_model.simulate ~platform:Platform.spr ~dtype:Datatype.F32 ~nthreads:2
+      ~traces:[| List.init 100 (fun _ -> w); List.init 100 (fun _ -> w) |] ()
+  in
+  Alcotest.(check (float 1e-9))
+    "imbalanced time = slowest thread" r2.Perf_model.time_s r1.Perf_model.time_s
+
+let test_chain_efficiency_affects_compute () =
+  let short = mk_work ~flops:1e6 ~chain:4 [ (0, 0, 64) ] in
+  let long = mk_work ~flops:1e6 ~chain:64 [ (0, 0, 64) ] in
+  let run w =
+    (Perf_model.simulate ~platform:Platform.spr ~dtype:Datatype.BF16
+       ~nthreads:1
+       ~traces:[| List.init 50 (fun _ -> w) |]
+       ())
+      .Perf_model.gflops
+  in
+  (* AMX with chain 4 is limited to 12.5% of peak (Fig. 8) *)
+  let ratio = run long /. run short in
+  checkb "chain-8x gap" true (ratio > 7.0 && ratio < 9.0)
+
+(* ---- gemm traces ---- *)
+
+let small_cfg =
+  Gemm.make_config ~bm:32 ~bn:32 ~bk:32 ~m:256 ~n:256 ~k:256 ()
+
+let test_gemm_trace_flops_total () =
+  let traces = Gemm_trace.trace small_cfg "BCa" ~nthreads:4 in
+  let total =
+    Array.fold_left
+      (fun acc t ->
+        List.fold_left (fun a w -> a +. w.Perf_model.flops) acc t)
+      0.0 traces
+  in
+  Alcotest.(check (float 1.0)) "sum = 2MNK" (Gemm.flops small_cfg) total
+
+let test_gemm_trace_thread_count () =
+  let traces = Gemm_trace.trace small_cfg "BCa" ~nthreads:4 in
+  checki "4 traces" 4 (Array.length traces);
+  Array.iter
+    (fun t -> checkb "balanced" true (List.length t > 0))
+    traces
+
+let test_score_parallel_beats_serial () =
+  let par =
+    (Gemm_trace.score ~platform:Platform.zen4 ~nthreads:8 small_cfg "BCa")
+      .Perf_model.gflops
+  in
+  let ser =
+    (Gemm_trace.score ~platform:Platform.zen4 ~nthreads:8 small_cfg "bca")
+      .Perf_model.gflops
+  in
+  checkb "parallel faster" true (par > 3.0 *. ser)
+
+let test_score_flat_b_conflict_penalty () =
+  (* pow2 leading dimension: flat B wastes cache -> more DRAM traffic *)
+  let cfg =
+    Gemm.make_config ~bm:64 ~bn:64 ~bk:64 ~m:1024 ~n:2048 ~k:2048 ()
+  in
+  let blocked =
+    Gemm_trace.score ~platform:Platform.spr ~nthreads:8 cfg "BCa"
+  in
+  let flat =
+    Gemm_trace.score ~flat_b:true ~platform:Platform.spr ~nthreads:8 cfg "BCa"
+  in
+  checkb "flat B reads more DRAM" true
+    (flat.Perf_model.mem_read_bytes > blocked.Perf_model.mem_read_bytes)
+
+let test_score_respects_platform_peak () =
+  List.iter
+    (fun (p, dtype) ->
+      let r = Gemm_trace.score ~platform:p ~nthreads:8 small_cfg "BCa" in
+      let peak = Platform.peak_gflops ~cores:8 p dtype in
+      checkb
+        (p.Platform.name ^ " within peak")
+        true
+        (r.Perf_model.gflops <= peak *. 1.0001))
+    [
+      (Platform.spr, Datatype.F32);
+      (Platform.zen4, Datatype.F32);
+      (Platform.gvt3, Datatype.F32);
+    ]
+
+let prop_more_threads_not_slower_modeled =
+  QCheck.Test.make ~name:"model: 8 threads >= 2 threads on parallel spec"
+    ~count:10
+    (QCheck.int_range 0 1000)
+    (fun seed ->
+      ignore seed;
+      let s8 =
+        (Gemm_trace.score ~platform:Platform.spr ~nthreads:8 small_cfg "BCa")
+          .Perf_model.gflops
+      in
+      let s2 =
+        (Gemm_trace.score ~platform:Platform.spr ~nthreads:2 small_cfg "BCa")
+          .Perf_model.gflops
+      in
+      s8 >= s2)
+
+let () =
+  Alcotest.run "perfmodel"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "basic eviction" `Quick test_lru_basic;
+          Alcotest.test_case "touch refreshes" `Quick test_lru_touch_refreshes;
+          Alcotest.test_case "oversized" `Quick test_lru_oversized_never_resident;
+          Alcotest.test_case "mru order" `Quick test_lru_mru_order;
+          Alcotest.test_case "resize entry" `Quick test_lru_resize_entry;
+          qt prop_lru_matches_naive_model;
+        ] );
+      ( "simulate",
+        [
+          Alcotest.test_case "compute bound peak" `Quick
+            test_simulate_compute_bound_peak;
+          Alcotest.test_case "cache hits" `Quick
+            test_simulate_repeated_slice_hits_cache;
+          Alcotest.test_case "L2 spill" `Quick test_simulate_capacity_spill_to_l2;
+          Alcotest.test_case "memory bound" `Quick test_simulate_memory_bound;
+          Alcotest.test_case "slowest thread" `Quick
+            test_simulate_slowest_thread_dominates;
+          Alcotest.test_case "chain efficiency" `Quick
+            test_chain_efficiency_affects_compute;
+        ] );
+      ( "gemm-trace",
+        [
+          Alcotest.test_case "flops total" `Quick test_gemm_trace_flops_total;
+          Alcotest.test_case "thread count" `Quick test_gemm_trace_thread_count;
+          Alcotest.test_case "parallel beats serial" `Quick
+            test_score_parallel_beats_serial;
+          Alcotest.test_case "flat-B conflict" `Quick
+            test_score_flat_b_conflict_penalty;
+          Alcotest.test_case "within peak" `Quick test_score_respects_platform_peak;
+          qt prop_more_threads_not_slower_modeled;
+        ] );
+    ]

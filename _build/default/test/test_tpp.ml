@@ -1,0 +1,593 @@
+(* Tests for the TPP backend: unary/binary ops, BRGEMM, SpMM, composite
+   blocks and the dispatch cache. *)
+
+module View = Tensor.View
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf msg = Alcotest.(check (float 1e-5)) msg
+let qt t = QCheck_alcotest.to_alcotest t
+
+let tensor_of rows cols f =
+  Tensor.init Datatype.F32 [| rows; cols |] (fun i -> f i.(0) i.(1))
+
+let random_tensor ?(dtype = Datatype.F32) rng rows cols =
+  let t = Tensor.create dtype [| rows; cols |] in
+  Tensor.fill_random t rng ~scale:1.0;
+  t
+
+(* ---- unary ---- *)
+
+let test_unary_pointwise () =
+  let rng = Prng.create 1 in
+  let x = random_tensor rng 4 5 in
+  let check_op op f name =
+    let y = Tensor.create Datatype.F32 [| 4; 5 |] in
+    Tpp_unary.exec op ~inp:(Tensor.view2d x) ~out:(Tensor.view2d y);
+    for i = 0 to 19 do
+      Alcotest.(check (float 1e-6))
+        name
+        (f (Tensor.get_flat x i))
+        (Tensor.get_flat y i)
+    done
+  in
+  check_op Tpp_unary.Relu Reference.relu "relu";
+  check_op Tpp_unary.Gelu Reference.gelu "gelu";
+  check_op Tpp_unary.Sigmoid Reference.sigmoid "sigmoid";
+  check_op Tpp_unary.Tanh tanh "tanh";
+  check_op Tpp_unary.Square (fun v -> v *. v) "square";
+  check_op Tpp_unary.Negate (fun v -> -.v) "negate";
+  check_op Tpp_unary.Abs Float.abs "abs";
+  check_op (Tpp_unary.Scale 2.5) (fun v -> 2.5 *. v) "scale";
+  check_op (Tpp_unary.Shift (-1.0)) (fun v -> v -. 1.0) "shift";
+  check_op Tpp_unary.Copy Fun.id "copy"
+
+let test_unary_zero () =
+  let y = tensor_of 3 3 (fun _ _ -> 7.0) in
+  Tpp_unary.exec Tpp_unary.Zero ~inp:(Tensor.view2d y) ~out:(Tensor.view2d y);
+  checkb "zeroed" true (List.for_all (( = ) 0.0) (Tensor.to_list y))
+
+let test_relu_backward () =
+  let g = tensor_of 2 2 (fun i j -> float_of_int ((i * 2) + j + 1)) in
+  let x = tensor_of 2 2 (fun i j -> if (i + j) mod 2 = 0 then 1.0 else -1.0) in
+  let dx = Tensor.create Datatype.F32 [| 2; 2 |] in
+  Tpp_unary.exec2 Tpp_unary.Relu_backward ~inp:(Tensor.view2d g)
+    ~aux:(Tensor.view2d x) ~out:(Tensor.view2d dx);
+  checkf "passes where x>0" 1.0 (Tensor.get dx [| 0; 0 |]);
+  checkf "blocks where x<=0" 0.0 (Tensor.get dx [| 0; 1 |])
+
+let test_gelu_backward_finite_diff () =
+  let xs = [ -2.0; -0.5; 0.0; 0.7; 1.9 ] in
+  List.iter
+    (fun x ->
+      let g = tensor_of 1 1 (fun _ _ -> 1.0) in
+      let xv = tensor_of 1 1 (fun _ _ -> x) in
+      let dx = Tensor.create Datatype.F32 [| 1; 1 |] in
+      Tpp_unary.exec2 Tpp_unary.Gelu_backward ~inp:(Tensor.view2d g)
+        ~aux:(Tensor.view2d xv) ~out:(Tensor.view2d dx);
+      let h = 1e-4 in
+      let fd = (Reference.gelu (x +. h) -. Reference.gelu (x -. h)) /. (2. *. h) in
+      Alcotest.(check (float 1e-3)) "gelu grad" fd (Tensor.get_flat dx 0))
+    xs
+
+let test_reduce () =
+  let x = tensor_of 2 3 (fun i j -> float_of_int ((i * 3) + j)) in
+  let rs = Tensor.create Datatype.F32 [| 2; 1 |] in
+  Tpp_unary.reduce Tpp_unary.Sum Tpp_unary.Rows ~inp:(Tensor.view2d x)
+    ~out:(Tensor.view2d rs);
+  checkf "row sum 0" 3.0 (Tensor.get rs [| 0; 0 |]);
+  checkf "row sum 1" 12.0 (Tensor.get rs [| 1; 0 |]);
+  let cs = Tensor.create Datatype.F32 [| 1; 3 |] in
+  Tpp_unary.reduce Tpp_unary.Max Tpp_unary.Cols ~inp:(Tensor.view2d x)
+    ~out:(Tensor.view2d cs);
+  checkf "col max" 5.0 (Tensor.get cs [| 0; 2 |])
+
+let test_transpose () =
+  let x = tensor_of 2 3 (fun i j -> float_of_int ((i * 3) + j)) in
+  let y = Tensor.create Datatype.F32 [| 3; 2 |] in
+  Tpp_unary.transpose ~inp:(Tensor.view2d x) ~out:(Tensor.view2d y);
+  checkf "transposed" (Tensor.get x [| 1; 2 |]) (Tensor.get y [| 2; 1 |])
+
+let test_broadcasts () =
+  let row = tensor_of 1 3 (fun _ j -> float_of_int j) in
+  let out = Tensor.create Datatype.F32 [| 2; 3 |] in
+  Tpp_unary.broadcast_row ~inp:(Tensor.view2d row) ~out:(Tensor.view2d out);
+  checkf "row bcast" 2.0 (Tensor.get out [| 1; 2 |]);
+  let col = tensor_of 2 1 (fun i _ -> float_of_int (10 * i)) in
+  Tpp_unary.broadcast_col ~inp:(Tensor.view2d col) ~out:(Tensor.view2d out);
+  checkf "col bcast" 10.0 (Tensor.get out [| 1; 2 |])
+
+(* ---- binary ---- *)
+
+let test_binary_full () =
+  let a = tensor_of 2 2 (fun i j -> float_of_int ((i * 2) + j)) in
+  let b = tensor_of 2 2 (fun _ _ -> 2.0) in
+  let out = Tensor.create Datatype.F32 [| 2; 2 |] in
+  let run op =
+    Tpp_binary.exec op ~bcast:Tpp_binary.Full ~a:(Tensor.view2d a)
+      ~b:(Tensor.view2d b) ~out:(Tensor.view2d out)
+  in
+  run Tpp_binary.Add;
+  checkf "add" 5.0 (Tensor.get out [| 1; 1 |]);
+  run Tpp_binary.Mul;
+  checkf "mul" 6.0 (Tensor.get out [| 1; 1 |]);
+  run Tpp_binary.Sub;
+  checkf "sub" 1.0 (Tensor.get out [| 1; 1 |]);
+  run Tpp_binary.Div;
+  checkf "div" 1.5 (Tensor.get out [| 1; 1 |]);
+  run Tpp_binary.Max;
+  checkf "max" 3.0 (Tensor.get out [| 1; 1 |]);
+  run Tpp_binary.Min;
+  checkf "min" 2.0 (Tensor.get out [| 1; 1 |])
+
+let test_binary_broadcast_row_col () =
+  let a = tensor_of 2 3 (fun _ _ -> 0.0) in
+  let out = Tensor.create Datatype.F32 [| 2; 3 |] in
+  let row = tensor_of 1 3 (fun _ j -> float_of_int j) in
+  Tpp_binary.exec Tpp_binary.Add ~bcast:Tpp_binary.Row ~a:(Tensor.view2d a)
+    ~b:(Tensor.view2d row) ~out:(Tensor.view2d out);
+  checkf "row bias" 2.0 (Tensor.get out [| 1; 2 |]);
+  let col = tensor_of 2 1 (fun i _ -> float_of_int (i + 1)) in
+  Tpp_binary.exec Tpp_binary.Add ~bcast:Tpp_binary.Col ~a:(Tensor.view2d a)
+    ~b:(Tensor.view2d col) ~out:(Tensor.view2d out);
+  checkf "col bias" 2.0 (Tensor.get out [| 1; 0 |]);
+  let s = tensor_of 1 1 (fun _ _ -> 9.0) in
+  Tpp_binary.exec Tpp_binary.Add ~bcast:Tpp_binary.Scalar ~a:(Tensor.view2d a)
+    ~b:(Tensor.view2d s) ~out:(Tensor.view2d out);
+  checkf "scalar" 9.0 (Tensor.get out [| 0; 0 |])
+
+let test_muladd_axpy () =
+  let a = tensor_of 2 2 (fun _ _ -> 2.0) in
+  let b = tensor_of 2 2 (fun _ _ -> 3.0) in
+  let c = tensor_of 2 2 (fun _ _ -> 1.0) in
+  let out = Tensor.create Datatype.F32 [| 2; 2 |] in
+  Tpp_binary.muladd ~a:(Tensor.view2d a) ~b:(Tensor.view2d b)
+    ~c:(Tensor.view2d c) ~out:(Tensor.view2d out);
+  checkf "muladd" 7.0 (Tensor.get out [| 0; 0 |]);
+  Tpp_binary.axpy ~alpha:0.5 ~a:(Tensor.view2d a) ~out:(Tensor.view2d out);
+  checkf "axpy" 8.0 (Tensor.get out [| 0; 0 |])
+
+(* ---- brgemm ---- *)
+
+let test_brgemm_single () =
+  let rng = Prng.create 2 in
+  let a = random_tensor rng 8 6 and b = random_tensor rng 6 10 in
+  let c = Tensor.create Datatype.F32 [| 8; 10 |] in
+  let ker = Brgemm.compile (Brgemm.make_config ~beta:0.0 ~m:8 ~n:10 ~k:6 ()) in
+  Brgemm.exec ker ~a:(Tensor.view2d a) ~b:(Tensor.view2d b)
+    ~c:(Tensor.view2d c);
+  let expect = Reference.matmul a b in
+  checkb "single gemm" true (Tensor.approx_equal ~tol:1e-5 c expect)
+
+let test_brgemm_beta1_accumulates () =
+  let rng = Prng.create 3 in
+  let a = random_tensor rng 4 4 and b = random_tensor rng 4 4 in
+  let c = tensor_of 4 4 (fun _ _ -> 1.0) in
+  let ker = Brgemm.compile (Brgemm.make_config ~beta:1.0 ~m:4 ~n:4 ~k:4 ()) in
+  Brgemm.exec ker ~a:(Tensor.view2d a) ~b:(Tensor.view2d b)
+    ~c:(Tensor.view2d c);
+  let expect = Reference.matmul a b in
+  checkf "accumulated" (1.0 +. Tensor.get expect [| 2; 2 |]) (Tensor.get c [| 2; 2 |])
+
+let test_brgemm_stride_batch () =
+  (* sum of 3 chunked products == full K product *)
+  let rng = Prng.create 4 in
+  let a = random_tensor rng 4 12 and b = random_tensor rng 12 5 in
+  let c = Tensor.create Datatype.F32 [| 4; 5 |] in
+  let ker = Brgemm.compile (Brgemm.make_config ~beta:0.0 ~m:4 ~n:5 ~k:4 ()) in
+  (* A chunks at column offsets 0,4,8; B chunks at row offsets 0,4,8 *)
+  Brgemm.exec_stride ker ~a:(Tensor.view2d a) ~b:(Tensor.view2d b)
+    ~c:(Tensor.view2d c) ~stride_a:4 ~stride_b:(4 * 5) ~count:3;
+  checkb "batched = full" true
+    (Tensor.approx_equal ~tol:1e-5 c (Reference.matmul a b))
+
+let test_brgemm_offsets () =
+  let rng = Prng.create 5 in
+  let a = random_tensor rng 4 8 and b = random_tensor rng 8 5 in
+  let c = Tensor.create Datatype.F32 [| 4; 5 |] in
+  let ker = Brgemm.compile (Brgemm.make_config ~beta:0.0 ~m:4 ~n:5 ~k:4 ()) in
+  Brgemm.exec_offsets ker ~a:(Tensor.view2d a) ~b:(Tensor.view2d b)
+    ~c:(Tensor.view2d c) ~offs_a:[| 0; 4 |] ~offs_b:[| 0; 20 |];
+  checkb "offsets = full" true
+    (Tensor.approx_equal ~tol:1e-5 c (Reference.matmul a b))
+
+let test_brgemm_list () =
+  let rng = Prng.create 6 in
+  let a1 = random_tensor rng 3 4 and b1 = random_tensor rng 4 3 in
+  let a2 = random_tensor rng 3 4 and b2 = random_tensor rng 4 3 in
+  let c = Tensor.create Datatype.F32 [| 3; 3 |] in
+  let ker = Brgemm.compile (Brgemm.make_config ~beta:0.0 ~m:3 ~n:3 ~k:4 ()) in
+  Brgemm.exec_list ker
+    ~ab:[ (Tensor.view2d a1, Tensor.view2d b1);
+          (Tensor.view2d a2, Tensor.view2d b2) ]
+    ~c:(Tensor.view2d c);
+  let e1 = Reference.matmul a1 b1 and e2 = Reference.matmul a2 b2 in
+  checkf "list sum" (Tensor.get e1 [| 1; 1 |] +. Tensor.get e2 [| 1; 1 |])
+    (Tensor.get c [| 1; 1 |])
+
+let test_brgemm_vnni () =
+  let rng = Prng.create 7 in
+  let a = random_tensor ~dtype:Datatype.BF16 rng 4 6 in
+  let b = random_tensor ~dtype:Datatype.BF16 rng 6 5 in
+  let bp = Vnni.pack b in
+  let c = Tensor.create Datatype.F32 [| 4; 5 |] in
+  let ker =
+    Brgemm.compile
+      (Brgemm.make_config ~dtype:Datatype.BF16 ~b_layout:Brgemm.Vnni ~beta:0.0
+         ~m:4 ~n:5 ~k:6 ())
+  in
+  let bv = Tensor.view_flat bp ~off:0 ~rows:3 ~cols:10 ~ld:10 in
+  Brgemm.exec ker ~a:(Tensor.view2d a) ~b:bv ~c:(Tensor.view2d c);
+  checkb "vnni matches flat" true
+    (Tensor.approx_equal ~tol:1e-5 c (Reference.matmul a b))
+
+let prop_brgemm_matches_reference =
+  QCheck.Test.make ~name:"brgemm == naive matmul (random shapes)" ~count:40
+    QCheck.(triple (int_range 1 12) (int_range 1 12) (int_range 1 12))
+    (fun (m, n, k) ->
+      let rng = Prng.create ((m * 1000) + (n * 50) + k) in
+      let a = random_tensor rng m k and b = random_tensor rng k n in
+      let c = Tensor.create Datatype.F32 [| m; n |] in
+      let ker = Brgemm.compile (Brgemm.make_config ~beta:0.0 ~m ~n ~k ()) in
+      Brgemm.exec ker ~a:(Tensor.view2d a) ~b:(Tensor.view2d b)
+        ~c:(Tensor.view2d c);
+      Tensor.approx_equal ~tol:1e-4 c (Reference.matmul a b))
+
+(* ---- spmm tpp ---- *)
+
+let test_spmm_tpp_block_row () =
+  let rng = Prng.create 8 in
+  let a =
+    Bcsc.random ~rng ~dtype:Datatype.F32 ~rows:16 ~cols:24 ~bm:4 ~bk:8
+      ~sparsity:0.4
+  in
+  let b = random_tensor rng 24 10 in
+  let bp = Vnni.pack b in
+  let ker = Spmm.compile (Spmm.make_config ~beta:0.0 ~n:10 ~bm:4 ~bk:8 ()) in
+  let c = Tensor.create Datatype.F32 [| 4; 10 |] in
+  Spmm.exec ker ~a ~block_row:2
+    ~b:(Tensor.view_flat bp ~off:0 ~rows:24 ~cols:10 ~ld:10)
+    ~col:0 ~c:(Tensor.view2d c);
+  let full = Reference.matmul (Bcsc.to_dense a) b in
+  let expect =
+    Tensor.init Datatype.F32 [| 4; 10 |] (fun i ->
+        Tensor.get full [| 8 + i.(0); i.(1) |])
+  in
+  checkb "block row 2" true (Tensor.approx_equal ~tol:1e-5 c expect)
+
+(* ---- composite blocks ---- *)
+
+let test_softmax_matches_reference () =
+  let rng = Prng.create 9 in
+  let x = random_tensor rng 5 7 in
+  let y = Tensor.create Datatype.F32 [| 5; 7 |] in
+  Blocks.softmax_rows ~inp:(Tensor.view2d x) ~out:(Tensor.view2d y);
+  checkb "softmax" true
+    (Tensor.approx_equal ~tol:1e-5 y (Reference.softmax_rows x))
+
+let prop_softmax_rows_sum_to_one =
+  QCheck.Test.make ~name:"softmax rows sum to 1" ~count:50
+    QCheck.(pair (int_range 1 8) (int_range 1 16))
+    (fun (r, c) ->
+      let rng = Prng.create ((r * 31) + c) in
+      let x = random_tensor rng r c in
+      let y = Tensor.create Datatype.F32 [| r; c |] in
+      Blocks.softmax_rows ~inp:(Tensor.view2d x) ~out:(Tensor.view2d y);
+      let ok = ref true in
+      for i = 0 to r - 1 do
+        let s = ref 0.0 in
+        for j = 0 to c - 1 do
+          let v = Tensor.get y [| i; j |] in
+          if v < 0.0 then ok := false;
+          s := !s +. v
+        done;
+        if Float.abs (!s -. 1.0) > 1e-4 then ok := false
+      done;
+      !ok)
+
+let test_softmax_backward () =
+  (* numeric check of the Jacobian-vector product *)
+  let x = tensor_of 1 3 (fun _ j -> float_of_int j *. 0.5) in
+  let y = Tensor.create Datatype.F32 [| 1; 3 |] in
+  Blocks.softmax_rows ~inp:(Tensor.view2d x) ~out:(Tensor.view2d y);
+  let dy = tensor_of 1 3 (fun _ j -> float_of_int (j + 1)) in
+  let dx = Tensor.create Datatype.F32 [| 1; 3 |] in
+  Blocks.softmax_rows_backward ~y:(Tensor.view2d y) ~dy:(Tensor.view2d dy)
+    ~dx:(Tensor.view2d dx);
+  let h = 1e-4 in
+  for j = 0 to 2 do
+    let xp = Tensor.copy x and xm = Tensor.copy x in
+    Tensor.set xp [| 0; j |] (Tensor.get x [| 0; j |] +. h);
+    Tensor.set xm [| 0; j |] (Tensor.get x [| 0; j |] -. h);
+    let fp = Reference.softmax_rows xp and fm = Reference.softmax_rows xm in
+    let fd = ref 0.0 in
+    for l = 0 to 2 do
+      fd :=
+        !fd
+        +. (Tensor.get dy [| 0; l |]
+            *. (Tensor.get fp [| 0; l |] -. Tensor.get fm [| 0; l |])
+            /. (2.0 *. h))
+    done;
+    Alcotest.(check (float 1e-3)) "softmax bwd" !fd (Tensor.get dx [| 0; j |])
+  done
+
+let test_layernorm_matches_reference () =
+  let rng = Prng.create 10 in
+  let x = random_tensor rng 4 8 in
+  let gamma = tensor_of 1 8 (fun _ j -> 1.0 +. (0.1 *. float_of_int j)) in
+  let beta = tensor_of 1 8 (fun _ j -> 0.05 *. float_of_int j) in
+  let y = Tensor.create Datatype.F32 [| 4; 8 |] in
+  let _ =
+    Blocks.layernorm_rows ~eps:1e-5 ~inp:(Tensor.view2d x)
+      ~gamma:(Tensor.view2d gamma) ~beta:(Tensor.view2d beta)
+      ~out:(Tensor.view2d y)
+  in
+  let g = Array.init 8 (fun j -> Tensor.get gamma [| 0; j |]) in
+  let b = Array.init 8 (fun j -> Tensor.get beta [| 0; j |]) in
+  checkb "layernorm" true
+    (Tensor.approx_equal ~tol:1e-4 y (Reference.layernorm_rows ~eps:1e-5 x g b))
+
+let prop_layernorm_normalizes =
+  QCheck.Test.make ~name:"layernorm rows: mean 0, var 1 (unit gamma)"
+    ~count:30
+    QCheck.(pair (int_range 1 6) (int_range 4 24))
+    (fun (r, c) ->
+      let rng = Prng.create ((r * 77) + c) in
+      let x = random_tensor rng r c in
+      let gamma = tensor_of 1 c (fun _ _ -> 1.0) in
+      let beta = tensor_of 1 c (fun _ _ -> 0.0) in
+      let y = Tensor.create Datatype.F32 [| r; c |] in
+      let _ =
+        Blocks.layernorm_rows ~eps:1e-9 ~inp:(Tensor.view2d x)
+          ~gamma:(Tensor.view2d gamma) ~beta:(Tensor.view2d beta)
+          ~out:(Tensor.view2d y)
+      in
+      let ok = ref true in
+      for i = 0 to r - 1 do
+        let s = ref 0.0 and sq = ref 0.0 in
+        for j = 0 to c - 1 do
+          let v = Tensor.get y [| i; j |] in
+          s := !s +. v;
+          sq := !sq +. (v *. v)
+        done;
+        let mean = !s /. float_of_int c in
+        let var = (!sq /. float_of_int c) -. (mean *. mean) in
+        if Float.abs mean > 1e-3 then ok := false;
+        if c > 1 && Float.abs (var -. 1.0) > 1e-2 then ok := false
+      done;
+      !ok)
+
+let test_layernorm_backward_finite_diff () =
+  let rng = Prng.create 11 in
+  let r, c = (2, 6) in
+  let x = random_tensor rng r c in
+  let gamma = tensor_of 1 c (fun _ j -> 1.0 +. (0.05 *. float_of_int j)) in
+  let beta = tensor_of 1 c (fun _ _ -> 0.0) in
+  let dy = random_tensor rng r c in
+  let y = Tensor.create Datatype.F32 [| r; c |] in
+  let stats =
+    Blocks.layernorm_rows ~eps:1e-6 ~inp:(Tensor.view2d x)
+      ~gamma:(Tensor.view2d gamma) ~beta:(Tensor.view2d beta)
+      ~out:(Tensor.view2d y)
+  in
+  let dx = Tensor.create Datatype.F32 [| r; c |] in
+  let dgamma = Tensor.create Datatype.F32 [| 1; c |] in
+  let dbeta = Tensor.create Datatype.F32 [| 1; c |] in
+  Blocks.layernorm_rows_backward ~stats ~x:(Tensor.view2d x)
+    ~gamma:(Tensor.view2d gamma) ~dy:(Tensor.view2d dy) ~dx:(Tensor.view2d dx)
+    ~dgamma:(Tensor.view2d dgamma) ~dbeta:(Tensor.view2d dbeta);
+  (* finite differences on a few coordinates *)
+  let loss xt =
+    let g = Array.init c (fun j -> Tensor.get gamma [| 0; j |]) in
+    let b = Array.init c (fun j -> Tensor.get beta [| 0; j |]) in
+    let yt = Reference.layernorm_rows ~eps:1e-6 xt g b in
+    let s = ref 0.0 in
+    for i = 0 to r - 1 do
+      for j = 0 to c - 1 do
+        s := !s +. (Tensor.get dy [| i; j |] *. Tensor.get yt [| i; j |])
+      done
+    done;
+    !s
+  in
+  let h = 1e-3 in
+  List.iter
+    (fun (i, j) ->
+      let xp = Tensor.copy x and xm = Tensor.copy x in
+      Tensor.set xp [| i; j |] (Tensor.get x [| i; j |] +. h);
+      Tensor.set xm [| i; j |] (Tensor.get x [| i; j |] -. h);
+      let fd = (loss xp -. loss xm) /. (2.0 *. h) in
+      Alcotest.(check (float 5e-3)) "ln dx" fd (Tensor.get dx [| i; j |]))
+    [ (0, 0); (1, 3); (0, 5) ]
+
+let test_dropout_p0_identity () =
+  let rng = Prng.create 12 in
+  let x = random_tensor rng 3 4 in
+  let y = Tensor.create Datatype.F32 [| 3; 4 |] in
+  let m = Tensor.create Datatype.F32 [| 3; 4 |] in
+  Blocks.dropout ~rng ~p:0.0 ~inp:(Tensor.view2d x) ~mask:(Tensor.view2d m)
+    ~out:(Tensor.view2d y);
+  checkb "identity" true (Tensor.max_abs_diff x y = 0.0)
+
+let test_dropout_mask_consistency () =
+  let rng = Prng.create 13 in
+  let x = tensor_of 10 10 (fun _ _ -> 1.0) in
+  let y = Tensor.create Datatype.F32 [| 10; 10 |] in
+  let m = Tensor.create Datatype.F32 [| 10; 10 |] in
+  Blocks.dropout ~rng ~p:0.4 ~inp:(Tensor.view2d x) ~mask:(Tensor.view2d m)
+    ~out:(Tensor.view2d y);
+  (* output = mask/(1-p) for unit inputs, and mask is 0/1 *)
+  for i = 0 to 99 do
+    let mv = Tensor.get_flat m i and yv = Tensor.get_flat y i in
+    checkb "mask binary" true (mv = 0.0 || mv = 1.0);
+    Alcotest.(check (float 1e-6)) "scaled" (mv /. 0.6) yv
+  done;
+  (* backward uses the same mask *)
+  let dy = tensor_of 10 10 (fun _ _ -> 0.6) in
+  let dx = Tensor.create Datatype.F32 [| 10; 10 |] in
+  Blocks.dropout_backward ~p:0.4 ~dy:(Tensor.view2d dy) ~mask:(Tensor.view2d m)
+    ~dx:(Tensor.view2d dx);
+  for i = 0 to 99 do
+    Alcotest.(check (float 1e-6)) "bwd mask" (Tensor.get_flat m i)
+      (Tensor.get_flat dx i)
+  done
+
+let test_batchnorm_apply () =
+  let x = tensor_of 2 2 (fun i j -> float_of_int ((i * 2) + j)) in
+  let y = Tensor.create Datatype.F32 [| 2; 2 |] in
+  Blocks.batchnorm_apply ~eps:0.0 ~mean:1.5 ~var:1.25 ~gamma:2.0 ~beta:0.5
+    ~inp:(Tensor.view2d x) ~out:(Tensor.view2d y);
+  (* (x - 1.5) * 2/sqrt(1.25) + 0.5 *)
+  Alcotest.(check (float 1e-5))
+    "bn value"
+    (((3.0 -. 1.5) *. (2.0 /. sqrt 1.25)) +. 0.5)
+    (Tensor.get y [| 1; 1 |])
+
+(* ---- dispatch ---- *)
+
+let test_dispatch_cache () =
+  Dispatch.clear ();
+  let cfg = Brgemm.make_config ~m:4 ~n:4 ~k:4 () in
+  let k1 = Dispatch.brgemm cfg in
+  let k2 = Dispatch.brgemm cfg in
+  checkb "same kernel" true (k1 == k2);
+  let s = Dispatch.stats () in
+  checki "one miss" 1 s.Dispatch.misses;
+  checki "one hit" 1 s.Dispatch.hits;
+  let _ = Dispatch.brgemm (Brgemm.make_config ~m:8 ~n:4 ~k:4 ()) in
+  checki "two misses" 2 (Dispatch.stats ()).Dispatch.misses;
+  Dispatch.clear ();
+  checki "cleared" 0 (Dispatch.stats ()).Dispatch.misses
+
+let () =
+  Alcotest.run ~and_exit:false "tpp"
+    [
+      ( "unary",
+        [
+          Alcotest.test_case "pointwise ops" `Quick test_unary_pointwise;
+          Alcotest.test_case "zero" `Quick test_unary_zero;
+          Alcotest.test_case "relu backward" `Quick test_relu_backward;
+          Alcotest.test_case "gelu backward" `Quick
+            test_gelu_backward_finite_diff;
+          Alcotest.test_case "reduce" `Quick test_reduce;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "broadcasts" `Quick test_broadcasts;
+        ] );
+      ( "binary",
+        [
+          Alcotest.test_case "elementwise" `Quick test_binary_full;
+          Alcotest.test_case "broadcast modes" `Quick
+            test_binary_broadcast_row_col;
+          Alcotest.test_case "muladd/axpy" `Quick test_muladd_axpy;
+        ] );
+      ( "brgemm",
+        [
+          Alcotest.test_case "single" `Quick test_brgemm_single;
+          Alcotest.test_case "beta=1" `Quick test_brgemm_beta1_accumulates;
+          Alcotest.test_case "stride batch" `Quick test_brgemm_stride_batch;
+          Alcotest.test_case "offsets" `Quick test_brgemm_offsets;
+          Alcotest.test_case "address list" `Quick test_brgemm_list;
+          Alcotest.test_case "vnni" `Quick test_brgemm_vnni;
+          qt prop_brgemm_matches_reference;
+        ] );
+      ("spmm", [ Alcotest.test_case "block row" `Quick test_spmm_tpp_block_row ]);
+      ( "blocks",
+        [
+          Alcotest.test_case "softmax" `Quick test_softmax_matches_reference;
+          qt prop_softmax_rows_sum_to_one;
+          Alcotest.test_case "softmax backward" `Quick test_softmax_backward;
+          Alcotest.test_case "layernorm" `Quick test_layernorm_matches_reference;
+          qt prop_layernorm_normalizes;
+          Alcotest.test_case "layernorm backward" `Quick
+            test_layernorm_backward_finite_diff;
+          Alcotest.test_case "dropout p=0" `Quick test_dropout_p0_identity;
+          Alcotest.test_case "dropout mask" `Quick test_dropout_mask_consistency;
+          Alcotest.test_case "batchnorm" `Quick test_batchnorm_apply;
+        ] );
+      ("dispatch", [ Alcotest.test_case "cache" `Quick test_dispatch_cache ]);
+    ]
+
+(* ---- equations (fused elementwise trees) ---- *)
+
+let test_equation_bias_gelu () =
+  let rng = Prng.create 20 in
+  let x = random_tensor rng 4 6 and b = random_tensor rng 4 6 in
+  let out = Tensor.create Datatype.F32 [| 4; 6 |] in
+  Equation.exec Equation.bias_gelu
+    ~args:[| Tensor.view2d x; Tensor.view2d b |]
+    ~out:(Tensor.view2d out);
+  for i = 0 to 23 do
+    Alcotest.(check (float 1e-6))
+      "bias+gelu"
+      (Reference.gelu (Tensor.get_flat x i +. Tensor.get_flat b i))
+      (Tensor.get_flat out i)
+  done
+
+let test_equation_residual_scale () =
+  let a = tensor_of 2 2 (fun _ _ -> 3.0) and b = tensor_of 2 2 (fun _ _ -> 1.0) in
+  let out = Tensor.create Datatype.F32 [| 2; 2 |] in
+  Equation.exec (Equation.residual_scale 0.5)
+    ~args:[| Tensor.view2d a; Tensor.view2d b |]
+    ~out:(Tensor.view2d out);
+  checkf "(3+1)*0.5" 2.0 (Tensor.get out [| 0; 0 |])
+
+let test_equation_matches_sequential_tpps () =
+  (* fused tanh(relu(x) * y + 0.5) == sequence of separate TPP calls *)
+  let rng = Prng.create 21 in
+  let x = random_tensor rng 3 5 and y = random_tensor rng 3 5 in
+  let eq =
+    Equation.compile ~nargs:2
+      (Equation.Unary
+         ( Tpp_unary.Tanh,
+           Equation.Binary
+             ( Tpp_binary.Add,
+               Equation.Binary
+                 ( Tpp_binary.Mul,
+                   Equation.Unary (Tpp_unary.Relu, Equation.Arg 0),
+                   Equation.Arg 1 ),
+               Equation.Const 0.5 ) ))
+  in
+  let fused = Tensor.create Datatype.F32 [| 3; 5 |] in
+  Equation.exec eq
+    ~args:[| Tensor.view2d x; Tensor.view2d y |]
+    ~out:(Tensor.view2d fused);
+  (* sequential: materialize each intermediate *)
+  let t1 = Tensor.create Datatype.F32 [| 3; 5 |] in
+  Tpp_unary.exec Tpp_unary.Relu ~inp:(Tensor.view2d x) ~out:(Tensor.view2d t1);
+  Tpp_binary.exec Tpp_binary.Mul ~bcast:Tpp_binary.Full ~a:(Tensor.view2d t1)
+    ~b:(Tensor.view2d y) ~out:(Tensor.view2d t1);
+  Tpp_unary.exec (Tpp_unary.Shift 0.5) ~inp:(Tensor.view2d t1)
+    ~out:(Tensor.view2d t1);
+  Tpp_unary.exec Tpp_unary.Tanh ~inp:(Tensor.view2d t1) ~out:(Tensor.view2d t1);
+  checkb "fused == sequential" true (Tensor.max_abs_diff fused t1 < 1e-6)
+
+let test_equation_validation () =
+  (match Equation.compile ~nargs:1 (Equation.Arg 1) with
+  | exception Equation.Invalid_equation _ -> ()
+  | _ -> Alcotest.fail "expected arity error");
+  (match
+     Equation.compile ~nargs:1
+       (Equation.Unary (Tpp_unary.Relu_backward, Equation.Arg 0))
+   with
+  | exception Equation.Invalid_equation _ -> ()
+  | _ -> Alcotest.fail "expected two-input-op rejection");
+  match
+    Equation.exec Equation.bias_gelu
+      ~args:[| Tensor.view2d (tensor_of 2 2 (fun _ _ -> 0.0)) |]
+      ~out:(Tensor.view2d (tensor_of 2 2 (fun _ _ -> 0.0)))
+  with
+  | exception Equation.Invalid_equation _ -> ()
+  | _ -> Alcotest.fail "expected argument-count error"
+
+let () =
+  Alcotest.run "tpp-equation"
+    [
+      ( "equation",
+        [
+          Alcotest.test_case "bias+gelu" `Quick test_equation_bias_gelu;
+          Alcotest.test_case "residual scale" `Quick
+            test_equation_residual_scale;
+          Alcotest.test_case "fused == sequential" `Quick
+            test_equation_matches_sequential_tpps;
+          Alcotest.test_case "validation" `Quick test_equation_validation;
+        ] );
+    ]

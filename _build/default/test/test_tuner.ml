@@ -1,0 +1,178 @@
+(* Tests for the auto-tuner: factorization, constrained spec-string
+   generation and the tuning loop itself. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let qt t = QCheck_alcotest.to_alcotest t
+
+(* ---- factorize ---- *)
+
+let test_factorize_known () =
+  Alcotest.(check (list int)) "12" [ 2; 2; 3 ] (Factorize.factorize 12);
+  Alcotest.(check (list int)) "prime" [ 97 ] (Factorize.factorize 97);
+  Alcotest.(check (list int)) "1" [] (Factorize.factorize 1);
+  Alcotest.(check (list int)) "64" [ 2; 2; 2; 2; 2; 2 ] (Factorize.factorize 64)
+
+let prop_factorize_product =
+  QCheck.Test.make ~name:"product of factors = n" ~count:200
+    (QCheck.int_range 1 100000)
+    (fun n -> List.fold_left ( * ) 1 (Factorize.factorize n) = n)
+
+let prop_factors_are_prime =
+  QCheck.Test.make ~name:"factors are prime" ~count:100
+    (QCheck.int_range 2 10000)
+    (fun n ->
+      List.for_all
+        (fun f -> List.length (Factorize.factorize f) = 1)
+        (Factorize.factorize n))
+
+let test_prefix_products () =
+  Alcotest.(check (list int)) "12" [ 2; 4 ] (Factorize.prefix_products 12);
+  Alcotest.(check (list int)) "8" [ 2; 4 ] (Factorize.prefix_products 8);
+  Alcotest.(check (list int)) "prime" [] (Factorize.prefix_products 7)
+
+let test_divisors () =
+  Alcotest.(check (list int)) "12" [ 1; 2; 3; 4; 6; 12 ] (Factorize.divisors 12)
+
+let prop_blocking_lists_nested =
+  QCheck.Test.make ~name:"blocking lists are perfectly nested" ~count:60
+    QCheck.(pair (int_range 2 64) (int_range 1 3))
+    (fun (trip, depth) ->
+      Factorize.blocking_lists ~trip ~step:1 ~depth
+      |> List.for_all (fun l ->
+             List.length l = depth
+             &&
+             let rec nested = function
+               | a :: (b :: _ as rest) -> a mod b = 0 && a > b && nested rest
+               | _ -> true
+             in
+             nested l
+             && List.for_all (fun d -> d > 1 && d < trip && trip mod d = 0) l))
+
+(* ---- spec generation ---- *)
+
+let cons_small =
+  Spec_gen.gemm_constraints ~max_k_blockings:1 ~max_mn_blockings:1 ~trip_a:8
+    ~trip_b:8 ~trip_c:8 ~step_a:1 ()
+
+let test_generate_nonempty_and_capped () =
+  let c = Spec_gen.generate ~max_candidates:50 cons_small in
+  checkb "nonempty" true (List.length c > 0);
+  checkb "capped" true (List.length c <= 50)
+
+let test_generated_specs_all_compile () =
+  let candidates = Spec_gen.generate ~max_candidates:300 cons_small in
+  List.iter
+    (fun (cand : Spec_gen.candidate) ->
+      let specs =
+        [
+          Loop_spec.make ~bound:8 ~step:1
+            ~block_steps:cand.Spec_gen.block_steps.(0) ();
+          Loop_spec.make ~bound:8 ~step:1
+            ~block_steps:cand.Spec_gen.block_steps.(1) ();
+          Loop_spec.make ~bound:8 ~step:1
+            ~block_steps:cand.Spec_gen.block_steps.(2) ();
+        ]
+      in
+      match Threaded_loop.create specs cand.Spec_gen.spec with
+      | _ -> ()
+      | exception Threaded_loop.Invalid_spec m ->
+        Alcotest.failf "candidate %S does not compile: %s" cand.Spec_gen.spec m)
+    candidates
+
+let test_generated_specs_distinct () =
+  let candidates = Spec_gen.generate ~max_candidates:300 cons_small in
+  let keys =
+    List.map
+      (fun (c : Spec_gen.candidate) ->
+        ( c.Spec_gen.spec,
+          Array.to_list (Array.map (List.map string_of_int) c.Spec_gen.block_steps)
+        ))
+      candidates
+  in
+  checki "no duplicates" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_generated_respects_parallelizable () =
+  (* loop a (K) must never be capitalized *)
+  let candidates = Spec_gen.generate ~max_candidates:300 cons_small in
+  List.iter
+    (fun (c : Spec_gen.candidate) ->
+      checkb "K never parallel" false (String.contains c.Spec_gen.spec 'A'))
+    candidates
+
+let test_generated_has_parallel_variants () =
+  let candidates = Spec_gen.generate ~max_candidates:300 cons_small in
+  checkb "some parallel candidate" true
+    (List.exists
+       (fun (c : Spec_gen.candidate) ->
+         String.exists (fun ch -> ch = 'B' || ch = 'C') c.Spec_gen.spec)
+       candidates)
+
+(* ---- autotune ---- *)
+
+let base_cfg = Gemm.make_config ~bm:32 ~bn:32 ~bk:32 ~m:256 ~n:256 ~k:256 ()
+
+let test_tune_modeled_ranked () =
+  let report =
+    Autotune.tune_gemm ~max_candidates:60
+      (Autotune.Modeled { platform = Platform.zen4; nthreads = 8 })
+      base_cfg
+  in
+  checkb "evaluated some" true (report.Autotune.evaluated > 10);
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      a.Autotune.gflops >= b.Autotune.gflops && sorted rest
+    | _ -> true
+  in
+  checkb "ranked descending" true (sorted report.Autotune.ranked);
+  checkb "times recorded" true (report.Autotune.tuning_seconds >= 0.0)
+
+let test_tune_best_beats_serial () =
+  let report =
+    Autotune.tune_gemm ~max_candidates:120
+      (Autotune.Modeled { platform = Platform.spr; nthreads = 16 })
+      base_cfg
+  in
+  let best = List.hd report.Autotune.ranked in
+  let serial =
+    (Gemm_trace.score ~platform:Platform.spr ~nthreads:16 base_cfg "abc")
+      .Perf_model.gflops
+  in
+  checkb "tuned beats serial" true (best.Autotune.gflops > serial)
+
+let test_measure_gemm_runs () =
+  let cfg = Gemm.make_config ~bm:16 ~bn:16 ~bk:16 ~m:64 ~n:64 ~k:64 () in
+  let g = Autotune.measure_gemm ~nthreads:2 ~repeats:2 cfg "BCa" in
+  checkb "positive gflops" true (g > 0.0)
+
+let () =
+  Alcotest.run "tuner"
+    [
+      ( "factorize",
+        [
+          Alcotest.test_case "known factorizations" `Quick test_factorize_known;
+          qt prop_factorize_product;
+          qt prop_factors_are_prime;
+          Alcotest.test_case "prefix products" `Quick test_prefix_products;
+          Alcotest.test_case "divisors" `Quick test_divisors;
+          qt prop_blocking_lists_nested;
+        ] );
+      ( "spec-gen",
+        [
+          Alcotest.test_case "nonempty + capped" `Quick
+            test_generate_nonempty_and_capped;
+          Alcotest.test_case "all compile" `Quick test_generated_specs_all_compile;
+          Alcotest.test_case "distinct" `Quick test_generated_specs_distinct;
+          Alcotest.test_case "K never parallel" `Quick
+            test_generated_respects_parallelizable;
+          Alcotest.test_case "parallel variants exist" `Quick
+            test_generated_has_parallel_variants;
+        ] );
+      ( "autotune",
+        [
+          Alcotest.test_case "modeled ranking" `Quick test_tune_modeled_ranked;
+          Alcotest.test_case "beats serial" `Quick test_tune_best_beats_serial;
+          Alcotest.test_case "measured objective" `Quick test_measure_gemm_runs;
+        ] );
+    ]
