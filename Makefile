@@ -1,0 +1,20 @@
+.PHONY: all build test fmt ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	dune build @fmt
+
+# Single gate run by CI and before every commit: formatting must be
+# canonical (dune files; ocamlformat is not in the pinned toolchain),
+# everything must build, and the full tier-1 suite must pass.
+ci: fmt build test
+
+clean:
+	dune clean

@@ -6,7 +6,11 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig2 fig8    # selected experiments
      dune exec bench/main.exe -- micro        # Bechamel kernel benches
-*)
+
+   Pass --telemetry (anywhere in the argument list) to run the selected
+   experiments with the telemetry registry enabled and print the
+   aggregated report — per-kernel achieved GFLOPS, JIT-cache hit rate,
+   predicted-vs-measured model deviation — at the end. *)
 
 open Bechamel
 open Toolkit
@@ -119,15 +123,22 @@ let experiments =
 let run_all () =
   List.iter
     (fun (name, f) ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Telemetry.Clock.now_s () in
       f ();
       Printf.printf "[%s completed in %.1fs]\n%!" name
-        (Unix.gettimeofday () -. t0))
+        (Telemetry.Clock.now_s () -. t0))
     experiments
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as names) ->
+  let args = List.tl (Array.to_list Sys.argv) in
+  let telemetry = List.mem "--telemetry" args in
+  let names = List.filter (fun a -> a <> "--telemetry") args in
+  if telemetry then begin
+    Telemetry.Registry.reset ();
+    Telemetry.Registry.enable ()
+  end;
+  (match names with
+  | _ :: _ ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
@@ -137,4 +148,11 @@ let () =
             (String.concat ", " (List.map fst experiments));
           exit 1)
       names
-  | _ -> run_all ()
+  | [] -> run_all ());
+  if telemetry then begin
+    Telemetry.Registry.disable ();
+    let host = Platform.host in
+    Telemetry.Report.print
+      ~peak_gflops:(Platform.peak_gflops host Datatype.F32)
+      ~mem_bw_gbs:host.Platform.mem_bw_gbs ()
+  end

@@ -1,10 +1,15 @@
 (* Command-line front-end for the PARLOOPER/TPP library:
 
      parlooper gemm  -m 512 -n 512 -k 512 --spec BCa --threads 4
+     parlooper gemm  -m 512 -n 512 -k 512 --spec BCa --trace out.json
      parlooper tune  -m 512 -n 512 -k 512 --platform spr --candidates 200
      parlooper model -m 2048 -n 2048 -k 2048 --spec BCa --platform zen4
      parlooper platforms
-*)
+
+   --trace writes a Chrome trace_event JSON (open in chrome://tracing or
+   ui.perfetto.dev) with one span per team thread per loop nest;
+   --telemetry prints the registry report (achieved GFLOPS, JIT-cache
+   behaviour, perf-model deviation) without writing a trace file. *)
 
 open Cmdliner
 
@@ -39,26 +44,73 @@ let platform_arg =
 let candidates_arg =
   Arg.(value & opt int 200 & info [ "candidates" ] ~doc:"tuning candidates")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:"write a Chrome trace_event JSON timeline to $(docv)"
+        ~docv:"FILE")
+
+let telemetry_arg =
+  Arg.(
+    value & flag
+    & info [ "telemetry" ]
+        ~doc:"collect runtime telemetry and print the registry report")
+
 let make_cfg m n k block dtype =
   Gemm.make_config ~bm:block ~bn:block ~bk:block
     ~dtype:(dtype_of_string dtype) ~m ~n ~k ()
 
-let gemm_run m n k block spec threads dtype =
+let gemm_run m n k block spec threads dtype trace telemetry =
   let cfg = make_cfg m n k block dtype in
+  let traced = telemetry || trace <> None in
+  if traced then begin
+    Telemetry.Registry.reset ();
+    Telemetry.Registry.enable ()
+  end;
   let g = Gemm.create cfg spec in
   let rng = Prng.create 1 in
   let a = Tensor.create (dtype_of_string dtype) [| m; k |] in
   let b = Tensor.create (dtype_of_string dtype) [| k; n |] in
   Tensor.fill_random a rng ~scale:1.0;
   Tensor.fill_random b rng ~scale:1.0;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.Clock.now_s () in
   let c = Gemm.run_logical ~nthreads:threads g ~a ~b in
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Telemetry.Clock.now_s () -. t0 in
   let ok = Tensor.approx_equal ~tol:1e-3 c (Reference.matmul a b) in
+  let measured_gflops = Gemm.flops cfg /. dt /. 1e9 in
   Printf.printf "%dx%dx%d %s spec=%s threads=%d: %.2f GFLOPS, correct=%b\n" m
-    k n dtype spec threads
-    (Gemm.flops cfg /. dt /. 1e9)
-    ok;
+    k n dtype spec threads measured_gflops ok;
+  if traced then begin
+    (* confront the §II-E model (host platform) with this measurement *)
+    let host = Platform.host in
+    (try
+       let predicted =
+         (Gemm_trace.score ~platform:host ~nthreads:threads cfg spec)
+           .Perf_model.gflops
+       in
+       Telemetry.Registry.record_prediction
+         ~name:(Printf.sprintf "gemm %dx%dx%d %s" m n k spec)
+         ~predicted_gflops:predicted ~measured_gflops
+     with _ -> ());
+    Telemetry.Registry.disable ();
+    Telemetry.Report.print
+      ~peak_gflops:
+        (Platform.peak_gflops
+           ~cores:(min threads (Platform.cores host))
+           host (dtype_of_string dtype))
+      ~mem_bw_gbs:host.Platform.mem_bw_gbs ();
+    match trace with
+    | Some path -> (
+      try
+        Telemetry.Chrome_trace.write path;
+        Printf.printf "trace written to %s (open in chrome://tracing)\n" path
+      with Sys_error msg ->
+        Printf.eprintf "cannot write trace: %s\n" msg;
+        exit 1)
+    | None -> ()
+  end;
   if not ok then exit 1
 
 let tune m n k block dtype platform candidates =
@@ -112,7 +164,7 @@ let gemm_cmd =
   Cmd.v (Cmd.info "gemm" ~doc:"run and verify a PARLOOPER GEMM")
     Term.(
       const gemm_run $ m_arg $ n_arg $ k_arg $ block_arg $ spec_arg
-      $ threads_arg $ dtype_arg)
+      $ threads_arg $ dtype_arg $ trace_arg $ telemetry_arg)
 
 let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc:"auto-tune loop instantiations (modeled)")

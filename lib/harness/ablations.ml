@@ -28,21 +28,21 @@ let jit_cache_cost () =
     ]
   in
   let reps = 2000 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.Clock.now_s () in
   for i = 0 to reps - 1 do
     (* distinct strings defeat the cache: compile every time *)
     let s = if i mod 2 = 0 then "aabcab" else "aabcba" in
     Threaded_loop.cache_clear ();
     ignore (Threaded_loop.create specs s)
   done;
-  let compile_us = (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e6 in
+  let compile_us = (Telemetry.Clock.now_s () -. t0) /. float_of_int reps *. 1e6 in
   Threaded_loop.cache_clear ();
   ignore (Threaded_loop.create specs "aabcab");
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.Clock.now_s () in
   for _ = 1 to reps do
     ignore (Threaded_loop.create specs "aabcab")
   done;
-  let hit_us = (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e6 in
+  let hit_us = (Telemetry.Clock.now_s () -. t0) /. float_of_int reps *. 1e6 in
   Printf.printf
     "compile: %.1f us/nest, cache hit: %.2f us -> %.0fx cheaper (hits %d)\n"
     compile_us hit_us

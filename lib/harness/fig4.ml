@@ -33,14 +33,14 @@ let compute () =
       (* PARLOOPER's tuning cost: actually evaluate the modeled
          candidates on this host and time it *)
       let n_schedules = n_schedules_for (m, n, k) in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Telemetry.Clock.now_s () in
       let report =
         Autotune.tune_gemm ~max_candidates:n_schedules
           (Autotune.Modeled { platform = p; nthreads = cores })
           cfg
       in
       ignore report.Autotune.ranked;
-      let parlooper_tune_s = Unix.gettimeofday () -. t0 in
+      let parlooper_tune_s = Telemetry.Clock.now_s () -. t0 in
       {
         m;
         n;

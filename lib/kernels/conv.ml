@@ -124,6 +124,20 @@ let unpack_output cfg o =
       Tensor.get o
         [| i.(0); i.(1) / cfg.bk; i.(2); i.(3); i.(1) mod cfg.bk |])
 
+(* logical data moved once per run: input + weights in dtype, output f32 *)
+let traffic_bytes cfg =
+  let p, q = out_dims cfg in
+  let dt = Datatype.bytes cfg.dtype in
+  float_of_int
+    (((cfg.n * cfg.c * cfg.h * cfg.w) + (cfg.k * cfg.c * cfg.r * cfg.s)) * dt)
+  +. float_of_int (cfg.n * cfg.k * p * q * 4)
+
+let instance_of t =
+  let c = t.cfg in
+  Printf.sprintf "n%d %dx%d %dx%dx%dx%d %s %s" c.n c.h c.w c.c c.k c.r c.s
+    (Datatype.to_string c.dtype)
+    (Threaded_loop.spec_string t.loop)
+
 let run ?nthreads ?post t ~input ~weights ~output =
   let cfg = t.cfg in
   let p, q = out_dims cfg in
@@ -201,7 +215,15 @@ let run ?nthreads ?post t ~input ~weights ~output =
       | _ -> ()
     done
   in
-  Threaded_loop.run ?nthreads t.loop body
+  if not (Telemetry.Registry.enabled ()) then
+    Threaded_loop.run ?nthreads t.loop body
+  else begin
+    let t0 = Telemetry.Clock.now_ns () in
+    Threaded_loop.run ?nthreads t.loop body;
+    Telemetry.Registry.record_kernel ~kind:"conv" ~instance:(instance_of t)
+      ~flops:(flops cfg) ~bytes:(traffic_bytes cfg)
+      ~seconds:(Telemetry.Clock.elapsed_s ~since:t0)
+  end
 
 let run_logical ?nthreads t ~input ~weights =
   let cfg = t.cfg in

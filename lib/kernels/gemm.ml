@@ -111,6 +111,17 @@ let block_elems_b c =
   (* elements per [ik] step of B, both layouts *)
   c.bk * c.bn
 
+(* logical data moved once per run: A + B in dtype, C in f32 *)
+let traffic_bytes c =
+  let dt = Datatype.bytes c.dtype in
+  float_of_int (((c.m * c.k) + (c.k * c.n)) * dt)
+  +. float_of_int (c.m * c.n * 4)
+
+let instance_of t =
+  let c = t.cfg in
+  Printf.sprintf "%dx%dx%d %s %s" c.m c.n c.k (Datatype.to_string c.dtype)
+    (Threaded_loop.spec_string t.loop)
+
 let run ?nthreads ?post t ~a ~b ~c =
   let cfg = t.cfg in
   let v = Datatype.vnni_factor cfg.dtype in
@@ -150,7 +161,15 @@ let run ?nthreads ?post t ~a ~b ~c =
     | Some f when ik + brcount >= kb cfg -> f ~im ~in_ ~c_block:cv
     | _ -> ()
   in
-  Threaded_loop.run ?nthreads t.loop body
+  if not (Telemetry.Registry.enabled ()) then
+    Threaded_loop.run ?nthreads t.loop body
+  else begin
+    let t0 = Telemetry.Clock.now_ns () in
+    Threaded_loop.run ?nthreads t.loop body;
+    Telemetry.Registry.record_kernel ~kind:"gemm" ~instance:(instance_of t)
+      ~flops:(flops cfg) ~bytes:(traffic_bytes cfg)
+      ~seconds:(Telemetry.Clock.elapsed_s ~since:t0)
+  end
 
 let run_logical ?nthreads t ~a ~b =
   let cfg = t.cfg in

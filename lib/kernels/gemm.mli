@@ -52,6 +52,10 @@ val kb : config -> int
 (** FLOPs of one full GEMM: 2*M*N*K. *)
 val flops : config -> float
 
+(** Logical bytes moved once per run (A + B in dtype, C in f32); used for
+    telemetry arithmetic-intensity reporting. *)
+val traffic_bytes : config -> float
+
 (** The logical loop declarations (a = K blocks, b = M blocks,
     c = N blocks) fed to PARLOOPER. *)
 val loop_specs : config -> Loop_spec.t list

@@ -86,23 +86,50 @@ let layer_post layer ~im ~in_:_ ~c_block =
   | Some op -> Tpp_unary.exec op ~inp:c_block ~out:c_block
   | None -> ()
 
-let forward ?nthreads t input =
-  Array.fold_left
-    (fun acts layer ->
-      let cfg = Gemm.config layer.gemm in
-      let c = Gemm.alloc_c ~dtype:t.dtype cfg in
-      Gemm.run ?nthreads ~post:(layer_post layer) layer.gemm ~a:layer.weights
-        ~b:acts ~c;
-      c)
-    input t.layers
-
-let unpack_output t ~layer_idx blocked =
-  Gemm.unpack_c (Gemm.config t.layers.(layer_idx).gemm) blocked
-
 let flops t =
   Array.fold_left
     (fun acc l -> acc +. Gemm.flops (Gemm.config l.gemm))
     0.0 t.layers
+
+(* logical data moved once per forward: each layer's weights + in/out acts *)
+let traffic_bytes t =
+  Array.fold_left
+    (fun acc l -> acc +. Gemm.traffic_bytes (Gemm.config l.gemm))
+    0.0 t.layers
+
+let instance_of t =
+  let widths =
+    Array.to_list t.layers
+    |> List.map (fun l -> string_of_int (Gemm.config l.gemm).Gemm.m)
+  in
+  Printf.sprintf "n%d %s %s" t.batch
+    (String.concat "-"
+       (string_of_int (Gemm.config t.layers.(0).gemm).Gemm.k :: widths))
+    (Datatype.to_string t.dtype)
+
+let forward ?nthreads t input =
+  let go () =
+    Array.fold_left
+      (fun acts layer ->
+        let cfg = Gemm.config layer.gemm in
+        let c = Gemm.alloc_c ~dtype:t.dtype cfg in
+        Gemm.run ?nthreads ~post:(layer_post layer) layer.gemm ~a:layer.weights
+          ~b:acts ~c;
+        c)
+      input t.layers
+  in
+  if not (Telemetry.Registry.enabled ()) then go ()
+  else begin
+    let t0 = Telemetry.Clock.now_ns () in
+    let r = go () in
+    Telemetry.Registry.record_kernel ~kind:"mlp" ~instance:(instance_of t)
+      ~flops:(flops t) ~bytes:(traffic_bytes t)
+      ~seconds:(Telemetry.Clock.elapsed_s ~since:t0);
+    r
+  end
+
+let unpack_output t ~layer_idx blocked =
+  Gemm.unpack_c (Gemm.config t.layers.(layer_idx).gemm) blocked
 
 let apply_act act x =
   match act with

@@ -49,6 +49,20 @@ let pack_b cfg b =
   assert (Tensor.dims b = [| cfg.k; cfg.n |]);
   Vnni.pack (Tensor.cast b cfg.dtype)
 
+(* logical data moved once per run: the stored (dense) fraction of A plus
+   dense B in dtype, C in f32 *)
+let traffic_bytes c ~a =
+  let dt = Datatype.bytes c.dtype in
+  (float_of_int (c.m * c.k * dt) *. (1.0 -. Bcsc.sparsity a))
+  +. float_of_int ((c.k * c.n * dt) + (c.m * c.n * 4))
+
+let instance_of t ~a =
+  let c = t.cfg in
+  Printf.sprintf "%dx%dx%d %.0f%%sp %s %s" c.m c.n c.k
+    (100.0 *. Bcsc.sparsity a)
+    (Datatype.to_string c.dtype)
+    (Threaded_loop.spec_string t.loop)
+
 let run ?nthreads t ~a ~b ~c =
   let cfg = t.cfg in
   assert (a.Bcsc.rows = cfg.m && a.Bcsc.cols = cfg.k);
@@ -67,7 +81,15 @@ let run ?nthreads t ~a ~b ~c =
     in
     Spmm.exec t.kernel ~a ~block_row:im ~b:bv ~col:(in_ * cfg.bn) ~c:cv
   in
-  Threaded_loop.run ?nthreads t.loop body
+  if not (Telemetry.Registry.enabled ()) then
+    Threaded_loop.run ?nthreads t.loop body
+  else begin
+    let t0 = Telemetry.Clock.now_ns () in
+    Threaded_loop.run ?nthreads t.loop body;
+    Telemetry.Registry.record_kernel ~kind:"spmm" ~instance:(instance_of t ~a)
+      ~flops:(effective_flops cfg ~a) ~bytes:(traffic_bytes cfg ~a)
+      ~seconds:(Telemetry.Clock.elapsed_s ~since:t0)
+  end
 
 let run_logical ?nthreads t ~a ~b =
   let cfg = t.cfg in

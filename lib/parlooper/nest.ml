@@ -336,12 +336,50 @@ let check_threads t nthreads =
       nthreads
   | _ -> ()
 
-let exec t ~nthreads ~init ~term ~body =
+let exec ?label t ~nthreads ~init ~term ~body =
   check_threads t nthreads;
-  Team.run ~nthreads (fun ctx ->
-      (match init with Some f -> f () | None -> ());
-      exec_on_ctx t ~ctx ~body;
-      match term with Some f -> f () | None -> ())
+  if not (Telemetry.Registry.enabled ()) then
+    (* fast path: tracing off costs one bool load per run *)
+    Team.run ~nthreads (fun ctx ->
+        (match init with Some f -> f () | None -> ());
+        exec_on_ctx t ~ctx ~body;
+        match term with Some f -> f () | None -> ())
+  else begin
+    let name = match label with Some l -> l | None -> "loop-nest" in
+    let wait_counter =
+      Telemetry.Counter.find_or_create Telemetry.Registry.barrier_wait_ns_name
+    in
+    Team.run ~nthreads (fun ctx ->
+        (* time the whole per-thread traversal and, separately, the time
+           this thread spends blocked in barriers *)
+        let wait_ns = ref 0L in
+        let ctx_traced =
+          {
+            ctx with
+            Team.barrier =
+              (fun () ->
+                let b0 = Telemetry.Clock.now_ns () in
+                ctx.Team.barrier ();
+                wait_ns :=
+                  Int64.add !wait_ns
+                    (Telemetry.Clock.elapsed_ns ~since:b0));
+          }
+        in
+        let t0 = Telemetry.Clock.now_ns () in
+        (match init with Some f -> f () | None -> ());
+        exec_on_ctx t ~ctx:ctx_traced ~body;
+        (match term with Some f -> f () | None -> ());
+        let dur_ns = Telemetry.Clock.elapsed_ns ~since:t0 in
+        Telemetry.Counter.add wait_counter (Int64.to_int !wait_ns);
+        Telemetry.Span.record ~cat:"loop" ~tid:ctx.Team.tid ~name
+          ~start_ns:t0 ~dur_ns
+          ~args:
+            [
+              ("barrier_wait_ns", Int64.to_float !wait_ns);
+              ("nthreads", float_of_int ctx.Team.nthreads);
+            ]
+          ())
+  end
 
 let exec_sequential t ~nthreads ~body =
   check_threads t nthreads;

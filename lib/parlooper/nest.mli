@@ -25,8 +25,15 @@ val grid_threads : t -> int option
 (** [exec t ~nthreads ~init ~term ~body] runs the nest on a team.
     [init]/[term] run once per logical thread before/after the nest (as in
     Listing 2). [body] receives the logical index array (alphabetical
-    order); the array is reused between invocations — do not retain. *)
+    order); the array is reused between invocations — do not retain.
+
+    When the telemetry registry is enabled, each team thread records one
+    [Telemetry.Span] (category ["loop"], named [label]) covering its whole
+    traversal, with its barrier-wait time as a span argument and
+    accumulated into the ["parlooper.barrier_wait_ns"] counter. With
+    telemetry disabled the instrumentation costs one bool load per run. *)
 val exec :
+  ?label:string ->
   t ->
   nthreads:int ->
   init:(unit -> unit) option ->

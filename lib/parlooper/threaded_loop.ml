@@ -6,12 +6,31 @@ type t = {
   nest : Nest.t;
 }
 
-(* ---- JIT cache ---- *)
+(* ---- JIT cache ----
 
-let cache : (string, t) Hashtbl.t = Hashtbl.create 64
+   Bounded LRU keyed by (specs, spec_string). Hit/miss/eviction counts and
+   cumulative compile time are published as telemetry counters so the
+   registry report can show cache behaviour; [cache_stats]/[cache_clear]
+   keep their historical semantics on top of those counters. The bound
+   keeps long autotuning sweeps (thousands of distinct spec strings) from
+   growing the table without limit. *)
+
+type cache_entry = { entry : t; mutable last_use : int }
+
+let cache : (string, cache_entry) Hashtbl.t = Hashtbl.create 64
 let cache_lock = Mutex.create ()
-let hits = ref 0
-let misses = ref 0
+let cache_tick = ref 0
+let cache_capacity = ref 512
+let hits_c = Telemetry.Counter.find_or_create Telemetry.Registry.jit_hits_name
+
+let misses_c =
+  Telemetry.Counter.find_or_create Telemetry.Registry.jit_misses_name
+
+let evictions_c =
+  Telemetry.Counter.find_or_create Telemetry.Registry.jit_evictions_name
+
+let compile_ns_c =
+  Telemetry.Counter.find_or_create Telemetry.Registry.jit_compile_ns_name
 
 let cache_key specs spec_string =
   String.concat ";" (List.map Loop_spec.to_string specs) ^ "|" ^ spec_string
@@ -28,24 +47,66 @@ let compile specs_list spec_string =
   in
   { specs; spec_string; nest }
 
+(* assumes [cache_lock] held: drop the least recently used entry *)
+let evict_one_locked () =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key e ->
+      match !victim with
+      | Some (_, stamp) when stamp <= e.last_use -> ()
+      | _ -> victim := Some (key, e.last_use))
+    cache;
+  match !victim with
+  | Some (key, _) ->
+    Hashtbl.remove cache key;
+    Telemetry.Counter.incr evictions_c
+  | None -> ()
+
+let cache_set_capacity n =
+  Mutex.lock cache_lock;
+  cache_capacity := max 1 n;
+  while Hashtbl.length cache > !cache_capacity do
+    evict_one_locked ()
+  done;
+  Mutex.unlock cache_lock
+
+let cache_get_capacity () = !cache_capacity
+
+let cache_size () =
+  Mutex.lock cache_lock;
+  let n = Hashtbl.length cache in
+  Mutex.unlock cache_lock;
+  n
+
 let create specs_list spec_string =
   let key = cache_key specs_list spec_string in
   Mutex.lock cache_lock;
+  incr cache_tick;
+  let now = !cache_tick in
   match Hashtbl.find_opt cache key with
-  | Some t ->
-    incr hits;
+  | Some e ->
+    e.last_use <- now;
+    Telemetry.Counter.incr hits_c;
     Mutex.unlock cache_lock;
-    t
+    e.entry
   | None ->
     Mutex.unlock cache_lock;
     (* compile outside the lock; racing duplicates are harmless *)
+    let t0 = Telemetry.Clock.now_ns () in
     let t = compile specs_list spec_string in
+    Telemetry.Counter.add compile_ns_c
+      (Int64.to_int (Telemetry.Clock.elapsed_ns ~since:t0));
     Mutex.lock cache_lock;
-    if not (Hashtbl.mem cache key) then begin
-      incr misses;
-      Hashtbl.replace cache key t
-    end
-    else incr hits;
+    (match Hashtbl.find_opt cache key with
+    | Some e ->
+      e.last_use <- now;
+      Telemetry.Counter.incr hits_c
+    | None ->
+      Telemetry.Counter.incr misses_c;
+      while Hashtbl.length cache >= !cache_capacity do
+        evict_one_locked ()
+      done;
+      Hashtbl.replace cache key { entry = t; last_use = now });
     Mutex.unlock cache_lock;
     t
 
@@ -69,7 +130,7 @@ let run ?nthreads ?init ?term t body =
          (Printf.sprintf "spec %S requires %d threads but %d were requested"
             t.spec_string g m))
   | _ -> ());
-  Nest.exec t.nest ~nthreads:n ~init ~term ~body
+  Nest.exec ~label:t.spec_string t.nest ~nthreads:n ~init ~term ~body
 
 let run_traced ?nthreads t body =
   let n = threads_used ?nthreads t in
@@ -78,14 +139,13 @@ let run_traced ?nthreads t body =
 let body_invocations t = Nest.body_invocations t.nest
 
 let cache_stats () =
-  Mutex.lock cache_lock;
-  let s = (!hits, !misses) in
-  Mutex.unlock cache_lock;
-  s
+  (Telemetry.Counter.get hits_c, Telemetry.Counter.get misses_c)
 
 let cache_clear () =
   Mutex.lock cache_lock;
   Hashtbl.reset cache;
-  hits := 0;
-  misses := 0;
+  Telemetry.Counter.set hits_c 0;
+  Telemetry.Counter.set misses_c 0;
+  Telemetry.Counter.set evictions_c 0;
+  Telemetry.Counter.set compile_ns_c 0;
   Mutex.unlock cache_lock

@@ -58,7 +58,20 @@ val run_traced : ?nthreads:int -> t -> (tid:int -> int array -> unit) -> unit
 (** Total body invocations [run] will perform (all threads together). *)
 val body_invocations : t -> int
 
-(** JIT-cache statistics: (hits, misses) since start/clear. *)
+(** JIT-cache statistics: (hits, misses) since start/clear. The same
+    numbers are published as the telemetry counters
+    ["parlooper.jit.hits"] / ["parlooper.jit.misses"], alongside
+    ["parlooper.jit.evictions"] and ["parlooper.jit.compile_ns"]. *)
 val cache_stats : unit -> int * int
 
 val cache_clear : unit -> unit
+
+(** The JIT cache is a bounded LRU (default capacity 512 compiled nests)
+    so unbounded spec sweeps — e.g. long autotuning runs — cannot grow it
+    without limit. Shrinking the capacity evicts immediately. *)
+val cache_set_capacity : int -> unit
+
+val cache_get_capacity : unit -> int
+
+(** Number of compiled nests currently cached. *)
+val cache_size : unit -> int

@@ -1,0 +1,72 @@
+(* Chrome trace_event export: every recorded span becomes a complete ("X")
+   event on its thread's track, so chrome://tracing / Perfetto renders the
+   per-thread, per-loop-level timeline of a run. Timestamps are rebased to
+   the earliest span and expressed in microseconds, per the format spec. *)
+
+let thread_sort_key tid = if tid < 0 then -1 else tid
+
+let thread_label tid =
+  if tid < 0 then "main" else Printf.sprintf "worker-%d" tid
+
+let to_string () =
+  let spans = Span.all () in
+  let base =
+    match spans with [] -> 0L | s :: _ -> s.Span.start_ns
+  in
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else pr ","
+  in
+  sep ();
+  pr
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+     \"args\":{\"name\":\"parlooper\"}}";
+  (* one metadata event per distinct thread track *)
+  List.iter
+    (fun (tid, _) ->
+      sep ();
+      pr
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\
+         \"args\":{\"name\":\"%s\"}}"
+        tid
+        (Report.json_escape (thread_label tid));
+      sep ();
+      pr
+        "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\
+         \"args\":{\"sort_index\":%d}}"
+        tid (thread_sort_key tid))
+    (Span.by_tid ());
+  List.iter
+    (fun (s : Span.t) ->
+      sep ();
+      pr
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\
+         \"ts\":%.3f,\"dur\":%.3f"
+        (Report.json_escape s.Span.name)
+        (Report.json_escape s.Span.cat)
+        s.Span.tid
+        (Clock.us_of_ns (Int64.sub s.Span.start_ns base))
+        (Clock.us_of_ns s.Span.dur_ns);
+      (match s.Span.args with
+      | [] -> ()
+      | args ->
+        pr ",\"args\":{";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then pr ",";
+            pr "\"%s\":%s" (Report.json_escape k) (Report.json_float v))
+          args;
+        pr "}");
+      pr "}")
+    spans;
+  pr "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ()))

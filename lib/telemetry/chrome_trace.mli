@@ -1,0 +1,7 @@
+(** Chrome [trace_event] JSON export of the recorded spans: load the file
+    in [chrome://tracing] (or https://ui.perfetto.dev) to see per-thread,
+    per-loop-nest timelines. Each span becomes a complete ("X") event;
+    thread tracks are labelled [main] / [worker-N]. *)
+
+val to_string : unit -> string
+val write : string -> unit

@@ -1,0 +1,20 @@
+(* Monotonic time base for every timed region in the repo. All other
+   telemetry modules (and the harness/tuner timing paths) read this clock,
+   never Unix.gettimeofday, so measurements cannot go backwards under
+   wall-clock adjustment. *)
+
+external now_ns : unit -> (int64[@unboxed])
+  = "tl_monotonic_now_ns_byte" "tl_monotonic_now_ns"
+[@@noalloc]
+
+let s_of_ns ns = Int64.to_float ns *. 1e-9
+let us_of_ns ns = Int64.to_float ns *. 1e-3
+let now_s () = s_of_ns (now_ns ())
+let elapsed_ns ~since = Int64.sub (now_ns ()) since
+let elapsed_s ~since = s_of_ns (elapsed_ns ~since)
+
+(* time a thunk: (result, seconds) *)
+let time f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, elapsed_s ~since:t0)

@@ -1,0 +1,18 @@
+(** Monotonic clock (CLOCK_MONOTONIC via a C stub) — the single time base
+    for all timed regions in the repo. Immune to wall-clock adjustment,
+    allocation-free on the native-code path. *)
+
+(** Nanoseconds from an arbitrary (but fixed) origin; strictly
+    non-decreasing. *)
+external now_ns : unit -> (int64[@unboxed])
+  = "tl_monotonic_now_ns_byte" "tl_monotonic_now_ns"
+[@@noalloc]
+
+val now_s : unit -> float
+val s_of_ns : int64 -> float
+val us_of_ns : int64 -> float
+val elapsed_ns : since:int64 -> int64
+val elapsed_s : since:int64 -> float
+
+(** [time f] runs [f] and returns [(f (), seconds_elapsed)]. *)
+val time : (unit -> 'a) -> 'a * float

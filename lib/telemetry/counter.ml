@@ -1,0 +1,52 @@
+(* Named atomic counters, interned in a global table so any domain or
+   systhread can increment the same counter without coordination beyond the
+   atomic itself. Resetting zeroes values but keeps identities, so modules
+   may cache the counter they obtained from [find_or_create]. *)
+
+type t = { name : string; cell : int Atomic.t }
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 32
+let lock = Mutex.create ()
+
+let find_or_create name =
+  Mutex.lock lock;
+  let c =
+    match Hashtbl.find_opt table name with
+    | Some c -> c
+    | None ->
+      let c = { name; cell = Atomic.make 0 } in
+      Hashtbl.replace table name c;
+      c
+  in
+  Mutex.unlock lock;
+  c
+
+let name t = t.name
+let incr t = Atomic.incr t.cell
+let add t n = ignore (Atomic.fetch_and_add t.cell n)
+let get t = Atomic.get t.cell
+let set t v = Atomic.set t.cell v
+
+(* value by name; 0 if the counter was never created *)
+let value name =
+  Mutex.lock lock;
+  let v =
+    match Hashtbl.find_opt table name with
+    | Some c -> Atomic.get c.cell
+    | None -> 0
+  in
+  Mutex.unlock lock;
+  v
+
+let all () =
+  Mutex.lock lock;
+  let l =
+    Hashtbl.fold (fun name c acc -> (name, Atomic.get c.cell) :: acc) table []
+  in
+  Mutex.unlock lock;
+  List.sort compare l
+
+let reset_all () =
+  Mutex.lock lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) table;
+  Mutex.unlock lock

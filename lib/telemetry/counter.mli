@@ -1,0 +1,21 @@
+(** Named atomic counters, shared across domains and systhreads. Counters
+    are interned: [find_or_create name] always returns the same counter for
+    the same name, so callers may cache it and increment lock-free.
+    Resetting zeroes values but preserves identities. *)
+
+type t
+
+val find_or_create : string -> t
+val name : t -> string
+val incr : t -> unit
+val add : t -> int -> unit
+val get : t -> int
+val set : t -> int -> unit
+
+(** Value by name; 0 if the counter was never created. *)
+val value : string -> int
+
+(** All counters as [(name, value)], sorted by name. *)
+val all : unit -> (string * int) list
+
+val reset_all : unit -> unit

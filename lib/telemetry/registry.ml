@@ -1,0 +1,109 @@
+(* Global aggregation point. Everything the stack reports at runtime lands
+   here: kernel instances accumulate flops/bytes/seconds so achieved GFLOPS
+   is derivable, the perf model and tuner deposit predicted-vs-measured
+   pairs, and enable/disable/reset fan out to the span and counter stores.
+   All entry points are safe to call from any domain or systhread. *)
+
+type kernel_stat = {
+  kind : string;  (** "gemm", "conv", "mlp", "spmm" *)
+  instance : string;  (** shape/dtype/spec identity, e.g. "512x512x512 f32 BCa" *)
+  mutable invocations : int;
+  mutable flops : float;
+  mutable bytes : float;
+  mutable seconds : float;
+}
+
+type prediction = {
+  pname : string;
+  predicted_gflops : float;
+  measured_gflops : float;
+}
+
+let lock = Mutex.create ()
+let kernels : (string * string, kernel_stat) Hashtbl.t = Hashtbl.create 16
+let preds : prediction list ref = ref []
+
+(* ---- master switch ---- *)
+
+let enable () = Span.set_enabled true
+let disable () = Span.set_enabled false
+let enabled () = Span.enabled ()
+
+let with_enabled f =
+  enable ();
+  Fun.protect ~finally:disable f
+
+(* ---- kernel statistics ---- *)
+
+let record_kernel ~kind ~instance ~flops ~bytes ~seconds =
+  Mutex.lock lock;
+  let s =
+    match Hashtbl.find_opt kernels (kind, instance) with
+    | Some s -> s
+    | None ->
+      let s = { kind; instance; invocations = 0; flops = 0.0; bytes = 0.0;
+                seconds = 0.0 }
+      in
+      Hashtbl.replace kernels (kind, instance) s;
+      s
+  in
+  s.invocations <- s.invocations + 1;
+  s.flops <- s.flops +. flops;
+  s.bytes <- s.bytes +. bytes;
+  s.seconds <- s.seconds +. seconds;
+  Mutex.unlock lock
+
+let kernel_stats () =
+  Mutex.lock lock;
+  let l = Hashtbl.fold (fun _ s acc -> s :: acc) kernels [] in
+  Mutex.unlock lock;
+  List.sort (fun a b -> compare (a.kind, a.instance) (b.kind, b.instance)) l
+
+let gflops s = if s.seconds > 0.0 then s.flops /. s.seconds /. 1e9 else 0.0
+
+let arithmetic_intensity s =
+  if s.bytes > 0.0 then s.flops /. s.bytes else 0.0
+
+(* ---- predicted vs measured ---- *)
+
+let record_prediction ~name ~predicted_gflops ~measured_gflops =
+  Mutex.lock lock;
+  preds := { pname = name; predicted_gflops; measured_gflops } :: !preds;
+  Mutex.unlock lock
+
+let predictions () =
+  Mutex.lock lock;
+  let l = List.rev !preds in
+  Mutex.unlock lock;
+  l
+
+(* signed relative model error: positive = model over-predicts *)
+let deviation p =
+  if p.measured_gflops > 0.0 then
+    (p.predicted_gflops -. p.measured_gflops) /. p.measured_gflops
+  else 0.0
+
+let mean_abs_deviation ps =
+  match ps with
+  | [] -> 0.0
+  | _ ->
+    List.fold_left (fun a p -> a +. Float.abs (deviation p)) 0.0 ps
+    /. float_of_int (List.length ps)
+
+(* ---- JIT-cache counter names (owned by Threaded_loop, read by Report) ---- *)
+
+let jit_hits_name = "parlooper.jit.hits"
+let jit_misses_name = "parlooper.jit.misses"
+let jit_evictions_name = "parlooper.jit.evictions"
+let jit_compile_ns_name = "parlooper.jit.compile_ns"
+let barrier_wait_ns_name = "parlooper.barrier_wait_ns"
+
+(* ---- lifecycle ---- *)
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset kernels;
+  preds := [];
+  Mutex.unlock lock;
+  Span.reset ();
+  Counter.reset_all ()

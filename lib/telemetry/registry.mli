@@ -1,0 +1,63 @@
+(** Global aggregation of runtime telemetry: the master enable switch,
+    per-kernel-instance flops/bytes/time accumulation (achieved GFLOPS),
+    and perf-model predicted-vs-measured records. All entry points are
+    thread- and domain-safe. *)
+
+type kernel_stat = {
+  kind : string;  (** "gemm", "conv", "mlp", "spmm" *)
+  instance : string;  (** shape/dtype/spec identity *)
+  mutable invocations : int;
+  mutable flops : float;
+  mutable bytes : float;
+  mutable seconds : float;
+}
+
+type prediction = {
+  pname : string;
+  predicted_gflops : float;
+  measured_gflops : float;
+}
+
+(** Enable/disable span recording and kernel-stat collection. Counters
+    (e.g. the JIT cache's) are always live — they are cheap atomics. *)
+val enable : unit -> unit
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** [with_enabled f] runs [f] with telemetry on, disabling on the way out. *)
+val with_enabled : (unit -> 'a) -> 'a
+
+(** Accumulate one kernel run into the (kind, instance) bucket. *)
+val record_kernel :
+  kind:string ->
+  instance:string ->
+  flops:float ->
+  bytes:float ->
+  seconds:float ->
+  unit
+
+val kernel_stats : unit -> kernel_stat list
+val gflops : kernel_stat -> float
+val arithmetic_intensity : kernel_stat -> float
+
+val record_prediction :
+  name:string -> predicted_gflops:float -> measured_gflops:float -> unit
+
+val predictions : unit -> prediction list
+
+(** Signed relative model error; positive = model over-predicts. *)
+val deviation : prediction -> float
+
+val mean_abs_deviation : prediction list -> float
+
+(** Well-known counter names written by the PARLOOPER runtime. *)
+val jit_hits_name : string
+
+val jit_misses_name : string
+val jit_evictions_name : string
+val jit_compile_ns_name : string
+val barrier_wait_ns_name : string
+
+(** Clear kernel stats, predictions, spans and zero all counters. *)
+val reset : unit -> unit

@@ -1,0 +1,159 @@
+(* End-of-run summaries of everything the registry collected: per-kernel
+   achieved GFLOPS with optional roofline context, JIT-cache behaviour,
+   barrier-wait totals, raw counters and perf-model error — as plain text
+   for terminals and as JSON for scripts. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON floats: no nan/inf, no exponent surprises for consumers *)
+let json_float f =
+  if Float.is_nan f || Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" (if Float.is_nan f then 0.0 else f)
+  else if Float.is_finite f then Printf.sprintf "%.6g" f
+  else "0"
+
+(* attainable GFLOPS at a kernel's arithmetic intensity, classic roofline *)
+let roofline ~peak_gflops ~mem_bw_gbs ai =
+  Float.min peak_gflops (mem_bw_gbs *. ai)
+
+let summary ?peak_gflops ?mem_bw_gbs () =
+  let b = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "== telemetry report ==\n";
+  (* kernels *)
+  let ks = Registry.kernel_stats () in
+  if ks <> [] then begin
+    pr "kernels (achieved):\n";
+    List.iter
+      (fun (s : Registry.kernel_stat) ->
+        let g = Registry.gflops s in
+        let ai = Registry.arithmetic_intensity s in
+        pr "  %-6s %-34s %4d run%s %9.4fs %10.2f GFLOPS" s.Registry.kind
+          s.Registry.instance s.Registry.invocations
+          (if s.Registry.invocations = 1 then " " else "s")
+          s.Registry.seconds g;
+        if ai > 0.0 then pr "  AI %.1f F/B" ai;
+        (match (peak_gflops, mem_bw_gbs) with
+        | Some peak, Some bw when ai > 0.0 && peak > 0.0 ->
+          let roof = roofline ~peak_gflops:peak ~mem_bw_gbs:bw ai in
+          pr "  (%.1f%% of %.0f GF roofline)" (100.0 *. g /. roof) roof
+        | Some peak, _ when peak > 0.0 ->
+          pr "  (%.1f%% of %.0f GF peak)" (100.0 *. g /. peak) peak
+        | _ -> ());
+        pr "\n")
+      ks
+  end;
+  (* JIT cache *)
+  let hits = Counter.value Registry.jit_hits_name in
+  let misses = Counter.value Registry.jit_misses_name in
+  if hits + misses > 0 then
+    pr
+      "jit cache: %d hits, %d misses (%.1f%% hit rate), %d evictions, \
+       %.2f ms compiling\n"
+      hits misses
+      (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+      (Counter.value Registry.jit_evictions_name)
+      (float_of_int (Counter.value Registry.jit_compile_ns_name) /. 1e6);
+  let wait = Counter.value Registry.barrier_wait_ns_name in
+  if wait > 0 then
+    pr "barrier wait: %.3f ms total across threads\n"
+      (float_of_int wait /. 1e6);
+  (* predicted vs measured *)
+  let ps = Registry.predictions () in
+  if ps <> [] then begin
+    pr "perf model, predicted vs measured:\n";
+    List.iter
+      (fun (p : Registry.prediction) ->
+        pr "  %-34s predicted %10.2f GF  measured %10.2f GF  deviation %+.1f%%\n"
+          p.Registry.pname p.Registry.predicted_gflops p.Registry.measured_gflops
+          (100.0 *. Registry.deviation p))
+      ps;
+    pr "  mean |deviation|: %.1f%% over %d candidate%s\n"
+      (100.0 *. Registry.mean_abs_deviation ps)
+      (List.length ps)
+      (if List.length ps = 1 then "" else "s")
+  end;
+  (* remaining counters *)
+  let skip =
+    [
+      Registry.jit_hits_name; Registry.jit_misses_name;
+      Registry.jit_evictions_name; Registry.jit_compile_ns_name;
+      Registry.barrier_wait_ns_name;
+    ]
+  in
+  let rest =
+    List.filter (fun (n, v) -> v <> 0 && not (List.mem n skip)) (Counter.all ())
+  in
+  if rest <> [] then begin
+    pr "counters:\n";
+    List.iter (fun (n, v) -> pr "  %-40s %d\n" n v) rest
+  end;
+  pr "spans: %d recorded on %d thread track%s\n" (Span.count ())
+    (List.length (Span.by_tid ()))
+    (if List.length (Span.by_tid ()) = 1 then "" else "s");
+  Buffer.contents b
+
+let print ?peak_gflops ?mem_bw_gbs () =
+  print_string (summary ?peak_gflops ?mem_bw_gbs ());
+  flush stdout
+
+let to_json ?peak_gflops ?mem_bw_gbs () =
+  let b = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "{";
+  (match peak_gflops with
+  | Some p -> pr "\"peak_gflops\":%s," (json_float p)
+  | None -> ());
+  (match mem_bw_gbs with
+  | Some bw -> pr "\"mem_bw_gbs\":%s," (json_float bw)
+  | None -> ());
+  pr "\"kernels\":[";
+  List.iteri
+    (fun i (s : Registry.kernel_stat) ->
+      if i > 0 then pr ",";
+      pr
+        "{\"kind\":\"%s\",\"instance\":\"%s\",\"invocations\":%d,\
+         \"flops\":%s,\"bytes\":%s,\"seconds\":%s,\"gflops\":%s,\
+         \"arithmetic_intensity\":%s}"
+        (json_escape s.Registry.kind)
+        (json_escape s.Registry.instance)
+        s.Registry.invocations (json_float s.Registry.flops)
+        (json_float s.Registry.bytes)
+        (json_float s.Registry.seconds)
+        (json_float (Registry.gflops s))
+        (json_float (Registry.arithmetic_intensity s)))
+    (Registry.kernel_stats ());
+  pr "],\"predictions\":[";
+  List.iteri
+    (fun i (p : Registry.prediction) ->
+      if i > 0 then pr ",";
+      pr
+        "{\"name\":\"%s\",\"predicted_gflops\":%s,\"measured_gflops\":%s,\
+         \"deviation\":%s}"
+        (json_escape p.Registry.pname)
+        (json_float p.Registry.predicted_gflops)
+        (json_float p.Registry.measured_gflops)
+        (json_float (Registry.deviation p)))
+    (Registry.predictions ());
+  pr "],\"counters\":{";
+  List.iteri
+    (fun i (n, v) ->
+      if i > 0 then pr ",";
+      pr "\"%s\":%d" (json_escape n) v)
+    (Counter.all ());
+  pr "},\"spans\":%d}" (Span.count ());
+  Buffer.contents b

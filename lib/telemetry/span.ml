@@ -1,0 +1,75 @@
+(* Scoped timers. A span is one closed [start, start+dur) interval on one
+   logical thread's timeline; the collection of spans is what Chrome_trace
+   renders. The master switch lives here so the disabled path costs a single
+   immediate bool load — hot callers (Nest.exec, kernel run functions) check
+   [enabled] once per run, not per iteration. *)
+
+type t = {
+  name : string;
+  cat : string;
+  tid : int;  (** logical thread; -1 = orchestrating (main) thread *)
+  start_ns : int64;
+  dur_ns : int64;
+  args : (string * float) list;  (** numeric annotations, e.g. wait time *)
+}
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+(* Span volume is O(threads) per kernel run, so one mutex-protected list is
+   contention-free in practice; swap for per-tid buffers if tracing ever
+   moves inside the iteration body. *)
+let lock = Mutex.create ()
+let spans : t list ref = ref []
+let recorded = ref 0
+
+let record ?(args = []) ?(cat = "default") ?(tid = -1) ~name ~start_ns ~dur_ns
+    () =
+  if !enabled_flag then begin
+    Mutex.lock lock;
+    spans := { name; cat; tid; start_ns; dur_ns; args } :: !spans;
+    incr recorded;
+    Mutex.unlock lock
+  end
+
+(* scoped wrapper: times [f] and records on the way out, even on raise *)
+let with_span ?(args = []) ?(cat = "default") ?(tid = -1) name f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        record ~args ~cat ~tid ~name ~start_ns:t0
+          ~dur_ns:(Int64.sub (Clock.now_ns ()) t0)
+          ())
+      f
+  end
+
+let all () =
+  Mutex.lock lock;
+  let l = !spans in
+  Mutex.unlock lock;
+  List.sort (fun a b -> compare a.start_ns b.start_ns) l
+
+let count () =
+  Mutex.lock lock;
+  let n = !recorded in
+  Mutex.unlock lock;
+  n
+
+(* spans-per-tid histogram, sorted by tid *)
+let by_tid () =
+  let h = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace h s.tid
+        (1 + Option.value ~default:0 (Hashtbl.find_opt h s.tid)))
+    (all ());
+  Hashtbl.fold (fun tid n acc -> (tid, n) :: acc) h [] |> List.sort compare
+
+let reset () =
+  Mutex.lock lock;
+  spans := [];
+  recorded := 0;
+  Mutex.unlock lock

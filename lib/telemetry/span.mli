@@ -1,0 +1,47 @@
+(** Scoped per-thread timers. A span is a closed interval on one logical
+    thread's timeline; {!Chrome_trace} renders the collection as a
+    per-thread timeline. The global enable flag lives here so the disabled
+    path is a single bool load ([with_span] then just calls [f]). *)
+
+type t = {
+  name : string;
+  cat : string;  (** e.g. ["loop"], ["kernel"] *)
+  tid : int;  (** logical thread id; -1 = orchestrating (main) thread *)
+  start_ns : int64;
+  dur_ns : int64;
+  args : (string * float) list;  (** numeric annotations *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** Record a finished span (no-op while disabled). *)
+val record :
+  ?args:(string * float) list ->
+  ?cat:string ->
+  ?tid:int ->
+  name:string ->
+  start_ns:int64 ->
+  dur_ns:int64 ->
+  unit ->
+  unit
+
+(** [with_span name f] times [f] and records the span on the way out (also
+    on exceptions). While disabled, exactly [f ()]. *)
+val with_span :
+  ?args:(string * float) list ->
+  ?cat:string ->
+  ?tid:int ->
+  string ->
+  (unit -> 'a) ->
+  'a
+
+(** All recorded spans, sorted by start time. *)
+val all : unit -> t list
+
+val count : unit -> int
+
+(** [(tid, span count)] per thread track, sorted by tid. *)
+val by_tid : unit -> (int * int) list
+
+val reset : unit -> unit

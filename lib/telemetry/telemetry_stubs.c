@@ -1,0 +1,24 @@
+/* Monotonic clock for the telemetry subsystem.
+
+   CLOCK_MONOTONIC is immune to NTP slews and wall-clock jumps, unlike
+   Unix.gettimeofday; the native entry point is [@@noalloc]/[@unboxed] so a
+   timestamp read is a plain C call with no OCaml allocation. */
+
+#include <stdint.h>
+#include <time.h>
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+
+int64_t tl_monotonic_now_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value tl_monotonic_now_ns_byte(value unit)
+{
+  return caml_copy_int64(tl_monotonic_now_ns(unit));
+}

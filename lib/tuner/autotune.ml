@@ -6,6 +6,7 @@ type entry = {
   spec : string;
   cfg : Gemm.config;
   gflops : float;
+  predicted_gflops : float option;
 }
 
 type report = {
@@ -13,6 +14,8 @@ type report = {
   evaluated : int;
   tuning_seconds : float;
 }
+
+exception Measurement_error of string
 
 let candidate_config (base : Gemm.config) (c : Spec_gen.candidate) =
   {
@@ -37,26 +40,35 @@ let measure_gemm ~nthreads ~repeats cfg spec =
   let cp = Gemm.alloc_c cfg in
   (* warm-up resolves JIT compilation outside the timed region *)
   Gemm.run ~nthreads g ~a:ap ~b:bp ~c:cp;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.Clock.now_ns () in
   for _ = 1 to repeats do
     Gemm.run ~nthreads g ~a:ap ~b:bp ~c:cp
   done;
-  let dt = (Unix.gettimeofday () -. t0) /. float_of_int repeats in
-  if dt <= 0.0 then 0.0 else Gemm.flops cfg /. dt /. 1e9
+  let dt = Telemetry.Clock.elapsed_s ~since:t0 /. float_of_int repeats in
+  (* a non-positive interval on a monotonic clock means the timed region
+     was not observable — surface it instead of reporting 0 GFLOPS, which
+     would silently poison the tuning ranking *)
+  if dt <= 0.0 then
+    raise
+      (Measurement_error
+         (Printf.sprintf
+            "degenerate timing (%g s over %d repeats) measuring spec %S" dt
+            repeats spec));
+  Gemm.flops cfg /. dt /. 1e9
 
 let default_constraints (base : Gemm.config) =
   Spec_gen.gemm_constraints
     ~trip_a:(Gemm.kb base / base.Gemm.k_step)
     ~trip_b:(Gemm.mb base) ~trip_c:(Gemm.nb base) ~step_a:base.Gemm.k_step ()
 
-let tune_gemm ?max_candidates ?constraints objective base =
+let tune_gemm ?max_candidates ?constraints ?model_platform objective base =
   let cons =
     match constraints with
     | Some c -> c
     | None -> default_constraints base
   in
   let candidates = Spec_gen.generate ?max_candidates cons in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.Clock.now_ns () in
   let entries =
     List.filter_map
       (fun cand ->
@@ -75,7 +87,22 @@ let tune_gemm ?max_candidates ?constraints objective base =
               (Gemm_trace.score ~platform ~nthreads cfg cand.Spec_gen.spec)
                 .Perf_model.gflops
           in
-          Some { spec = cand.Spec_gen.spec; cfg; gflops })
+          (* with a measured objective and a platform model of the host we
+             can confront the §II-E model with reality per candidate *)
+          let predicted_gflops =
+            match (objective, model_platform) with
+            | Measured { nthreads; _ }, Some platform ->
+              let p =
+                (Gemm_trace.score ~platform ~nthreads cfg cand.Spec_gen.spec)
+                  .Perf_model.gflops
+              in
+              Telemetry.Registry.record_prediction
+                ~name:("gemm " ^ cand.Spec_gen.spec) ~predicted_gflops:p
+                ~measured_gflops:gflops;
+              Some p
+            | _ -> None
+          in
+          Some { spec = cand.Spec_gen.spec; cfg; gflops; predicted_gflops })
       candidates
   in
   let ranked =
@@ -84,5 +111,5 @@ let tune_gemm ?max_candidates ?constraints objective base =
   {
     ranked;
     evaluated = List.length entries;
-    tuning_seconds = Unix.gettimeofday () -. t0;
+    tuning_seconds = Telemetry.Clock.elapsed_s ~since:t0;
   }

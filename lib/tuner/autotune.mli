@@ -14,6 +14,9 @@ type entry = {
   spec : string;
   cfg : Gemm.config;
   gflops : float;
+  predicted_gflops : float option;
+      (** §II-E model score for this candidate, when [model_platform] was
+          given alongside a measured objective *)
 }
 
 type report = {
@@ -22,12 +25,23 @@ type report = {
   tuning_seconds : float;
 }
 
+exception Measurement_error of string
+(** Raised by {!measure_gemm} when the timed region measures a
+    non-positive interval — instead of silently reporting 0 GFLOPS. *)
+
 (** [tune_gemm ?max_candidates objective base] sweeps instantiations of the
     GEMM described by [base] (its m/n/k/block sizes and dtype are kept; its
-    blocking lists are replaced per candidate). *)
-val tune_gemm :
-  ?max_candidates:int -> ?constraints:Spec_gen.constraints -> objective ->
-  Gemm.config -> report
+    blocking lists are replaced per candidate).
 
-(** Measured GFLOPS of a single (config, spec) point (used by benches). *)
+    With a [Measured] objective, pass [model_platform] (a model of the
+    machine the measurement runs on) to also score every candidate with the
+    §II-E performance model: each entry then carries [predicted_gflops] and
+    a predicted-vs-measured record is deposited in [Telemetry.Registry], so
+    model error is visible in telemetry reports. *)
+val tune_gemm :
+  ?max_candidates:int -> ?constraints:Spec_gen.constraints ->
+  ?model_platform:Platform.t -> objective -> Gemm.config -> report
+
+(** Measured GFLOPS of a single (config, spec) point (used by benches).
+    Timed with the monotonic [Telemetry.Clock]. *)
 val measure_gemm : nthreads:int -> repeats:int -> Gemm.config -> string -> float

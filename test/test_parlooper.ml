@@ -365,6 +365,62 @@ let test_jit_cache () =
   let _, m3 = Threaded_loop.cache_stats () in
   checki "new bounds = new miss" 3 m3
 
+let test_jit_cache_bounded () =
+  Threaded_loop.cache_clear ();
+  let old_cap = Threaded_loop.cache_get_capacity () in
+  Threaded_loop.cache_set_capacity 4;
+  for bound = 1 to 6 do
+    ignore (Threaded_loop.create [ Loop_spec.make ~bound ~step:1 () ] "a")
+  done;
+  checki "size capped at capacity" 4 (Threaded_loop.cache_size ());
+  (* the most recent entry survived eviction and is served from cache *)
+  let s6 = [ Loop_spec.make ~bound:6 ~step:1 () ] in
+  let x = Threaded_loop.create s6 "a" in
+  let y = Threaded_loop.create s6 "a" in
+  checkb "recent entry still cached" true (x == y);
+  (* shrinking evicts immediately *)
+  Threaded_loop.cache_set_capacity 2;
+  checki "shrink evicts down" 2 (Threaded_loop.cache_size ());
+  Threaded_loop.cache_set_capacity old_cap;
+  Threaded_loop.cache_clear ()
+
+(* ---- telemetry integration ---- *)
+
+let test_run_records_span_per_thread () =
+  Telemetry.Registry.reset ();
+  Telemetry.Registry.enable ();
+  let specs =
+    [
+      Loop_spec.make ~bound:8 ~step:1 ();
+      Loop_spec.make ~bound:8 ~step:1 ();
+      Loop_spec.make ~bound:8 ~step:1 ();
+    ]
+  in
+  let t = Threaded_loop.create specs "BCa" in
+  let hits = Atomic.make 0 in
+  Threaded_loop.run ~nthreads:3 t (fun _ -> Atomic.incr hits);
+  Telemetry.Registry.disable ();
+  checki "all iterations ran" 512 (Atomic.get hits);
+  let loop_spans =
+    List.filter
+      (fun s -> s.Telemetry.Span.cat = "loop")
+      (Telemetry.Span.all ())
+  in
+  checki "one span per team thread" 3 (List.length loop_spans);
+  let tids =
+    List.sort_uniq compare
+      (List.map (fun s -> s.Telemetry.Span.tid) loop_spans)
+  in
+  checkb "distinct tids 0..2" true (tids = [ 0; 1; 2 ]);
+  List.iter
+    (fun s ->
+      checkb "span named after spec" true
+        (s.Telemetry.Span.name = "BCa");
+      checkb "barrier arg present" true
+        (List.mem_assoc "barrier_wait_ns" s.Telemetry.Span.args))
+    loop_spans;
+  Telemetry.Registry.reset ()
+
 let () =
   Alcotest.run "parlooper"
     [
@@ -409,5 +465,14 @@ let () =
           Alcotest.test_case "dynamic chunks" `Quick
             test_team_dynamic_chunks_disjoint;
         ] );
-      ("cache", [ Alcotest.test_case "jit cache" `Quick test_jit_cache ]);
+      ( "cache",
+        [
+          Alcotest.test_case "jit cache" `Quick test_jit_cache;
+          Alcotest.test_case "lru bound" `Quick test_jit_cache_bounded;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "span per thread" `Quick
+            test_run_records_span_per_thread;
+        ] );
     ]

@@ -1,0 +1,313 @@
+(* Tests for lib/telemetry: monotonic clock, spans, atomic counters across
+   domains, registry aggregation, report/Chrome-trace JSON well-formedness. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let reset_on () =
+  Telemetry.Registry.reset ();
+  Telemetry.Registry.enable ()
+
+let off () = Telemetry.Registry.disable ()
+
+(* ---- clock ---- *)
+
+let test_clock_monotonic () =
+  let a = Telemetry.Clock.now_ns () in
+  let b = Telemetry.Clock.now_ns () in
+  ignore (Sys.opaque_identity (Array.init 1000 Fun.id));
+  let c = Telemetry.Clock.now_ns () in
+  checkb "b >= a" true (Int64.compare b a >= 0);
+  checkb "c >= b" true (Int64.compare c b >= 0);
+  let x, dt = Telemetry.Clock.time (fun () -> 42) in
+  checki "time result" 42 x;
+  checkb "time non-negative" true (dt >= 0.0)
+
+(* ---- spans ---- *)
+
+let test_span_disabled_records_nothing () =
+  Telemetry.Registry.reset ();
+  off ();
+  Telemetry.Span.record ~name:"ghost" ~start_ns:0L ~dur_ns:1L ();
+  let r = Telemetry.Span.with_span "ghost2" (fun () -> 7) in
+  checki "with_span passthrough" 7 r;
+  checki "nothing recorded while disabled" 0 (Telemetry.Span.count ())
+
+let test_span_nesting () =
+  reset_on ();
+  let r =
+    Telemetry.Span.with_span "outer" (fun () ->
+        Telemetry.Span.with_span "inner" (fun () -> 3) + 1)
+  in
+  off ();
+  checki "result" 4 r;
+  match Telemetry.Span.all () with
+  | [ outer; inner ] ->
+    Alcotest.(check string) "outer first by start" "outer" outer.Telemetry.Span.name;
+    Alcotest.(check string) "inner second" "inner" inner.Telemetry.Span.name;
+    let open Int64 in
+    let o_end = add outer.Telemetry.Span.start_ns outer.Telemetry.Span.dur_ns in
+    let i_end = add inner.Telemetry.Span.start_ns inner.Telemetry.Span.dur_ns in
+    checkb "inner starts after outer" true
+      (compare inner.Telemetry.Span.start_ns outer.Telemetry.Span.start_ns >= 0);
+    checkb "inner contained in outer" true (compare i_end o_end <= 0)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_exception_still_recorded () =
+  reset_on ();
+  (try Telemetry.Span.with_span "boom" (fun () -> failwith "x") with
+  | Failure _ -> ());
+  off ();
+  checki "span recorded despite exception" 1 (Telemetry.Span.count ())
+
+(* ---- counters across domains ---- *)
+
+let test_counter_cross_domain () =
+  Telemetry.Counter.reset_all ();
+  let c = Telemetry.Counter.find_or_create "test.cross_domain" in
+  let worker () =
+    let mine = Telemetry.Counter.find_or_create "test.cross_domain" in
+    for _ = 1 to 1000 do
+      Telemetry.Counter.incr mine
+    done
+  in
+  let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+  worker ();
+  Domain.join d1;
+  Domain.join d2;
+  checki "3 x 1000 increments aggregated" 3000 (Telemetry.Counter.get c);
+  checki "value by name" 3000 (Telemetry.Counter.value "test.cross_domain");
+  Telemetry.Counter.reset_all ();
+  checki "reset zeroes but keeps identity" 0 (Telemetry.Counter.get c)
+
+(* ---- registry ---- *)
+
+let test_registry_kernel_stats () =
+  reset_on ();
+  Telemetry.Registry.record_kernel ~kind:"gemm" ~instance:"t" ~flops:2e9
+    ~bytes:1e9 ~seconds:0.5;
+  Telemetry.Registry.record_kernel ~kind:"gemm" ~instance:"t" ~flops:2e9
+    ~bytes:1e9 ~seconds:0.5;
+  off ();
+  match Telemetry.Registry.kernel_stats () with
+  | [ s ] ->
+    checki "invocations aggregated" 2 s.Telemetry.Registry.invocations;
+    Alcotest.(check (float 1e-6)) "gflops" 4.0 (Telemetry.Registry.gflops s);
+    Alcotest.(check (float 1e-6)) "ai" 2.0
+      (Telemetry.Registry.arithmetic_intensity s)
+  | l -> Alcotest.failf "expected 1 stat, got %d" (List.length l)
+
+let test_registry_predictions () =
+  reset_on ();
+  Telemetry.Registry.record_prediction ~name:"p" ~predicted_gflops:120.0
+    ~measured_gflops:100.0;
+  off ();
+  match Telemetry.Registry.predictions () with
+  | [ p ] ->
+    Alcotest.(check (float 1e-9)) "signed deviation" 0.2
+      (Telemetry.Registry.deviation p);
+    Alcotest.(check (float 1e-9)) "mean abs deviation" 0.2
+      (Telemetry.Registry.mean_abs_deviation [ p ])
+  | l -> Alcotest.failf "expected 1 prediction, got %d" (List.length l)
+
+let test_registry_reset () =
+  reset_on ();
+  Telemetry.Span.record ~name:"s" ~start_ns:0L ~dur_ns:1L ();
+  Telemetry.Registry.record_kernel ~kind:"k" ~instance:"i" ~flops:1.0
+    ~bytes:1.0 ~seconds:1.0;
+  Telemetry.Registry.record_prediction ~name:"p" ~predicted_gflops:1.0
+    ~measured_gflops:1.0;
+  Telemetry.Counter.incr (Telemetry.Counter.find_or_create "test.reset");
+  Telemetry.Registry.reset ();
+  off ();
+  checki "spans cleared" 0 (Telemetry.Span.count ());
+  checki "kernels cleared" 0
+    (List.length (Telemetry.Registry.kernel_stats ()));
+  checki "predictions cleared" 0
+    (List.length (Telemetry.Registry.predictions ()));
+  checki "counters zeroed" 0 (Telemetry.Counter.value "test.reset")
+
+(* ---- JSON well-formedness (minimal parser, no external deps) ---- *)
+
+exception Bad_json of string
+
+let parse_json (s : string) : unit =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos else fail (Printf.sprintf "expected %c" c)
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('t' | 'f' | 'n') -> keyword ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "value"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else begin
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          members ()
+        | Some '}' -> incr pos
+        | _ -> fail "object"
+      in
+      members ()
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else begin
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          elems ()
+        | Some ']' -> incr pos
+        | _ -> fail "array"
+      in
+      elems ()
+    end
+  and string_lit () =
+    expect '"';
+    let rec chars () =
+      match peek () with
+      | Some '"' -> incr pos
+      | Some '\\' ->
+        incr pos;
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> incr pos
+        | Some 'u' ->
+          incr pos;
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> incr pos
+            | _ -> fail "unicode escape"
+          done
+        | _ -> fail "escape");
+        chars ()
+      | Some c when Char.code c >= 0x20 ->
+        incr pos;
+        chars ()
+      | _ -> fail "string"
+    in
+    chars ()
+  and keyword () =
+    let ok kw =
+      let l = String.length kw in
+      if !pos + l <= n && String.sub s !pos l = kw then (
+        pos := !pos + l;
+        true)
+      else false
+    in
+    if not (ok "true" || ok "false" || ok "null") then fail "keyword"
+  and number () =
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    let start = !pos in
+    while !pos < n && num_char s.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "number"
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_chrome_trace_json () =
+  reset_on ();
+  Telemetry.Span.record ~cat:"loop" ~tid:0 ~name:"sp\"an\\1"
+    ~args:[ ("nthreads", 2.0) ] ~start_ns:1000L ~dur_ns:5000L ();
+  Telemetry.Span.record ~cat:"loop" ~tid:1 ~name:"span2" ~start_ns:2000L
+    ~dur_ns:3000L ();
+  Telemetry.Span.record ~name:"main-span" ~start_ns:500L ~dur_ns:9000L ();
+  off ();
+  let s = Telemetry.Chrome_trace.to_string () in
+  (try parse_json s with Bad_json m -> Alcotest.failf "invalid JSON: %s" m);
+  checkb "has traceEvents" true (contains ~needle:"\"traceEvents\"" s);
+  checkb "has complete events" true (contains ~needle:"\"ph\":\"X\"" s);
+  checkb "names worker thread" true (contains ~needle:"worker-1" s);
+  checkb "names main thread" true (contains ~needle:"\"main\"" s);
+  checkb "escapes span names" true (contains ~needle:"sp\\\"an\\\\1" s)
+
+let test_report_json () =
+  reset_on ();
+  Telemetry.Registry.record_kernel ~kind:"gemm" ~instance:"256^3 f32 BCa"
+    ~flops:33.5e6 ~bytes:1.05e6 ~seconds:1.0e-3;
+  Telemetry.Registry.record_prediction ~name:"gemm 256" ~predicted_gflops:50.0
+    ~measured_gflops:40.0;
+  off ();
+  let j = Telemetry.Report.to_json ~peak_gflops:100.0 ~mem_bw_gbs:50.0 () in
+  (try parse_json j with Bad_json m -> Alcotest.failf "invalid JSON: %s" m);
+  checkb "kernels in json" true (contains ~needle:"\"kernels\"" j);
+  checkb "predictions in json" true (contains ~needle:"\"predictions\"" j);
+  let txt = Telemetry.Report.summary ~peak_gflops:100.0 ~mem_bw_gbs:50.0 () in
+  checkb "summary names kernel" true (contains ~needle:"256^3 f32 BCa" txt)
+
+let test_roofline () =
+  Alcotest.(check (float 1e-9))
+    "bandwidth bound" 5.0
+    (Telemetry.Report.roofline ~peak_gflops:100.0 ~mem_bw_gbs:50.0 0.1);
+  Alcotest.(check (float 1e-9))
+    "compute bound" 100.0
+    (Telemetry.Report.roofline ~peak_gflops:100.0 ~mem_bw_gbs:50.0 1000.0)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ("clock", [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ]);
+      ( "span",
+        [
+          Alcotest.test_case "disabled" `Quick test_span_disabled_records_nothing;
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception" `Quick
+            test_span_exception_still_recorded;
+        ] );
+      ( "counter",
+        [ Alcotest.test_case "cross-domain" `Quick test_counter_cross_domain ]
+      );
+      ( "registry",
+        [
+          Alcotest.test_case "kernel stats" `Quick test_registry_kernel_stats;
+          Alcotest.test_case "predictions" `Quick test_registry_predictions;
+          Alcotest.test_case "reset" `Quick test_registry_reset;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace json" `Quick test_chrome_trace_json;
+          Alcotest.test_case "report json" `Quick test_report_json;
+          Alcotest.test_case "roofline" `Quick test_roofline;
+        ] );
+    ]
