@@ -1,4 +1,4 @@
-.PHONY: all build test fmt ci clean
+.PHONY: all build test fmt smoke-serve ci clean
 
 all: build
 
@@ -11,10 +11,18 @@ test:
 fmt:
 	dune build @fmt
 
+# Short serving smoke: 2 s of synthetic load through the continuous-
+# batching scheduler, then the bench JSON is parsed back (the bench
+# binary self-validates it and exits non-zero on malformed output).
+smoke-serve: build
+	dune exec bench/main.exe -- --serve --serve-duration 2 --json /tmp/bench.json
+	@test -s /tmp/bench.json && echo "smoke-serve: /tmp/bench.json ok"
+
 # Single gate run by CI and before every commit: formatting must be
 # canonical (dune files; ocamlformat is not in the pinned toolchain),
-# everything must build, and the full tier-1 suite must pass.
-ci: fmt build test
+# everything must build, the full tier-1 suite must pass, and the
+# serving path must produce valid machine-readable output.
+ci: fmt build test smoke-serve
 
 clean:
 	dune clean

@@ -1,19 +1,86 @@
 (* Benchmark harness: one runner per table and figure of the paper, plus
-   Bechamel microbenchmarks of the real kernels on this host and the
-   ablation suite.
+   Bechamel microbenchmarks of the real kernels on this host, the
+   ablation suite, and the serving benchmark.
 
    Usage:
-     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe                 # every paper experiment
      dune exec bench/main.exe -- fig2 fig8    # selected experiments
      dune exec bench/main.exe -- micro        # Bechamel kernel benches
+     dune exec bench/main.exe -- gemm         # quick measured GEMM points
+     dune exec bench/main.exe -- --serve      # continuous-batching serve
+     dune exec bench/main.exe -- --serve --serve-duration 2 --json out.json
 
    Pass --telemetry (anywhere in the argument list) to run the selected
    experiments with the telemetry registry enabled and print the
    aggregated report — per-kernel achieved GFLOPS, JIT-cache hit rate,
-   predicted-vs-measured model deviation — at the end. *)
+   predicted-vs-measured model deviation — at the end. Pass --json FILE
+   to write the machine-readable BENCH file (schema parlooper-bench/1:
+   bench name + config + metrics per entry) for runs that produce
+   metrics (serve, gemm, micro); the file is validated before the
+   process exits. *)
 
 open Bechamel
 open Toolkit
+
+(* ---- machine-readable BENCH output (--json FILE) ----
+
+   Commit-agnostic schema so the perf trajectory can be compared across
+   PRs: each entry is {name, config (strings), metrics (numbers)}. *)
+
+type bench_entry = {
+  bname : string;
+  config : (string * string) list;
+  metrics : (string * float) list;
+}
+
+let bench_entries : bench_entry list ref = ref []
+
+let record_bench ~name ~config ~metrics =
+  bench_entries := { bname = name; config; metrics } :: !bench_entries
+
+let bench_json_string () =
+  let b = Buffer.create 512 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "{\"schema\":\"parlooper-bench/1\",\"host\":\"%s\",\"benches\":["
+    (Telemetry.Report.json_escape Platform.host.Platform.name);
+  List.iteri
+    (fun i e ->
+      if i > 0 then pr ",";
+      pr "{\"name\":\"%s\",\"config\":{" (Telemetry.Report.json_escape e.bname);
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then pr ",";
+          pr "\"%s\":\"%s\""
+            (Telemetry.Report.json_escape k)
+            (Telemetry.Report.json_escape v))
+        e.config;
+      pr "},\"metrics\":{";
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then pr ",";
+          pr "\"%s\":%s"
+            (Telemetry.Report.json_escape k)
+            (Telemetry.Report.json_float v))
+        e.metrics;
+      pr "}}")
+    (List.rev !bench_entries);
+  pr "]}";
+  Buffer.contents b
+
+let write_bench_json path =
+  let s = bench_json_string () in
+  (* validate before anyone downstream consumes it *)
+  (match Telemetry.Json_check.check s with
+  | Ok () -> ()
+  | Error m ->
+    Printf.eprintf "internal error: bench JSON is malformed: %s\n" m;
+    exit 1);
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc;
+  Printf.printf "bench JSON written to %s (%d entr%s)\n%!" path
+    (List.length !bench_entries)
+    (if List.length !bench_entries = 1 then "y" else "ies")
 
 (* ---- Bechamel microbenchmarks of the real kernels ---- *)
 
@@ -101,6 +168,95 @@ let run_micro () =
         results)
     (micro_tests ())
 
+(* ---- quick measured GEMM points (real timings, BENCH_gemm.json) ---- *)
+
+let run_gemm_points () =
+  Modelkit.section "measured GEMM points (this host)";
+  List.iter
+    (fun (dim, block, spec) ->
+      let rng = Prng.create 99 in
+      let cfg =
+        Gemm.make_config ~bm:block ~bn:block ~bk:block ~dtype:Datatype.F32
+          ~m:dim ~n:dim ~k:dim ()
+      in
+      let g = Gemm.create cfg spec in
+      let a = Tensor.create Datatype.F32 [| dim; dim |] in
+      let b = Tensor.create Datatype.F32 [| dim; dim |] in
+      Tensor.fill_random a rng ~scale:1.0;
+      Tensor.fill_random b rng ~scale:1.0;
+      let ap = Gemm.pack_a cfg a and bp = Gemm.pack_b cfg b in
+      let cp = Gemm.alloc_c cfg in
+      (* warm-up + best-of-3 *)
+      Gemm.run g ~a:ap ~b:bp ~c:cp;
+      let best = ref Float.infinity in
+      for _ = 1 to 3 do
+        let t0 = Telemetry.Clock.now_s () in
+        Gemm.run g ~a:ap ~b:bp ~c:cp;
+        best := Float.min !best (Telemetry.Clock.now_s () -. t0)
+      done;
+      let gflops = Gemm.flops cfg /. !best /. 1e9 in
+      Printf.printf "  gemm %4dx%4dx%4d f32 %-6s %8.3f ms  %8.2f GFLOPS\n%!"
+        dim dim dim spec (1e3 *. !best) gflops;
+      record_bench ~name:"gemm"
+        ~config:
+          [ ("m", string_of_int dim); ("n", string_of_int dim);
+            ("k", string_of_int dim); ("block", string_of_int block);
+            ("spec", spec); ("dtype", "f32") ]
+        ~metrics:[ ("seconds", !best); ("gflops", gflops) ])
+    [ (128, 32, "BCa"); (256, 32, "BCa") ]
+
+(* ---- serving benchmark (--serve): continuous batching over Llm.tiny ---- *)
+
+let run_serve ~rate ~duration () =
+  Modelkit.section
+    (Printf.sprintf
+       "serving: continuous batching over %s, Poisson %.0f req/s for %.1fs"
+       Llm.tiny.Llm.name rate duration);
+  let rng = Prng.create 7 in
+  let llm = Llm.create ~rng ~block:8 Llm.tiny in
+  let load =
+    { Serve.Load_gen.default with
+      Serve.Load_gen.rate_hz = rate;
+      duration_s = duration;
+      deadline_s = 0.25 }
+  in
+  let trace = Serve.Load_gen.generate load ~vocab:Llm.tiny.Llm.vocab in
+  Printf.printf "  trace: %d arrivals, deadline %.0f ms, prompts %s, \
+                 new tokens %s\n%!"
+    (List.length trace)
+    (1e3 *. load.Serve.Load_gen.deadline_s)
+    (Serve.Load_gen.dist_to_string load.Serve.Load_gen.prompt_len)
+    (Serve.Load_gen.dist_to_string load.Serve.Load_gen.new_tokens);
+  let sched = Serve.Scheduler.create llm in
+  let o = Serve.Driver.run sched trace in
+  Serve.Metrics.print o.Serve.Driver.summary;
+  let s = o.Serve.Driver.summary in
+  record_bench ~name:"serve"
+    ~config:
+      [ ("model", Llm.tiny.Llm.name); ("rate_hz", Printf.sprintf "%g" rate);
+        ("duration_s", Printf.sprintf "%g" duration);
+        ("deadline_ms",
+         Printf.sprintf "%g" (1e3 *. load.Serve.Load_gen.deadline_s));
+        ("policy",
+         Serve.Scheduler.policy_name
+           (Serve.Scheduler.config sched).Serve.Scheduler.policy);
+        ("max_batch",
+         string_of_int (Serve.Scheduler.config sched).Serve.Scheduler.max_batch)
+      ]
+    ~metrics:
+      [ ("submitted", float_of_int s.Serve.Metrics.submitted);
+        ("completed", float_of_int s.Serve.Metrics.completed);
+        ("rejected", float_of_int s.Serve.Metrics.rejected);
+        ("goodput", float_of_int s.Serve.Metrics.goodput);
+        ("tokens", float_of_int s.Serve.Metrics.tokens);
+        ("tokens_per_s", s.Serve.Metrics.tokens_per_s);
+        ("ttft_p50_ms", s.Serve.Metrics.ttft_ms.Serve.Metrics.p50);
+        ("ttft_p95_ms", s.Serve.Metrics.ttft_ms.Serve.Metrics.p95);
+        ("ttft_p99_ms", s.Serve.Metrics.ttft_ms.Serve.Metrics.p99);
+        ("tpot_p50_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p50);
+        ("tpot_p95_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p95);
+        ("tpot_p99_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p99) ]
+
 (* ---- experiment registry ---- *)
 
 let experiments =
@@ -118,6 +274,7 @@ let experiments =
     ("tables", Tables.run);
     ("ablations", Ablations.run);
     ("micro", run_micro);
+    ("gemm", run_gemm_points);
   ]
 
 let run_all () =
@@ -129,16 +286,72 @@ let run_all () =
         (Telemetry.Clock.now_s () -. t0))
     experiments
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [EXPERIMENT...] [--serve] [--serve-rate HZ]\n\
+    \       [--serve-duration S] [--json FILE] [--telemetry]\n\
+     experiments: %s\n"
+    (String.concat ", " (List.map fst experiments));
+  exit 1
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let telemetry = List.mem "--telemetry" args in
-  let names = List.filter (fun a -> a <> "--telemetry") args in
-  if telemetry then begin
+  let telemetry = ref false in
+  let serve = ref false in
+  let serve_rate = ref 20.0 in
+  let serve_duration = ref 5.0 in
+  let json_path = ref None in
+  let names = ref [] in
+  let float_arg name rest =
+    match rest with
+    | v :: rest -> (
+      match float_of_string_opt v with
+      | Some f when f > 0.0 -> (f, rest)
+      | _ ->
+        Printf.eprintf "%s expects a positive number, got %S\n" name v;
+        exit 1)
+    | [] ->
+      Printf.eprintf "%s expects a value\n" name;
+      exit 1
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--telemetry" :: rest ->
+      telemetry := true;
+      parse rest
+    | "--serve" :: rest ->
+      serve := true;
+      parse rest
+    | "--serve-rate" :: rest ->
+      let v, rest = float_arg "--serve-rate" rest in
+      serve_rate := v;
+      parse rest
+    | "--serve-duration" :: rest ->
+      let v, rest = float_arg "--serve-duration" rest in
+      serve_duration := v;
+      parse rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | "--json" :: [] ->
+      Printf.eprintf "--json expects a file path\n";
+      exit 1
+    | a :: _ when String.length a > 0 && a.[0] = '-' ->
+      Printf.eprintf "unknown flag %S\n" a;
+      usage ()
+    | name :: rest ->
+      names := name :: !names;
+      parse rest
+  in
+  parse args;
+  let names = List.rev !names in
+  if !telemetry then begin
     Telemetry.Registry.reset ();
     Telemetry.Registry.enable ()
   end;
-  (match names with
-  | _ :: _ ->
+  (match (names, !serve) with
+  | [], true -> ()  (* --serve alone runs only the serving benchmark *)
+  | _ :: _, _ ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
@@ -148,11 +361,13 @@ let () =
             (String.concat ", " (List.map fst experiments));
           exit 1)
       names
-  | [] -> run_all ());
-  if telemetry then begin
+  | [], false -> run_all ());
+  if !serve then run_serve ~rate:!serve_rate ~duration:!serve_duration ();
+  if !telemetry then begin
     Telemetry.Registry.disable ();
     let host = Platform.host in
     Telemetry.Report.print
       ~peak_gflops:(Platform.peak_gflops host Datatype.F32)
       ~mem_bw_gbs:host.Platform.mem_bw_gbs ()
-  end
+  end;
+  match !json_path with Some p -> write_bench_json p | None -> ()

@@ -5,6 +5,7 @@
      parlooper tune  -m 512 -n 512 -k 512 --platform spr --candidates 200
      parlooper model -m 2048 -n 2048 -k 2048 --spec BCa --platform zen4
      parlooper platforms
+     parlooper serve --rate 30 --duration 2 --policy deadline --deadline-ms 100
 
    --trace writes a Chrome trace_event JSON (open in chrome://tracing or
    ui.perfetto.dev) with one span per team thread per loop nest;
@@ -160,6 +161,123 @@ let platforms () =
         p.Platform.mem_bw_gbs)
     Platform.all
 
+(* ---- serve: continuous-batching inference serving demo ---- *)
+
+let rate_arg =
+  Arg.(
+    value & opt float 20.0
+    & info [ "rate" ] ~doc:"mean Poisson arrival rate (requests/s)")
+
+let duration_arg =
+  Arg.(
+    value & opt float 3.0
+    & info [ "duration" ] ~doc:"seconds of synthetic arrivals")
+
+let prompt_min_arg =
+  Arg.(value & opt int 4 & info [ "prompt-min" ] ~doc:"min prompt tokens")
+
+let prompt_max_arg =
+  Arg.(value & opt int 12 & info [ "prompt-max" ] ~doc:"max prompt tokens")
+
+let tokens_min_arg =
+  Arg.(value & opt int 2 & info [ "tokens-min" ] ~doc:"min new tokens")
+
+let tokens_max_arg =
+  Arg.(value & opt int 8 & info [ "tokens-max" ] ~doc:"max new tokens")
+
+let deadline_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "deadline-ms" ]
+        ~doc:"per-request completion SLO in ms (0 disables; goodput counts \
+              requests that finish within it)")
+
+let queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-queue" ] ~doc:"admission queue bound (excess rejected)")
+
+let batch_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "max-batch" ] ~doc:"max concurrently decoding sessions")
+
+let policy_arg =
+  Arg.(
+    value & opt string "fcfs"
+    & info [ "policy" ] ~doc:"admission policy: fcfs | deadline")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"load-generator seed")
+
+let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
+    policy seed threads trace telemetry =
+  if rate <= 0.0 || duration <= 0.0 then begin
+    Printf.eprintf "--rate and --duration must be positive\n";
+    exit 1
+  end;
+  if pmin < 1 || pmax < pmin || tmin < 1 || tmax < tmin then begin
+    Printf.eprintf "need 1 <= prompt-min <= prompt-max and likewise tokens\n";
+    exit 1
+  end;
+  let policy =
+    match Serve.Scheduler.policy_of_string policy with
+    | Some p -> p
+    | None ->
+      Printf.eprintf "unknown policy %S (fcfs | deadline)\n" policy;
+      exit 1
+  in
+  Telemetry.Registry.reset ();
+  Telemetry.Registry.enable ();
+  let rng = Prng.create 7 in
+  let llm = Llm.create ~rng ~block:8 Llm.tiny in
+  let load =
+    { Serve.Load_gen.seed; rate_hz = rate; duration_s = duration;
+      prompt_len = Serve.Load_gen.Uniform (pmin, pmax);
+      new_tokens = Serve.Load_gen.Uniform (tmin, tmax);
+      deadline_s =
+        (if deadline_ms > 0.0 then deadline_ms /. 1000.0 else Float.infinity)
+    }
+  in
+  let trace_reqs = Serve.Load_gen.generate load ~vocab:Llm.tiny.Llm.vocab in
+  Printf.printf
+    "serving %d arrivals (%.0f req/s x %.1fs, prompts %s, new tokens %s) on \
+     %s: queue<=%d batch<=%d policy=%s threads=%d\n%!"
+    (List.length trace_reqs) rate duration
+    (Serve.Load_gen.dist_to_string load.Serve.Load_gen.prompt_len)
+    (Serve.Load_gen.dist_to_string load.Serve.Load_gen.new_tokens)
+    Llm.tiny.Llm.name max_queue max_batch
+    (Serve.Scheduler.policy_name policy)
+    threads;
+  let config =
+    { Serve.Scheduler.default_config with
+      Serve.Scheduler.max_queue; max_batch; policy;
+      nthreads = Some threads }
+  in
+  let sched = Serve.Scheduler.create ~config llm in
+  let o = Serve.Driver.run sched trace_reqs in
+  Serve.Metrics.print o.Serve.Driver.summary;
+  let pool = Serve.Scheduler.pool sched in
+  Printf.printf
+    "KV pool: %d created, %d reused, %d free at exit, peak %d rows/layer\n%!"
+    (Serve.Kv_pool.created pool) (Serve.Kv_pool.reused pool)
+    (Serve.Kv_pool.free_count pool)
+    (Serve.Kv_pool.peak_rows pool);
+  Telemetry.Registry.disable ();
+  if telemetry then
+    Telemetry.Report.print
+      ~peak_gflops:(Platform.peak_gflops Platform.host Datatype.F32)
+      ~mem_bw_gbs:Platform.host.Platform.mem_bw_gbs ();
+  match trace with
+  | Some path -> (
+    try
+      Telemetry.Chrome_trace.write path;
+      Printf.printf "trace written to %s (open in chrome://tracing)\n" path
+    with Sys_error msg ->
+      Printf.eprintf "cannot write trace: %s\n" msg;
+      exit 1)
+  | None -> ()
+
 let gemm_cmd =
   Cmd.v (Cmd.info "gemm" ~doc:"run and verify a PARLOOPER GEMM")
     Term.(
@@ -182,6 +300,18 @@ let platforms_cmd =
   Cmd.v (Cmd.info "platforms" ~doc:"list modeled platforms")
     Term.(const platforms $ const ())
 
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"continuous-batching LLM serving demo (synthetic Poisson load)")
+    Term.(
+      const serve $ rate_arg $ duration_arg $ prompt_min_arg $ prompt_max_arg
+      $ tokens_min_arg $ tokens_max_arg $ deadline_arg $ queue_arg $ batch_arg
+      $ policy_arg $ seed_arg $ threads_arg $ trace_arg $ telemetry_arg)
+
 let () =
   let info = Cmd.info "parlooper" ~doc:"PARLOOPER/TPP kernel toolbox" in
-  exit (Cmd.eval (Cmd.group info [ gemm_cmd; tune_cmd; model_cmd; platforms_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gemm_cmd; tune_cmd; model_cmd; platforms_cmd; serve_cmd ]))

@@ -73,25 +73,65 @@ let create ~rng ?(dtype = Datatype.F32) ?(block = 16) ?(spec = Gemm.default_spec
 
 let config t = t.cfg
 
-(* growing [tokens x hidden] K/V store per layer *)
-type kv_entry = { mutable k : Tensor.t option; mutable v : Tensor.t option }
-type kv_cache = { entries : kv_entry array; mutable len : int }
+(* Per-layer K/V store over capacity-backed [cap x hidden] buffers: rows
+   [0, used) are valid, appends write in place, capacity doubles when
+   exhausted. This keeps the decode hot loop free of the O(cache_len)
+   reallocate-and-copy per layer per step that a grow-by-rebuild cache
+   pays, and it makes caches recyclable: [reset_cache] rewinds [used]
+   without touching the allocator, so a serving layer can hand the same
+   buffers to session after session (lib/serve's KV pool). *)
+type kv_entry = {
+  mutable k : Tensor.t;
+  mutable v : Tensor.t;
+  mutable used : int;
+  mutable cap : int;
+}
 
-let new_cache t =
-  { entries = Array.init t.cfg.layers (fun _ -> { k = None; v = None });
-    len = 0 }
+type kv_cache = { entries : kv_entry array; mutable len : int; hidden : int }
+
+let new_cache ?(cap = 16) t =
+  let cap = max 1 cap in
+  { entries =
+      Array.init t.cfg.layers (fun _ ->
+          { k = Tensor.create Datatype.F32 [| cap; t.cfg.hidden |];
+            v = Tensor.create Datatype.F32 [| cap; t.cfg.hidden |];
+            used = 0; cap });
+    len = 0;
+    hidden = t.cfg.hidden }
 
 let cache_len c = c.len
 
-let append_rows old fresh =
-  match old with
-  | None -> fresh
-  | Some old ->
-    let d0 = Tensor.dims old and d1 = Tensor.dims fresh in
-    assert (d0.(1) = d1.(1));
-    Tensor.init Datatype.F32 [| d0.(0) + d1.(0); d0.(1) |] (fun i ->
-        if i.(0) < d0.(0) then Tensor.get old i
-        else Tensor.get fresh [| i.(0) - d0.(0); i.(1) |])
+let cache_capacity c =
+  if Array.length c.entries = 0 then 0 else c.entries.(0).cap
+
+let reset_cache c =
+  Array.iter (fun e -> e.used <- 0) c.entries;
+  c.len <- 0
+
+(* copy the first [rows] rows of [src] into [dst] starting at [dst_row];
+   both are contiguous [_ x hidden] F32 buffers *)
+let copy_rows ~hidden ~rows (src : Tensor.t) (dst : Tensor.t) ~dst_row =
+  Bigarray.Array1.blit
+    (Bigarray.Array1.sub src.Tensor.data 0 (rows * hidden))
+    (Bigarray.Array1.sub dst.Tensor.data (dst_row * hidden) (rows * hidden))
+
+let append_rows cache (e : kv_entry) ~k_new ~v_new =
+  let hidden = cache.hidden in
+  let n = (Tensor.dims k_new).(0) in
+  if e.used + n > e.cap then begin
+    let cap = max (e.used + n) (2 * e.cap) in
+    let grow old =
+      let t = Tensor.create Datatype.F32 [| cap; hidden |] in
+      if e.used > 0 then copy_rows ~hidden ~rows:e.used old t ~dst_row:0;
+      t
+    in
+    e.k <- grow e.k;
+    e.v <- grow e.v;
+    e.cap <- cap
+  end;
+  copy_rows ~hidden ~rows:n k_new e.k ~dst_row:e.used;
+  copy_rows ~hidden ~rows:n v_new e.v ~dst_row:e.used;
+  e.used <- e.used + n
 
 let layernorm gamma beta x =
   let y = Tensor.create Datatype.F32 (Tensor.dims x) in
@@ -107,14 +147,12 @@ let add_inplace a b =
     ~b:(Tensor.view2d b) ~out:(Tensor.view2d a)
 
 (* pre-norm decoder block with a cache: x += Attn(LN1(x)); x += FFN(LN2(x)) *)
-let decoder_block ?nthreads t (layer : layer) (entry : kv_entry) x =
-  ignore t;
+let decoder_block ?nthreads cache (layer : layer) (entry : kv_entry) x =
   let normed = layernorm layer.ln1_gamma layer.ln1_beta x in
   let q, k_new, v_new = Attention.project ?nthreads layer.attention normed in
-  let k_all = append_rows entry.k k_new in
-  let v_all = append_rows entry.v v_new in
-  entry.k <- Some k_all;
-  entry.v <- Some v_all;
+  append_rows cache entry ~k_new ~v_new;
+  let k_all = Tensor.sub_rows entry.k entry.used in
+  let v_all = Tensor.sub_rows entry.v entry.used in
   let ctx =
     Attention.attend ~causal:true ~heads:layer.attention.Attention.heads q
       k_all v_all
@@ -146,7 +184,7 @@ let run_tokens ?nthreads t cache x =
     |> List.mapi (fun i l -> (i, l))
     |> List.fold_left
          (fun acc (i, layer) ->
-           decoder_block ?nthreads t layer cache.entries.(i) acc)
+           decoder_block ?nthreads cache layer cache.entries.(i) acc)
          x
   in
   cache.len <- cache.len + (Tensor.dims x).(0);
@@ -178,26 +216,26 @@ let embed t ~rng ids =
       let r = Prng.create ((ids.(i.(0)) * 7919) + i.(1)) in
       Prng.uniform r ~scale:0.5)
 
-let layer_params cfg =
+let layer_params (cfg : config) =
   (* 4 attention mats + 2 (or 3 gated) FFN mats *)
   let ffn_mats = if cfg.gated_ffn then 3.0 else 2.0 in
   (4.0 *. float_of_int cfg.hidden *. float_of_int cfg.hidden)
   +. (ffn_mats *. float_of_int cfg.hidden *. float_of_int cfg.intermediate)
 
-let prefill_flops cfg ~n_in =
+let prefill_flops (cfg : config) ~n_in =
   let n = float_of_int n_in in
   let h = float_of_int cfg.hidden in
   float_of_int cfg.layers
   *. ((2.0 *. n *. layer_params cfg) (* dense contractions *)
      +. (2.0 *. 2.0 *. n *. n *. h) (* attention scores + context *))
 
-let decode_flops cfg ~past =
+let decode_flops (cfg : config) ~past =
   let h = float_of_int cfg.hidden in
   float_of_int cfg.layers
   *. ((2.0 *. layer_params cfg)
      +. (2.0 *. 2.0 *. float_of_int (past + 1) *. h))
 
-let param_bytes cfg dtype =
+let param_bytes (cfg : config) dtype =
   (float_of_int cfg.layers *. layer_params cfg
   +. (float_of_int cfg.vocab *. float_of_int cfg.hidden))
   *. float_of_int (Datatype.bytes dtype)

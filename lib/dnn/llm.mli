@@ -32,11 +32,21 @@ val config : t -> config
 
 type kv_cache
 
-(** Fresh empty cache. *)
-val new_cache : t -> kv_cache
+(** Fresh empty cache. K/V are stored in capacity-backed per-layer
+    buffers ([cap] initial rows, default 16) that double in place as the
+    sequence grows — decode steps append without reallocating the cache. *)
+val new_cache : ?cap:int -> t -> kv_cache
 
 (** Tokens currently cached. *)
 val cache_len : kv_cache -> int
+
+(** Allocated rows per layer (>= [cache_len]; grows geometrically). *)
+val cache_capacity : kv_cache -> int
+
+(** Rewind to empty {e keeping the allocated buffers}, so the cache can be
+    recycled for a new session without touching the allocator (the KV-pool
+    fast path in [lib/serve]). *)
+val reset_cache : kv_cache -> unit
 
 (** [prefill t cache embeddings] runs the prefill phase over
     [n_in x hidden] input embeddings, fills the cache and returns the last

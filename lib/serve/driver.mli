@@ -1,0 +1,14 @@
+(** Open-loop real-time replay of a load trace against a scheduler:
+    arrivals are submitted when the serving clock reaches their timestamp
+    regardless of scheduler backlog, then the loop iterates until the
+    trace is exhausted and the scheduler drains. *)
+
+type outcome = {
+  summary : Metrics.summary;
+  requests : Request.t list;  (** submission ledger, oldest first *)
+}
+
+(** [run sched trace] — [trace] must be arrival-time-sorted (what
+    {!Load_gen.generate} returns). Blocks until everything accepted has
+    finished. *)
+val run : Scheduler.t -> (float * Request.t) list -> outcome

@@ -1,0 +1,73 @@
+(* KV-cache pool: recycles [Llm.kv_cache] buffers across sessions instead
+   of allocating a fresh cache per request. [acquire] prefers a rewound
+   free cache (its capacity-backed buffers survive [Llm.reset_cache], so a
+   recycled session appends into already-grown storage without touching
+   the allocator); [release] rewinds and returns it, dropping caches
+   beyond [max_free]. Occupancy is published as telemetry gauges so the
+   report shows pool behaviour under load. *)
+
+type t = {
+  llm : Llm.t;
+  init_cap : int;  (* initial rows of a freshly created cache *)
+  max_free : int;
+  lock : Mutex.t;
+  mutable free : Llm.kv_cache list;
+  mutable free_n : int;
+  mutable in_use : int;
+  mutable peak_rows : int;  (* largest per-layer capacity seen *)
+  in_use_c : Telemetry.Counter.t;
+  free_c : Telemetry.Counter.t;
+  created_c : Telemetry.Counter.t;
+  reused_c : Telemetry.Counter.t;
+  peak_rows_c : Telemetry.Counter.t;
+}
+
+let create ?(init_cap = 16) ?(max_free = 64) llm =
+  { llm; init_cap; max_free; lock = Mutex.create (); free = []; free_n = 0;
+    in_use = 0; peak_rows = 0;
+    in_use_c = Telemetry.Counter.find_or_create Metrics.kv_in_use_name;
+    free_c = Telemetry.Counter.find_or_create Metrics.kv_free_name;
+    created_c = Telemetry.Counter.find_or_create Metrics.kv_created_name;
+    reused_c = Telemetry.Counter.find_or_create Metrics.kv_reused_name;
+    peak_rows_c = Telemetry.Counter.find_or_create Metrics.kv_peak_rows_name }
+
+let publish t =
+  Telemetry.Counter.set t.in_use_c t.in_use;
+  Telemetry.Counter.set t.free_c t.free_n;
+  Telemetry.Counter.set t.peak_rows_c t.peak_rows
+
+let acquire t =
+  Mutex.lock t.lock;
+  let cache =
+    match t.free with
+    | c :: rest ->
+      t.free <- rest;
+      t.free_n <- t.free_n - 1;
+      Telemetry.Counter.incr t.reused_c;
+      c
+    | [] ->
+      Telemetry.Counter.incr t.created_c;
+      Llm.new_cache ~cap:t.init_cap t.llm
+  in
+  t.in_use <- t.in_use + 1;
+  publish t;
+  Mutex.unlock t.lock;
+  cache
+
+let release t cache =
+  Llm.reset_cache cache;
+  Mutex.lock t.lock;
+  t.peak_rows <- max t.peak_rows (Llm.cache_capacity cache);
+  t.in_use <- t.in_use - 1;
+  if t.free_n < t.max_free then begin
+    t.free <- cache :: t.free;
+    t.free_n <- t.free_n + 1
+  end;
+  publish t;
+  Mutex.unlock t.lock
+
+let in_use t = t.in_use
+let free_count t = t.free_n
+let peak_rows t = t.peak_rows
+let created t = Telemetry.Counter.get t.created_c
+let reused t = Telemetry.Counter.get t.reused_c

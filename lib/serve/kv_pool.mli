@@ -1,0 +1,29 @@
+(** Pool of recycled {!Llm.kv_cache}s. A released cache is rewound
+    ([Llm.reset_cache]) but keeps its capacity-backed buffers, so the next
+    session appends into already-grown storage — steady-state serving does
+    not touch the allocator for KV storage. Occupancy (in-use / free /
+    created / reused / peak rows) is published under the
+    [serve.kv_pool.*] telemetry names. *)
+
+type t
+
+(** [create ?init_cap ?max_free llm] — [init_cap] rows are pre-allocated
+    per layer in freshly created caches; at most [max_free] rewound caches
+    are retained for reuse (excess ones are dropped to the GC). *)
+val create : ?init_cap:int -> ?max_free:int -> Llm.t -> t
+
+(** Recycled free cache when available, else a fresh one. *)
+val acquire : t -> Llm.kv_cache
+
+(** Rewind and return a cache to the pool. The caller must not use it
+    afterwards. *)
+val release : t -> Llm.kv_cache -> unit
+
+val in_use : t -> int
+val free_count : t -> int
+
+(** Largest per-layer row capacity ever released (high-water mark). *)
+val peak_rows : t -> int
+
+val created : t -> int
+val reused : t -> int

@@ -1,0 +1,52 @@
+(* Synthetic open-loop load: Poisson arrivals (exponential inter-arrival
+   gaps drawn from the repo's deterministic splitmix PRNG) with
+   configurable prompt/output length distributions. The generator is the
+   "sampler" of this serving stack — there is no LM head, so each request
+   carries the pre-drawn ids it will feed back during decode. Everything
+   is reproducible from [seed]. *)
+
+type dist = Fixed of int | Uniform of int * int
+
+let sample rng = function
+  | Fixed n -> n
+  | Uniform (lo, hi) ->
+    assert (hi >= lo);
+    lo + Prng.int rng (hi - lo + 1)
+
+let dist_to_string = function
+  | Fixed n -> string_of_int n
+  | Uniform (lo, hi) -> Printf.sprintf "%d..%d" lo hi
+
+type config = {
+  seed : int;
+  rate_hz : float;  (* mean Poisson arrival rate *)
+  duration_s : float;  (* arrivals are drawn in [0, duration_s) *)
+  prompt_len : dist;
+  new_tokens : dist;
+  deadline_s : float;  (* per-request SLO; infinity disables *)
+}
+
+let default =
+  { seed = 42; rate_hz = 20.0; duration_s = 5.0;
+    prompt_len = Uniform (4, 12); new_tokens = Uniform (2, 8);
+    deadline_s = Float.infinity }
+
+(* exponential inter-arrival gap; 1 - U in (0, 1] keeps log finite *)
+let exp_gap rng ~rate = -.Float.log (1.0 -. Prng.float rng) /. rate
+
+let generate cfg ~vocab =
+  assert (cfg.rate_hz > 0.0 && vocab > 0);
+  let rng = Prng.create cfg.seed in
+  let draw_ids n = Array.init n (fun _ -> Prng.int rng vocab) in
+  let rec go acc id at =
+    let at = at +. exp_gap rng ~rate:cfg.rate_hz in
+    if at >= cfg.duration_s then List.rev acc
+    else
+      let prompt = draw_ids (max 1 (sample rng cfg.prompt_len)) in
+      let gen = draw_ids (max 1 (sample rng cfg.new_tokens)) in
+      let req =
+        Request.make ~id ~prompt ~gen ~deadline_s:cfg.deadline_s ()
+      in
+      go ((at, req) :: acc) (id + 1) at
+  in
+  go [] 0 0.0

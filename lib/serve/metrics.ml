@@ -1,0 +1,74 @@
+(* Serving telemetry names and end-of-run aggregation. Latencies are
+   observed into log-bucketed Telemetry histograms (milliseconds) while
+   the scheduler runs; counters/gauges cover queue and KV-pool state.
+   [collect] folds the request ledger + histograms into one summary the
+   CLI and bench print and export. *)
+
+(* histogram names (unit: milliseconds) *)
+let ttft_ms_name = "serve.ttft_ms"
+let tpot_ms_name = "serve.tpot_ms"
+
+(* counters and gauges *)
+let submitted_name = "serve.submitted"
+let rejected_name = "serve.rejected"
+let completed_name = "serve.completed"
+let queue_depth_name = "serve.queue_depth"
+let kv_in_use_name = "serve.kv_pool.in_use"
+let kv_free_name = "serve.kv_pool.free"
+let kv_created_name = "serve.kv_pool.created"
+let kv_reused_name = "serve.kv_pool.reused"
+let kv_peak_rows_name = "serve.kv_pool.peak_rows"
+
+type percentiles = { p50 : float; p95 : float; p99 : float }
+
+type summary = {
+  submitted : int;
+  rejected : int;
+  completed : int;
+  goodput : int;  (** completed within their deadline *)
+  tokens : int;
+  elapsed_s : float;
+  tokens_per_s : float;
+  ttft_ms : percentiles;
+  tpot_ms : percentiles;
+}
+
+let percentiles_of h =
+  { p50 = Telemetry.Histogram.quantile h 0.50;
+    p95 = Telemetry.Histogram.quantile h 0.95;
+    p99 = Telemetry.Histogram.quantile h 0.99 }
+
+let collect ~(requests : Request.t list) ~tokens ~elapsed_s =
+  let count st =
+    List.length (List.filter (fun r -> r.Request.state = st) requests)
+  in
+  { submitted = List.length requests;
+    rejected = count Request.Rejected;
+    completed = count Request.Finished;
+    goodput = List.length (List.filter Request.met_deadline requests);
+    tokens;
+    elapsed_s;
+    tokens_per_s = (if elapsed_s > 0.0 then float_of_int tokens /. elapsed_s
+                    else 0.0);
+    ttft_ms = percentiles_of (Telemetry.Histogram.find_or_create ttft_ms_name);
+    tpot_ms = percentiles_of (Telemetry.Histogram.find_or_create tpot_ms_name)
+  }
+
+let summary_to_string s =
+  let b = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "== serve summary ==\n";
+  pr "requests: %d submitted, %d completed, %d rejected, goodput %d/%d \
+      (met deadline)\n"
+    s.submitted s.completed s.rejected s.goodput s.submitted;
+  pr "tokens:   %d in %.2fs -> %.1f tokens/s\n" s.tokens s.elapsed_s
+    s.tokens_per_s;
+  pr "TTFT ms:  p50 %.2f  p95 %.2f  p99 %.2f\n" s.ttft_ms.p50 s.ttft_ms.p95
+    s.ttft_ms.p99;
+  pr "TPOT ms:  p50 %.2f  p95 %.2f  p99 %.2f\n" s.tpot_ms.p50 s.tpot_ms.p95
+    s.tpot_ms.p99;
+  Buffer.contents b
+
+let print s =
+  print_string (summary_to_string s);
+  flush stdout

@@ -1,0 +1,42 @@
+(** Serving telemetry names and end-of-run aggregation: the scheduler
+    observes latencies into {!Telemetry.Histogram}s and state into
+    counters under these well-known names; [collect] folds the request
+    ledger and histograms into one printable summary. *)
+
+(** TTFT histogram name (milliseconds). *)
+val ttft_ms_name : string
+
+(** Per-output-token (inter-token) latency histogram name (ms). *)
+val tpot_ms_name : string
+
+val submitted_name : string
+val rejected_name : string
+val completed_name : string
+val queue_depth_name : string
+val kv_in_use_name : string
+val kv_free_name : string
+val kv_created_name : string
+val kv_reused_name : string
+val kv_peak_rows_name : string
+
+type percentiles = { p50 : float; p95 : float; p99 : float }
+
+type summary = {
+  submitted : int;
+  rejected : int;
+  completed : int;
+  goodput : int;  (** completed within their deadline *)
+  tokens : int;
+  elapsed_s : float;
+  tokens_per_s : float;
+  ttft_ms : percentiles;
+  tpot_ms : percentiles;
+}
+
+(** [collect ~requests ~tokens ~elapsed_s] — [requests] is the full
+    submission ledger (finished, rejected and in-flight alike); latency
+    percentiles are read from the global histograms. *)
+val collect : requests:Request.t list -> tokens:int -> elapsed_s:float -> summary
+
+val summary_to_string : summary -> string
+val print : summary -> unit

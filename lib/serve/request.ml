@@ -1,0 +1,52 @@
+(* One inference request through its serving lifecycle:
+
+     arrival -> Queued -> Prefilling -> Decoding -> Finished
+            \-> Rejected                  (bounded-queue backpressure)
+
+   The request carries everything the scheduler needs to run it without
+   callbacks: the prompt token ids (prefill input), the pre-drawn ids fed
+   back during decode (there is no LM head — the load generator plays the
+   role of the sampler), a latency SLO, and mutable slots the scheduler
+   fills in as the request advances. Timestamps are relative seconds:
+   [arrival_s] on the serving clock, [ttft_s]/[finish_s] relative to
+   arrival. *)
+
+type state = Queued | Prefilling | Decoding | Finished | Rejected
+
+let state_name = function
+  | Queued -> "queued"
+  | Prefilling -> "prefilling"
+  | Decoding -> "decoding"
+  | Finished -> "finished"
+  | Rejected -> "rejected"
+
+type t = {
+  id : int;
+  prompt : int array;
+  gen : int array;
+      (* gen.(k) is the input id of decode step k+1; the request emits
+         [new_tokens] hidden states: one from prefill, the rest from
+         decode steps feeding gen.(0) .. gen.(new_tokens - 2) *)
+  new_tokens : int;
+  deadline_s : float;  (* SLO: total-latency budget from arrival *)
+  mutable arrival_s : float;
+  mutable state : state;
+  mutable ttft_s : float;  (* first-token latency; nan until prefilled *)
+  mutable finish_s : float;  (* total latency; nan until finished *)
+  mutable outputs : Tensor.t list;  (* per-token hidden states, newest first *)
+}
+
+let make ~id ~prompt ~gen ?(deadline_s = Float.infinity) () =
+  assert (Array.length prompt > 0);
+  assert (Array.length gen > 0);
+  { id; prompt; gen; new_tokens = Array.length gen; deadline_s;
+    arrival_s = 0.0; state = Queued; ttft_s = Float.nan;
+    finish_s = Float.nan; outputs = [] }
+
+(* absolute deadline on the serving clock *)
+let deadline_abs t = t.arrival_s +. t.deadline_s
+
+let met_deadline t = t.state = Finished && t.finish_s <= t.deadline_s
+
+(* per-token hidden states in emission order *)
+let outputs t = List.rev t.outputs

@@ -1,0 +1,37 @@
+(** One inference request through its serving lifecycle:
+    arrival -> [Queued] -> [Prefilling] -> [Decoding] -> [Finished], or
+    [Rejected] at submission when the admission queue is full. *)
+
+type state = Queued | Prefilling | Decoding | Finished | Rejected
+
+val state_name : state -> string
+
+type t = {
+  id : int;
+  prompt : int array;  (** prefill input token ids *)
+  gen : int array;
+      (** pre-drawn "sampled" ids fed back during decode: [gen.(k)] is the
+          input of decode step [k+1]; only [gen.(0 .. new_tokens - 2)] are
+          consumed *)
+  new_tokens : int;
+      (** total output tokens: 1 from prefill + decode steps *)
+  deadline_s : float;  (** SLO: total-latency budget from arrival *)
+  mutable arrival_s : float;  (** set by the scheduler at submission *)
+  mutable state : state;
+  mutable ttft_s : float;  (** time-to-first-token; [nan] until prefilled *)
+  mutable finish_s : float;  (** total latency; [nan] until finished *)
+  mutable outputs : Tensor.t list;  (** hidden states, newest first *)
+}
+
+(** [make ~id ~prompt ~gen ()] — [new_tokens] is [Array.length gen];
+    default deadline is infinite (never violates the SLO). *)
+val make :
+  id:int -> prompt:int array -> gen:int array -> ?deadline_s:float -> unit -> t
+
+(** Absolute deadline on the serving clock (arrival + budget). *)
+val deadline_abs : t -> float
+
+val met_deadline : t -> bool
+
+(** Per-token hidden states in emission order. *)
+val outputs : t -> Tensor.t list

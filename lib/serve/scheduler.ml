@@ -1,0 +1,209 @@
+(* Continuous-batching serving loop over one [Llm.t] — the Orca-style
+   iteration-level scheduler the paper's two-phase latency structure
+   (§IV-A / Fig. 11) calls for:
+
+     - [submit] appends to a bounded admission queue (explicit rejection
+       when full — backpressure instead of unbounded memory);
+     - each [step] first admits queued requests up to [max_batch] active
+       sessions (policy knob: FCFS or earliest-deadline-first), running
+       the compute-bound prefill for every admission and recording its
+       TTFT; then runs ONE bandwidth-bound decode step for EVERY active
+       session — requests join and leave the batch at token granularity,
+       never waiting for a batch-mate to finish;
+     - finished sessions release their KV cache back to the pool, making
+       room for the next admission on the following iteration.
+
+   Sessions are independent (no cross-request math), so batched decoding
+   is bit-identical to running each session alone — the invariant the
+   serve tests pin down. The scheduler is deterministic given a submission
+   order: wall-clock time feeds only the latency telemetry, never a
+   control-flow decision. *)
+
+type policy = Fcfs | Edf
+
+let policy_name = function Fcfs -> "fcfs" | Edf -> "deadline"
+
+let policy_of_string = function
+  | "fcfs" -> Some Fcfs
+  | "deadline" | "edf" -> Some Edf
+  | _ -> None
+
+type config = {
+  max_queue : int;  (* bounded admission queue; submit rejects beyond *)
+  max_batch : int;  (* max concurrently decoding sessions *)
+  policy : policy;
+  nthreads : int option;  (* team size handed to prefill/decode *)
+  kv_cap : int;  (* initial rows of pooled KV caches *)
+}
+
+let default_config =
+  { max_queue = 64; max_batch = 8; policy = Fcfs; nthreads = None;
+    kv_cap = 16 }
+
+type session = {
+  req : Request.t;
+  cache : Llm.kv_cache;
+  mutable emitted : int;  (* output tokens produced so far *)
+  mutable last_token_s : float;  (* inter-token latency anchor *)
+}
+
+type t = {
+  llm : Llm.t;
+  cfg : config;
+  pool : Kv_pool.t;
+  embed_rng : Prng.t;  (* Llm.embed is deterministic; rng is vestigial *)
+  mutable queue : Request.t list;  (* oldest first *)
+  mutable active : session list;  (* admission order *)
+  mutable ledger : Request.t list;  (* every submission, newest first *)
+  mutable finished : Request.t list;  (* completion order, newest first *)
+  mutable tokens : int;
+  ttft_h : Telemetry.Histogram.t;
+  tpot_h : Telemetry.Histogram.t;
+  submitted_c : Telemetry.Counter.t;
+  rejected_c : Telemetry.Counter.t;
+  completed_c : Telemetry.Counter.t;
+  queue_c : Telemetry.Counter.t;
+}
+
+let create ?(config = default_config) llm =
+  assert (config.max_queue > 0 && config.max_batch > 0);
+  { llm; cfg = config;
+    pool = Kv_pool.create ~init_cap:config.kv_cap llm;
+    embed_rng = Prng.create 0; queue = []; active = []; ledger = [];
+    finished = []; tokens = 0;
+    ttft_h = Telemetry.Histogram.find_or_create Metrics.ttft_ms_name;
+    tpot_h = Telemetry.Histogram.find_or_create Metrics.tpot_ms_name;
+    submitted_c = Telemetry.Counter.find_or_create Metrics.submitted_name;
+    rejected_c = Telemetry.Counter.find_or_create Metrics.rejected_name;
+    completed_c = Telemetry.Counter.find_or_create Metrics.completed_name;
+    queue_c = Telemetry.Counter.find_or_create Metrics.queue_depth_name }
+
+let config t = t.cfg
+let pool t = t.pool
+let queue_depth t = List.length t.queue
+let active_count t = List.length t.active
+let tokens_emitted t = t.tokens
+let busy t = t.queue <> [] || t.active <> []
+
+(* submission ledger, oldest first *)
+let requests t = List.rev t.ledger
+
+(* completed requests in completion order *)
+let finished t = List.rev t.finished
+
+let submit t ~now (req : Request.t) =
+  req.Request.arrival_s <- now;
+  t.ledger <- req :: t.ledger;
+  Telemetry.Counter.incr t.submitted_c;
+  if List.length t.queue >= t.cfg.max_queue then begin
+    req.Request.state <- Request.Rejected;
+    Telemetry.Counter.incr t.rejected_c;
+    false
+  end
+  else begin
+    req.Request.state <- Request.Queued;
+    t.queue <- t.queue @ [ req ];
+    Telemetry.Counter.set t.queue_c (List.length t.queue);
+    true
+  end
+
+(* next admission per policy; queue order is arrival order, and the fold
+   keeps the earlier element on ties, so FCFS and EDF are deterministic *)
+let pop_next t =
+  match t.queue with
+  | [] -> None
+  | q ->
+    let key (r : Request.t) =
+      match t.cfg.policy with
+      | Fcfs -> r.Request.arrival_s
+      | Edf -> Request.deadline_abs r
+    in
+    let best =
+      List.fold_left
+        (fun acc r ->
+          match acc with Some b when key b <= key r -> acc | _ -> Some r)
+        None q
+    in
+    (match best with
+    | Some b ->
+      t.queue <- List.filter (fun r -> r != b) q;
+      Telemetry.Counter.set t.queue_c (List.length t.queue)
+    | None -> ());
+    best
+
+let embed t ids = Llm.embed t.llm ~rng:t.embed_rng ids
+
+let finish t (s : session) ~now_s =
+  s.req.Request.state <- Request.Finished;
+  s.req.Request.finish_s <- now_s -. s.req.Request.arrival_s;
+  Kv_pool.release t.pool s.cache;
+  t.active <- List.filter (fun x -> x != s) t.active;
+  t.finished <- s.req :: t.finished;
+  Telemetry.Counter.incr t.completed_c
+
+(* admit one queued request: acquire KV, run the prefill phase, record
+   TTFT; the prefill output is the request's first token *)
+let admit_one t ~now =
+  match pop_next t with
+  | None -> false
+  | Some req ->
+    let cache = Kv_pool.acquire t.pool in
+    req.Request.state <- Request.Prefilling;
+    let emb = embed t req.Request.prompt in
+    let first =
+      Telemetry.Span.with_span ~cat:"serve"
+        ~args:[ ("request", float_of_int req.Request.id) ]
+        "prefill"
+        (fun () -> Llm.prefill ?nthreads:t.cfg.nthreads t.llm cache emb)
+    in
+    let now_s = now () in
+    req.Request.ttft_s <- now_s -. req.Request.arrival_s;
+    Telemetry.Histogram.observe t.ttft_h (1000.0 *. req.Request.ttft_s);
+    req.Request.outputs <- [ first ];
+    req.Request.state <- Request.Decoding;
+    t.tokens <- t.tokens + 1;
+    let s = { req; cache; emitted = 1; last_token_s = now_s } in
+    t.active <- t.active @ [ s ];
+    if s.emitted >= req.Request.new_tokens then finish t s ~now_s;
+    true
+
+(* one decode step for every active session (continuous batching) *)
+let decode_round t ~now =
+  match t.active with
+  | [] -> false
+  | sessions ->
+    List.iter
+      (fun s ->
+        let id = s.req.Request.gen.(s.emitted - 1) in
+        let e = embed t [| id |] in
+        let out =
+          Telemetry.Span.with_span ~cat:"serve"
+            ~args:[ ("request", float_of_int s.req.Request.id) ]
+            "decode"
+            (fun () -> Llm.decode_step ?nthreads:t.cfg.nthreads t.llm s.cache e)
+        in
+        let now_s = now () in
+        Telemetry.Histogram.observe t.tpot_h
+          (1000.0 *. (now_s -. s.last_token_s));
+        s.last_token_s <- now_s;
+        s.req.Request.outputs <- out :: s.req.Request.outputs;
+        s.emitted <- s.emitted + 1;
+        t.tokens <- t.tokens + 1;
+        if s.emitted >= s.req.Request.new_tokens then finish t s ~now_s)
+      sessions;
+    true
+
+let step t ~now =
+  let rec admit did =
+    if List.length t.active < t.cfg.max_batch && admit_one t ~now then
+      admit true
+    else did
+  in
+  let admitted = admit false in
+  let decoded = decode_round t ~now in
+  admitted || decoded
+
+let drain t ~now =
+  while busy t do
+    ignore (step t ~now)
+  done

@@ -1,0 +1,61 @@
+(** Continuous-batching serving loop over one {!Llm.t}: a bounded
+    admission queue with explicit rejection, an admission policy knob
+    (FCFS / earliest-deadline-first), per-admission prefill, and one
+    decode step per active session per iteration — requests join and
+    leave the running batch at token granularity. KV caches come from a
+    {!Kv_pool} and return to it on completion. Latencies land in the
+    [serve.*] telemetry histograms/counters ({!Metrics}).
+
+    Sessions are mathematically independent, so batched decoding produces
+    bit-identical hidden states to running each session alone with
+    [Llm.prefill]/[Llm.decode_step] — wall-clock time feeds only
+    telemetry, never control flow. *)
+
+type policy = Fcfs | Edf  (** earliest absolute deadline first *)
+
+val policy_name : policy -> string
+
+(** ["fcfs"], ["deadline"] (or ["edf"]). *)
+val policy_of_string : string -> policy option
+
+type config = {
+  max_queue : int;  (** bounded admission queue; submissions beyond reject *)
+  max_batch : int;  (** max concurrently decoding sessions *)
+  policy : policy;
+  nthreads : int option;  (** team size for prefill/decode kernels *)
+  kv_cap : int;  (** initial rows of pooled KV caches *)
+}
+
+(** queue 64, batch 8, FCFS, default threads, 16 KV rows. *)
+val default_config : config
+
+type t
+
+val create : ?config:config -> Llm.t -> t
+val config : t -> config
+val pool : t -> Kv_pool.t
+
+(** [submit t ~now req] — [false] means rejected (queue full); the request
+    is stamped [Rejected] and never runs. [now] is the serving-clock
+    timestamp of arrival. *)
+val submit : t -> now:float -> Request.t -> bool
+
+(** One serving iteration: admit up to capacity (prefill + TTFT), then one
+    decode step for every active session. Returns [false] when there was
+    nothing to do. [now] is sampled around kernel runs for latency
+    telemetry only. *)
+val step : t -> now:(unit -> float) -> bool
+
+(** Run [step] until queue and batch are empty. *)
+val drain : t -> now:(unit -> float) -> unit
+
+val busy : t -> bool
+val queue_depth : t -> int
+val active_count : t -> int
+val tokens_emitted : t -> int
+
+(** Submission ledger, oldest first (includes rejected and in-flight). *)
+val requests : t -> Request.t list
+
+(** Completed requests in completion order. *)
+val finished : t -> Request.t list

@@ -1,0 +1,120 @@
+(* Minimal dependency-free JSON well-formedness checker (RFC 8259 grammar,
+   no value construction). The telemetry reports, Chrome traces and bench
+   JSON files are emitted by hand-written printers; this validates them in
+   tests and right after writing, so a malformed escape or a trailing comma
+   fails the producing run instead of a downstream consumer. *)
+
+exception Bad_json of string
+
+let validate (s : string) : unit =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos else fail (Printf.sprintf "expected %c" c)
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('t' | 'f' | 'n') -> keyword ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "value"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else begin
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          members ()
+        | Some '}' -> incr pos
+        | _ -> fail "object"
+      in
+      members ()
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else begin
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          elems ()
+        | Some ']' -> incr pos
+        | _ -> fail "array"
+      in
+      elems ()
+    end
+  and string_lit () =
+    expect '"';
+    let rec chars () =
+      match peek () with
+      | Some '"' -> incr pos
+      | Some '\\' ->
+        incr pos;
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> incr pos
+        | Some 'u' ->
+          incr pos;
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> incr pos
+            | _ -> fail "unicode escape"
+          done
+        | _ -> fail "escape");
+        chars ()
+      | Some c when Char.code c >= 0x20 ->
+        incr pos;
+        chars ()
+      | _ -> fail "string"
+    in
+    chars ()
+  and keyword () =
+    let ok kw =
+      let l = String.length kw in
+      if !pos + l <= n && String.sub s !pos l = kw then (
+        pos := !pos + l;
+        true)
+      else false
+    in
+    if not (ok "true" || ok "false" || ok "null") then fail "keyword"
+  and number () =
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    let start = !pos in
+    while !pos < n && num_char s.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "number"
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let check s = match validate s with () -> Ok () | exception Bad_json m -> Error m

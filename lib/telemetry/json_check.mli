@@ -1,0 +1,14 @@
+(** Minimal dependency-free JSON well-formedness checker. The telemetry
+    reports, Chrome traces and bench JSON files are emitted by hand-written
+    printers; run them through this right after producing (and in tests) so
+    malformed output fails at the source. Checks grammar only — no values
+    are constructed. *)
+
+exception Bad_json of string
+
+(** Raises {!Bad_json} with a position-annotated message on malformed
+    input; returns unit on well-formed JSON. *)
+val validate : string -> unit
+
+(** Non-raising variant: [Error msg] on malformed input. *)
+val check : string -> (unit, string) result

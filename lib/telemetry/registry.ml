@@ -106,4 +106,5 @@ let reset () =
   preds := [];
   Mutex.unlock lock;
   Span.reset ();
-  Counter.reset_all ()
+  Counter.reset_all ();
+  Histogram.reset_all ()

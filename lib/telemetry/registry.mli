@@ -59,5 +59,6 @@ val jit_evictions_name : string
 val jit_compile_ns_name : string
 val barrier_wait_ns_name : string
 
-(** Clear kernel stats, predictions, spans and zero all counters. *)
+(** Clear kernel stats, predictions, spans and zero all counters and
+    histograms. *)
 val reset : unit -> unit

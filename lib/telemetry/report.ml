@@ -87,6 +87,22 @@ let summary ?peak_gflops ?mem_bw_gbs () =
       (List.length ps)
       (if List.length ps = 1 then "" else "s")
   end;
+  (* histograms (latency distributions etc.) *)
+  let hs = List.filter (fun h -> Histogram.count h > 0) (Histogram.all ()) in
+  if hs <> [] then begin
+    pr "histograms:\n";
+    List.iter
+      (fun h ->
+        pr
+          "  %-28s %6d obs  mean %10.3f  p50 %10.3f  p95 %10.3f  \
+           p99 %10.3f  max %10.3f\n"
+          (Histogram.name h) (Histogram.count h) (Histogram.mean h)
+          (Histogram.quantile h 0.50)
+          (Histogram.quantile h 0.95)
+          (Histogram.quantile h 0.99)
+          (Histogram.max_value h))
+      hs
+  end;
   (* remaining counters *)
   let skip =
     [
@@ -149,6 +165,24 @@ let to_json ?peak_gflops ?mem_bw_gbs () =
         (json_float p.Registry.measured_gflops)
         (json_float (Registry.deviation p)))
     (Registry.predictions ());
+  pr "],\"histograms\":[";
+  List.iteri
+    (fun i h ->
+      if i > 0 then pr ",";
+      pr
+        "{\"name\":\"%s\",\"count\":%d,\"sum\":%s,\"mean\":%s,\"min\":%s,\
+         \"max\":%s,\"p50\":%s,\"p90\":%s,\"p95\":%s,\"p99\":%s}"
+        (json_escape (Histogram.name h))
+        (Histogram.count h)
+        (json_float (Histogram.sum h))
+        (json_float (Histogram.mean h))
+        (json_float (Histogram.min_value h))
+        (json_float (Histogram.max_value h))
+        (json_float (Histogram.quantile h 0.50))
+        (json_float (Histogram.quantile h 0.90))
+        (json_float (Histogram.quantile h 0.95))
+        (json_float (Histogram.quantile h 0.99)))
+    (List.filter (fun h -> Histogram.count h > 0) (Histogram.all ()));
   pr "],\"counters\":{";
   List.iteri
     (fun i (n, v) ->

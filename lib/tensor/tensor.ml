@@ -124,6 +124,19 @@ let reshape t new_dims =
     dtype = t.dtype;
   }
 
+let sub_rows t n =
+  assert (rank t >= 1);
+  assert (n > 0 && n <= t.dims.(0));
+  let dims = Array.copy t.dims in
+  dims.(0) <- n;
+  let row_elems = numel_of_dims dims / n in
+  {
+    data = Bigarray.Array1.sub t.data 0 (n * row_elems);
+    dims;
+    strides = compute_strides dims;
+    dtype = t.dtype;
+  }
+
 let cast t dtype =
   if Datatype.equal dtype t.dtype then copy t
   else begin

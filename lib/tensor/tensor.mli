@@ -78,6 +78,13 @@ val copy : t -> t
 (** Same buffer reinterpreted with new dims; [numel] must be preserved. *)
 val reshape : t -> int array -> t
 
+(** [sub_rows t n] — the first [n] rows of the leading dimension as a
+    tensor {e sharing storage} with [t] (no copy; writes are visible in
+    both). The contiguous-prefix counterpart of {!View.sub}, used by
+    capacity-backed buffers (e.g. the LLM KV cache) to expose only their
+    valid prefix. *)
+val sub_rows : t -> int -> t
+
 (** Convert to another datatype (rounding values as needed). *)
 val cast : t -> Datatype.t -> t
 

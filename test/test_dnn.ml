@@ -210,6 +210,39 @@ let test_llm_cache_matches_full_forward () =
   in
   checkb "incremental == full" true (Tensor.approx_equal ~tol:1e-3 got expect)
 
+let test_llm_cache_recycling () =
+  (* reset_cache rewinds without freeing: a recycled cache must produce
+     bit-identical results to a fresh one, and must not reallocate when
+     the second sequence fits the grown capacity *)
+  let rng = Prng.create 10 in
+  let llm = Llm.create ~rng ~block:8 Llm.tiny in
+  let ids = Array.init 10 (fun i -> (i * 5) mod Llm.tiny.Llm.vocab) in
+  let emb = Llm.embed llm ~rng ids in
+  let run cache =
+    let first = Llm.prefill llm cache emb in
+    let e =
+      Tensor.init Datatype.F32 [| 1; Llm.tiny.Llm.hidden |] (fun i ->
+          Tensor.get emb [| 0; i.(1) |])
+    in
+    let next = Llm.decode_step llm cache e in
+    (first, next)
+  in
+  let cache = Llm.new_cache ~cap:4 llm in
+  let f1, n1 = run cache in
+  checki "cache holds the sequence" 11 (Llm.cache_len cache);
+  let grown = Llm.cache_capacity cache in
+  checkb "capacity grew past the initial 4 rows" true (grown >= 11);
+  Llm.reset_cache cache;
+  checki "reset rewinds to empty" 0 (Llm.cache_len cache);
+  checki "reset keeps the buffers" grown (Llm.cache_capacity cache);
+  let f2, n2 = run cache in
+  checki "capacity untouched on the second pass" grown
+    (Llm.cache_capacity cache);
+  checkb "recycled prefill bit-identical" true
+    (Tensor.approx_equal ~tol:0.0 f1 f2);
+  checkb "recycled decode bit-identical" true
+    (Tensor.approx_equal ~tol:0.0 n1 n2)
+
 let test_llm_flops_model () =
   (* decode flops must be ~ prefill flops / n for large shapes (per
      token), modulo attention's quadratic term *)
@@ -301,6 +334,8 @@ let () =
         [
           Alcotest.test_case "kv cache == full" `Quick
             test_llm_cache_matches_full_forward;
+          Alcotest.test_case "kv cache recycling" `Quick
+            test_llm_cache_recycling;
           Alcotest.test_case "flop model" `Quick test_llm_flops_model;
           Alcotest.test_case "llama params" `Quick test_llama_param_count;
         ] );

@@ -384,6 +384,37 @@ let test_jit_cache_bounded () =
   Threaded_loop.cache_set_capacity old_cap;
   Threaded_loop.cache_clear ()
 
+let test_jit_cache_concurrent_domains () =
+  (* several domains hammering create over more distinct keys than the
+     LRU holds: every returned loop must still be valid, the size bound
+     must hold under concurrent insert/evict, and the hit/miss counters
+     must account for every lookup *)
+  Threaded_loop.cache_clear ();
+  let old_cap = Threaded_loop.cache_get_capacity () in
+  Threaded_loop.cache_set_capacity 8;
+  let domains = 4 and iters = 100 and distinct = 16 in
+  let worker seed () =
+    let ok = ref true in
+    for i = 0 to iters - 1 do
+      let bound = 1 + ((seed + i) mod distinct) in
+      let l = Threaded_loop.create [ Loop_spec.make ~bound ~step:1 () ] "a" in
+      let count = ref 0 in
+      Threaded_loop.run l (fun _ -> incr count);
+      if !count <> bound then ok := false
+    done;
+    !ok
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker (3 * d))) in
+  let oks = List.map Domain.join ds in
+  checkb "every loop iterated its own bounds" true (List.for_all Fun.id oks);
+  checkb "size within capacity under churn" true
+    (Threaded_loop.cache_size () <= 8);
+  let h, m = Threaded_loop.cache_stats () in
+  checki "hits + misses account for every create" (domains * iters) (h + m);
+  checkb "each distinct key missed at least once" true (m >= distinct);
+  Threaded_loop.cache_set_capacity old_cap;
+  Threaded_loop.cache_clear ()
+
 (* ---- telemetry integration ---- *)
 
 let test_run_records_span_per_thread () =
@@ -469,6 +500,8 @@ let () =
         [
           Alcotest.test_case "jit cache" `Quick test_jit_cache;
           Alcotest.test_case "lru bound" `Quick test_jit_cache_bounded;
+          Alcotest.test_case "concurrent domains" `Quick
+            test_jit_cache_concurrent_domains;
         ] );
       ( "telemetry",
         [

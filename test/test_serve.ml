@@ -1,0 +1,323 @@
+(* Tests for lib/serve: continuous-batching determinism (batched decode
+   bit-identical to sequential single-session replay), KV-pool recycling,
+   bounded-queue backpressure, EDF admission ordering, load-generator
+   reproducibility, and driver end-to-end metrics. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let clean () =
+  Telemetry.Registry.reset ();
+  Telemetry.Registry.disable ()
+
+let make_llm () =
+  let rng = Prng.create 7 in
+  Llm.create ~rng ~block:8 Llm.tiny
+
+(* exact float equality element-wise: tol 0 makes approx_equal "max
+   |a-b| <= 0", i.e. bit-identical for non-NaN values *)
+let bits_equal = Tensor.approx_equal ~tol:0.0
+
+let frozen_now () = 0.0
+
+(* a request with deterministic token ids derived from [id] *)
+let mk_req ?(deadline_s = Float.infinity) ~prompt_len ~new_tokens id =
+  let vocab = Llm.tiny.Llm.vocab in
+  let prompt = Array.init prompt_len (fun i -> (7 + (3 * id) + i) mod vocab) in
+  let gen = Array.init new_tokens (fun i -> (11 + (5 * id) + i) mod vocab) in
+  Serve.Request.make ~id ~prompt ~gen ~deadline_s ()
+
+(* reference: run one request alone against a fresh cache, no scheduler *)
+let replay_sequential llm (req : Serve.Request.t) =
+  let cache = Llm.new_cache llm in
+  let rng = Prng.create 0 in
+  let first = Llm.prefill llm cache (Llm.embed llm ~rng req.Serve.Request.prompt) in
+  let outs = ref [ first ] in
+  for k = 0 to req.Serve.Request.new_tokens - 2 do
+    let e = Llm.embed llm ~rng [| req.Serve.Request.gen.(k) |] in
+    outs := Llm.decode_step llm cache e :: !outs
+  done;
+  List.rev !outs
+
+(* ---- continuous batching is bit-identical to sequential decoding ---- *)
+
+let test_batched_equals_sequential () =
+  clean ();
+  let llm = make_llm () in
+  let reqs =
+    [
+      mk_req ~prompt_len:5 ~new_tokens:4 0;
+      mk_req ~prompt_len:3 ~new_tokens:1 1;  (* prefill-only request *)
+      mk_req ~prompt_len:8 ~new_tokens:6 2;
+      mk_req ~prompt_len:2 ~new_tokens:3 3;
+      mk_req ~prompt_len:6 ~new_tokens:2 4;
+    ]
+  in
+  (* interleave everything: batch big enough to run all five together *)
+  let sched = Serve.Scheduler.create llm in
+  List.iter
+    (fun r -> checkb "accepted" true (Serve.Scheduler.submit sched ~now:0.0 r))
+    reqs;
+  Serve.Scheduler.drain sched ~now:frozen_now;
+  checki "all finished" (List.length reqs)
+    (List.length (Serve.Scheduler.finished sched));
+  checki "token accounting" (4 + 1 + 6 + 3 + 2)
+    (Serve.Scheduler.tokens_emitted sched);
+  List.iter
+    (fun (r : Serve.Request.t) ->
+      checkb "state finished" true (r.Serve.Request.state = Serve.Request.Finished);
+      let batched = Serve.Request.outputs r in
+      let alone = replay_sequential llm r in
+      checki "output count" (List.length alone) (List.length batched);
+      List.iteri
+        (fun i (b, a) ->
+          checkb
+            (Printf.sprintf "req %d token %d bit-identical" r.Serve.Request.id i)
+            true (bits_equal b a))
+        (List.combine batched alone))
+    reqs
+
+(* ---- KV-pool recycling ---- *)
+
+let test_kv_pool_recycles () =
+  clean ();
+  let llm = make_llm () in
+  let config =
+    { Serve.Scheduler.default_config with Serve.Scheduler.max_batch = 1 }
+  in
+  let sched = Serve.Scheduler.create ~config llm in
+  for id = 0 to 5 do
+    ignore
+      (Serve.Scheduler.submit sched ~now:0.0
+         (mk_req ~prompt_len:4 ~new_tokens:3 id))
+  done;
+  Serve.Scheduler.drain sched ~now:frozen_now;
+  let pool = Serve.Scheduler.pool sched in
+  (* sequential sessions (batch = 1) must share one recycled cache *)
+  checki "one cache allocated" 1 (Serve.Kv_pool.created pool);
+  checki "five reuses" 5 (Serve.Kv_pool.reused pool);
+  checki "nothing leaked" 0 (Serve.Kv_pool.in_use pool);
+  checki "cache back in free list" 1 (Serve.Kv_pool.free_count pool);
+  checkb "peak rows covers prompt+decode" true
+    (Serve.Kv_pool.peak_rows pool >= 4 + 2);
+  (* results are still correct through recycled caches *)
+  List.iter
+    (fun (r : Serve.Request.t) ->
+      let alone = replay_sequential llm r in
+      List.iter2
+        (fun b a -> checkb "recycled cache bit-identical" true (bits_equal b a))
+        (Serve.Request.outputs r) alone)
+    (Serve.Scheduler.finished sched)
+
+let test_kv_pool_acquire_release () =
+  clean ();
+  let llm = make_llm () in
+  let pool = Serve.Kv_pool.create ~init_cap:8 ~max_free:2 llm in
+  let c1 = Serve.Kv_pool.acquire pool in
+  let c2 = Serve.Kv_pool.acquire pool in
+  let c3 = Serve.Kv_pool.acquire pool in
+  checki "three created" 3 (Serve.Kv_pool.created pool);
+  checki "three in use" 3 (Serve.Kv_pool.in_use pool);
+  Serve.Kv_pool.release pool c1;
+  Serve.Kv_pool.release pool c2;
+  Serve.Kv_pool.release pool c3;
+  (* max_free = 2: the third release is dropped, not retained *)
+  checki "free list bounded" 2 (Serve.Kv_pool.free_count pool);
+  checki "none in use" 0 (Serve.Kv_pool.in_use pool);
+  let c4 = Serve.Kv_pool.acquire pool in
+  checki "reused, not created" 3 (Serve.Kv_pool.created pool);
+  checki "reuse counted" 1 (Serve.Kv_pool.reused pool);
+  checki "recycled cache rewound" 0 (Llm.cache_len c4)
+
+(* ---- bounded queue backpressure ---- *)
+
+let test_queue_rejection () =
+  clean ();
+  let llm = make_llm () in
+  let config =
+    { Serve.Scheduler.default_config with Serve.Scheduler.max_queue = 2 }
+  in
+  let sched = Serve.Scheduler.create ~config llm in
+  let reqs =
+    List.init 5 (fun id -> mk_req ~prompt_len:3 ~new_tokens:2 id)
+  in
+  let accepted =
+    List.map (fun r -> Serve.Scheduler.submit sched ~now:0.0 r) reqs
+  in
+  Alcotest.(check (list bool))
+    "first two accepted, rest rejected"
+    [ true; true; false; false; false ]
+    accepted;
+  List.iteri
+    (fun i (r : Serve.Request.t) ->
+      checkb
+        (Printf.sprintf "request %d state" i)
+        true
+        (r.Serve.Request.state
+        = (if i < 2 then Serve.Request.Queued else Serve.Request.Rejected)))
+    reqs;
+  Serve.Scheduler.drain sched ~now:frozen_now;
+  checki "only accepted requests finish" 2
+    (List.length (Serve.Scheduler.finished sched));
+  checki "ledger keeps everything" 5
+    (List.length (Serve.Scheduler.requests sched))
+
+(* ---- admission policy ---- *)
+
+let test_edf_orders_by_deadline () =
+  clean ();
+  let llm = make_llm () in
+  let config =
+    { Serve.Scheduler.default_config with
+      Serve.Scheduler.max_batch = 1;
+      policy = Serve.Scheduler.Edf }
+  in
+  let sched = Serve.Scheduler.create ~config llm in
+  (* submitted in deadline order 3.0, 1.0, 2.0 *)
+  List.iter
+    (fun (id, dl) ->
+      ignore
+        (Serve.Scheduler.submit sched ~now:0.0
+           (mk_req ~deadline_s:dl ~prompt_len:3 ~new_tokens:2 id)))
+    [ (0, 3.0); (1, 1.0); (2, 2.0) ];
+  Serve.Scheduler.drain sched ~now:frozen_now;
+  let order =
+    List.map
+      (fun (r : Serve.Request.t) -> r.Serve.Request.id)
+      (Serve.Scheduler.finished sched)
+  in
+  Alcotest.(check (list int)) "earliest deadline first" [ 1; 2; 0 ] order;
+  (* same workload under FCFS completes in arrival order *)
+  let sched2 =
+    Serve.Scheduler.create
+      ~config:{ config with Serve.Scheduler.policy = Serve.Scheduler.Fcfs }
+      llm
+  in
+  List.iteri
+    (fun i dl ->
+      ignore
+        (Serve.Scheduler.submit sched2 ~now:(0.001 *. float_of_int i)
+           (mk_req ~deadline_s:dl ~prompt_len:3 ~new_tokens:2 i)))
+    [ 3.0; 1.0; 2.0 ];
+  Serve.Scheduler.drain sched2 ~now:frozen_now;
+  let order2 =
+    List.map
+      (fun (r : Serve.Request.t) -> r.Serve.Request.id)
+      (Serve.Scheduler.finished sched2)
+  in
+  Alcotest.(check (list int)) "fcfs keeps arrival order" [ 0; 1; 2 ] order2
+
+let test_policy_of_string () =
+  checkb "fcfs" true
+    (Serve.Scheduler.policy_of_string "fcfs" = Some Serve.Scheduler.Fcfs);
+  checkb "deadline" true
+    (Serve.Scheduler.policy_of_string "deadline" = Some Serve.Scheduler.Edf);
+  checkb "edf alias" true
+    (Serve.Scheduler.policy_of_string "edf" = Some Serve.Scheduler.Edf);
+  checkb "unknown" true (Serve.Scheduler.policy_of_string "lifo" = None)
+
+(* ---- load generator ---- *)
+
+let test_load_gen_deterministic () =
+  let cfg =
+    { Serve.Load_gen.default with
+      Serve.Load_gen.rate_hz = 100.0;
+      duration_s = 1.0 }
+  in
+  let t1 = Serve.Load_gen.generate cfg ~vocab:64 in
+  let t2 = Serve.Load_gen.generate cfg ~vocab:64 in
+  checkb "non-empty" true (t1 <> []);
+  checki "same length" (List.length t1) (List.length t2);
+  List.iter2
+    (fun (at1, (r1 : Serve.Request.t)) (at2, (r2 : Serve.Request.t)) ->
+      checkb "same arrival" true (at1 = at2);
+      checkb "same prompt" true (r1.Serve.Request.prompt = r2.Serve.Request.prompt);
+      checkb "same gen ids" true (r1.Serve.Request.gen = r2.Serve.Request.gen))
+    t1 t2;
+  (* sorted arrivals, within the window, valid token ids *)
+  let last = ref 0.0 in
+  List.iter
+    (fun (at, (r : Serve.Request.t)) ->
+      checkb "sorted" true (at >= !last);
+      last := at;
+      checkb "inside window" true (at >= 0.0 && at < cfg.Serve.Load_gen.duration_s);
+      Array.iter
+        (fun id -> checkb "prompt id in vocab" true (id >= 0 && id < 64))
+        r.Serve.Request.prompt;
+      checkb "lengths in dist" true
+        (let n = Array.length r.Serve.Request.prompt in
+         n >= 4 && n <= 12))
+    t1;
+  (* a different seed produces a different trace *)
+  let t3 =
+    Serve.Load_gen.generate { cfg with Serve.Load_gen.seed = 43 } ~vocab:64
+  in
+  checkb "seed changes trace" true
+    (List.map fst t1 <> List.map fst t3)
+
+(* ---- driver end-to-end ---- *)
+
+let test_driver_end_to_end () =
+  clean ();
+  Telemetry.Registry.enable ();
+  let llm = make_llm () in
+  let cfg =
+    { Serve.Load_gen.default with
+      Serve.Load_gen.rate_hz = 50.0;
+      duration_s = 0.3;
+      deadline_s = 30.0 }
+  in
+  let trace = Serve.Load_gen.generate cfg ~vocab:Llm.tiny.Llm.vocab in
+  let sched = Serve.Scheduler.create llm in
+  let o = Serve.Driver.run sched trace in
+  Telemetry.Registry.disable ();
+  let s = o.Serve.Driver.summary in
+  checki "everything submitted" (List.length trace) s.Serve.Metrics.submitted;
+  checki "everything completed"
+    (s.Serve.Metrics.submitted - s.Serve.Metrics.rejected)
+    s.Serve.Metrics.completed;
+  checki "ledger matches" (List.length trace)
+    (List.length o.Serve.Driver.requests);
+  checkb "tokens flowed" true (s.Serve.Metrics.tokens > 0);
+  checkb "throughput positive" true (s.Serve.Metrics.tokens_per_s > 0.0);
+  checkb "ttft p50 positive" true (s.Serve.Metrics.ttft_ms.Serve.Metrics.p50 > 0.0);
+  checkb "percentiles ordered" true
+    (s.Serve.Metrics.ttft_ms.Serve.Metrics.p50
+     <= s.Serve.Metrics.ttft_ms.Serve.Metrics.p99);
+  checkb "goodput bounded by completed" true
+    (s.Serve.Metrics.goodput <= s.Serve.Metrics.completed);
+  checkb "summary prints" true
+    (String.length (Serve.Metrics.summary_to_string s) > 0);
+  clean ()
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "batched = sequential (bit-identical)" `Quick
+            test_batched_equals_sequential;
+        ] );
+      ( "kv-pool",
+        [
+          Alcotest.test_case "scheduler recycles" `Quick test_kv_pool_recycles;
+          Alcotest.test_case "acquire/release bounds" `Quick
+            test_kv_pool_acquire_release;
+        ] );
+      ( "backpressure",
+        [ Alcotest.test_case "bounded queue rejects" `Quick test_queue_rejection ]
+      );
+      ( "policy",
+        [
+          Alcotest.test_case "edf vs fcfs order" `Quick
+            test_edf_orders_by_deadline;
+          Alcotest.test_case "policy_of_string" `Quick test_policy_of_string;
+        ] );
+      ( "load-gen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_load_gen_deterministic;
+        ] );
+      ( "driver",
+        [ Alcotest.test_case "end-to-end" `Quick test_driver_end_to_end ]
+      );
+    ]

@@ -127,119 +127,95 @@ let test_registry_reset () =
     (List.length (Telemetry.Registry.predictions ()));
   checki "counters zeroed" 0 (Telemetry.Counter.value "test.reset")
 
-(* ---- JSON well-formedness (minimal parser, no external deps) ---- *)
+(* ---- histograms ---- *)
 
-exception Bad_json of string
+let test_histogram_basic () =
+  Telemetry.Histogram.reset_all ();
+  let h = Telemetry.Histogram.find_or_create "test.hist.basic" in
+  checkb "same name, same histogram" true
+    (h == Telemetry.Histogram.find_or_create "test.hist.basic");
+  for i = 1 to 1000 do
+    Telemetry.Histogram.observe h (float_of_int i)
+  done;
+  checki "count" 1000 (Telemetry.Histogram.count h);
+  Alcotest.(check (float 1e-6)) "sum" 500500.0 (Telemetry.Histogram.sum h);
+  Alcotest.(check (float 1e-6)) "min exact" 1.0
+    (Telemetry.Histogram.min_value h);
+  Alcotest.(check (float 1e-6)) "max exact" 1000.0
+    (Telemetry.Histogram.max_value h);
+  (* log buckets: quantiles within ~9% relative error *)
+  let q50 = Telemetry.Histogram.quantile h 0.5 in
+  checkb "p50 within bucket resolution"
+    true
+    (Float.abs (q50 -. 500.0) /. 500.0 < 0.10);
+  let q0 = Telemetry.Histogram.quantile h 0.0 in
+  let q100 = Telemetry.Histogram.quantile h 1.0 in
+  checkb "q0 clamped to observed min" true (q0 >= 1.0);
+  checkb "q1 clamped to observed max" true (q100 <= 1000.0);
+  checkb "quantiles monotone" true (q0 <= q50 && q50 <= q100)
 
-let parse_json (s : string) : unit =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
-  let skip_ws () =
-    while
-      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-    do
-      incr pos
-    done
-  in
-  let expect c =
-    if peek () = Some c then incr pos else fail (Printf.sprintf "expected %c" c)
-  in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' -> obj ()
-    | Some '[' -> arr ()
-    | Some '"' -> string_lit ()
-    | Some ('t' | 'f' | 'n') -> keyword ()
-    | Some ('-' | '0' .. '9') -> number ()
-    | _ -> fail "value"
-  and obj () =
-    expect '{';
-    skip_ws ();
-    if peek () = Some '}' then incr pos
-    else begin
-      let rec members () =
-        skip_ws ();
-        string_lit ();
-        skip_ws ();
-        expect ':';
-        value ();
-        skip_ws ();
-        match peek () with
-        | Some ',' ->
-          incr pos;
-          members ()
-        | Some '}' -> incr pos
-        | _ -> fail "object"
-      in
-      members ()
-    end
-  and arr () =
-    expect '[';
-    skip_ws ();
-    if peek () = Some ']' then incr pos
-    else begin
-      let rec elems () =
-        value ();
-        skip_ws ();
-        match peek () with
-        | Some ',' ->
-          incr pos;
-          elems ()
-        | Some ']' -> incr pos
-        | _ -> fail "array"
-      in
-      elems ()
-    end
-  and string_lit () =
-    expect '"';
-    let rec chars () =
-      match peek () with
-      | Some '"' -> incr pos
-      | Some '\\' ->
-        incr pos;
-        (match peek () with
-        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> incr pos
-        | Some 'u' ->
-          incr pos;
-          for _ = 1 to 4 do
-            match peek () with
-            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> incr pos
-            | _ -> fail "unicode escape"
-          done
-        | _ -> fail "escape");
-        chars ()
-      | Some c when Char.code c >= 0x20 ->
-        incr pos;
-        chars ()
-      | _ -> fail "string"
+let test_histogram_empty_and_reset () =
+  Telemetry.Histogram.reset_all ();
+  let h = Telemetry.Histogram.find_or_create "test.hist.empty" in
+  checki "empty count" 0 (Telemetry.Histogram.count h);
+  checkb "empty mean is nan" true (Float.is_nan (Telemetry.Histogram.mean h));
+  checkb "empty quantile is nan" true
+    (Float.is_nan (Telemetry.Histogram.quantile h 0.5));
+  Telemetry.Histogram.observe h 3.0;
+  Telemetry.Histogram.reset h;
+  checki "reset zeroes but keeps identity" 0 (Telemetry.Histogram.count h);
+  checkb "registry reset clears histograms" true
+    (Telemetry.Histogram.observe h 1.0;
+     Telemetry.Registry.reset ();
+     Telemetry.Histogram.count h = 0)
+
+let test_histogram_merge_across_domains () =
+  Telemetry.Histogram.reset_all ();
+  let into = Telemetry.Histogram.find_or_create "test.hist.merged" in
+  (* per-domain shards observed concurrently, then merged *)
+  let shard i =
+    let h =
+      Telemetry.Histogram.find_or_create
+        (Printf.sprintf "test.hist.shard%d" i)
     in
-    chars ()
-  and keyword () =
-    let ok kw =
-      let l = String.length kw in
-      if !pos + l <= n && String.sub s !pos l = kw then (
-        pos := !pos + l;
-        true)
-      else false
-    in
-    if not (ok "true" || ok "false" || ok "null") then fail "keyword"
-  and number () =
-    let num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    let start = !pos in
-    while !pos < n && num_char s.[!pos] do
-      incr pos
+    for v = 1 to 500 do
+      Telemetry.Histogram.observe h (float_of_int v)
     done;
-    if !pos = start then fail "number"
+    h
   in
-  value ();
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage"
+  let d1 = Domain.spawn (fun () -> shard 1) in
+  let d2 = Domain.spawn (fun () -> shard 2) in
+  let h1 = Domain.join d1 and h2 = Domain.join d2 in
+  Telemetry.Histogram.merge_into h1 ~into;
+  Telemetry.Histogram.merge_into h2 ~into;
+  checki "merged count" 1000 (Telemetry.Histogram.count into);
+  Alcotest.(check (float 1e-6)) "merged sum" 250500.0
+    (Telemetry.Histogram.sum into);
+  Alcotest.(check (float 1e-6)) "merged max" 500.0
+    (Telemetry.Histogram.max_value into);
+  let q50 = Telemetry.Histogram.quantile into 0.5 in
+  checkb "merged p50 sane" true (Float.abs (q50 -. 250.0) /. 250.0 < 0.10)
+
+(* ---- JSON well-formedness (validator lives in Telemetry.Json_check) ---- *)
+
+let parse_json s = Telemetry.Json_check.validate s
+
+let test_json_check_rejects_malformed () =
+  let bad =
+    [ "{"; "{\"a\":1,}"; "[1 2]"; "\"unterminated"; "{\"a\":01x}"; "{} {}" ]
+  in
+  List.iter
+    (fun s ->
+      match Telemetry.Json_check.check s with
+      | Ok () -> Alcotest.failf "accepted malformed JSON: %s" s
+      | Error _ -> ())
+    bad;
+  List.iter
+    (fun s ->
+      match Telemetry.Json_check.check s with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "rejected valid JSON %s: %s" s m)
+    [ "{}"; "[]"; "{\"a\":[1,2.5,-3e4,true,false,null,\"s\\n\"]}" ]
 
 let contains ~needle hay =
   let nl = String.length needle and hl = String.length hay in
@@ -255,7 +231,8 @@ let test_chrome_trace_json () =
   Telemetry.Span.record ~name:"main-span" ~start_ns:500L ~dur_ns:9000L ();
   off ();
   let s = Telemetry.Chrome_trace.to_string () in
-  (try parse_json s with Bad_json m -> Alcotest.failf "invalid JSON: %s" m);
+  (try parse_json s with
+  | Telemetry.Json_check.Bad_json m -> Alcotest.failf "invalid JSON: %s" m);
   checkb "has traceEvents" true (contains ~needle:"\"traceEvents\"" s);
   checkb "has complete events" true (contains ~needle:"\"ph\":\"X\"" s);
   checkb "names worker thread" true (contains ~needle:"worker-1" s);
@@ -268,11 +245,18 @@ let test_report_json () =
     ~flops:33.5e6 ~bytes:1.05e6 ~seconds:1.0e-3;
   Telemetry.Registry.record_prediction ~name:"gemm 256" ~predicted_gflops:50.0
     ~measured_gflops:40.0;
+  Telemetry.Histogram.observe
+    (Telemetry.Histogram.find_or_create "test.report.lat_ms")
+    1.5;
   off ();
   let j = Telemetry.Report.to_json ~peak_gflops:100.0 ~mem_bw_gbs:50.0 () in
-  (try parse_json j with Bad_json m -> Alcotest.failf "invalid JSON: %s" m);
+  (try parse_json j with
+  | Telemetry.Json_check.Bad_json m -> Alcotest.failf "invalid JSON: %s" m);
   checkb "kernels in json" true (contains ~needle:"\"kernels\"" j);
   checkb "predictions in json" true (contains ~needle:"\"predictions\"" j);
+  checkb "histograms in json" true (contains ~needle:"\"histograms\"" j);
+  checkb "histogram named in json" true
+    (contains ~needle:"test.report.lat_ms" j);
   let txt = Telemetry.Report.summary ~peak_gflops:100.0 ~mem_bw_gbs:50.0 () in
   checkb "summary names kernel" true (contains ~needle:"256^3 f32 BCa" txt)
 
@@ -298,6 +282,19 @@ let () =
       ( "counter",
         [ Alcotest.test_case "cross-domain" `Quick test_counter_cross_domain ]
       );
+      ( "histogram",
+        [
+          Alcotest.test_case "observe/quantile" `Quick test_histogram_basic;
+          Alcotest.test_case "empty/reset" `Quick
+            test_histogram_empty_and_reset;
+          Alcotest.test_case "merge across domains" `Quick
+            test_histogram_merge_across_domains;
+        ] );
+      ( "json-check",
+        [
+          Alcotest.test_case "rejects malformed" `Quick
+            test_json_check_rejects_malformed;
+        ] );
       ( "registry",
         [
           Alcotest.test_case "kernel stats" `Quick test_registry_kernel_stats;
