@@ -1,4 +1,4 @@
-.PHONY: all build test fmt smoke-serve ci clean
+.PHONY: all build test fmt smoke-serve smoke-pool ci clean
 
 all: build
 
@@ -18,11 +18,20 @@ smoke-serve: build
 	dune exec bench/main.exe -- --serve --serve-duration 2 --json /tmp/bench.json
 	@test -s /tmp/bench.json && echo "smoke-serve: /tmp/bench.json ok"
 
+# Dispatch-overhead smoke (~2 s): persistent-pool vs spawn-per-call
+# microbenchmark. The bench self-validates its JSON with
+# Telemetry.Json_check and exits non-zero if the pool never reused a
+# worker (which would mean every region silently fell back to spawning).
+smoke-pool: build
+	dune exec bench/main.exe -- dispatch --json /tmp/bench-pool.json
+	@test -s /tmp/bench-pool.json && echo "smoke-pool: /tmp/bench-pool.json ok"
+
 # Single gate run by CI and before every commit: formatting must be
 # canonical (dune files; ocamlformat is not in the pinned toolchain),
 # everything must build, the full tier-1 suite must pass, and the
-# serving path must produce valid machine-readable output.
-ci: fmt build test smoke-serve
+# serving and pooled-dispatch paths must produce valid machine-readable
+# output.
+ci: fmt build test smoke-serve smoke-pool
 
 clean:
 	dune clean

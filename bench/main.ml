@@ -203,7 +203,146 @@ let run_gemm_points () =
             ("k", string_of_int dim); ("block", string_of_int block);
             ("spec", spec); ("dtype", "f32") ]
         ~metrics:[ ("seconds", !best); ("gflops", gflops) ])
-    [ (128, 32, "BCa"); (256, 32, "BCa") ]
+    [ (128, 32, "BCa"); (256, 32, "BCa") ];
+  (* pool-on points: the same contraction dispatched onto the persistent
+     worker team (parallel outer loop, 2 logical threads) *)
+  List.iter
+    (fun (dim, block, spec, nthreads) ->
+      let rng = Prng.create 99 in
+      let cfg =
+        Gemm.make_config ~bm:block ~bn:block ~bk:block ~dtype:Datatype.F32
+          ~m:dim ~n:dim ~k:dim ()
+      in
+      let g = Gemm.create cfg spec in
+      let a = Tensor.create Datatype.F32 [| dim; dim |] in
+      let b = Tensor.create Datatype.F32 [| dim; dim |] in
+      Tensor.fill_random a rng ~scale:1.0;
+      Tensor.fill_random b rng ~scale:1.0;
+      let ap = Gemm.pack_a cfg a and bp = Gemm.pack_b cfg b in
+      let cp = Gemm.alloc_c cfg in
+      Gemm.run ~nthreads g ~a:ap ~b:bp ~c:cp;
+      let best = ref Float.infinity in
+      for _ = 1 to 3 do
+        let t0 = Telemetry.Clock.now_s () in
+        Gemm.run ~nthreads g ~a:ap ~b:bp ~c:cp;
+        best := Float.min !best (Telemetry.Clock.now_s () -. t0)
+      done;
+      let gflops = Gemm.flops cfg /. !best /. 1e9 in
+      Printf.printf
+        "  gemm %4dx%4dx%4d f32 %-6s %d thr (pool) %8.3f ms  %8.2f GFLOPS\n%!"
+        dim dim dim spec nthreads (1e3 *. !best) gflops;
+      record_bench ~name:"gemm"
+        ~config:
+          [ ("m", string_of_int dim); ("n", string_of_int dim);
+            ("k", string_of_int dim); ("block", string_of_int block);
+            ("spec", spec); ("dtype", "f32");
+            ("nthreads", string_of_int nthreads);
+            ("pool", if Team.pool_enabled () then "on" else "off") ]
+        ~metrics:[ ("seconds", !best); ("gflops", gflops) ])
+    [ (128, 32, "B{R:2}Ca", 2); (256, 32, "B{R:2}Ca", 2) ]
+
+(* ---- dispatch-overhead microbenchmark (persistent pool vs spawn) ----
+
+   Times Team.run (pool) against Team.run_spawn (the fresh
+   threads-per-call baseline) over identical bodies: an empty region
+   (pure dispatch+join cost) and a small-shape BRGEMM per thread, the
+   decode-sized work unit where spawn overhead dominated. Records pool
+   telemetry counters alongside and fails loudly if the pool never
+   reused a worker — that would mean the persistent engine silently fell
+   back to spawning. *)
+
+let run_dispatch () =
+  Modelkit.section "Nest.exec dispatch overhead: pool vs spawn-per-call";
+  let time_per_exec runner ~nthreads body =
+    for _ = 1 to 30 do
+      runner ~nthreads body
+    done;
+    let t0 = Telemetry.Clock.now_s () in
+    let iters = ref 0 in
+    while Telemetry.Clock.now_s () -. t0 < 0.25 do
+      for _ = 1 to 10 do
+        runner ~nthreads body
+      done;
+      iters := !iters + 10
+    done;
+    1e9 *. (Telemetry.Clock.now_s () -. t0) /. float_of_int !iters
+  in
+  let gemm_body =
+    (* per-thread 32x32x32 BRGEMM on private outputs *)
+    let rng = Prng.create 95 in
+    let n = 8 in
+    let ker =
+      Brgemm.compile (Brgemm.make_config ~beta:0.0 ~m:32 ~n:32 ~k:32 ())
+    in
+    let mk () =
+      let t = Tensor.create Datatype.F32 [| 32; 32 |] in
+      Tensor.fill_random t rng ~scale:1.0;
+      Tensor.view2d t
+    in
+    let a = Array.init n (fun _ -> mk ())
+    and b = Array.init n (fun _ -> mk ())
+    and c = Array.init n (fun _ -> mk ()) in
+    fun (ctx : Team.ctx) ->
+      let t = ctx.Team.tid in
+      Brgemm.exec ker ~a:a.(t) ~b:b.(t) ~c:c.(t)
+  in
+  let cases =
+    [ ("empty", 4, (fun (_ : Team.ctx) -> ()));
+      ("gemm32", 8, gemm_body) ]
+  in
+  List.iter
+    (fun (bodyname, nthreads, body) ->
+      let pool_ns = time_per_exec Team.run ~nthreads body in
+      let spawn_ns = time_per_exec Team.run_spawn ~nthreads body in
+      (* dispatch overhead = region time minus the same body executed
+         inline with no threading at all (run_sequential covers the
+         identical tid range on the calling thread) *)
+      let seq_ns = time_per_exec Team.run_sequential ~nthreads body in
+      (* overheads smaller than ~1% of the body are below timing noise;
+         clamp so the reported ratio stays meaningful *)
+      let noise = 1.0 +. (0.01 *. seq_ns) in
+      let pool_ov = Float.max noise (pool_ns -. seq_ns) in
+      let spawn_ov = Float.max noise (spawn_ns -. seq_ns) in
+      let speedup = spawn_ov /. pool_ov in
+      Printf.printf
+        "  %-7s n=%d  pool %9.0f ns/exec   spawn %9.0f ns/exec   body %9.0f \
+         ns  overhead %5.1fx\n\
+         %!"
+        bodyname nthreads pool_ns spawn_ns seq_ns speedup;
+      record_bench ~name:"dispatch"
+        ~config:
+          [ ("body", bodyname); ("nthreads", string_of_int nthreads);
+            ("baseline", "spawn-per-call") ]
+        ~metrics:
+          [ ("pool_ns_per_exec", pool_ns); ("spawn_ns_per_exec", spawn_ns);
+            ("body_ns_per_exec", seq_ns);
+            ("pool_overhead_ns", pool_ov); ("spawn_overhead_ns", spawn_ov);
+            ("speedup", speedup) ])
+    cases;
+  let cval = Telemetry.Counter.value in
+  let reuse = cval Telemetry.Registry.pool_reuse_name in
+  record_bench ~name:"pool-counters" ~config:[]
+    ~metrics:
+      [ ("dispatches", float_of_int (cval Telemetry.Registry.pool_dispatches_name));
+        ("worker_reuse", float_of_int reuse);
+        ("workers_spawned",
+         float_of_int (cval Telemetry.Registry.pool_workers_name));
+        ("spin_wakeups", float_of_int (cval Telemetry.Registry.pool_spin_name));
+        ("park_wakeups", float_of_int (cval Telemetry.Registry.pool_park_name));
+        ("arena_hits", float_of_int (cval Telemetry.Registry.arena_hits_name));
+        ("arena_misses",
+         float_of_int (cval Telemetry.Registry.arena_misses_name));
+        ("arena_bytes", float_of_int (cval Telemetry.Registry.arena_bytes_name))
+      ];
+  Printf.printf "  pool: %d workers, %d dispatches, %d reuses\n%!"
+    (Team.pool_size ())
+    (cval Telemetry.Registry.pool_dispatches_name)
+    reuse;
+  if Team.pool_enabled () && reuse = 0 then begin
+    Printf.eprintf
+      "dispatch bench: pool enabled but no worker was ever reused\n";
+    exit 1
+  end
 
 (* ---- serving benchmark (--serve): continuous batching over Llm.tiny ---- *)
 
@@ -275,6 +414,7 @@ let experiments =
     ("ablations", Ablations.run);
     ("micro", run_micro);
     ("gemm", run_gemm_points);
+    ("dispatch", run_dispatch);
   ]
 
 let run_all () =

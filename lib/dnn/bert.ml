@@ -101,11 +101,9 @@ let embed ?(training = false) ~rng t ids =
         +. Tensor.get t.position_embedding [| i.(0); i.(1) |])
   in
   let y = Tensor.create Datatype.F32 [| seq; t.cfg.hidden |] in
-  let _ =
-    Blocks.layernorm_rows ~eps:1e-12 ~inp:(Tensor.view2d x)
-      ~gamma:(Tensor.view2d t.emb_gamma) ~beta:(Tensor.view2d t.emb_beta)
-      ~out:(Tensor.view2d y)
-  in
+  Blocks.layernorm_rows_nostats ~eps:1e-12 ~inp:(Tensor.view2d x)
+    ~gamma:(Tensor.view2d t.emb_gamma) ~beta:(Tensor.view2d t.emb_beta)
+    ~out:(Tensor.view2d y);
   if training && t.dropout_p > 0.0 then begin
     let mask = Tensor.create Datatype.F32 [| seq; t.cfg.hidden |] in
     Blocks.dropout ~rng ~p:t.dropout_p ~inp:(Tensor.view2d y)
@@ -121,11 +119,9 @@ let output_block ?nthreads fc gamma beta ~residual x =
     ~a:(Tensor.view2d dense) ~b:(Tensor.view2d residual)
     ~out:(Tensor.view2d dense);
   let y = Tensor.create Datatype.F32 (Tensor.dims dense) in
-  let _ =
-    Blocks.layernorm_rows ~eps:1e-12 ~inp:(Tensor.view2d dense)
-      ~gamma:(Tensor.view2d gamma) ~beta:(Tensor.view2d beta)
-      ~out:(Tensor.view2d y)
-  in
+  Blocks.layernorm_rows_nostats ~eps:1e-12 ~inp:(Tensor.view2d dense)
+    ~gamma:(Tensor.view2d gamma) ~beta:(Tensor.view2d beta)
+    ~out:(Tensor.view2d y);
   y
 
 let encoder_layer ?nthreads t layer x =

@@ -124,11 +124,9 @@ let sfc_forward ?nthreads sfc x =
 
 let layernorm gamma beta x =
   let y = Tensor.create Datatype.F32 (Tensor.dims x) in
-  let _ =
-    Blocks.layernorm_rows ~eps:1e-12 ~inp:(Tensor.view2d x)
-      ~gamma:(Tensor.view2d gamma) ~beta:(Tensor.view2d beta)
-      ~out:(Tensor.view2d y)
-  in
+  Blocks.layernorm_rows_nostats ~eps:1e-12 ~inp:(Tensor.view2d x)
+    ~gamma:(Tensor.view2d gamma) ~beta:(Tensor.view2d beta)
+    ~out:(Tensor.view2d y);
   y
 
 let encoder_layer ?nthreads t idx x =

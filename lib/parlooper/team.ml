@@ -5,89 +5,177 @@ type ctx = {
   fetch_chunk : instance:int -> chunk:int -> int;
 }
 
-(* Sense-reversing barrier, safe across domains and systhreads. *)
+(* Pool observability. Counters are unconditional atomic bumps (same
+   convention as the JIT-cache counters); the dispatch-latency histogram
+   is fed only while the registry is enabled. *)
+let spin_c = Telemetry.Counter.find_or_create Telemetry.Registry.pool_spin_name
+let park_c = Telemetry.Counter.find_or_create Telemetry.Registry.pool_park_name
+
+let reuse_c =
+  Telemetry.Counter.find_or_create Telemetry.Registry.pool_reuse_name
+
+let dispatches_c =
+  Telemetry.Counter.find_or_create Telemetry.Registry.pool_dispatches_name
+
+let spawned_c =
+  Telemetry.Counter.find_or_create Telemetry.Registry.pool_workers_name
+
+let dispatch_h =
+  Telemetry.Histogram.find_or_create Telemetry.Registry.pool_dispatch_ns_name
+
+(* ---- hybrid spin-then-park waiting ----
+
+   Spin briefly before parking on a condition variable, so back-to-back
+   dispatches and barrier crossings cost no syscalls. The spin phase
+   yields to the scheduler every few probes: when logical threads
+   outnumber cores (systhreads multiplexed onto one domain's runtime
+   lock), a pure cpu_relax spin would hold the domain until the
+   preemption tick and starve the very thread it is waiting for. *)
+
+let spin_limit = 256
+
+let spin_until pred =
+  pred ()
+  ||
+  let i = ref 0 in
+  let hit = ref false in
+  while (not !hit) && !i < spin_limit do
+    if !i land 3 = 3 then Thread.yield () else Domain.cpu_relax ();
+    incr i;
+    hit := pred ()
+  done;
+  !hit
+
+(* Sense-reversing barrier, safe across domains and systhreads. Arrival
+   is a single fetch-and-add; waiters spin on the generation gate and
+   fall back to a mutex/condvar park. The last arriver resets the arrival
+   count *before* opening the gate, so threads racing into the next phase
+   cannot observe a stale count. *)
 module Barrier = struct
   type t = {
+    total : int;
+    arrived : int Atomic.t;
+    generation : int Atomic.t;
     mutex : Mutex.t;
     cond : Condition.t;
-    total : int;
-    mutable arrived : int;
-    mutable generation : int;
   }
 
   let create total =
     {
+      total;
+      arrived = Atomic.make 0;
+      generation = Atomic.make 0;
       mutex = Mutex.create ();
       cond = Condition.create ();
-      total;
-      arrived = 0;
-      generation = 0;
     }
 
   let wait t =
-    Mutex.lock t.mutex;
-    let gen = t.generation in
-    t.arrived <- t.arrived + 1;
-    if t.arrived = t.total then begin
-      t.arrived <- 0;
-      t.generation <- t.generation + 1;
-      Condition.broadcast t.cond
+    if t.total > 1 then begin
+      let gen = Atomic.get t.generation in
+      if Atomic.fetch_and_add t.arrived 1 = t.total - 1 then begin
+        Atomic.set t.arrived 0;
+        Mutex.lock t.mutex;
+        Atomic.incr t.generation;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mutex
+      end
+      else if spin_until (fun () -> Atomic.get t.generation <> gen) then
+        Telemetry.Counter.incr spin_c
+      else begin
+        Mutex.lock t.mutex;
+        while Atomic.get t.generation = gen do
+          Condition.wait t.cond t.mutex
+        done;
+        Mutex.unlock t.mutex;
+        Telemetry.Counter.incr park_c
+      end
     end
-    else
-      while t.generation = gen do
-        Condition.wait t.cond t.mutex
-      done;
-    Mutex.unlock t.mutex
 end
 
 (* Per-instance dynamic work-sharing counters. Work-sharing constructs are
    matched across threads by per-thread encounter order (like the OpenMP
    runtime), so the table is indexed by the instance number and grown on
-   demand. *)
+   demand. The table itself is held in an Atomic: the fast path reads one
+   consistent snapshot (never two reads that could straddle a concurrent
+   replacement), and growers publish the new array with a single
+   Atomic.set under the mutex. *)
 module Counters = struct
   type t = {
     mutex : Mutex.t;
-    mutable table : int Atomic.t array;
+    table : int Atomic.t array Atomic.t;
   }
 
-  let create () = { mutex = Mutex.create (); table = [||] }
+  let create () = { mutex = Mutex.create (); table = Atomic.make [||] }
+
+  (* rewind all instance counters to zero so a pooled team can reuse the
+     table across parallel regions (instances are numbered from 0 in every
+     region). Only called between regions, when no worker is fetching. *)
+  let reset t =
+    Mutex.lock t.mutex;
+    Array.iter (fun c -> Atomic.set c 0) (Atomic.get t.table);
+    Mutex.unlock t.mutex
 
   let get t instance =
-    let n = Array.length t.table in
-    if instance < n then t.table.(instance)
+    let tbl = Atomic.get t.table in
+    if instance < Array.length tbl then tbl.(instance)
     else begin
       Mutex.lock t.mutex;
-      let n = Array.length t.table in
-      if instance >= n then begin
-        let fresh = Array.init (instance + 1 - n) (fun _ -> Atomic.make 0) in
-        t.table <- Array.append t.table fresh
-      end;
-      let c = t.table.(instance) in
+      (* re-check under the lock: another domain may have grown it since *)
+      let tbl = Atomic.get t.table in
+      let n = Array.length tbl in
+      let tbl =
+        if instance < n then tbl
+        else begin
+          let fresh =
+            Array.init (instance + 1) (fun i ->
+                if i < n then tbl.(i) else Atomic.make 0)
+          in
+          Atomic.set t.table fresh;
+          fresh
+        end
+      in
+      let c = tbl.(instance) in
       Mutex.unlock t.mutex;
       c
     end
 
-  let fetch t ~instance ~chunk =
-    let c = get t instance in
-    Atomic.fetch_and_add c chunk
+  let fetch t ~instance ~chunk = Atomic.fetch_and_add (get t instance) chunk
 end
 
 let domains_for n =
   let cores = Domain.recommended_domain_count () in
   max 1 (min n cores)
 
-let run ~nthreads f =
+(* ---- shared team plumbing ---- *)
+
+let make_ctx ~tid ~nthreads ~barrier ~counters =
+  {
+    tid;
+    nthreads;
+    barrier = (fun () -> Barrier.wait barrier);
+    fetch_chunk = (fun ~instance ~chunk -> Counters.fetch counters ~instance ~chunk);
+  }
+
+let run_single f =
+  f
+    {
+      tid = 0;
+      nthreads = 1;
+      barrier = (fun () -> ());
+      fetch_chunk =
+        (let counters = Counters.create () in
+         fun ~instance ~chunk -> Counters.fetch counters ~instance ~chunk);
+    }
+
+(* ---- spawn-per-call execution (reference path) ----
+
+   The original backend: fresh domains and systhreads per call. Kept as
+   the fallback for nested/concurrent teams and as the baseline the
+   dispatch-overhead benchmark compares the pool against. *)
+
+let run_spawn ~nthreads f =
   assert (nthreads > 0);
-  if nthreads = 1 then
-    f
-      {
-        tid = 0;
-        nthreads = 1;
-        barrier = (fun () -> ());
-        fetch_chunk =
-          (let counters = Counters.create () in
-           fun ~instance ~chunk -> Counters.fetch counters ~instance ~chunk);
-      }
+  if nthreads = 1 then run_single f
   else begin
     let barrier = Barrier.create nthreads in
     let counters = Counters.create () in
@@ -96,16 +184,7 @@ let run ~nthreads f =
       ignore (Atomic.compare_and_set failure None (Some e))
     in
     let thread_body tid () =
-      try
-        f
-          {
-            tid;
-            nthreads;
-            barrier = (fun () -> Barrier.wait barrier);
-            fetch_chunk =
-              (fun ~instance ~chunk ->
-                Counters.fetch counters ~instance ~chunk);
-          }
+      try f (make_ctx ~tid ~nthreads ~barrier ~counters)
       with e -> record_exn e
     in
     let ndomains = domains_for nthreads in
@@ -132,6 +211,283 @@ let run ~nthreads f =
     List.iter Domain.join domains;
     match Atomic.get failure with Some e -> raise e | None -> ()
   end
+
+(* ---- persistent worker pool ----
+
+   Process-wide, created lazily on the first parallel team and resized on
+   demand, never torn down (parked workers cost nothing and the runtime
+   exits cleanly with parked domains). Topology: up to
+   recommended_domain_count - 1 carrier domains (the caller's domain being
+   the remaining participant); each worker is a systhread with a
+   single-slot mailbox. On a single-core host there are no carriers at
+   all: workers are systhreads in the dispatching thread's own domain,
+   where a mailbox handoff is a cheap same-runtime-lock switch — waking a
+   thread in another domain that has nothing else to run costs a full OS
+   preemption tick, three orders of magnitude more.
+
+   A team of n uses the calling thread as logical tid 0 and workers
+   0..n-2 as tids 1..n-1, so dispatch is n-1 mailbox stores — no thread
+   or domain creation on the hot path. Per-dispatch state (barrier,
+   work-sharing counters, ctx records, job thunks) is cached in a [team]
+   record and reused while the requested width stays the same, so a
+   steady-state dispatch allocates almost nothing.
+
+   [lock] is held by the dispatching thread for its entire parallel
+   region. That serializes team execution (matching the one-OpenMP-team
+   model of the paper's runtime); a nested or concurrent [run] simply
+   fails the try_lock and falls back to [run_spawn], which is always
+   correct. *)
+module Pool = struct
+  type mailbox = {
+    flag : int Atomic.t;  (** 0 = idle, 1 = job ready *)
+    mutable work : unit -> unit;  (** valid while [flag = 1] *)
+    parked : bool Atomic.t;
+    m : Mutex.t;
+    cv : Condition.t;
+    mutable jobs_run : int;  (** touched only by the owning worker *)
+  }
+
+  type carrier = {
+    cm : Mutex.t;
+    ccv : Condition.t;
+    mutable pending : mailbox list;  (** workers awaiting spawn on this domain *)
+  }
+
+  (* reusable per-dispatch state, rebuilt only when the team width
+     changes. [work] is published before the mailbox flags are raised
+     (the Atomic.set in [submit] orders it) and read by workers after
+     their acquire of the flag. *)
+  type team = {
+    nthreads : int;
+    counters : Counters.t;
+    ctxs : ctx array;
+    mutable jobs : (unit -> unit) array;  (** index tid-1 *)
+    remaining : int Atomic.t;
+    caller_parked : bool Atomic.t;
+    done_m : Mutex.t;
+    done_cv : Condition.t;
+    failure : exn option Atomic.t;
+    started : int Atomic.t;
+    mutable t0 : int64;  (** dispatch timestamp, valid when telemetry on *)
+    mutable telem : bool;
+    mutable work : ctx -> unit;
+  }
+
+  type t = {
+    lock : Mutex.t;
+    mutable workers : mailbox array;
+    mutable carriers : carrier array;
+    mutable team : team option;  (** cached; guarded by [lock] *)
+  }
+
+  let noop () = ()
+
+  let make_mailbox () =
+    {
+      flag = Atomic.make 0;
+      work = noop;
+      parked = Atomic.make false;
+      m = Mutex.create ();
+      cv = Condition.create ();
+      jobs_run = 0;
+    }
+
+  let rec worker_loop mb =
+    (if spin_until (fun () -> Atomic.get mb.flag <> 0) then
+       Telemetry.Counter.incr spin_c
+     else begin
+       Mutex.lock mb.m;
+       Atomic.set mb.parked true;
+       while Atomic.get mb.flag = 0 do
+         Condition.wait mb.cv mb.m
+       done;
+       Atomic.set mb.parked false;
+       Mutex.unlock mb.m;
+       Telemetry.Counter.incr park_c
+     end);
+    let f = mb.work in
+    Atomic.set mb.flag 0;
+    if mb.jobs_run > 0 then Telemetry.Counter.incr reuse_c;
+    mb.jobs_run <- mb.jobs_run + 1;
+    Telemetry.Counter.incr dispatches_c;
+    (* jobs handle their own exceptions/completion; never kill the worker *)
+    (try f () with _ -> ());
+    worker_loop mb
+
+  (* systhreads must be created from inside their domain, so each carrier
+     domain runs a tiny control loop spawning the workers assigned to it *)
+  let carrier_loop c () =
+    Mutex.lock c.cm;
+    while true do
+      match c.pending with
+      | mb :: rest ->
+        c.pending <- rest;
+        Mutex.unlock c.cm;
+        ignore (Thread.create worker_loop mb);
+        Mutex.lock c.cm
+      | [] -> Condition.wait c.ccv c.cm
+    done
+
+  let pool =
+    { lock = Mutex.create (); workers = [||]; carriers = [||]; team = None }
+
+  let max_carriers = lazy (Domain.recommended_domain_count () - 1)
+
+  (* grow to [n] workers; caller holds [pool.lock] *)
+  let ensure n =
+    let have = Array.length pool.workers in
+    if n > have then begin
+      let want_carriers = min n (Lazy.force max_carriers) in
+      let nc = Array.length pool.carriers in
+      if want_carriers > nc then begin
+        let fresh =
+          Array.init (want_carriers - nc) (fun _ ->
+              let c =
+                { cm = Mutex.create (); ccv = Condition.create (); pending = [] }
+              in
+              ignore (Domain.spawn (carrier_loop c));
+              c)
+        in
+        pool.carriers <- Array.append pool.carriers fresh
+      end;
+      let ncar = Array.length pool.carriers in
+      let fresh =
+        Array.init (n - have) (fun i ->
+            let mb = make_mailbox () in
+            (if ncar = 0 then
+               (* single-core host: worker lives in the caller's domain *)
+               ignore (Thread.create worker_loop mb)
+             else begin
+               let c = pool.carriers.((have + i) mod ncar) in
+               Mutex.lock c.cm;
+               c.pending <- mb :: c.pending;
+               Condition.signal c.ccv;
+               Mutex.unlock c.cm
+             end);
+            Telemetry.Counter.incr spawned_c;
+            mb)
+      in
+      pool.workers <- Array.append pool.workers fresh
+    end
+
+  let submit (mb : mailbox) f =
+    mb.work <- f;
+    Atomic.set mb.flag 1;
+    if Atomic.get mb.parked then begin
+      Mutex.lock mb.m;
+      Condition.signal mb.cv;
+      Mutex.unlock mb.m
+    end
+
+  let make_team nthreads =
+    let barrier = Barrier.create nthreads in
+    let counters = Counters.create () in
+    let tm =
+      {
+        nthreads;
+        counters;
+        ctxs =
+          Array.init nthreads (fun tid ->
+              make_ctx ~tid ~nthreads ~barrier ~counters);
+        jobs = [||];
+        remaining = Atomic.make 0;
+        caller_parked = Atomic.make false;
+        done_m = Mutex.create ();
+        done_cv = Condition.create ();
+        failure = Atomic.make None;
+        started = Atomic.make 0;
+        t0 = 0L;
+        telem = false;
+        work = ignore;
+      }
+    in
+    let job tid () =
+      if tm.telem && Atomic.fetch_and_add tm.started 1 = nthreads - 2 then
+        Telemetry.Histogram.observe dispatch_h
+          (Int64.to_float (Telemetry.Clock.elapsed_ns ~since:tm.t0));
+      (try tm.work tm.ctxs.(tid)
+       with e -> ignore (Atomic.compare_and_set tm.failure None (Some e)));
+      if
+        Atomic.fetch_and_add tm.remaining (-1) = 1
+        && Atomic.get tm.caller_parked
+      then begin
+        Mutex.lock tm.done_m;
+        Condition.broadcast tm.done_cv;
+        Mutex.unlock tm.done_m
+      end
+    in
+    tm.jobs <- Array.init (nthreads - 1) (fun i -> job (i + 1));
+    tm
+
+  (* caller holds [pool.lock] *)
+  let team_for nthreads =
+    match pool.team with
+    | Some tm when tm.nthreads = nthreads -> tm
+    | _ ->
+      let tm = make_team nthreads in
+      pool.team <- Some tm;
+      tm
+
+  let size () =
+    Mutex.lock pool.lock;
+    let n = Array.length pool.workers in
+    Mutex.unlock pool.lock;
+    n
+end
+
+let pool_size () = Pool.size ()
+
+let pool_on = ref (Sys.getenv_opt "PARLOOPER_POOL" <> Some "0")
+let pool_enabled () = !pool_on
+let set_pool_enabled b = pool_on := b
+
+(* caller holds the pool lock; caller executes tid 0 itself *)
+let run_pooled ~nthreads f =
+  Pool.ensure (nthreads - 1);
+  let tm = Pool.team_for nthreads in
+  Counters.reset tm.Pool.counters;
+  Atomic.set tm.Pool.failure None;
+  Atomic.set tm.Pool.remaining (nthreads - 1);
+  tm.Pool.work <- f;
+  let telem = Telemetry.Registry.enabled () in
+  tm.Pool.telem <- telem;
+  if telem then begin
+    Atomic.set tm.Pool.started 0;
+    tm.Pool.t0 <- Telemetry.Clock.now_ns ()
+  end;
+  for tid = 1 to nthreads - 1 do
+    Pool.submit Pool.pool.workers.(tid - 1) tm.Pool.jobs.(tid - 1)
+  done;
+  (try f tm.Pool.ctxs.(0)
+   with e -> ignore (Atomic.compare_and_set tm.Pool.failure None (Some e)));
+  (if spin_until (fun () -> Atomic.get tm.Pool.remaining = 0) then
+     Telemetry.Counter.incr spin_c
+   else begin
+     Mutex.lock tm.Pool.done_m;
+     Atomic.set tm.Pool.caller_parked true;
+     while Atomic.get tm.Pool.remaining > 0 do
+       Condition.wait tm.Pool.done_cv tm.Pool.done_m
+     done;
+     Atomic.set tm.Pool.caller_parked false;
+     Mutex.unlock tm.Pool.done_m;
+     Telemetry.Counter.incr park_c
+   end);
+  tm.Pool.work <- ignore;
+  match Atomic.get tm.Pool.failure with Some e -> raise e | None -> ()
+
+let run ~nthreads f =
+  assert (nthreads > 0);
+  if nthreads = 1 then run_single f
+  else if !pool_on && Mutex.try_lock Pool.pool.lock then (
+    match run_pooled ~nthreads f with
+    | () -> Mutex.unlock Pool.pool.lock
+    | exception e ->
+      Mutex.unlock Pool.pool.lock;
+      raise e)
+  else
+    (* pool disabled, or a team is already active (nested / concurrent
+       parallel region): spawning preserves full generality *)
+    run_spawn ~nthreads f
 
 let run_sequential ~nthreads f =
   assert (nthreads > 0);

@@ -3,11 +3,15 @@
     swappable, §II-B).
 
     A team of [nthreads] logical threads executes a function in SPMD style,
-    like an [omp parallel] region. Logical threads are real preemptive
-    threads spread over OCaml domains (true parallelism when cores are
-    available, correct interleaving always), so team barriers and dynamic
-    work-sharing behave like their OpenMP counterparts regardless of the
-    physical core count. *)
+    like an [omp parallel] region. Teams are served by a process-wide
+    persistent worker pool (worker systhreads hosted on carrier domains —
+    or on the dispatcher's own domain when the host has a single core —
+    created lazily and resized on demand, each with a single-slot mailbox
+    and hybrid spin-then-park waiting), so entering a parallel region
+    costs mailbox stores, not thread/domain creation — the property that
+    lets OpenMP amortize thread management across a persistent team. The
+    calling thread participates as logical tid 0. Nested or concurrent
+    teams fall back transparently to spawn-per-call execution. *)
 
 type ctx = {
   tid : int;  (** logical thread id, 0-based *)
@@ -21,8 +25,15 @@ type ctx = {
 
 (** [run ~nthreads f] executes [f ctx] on every logical thread and waits
     for all of them. Exceptions raised by any thread are re-raised (the
-    first one observed) after the team finishes. *)
+    first one observed) after the team finishes; a raising worker returns
+    to the pool and stays usable. *)
 val run : nthreads:int -> (ctx -> unit) -> unit
+
+(** Spawn-per-call execution: fresh domains and systhreads for this team
+    only. Same semantics as {!run}. This is the fallback used for nested
+    and concurrent teams, and the baseline the dispatch-overhead
+    benchmark measures the pool against. *)
+val run_spawn : nthreads:int -> (ctx -> unit) -> unit
 
 (** Sequential "trace" execution: runs logical threads one after another
     (tid order) with barriers as no-ops and [fetch_chunk] replaced by a
@@ -30,5 +41,16 @@ val run : nthreads:int -> (ctx -> unit) -> unit
     extract per-thread access traces without timing effects. *)
 val run_sequential : nthreads:int -> (ctx -> unit) -> unit
 
-(** Number of physical domains [run] will use for a team of [n]. *)
+(** Number of physical domains {!run_spawn} will use for a team of [n]. *)
 val domains_for : int -> int
+
+(** Current number of live pool workers (grows monotonically with the
+    largest team seen; the pool persists for the process lifetime). *)
+val pool_size : unit -> int
+
+(** Pool kill-switch, e.g. for A/B measurements: with the pool disabled
+    every {!run} behaves as {!run_spawn}. Defaults to enabled; the
+    environment variable [PARLOOPER_POOL=0] disables it at startup. *)
+val pool_enabled : unit -> bool
+
+val set_pool_enabled : bool -> unit

@@ -98,6 +98,21 @@ let jit_evictions_name = "parlooper.jit.evictions"
 let jit_compile_ns_name = "parlooper.jit.compile_ns"
 let barrier_wait_ns_name = "parlooper.barrier_wait_ns"
 
+(* ---- persistent worker-pool counter names (owned by Team) ---- *)
+
+let pool_dispatches_name = "parlooper.pool.dispatches"
+let pool_reuse_name = "parlooper.pool.worker_reuse"
+let pool_spin_name = "parlooper.pool.spin_wakeups"
+let pool_park_name = "parlooper.pool.park_wakeups"
+let pool_workers_name = "parlooper.pool.workers_spawned"
+let pool_dispatch_ns_name = "parlooper.pool.dispatch_ns"
+
+(* ---- scratch-arena counter names (owned by Tpp.Scratch) ---- *)
+
+let arena_hits_name = "tpp.arena.hits"
+let arena_misses_name = "tpp.arena.misses"
+let arena_bytes_name = "tpp.arena.bytes"
+
 (* ---- lifecycle ---- *)
 
 let reset () =

@@ -59,6 +59,28 @@ val jit_evictions_name : string
 val jit_compile_ns_name : string
 val barrier_wait_ns_name : string
 
+(** Counter names written by the persistent worker pool (Team): jobs
+    dispatched to pool workers, jobs run by an already-warm worker
+    (reuse), wake-ups satisfied in the spin phase vs after parking, and
+    total workers ever spawned. [pool_dispatch_ns_name] is a histogram of
+    per-team dispatch latency (run start to last worker picking up its
+    job), fed only while the registry is enabled. *)
+val pool_dispatches_name : string
+
+val pool_reuse_name : string
+val pool_spin_name : string
+val pool_park_name : string
+val pool_workers_name : string
+val pool_dispatch_ns_name : string
+
+(** Counter names written by the TPP scratch arena: leases served from a
+    warm buffer, leases that had to allocate, and cumulative bytes
+    allocated by misses. *)
+val arena_hits_name : string
+
+val arena_misses_name : string
+val arena_bytes_name : string
+
 (** Clear kernel stats, predictions, spans and zero all counters and
     histograms. *)
 val reset : unit -> unit

@@ -32,10 +32,12 @@ let softmax_rows_backward ~y ~dy ~dx =
 
 type layernorm_stats = { mean : float array; rstd : float array }
 
-let layernorm_rows ~eps ~inp ~gamma ~beta ~out =
+(* shared row loop; [record] receives each row's (mean, rstd) so the
+   training variant can save them for backward while the inference
+   variant allocates nothing *)
+let layernorm_core ~eps ~inp ~gamma ~beta ~out ~record =
   let rows = inp.View.rows and cols = inp.View.cols in
   assert (gamma.View.cols = cols && beta.View.cols = cols);
-  let stats = { mean = Array.make rows 0.0; rstd = Array.make rows 0.0 } in
   let fcols = float_of_int cols in
   for i = 0 to rows - 1 do
     let m = ref 0.0 in
@@ -49,14 +51,23 @@ let layernorm_rows ~eps ~inp ~gamma ~beta ~out =
       v := !v +. (d *. d)
     done;
     let rstd = 1.0 /. sqrt ((!v /. fcols) +. eps) in
-    stats.mean.(i) <- mean;
-    stats.rstd.(i) <- rstd;
+    record i mean rstd;
     for j = 0 to cols - 1 do
       let nx = (View.get inp i j -. mean) *. rstd in
       View.set out i j ((nx *. View.get gamma 0 j) +. View.get beta 0 j)
     done
-  done;
+  done
+
+let layernorm_rows ~eps ~inp ~gamma ~beta ~out =
+  let rows = inp.View.rows in
+  let stats = { mean = Array.make rows 0.0; rstd = Array.make rows 0.0 } in
+  layernorm_core ~eps ~inp ~gamma ~beta ~out ~record:(fun i mean rstd ->
+      stats.mean.(i) <- mean;
+      stats.rstd.(i) <- rstd);
   stats
+
+let layernorm_rows_nostats ~eps ~inp ~gamma ~beta ~out =
+  layernorm_core ~eps ~inp ~gamma ~beta ~out ~record:(fun _ _ _ -> ())
 
 let layernorm_rows_backward ~stats ~x ~gamma ~dy ~dx ~dgamma ~dbeta =
   let rows = x.View.rows and cols = x.View.cols in

@@ -24,6 +24,17 @@ val layernorm_rows :
   out:Tensor.View.t ->
   layernorm_stats
 
+(** Inference-path layernorm: identical numerics to {!layernorm_rows} but
+    records no statistics and allocates nothing — the variant DNN forward
+    passes use on the serving hot path. *)
+val layernorm_rows_nostats :
+  eps:float ->
+  inp:Tensor.View.t ->
+  gamma:Tensor.View.t ->
+  beta:Tensor.View.t ->
+  out:Tensor.View.t ->
+  unit
+
 (** Backward of row layernorm. [x] is the saved input. Accumulates
     dgamma/dbeta ([1 x cols] views, caller zeroes them first). *)
 val layernorm_rows_backward :

@@ -28,7 +28,8 @@ let config_to_string c =
 
 (* Kernels are stateless (safe to share across threads from the dispatch
    cache); the FP32 accumulator — the emulated tile-register file — is
-   allocated per invocation. *)
+   leased from the calling thread's scratch arena per invocation, so
+   after warm-up the hot path allocates nothing. *)
 type kernel = { cfg : config }
 
 let compile cfg = { cfg }
@@ -38,20 +39,37 @@ let config_of k = k.cfg
 let load_acc ker acc (c : View.t) =
   let { m; n; beta; _ } = ker.cfg in
   if beta = 0.0 then Array.fill acc 0 (m * n) 0.0
-  else
+  else begin
+    let cdata = c.View.data and cld = c.View.ld in
     for i = 0 to m - 1 do
+      let crow = c.View.off + (i * cld) and arow = i * n in
       for j = 0 to n - 1 do
-        acc.((i * n) + j) <- View.get c i j
+        Array.unsafe_set acc (arow + j)
+          (Bigarray.Array1.unsafe_get cdata (crow + j))
       done
     done
+  end
 
+(* the store quantizes to C's dtype; the dtype dispatch is hoisted out of
+   the loop so the F32 path stays free of boxing *)
 let store_acc ker acc (c : View.t) =
   let { m; n; _ } = ker.cfg in
-  for i = 0 to m - 1 do
-    for j = 0 to n - 1 do
-      View.set c i j acc.((i * n) + j)
+  let cdata = c.View.data and cld = c.View.ld in
+  match c.View.dtype with
+  | Datatype.F32 ->
+    for i = 0 to m - 1 do
+      let crow = c.View.off + (i * cld) and arow = i * n in
+      for j = 0 to n - 1 do
+        Bigarray.Array1.unsafe_set cdata (crow + j)
+          (Array.unsafe_get acc (arow + j))
+      done
     done
-  done
+  | _ ->
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        View.set c i j acc.((i * n) + j)
+      done
+    done
 
 (* One batch step: acc += A x B with A at element offset [oa] from [a]'s
    origin and B at [ob] from [b]'s. The i-k-j loop order walks both B and
@@ -72,9 +90,9 @@ let accumulate ker acc (a : View.t) (b : View.t) oa ob =
         if av <> 0.0 then begin
           let brow = bbase + (p * bldb) in
           for j = 0 to n - 1 do
-            acc.(crow + j) <-
-              acc.(crow + j)
-              +. (av *. Bigarray.Array1.unsafe_get bdata (brow + j))
+            Array.unsafe_set acc (crow + j)
+              (Array.unsafe_get acc (crow + j)
+              +. (av *. Bigarray.Array1.unsafe_get bdata (brow + j)))
           done
         end
       done
@@ -91,9 +109,9 @@ let accumulate ker acc (a : View.t) (b : View.t) oa ob =
         if av <> 0.0 then begin
           let brow = bbase + (p / v * bldb) + (p mod v) in
           for j = 0 to n - 1 do
-            acc.(crow + j) <-
-              acc.(crow + j)
-              +. (av *. Bigarray.Array1.unsafe_get bdata (brow + (j * v)))
+            Array.unsafe_set acc (crow + j)
+              (Array.unsafe_get acc (crow + j)
+              +. (av *. Bigarray.Array1.unsafe_get bdata (brow + (j * v))))
           done
         end
       done
@@ -109,38 +127,45 @@ let check_views ker ~(a : View.t) ~(b : View.t) ~(c : View.t) =
     assert (b.View.rows >= k / v && b.View.cols >= n * v));
   assert (c.View.rows >= m && c.View.cols >= n)
 
-let fresh_acc ker = Array.make (ker.cfg.m * ker.cfg.n) 0.0
-
 let exec_stride ker ~a ~b ~c ~stride_a ~stride_b ~count =
   check_views ker ~a ~b ~c;
-  let acc = fresh_acc ker in
+  let ar = Scratch.arena () in
+  let acc = Scratch.lease ar (ker.cfg.m * ker.cfg.n) in
   load_acc ker acc c;
   for i = 0 to count - 1 do
     accumulate ker acc a b (i * stride_a) (i * stride_b)
   done;
-  store_acc ker acc c
+  store_acc ker acc c;
+  Scratch.release ar acc
 
 let exec_offsets ker ~a ~b ~c ~offs_a ~offs_b =
   assert (Array.length offs_a = Array.length offs_b);
   check_views ker ~a ~b ~c;
-  let acc = fresh_acc ker in
+  let ar = Scratch.arena () in
+  let acc = Scratch.lease ar (ker.cfg.m * ker.cfg.n) in
   load_acc ker acc c;
   for i = 0 to Array.length offs_a - 1 do
     accumulate ker acc a b offs_a.(i) offs_b.(i)
   done;
-  store_acc ker acc c
+  store_acc ker acc c;
+  Scratch.release ar acc
 
 let exec_list ker ~ab ~c =
   match ab with
   | [] ->
-    if ker.cfg.beta = 0.0 then begin
-      let acc = fresh_acc ker in
-      load_acc ker acc c;
-      store_acc ker acc c
-    end
+    (* empty batch: the contraction contributes nothing, so beta = 0 just
+       means "zero the C block" — no accumulator round trip *)
+    if ker.cfg.beta = 0.0 then
+      let { m; n; _ } = ker.cfg in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          View.set c i j 0.0
+        done
+      done
   | (a0, b0) :: _ ->
     check_views ker ~a:a0 ~b:b0 ~c;
-    let acc = fresh_acc ker in
+    let ar = Scratch.arena () in
+    let acc = Scratch.lease ar (ker.cfg.m * ker.cfg.n) in
     load_acc ker acc c;
     List.iter
       (fun ((a : View.t), (b : View.t)) ->
@@ -150,7 +175,8 @@ let exec_list ker ~ab ~c =
           { b with View.off = 0 }
           a.View.off b.View.off)
       ab;
-    store_acc ker acc c
+    store_acc ker acc c;
+    Scratch.release ar acc
 
 let exec ker ~a ~b ~c = exec_stride ker ~a ~b ~c ~stride_a:0 ~stride_b:0 ~count:1
 

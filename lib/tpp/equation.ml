@@ -6,7 +6,7 @@ type expr =
   | Unary of Tpp_unary.op * expr
   | Binary of Tpp_binary.op * expr * expr
 
-type t = { expr : expr; nargs : int }
+type t = { expr : expr; nargs : int; staged : float array -> float }
 
 exception Invalid_equation of string
 
@@ -28,11 +28,6 @@ let rec validate nargs = function
   | Binary (_, a, b) ->
     validate nargs a;
     validate nargs b
-
-let compile ~nargs expr =
-  if nargs < 0 then raise (Invalid_equation "negative nargs");
-  validate nargs expr;
-  { expr; nargs }
 
 let nargs t = t.nargs
 
@@ -62,7 +57,8 @@ let binary_fn = function
   | Tpp_binary.Max -> Float.max
   | Tpp_binary.Min -> Float.min
 
-(* stage the tree into a closure once, then apply per element *)
+(* stage the tree into a closure once, at compile time, then apply per
+   element *)
 let rec stage = function
   | Arg i -> fun (args : float array) -> args.(i)
   | Const c -> fun _ -> c
@@ -72,6 +68,11 @@ let rec stage = function
   | Binary (op, a, b) ->
     let f = binary_fn op and fa = stage a and fb = stage b in
     fun args -> f (fa args) (fb args)
+
+let compile ~nargs expr =
+  if nargs < 0 then raise (Invalid_equation "negative nargs");
+  validate nargs expr;
+  { expr; nargs; staged = stage expr }
 
 let exec t ~args ~out =
   if Array.length args <> t.nargs then
@@ -84,16 +85,18 @@ let exec t ~args ~out =
       if a.View.rows <> out.View.rows || a.View.cols <> out.View.cols then
         raise (Invalid_equation "argument/output shape mismatch"))
     args;
-  let f = stage t.expr in
-  let cell = Array.make t.nargs 0.0 in
+  let f = t.staged in
+  let ar = Scratch.arena () in
+  let cell = Scratch.lease ar t.nargs in
   for i = 0 to out.View.rows - 1 do
     for j = 0 to out.View.cols - 1 do
       for a = 0 to t.nargs - 1 do
-        cell.(a) <- View.get args.(a) i j
+        Array.unsafe_set cell a (View.get (Array.unsafe_get args a) i j)
       done;
       View.set out i j (f cell)
     done
-  done
+  done;
+  Scratch.release ar cell
 
 let bias_gelu =
   compile ~nargs:2 (Unary (Tpp_unary.Gelu, Binary (Tpp_binary.Add, Arg 0, Arg 1)))

@@ -1,0 +1,81 @@
+let hits_c =
+  Telemetry.Counter.find_or_create Telemetry.Registry.arena_hits_name
+
+let misses_c =
+  Telemetry.Counter.find_or_create Telemetry.Registry.arena_misses_name
+
+let bytes_c =
+  Telemetry.Counter.find_or_create Telemetry.Registry.arena_bytes_name
+
+type slot = { buf : float array; mutable busy : bool }
+
+(* slots as a list: pushes allocate only on the miss path and the scan
+   allocates nothing, keeping the lease hot path GC-silent *)
+type arena = { mutable slots : slot list; mutable nbytes : int }
+
+(* keyed by systhread id; the registry lock is only for table lookup —
+   arena contents are owned by one thread and accessed without locks *)
+let arenas : (int, arena) Hashtbl.t = Hashtbl.create 16
+let arenas_lock = Mutex.create ()
+
+let arena () =
+  let id = Thread.id (Thread.self ()) in
+  Mutex.lock arenas_lock;
+  let a =
+    try Hashtbl.find arenas id
+    with Not_found ->
+      let a = { slots = []; nbytes = 0 } in
+      Hashtbl.replace arenas id a;
+      a
+  in
+  Mutex.unlock arenas_lock;
+  a
+
+let rec find_free size = function
+  | [] -> raise Not_found
+  | s :: tl ->
+    if (not s.busy) && Array.length s.buf = size then s else find_free size tl
+
+let lease a size =
+  assert (size >= 0);
+  match find_free size a.slots with
+  | s ->
+    s.busy <- true;
+    Telemetry.Counter.incr hits_c;
+    s.buf
+  | exception Not_found ->
+    let s = { buf = Array.make size 0.0; busy = true } in
+    a.slots <- s :: a.slots;
+    a.nbytes <- a.nbytes + (8 * size);
+    Telemetry.Counter.incr misses_c;
+    Telemetry.Counter.add bytes_c (8 * size);
+    s.buf
+
+let rec find_slot buf = function
+  | [] -> raise Not_found
+  | s :: tl -> if s.buf == buf then s else find_slot buf tl
+
+let release a buf =
+  match find_slot buf a.slots with
+  | s -> s.busy <- false
+  | exception Not_found ->
+    invalid_arg "Scratch.release: buffer was not leased from this arena"
+
+let total_bytes () =
+  Mutex.lock arenas_lock;
+  let n = Hashtbl.fold (fun _ a acc -> acc + a.nbytes) arenas 0 in
+  Mutex.unlock arenas_lock;
+  n
+
+let total_slots () =
+  Mutex.lock arenas_lock;
+  let n =
+    Hashtbl.fold (fun _ a acc -> acc + List.length a.slots) arenas 0
+  in
+  Mutex.unlock arenas_lock;
+  n
+
+let reset () =
+  Mutex.lock arenas_lock;
+  Hashtbl.reset arenas;
+  Mutex.unlock arenas_lock

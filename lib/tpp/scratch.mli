@@ -1,0 +1,48 @@
+(** Per-thread scratch arenas for kernel accumulators.
+
+    TPP kernels are stateless and shareable across threads, but their
+    emulated tile-register file (the FP32 accumulator) needs backing
+    storage per invocation. Allocating it fresh on every call puts GC
+    pressure on the hottest loop in the stack; the arena instead hands
+    out size-keyed reusable [float array] buffers owned by the calling
+    thread, so after the first call of each shape the kernel hot path
+    allocates nothing.
+
+    Arenas are keyed by execution thread (not domain: systhreads
+    multiplexed onto one domain interleave at safepoints, so a
+    domain-local buffer could be leased twice concurrently). Looking up
+    the calling thread's arena takes a global lock but allocates nothing;
+    all lease/release traffic on the arena itself is lock-free because
+    only its owner touches it. Persistent pool workers (see
+    {!Team}) therefore keep their arenas warm across team dispatches.
+
+    Lease hits/misses and bytes allocated are published on the
+    [tpp.arena.*] telemetry counters. *)
+
+type arena
+
+(** The calling thread's arena (created on first use). *)
+val arena : unit -> arena
+
+(** [lease a n] returns a buffer of exactly [n] elements, contents
+    unspecified. Must only be called on the calling thread's own arena,
+    and the buffer must be {!release}d (to the same arena) before the
+    thread leases more than it ever releases — unreleased buffers are not
+    reused and count as leaked slots. Nested leases of the same size are
+    safe: a busy slot is never handed out twice. *)
+val lease : arena -> int -> float array
+
+(** Return a leased buffer to its arena. Raises [Invalid_argument] if the
+    buffer was not leased from [a]. *)
+val release : arena -> float array -> unit
+
+(** Total bytes currently held by all arenas (live buffers, leased or
+    free). *)
+val total_bytes : unit -> int
+
+(** Number of slots (free + busy) across all arenas. *)
+val total_slots : unit -> int
+
+(** Drop every arena and its buffers. Only safe when no kernel is in
+    flight; intended for tests. Telemetry counters are not reset. *)
+val reset : unit -> unit

@@ -28,7 +28,9 @@ let exec ker ~a ~block_row ~b ~col ~c =
   assert (a.Bcsc.bm = bm && a.Bcsc.bk = bk);
   assert (c.View.rows >= bm && c.View.cols >= n);
   let v = Datatype.vnni_factor dtype in
-  let acc = Array.make (bm * n) 0.0 in
+  let ar = Scratch.arena () in
+  let acc = Scratch.lease ar (bm * n) in
+  if beta = 0.0 then Array.fill acc 0 (bm * n) 0.0;
   if beta <> 0.0 then
     for i = 0 to bm - 1 do
       for j = 0 to n - 1 do
@@ -49,9 +51,9 @@ let exec ker ~a ~block_row ~b ~col ~c =
             let lp = (jb * bk) + p in
             let boff = bbase + (lp / v * b.View.ld) + (lp mod v) in
             for j = 0 to n - 1 do
-              acc.(crow + j) <-
-                acc.(crow + j)
-                +. (av *. Bigarray.Array1.unsafe_get bdata (boff + (j * v)))
+              Array.unsafe_set acc (crow + j)
+                (Array.unsafe_get acc (crow + j)
+                +. (av *. Bigarray.Array1.unsafe_get bdata (boff + (j * v))))
             done
           end
         done
@@ -61,7 +63,8 @@ let exec ker ~a ~block_row ~b ~col ~c =
     for j = 0 to n - 1 do
       View.set c i j acc.((i * n) + j)
     done
-  done
+  done;
+  Scratch.release ar acc
 
 let effective_flops cfg ~a ~block_row =
   let nblocks = Array.length (Bcsc.row_blocks a block_row) in

@@ -346,6 +346,95 @@ let test_team_dynamic_chunks_disjoint () =
       done);
   checkb "each claimed once" true (Array.for_all (( = ) 1) claimed)
 
+(* ---- persistent pool ---- *)
+
+let thread_ids_for_run n =
+  let ids = Array.make n (-1) in
+  Team.run ~nthreads:n (fun ctx ->
+      ids.(ctx.Team.tid) <- Thread.id (Thread.self ()));
+  ids
+
+let test_pool_worker_reuse () =
+  checkb "pool enabled by default" true (Team.pool_enabled ());
+  let n = 3 in
+  let first = thread_ids_for_run n in
+  checkb "caller is tid 0" true
+    (first.(0) = Thread.id (Thread.self ()));
+  for _ = 1 to 5 do
+    let again = thread_ids_for_run n in
+    checkb "same workers serve successive teams" true (again = first)
+  done;
+  checkb "pool retains workers" true (Team.pool_size () >= n - 1);
+  let reused = Telemetry.Counter.value Telemetry.Registry.pool_reuse_name in
+  checkb "worker reuse counted" true (reused > 0)
+
+let test_pool_exception_leaves_pool_usable () =
+  (match
+     Team.run ~nthreads:3 (fun ctx ->
+         if ctx.Team.tid = 2 then failwith "pool-boom")
+   with
+  | exception Failure m -> Alcotest.(check string) "message" "pool-boom" m
+  | _ -> Alcotest.fail "expected exception");
+  (* the same team must still execute correctly afterwards *)
+  let hits = Atomic.make 0 in
+  Team.run ~nthreads:3 (fun _ -> Atomic.incr hits);
+  checki "pool usable after exception" 3 (Atomic.get hits)
+
+let test_pool_barrier_stress () =
+  (* hundreds of barrier generations with jittered bodies: any missed or
+     double wakeup shows up as a phase-ordering violation *)
+  let n = 4 and iters = 300 in
+  let counter = Atomic.make 0 in
+  let ok = Atomic.make true in
+  Team.run ~nthreads:n (fun ctx ->
+      for p = 1 to iters do
+        (* jitter: stagger arrival order per phase and per thread *)
+        let spin = (ctx.Team.tid * 37) + (p * 13) mod 211 in
+        let acc = ref 0 in
+        for i = 1 to spin do
+          acc := !acc + i
+        done;
+        ignore !acc;
+        Atomic.incr counter;
+        ctx.Team.barrier ();
+        if Atomic.get counter < p * n then Atomic.set ok false;
+        ctx.Team.barrier ()
+      done);
+  checkb "no phase violation" true (Atomic.get ok);
+  checki "all increments" (n * iters) (Atomic.get counter)
+
+let test_pool_nested_region_falls_back () =
+  (* a nested parallel region while the pool lock is held must fall back
+     to spawning and still run to completion with correct semantics *)
+  let total = Atomic.make 0 in
+  Team.run ~nthreads:2 (fun _ ->
+      Team.run ~nthreads:2 (fun _ -> Atomic.incr total));
+  checki "nested teams all ran" 4 (Atomic.get total)
+
+let test_counters_growth_race () =
+  (* many work-sharing instances claimed concurrently: the instance table
+     grows under contention and every chunk is handed out exactly once *)
+  let exercise runner =
+    let n = 4 and instances = 64 in
+    let claims = Array.init instances (fun _ -> Array.make n (-1)) in
+    runner ~nthreads:n (fun ctx ->
+        (* stagger the instance order per thread so growth is contended *)
+        for k = 0 to instances - 1 do
+          let inst = (k + (ctx.Team.tid * 17)) mod instances in
+          let v = ctx.Team.fetch_chunk ~instance:inst ~chunk:1 in
+          if v < n then claims.(inst).(v) <- ctx.Team.tid
+        done);
+    Array.iteri
+      (fun i per ->
+        checkb
+          (Printf.sprintf "instance %d fully claimed" i)
+          true
+          (Array.for_all (fun t -> t >= 0) per))
+      claims
+  in
+  exercise Team.run;
+  exercise Team.run_spawn
+
 (* ---- jit cache ---- *)
 
 let test_jit_cache () =
@@ -495,6 +584,17 @@ let () =
           Alcotest.test_case "exceptions" `Quick test_team_exception_propagates;
           Alcotest.test_case "dynamic chunks" `Quick
             test_team_dynamic_chunks_disjoint;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "worker reuse" `Quick test_pool_worker_reuse;
+          Alcotest.test_case "exception leaves pool usable" `Quick
+            test_pool_exception_leaves_pool_usable;
+          Alcotest.test_case "barrier stress" `Quick test_pool_barrier_stress;
+          Alcotest.test_case "nested fallback" `Quick
+            test_pool_nested_region_falls_back;
+          Alcotest.test_case "counters growth race" `Quick
+            test_counters_growth_race;
         ] );
       ( "cache",
         [

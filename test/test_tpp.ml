@@ -442,6 +442,86 @@ let test_batchnorm_apply () =
     (((3.0 -. 1.5) *. (2.0 /. sqrt 1.25)) +. 0.5)
     (Tensor.get y [| 1; 1 |])
 
+(* ---- scratch arena & allocation-free hot path ---- *)
+
+let test_arena_lease_release_reuse () =
+  Scratch.reset ();
+  let ar = Scratch.arena () in
+  let misses0 = Telemetry.Counter.value Telemetry.Registry.arena_misses_name in
+  let hits0 = Telemetry.Counter.value Telemetry.Registry.arena_hits_name in
+  let b1 = Scratch.lease ar 64 in
+  checki "first lease is a miss" (misses0 + 1)
+    (Telemetry.Counter.value Telemetry.Registry.arena_misses_name);
+  (* a busy slot is never handed out twice *)
+  let b2 = Scratch.lease ar 64 in
+  checkb "nested lease gets a distinct buffer" true (not (b1 == b2));
+  Scratch.release ar b1;
+  Scratch.release ar b2;
+  let b3 = Scratch.lease ar 64 in
+  checkb "released buffer is reused" true (b3 == b1 || b3 == b2);
+  checki "reuse is a hit" (hits0 + 1)
+    (Telemetry.Counter.value Telemetry.Registry.arena_hits_name);
+  Scratch.release ar b3;
+  checki "two slots live" 2 (Scratch.total_slots ());
+  checki "bytes accounted" (2 * 64 * 8) (Scratch.total_bytes ());
+  (match Scratch.release ar (Array.make 64 0.0) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument for foreign buffer");
+  Scratch.reset ();
+  checki "reset drops slots" 0 (Scratch.total_slots ())
+
+let test_brgemm_hot_loop_allocates_nothing () =
+  (* after warmup, exec_stride must not touch the minor heap: the
+     accumulator comes from the arena and loads/stores go through
+     unboxed bigarray primitives *)
+  let rng = Prng.create 11 in
+  let a = random_tensor rng 16 32 and b = random_tensor rng 32 16 in
+  let c = Tensor.create Datatype.F32 [| 16; 16 |] in
+  let ker =
+    Brgemm.compile (Brgemm.make_config ~beta:0.0 ~m:16 ~n:16 ~k:16 ())
+  in
+  let va = Tensor.view2d a and vb = Tensor.view2d b and vc = Tensor.view2d c in
+  let exec () =
+    Brgemm.exec_stride ker ~a:va ~b:vb ~c:vc ~stride_a:16 ~stride_b:(16 * 16)
+      ~count:2
+  in
+  for _ = 1 to 50 do exec () done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 200 do exec () done;
+  let delta = Gc.minor_words () -. before in
+  if delta > 64.0 then
+    Alcotest.failf "BRGEMM hot loop allocated %.0f minor words / 200 execs"
+      delta
+
+let test_brgemm_list_empty_beta0_zero_fills () =
+  let c = tensor_of 3 3 (fun _ _ -> 7.0) in
+  let ker0 = Brgemm.compile (Brgemm.make_config ~beta:0.0 ~m:3 ~n:3 ~k:4 ()) in
+  Brgemm.exec_list ker0 ~ab:[] ~c:(Tensor.view2d c);
+  checkb "beta=0 empty batch zeroes C" true
+    (List.for_all (( = ) 0.0) (Tensor.to_list c));
+  let c1 = tensor_of 3 3 (fun _ _ -> 7.0) in
+  let ker1 = Brgemm.compile (Brgemm.make_config ~beta:1.0 ~m:3 ~n:3 ~k:4 ()) in
+  Brgemm.exec_list ker1 ~ab:[] ~c:(Tensor.view2d c1);
+  checkb "beta=1 empty batch leaves C" true
+    (List.for_all (( = ) 7.0) (Tensor.to_list c1))
+
+let test_layernorm_nostats_matches_stats () =
+  let rng = Prng.create 12 in
+  let x = random_tensor rng 4 16 in
+  let gamma = tensor_of 1 16 (fun _ j -> 1.0 +. (0.01 *. float_of_int j)) in
+  let beta = tensor_of 1 16 (fun _ j -> 0.02 *. float_of_int j) in
+  let y1 = Tensor.create Datatype.F32 [| 4; 16 |] in
+  let y2 = Tensor.create Datatype.F32 [| 4; 16 |] in
+  let _stats =
+    Blocks.layernorm_rows ~eps:1e-5 ~inp:(Tensor.view2d x)
+      ~gamma:(Tensor.view2d gamma) ~beta:(Tensor.view2d beta)
+      ~out:(Tensor.view2d y1)
+  in
+  Blocks.layernorm_rows_nostats ~eps:1e-5 ~inp:(Tensor.view2d x)
+    ~gamma:(Tensor.view2d gamma) ~beta:(Tensor.view2d beta)
+    ~out:(Tensor.view2d y2);
+  checkb "nostats == stats" true (Tensor.max_abs_diff y1 y2 = 0.0)
+
 (* ---- dispatch ---- *)
 
 let test_dispatch_cache () =
@@ -502,6 +582,17 @@ let () =
           Alcotest.test_case "dropout p=0" `Quick test_dropout_p0_identity;
           Alcotest.test_case "dropout mask" `Quick test_dropout_mask_consistency;
           Alcotest.test_case "batchnorm" `Quick test_batchnorm_apply;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "lease/release/reuse" `Quick
+            test_arena_lease_release_reuse;
+          Alcotest.test_case "brgemm hot loop allocation-free" `Quick
+            test_brgemm_hot_loop_allocates_nothing;
+          Alcotest.test_case "empty batch beta=0" `Quick
+            test_brgemm_list_empty_beta0_zero_fills;
+          Alcotest.test_case "layernorm nostats" `Quick
+            test_layernorm_nostats_matches_stats;
         ] );
       ("dispatch", [ Alcotest.test_case "cache" `Quick test_dispatch_cache ]);
     ]
