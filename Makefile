@@ -1,4 +1,4 @@
-.PHONY: all build test fmt smoke-serve smoke-pool ci clean
+.PHONY: all build test fmt smoke-serve smoke-pool smoke-chaos ci clean
 
 all: build
 
@@ -26,12 +26,20 @@ smoke-pool: build
 	dune exec bench/main.exe -- dispatch --json /tmp/bench-pool.json
 	@test -s /tmp/bench-pool.json && echo "smoke-pool: /tmp/bench-pool.json ok"
 
+# Chaos smoke (~2 s): the serve loop under the default seeded fault
+# plan (every fault-site class fires). The bench binary exits non-zero
+# if any liveness/ledger/bit-identity invariant is violated, if no
+# fault was actually injected, or if the bench JSON fails Json_check.
+smoke-chaos: build
+	dune exec bench/main.exe -- --chaos --json /tmp/bench-chaos.json
+	@test -s /tmp/bench-chaos.json && echo "smoke-chaos: /tmp/bench-chaos.json ok"
+
 # Single gate run by CI and before every commit: formatting must be
 # canonical (dune files; ocamlformat is not in the pinned toolchain),
 # everything must build, the full tier-1 suite must pass, and the
 # serving and pooled-dispatch paths must produce valid machine-readable
 # output.
-ci: fmt build test smoke-serve smoke-pool
+ci: fmt build test smoke-serve smoke-pool smoke-chaos
 
 clean:
 	dune clean

@@ -396,6 +396,62 @@ let run_serve ~rate ~duration () =
         ("tpot_p95_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p95);
         ("tpot_p99_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p99) ]
 
+(* ---- chaos harness (--chaos): seeded fault injection over serving ----
+
+   Runs Serve.Chaos: a fault-free reference pass and a chaos pass over
+   the same virtual-clock trace, with the default plan covering every
+   fault-site class. Exits non-zero if any liveness/ledger/bit-identity
+   invariant is violated or if no fault actually fired (a plan that
+   injects nothing would make the "survived chaos" claim vacuous). *)
+
+let chaos_failed = ref false
+
+let run_chaos ~seed ~requests () =
+  Modelkit.section
+    (Printf.sprintf
+       "chaos: serve loop under seeded fault injection (seed %d, %d requests)"
+       seed requests);
+  let config = { Serve.Chaos.default with Serve.Chaos.seed; requests } in
+  let plan =
+    match config.Serve.Chaos.plan with
+    | Some p -> p
+    | None -> Serve.Chaos.default_plan seed
+  in
+  Printf.printf "  plan: %s\n%!" (Fault.plan_to_string plan);
+  let r = Serve.Chaos.run ~config () in
+  print_string (Serve.Chaos.report_to_string r);
+  let f = float_of_int in
+  record_bench ~name:"chaos"
+    ~config:
+      [ ("seed", string_of_int seed); ("requests", string_of_int requests);
+        ("plan", Fault.plan_to_string plan) ]
+    ~metrics:
+      [ ("steps", f r.Serve.Chaos.steps);
+        ("submitted", f r.Serve.Chaos.submitted);
+        ("finished", f r.Serve.Chaos.finished);
+        ("rejected", f r.Serve.Chaos.rejected);
+        ("cancelled", f r.Serve.Chaos.cancelled);
+        ("failed", f r.Serve.Chaos.failed);
+        ("compared", f r.Serve.Chaos.compared);
+        ("mismatched", f r.Serve.Chaos.mismatched);
+        ("fault_injected", f r.Serve.Chaos.injected);
+        ("fault_retries", f r.Serve.Chaos.retries);
+        ("fault_shed", f r.Serve.Chaos.shed);
+        ("kv_denied", f r.Serve.Chaos.denied);
+        ("watchdog_trips", f r.Serve.Chaos.trips);
+        ("pool_quarantined", f r.Serve.Chaos.quarantined);
+        ("numeric_errors", f r.Serve.Chaos.numeric_errors);
+        ("violations", f (List.length r.Serve.Chaos.violations)) ];
+  if r.Serve.Chaos.violations <> [] then begin
+    Printf.eprintf "chaos: %d invariant violation(s)\n"
+      (List.length r.Serve.Chaos.violations);
+    chaos_failed := true
+  end;
+  if r.Serve.Chaos.injected = 0 then begin
+    Printf.eprintf "chaos: plan injected no faults — run proves nothing\n";
+    chaos_failed := true
+  end
+
 (* ---- experiment registry ---- *)
 
 let experiments =
@@ -429,7 +485,8 @@ let run_all () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [EXPERIMENT...] [--serve] [--serve-rate HZ]\n\
-    \       [--serve-duration S] [--json FILE] [--telemetry]\n\
+    \       [--serve-duration S] [--chaos] [--chaos-seed N]\n\
+    \       [--chaos-requests N] [--json FILE] [--telemetry]\n\
      experiments: %s\n"
     (String.concat ", " (List.map fst experiments));
   exit 1
@@ -440,8 +497,23 @@ let () =
   let serve = ref false in
   let serve_rate = ref 20.0 in
   let serve_duration = ref 5.0 in
+  let chaos = ref false in
+  let chaos_seed = ref 42 in
+  let chaos_requests = ref 24 in
   let json_path = ref None in
   let names = ref [] in
+  let int_arg name rest =
+    match rest with
+    | v :: rest -> (
+      match int_of_string_opt v with
+      | Some i when i > 0 -> (i, rest)
+      | _ ->
+        Printf.eprintf "%s expects a positive integer, got %S\n" name v;
+        exit 1)
+    | [] ->
+      Printf.eprintf "%s expects a value\n" name;
+      exit 1
+  in
   let float_arg name rest =
     match rest with
     | v :: rest -> (
@@ -470,6 +542,26 @@ let () =
       let v, rest = float_arg "--serve-duration" rest in
       serve_duration := v;
       parse rest
+    | "--chaos" :: rest ->
+      chaos := true;
+      parse rest
+    | "--chaos-seed" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some i ->
+        chaos_seed := i;
+        chaos := true;
+        parse rest
+      | None ->
+        Printf.eprintf "--chaos-seed expects an integer, got %S\n" v;
+        exit 1)
+    | "--chaos-seed" :: [] ->
+      Printf.eprintf "--chaos-seed expects a value\n";
+      exit 1
+    | "--chaos-requests" :: rest ->
+      let v, rest = int_arg "--chaos-requests" rest in
+      chaos_requests := v;
+      chaos := true;
+      parse rest
     | "--json" :: path :: rest ->
       json_path := Some path;
       parse rest
@@ -489,8 +581,8 @@ let () =
     Telemetry.Registry.reset ();
     Telemetry.Registry.enable ()
   end;
-  (match (names, !serve) with
-  | [], true -> ()  (* --serve alone runs only the serving benchmark *)
+  (match (names, !serve || !chaos) with
+  | [], true -> ()  (* --serve/--chaos alone run only those harnesses *)
   | _ :: _, _ ->
     List.iter
       (fun name ->
@@ -503,6 +595,7 @@ let () =
       names
   | [], false -> run_all ());
   if !serve then run_serve ~rate:!serve_rate ~duration:!serve_duration ();
+  if !chaos then run_chaos ~seed:!chaos_seed ~requests:!chaos_requests ();
   if !telemetry then begin
     Telemetry.Registry.disable ();
     let host = Platform.host in
@@ -510,4 +603,5 @@ let () =
       ~peak_gflops:(Platform.peak_gflops host Datatype.F32)
       ~mem_bw_gbs:host.Platform.mem_bw_gbs ()
   end;
-  match !json_path with Some p -> write_bench_json p | None -> ()
+  (match !json_path with Some p -> write_bench_json p | None -> ());
+  if !chaos_failed then exit 1

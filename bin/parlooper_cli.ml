@@ -63,7 +63,19 @@ let make_cfg m n k block dtype =
   Gemm.make_config ~bm:block ~bn:block ~bk:block
     ~dtype:(dtype_of_string dtype) ~m ~n ~k ()
 
+(* validate a user-supplied loop spec up front so a typo produces the
+   parser's structured diagnostic (reason + position) instead of a raised
+   Invalid_spec out of the first dispatch *)
+let check_spec spec =
+  match Spec_parser.parse_result spec with
+  | Ok _ -> ()
+  | Error e ->
+    Printf.eprintf "invalid loop spec %S: %s\n" spec
+      (Spec_parser.error_to_string e);
+    exit 1
+
 let gemm_run m n k block spec threads dtype trace telemetry =
+  check_spec spec;
   let cfg = make_cfg m n k block dtype in
   let traced = telemetry || trace <> None in
   if traced then begin
@@ -142,6 +154,7 @@ let model m n k block dtype platform spec threads =
     Printf.eprintf "unknown platform %s\n" platform;
     exit 1
   | Some p ->
+    check_spec spec;
     let cfg = make_cfg m n k block dtype in
     let r = Gemm_trace.score ~platform:p ~nthreads:threads cfg spec in
     Printf.printf
@@ -278,6 +291,51 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
       exit 1)
   | None -> ()
 
+(* ---- chaos: serve loop under seeded deterministic fault injection ---- *)
+
+let chaos_requests_arg =
+  Arg.(
+    value & opt int 24
+    & info [ "requests" ] ~doc:"number of requests in the chaos trace")
+
+let plan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "plan" ]
+        ~doc:
+          "fault plan, e.g. 'serve.decode:exn@n3+11;serve.kv.acquire:deny@n2'; \
+           rule = site ':' kind ('exn'|'nan'|'deny'|'stall(MS)') ['@' trigger \
+           ('nN[+PERIOD]' | 'pPROB')]. Default: a plan covering every fault \
+           site class.")
+
+let chaos seed requests plan_str =
+  if requests < 1 then begin
+    Printf.eprintf "--requests must be positive\n";
+    exit 1
+  end;
+  let plan =
+    match plan_str with
+    | None -> None
+    | Some s -> (
+      match Fault.plan_of_string ~seed s with
+      | Ok p -> Some p
+      | Error msg ->
+        Printf.eprintf "invalid fault plan: %s\n" msg;
+        exit 1)
+  in
+  let config = { Serve.Chaos.default with Serve.Chaos.seed; requests; plan } in
+  let effective =
+    match plan with Some p -> p | None -> Serve.Chaos.default_plan seed
+  in
+  Printf.printf "chaos: seed %d, %d requests\nplan: %s\n%!" seed requests
+    (Fault.plan_to_string effective);
+  let r = Serve.Chaos.run ~config () in
+  print_string (Serve.Chaos.report_to_string r);
+  if r.Serve.Chaos.injected = 0 then
+    Printf.eprintf "warning: plan injected no faults\n";
+  if r.Serve.Chaos.violations <> [] then exit 1
+
 let gemm_cmd =
   Cmd.v (Cmd.info "gemm" ~doc:"run and verify a PARLOOPER GEMM")
     Term.(
@@ -309,9 +367,17 @@ let serve_cmd =
       $ tokens_min_arg $ tokens_max_arg $ deadline_arg $ queue_arg $ batch_arg
       $ policy_arg $ seed_arg $ threads_arg $ trace_arg $ telemetry_arg)
 
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "run the serve loop under seeded deterministic fault injection and \
+          check liveness, ledger and bit-identical-recovery invariants")
+    Term.(const chaos $ seed_arg $ chaos_requests_arg $ plan_arg)
+
 let () =
   let info = Cmd.info "parlooper" ~doc:"PARLOOPER/TPP kernel toolbox" in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gemm_cmd; tune_cmd; model_cmd; platforms_cmd; serve_cmd ]))
+          [ gemm_cmd; tune_cmd; model_cmd; platforms_cmd; serve_cmd; chaos_cmd ]))

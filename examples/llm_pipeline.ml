@@ -11,7 +11,7 @@ let () =
   let llm = Llm.create ~rng ~block:8 Llm.tiny in
   let n_in = 12 and n_out = 4 in
   let ids = Array.init (n_in + n_out) (fun i -> (i * 5) mod Llm.tiny.Llm.vocab) in
-  let emb = Llm.embed llm ~rng ids in
+  let emb = Llm.embed llm ids in
 
   (* prefill over the prompt *)
   let cache = Llm.new_cache llm in

@@ -108,6 +108,15 @@ let reset_cache c =
   Array.iter (fun e -> e.used <- 0) c.entries;
   c.len <- 0
 
+(* rewind the cache to its state at [len] valid rows, discarding any rows
+   a partially-completed (failed) prefill/decode step appended. Buffers
+   and capacity are untouched, so a retried step re-appends into the same
+   storage and recovery is bit-identical to a run that never failed. *)
+let truncate_cache c len =
+  assert (len >= 0);
+  Array.iter (fun e -> e.used <- min e.used len) c.entries;
+  c.len <- min c.len len
+
 (* copy the first [rows] rows of [src] into [dst] starting at [dst_row];
    both are contiguous [_ x hidden] F32 buffers *)
 let copy_rows ~hidden ~rows (src : Tensor.t) (dst : Tensor.t) ~dst_row =
@@ -205,9 +214,8 @@ let forward_full ?nthreads t x =
   let cache = new_cache t in
   run_tokens ?nthreads t cache x
 
-let embed t ~rng ids =
+let embed t ids =
   (* deterministic per-token-id synthetic embedding *)
-  ignore rng;
   Tensor.init Datatype.F32
     [| Array.length ids; t.cfg.hidden |]
     (fun i ->

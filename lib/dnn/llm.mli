@@ -48,6 +48,12 @@ val cache_capacity : kv_cache -> int
     fast path in [lib/serve]). *)
 val reset_cache : kv_cache -> unit
 
+(** [truncate_cache c len] rewinds the cache to [len] valid rows,
+    discarding rows a partially-completed (failed) step appended; buffers
+    and capacity are untouched, so a retried step re-appends into the
+    same storage and recovery is bit-identical. *)
+val truncate_cache : kv_cache -> int -> unit
+
 (** [prefill t cache embeddings] runs the prefill phase over
     [n_in x hidden] input embeddings, fills the cache and returns the last
     hidden state [1 x hidden] ("first token" computation). *)
@@ -60,8 +66,8 @@ val decode_step : ?nthreads:int -> t -> kv_cache -> Tensor.t -> Tensor.t
 (** Full-sequence forward without a cache (reference for tests). *)
 val forward_full : ?nthreads:int -> t -> Tensor.t -> Tensor.t
 
-(** Random embedding matrix for a token-id sequence (synthetic inputs). *)
-val embed : t -> rng:Prng.t -> int array -> Tensor.t
+(** Deterministic synthetic embedding matrix for a token-id sequence. *)
+val embed : t -> int array -> Tensor.t
 
 (** FLOPs of the prefill phase for [n_in] tokens. *)
 val prefill_flops : config -> n_in:int -> float

@@ -1,0 +1,277 @@
+(* Seeded, deterministic fault injection.
+
+   Code under test registers *injection sites* by name ([site "serve.decode"])
+   and calls [fire] on the hot path.  With no plan installed, [fire] is a
+   single load of an immutable [None] plus an atomic bump — effectively free.
+   Installing a {!plan} arms a subset of the sites: each site keeps a global
+   invocation counter, and a rule's {!trigger} decides, purely from that
+   counter (and the plan seed for probabilistic triggers), on which
+   invocations the fault fires.  Determinism is the whole point: the same
+   plan + seed against the same program produces the same fault schedule,
+   which is what lets the chaos harness assert bit-identical recovery.
+
+   Fault kinds:
+   - [Exn]     raise {!Injected} out of the site;
+   - [Stall s] sleep [s] seconds at the site (exercises watchdogs);
+   - [Nan]     ask the caller to poison its output ([fire] returns [`Nan]);
+   - [Deny]    ask the caller to refuse the resource ([fire] returns [`Deny]).
+
+   Plan grammar (see {!plan_of_string}):
+     plan    := rule (';' rule)*
+     rule    := site ':' kind ['@' trigger]
+     kind    := 'exn' | 'nan' | 'deny' | 'stall' [ '(' float-ms ')' ]
+     trigger := 'n' INT ['+' INT]   -- fire on invocation INT (1-based),
+                                       then every +INT thereafter
+              | 'p' FLOAT           -- seeded Bernoulli per invocation
+   Default trigger is [n1]; default stall duration is 20 ms.
+   Example: "serve.decode:exn@n3+11;serve.kv.acquire:deny@p0.25" *)
+
+type kind =
+  | Exn
+  | Stall of float  (* seconds *)
+  | Nan
+  | Deny
+
+type trigger =
+  | Nth of { first : int; period : int option }  (* 1-based *)
+  | Prob of float
+
+type rule = { rsite : string; rkind : kind; rtrigger : trigger }
+
+type plan = { seed : int; rules : rule list }
+
+exception Injected of { site : string; invocation : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { site; invocation } ->
+      Some
+        (Printf.sprintf "Fault.Injected(site=%s, invocation=%d)" site
+           invocation)
+    | _ -> None)
+
+type site = {
+  sname : string;
+  shash : int64;
+  invocations : int Atomic.t;
+  (* rules of the installed plan that target this site; rebuilt on
+     [install]/[clear] and on late registration *)
+  mutable armed : rule list;
+}
+
+(* splitmix64 finalizer — cheap, well-mixed hash for Prob triggers *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+let site_hash name = mix64 (Int64.of_int (Hashtbl.hash name + 0x9e3779b9))
+
+let registry : (string, site) Hashtbl.t = Hashtbl.create 16
+let registry_lock = Mutex.create ()
+let installed : plan option ref = ref None
+
+let injected_c =
+  Telemetry.Counter.find_or_create Telemetry.Registry.fault_injected_name
+
+let rules_for plan name =
+  List.filter (fun r -> String.equal r.rsite name) plan.rules
+
+let site name =
+  Mutex.lock registry_lock;
+  let s =
+    match Hashtbl.find_opt registry name with
+    | Some s -> s
+    | None ->
+      let s =
+        { sname = name; shash = site_hash name;
+          invocations = Atomic.make 0;
+          armed =
+            (match !installed with
+            | None -> []
+            | Some p -> rules_for p name) }
+      in
+      Hashtbl.add registry name s;
+      s
+  in
+  Mutex.unlock registry_lock;
+  s
+
+let install plan =
+  Mutex.lock registry_lock;
+  installed := Some plan;
+  Hashtbl.iter
+    (fun _ s ->
+      Atomic.set s.invocations 0;
+      s.armed <- rules_for plan s.sname)
+    registry;
+  Mutex.unlock registry_lock
+
+let clear () =
+  Mutex.lock registry_lock;
+  installed := None;
+  Hashtbl.iter
+    (fun _ s ->
+      s.armed <- [];
+      Atomic.set s.invocations 0)
+    registry;
+  Mutex.unlock registry_lock
+
+let active () = !installed
+
+let sites () =
+  Mutex.lock registry_lock;
+  let l =
+    Hashtbl.fold
+      (fun name s acc -> (name, Atomic.get s.invocations) :: acc)
+      registry []
+  in
+  Mutex.unlock registry_lock;
+  List.sort compare l
+
+(* map a (seed, site, invocation) triple to a uniform float in [0, 1) *)
+let draw ~seed ~shash ~invocation =
+  let h =
+    mix64
+      (Int64.logxor shash
+         (Int64.of_int ((seed * 1_000_003) + (invocation * 2_654_435))))
+  in
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+
+let matches ~seed ~shash ~invocation = function
+  | Nth { first; period } -> (
+    invocation = first
+    ||
+    match period with
+    | Some p -> invocation > first && (invocation - first) mod p = 0
+    | None -> false)
+  | Prob q -> draw ~seed ~shash ~invocation < q
+
+let fire s =
+  match !installed with
+  | None -> `None
+  | Some plan -> (
+    let invocation = 1 + Atomic.fetch_and_add s.invocations 1 in
+    match
+      List.find_opt
+        (fun r -> matches ~seed:plan.seed ~shash:s.shash ~invocation r.rtrigger)
+        s.armed
+    with
+    | None -> `None
+    | Some r -> (
+      Telemetry.Counter.incr injected_c;
+      match r.rkind with
+      | Exn -> raise (Injected { site = s.sname; invocation })
+      | Stall sec ->
+        Thread.delay sec;
+        `None
+      | Nan -> `Nan
+      | Deny -> `Deny))
+
+let with_plan plan f =
+  install plan;
+  Fun.protect ~finally:clear f
+
+(* ---- plan printing / parsing ------------------------------------------ *)
+
+let kind_to_string = function
+  | Exn -> "exn"
+  | Nan -> "nan"
+  | Deny -> "deny"
+  | Stall s -> Printf.sprintf "stall(%g)" (s *. 1e3)
+
+let trigger_to_string = function
+  | Nth { first; period = None } -> Printf.sprintf "n%d" first
+  | Nth { first; period = Some p } -> Printf.sprintf "n%d+%d" first p
+  | Prob q -> Printf.sprintf "p%g" q
+
+let rule_to_string r =
+  match r.rtrigger with
+  | Nth { first = 1; period = None } ->
+    (* the default trigger; omit so parse/print round-trips *)
+    Printf.sprintf "%s:%s" r.rsite (kind_to_string r.rkind)
+  | t ->
+    Printf.sprintf "%s:%s@%s" r.rsite (kind_to_string r.rkind)
+      (trigger_to_string t)
+
+let plan_to_string plan =
+  String.concat ";" (List.map rule_to_string plan.rules)
+
+let parse_kind s =
+  match s with
+  | "exn" -> Ok Exn
+  | "nan" -> Ok Nan
+  | "deny" -> Ok Deny
+  | "stall" -> Ok (Stall 20e-3)
+  | _ ->
+    let n = String.length s in
+    if n > 7 && String.sub s 0 6 = "stall(" && s.[n - 1] = ')' then
+      match float_of_string_opt (String.sub s 6 (n - 7)) with
+      | Some ms when ms >= 0.0 -> Ok (Stall (ms *. 1e-3))
+      | _ -> Error (Printf.sprintf "bad stall duration in %S" s)
+    else Error (Printf.sprintf "unknown fault kind %S" s)
+
+let parse_trigger s =
+  let n = String.length s in
+  if n < 2 then Error (Printf.sprintf "bad trigger %S" s)
+  else
+    let body = String.sub s 1 (n - 1) in
+    match s.[0] with
+    | 'n' -> (
+      let first, period =
+        match String.index_opt body '+' with
+        | None -> (int_of_string_opt body, Ok None)
+        | Some i -> (
+          ( int_of_string_opt (String.sub body 0 i),
+            match int_of_string_opt (String.sub body (i + 1) (n - 2 - i)) with
+            | Some p when p > 0 -> Ok (Some p)
+            | _ -> Error () ))
+      in
+      match (first, period) with
+      | Some f, Ok p when f > 0 -> Ok (Nth { first = f; period = p })
+      | _ -> Error (Printf.sprintf "bad trigger %S" s))
+    | 'p' -> (
+      match float_of_string_opt body with
+      | Some q when q >= 0.0 && q <= 1.0 -> Ok (Prob q)
+      | _ -> Error (Printf.sprintf "bad probability in trigger %S" s))
+    | _ -> Error (Printf.sprintf "bad trigger %S (expected nK[+P] or pF)" s)
+
+let parse_rule s =
+  match String.index_opt s ':' with
+  | None | Some 0 -> Error (Printf.sprintf "rule %S: expected site:kind[@trigger]" s)
+  | Some i -> (
+    let site = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let kind_s, trig_s =
+      match String.rindex_opt rest '@' with
+      | None -> (rest, None)
+      | Some j ->
+        ( String.sub rest 0 j,
+          Some (String.sub rest (j + 1) (String.length rest - j - 1)) )
+    in
+    match parse_kind kind_s with
+    | Error e -> Error (Printf.sprintf "rule %S: %s" s e)
+    | Ok k -> (
+      match trig_s with
+      | None -> Ok { rsite = site; rkind = k; rtrigger = Nth { first = 1; period = None } }
+      | Some ts -> (
+        match parse_trigger ts with
+        | Error e -> Error (Printf.sprintf "rule %S: %s" s e)
+        | Ok t -> Ok { rsite = site; rkind = k; rtrigger = t })))
+
+let plan_of_string ?(seed = 0) s =
+  let parts =
+    String.split_on_char ';' s
+    |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok { seed; rules = List.rev acc }
+    | p :: rest -> (
+      match parse_rule p with
+      | Ok r -> go (r :: acc) rest
+      | Error e -> Error e)
+  in
+  if parts = [] then Error "empty fault plan (expected rule[;rule...])"
+  else go [] parts

@@ -15,11 +15,22 @@ type t = {
   directives : string option;
 }
 
+type error = { pos : int; reason : string }
+
 exception Parse_error of string
+
+let error_to_string e =
+  Printf.sprintf "%s (at position %d)" e.reason e.pos
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
-let parse_directives tail =
+(* internal: positioned failure, converted to [Error] by [parse_result] *)
+exception Err of error
+
+let fail_at pos fmt =
+  Printf.ksprintf (fun s -> raise (Err { pos; reason = s })) fmt
+
+let parse_directives ~pos tail =
   let tail = String.trim tail in
   let sched =
     (* recognize schedule(dynamic[, chunk]) / schedule(static) *)
@@ -28,7 +39,7 @@ let parse_directives tail =
     | Some i when String.length lower >= 8 && String.sub lower 0 8 = "schedule"
       -> begin
       match String.index_opt lower ')' with
-      | None -> fail "unterminated schedule directive: %s" tail
+      | None -> fail_at pos "unterminated schedule directive: %s" tail
       | Some j ->
         let args = String.sub lower (i + 1) (j - i - 1) in
         let parts =
@@ -40,20 +51,20 @@ let parse_directives tail =
         | [ "dynamic"; c ] -> (
           match int_of_string_opt c with
           | Some n when n > 0 -> Dynamic n
-          | _ -> fail "bad dynamic chunk %S" c)
-        | _ -> fail "unsupported schedule clause %S" args)
+          | _ -> fail_at pos "bad dynamic chunk %S" c)
+        | _ -> fail_at pos "unsupported schedule clause %S" args)
     end
     | _ -> Static
   in
   (sched, if tail = "" then None else Some tail)
 
-let parse s =
+let parse_exn s =
   let n = String.length s in
   let occurrences = ref [] in
   let push o = occurrences := o :: !occurrences in
-  let set_barrier () =
+  let set_barrier pos =
     match !occurrences with
-    | [] -> fail "'|' before any loop character"
+    | [] -> fail_at pos "'|' before any loop character"
     | o :: rest -> occurrences := { o with barrier_after = true } :: rest
   in
   let schedule = ref Static in
@@ -64,13 +75,15 @@ let parse s =
     let c = s.[!i] in
     if c = ' ' || c = '\t' then incr i
     else if c = '@' then begin
-      let sched, dirs = parse_directives (String.sub s (!i + 1) (n - !i - 1)) in
+      let sched, dirs =
+        parse_directives ~pos:(!i + 1) (String.sub s (!i + 1) (n - !i - 1))
+      in
       schedule := sched;
       directives := dirs;
       stop := true
     end
     else if c = '|' then begin
-      set_barrier ();
+      set_barrier !i;
       incr i
     end
     else if c >= 'a' && c <= 'z' then begin
@@ -90,7 +103,7 @@ let parse s =
       let grid =
         if !i < n && s.[!i] = '{' then begin
           match String.index_from_opt s !i '}' with
-          | None -> fail "unterminated '{' in spec string"
+          | None -> fail_at !i "unterminated '{' in spec string"
           | Some j ->
             let body = String.sub s (!i + 1) (j - !i - 1) in
             i := j + 1;
@@ -101,22 +114,33 @@ let parse s =
                 | "R" -> R
                 | "C" -> C
                 | "L" -> L
-                | _ -> fail "unknown grid axis %S" axis
+                | _ -> fail_at !i "unknown grid axis %S" axis
               in
               (match int_of_string_opt ways with
               | Some w when w > 0 -> Some (axis, w)
-              | _ -> fail "bad grid ways %S" ways)
-            | _ -> fail "bad grid annotation {%s}" body)
+              | _ -> fail_at !i "bad grid ways %S" ways)
+            | _ -> fail_at !i "bad grid annotation {%s}" body)
         end
         else None
       in
       push { loop; parallel = true; grid; barrier_after = false }
     end
-    else fail "unexpected character %C in spec string" c
+    else fail_at !i "unexpected character %C in spec string" c
   done;
   let occurrences = List.rev !occurrences in
-  if occurrences = [] then fail "empty spec string";
+  if occurrences = [] then fail_at 0 "empty spec string";
   { occurrences; schedule = !schedule; directives = !directives }
+
+(* structured entry point: malformed input comes back as a positioned
+   [Error] value instead of an exception escaping the nest machinery *)
+let parse_result s = match parse_exn s with
+  | t -> Ok t
+  | exception Err e -> Error e
+
+let parse s =
+  match parse_result s with
+  | Ok t -> t
+  | Error e -> raise (Parse_error (error_to_string e))
 
 let occurrence_count t l =
   List.length (List.filter (fun o -> o.loop = l) t.occurrences)

@@ -32,9 +32,20 @@ type t = {
   directives : string option;  (** raw tail after '@', for display *)
 }
 
+(** A positioned parse failure: [pos] is the 0-based character offset in
+    the spec string (for directive-tail errors, the offset of the tail). *)
+type error = { pos : int; reason : string }
+
 exception Parse_error of string
 
-(** Parse; raises {!Parse_error} on malformed input. *)
+val error_to_string : error -> string
+
+(** Structured parse: malformed input returns [Error] with position and
+    reason instead of raising. *)
+val parse_result : string -> (t, error) result
+
+(** Parse; raises {!Parse_error} (carrying the rendered {!error}) on
+    malformed input. *)
 val parse : string -> t
 
 (** Number of occurrences of logical loop [l]. *)

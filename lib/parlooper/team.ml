@@ -23,6 +23,99 @@ let spawned_c =
 let dispatch_h =
   Telemetry.Histogram.find_or_create Telemetry.Registry.pool_dispatch_ns_name
 
+let trips_c =
+  Telemetry.Counter.find_or_create Telemetry.Registry.watchdog_trips_name
+
+let quarantined_c =
+  Telemetry.Counter.find_or_create Telemetry.Registry.pool_quarantined_name
+
+(* ---- failure model ----
+
+   A parallel region never loses an exception: every thread's failure is
+   recorded under a lock and the caller re-raises them as one
+   [Parallel_failure], tids ascending. [Worker_stalled] is synthesized by
+   the watchdog for a pooled worker that accepted a job but did not
+   finish within [abandon_s]; [Barrier_timeout] is raised out of a
+   barrier wait that exceeded [abandon_s] (only when a watchdog is
+   armed), so a region whose peer died before the barrier unwinds
+   instead of deadlocking. *)
+
+exception Parallel_failure of (int * exn) list
+exception Worker_stalled of { tid : int; waited_s : float }
+exception Barrier_timeout of { waited_s : float }
+
+let () =
+  Printexc.register_printer (function
+    | Parallel_failure l ->
+      Some
+        (Printf.sprintf "Team.Parallel_failure [%s]"
+           (String.concat "; "
+              (List.map
+                 (fun (tid, e) ->
+                   Printf.sprintf "tid %d: %s" tid (Printexc.to_string e))
+                 l)))
+    | Worker_stalled { tid; waited_s } ->
+      Some (Printf.sprintf "Team.Worker_stalled(tid=%d, waited=%.3fs)" tid waited_s)
+    | Barrier_timeout { waited_s } ->
+      Some (Printf.sprintf "Team.Barrier_timeout(waited=%.3fs)" waited_s)
+    | _ -> None)
+
+(* Watchdog over pooled dispatches and barrier waits. [None] (the
+   default) keeps the exact spin-then-park fast path; arming it switches
+   the caller's completion wait and all barrier parks to a polling wait
+   that warns at [warn_s] (counter [watchdog.trips]) and recovers at
+   [abandon_s]: never-started jobs are stolen and run inline by the
+   caller, dead or wedged workers are quarantined out of the pool
+   (respawned on the next dispatch), and stuck peers surface as
+   [Worker_stalled] inside [Parallel_failure]. *)
+type watchdog = { warn_s : float; abandon_s : float }
+
+let watchdog_cfg : watchdog option ref = ref None
+let set_watchdog w = watchdog_cfg := w
+let current_watchdog () = !watchdog_cfg
+
+(* Per-region failure aggregation. [any] keeps the happy path to a single
+   atomic load; the list is only touched under the mutex on failure. *)
+module Failures = struct
+  type t = {
+    m : Mutex.t;
+    mutable l : (int * exn) list;
+    any : bool Atomic.t;
+  }
+
+  let create () = { m = Mutex.create (); l = []; any = Atomic.make false }
+
+  let record t tid e =
+    Mutex.lock t.m;
+    t.l <- (tid, e) :: t.l;
+    Atomic.set t.any true;
+    Mutex.unlock t.m
+
+  let reset t =
+    if Atomic.get t.any then begin
+      Mutex.lock t.m;
+      t.l <- [];
+      Atomic.set t.any false;
+      Mutex.unlock t.m
+    end
+
+  let any t = Atomic.get t.any
+
+  let get t =
+    Mutex.lock t.m;
+    let l = t.l in
+    Mutex.unlock t.m;
+    List.sort (fun (a, _) (b, _) -> compare a b) l
+end
+
+(* Fault-injection sites (no-ops unless a Fault plan is installed):
+   [team.worker.body] fires inside every logical thread's body — [Exn]
+   models user-code failure, [Stall] a slow thread; [team.worker.loop]
+   fires when a pooled worker picks up a job — [Exn] kills the worker
+   thread itself, exercising steal + quarantine. *)
+let body_site = Fault.site "team.worker.body"
+let loop_site = Fault.site "team.worker.loop"
+
 (* ---- hybrid spin-then-park waiting ----
 
    Spin briefly before parking on a condition variable, so back-to-back
@@ -82,12 +175,31 @@ module Barrier = struct
       else if spin_until (fun () -> Atomic.get t.generation <> gen) then
         Telemetry.Counter.incr spin_c
       else begin
-        Mutex.lock t.mutex;
-        while Atomic.get t.generation = gen do
-          Condition.wait t.cond t.mutex
-        done;
-        Mutex.unlock t.mutex;
-        Telemetry.Counter.incr park_c
+        match !watchdog_cfg with
+        | None ->
+          Mutex.lock t.mutex;
+          while Atomic.get t.generation = gen do
+            Condition.wait t.cond t.mutex
+          done;
+          Mutex.unlock t.mutex;
+          Telemetry.Counter.incr park_c
+        | Some wd ->
+          (* OCaml's Condition has no timed wait, so an armed watchdog
+             polls: cheap enough off the fast path (the spin phase above
+             already absorbed the common case) and it can give up *)
+          let t0 = Telemetry.Clock.now_s () in
+          let warned = ref false in
+          while Atomic.get t.generation = gen do
+            Thread.delay 50e-6;
+            let waited = Telemetry.Clock.now_s () -. t0 in
+            if (not !warned) && waited >= wd.warn_s then begin
+              warned := true;
+              Telemetry.Counter.incr trips_c
+            end;
+            if waited >= wd.abandon_s then
+              raise (Barrier_timeout { waited_s = waited })
+          done;
+          Telemetry.Counter.incr park_c
       end
     end
 end
@@ -179,13 +291,12 @@ let run_spawn ~nthreads f =
   else begin
     let barrier = Barrier.create nthreads in
     let counters = Counters.create () in
-    let failure = Atomic.make None in
-    let record_exn e =
-      ignore (Atomic.compare_and_set failure None (Some e))
-    in
+    let failures = Failures.create () in
     let thread_body tid () =
-      try f (make_ctx ~tid ~nthreads ~barrier ~counters)
-      with e -> record_exn e
+      try
+        (match Fault.fire body_site with _ -> ());
+        f (make_ctx ~tid ~nthreads ~barrier ~counters)
+      with e -> Failures.record failures tid e
     in
     let ndomains = domains_for nthreads in
     (* round-robin logical threads over domains; each domain runs its
@@ -209,7 +320,8 @@ let run_spawn ~nthreads f =
     let threads = List.map (fun tid -> Thread.create (thread_body tid) ()) mine in
     List.iter Thread.join threads;
     List.iter Domain.join domains;
-    match Atomic.get failure with Some e -> raise e | None -> ()
+    if Failures.any failures then
+      raise (Parallel_failure (Failures.get failures))
   end
 
 (* ---- persistent worker pool ----
@@ -262,11 +374,16 @@ module Pool = struct
     counters : Counters.t;
     ctxs : ctx array;
     mutable jobs : (unit -> unit) array;  (** index tid-1 *)
+    (* per-job lifecycle, index tid-1: 0 = submitted, 1 = running on its
+       worker, 2 = done, 3 = stolen by the caller's watchdog. The CAS
+       0->1 (worker) vs 0->3 (stealer) race guarantees a job body runs
+       exactly once even when a worker dies or wakes late. *)
+    states : int Atomic.t array;
     remaining : int Atomic.t;
     caller_parked : bool Atomic.t;
     done_m : Mutex.t;
     done_cv : Condition.t;
-    failure : exn option Atomic.t;
+    failures : Failures.t;
     started : int Atomic.t;
     mutable t0 : int64;  (** dispatch timestamp, valid when telemetry on *)
     mutable telem : bool;
@@ -310,9 +427,16 @@ module Pool = struct
     if mb.jobs_run > 0 then Telemetry.Counter.incr reuse_c;
     mb.jobs_run <- mb.jobs_run + 1;
     Telemetry.Counter.incr dispatches_c;
-    (* jobs handle their own exceptions/completion; never kill the worker *)
-    (try f () with _ -> ());
-    worker_loop mb
+    match Fault.fire loop_site with
+    | exception Fault.Injected _ ->
+      (* injected worker death: stop looping so the thread exits without
+         running the job; the caller's watchdog steals it and quarantines
+         this mailbox *)
+      ()
+    | _ ->
+      (* jobs handle their own exceptions/completion; never kill the worker *)
+      (try f () with _ -> ());
+      worker_loop mb
 
   (* systhreads must be created from inside their domain, so each carrier
      domain runs a tiny control loop spawning the workers assigned to it *)
@@ -390,11 +514,12 @@ module Pool = struct
           Array.init nthreads (fun tid ->
               make_ctx ~tid ~nthreads ~barrier ~counters);
         jobs = [||];
+        states = Array.init (nthreads - 1) (fun _ -> Atomic.make 0);
         remaining = Atomic.make 0;
         caller_parked = Atomic.make false;
         done_m = Mutex.create ();
         done_cv = Condition.create ();
-        failure = Atomic.make None;
+        failures = Failures.create ();
         started = Atomic.make 0;
         t0 = 0L;
         telem = false;
@@ -402,18 +527,26 @@ module Pool = struct
       }
     in
     let job tid () =
-      if tm.telem && Atomic.fetch_and_add tm.started 1 = nthreads - 2 then
-        Telemetry.Histogram.observe dispatch_h
-          (Int64.to_float (Telemetry.Clock.elapsed_ns ~since:tm.t0));
-      (try tm.work tm.ctxs.(tid)
-       with e -> ignore (Atomic.compare_and_set tm.failure None (Some e)));
-      if
-        Atomic.fetch_and_add tm.remaining (-1) = 1
-        && Atomic.get tm.caller_parked
-      then begin
-        Mutex.lock tm.done_m;
-        Condition.broadcast tm.done_cv;
-        Mutex.unlock tm.done_m
+      (* a worker that lost the claim race was pre-empted by the
+         watchdog's steal; the stealer already ran the body and
+         decremented [remaining], so do nothing *)
+      if Atomic.compare_and_set tm.states.(tid - 1) 0 1 then begin
+        if tm.telem && Atomic.fetch_and_add tm.started 1 = nthreads - 2 then
+          Telemetry.Histogram.observe dispatch_h
+            (Int64.to_float (Telemetry.Clock.elapsed_ns ~since:tm.t0));
+        (try
+           (match Fault.fire body_site with _ -> ());
+           tm.work tm.ctxs.(tid)
+         with e -> Failures.record tm.failures tid e);
+        Atomic.set tm.states.(tid - 1) 2;
+        if
+          Atomic.fetch_and_add tm.remaining (-1) = 1
+          && Atomic.get tm.caller_parked
+        then begin
+          Mutex.lock tm.done_m;
+          Condition.broadcast tm.done_cv;
+          Mutex.unlock tm.done_m
+        end
       end
     in
     tm.jobs <- Array.init (nthreads - 1) (fun i -> job (i + 1));
@@ -427,6 +560,68 @@ module Pool = struct
       let tm = make_team nthreads in
       pool.team <- Some tm;
       tm
+
+  (* drop worker mailboxes [idxs] from the pool; caller holds
+     [pool.lock]. A quarantined worker that is merely slow (rather than
+     dead) parks forever on its now-orphaned mailbox — it can never
+     double-run a job because the per-job CAS already failed. Replacement
+     workers are respawned by [ensure] on the next dispatch. *)
+  let quarantine idxs =
+    match idxs with
+    | [] -> ()
+    | _ ->
+      let keep = ref [] in
+      Array.iteri
+        (fun i mb -> if not (List.mem i idxs) then keep := mb :: !keep)
+        pool.workers;
+      pool.workers <- Array.of_list (List.rev !keep);
+      pool.team <- None;
+      List.iter (fun _ -> Telemetry.Counter.incr quarantined_c) idxs
+
+  (* watchdog-armed completion wait: poll [remaining]; at [warn_s] count
+     a trip, at [abandon_s] recover — steal never-started jobs (running
+     them inline on the caller), then quarantine workers that are dead
+     (mailbox still flagged) or wedged mid-job (state 1). Stuck peers are
+     reported as [Worker_stalled]; their late completion only touches
+     this (now detached) team record, which is benign. *)
+  let watchdog_wait tm (wd : watchdog) =
+    let t0 = Telemetry.Clock.now_s () in
+    let warned = ref false in
+    let abandoned = ref false in
+    while (not !abandoned) && Atomic.get tm.remaining > 0 do
+      Thread.delay 100e-6;
+      let waited = Telemetry.Clock.now_s () -. t0 in
+      if (not !warned) && waited >= wd.warn_s then begin
+        warned := true;
+        Telemetry.Counter.incr trips_c
+      end;
+      if waited >= wd.abandon_s then begin
+        abandoned := true;
+        Array.iteri
+          (fun i st ->
+            if Atomic.compare_and_set st 0 3 then begin
+              (try
+                 (match Fault.fire body_site with _ -> ());
+                 tm.work tm.ctxs.(i + 1)
+               with e -> Failures.record tm.failures (i + 1) e);
+              ignore (Atomic.fetch_and_add tm.remaining (-1))
+            end)
+          tm.states;
+        let bad = ref [] in
+        Array.iteri
+          (fun i st ->
+            if i < Array.length pool.workers then begin
+              let stuck = Atomic.get st = 1 in
+              if stuck then
+                Failures.record tm.failures (i + 1)
+                  (Worker_stalled { tid = i + 1; waited_s = waited });
+              if stuck || Atomic.get pool.workers.(i).flag <> 0 then
+                bad := i :: !bad
+            end)
+          tm.states;
+        quarantine (List.rev !bad)
+      end
+    done
 
   let size () =
     Mutex.lock pool.lock;
@@ -446,7 +641,8 @@ let run_pooled ~nthreads f =
   Pool.ensure (nthreads - 1);
   let tm = Pool.team_for nthreads in
   Counters.reset tm.Pool.counters;
-  Atomic.set tm.Pool.failure None;
+  Failures.reset tm.Pool.failures;
+  Array.iter (fun st -> Atomic.set st 0) tm.Pool.states;
   Atomic.set tm.Pool.remaining (nthreads - 1);
   tm.Pool.work <- f;
   let telem = Telemetry.Registry.enabled () in
@@ -458,22 +654,31 @@ let run_pooled ~nthreads f =
   for tid = 1 to nthreads - 1 do
     Pool.submit Pool.pool.workers.(tid - 1) tm.Pool.jobs.(tid - 1)
   done;
-  (try f tm.Pool.ctxs.(0)
-   with e -> ignore (Atomic.compare_and_set tm.Pool.failure None (Some e)));
+  (try
+     (match Fault.fire body_site with _ -> ());
+     f tm.Pool.ctxs.(0)
+   with e -> Failures.record tm.Pool.failures 0 e);
   (if spin_until (fun () -> Atomic.get tm.Pool.remaining = 0) then
      Telemetry.Counter.incr spin_c
-   else begin
-     Mutex.lock tm.Pool.done_m;
-     Atomic.set tm.Pool.caller_parked true;
-     while Atomic.get tm.Pool.remaining > 0 do
-       Condition.wait tm.Pool.done_cv tm.Pool.done_m
-     done;
-     Atomic.set tm.Pool.caller_parked false;
-     Mutex.unlock tm.Pool.done_m;
-     Telemetry.Counter.incr park_c
-   end);
+   else
+     match !watchdog_cfg with
+     | Some wd -> Pool.watchdog_wait tm wd
+     | None ->
+       Mutex.lock tm.Pool.done_m;
+       Atomic.set tm.Pool.caller_parked true;
+       while Atomic.get tm.Pool.remaining > 0 do
+         Condition.wait tm.Pool.done_cv tm.Pool.done_m
+       done;
+       Atomic.set tm.Pool.caller_parked false;
+       Mutex.unlock tm.Pool.done_m;
+       Telemetry.Counter.incr park_c);
   tm.Pool.work <- ignore;
-  match Atomic.get tm.Pool.failure with Some e -> raise e | None -> ()
+  if Failures.any tm.Pool.failures then begin
+    (* a failed region may leave barrier/job state inconsistent (timed-out
+       barrier waiters, stuck workers): rebuild per-dispatch state *)
+    Pool.pool.team <- None;
+    raise (Parallel_failure (Failures.get tm.Pool.failures))
+  end
 
 let run ~nthreads f =
   assert (nthreads > 0);

@@ -23,10 +23,36 @@ type ctx = {
           per-thread encounter index); returns the claimed start. *)
 }
 
+(** All exceptions raised inside a parallel region, as [(tid, exn)]
+    sorted by tid — none are lost; the region always joins every thread
+    (or steals/abandons it via the watchdog) before raising. *)
+exception Parallel_failure of (int * exn) list
+
+(** A pooled worker accepted a job but made no progress for the
+    watchdog's [abandon_s] budget; its job was stolen and executed by the
+    caller, and the worker was quarantined out of the pool. *)
+exception Worker_stalled of { tid : int; waited_s : float }
+
+(** A barrier wait exceeded the watchdog's [abandon_s] budget —
+    typically because a teammate died and will never arrive. *)
+exception Barrier_timeout of { waited_s : float }
+
+(** Liveness watchdog for pooled regions and barriers: after [warn_s]
+    seconds of no progress the [watchdog.trips] counter increments; after
+    [abandon_s] seconds unstarted jobs are stolen (run by the caller),
+    non-responding workers are quarantined (counter [pool.quarantined])
+    and the region raises {!Parallel_failure}. [None] (the default)
+    disables the watchdog: waiting uses condvar parking with no timeout
+    and zero polling overhead. *)
+type watchdog = { warn_s : float; abandon_s : float }
+
+val set_watchdog : watchdog option -> unit
+val current_watchdog : unit -> watchdog option
+
 (** [run ~nthreads f] executes [f ctx] on every logical thread and waits
-    for all of them. Exceptions raised by any thread are re-raised (the
-    first one observed) after the team finishes; a raising worker returns
-    to the pool and stays usable. *)
+    for all of them. Exceptions raised by any thread are aggregated and
+    re-raised as {!Parallel_failure} after the team finishes; a raising
+    worker returns to the pool and stays usable. *)
 val run : nthreads:int -> (ctx -> unit) -> unit
 
 (** Spawn-per-call execution: fresh domains and systhreads for this team

@@ -38,8 +38,12 @@ let cache_key specs spec_string =
 let compile specs_list spec_string =
   let specs = Array.of_list specs_list in
   let parsed =
-    try Spec_parser.parse spec_string
-    with Spec_parser.Parse_error m -> raise (Invalid_spec m)
+    match Spec_parser.parse_result spec_string with
+    | Ok p -> p
+    | Error e ->
+      raise
+        (Invalid_spec
+           (Printf.sprintf "%S: %s" spec_string (Spec_parser.error_to_string e)))
   in
   let nest =
     try Nest.compile specs parsed
@@ -78,7 +82,13 @@ let cache_size () =
   Mutex.unlock cache_lock;
   n
 
+(* fault site modelling a JIT/dispatch failure (LIBXSMM returning a null
+   kernel pointer): fires before the cache is consulted, so a failed
+   dispatch leaves no broken entry behind and the next attempt is clean *)
+let jit_site = Fault.site "parlooper.jit.compile"
+
 let create specs_list spec_string =
+  (match Fault.fire jit_site with _ -> ());
   let key = cache_key specs_list spec_string in
   Mutex.lock cache_lock;
   incr cache_tick;

@@ -1,0 +1,262 @@
+(* Chaos harness: drive the continuous-batching scheduler under a seeded
+   fault plan and check that the hardened stack keeps its promises.
+
+   Two runs over the same deterministic trace (virtual-clock arrivals, so
+   wall-clock jitter cannot change the schedule):
+
+     1. a reference run with no faults installed;
+     2. a chaos run with the plan armed, the Team watchdog on, and the
+        TPP numeric guard sampling kernel output.
+
+   Invariants asserted on the chaos run:
+     - liveness: the drive loop terminates well under its step budget;
+     - ledger conservation: every submitted request reaches a terminal
+       state, and finished + rejected + cancelled + failed = submitted;
+     - no KV leak: the pool reports zero caches in use after the drain;
+     - bit-identical recovery: every request finished by BOTH runs has
+       exactly equal output hidden states — retries, rewinds, worker
+       steals and quarantines must be semantically invisible.
+
+   The default plan covers every registered site class: serve-level
+   transients (prefill/decode exceptions), KV denial, JIT/dispatch
+   failure, NaN poison in the BRGEMM store, worker-body exceptions and
+   stalls, and outright worker death. Triggers are invocation-count
+   based, so the same seed gives the same fault schedule on any host. *)
+
+type config = {
+  seed : int;
+  requests : int;
+  prompt_len : Load_gen.dist;
+  new_tokens : Load_gen.dist;
+  arrival_gap_s : float;  (* virtual seconds between arrivals *)
+  deadline_s : float;  (* virtual-clock SLO per request *)
+  dt_s : float;  (* virtual seconds per drive step *)
+  scheduler : Scheduler.config;
+  plan : Fault.plan option;  (* None = default_plan seed *)
+  watchdog : Team.watchdog option;
+  max_steps : int;
+}
+
+let default =
+  { seed = 42;
+    requests = 24;
+    prompt_len = Load_gen.Uniform (2, 6);
+    new_tokens = Load_gen.Uniform (1, 5);
+    arrival_gap_s = 0.01;
+    deadline_s = Float.infinity;
+    dt_s = 0.002;
+    scheduler =
+      { Scheduler.default_config with
+        max_batch = 4; nthreads = Some 2; kv_cap = 8; max_retries = 4;
+        check_numerics = true };
+    plan = None;
+    watchdog = Some { Team.warn_s = 0.005; abandon_s = 0.05 };
+    max_steps = 50_000 }
+
+(* One rule per fault class. Periods are calibrated against how often
+   each site fires per serving step on [Llm.tiny]: a single prefill or
+   decode attempt runs ~1000 BRGEMM stores, ~15 JIT dispatches and ~30
+   worker bodies, so inner-site periods sit well above one attempt's
+   invocation count — a retried step then sees a clean window and the
+   fault behaves as a transient (the point of retry-with-rewind). The
+   serve-level sites fire once per attempt, so small periods are fine
+   there. Co-prime periods keep fault combinations varied; stall
+   durations and the watchdog budget keep wall time at ~2 s. *)
+let default_plan seed =
+  let nth first period =
+    Fault.Nth { first; period = Some period }
+  in
+  { Fault.seed;
+    rules =
+      [ { rsite = "serve.prefill"; rkind = Fault.Exn; rtrigger = nth 2 9 };
+        { rsite = "serve.decode"; rkind = Fault.Exn; rtrigger = nth 3 11 };
+        { rsite = "serve.kv.acquire"; rkind = Fault.Deny; rtrigger = nth 2 7 };
+        { rsite = "parlooper.jit.compile"; rkind = Fault.Exn;
+          rtrigger = nth 101 1013 };
+        { rsite = "tpp.brgemm.store"; rkind = Fault.Nan;
+          rtrigger = nth 137 9973 };
+        { rsite = "team.worker.body"; rkind = Fault.Exn; rtrigger = nth 47 499 };
+        { rsite = "team.worker.body"; rkind = Fault.Stall 0.02;
+          rtrigger = nth 160 1601 };
+        { rsite = "team.worker.loop"; rkind = Fault.Exn; rtrigger = nth 31 997 }
+      ] }
+
+type report = {
+  steps : int;
+  terminated : bool;
+  submitted : int;
+  finished : int;
+  rejected : int;
+  cancelled : int;
+  failed : int;
+  compared : int;  (* finished by both runs and compared bit-for-bit *)
+  mismatched : int;
+  injected : int;
+  retries : int;
+  shed : int;
+  trips : int;
+  quarantined : int;
+  denied : int;
+  numeric_errors : int;
+  violations : string list;
+}
+
+(* deterministic trace: fixed arrival cadence, lengths/ids from the seed *)
+let make_trace cfg ~vocab =
+  let rng = Prng.create cfg.seed in
+  List.init cfg.requests (fun id ->
+      let plen = max 1 (Load_gen.sample rng cfg.prompt_len) in
+      let glen = max 1 (Load_gen.sample rng cfg.new_tokens) in
+      let prompt = Array.init plen (fun _ -> Prng.int rng vocab) in
+      let gen = Array.init glen (fun _ -> Prng.int rng vocab) in
+      ( cfg.arrival_gap_s *. float_of_int id,
+        Request.make ~id ~prompt ~gen ~deadline_s:cfg.deadline_s () ))
+
+(* virtual-clock drive: submissions happen by virtual arrival time and
+   [dt_s] advances per step, so the schedule — including any deadline
+   decisions — is a pure function of the trace and the fault plan *)
+let drive cfg sched trace =
+  let vnow = ref 0.0 in
+  let now () = !vnow in
+  let pending = ref trace in
+  let steps = ref 0 in
+  let live = ref true in
+  while !live && !steps < cfg.max_steps do
+    let rec admit_due () =
+      match !pending with
+      | (at, r) :: rest when at <= !vnow ->
+        ignore (Scheduler.submit sched ~now:!vnow r);
+        pending := rest;
+        admit_due ()
+      | _ -> ()
+    in
+    admit_due ();
+    ignore (Scheduler.step sched ~now);
+    incr steps;
+    vnow := !vnow +. cfg.dt_s;
+    live := !pending <> [] || Scheduler.busy sched
+  done;
+  (!steps, (not !live) && !pending = [])
+
+let counter_names =
+  [ Telemetry.Registry.fault_injected_name;
+    Telemetry.Registry.fault_retries_name;
+    Telemetry.Registry.fault_shed_name;
+    Telemetry.Registry.watchdog_trips_name;
+    Telemetry.Registry.pool_quarantined_name;
+    Telemetry.Registry.numeric_errors_name;
+    Metrics.kv_denied_name ]
+
+let snapshot () = List.map Telemetry.Counter.value counter_names
+
+let run ?(config = default) () =
+  let llm = Llm.create ~rng:(Prng.create 7) ~block:8 Llm.tiny in
+  let vocab = (Llm.config llm).Llm.vocab in
+  let prev_wd = Team.current_watchdog () in
+  let prev_mode = Tpp_check.mode () in
+  Fault.clear ();
+  Team.set_watchdog config.watchdog;
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.clear ();
+      Team.set_watchdog prev_wd;
+      Tpp_check.set_mode prev_mode)
+    (fun () ->
+      (* reference: identical trace and scheduler config, no faults *)
+      let ref_sched = Scheduler.create ~config:config.scheduler llm in
+      let ref_trace = make_trace config ~vocab in
+      let _, ref_done = drive config ref_sched ref_trace in
+      (* chaos run *)
+      let plan =
+        match config.plan with
+        | Some p -> p
+        | None -> default_plan config.seed
+      in
+      let sched = Scheduler.create ~config:config.scheduler llm in
+      let trace = make_trace config ~vocab in
+      let before = snapshot () in
+      Tpp_check.set_mode (Tpp_check.Sampled 13);
+      Fault.install plan;
+      let steps, terminated = drive config sched trace in
+      Fault.clear ();
+      Tpp_check.set_mode prev_mode;
+      let delta = List.map2 (fun a b -> b - a) before (snapshot ()) in
+      let injected, retries, shed, trips, quarantined, numeric_errors, denied =
+        match delta with
+        | [ a; b; c; d; e; f; g ] -> (a, b, c, d, e, f, g)
+        | _ -> assert false
+      in
+      let reqs = Scheduler.requests sched in
+      let count st =
+        List.length (List.filter (fun r -> r.Request.state = st) reqs)
+      in
+      let finished = count Request.Finished in
+      let rejected = count Request.Rejected in
+      let cancelled = count Request.Cancelled in
+      let failed = count Request.Failed in
+      let submitted = List.length reqs in
+      (* bit-identity: requests finished by both runs must match exactly *)
+      let ref_by_id =
+        List.map (fun (r : Request.t) -> (r.Request.id, r))
+          (Scheduler.requests ref_sched)
+      in
+      let compared = ref 0 and mismatched = ref 0 in
+      List.iter
+        (fun (r : Request.t) ->
+          if r.Request.state = Request.Finished then
+            match List.assoc_opt r.Request.id ref_by_id with
+            | Some rr when rr.Request.state = Request.Finished ->
+              incr compared;
+              let a = Request.outputs r and b = Request.outputs rr in
+              if
+                List.length a <> List.length b
+                || not
+                     (List.for_all2
+                        (fun x y -> Tensor.approx_equal ~tol:0.0 x y)
+                        a b)
+              then incr mismatched
+            | _ -> ())
+        reqs;
+      let violations = ref [] in
+      let check cond msg = if not cond then violations := msg :: !violations in
+      check ref_done "reference run did not terminate";
+      check terminated "chaos run did not terminate within max_steps";
+      check (submitted = config.requests)
+        "ledger lost submissions (submitted <> trace length)";
+      check
+        (List.for_all (fun r -> Request.terminal r.Request.state) reqs)
+        "non-terminal request left in ledger";
+      check
+        (finished + rejected + cancelled + failed = submitted)
+        "terminal states do not sum to submitted";
+      check
+        (Kv_pool.in_use (Scheduler.pool sched) = 0)
+        "KV caches leaked (pool in_use <> 0 after drain)";
+      check (!mismatched = 0)
+        "recovered outputs not bit-identical to fault-free run";
+      { steps; terminated; submitted; finished; rejected; cancelled; failed;
+        compared = !compared; mismatched = !mismatched; injected; retries;
+        shed; trips; quarantined; denied; numeric_errors;
+        violations = List.rev !violations })
+
+let report_to_string r =
+  let b = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "== chaos report ==\n";
+  pr "drive:    %d steps, terminated=%b\n" r.steps r.terminated;
+  pr "ledger:   %d submitted = %d finished + %d rejected + %d cancelled + \
+      %d failed\n"
+    r.submitted r.finished r.rejected r.cancelled r.failed;
+  pr "identity: %d finished-in-both compared, %d mismatched\n" r.compared
+    r.mismatched;
+  pr "faults:   %d injected, %d retries, %d shed, %d KV denials, %d numeric \
+      errors\n"
+    r.injected r.retries r.shed r.denied r.numeric_errors;
+  pr "team:     %d watchdog trips, %d workers quarantined\n" r.trips
+    r.quarantined;
+  (match r.violations with
+  | [] -> pr "invariants: all passed\n"
+  | vs ->
+    pr "invariants: %d VIOLATED\n" (List.length vs);
+    List.iter (fun v -> pr "  - %s\n" v) vs);
+  Buffer.contents b

@@ -1,0 +1,65 @@
+(** Chaos harness: the serving loop under seeded deterministic fault
+    injection ({!Fault}), checked against a fault-free reference run.
+
+    [run] drives the same virtual-clock request trace twice through
+    identically-configured schedulers — once clean, once with the fault
+    plan installed, the {!Team} watchdog armed and the {!Tpp_check}
+    numeric guard sampling kernel output — and asserts:
+
+    - liveness: both runs terminate within the step budget;
+    - ledger conservation: every submitted request ends terminal, and
+      finished + rejected + cancelled + failed = submitted;
+    - no KV leak: the pool has zero caches in use after the drain;
+    - bit-identical recovery: requests finished by both runs have
+      exactly equal outputs (tolerance 0.0) — retries, rewinds, steals
+      and quarantines must be semantically invisible.
+
+    Faults are triggered by per-site invocation counts, and the clock
+    driving deadlines is virtual, so the same seed reproduces the same
+    fault schedule and the same report on any host. *)
+
+type config = {
+  seed : int;
+  requests : int;
+  prompt_len : Load_gen.dist;
+  new_tokens : Load_gen.dist;
+  arrival_gap_s : float;  (** virtual seconds between arrivals *)
+  deadline_s : float;  (** virtual-clock SLO per request *)
+  dt_s : float;  (** virtual seconds per drive step *)
+  scheduler : Scheduler.config;
+  plan : Fault.plan option;  (** [None] = [default_plan seed] *)
+  watchdog : Team.watchdog option;
+  max_steps : int;
+}
+
+(** Seed 42, 24 requests, batch 4 over 2 threads, retries + numeric
+    checks on, watchdog armed; roughly a 2 s run. *)
+val default : config
+
+(** One rule per fault-site class (serve transients, KV denial, JIT
+    failure, NaN poison, worker exception/stall/death), with periods
+    calibrated so injected faults behave as transients on [Llm.tiny]. *)
+val default_plan : int -> Fault.plan
+
+type report = {
+  steps : int;
+  terminated : bool;
+  submitted : int;
+  finished : int;
+  rejected : int;
+  cancelled : int;
+  failed : int;
+  compared : int;  (** finished by both runs and compared bit-for-bit *)
+  mismatched : int;
+  injected : int;
+  retries : int;
+  shed : int;
+  trips : int;
+  quarantined : int;
+  denied : int;
+  numeric_errors : int;
+  violations : string list;  (** empty iff every invariant held *)
+}
+
+val run : ?config:config -> unit -> report
+val report_to_string : report -> string

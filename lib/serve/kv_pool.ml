@@ -6,10 +6,15 @@
    beyond [max_free]. Occupancy is published as telemetry gauges so the
    report shows pool behaviour under load. *)
 
+(* fault site: a fired [`Deny] models KV memory pressure — the scheduler
+   must shed load, it cannot conjure cache space *)
+let deny_site = Fault.site "serve.kv.acquire"
+
 type t = {
   llm : Llm.t;
   init_cap : int;  (* initial rows of a freshly created cache *)
   max_free : int;
+  max_live : int;  (* hard bound on concurrently acquired caches *)
   lock : Mutex.t;
   mutable free : Llm.kv_cache list;
   mutable free_n : int;
@@ -20,39 +25,58 @@ type t = {
   created_c : Telemetry.Counter.t;
   reused_c : Telemetry.Counter.t;
   peak_rows_c : Telemetry.Counter.t;
+  denied_c : Telemetry.Counter.t;
 }
 
-let create ?(init_cap = 16) ?(max_free = 64) llm =
-  { llm; init_cap; max_free; lock = Mutex.create (); free = []; free_n = 0;
+let create ?(init_cap = 16) ?(max_free = 64) ?(max_live = max_int) llm =
+  assert (max_live > 0);
+  { llm; init_cap; max_free; max_live; lock = Mutex.create (); free = [];
+    free_n = 0;
     in_use = 0; peak_rows = 0;
     in_use_c = Telemetry.Counter.find_or_create Metrics.kv_in_use_name;
     free_c = Telemetry.Counter.find_or_create Metrics.kv_free_name;
     created_c = Telemetry.Counter.find_or_create Metrics.kv_created_name;
     reused_c = Telemetry.Counter.find_or_create Metrics.kv_reused_name;
-    peak_rows_c = Telemetry.Counter.find_or_create Metrics.kv_peak_rows_name }
+    peak_rows_c = Telemetry.Counter.find_or_create Metrics.kv_peak_rows_name;
+    denied_c = Telemetry.Counter.find_or_create Metrics.kv_denied_name }
 
 let publish t =
   Telemetry.Counter.set t.in_use_c t.in_use;
   Telemetry.Counter.set t.free_c t.free_n;
   Telemetry.Counter.set t.peak_rows_c t.peak_rows
 
+(* [`Denied] instead of unbounded growth: the pool refuses an acquire
+   beyond [max_live] live caches (or when the fault site fires), and the
+   scheduler degrades (sheds load) rather than letting memory grow
+   without limit under pressure. The fault fires outside the lock: a
+   [Stall] rule must not block [release]. *)
 let acquire t =
-  Mutex.lock t.lock;
-  let cache =
-    match t.free with
-    | c :: rest ->
-      t.free <- rest;
-      t.free_n <- t.free_n - 1;
-      Telemetry.Counter.incr t.reused_c;
-      c
-    | [] ->
-      Telemetry.Counter.incr t.created_c;
-      Llm.new_cache ~cap:t.init_cap t.llm
+  let fault_denied =
+    match Fault.fire deny_site with `Deny -> true | `None | `Nan -> false
   in
-  t.in_use <- t.in_use + 1;
-  publish t;
-  Mutex.unlock t.lock;
-  cache
+  Mutex.lock t.lock;
+  if fault_denied || t.in_use >= t.max_live then begin
+    Telemetry.Counter.incr t.denied_c;
+    Mutex.unlock t.lock;
+    `Denied
+  end
+  else begin
+    let cache =
+      match t.free with
+      | c :: rest ->
+        t.free <- rest;
+        t.free_n <- t.free_n - 1;
+        Telemetry.Counter.incr t.reused_c;
+        c
+      | [] ->
+        Telemetry.Counter.incr t.created_c;
+        Llm.new_cache ~cap:t.init_cap t.llm
+    in
+    t.in_use <- t.in_use + 1;
+    publish t;
+    Mutex.unlock t.lock;
+    `Cache cache
+  end
 
 let release t cache =
   Llm.reset_cache cache;
@@ -67,6 +91,7 @@ let release t cache =
   Mutex.unlock t.lock
 
 let in_use t = t.in_use
+let denied t = Telemetry.Counter.get t.denied_c
 let free_count t = t.free_n
 let peak_rows t = t.peak_rows
 let created t = Telemetry.Counter.get t.created_c

@@ -7,13 +7,18 @@
 
 type t
 
-(** [create ?init_cap ?max_free llm] — [init_cap] rows are pre-allocated
-    per layer in freshly created caches; at most [max_free] rewound caches
-    are retained for reuse (excess ones are dropped to the GC). *)
-val create : ?init_cap:int -> ?max_free:int -> Llm.t -> t
+(** [create ?init_cap ?max_free ?max_live llm] — [init_cap] rows are
+    pre-allocated per layer in freshly created caches; at most [max_free]
+    rewound caches are retained for reuse (excess ones are dropped to the
+    GC); at most [max_live] caches may be acquired concurrently
+    (default: unbounded). *)
+val create : ?init_cap:int -> ?max_free:int -> ?max_live:int -> Llm.t -> t
 
-(** Recycled free cache when available, else a fresh one. *)
-val acquire : t -> Llm.kv_cache
+(** [`Cache c]: a recycled free cache when available, else a fresh one.
+    [`Denied]: the pool is at [max_live] live caches (or fault injection
+    simulated memory pressure) — counted under [serve.kv_pool.denied];
+    the caller must degrade, the pool will not grow unboundedly. *)
+val acquire : t -> [ `Cache of Llm.kv_cache | `Denied ]
 
 (** Rewind and return a cache to the pool. The caller must not use it
     afterwards. *)
@@ -27,3 +32,6 @@ val peak_rows : t -> int
 
 val created : t -> int
 val reused : t -> int
+
+(** Acquires refused so far. *)
+val denied : t -> int

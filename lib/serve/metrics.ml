@@ -18,6 +18,10 @@ let kv_free_name = "serve.kv_pool.free"
 let kv_created_name = "serve.kv_pool.created"
 let kv_reused_name = "serve.kv_pool.reused"
 let kv_peak_rows_name = "serve.kv_pool.peak_rows"
+let kv_denied_name = "serve.kv_pool.denied"
+let cancelled_name = "serve.cancelled"
+let failed_name = "serve.failed"
+let eff_batch_name = "serve.effective_batch"
 
 type percentiles = { p50 : float; p95 : float; p99 : float }
 
@@ -25,6 +29,8 @@ type summary = {
   submitted : int;
   rejected : int;
   completed : int;
+  cancelled : int;  (** terminated by deadline enforcement *)
+  failed : int;  (** prefill/decode failed after bounded retries *)
   goodput : int;  (** completed within their deadline *)
   tokens : int;
   elapsed_s : float;
@@ -45,6 +51,8 @@ let collect ~(requests : Request.t list) ~tokens ~elapsed_s =
   { submitted = List.length requests;
     rejected = count Request.Rejected;
     completed = count Request.Finished;
+    cancelled = count Request.Cancelled;
+    failed = count Request.Failed;
     goodput = List.length (List.filter Request.met_deadline requests);
     tokens;
     elapsed_s;
@@ -58,9 +66,10 @@ let summary_to_string s =
   let b = Buffer.create 256 in
   let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   pr "== serve summary ==\n";
-  pr "requests: %d submitted, %d completed, %d rejected, goodput %d/%d \
-      (met deadline)\n"
-    s.submitted s.completed s.rejected s.goodput s.submitted;
+  pr "requests: %d submitted, %d completed, %d rejected, %d cancelled, \
+      %d failed, goodput %d/%d (met deadline)\n"
+    s.submitted s.completed s.rejected s.cancelled s.failed s.goodput
+    s.submitted;
   pr "tokens:   %d in %.2fs -> %.1f tokens/s\n" s.tokens s.elapsed_s
     s.tokens_per_s;
   pr "TTFT ms:  p50 %.2f  p95 %.2f  p99 %.2f\n" s.ttft_ms.p50 s.ttft_ms.p95

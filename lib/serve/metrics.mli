@@ -18,6 +18,12 @@ val kv_free_name : string
 val kv_created_name : string
 val kv_reused_name : string
 val kv_peak_rows_name : string
+val kv_denied_name : string
+val cancelled_name : string
+val failed_name : string
+
+(** Gauge: the scheduler's current load-shedding batch limit. *)
+val eff_batch_name : string
 
 type percentiles = { p50 : float; p95 : float; p99 : float }
 
@@ -25,6 +31,8 @@ type summary = {
   submitted : int;
   rejected : int;
   completed : int;
+  cancelled : int;  (** terminated by deadline enforcement *)
+  failed : int;  (** prefill/decode failed after bounded retries *)
   goodput : int;  (** completed within their deadline *)
   tokens : int;
   elapsed_s : float;

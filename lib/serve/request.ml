@@ -1,7 +1,10 @@
 (* One inference request through its serving lifecycle:
 
      arrival -> Queued -> Prefilling -> Decoding -> Finished
-            \-> Rejected                  (bounded-queue backpressure)
+            \-> Rejected     (bounded-queue backpressure, or already
+                              past deadline at submit)
+            \-> Cancelled    (deadline enforcement mid-flight)
+            \-> Failed       (prefill/decode failed after bounded retries)
 
    The request carries everything the scheduler needs to run it without
    callbacks: the prompt token ids (prefill input), the pre-drawn ids fed
@@ -11,7 +14,14 @@
    [arrival_s] on the serving clock, [ttft_s]/[finish_s] relative to
    arrival. *)
 
-type state = Queued | Prefilling | Decoding | Finished | Rejected
+type state =
+  | Queued
+  | Prefilling
+  | Decoding
+  | Finished
+  | Rejected
+  | Cancelled
+  | Failed
 
 let state_name = function
   | Queued -> "queued"
@@ -19,6 +29,15 @@ let state_name = function
   | Decoding -> "decoding"
   | Finished -> "finished"
   | Rejected -> "rejected"
+  | Cancelled -> "cancelled"
+  | Failed -> "failed"
+
+(* a request in a terminal state will never change again; every ledger
+   entry must be terminal once the scheduler drains *)
+let terminal t_state =
+  match t_state with
+  | Finished | Rejected | Cancelled | Failed -> true
+  | Queued | Prefilling | Decoding -> false
 
 type t = {
   id : int;

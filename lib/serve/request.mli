@@ -1,10 +1,24 @@
 (** One inference request through its serving lifecycle:
     arrival -> [Queued] -> [Prefilling] -> [Decoding] -> [Finished], or
-    [Rejected] at submission when the admission queue is full. *)
+    terminally: [Rejected] at submission (admission queue full, or the
+    deadline already passed), [Cancelled] by mid-flight deadline
+    enforcement, [Failed] when prefill/decode kept failing after the
+    scheduler's bounded retries. *)
 
-type state = Queued | Prefilling | Decoding | Finished | Rejected
+type state =
+  | Queued
+  | Prefilling
+  | Decoding
+  | Finished
+  | Rejected
+  | Cancelled
+  | Failed
 
 val state_name : state -> string
+
+(** True for states that can never change again ([Finished], [Rejected],
+    [Cancelled], [Failed]). *)
+val terminal : state -> bool
 
 type t = {
   id : int;

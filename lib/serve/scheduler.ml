@@ -3,21 +3,40 @@
    (§IV-A / Fig. 11) calls for:
 
      - [submit] appends to a bounded admission queue (explicit rejection
-       when full — backpressure instead of unbounded memory);
-     - each [step] first admits queued requests up to [max_batch] active
-       sessions (policy knob: FCFS or earliest-deadline-first), running
-       the compute-bound prefill for every admission and recording its
-       TTFT; then runs ONE bandwidth-bound decode step for EVERY active
+       when full — backpressure instead of unbounded memory); a request
+       whose deadline has already passed is rejected up front;
+     - each [step] first enforces deadlines (a session past its SLO is
+       cancelled and its KV cache returned to the pool; a queued request
+       past its SLO is cancelled without ever running), then admits
+       queued requests up to the current batch limit, running the
+       compute-bound prefill for every admission and recording its TTFT;
+       then runs ONE bandwidth-bound decode step for EVERY active
        session — requests join and leave the batch at token granularity,
        never waiting for a batch-mate to finish;
      - finished sessions release their KV cache back to the pool, making
        room for the next admission on the following iteration.
 
+   Failure handling (the serving half of lib/fault's contract):
+     - a prefill/decode step that raises is retried up to [max_retries]
+       times with optional exponential backoff; before each retry the KV
+       cache is rewound ([Llm.truncate_cache]) to its pre-step length, so
+       a recovered run is bit-identical to one that never failed. A step
+       that keeps failing marks the request [Failed] and releases its KV.
+     - a [`Denied] KV acquire sheds load: the request goes back to the
+       queue head and the effective batch limit shrinks (never below 1);
+       after [recovery_steps] denial-free iterations it grows back toward
+       [max_batch]. Denial with an empty active set means no release can
+       ever unblock us, so the request fails instead of spinning.
+     - [check_numerics] turns each step's output through the TPP numeric
+       guard, so a NaN poisoned into a kernel surfaces as a retryable
+       structured error instead of a corrupt token.
+
    Sessions are independent (no cross-request math), so batched decoding
    is bit-identical to running each session alone — the invariant the
    serve tests pin down. The scheduler is deterministic given a submission
-   order: wall-clock time feeds only the latency telemetry, never a
-   control-flow decision. *)
+   order: wall-clock time feeds only the latency telemetry — unless
+   deadlines are finite, in which case the caller chooses the clock (the
+   chaos harness drives a virtual one for determinism). *)
 
 type policy = Fcfs | Edf
 
@@ -34,11 +53,18 @@ type config = {
   policy : policy;
   nthreads : int option;  (* team size handed to prefill/decode *)
   kv_cap : int;  (* initial rows of pooled KV caches *)
+  max_retries : int;  (* extra attempts for a failing prefill/decode *)
+  retry_backoff_s : float;  (* base sleep before retry k doubles; 0 = none *)
+  check_numerics : bool;  (* guard step outputs with Tpp_check.finite_2d *)
 }
 
 let default_config =
   { max_queue = 64; max_batch = 8; policy = Fcfs; nthreads = None;
-    kv_cap = 16 }
+    kv_cap = 16; max_retries = 2; retry_backoff_s = 0.0;
+    check_numerics = false }
+
+(* denial-free steps before the shed batch limit is raised by one *)
+let recovery_steps = 8
 
 type session = {
   req : Request.t;
@@ -51,38 +77,67 @@ type t = {
   llm : Llm.t;
   cfg : config;
   pool : Kv_pool.t;
-  embed_rng : Prng.t;  (* Llm.embed is deterministic; rng is vestigial *)
   mutable queue : Request.t list;  (* oldest first *)
   mutable active : session list;  (* admission order *)
   mutable ledger : Request.t list;  (* every submission, newest first *)
   mutable finished : Request.t list;  (* completion order, newest first *)
   mutable tokens : int;
+  mutable eff_batch : int;  (* current (possibly shed) batch limit *)
+  mutable clean : int;  (* consecutive denial-free steps *)
+  mutable denied_step : bool;  (* saw a KV denial this step *)
+  mutable idle_denials : int;  (* consecutive denials with an empty batch *)
   ttft_h : Telemetry.Histogram.t;
   tpot_h : Telemetry.Histogram.t;
   submitted_c : Telemetry.Counter.t;
   rejected_c : Telemetry.Counter.t;
   completed_c : Telemetry.Counter.t;
+  cancelled_c : Telemetry.Counter.t;
+  failed_c : Telemetry.Counter.t;
   queue_c : Telemetry.Counter.t;
+  eff_batch_c : Telemetry.Counter.t;
+  retries_c : Telemetry.Counter.t;
+  shed_c : Telemetry.Counter.t;
 }
+
+(* fault sites: fire ahead of the real model call, inside the retry
+   scope, so an injected transient exercises exactly the recovery path a
+   real kernel failure would *)
+let prefill_site = Fault.site "serve.prefill"
+let decode_site = Fault.site "serve.decode"
 
 let create ?(config = default_config) llm =
   assert (config.max_queue > 0 && config.max_batch > 0);
-  { llm; cfg = config;
-    pool = Kv_pool.create ~init_cap:config.kv_cap llm;
-    embed_rng = Prng.create 0; queue = []; active = []; ledger = [];
-    finished = []; tokens = 0;
-    ttft_h = Telemetry.Histogram.find_or_create Metrics.ttft_ms_name;
-    tpot_h = Telemetry.Histogram.find_or_create Metrics.tpot_ms_name;
-    submitted_c = Telemetry.Counter.find_or_create Metrics.submitted_name;
-    rejected_c = Telemetry.Counter.find_or_create Metrics.rejected_name;
-    completed_c = Telemetry.Counter.find_or_create Metrics.completed_name;
-    queue_c = Telemetry.Counter.find_or_create Metrics.queue_depth_name }
+  assert (config.max_retries >= 0 && config.retry_backoff_s >= 0.0);
+  let t =
+    { llm; cfg = config;
+      pool =
+        Kv_pool.create ~init_cap:config.kv_cap ~max_live:config.max_batch llm;
+      queue = []; active = []; ledger = []; finished = []; tokens = 0;
+      eff_batch = config.max_batch; clean = 0; denied_step = false;
+      idle_denials = 0;
+      ttft_h = Telemetry.Histogram.find_or_create Metrics.ttft_ms_name;
+      tpot_h = Telemetry.Histogram.find_or_create Metrics.tpot_ms_name;
+      submitted_c = Telemetry.Counter.find_or_create Metrics.submitted_name;
+      rejected_c = Telemetry.Counter.find_or_create Metrics.rejected_name;
+      completed_c = Telemetry.Counter.find_or_create Metrics.completed_name;
+      cancelled_c = Telemetry.Counter.find_or_create Metrics.cancelled_name;
+      failed_c = Telemetry.Counter.find_or_create Metrics.failed_name;
+      queue_c = Telemetry.Counter.find_or_create Metrics.queue_depth_name;
+      eff_batch_c = Telemetry.Counter.find_or_create Metrics.eff_batch_name;
+      retries_c =
+        Telemetry.Counter.find_or_create Telemetry.Registry.fault_retries_name;
+      shed_c =
+        Telemetry.Counter.find_or_create Telemetry.Registry.fault_shed_name }
+  in
+  Telemetry.Counter.set t.eff_batch_c t.eff_batch;
+  t
 
 let config t = t.cfg
 let pool t = t.pool
 let queue_depth t = List.length t.queue
 let active_count t = List.length t.active
 let tokens_emitted t = t.tokens
+let effective_batch t = t.eff_batch
 let busy t = t.queue <> [] || t.active <> []
 
 (* submission ledger, oldest first *)
@@ -95,7 +150,10 @@ let submit t ~now (req : Request.t) =
   req.Request.arrival_s <- now;
   t.ledger <- req :: t.ledger;
   Telemetry.Counter.incr t.submitted_c;
-  if List.length t.queue >= t.cfg.max_queue then begin
+  if req.Request.deadline_s <= 0.0 || List.length t.queue >= t.cfg.max_queue
+  then begin
+    (* queue full, or the SLO is already blown at submission: running it
+       could only waste batch slots on a guaranteed miss *)
     req.Request.state <- Request.Rejected;
     Telemetry.Counter.incr t.rejected_c;
     false
@@ -131,41 +189,147 @@ let pop_next t =
     | None -> ());
     best
 
-let embed t ids = Llm.embed t.llm ~rng:t.embed_rng ids
+let embed t ids = Llm.embed t.llm ids
 
-let finish t (s : session) ~now_s =
-  s.req.Request.state <- Request.Finished;
+let retire t (s : session) ~now_s ~(state : Request.state) counter =
+  s.req.Request.state <- state;
   s.req.Request.finish_s <- now_s -. s.req.Request.arrival_s;
   Kv_pool.release t.pool s.cache;
   t.active <- List.filter (fun x -> x != s) t.active;
-  t.finished <- s.req :: t.finished;
-  Telemetry.Counter.incr t.completed_c
+  Telemetry.Counter.incr counter
 
-(* admit one queued request: acquire KV, run the prefill phase, record
-   TTFT; the prefill output is the request's first token *)
+let finish t (s : session) ~now_s =
+  retire t s ~now_s ~state:Request.Finished t.completed_c;
+  t.finished <- s.req :: t.finished
+
+let cancel t (s : session) ~now_s =
+  retire t s ~now_s ~state:Request.Cancelled t.cancelled_c
+
+let fail_session t (s : session) ~now_s =
+  retire t s ~now_s ~state:Request.Failed t.failed_c
+
+(* deadline enforcement: an active session past its absolute deadline is
+   cancelled (KV back to the pool); a queued request past its deadline is
+   cancelled before wasting a prefill *)
+let sweep_deadlines t ~now_s =
+  List.iter
+    (fun s ->
+      if now_s > Request.deadline_abs s.req then cancel t s ~now_s)
+    t.active;
+  let late, ok =
+    List.partition
+      (fun (r : Request.t) -> now_s > Request.deadline_abs r)
+      t.queue
+  in
+  if late <> [] then begin
+    t.queue <- ok;
+    Telemetry.Counter.set t.queue_c (List.length t.queue);
+    List.iter
+      (fun (r : Request.t) ->
+        r.Request.state <- Request.Cancelled;
+        r.Request.finish_s <- now_s -. r.Request.arrival_s;
+        Telemetry.Counter.incr t.cancelled_c)
+      late
+  end
+
+(* run one prefill/decode attempt with bounded retry; [rewind] restores
+   the pre-attempt KV state so the retried step recomputes from identical
+   inputs — the source of the bit-identical-recovery guarantee *)
+let with_retries t ~rewind f =
+  let rec go attempt =
+    try f ()
+    with e when attempt < t.cfg.max_retries ->
+      ignore e;
+      rewind ();
+      Telemetry.Counter.incr t.retries_c;
+      if t.cfg.retry_backoff_s > 0.0 then
+        Thread.delay (t.cfg.retry_backoff_s *. float_of_int (1 lsl attempt));
+      go (attempt + 1)
+  in
+  go 0
+
+let guard t ~kernel out =
+  if t.cfg.check_numerics then
+    Tpp_check.finite_2d ~mode:Tpp_check.Full ~kernel (Tensor.view2d out);
+  out
+
+let shed t (req : Request.t) ~now_s =
+  t.denied_step <- true;
+  Telemetry.Counter.incr t.shed_c;
+  if t.active = [] then begin
+    (* nothing holds a cache, so no release can unblock this request;
+       tolerate up to [max_retries] consecutive idle denials (the denial
+       may be transient), then refuse — the bound preserves liveness *)
+    t.idle_denials <- t.idle_denials + 1;
+    if t.idle_denials > t.cfg.max_retries then begin
+      t.idle_denials <- 0;
+      req.Request.state <- Request.Failed;
+      req.Request.finish_s <- now_s -. req.Request.arrival_s;
+      Telemetry.Counter.incr t.failed_c
+    end
+    else begin
+      req.Request.state <- Request.Queued;
+      t.queue <- req :: t.queue;
+      Telemetry.Counter.set t.queue_c (List.length t.queue)
+    end
+  end
+  else begin
+    (* degrade: requeue at the head and shrink the admission window *)
+    req.Request.state <- Request.Queued;
+    t.queue <- req :: t.queue;
+    Telemetry.Counter.set t.queue_c (List.length t.queue);
+    t.eff_batch <- max 1 (t.eff_batch - 1);
+    Telemetry.Counter.set t.eff_batch_c t.eff_batch
+  end
+
+(* admit one queued request: acquire KV, run the prefill phase (with
+   retries), record TTFT; the prefill output is the request's first
+   token *)
 let admit_one t ~now =
   match pop_next t with
-  | None -> false
-  | Some req ->
-    let cache = Kv_pool.acquire t.pool in
-    req.Request.state <- Request.Prefilling;
-    let emb = embed t req.Request.prompt in
-    let first =
-      Telemetry.Span.with_span ~cat:"serve"
-        ~args:[ ("request", float_of_int req.Request.id) ]
-        "prefill"
-        (fun () -> Llm.prefill ?nthreads:t.cfg.nthreads t.llm cache emb)
-    in
-    let now_s = now () in
-    req.Request.ttft_s <- now_s -. req.Request.arrival_s;
-    Telemetry.Histogram.observe t.ttft_h (1000.0 *. req.Request.ttft_s);
-    req.Request.outputs <- [ first ];
-    req.Request.state <- Request.Decoding;
-    t.tokens <- t.tokens + 1;
-    let s = { req; cache; emitted = 1; last_token_s = now_s } in
-    t.active <- t.active @ [ s ];
-    if s.emitted >= req.Request.new_tokens then finish t s ~now_s;
-    true
+  | None -> `Empty
+  | Some req -> (
+    match Kv_pool.acquire t.pool with
+    | `Denied ->
+      shed t req ~now_s:(now ());
+      `Denied
+    | `Cache cache -> (
+      t.idle_denials <- 0;
+      req.Request.state <- Request.Prefilling;
+      let emb = embed t req.Request.prompt in
+      match
+        with_retries t
+          ~rewind:(fun () -> Llm.reset_cache cache)
+          (fun () ->
+            (match Fault.fire prefill_site with _ -> ());
+            let out =
+              Telemetry.Span.with_span ~cat:"serve"
+                ~args:[ ("request", float_of_int req.Request.id) ]
+                "prefill"
+                (fun () -> Llm.prefill ?nthreads:t.cfg.nthreads t.llm cache emb)
+            in
+            guard t ~kernel:"serve.prefill" out)
+      with
+      | exception _ ->
+        (* permanent: retries exhausted *)
+        Llm.reset_cache cache;
+        Kv_pool.release t.pool cache;
+        let now_s = now () in
+        req.Request.state <- Request.Failed;
+        req.Request.finish_s <- now_s -. req.Request.arrival_s;
+        Telemetry.Counter.incr t.failed_c;
+        `Progress
+      | first ->
+        let now_s = now () in
+        req.Request.ttft_s <- now_s -. req.Request.arrival_s;
+        Telemetry.Histogram.observe t.ttft_h (1000.0 *. req.Request.ttft_s);
+        req.Request.outputs <- [ first ];
+        req.Request.state <- Request.Decoding;
+        t.tokens <- t.tokens + 1;
+        let s = { req; cache; emitted = 1; last_token_s = now_s } in
+        t.active <- t.active @ [ s ];
+        if s.emitted >= req.Request.new_tokens then finish t s ~now_s;
+        `Progress))
 
 (* one decode step for every active session (continuous batching) *)
 let decode_round t ~now =
@@ -174,33 +338,64 @@ let decode_round t ~now =
   | sessions ->
     List.iter
       (fun s ->
-        let id = s.req.Request.gen.(s.emitted - 1) in
-        let e = embed t [| id |] in
-        let out =
-          Telemetry.Span.with_span ~cat:"serve"
-            ~args:[ ("request", float_of_int s.req.Request.id) ]
-            "decode"
-            (fun () -> Llm.decode_step ?nthreads:t.cfg.nthreads t.llm s.cache e)
-        in
-        let now_s = now () in
-        Telemetry.Histogram.observe t.tpot_h
-          (1000.0 *. (now_s -. s.last_token_s));
-        s.last_token_s <- now_s;
-        s.req.Request.outputs <- out :: s.req.Request.outputs;
-        s.emitted <- s.emitted + 1;
-        t.tokens <- t.tokens + 1;
-        if s.emitted >= s.req.Request.new_tokens then finish t s ~now_s)
+        (* the snapshot may contain sessions retired earlier this round *)
+        if s.req.Request.state = Request.Decoding then begin
+          let pre_len = Llm.cache_len s.cache in
+          let id = s.req.Request.gen.(s.emitted - 1) in
+          let e = embed t [| id |] in
+          match
+            with_retries t
+              ~rewind:(fun () -> Llm.truncate_cache s.cache pre_len)
+              (fun () ->
+                (match Fault.fire decode_site with _ -> ());
+                let out =
+                  Telemetry.Span.with_span ~cat:"serve"
+                    ~args:[ ("request", float_of_int s.req.Request.id) ]
+                    "decode"
+                    (fun () ->
+                      Llm.decode_step ?nthreads:t.cfg.nthreads t.llm s.cache e)
+                in
+                guard t ~kernel:"serve.decode" out)
+          with
+          | exception _ ->
+            Llm.truncate_cache s.cache pre_len;
+            fail_session t s ~now_s:(now ())
+          | out ->
+            let now_s = now () in
+            Telemetry.Histogram.observe t.tpot_h
+              (1000.0 *. (now_s -. s.last_token_s));
+            s.last_token_s <- now_s;
+            s.req.Request.outputs <- out :: s.req.Request.outputs;
+            s.emitted <- s.emitted + 1;
+            t.tokens <- t.tokens + 1;
+            if s.emitted >= s.req.Request.new_tokens then finish t s ~now_s
+        end)
       sessions;
     true
 
 let step t ~now =
+  t.denied_step <- false;
+  sweep_deadlines t ~now_s:(now ());
   let rec admit did =
-    if List.length t.active < t.cfg.max_batch && admit_one t ~now then
-      admit true
+    if List.length t.active < t.eff_batch then
+      match admit_one t ~now with
+      | `Progress -> admit true
+      | `Empty -> did
+      | `Denied -> true (* stop admitting this step; shedding already done *)
     else did
   in
   let admitted = admit false in
   let decoded = decode_round t ~now in
+  (* shed recovery: a run of denial-free steps earns the window back *)
+  if t.denied_step then t.clean <- 0
+  else if t.eff_batch < t.cfg.max_batch then begin
+    t.clean <- t.clean + 1;
+    if t.clean >= recovery_steps then begin
+      t.clean <- 0;
+      t.eff_batch <- t.eff_batch + 1;
+      Telemetry.Counter.set t.eff_batch_c t.eff_batch
+    end
+  end;
   admitted || decoded
 
 let drain t ~now =

@@ -6,10 +6,20 @@
     {!Kv_pool} and return to it on completion. Latencies land in the
     [serve.*] telemetry histograms/counters ({!Metrics}).
 
+    Hardened failure paths: deadline enforcement cancels sessions past
+    their SLO and returns their KV to the pool; failing prefill/decode
+    steps are retried up to [max_retries] times after rewinding the KV
+    cache to its pre-step state (so recovery is bit-identical to a run
+    that never failed), then marked [Failed]; a [`Denied] KV acquire
+    sheds load by shrinking the effective batch limit, which grows back
+    after a denial-free recovery window.
+
     Sessions are mathematically independent, so batched decoding produces
     bit-identical hidden states to running each session alone with
     [Llm.prefill]/[Llm.decode_step] — wall-clock time feeds only
-    telemetry, never control flow. *)
+    telemetry, never control flow (with finite deadlines, the caller's
+    [now] clock becomes part of the schedule; the chaos harness drives a
+    virtual clock to stay deterministic). *)
 
 type policy = Fcfs | Edf  (** earliest absolute deadline first *)
 
@@ -24,9 +34,16 @@ type config = {
   policy : policy;
   nthreads : int option;  (** team size for prefill/decode kernels *)
   kv_cap : int;  (** initial rows of pooled KV caches *)
+  max_retries : int;  (** extra attempts for a failing prefill/decode step *)
+  retry_backoff_s : float;
+      (** base sleep before retry [k] is [retry_backoff_s * 2^k]; 0 = none *)
+  check_numerics : bool;
+      (** run each step's output through [Tpp_check.finite_2d] so NaN/Inf
+          surfaces as a retryable structured error *)
 }
 
-(** queue 64, batch 8, FCFS, default threads, 16 KV rows. *)
+(** queue 64, batch 8, FCFS, default threads, 16 KV rows, 2 retries, no
+    backoff, numeric checks off. *)
 val default_config : config
 
 type t
@@ -35,24 +52,30 @@ val create : ?config:config -> Llm.t -> t
 val config : t -> config
 val pool : t -> Kv_pool.t
 
-(** [submit t ~now req] — [false] means rejected (queue full); the request
-    is stamped [Rejected] and never runs. [now] is the serving-clock
-    timestamp of arrival. *)
+(** [submit t ~now req] — [false] means rejected: the queue is full, or
+    the request's deadline budget is already non-positive (it could never
+    meet its SLO). The request is stamped [Rejected] and never runs.
+    [now] is the serving-clock timestamp of arrival. *)
 val submit : t -> now:float -> Request.t -> bool
 
-(** One serving iteration: admit up to capacity (prefill + TTFT), then one
-    decode step for every active session. Returns [false] when there was
-    nothing to do. [now] is sampled around kernel runs for latency
-    telemetry only. *)
+(** One serving iteration: enforce deadlines (cancel late sessions and
+    queued requests), admit up to the effective batch limit (prefill +
+    TTFT, with retries), then one decode step for every active session
+    (with retries). Returns [false] when there was nothing to do. *)
 val step : t -> now:(unit -> float) -> bool
 
-(** Run [step] until queue and batch are empty. *)
+(** Run [step] until queue and batch are empty. Terminates even under
+    persistent faults: bounded retries end in [Failed], and a KV denial
+    with an idle pool fails the request rather than spinning. *)
 val drain : t -> now:(unit -> float) -> unit
 
 val busy : t -> bool
 val queue_depth : t -> int
 val active_count : t -> int
 val tokens_emitted : t -> int
+
+(** Current load-shedding admission window, in [1, max_batch]. *)
+val effective_batch : t -> int
 
 (** Submission ledger, oldest first (includes rejected and in-flight). *)
 val requests : t -> Request.t list

@@ -113,6 +113,17 @@ let arena_hits_name = "tpp.arena.hits"
 let arena_misses_name = "tpp.arena.misses"
 let arena_bytes_name = "tpp.arena.bytes"
 
+(* ---- fault-injection / robustness counter names ----
+   owned by lib/fault (injected), Team (trips/quarantined), Tpp_check
+   (numeric errors) and Serve.Scheduler (retries/shed) *)
+
+let fault_injected_name = "fault.injected"
+let fault_retries_name = "fault.retries"
+let fault_shed_name = "fault.shed"
+let watchdog_trips_name = "watchdog.trips"
+let pool_quarantined_name = "pool.quarantined"
+let numeric_errors_name = "tpp.numeric_errors"
+
 (* ---- lifecycle ---- *)
 
 let reset () =

@@ -81,6 +81,18 @@ val arena_hits_name : string
 val arena_misses_name : string
 val arena_bytes_name : string
 
+(** Counter names for the fault-injection / robustness layer: faults fired
+    by lib/fault, scheduler retries and load-shedding events, watchdog
+    warnings, pool workers quarantined after a death or stall, and NaN/Inf
+    detections by the TPP numeric guard. *)
+val fault_injected_name : string
+
+val fault_retries_name : string
+val fault_shed_name : string
+val watchdog_trips_name : string
+val pool_quarantined_name : string
+val numeric_errors_name : string
+
 (** Clear kernel stats, predictions, spans and zero all counters and
     histograms. *)
 val reset : unit -> unit

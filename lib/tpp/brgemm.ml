@@ -117,6 +117,20 @@ let accumulate ker acc (a : View.t) (b : View.t) oa ob =
       done
     done
 
+(* NaN-poison fault site: a fired [`Nan] corrupts c(0,0) after the store,
+   modelling a defective kernel. Poison lands at flattened index 0 so
+   even a [Sampled _] guard (which always probes index 0) detects it. *)
+let poison_site = Fault.site "tpp.brgemm.store"
+
+(* post-store guard: runs inside the accumulator's protected region so a
+   raised Numeric_error still releases the lease *)
+let guard ker (c : View.t) =
+  (match Fault.fire poison_site with
+  | `Nan -> View.set c 0 0 Float.nan
+  | `None | `Deny -> ());
+  if Tpp_check.mode () <> Tpp_check.Off then
+    Tpp_check.finite_2d ~kernel:(config_to_string ker.cfg) c
+
 let check_views ker ~(a : View.t) ~(b : View.t) ~(c : View.t) =
   let { m; n; k; b_layout; dtype; _ } = ker.cfg in
   assert (a.View.rows >= m && a.View.cols >= k);
@@ -131,11 +145,17 @@ let exec_stride ker ~a ~b ~c ~stride_a ~stride_b ~count =
   check_views ker ~a ~b ~c;
   let ar = Scratch.arena () in
   let acc = Scratch.lease ar (ker.cfg.m * ker.cfg.n) in
-  load_acc ker acc c;
-  for i = 0 to count - 1 do
-    accumulate ker acc a b (i * stride_a) (i * stride_b)
-  done;
-  store_acc ker acc c;
+  (* try/with (not Fun.protect) keeps the no-exception path allocation-free *)
+  (try
+     load_acc ker acc c;
+     for i = 0 to count - 1 do
+       accumulate ker acc a b (i * stride_a) (i * stride_b)
+     done;
+     store_acc ker acc c;
+     guard ker c
+   with e ->
+     Scratch.release ar acc;
+     raise e);
   Scratch.release ar acc
 
 let exec_offsets ker ~a ~b ~c ~offs_a ~offs_b =
@@ -143,11 +163,16 @@ let exec_offsets ker ~a ~b ~c ~offs_a ~offs_b =
   check_views ker ~a ~b ~c;
   let ar = Scratch.arena () in
   let acc = Scratch.lease ar (ker.cfg.m * ker.cfg.n) in
-  load_acc ker acc c;
-  for i = 0 to Array.length offs_a - 1 do
-    accumulate ker acc a b offs_a.(i) offs_b.(i)
-  done;
-  store_acc ker acc c;
+  (try
+     load_acc ker acc c;
+     for i = 0 to Array.length offs_a - 1 do
+       accumulate ker acc a b offs_a.(i) offs_b.(i)
+     done;
+     store_acc ker acc c;
+     guard ker c
+   with e ->
+     Scratch.release ar acc;
+     raise e);
   Scratch.release ar acc
 
 let exec_list ker ~ab ~c =
@@ -166,16 +191,21 @@ let exec_list ker ~ab ~c =
     check_views ker ~a:a0 ~b:b0 ~c;
     let ar = Scratch.arena () in
     let acc = Scratch.lease ar (ker.cfg.m * ker.cfg.n) in
-    load_acc ker acc c;
-    List.iter
-      (fun ((a : View.t), (b : View.t)) ->
-        (* views may come from different buffers; fold their origins in *)
-        accumulate ker acc
-          { a with View.off = 0 }
-          { b with View.off = 0 }
-          a.View.off b.View.off)
-      ab;
-    store_acc ker acc c;
+    (try
+       load_acc ker acc c;
+       List.iter
+         (fun ((a : View.t), (b : View.t)) ->
+           (* views may come from different buffers; fold their origins in *)
+           accumulate ker acc
+             { a with View.off = 0 }
+             { b with View.off = 0 }
+             a.View.off b.View.off)
+         ab;
+       store_acc ker acc c;
+       guard ker c
+     with e ->
+       Scratch.release ar acc;
+       raise e);
     Scratch.release ar acc
 
 let exec ker ~a ~b ~c = exec_stride ker ~a ~b ~c ~stride_a:0 ~stride_b:0 ~count:1

@@ -67,6 +67,20 @@ let total_bytes () =
   Mutex.unlock arenas_lock;
   n
 
+(* slots currently leased across all arenas — a robustness invariant:
+   between kernel invocations this must be 0 even after a kernel raised
+   mid-execution, or arenas leak a buffer per failure *)
+let busy_slots () =
+  Mutex.lock arenas_lock;
+  let n =
+    Hashtbl.fold
+      (fun _ a acc ->
+        acc + List.length (List.filter (fun s -> s.busy) a.slots))
+      arenas 0
+  in
+  Mutex.unlock arenas_lock;
+  n
+
 let total_slots () =
   Mutex.lock arenas_lock;
   let n =

@@ -43,6 +43,12 @@ val total_bytes : unit -> int
 (** Number of slots (free + busy) across all arenas. *)
 val total_slots : unit -> int
 
+(** Number of slots currently leased out (and not yet released) across
+    all arenas. Zero whenever no kernel is in flight — including after a
+    worker raised out of a kernel, since the hot path releases its lease
+    on the way out. *)
+val busy_slots : unit -> int
+
 (** Drop every arena and its buffers. Only safe when no kernel is in
     flight; intended for tests. Telemetry counters are not reset. *)
 val reset : unit -> unit

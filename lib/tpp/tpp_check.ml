@@ -1,0 +1,55 @@
+(* Opt-in numeric guard for TPP kernel output.
+
+   A NaN/Inf produced by a kernel (bad input, a defective JITed kernel, a
+   flipped bit) silently poisons everything downstream; by the time a
+   serving layer notices, the token is already wrong. [finite_2d] scans a
+   2-D view and turns the first non-finite element into a structured
+   {!Numeric_error} naming the kernel and the offending tile coordinates,
+   so the failure surfaces *at* the kernel that produced it and a serving
+   retry can re-run just that step.
+
+   The guard is off by default (the hot path pays one ref load). [Full]
+   checks every element; [Sampled k] checks every k-th element of the
+   row-major flattening — index 0 is always probed, so a guard-aware
+   poison (or a whole-tile corruption) is still caught at 1/k the cost. *)
+
+module View = Tensor.View
+
+exception
+  Numeric_error of { kernel : string; row : int; col : int; value : float }
+
+let () =
+  Printexc.register_printer (function
+    | Numeric_error { kernel; row; col; value } ->
+      Some
+        (Printf.sprintf "Tpp_check.Numeric_error(kernel=%s, at=(%d,%d), v=%h)"
+           kernel row col value)
+    | _ -> None)
+
+type mode = Off | Sampled of int | Full
+
+let mode_ref = ref Off
+let set_mode m = mode_ref := m
+let mode () = !mode_ref
+
+let errors_c =
+  Telemetry.Counter.find_or_create Telemetry.Registry.numeric_errors_name
+
+let check ~kernel (v : View.t) ~step =
+  let total = v.View.rows * v.View.cols in
+  let i = ref 0 in
+  while !i < total do
+    let r = !i / v.View.cols and c = !i mod v.View.cols in
+    let x = View.get v r c in
+    if not (Float.is_finite x) then begin
+      Telemetry.Counter.incr errors_c;
+      raise (Numeric_error { kernel; row = r; col = c; value = x })
+    end;
+    i := !i + step
+  done
+
+let finite_2d ?mode ~kernel (v : View.t) =
+  match (match mode with Some m -> m | None -> !mode_ref) with
+  | Off -> ()
+  | Full -> check ~kernel v ~step:1
+  | Sampled k -> check ~kernel v ~step:(max 1 k)

@@ -186,7 +186,7 @@ let test_llm_cache_matches_full_forward () =
   let rng = Prng.create 10 in
   let llm = Llm.create ~rng ~block:8 Llm.tiny in
   let ids = Array.init 12 (fun i -> i * 3 mod Llm.tiny.Llm.vocab) in
-  let emb = Llm.embed llm ~rng ids in
+  let emb = Llm.embed llm ids in
   (* full forward *)
   let full = Llm.forward_full llm emb in
   (* prefill 8 then decode 4 *)
@@ -217,7 +217,7 @@ let test_llm_cache_recycling () =
   let rng = Prng.create 10 in
   let llm = Llm.create ~rng ~block:8 Llm.tiny in
   let ids = Array.init 10 (fun i -> (i * 5) mod Llm.tiny.Llm.vocab) in
-  let emb = Llm.embed llm ~rng ids in
+  let emb = Llm.embed llm ids in
   let run cache =
     let first = Llm.prefill llm cache emb in
     let e =
@@ -242,6 +242,34 @@ let test_llm_cache_recycling () =
     (Tensor.approx_equal ~tol:0.0 f1 f2);
   checkb "recycled decode bit-identical" true
     (Tensor.approx_equal ~tol:0.0 n1 n2)
+
+let test_llm_cache_truncate_bit_identical () =
+  (* truncate_cache rewinds a partially-appended step: re-running the
+     step after the rewind must be bit-identical to never having failed
+     (the property serve's retry path depends on) *)
+  let rng = Prng.create 10 in
+  let llm = Llm.create ~rng ~block:8 Llm.tiny in
+  let ids = Array.init 6 (fun i -> (i * 5) mod Llm.tiny.Llm.vocab) in
+  let emb = Llm.embed llm ids in
+  let tok =
+    Tensor.init Datatype.F32 [| 1; Llm.tiny.Llm.hidden |] (fun i ->
+        Tensor.get emb [| 0; i.(1) |])
+  in
+  (* clean run *)
+  let c1 = Llm.new_cache llm in
+  let _ = Llm.prefill llm c1 emb in
+  let clean = Llm.decode_step llm c1 tok in
+  (* interrupted run: decode once, rewind as a failed attempt would, redo *)
+  let c2 = Llm.new_cache llm in
+  let _ = Llm.prefill llm c2 emb in
+  let pre = Llm.cache_len c2 in
+  let _ = Llm.decode_step llm c2 tok in
+  Llm.truncate_cache c2 pre;
+  checki "rewound to pre-step length" pre (Llm.cache_len c2);
+  let redone = Llm.decode_step llm c2 tok in
+  checki "re-appended one row" (pre + 1) (Llm.cache_len c2);
+  checkb "retried step bit-identical" true
+    (Tensor.approx_equal ~tol:0.0 clean redone)
 
 let test_llm_flops_model () =
   (* decode flops must be ~ prefill flops / n for large shapes (per
@@ -336,6 +364,8 @@ let () =
             test_llm_cache_matches_full_forward;
           Alcotest.test_case "kv cache recycling" `Quick
             test_llm_cache_recycling;
+          Alcotest.test_case "kv cache truncate (retry rewind)" `Quick
+            test_llm_cache_truncate_bit_identical;
           Alcotest.test_case "flop model" `Quick test_llm_flops_model;
           Alcotest.test_case "llama params" `Quick test_llama_param_count;
         ] );

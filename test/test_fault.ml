@@ -1,0 +1,184 @@
+(* Tests for lib/fault: plan parsing/printing, deterministic trigger
+   semantics (Nth one-shot, periodic, probabilistic), site registration
+   and invocation accounting, and the zero-overhead no-plan path. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let nth ?period first = Fault.Nth { first; period }
+
+let rule ?period ?(kind = Fault.Exn) site first =
+  { Fault.rsite = site; rkind = kind; rtrigger = nth ?period first }
+
+(* ---- plan grammar ---- *)
+
+let test_plan_parse_roundtrip () =
+  let s =
+    "a.b:exn@n3;c.d:nan@n2+7;e.f:deny;g.h:stall(5)@n1+2;i.j:exn@p0.25"
+  in
+  match Fault.plan_of_string ~seed:9 s with
+  | Error m -> Alcotest.fail m
+  | Ok plan ->
+    checki "seed" 9 plan.Fault.seed;
+    checki "five rules" 5 (List.length plan.Fault.rules);
+    checks "roundtrip" s (Fault.plan_to_string plan);
+    (match plan.Fault.rules with
+    | [ r1; r2; r3; r4; r5 ] ->
+      checkb "one-shot nth" true (r1.Fault.rtrigger = nth 3);
+      checkb "periodic nth" true (r2.Fault.rtrigger = nth ~period:7 2);
+      checkb "nan kind" true (r2.Fault.rkind = Fault.Nan);
+      checkb "default trigger is n1" true (r3.Fault.rtrigger = nth 1);
+      checkb "deny kind" true (r3.Fault.rkind = Fault.Deny);
+      checkb "stall ms to seconds" true (r4.Fault.rkind = Fault.Stall 0.005);
+      checkb "probability" true (r5.Fault.rtrigger = Fault.Prob 0.25)
+    | _ -> Alcotest.fail "rule structure")
+
+let test_plan_parse_errors () =
+  let bad s =
+    match Fault.plan_of_string s with
+    | Error m -> checkb ("diagnostic for " ^ s) true (String.length m > 0)
+    | Ok _ -> Alcotest.fail ("accepted malformed plan " ^ s)
+  in
+  bad "";
+  bad "site-only";
+  bad "a:zap";
+  bad "a:exn@x9";
+  bad "a:exn@n0";
+  bad "a:stall(-1)";
+  bad "a:exn@p1.5";
+  bad ";;"
+
+(* ---- trigger semantics ---- *)
+
+let fires site n =
+  (* run [n] invocations of [site], return the 1-based indices that fired *)
+  let s = Fault.site site in
+  let out = ref [] in
+  for i = 1 to n do
+    match Fault.fire s with
+    | exception Fault.Injected _ -> out := i :: !out
+    | `Nan | `Deny -> out := i :: !out
+    | `None -> ()
+  done;
+  List.rev !out
+
+let test_nth_one_shot_and_periodic () =
+  Fault.with_plan
+    { Fault.seed = 0; rules = [ rule "t.oneshot" 3 ] }
+    (fun () -> Alcotest.(check (list int)) "fires exactly once at 3" [ 3 ]
+        (fires "t.oneshot" 10));
+  Fault.with_plan
+    { Fault.seed = 0; rules = [ rule ~period:4 "t.periodic" 2 ] }
+    (fun () ->
+      Alcotest.(check (list int)) "fires at first then every period"
+        [ 2; 6; 10 ] (fires "t.periodic" 11))
+
+let test_prob_deterministic_per_seed () =
+  let run seed =
+    Fault.with_plan
+      { Fault.seed;
+        rules =
+          [ { Fault.rsite = "t.prob"; rkind = Fault.Exn;
+              rtrigger = Fault.Prob 0.5 } ] }
+      (fun () -> fires "t.prob" 200)
+  in
+  let a = run 1 and b = run 1 and c = run 2 in
+  checkb "same seed, same schedule" true (a = b);
+  checkb "different seed, different schedule" true (a <> c);
+  let hits = List.length a in
+  checkb "rate in the right ballpark" true (hits > 50 && hits < 150)
+
+let test_injected_payload_and_counts () =
+  let s = Fault.site "t.payload" in
+  Fault.with_plan
+    { Fault.seed = 0; rules = [ rule "t.payload" 2 ] }
+    (fun () ->
+      (match Fault.fire s with
+      | exception Fault.Injected _ -> Alcotest.fail "fired too early"
+      | _ -> ());
+      (match Fault.fire s with
+      | exception Fault.Injected { site; invocation } ->
+        checks "site name in payload" "t.payload" site;
+        checki "invocation in payload" 2 invocation
+      | _ -> Alcotest.fail "expected injection at invocation 2");
+      checkb "site counted" true
+        (List.assoc "t.payload" (Fault.sites ()) = 2))
+
+let test_no_plan_is_inert () =
+  Fault.clear ();
+  let s = Fault.site "t.inert" in
+  for _ = 1 to 5 do
+    match Fault.fire s with
+    | `None -> ()
+    | `Nan | `Deny -> Alcotest.fail "fired without a plan"
+    | exception Fault.Injected _ -> Alcotest.fail "raised without a plan"
+  done;
+  (* without a plan, invocations are not even counted (zero overhead) *)
+  checki "no accounting without a plan" 0
+    (List.assoc "t.inert" (Fault.sites ()));
+  checkb "no active plan" true (Fault.active () = None)
+
+let test_with_plan_restores () =
+  let plan = { Fault.seed = 0; rules = [ rule "t.restore" 1 ] } in
+  (match
+     Fault.with_plan plan (fun () ->
+         checkb "plan active inside" true (Fault.active () = Some plan);
+         failwith "body escapes")
+   with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "body should have raised");
+  checkb "plan cleared after escape" true (Fault.active () = None);
+  let s = Fault.site "t.restore" in
+  match Fault.fire s with
+  | `None -> ()
+  | _ | (exception Fault.Injected _) ->
+    Alcotest.fail "site still armed after with_plan"
+
+let test_install_resets_counts () =
+  let plan = { Fault.seed = 0; rules = [ rule "t.reset" 2 ] } in
+  let once () =
+    Fault.with_plan plan (fun () -> fires "t.reset" 5)
+  in
+  checkb "identical schedule on reinstall" true (once () = once ())
+
+let test_stall_sleeps () =
+  Fault.with_plan
+    { Fault.seed = 0;
+      rules = [ rule ~kind:(Fault.Stall 0.05) "t.stall" 1 ] }
+    (fun () ->
+      let s = Fault.site "t.stall" in
+      let t0 = Telemetry.Clock.now_s () in
+      (match Fault.fire s with
+      | `None -> ()
+      | _ -> Alcotest.fail "stall must not change the result");
+      checkb "stalled for the configured duration" true
+        (Telemetry.Clock.now_s () -. t0 >= 0.04))
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "parse/print roundtrip" `Quick
+            test_plan_parse_roundtrip;
+          Alcotest.test_case "malformed plans" `Quick test_plan_parse_errors;
+        ] );
+      ( "triggers",
+        [
+          Alcotest.test_case "nth one-shot and periodic" `Quick
+            test_nth_one_shot_and_periodic;
+          Alcotest.test_case "prob deterministic per seed" `Quick
+            test_prob_deterministic_per_seed;
+          Alcotest.test_case "injected payload" `Quick
+            test_injected_payload_and_counts;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "no plan is inert" `Quick test_no_plan_is_inert;
+          Alcotest.test_case "with_plan restores" `Quick test_with_plan_restores;
+          Alcotest.test_case "install resets counts" `Quick
+            test_install_resets_counts;
+          Alcotest.test_case "stall sleeps" `Quick test_stall_sleeps;
+        ] );
+    ]

@@ -326,8 +326,29 @@ let test_team_exception_propagates () =
     Team.run ~nthreads:3 (fun ctx ->
         if ctx.Team.tid = 1 then failwith "boom")
   with
-  | exception Failure m -> Alcotest.(check string) "message" "boom" m
+  | exception Team.Parallel_failure [ (1, Failure m) ] ->
+    Alcotest.(check string) "message" "boom" m
+  | exception e -> Alcotest.fail ("unexpected exception " ^ Printexc.to_string e)
   | _ -> Alcotest.fail "expected exception"
+
+let test_team_aggregates_all_failures () =
+  (* several threads raise in the same region: nothing is lost, and the
+     aggregate lists them in tid order *)
+  match
+    Team.run ~nthreads:4 (fun ctx ->
+        if ctx.Team.tid mod 2 = 1 then
+          failwith (Printf.sprintf "boom-%d" ctx.Team.tid))
+  with
+  | exception Team.Parallel_failure fs ->
+    Alcotest.(check (list int)) "tids in order" [ 1; 3 ] (List.map fst fs);
+    List.iter
+      (fun (tid, e) ->
+        Alcotest.(check string)
+          (Printf.sprintf "message %d" tid)
+          (Printf.sprintf "boom-%d" tid)
+          (match e with Failure m -> m | _ -> "?"))
+      fs
+  | _ -> Alcotest.fail "expected Parallel_failure"
 
 let test_team_dynamic_chunks_disjoint () =
   let claimed = Array.make 40 0 in
@@ -373,7 +394,9 @@ let test_pool_exception_leaves_pool_usable () =
      Team.run ~nthreads:3 (fun ctx ->
          if ctx.Team.tid = 2 then failwith "pool-boom")
    with
-  | exception Failure m -> Alcotest.(check string) "message" "pool-boom" m
+  | exception Team.Parallel_failure [ (2, Failure m) ] ->
+    Alcotest.(check string) "message" "pool-boom" m
+  | exception e -> Alcotest.fail ("unexpected exception " ^ Printexc.to_string e)
   | _ -> Alcotest.fail "expected exception");
   (* the same team must still execute correctly afterwards *)
   let hits = Atomic.make 0 in
@@ -410,6 +433,168 @@ let test_pool_nested_region_falls_back () =
   Team.run ~nthreads:2 (fun _ ->
       Team.run ~nthreads:2 (fun _ -> Atomic.incr total));
   checki "nested teams all ran" 4 (Atomic.get total)
+
+(* ---- watchdog, quarantine and fault sites ---- *)
+
+let with_watchdog wd f =
+  let prev = Team.current_watchdog () in
+  Team.set_watchdog (Some wd);
+  Fun.protect ~finally:(fun () -> Team.set_watchdog prev) f
+
+let test_watchdog_warns_without_failing () =
+  (* a slow thread inside the warn window trips the watchdog counter but
+     the region still completes normally *)
+  with_watchdog
+    { Team.warn_s = 0.005; abandon_s = 5.0 }
+    (fun () ->
+      let before =
+        Telemetry.Counter.value Telemetry.Registry.watchdog_trips_name
+      in
+      let hits = Atomic.make 0 in
+      Team.run ~nthreads:2 (fun ctx ->
+          if ctx.Team.tid = 1 then Thread.delay 0.03;
+          Atomic.incr hits);
+      checki "region completed" 2 (Atomic.get hits);
+      checkb "watchdog tripped" true
+        (Telemetry.Counter.value Telemetry.Registry.watchdog_trips_name
+        > before))
+
+let test_watchdog_abandons_stuck_worker () =
+  (* a worker stuck past abandon_s is reported as Worker_stalled and
+     quarantined; the pool respawns and stays usable — no deadlock *)
+  with_watchdog
+    { Team.warn_s = 0.005; abandon_s = 0.05 }
+    (fun () ->
+      let before =
+        Telemetry.Counter.value Telemetry.Registry.pool_quarantined_name
+      in
+      (match
+         Team.run ~nthreads:2 (fun ctx ->
+             if ctx.Team.tid = 1 then Thread.delay 0.3)
+       with
+      | exception Team.Parallel_failure fs ->
+        checkb "stall recorded" true
+          (List.exists
+             (fun (_, e) ->
+               match e with Team.Worker_stalled _ -> true | _ -> false)
+             fs)
+      | () -> Alcotest.fail "expected abandonment of the stuck worker");
+      checkb "worker quarantined" true
+        (Telemetry.Counter.value Telemetry.Registry.pool_quarantined_name
+        > before);
+      (* a fresh worker replaces the quarantined one *)
+      let hits = Atomic.make 0 in
+      Team.run ~nthreads:2 (fun _ -> Atomic.incr hits);
+      checki "pool recovered" 2 (Atomic.get hits))
+
+let test_worker_death_transparent_fallback () =
+  (* an injected worker death: the next region's job is stolen and run
+     by the caller (same semantics), the dead worker is quarantined, and
+     the pool respawns a replacement *)
+  with_watchdog
+    { Team.warn_s = 0.005; abandon_s = 0.05 }
+    (fun () ->
+      let before =
+        Telemetry.Counter.value Telemetry.Registry.pool_quarantined_name
+      in
+      Fault.with_plan
+        { Fault.seed = 1;
+          rules =
+            [ { Fault.rsite = "team.worker.loop"; rkind = Fault.Exn;
+                rtrigger = Fault.Nth { first = 1; period = None } } ] }
+        (fun () ->
+          (* the worker dies right after finishing this region's job *)
+          let hits = Atomic.make 0 in
+          Team.run ~nthreads:2 (fun _ -> Atomic.incr hits);
+          checki "region with dying worker" 2 (Atomic.get hits);
+          (* its mailbox is dead: the caller steals the job, the region
+             still completes with identical semantics *)
+          let hits2 = Atomic.make 0 in
+          Team.run ~nthreads:2 (fun _ -> Atomic.incr hits2);
+          checki "stolen region completed" 2 (Atomic.get hits2));
+      checkb "dead worker quarantined" true
+        (Telemetry.Counter.value Telemetry.Registry.pool_quarantined_name
+        > before);
+      let hits3 = Atomic.make 0 in
+      Team.run ~nthreads:2 (fun _ -> Atomic.incr hits3);
+      checki "pool recovered after death" 2 (Atomic.get hits3))
+
+let test_worker_exception_leaves_arenas_clean () =
+  (* a worker raising mid-BRGEMM must release its scratch lease: busy
+     slots are 0 after the failure and the pool still runs kernels *)
+  let ker =
+    Brgemm.compile (Brgemm.make_config ~beta:0.0 ~m:8 ~n:8 ~k:8 ())
+  in
+  let mk () = Tensor.view2d (Tensor.create Datatype.F32 [| 8; 8 |]) in
+  Fault.with_plan
+    { Fault.seed = 1;
+      rules =
+        [ { Fault.rsite = "tpp.brgemm.store"; rkind = Fault.Nan;
+            rtrigger = Fault.Nth { first = 1; period = Some 1 } } ] }
+    (fun () ->
+      let prev = Tpp_check.mode () in
+      Tpp_check.set_mode Tpp_check.Full;
+      Fun.protect
+        ~finally:(fun () -> Tpp_check.set_mode prev)
+        (fun () ->
+          match
+            Team.run ~nthreads:2 (fun _ ->
+                Brgemm.exec ker ~a:(mk ()) ~b:(mk ()) ~c:(mk ()))
+          with
+          | exception Team.Parallel_failure fs ->
+            checkb "numeric errors surfaced" true
+              (List.for_all
+                 (fun (_, e) ->
+                   match e with
+                   | Tpp_check.Numeric_error _ -> true
+                   | _ -> false)
+                 fs)
+          | () -> Alcotest.fail "expected poisoned kernels to raise"));
+  checki "no leaked scratch lease" 0 (Scratch.busy_slots ());
+  (* kernels still run through the same arenas and pool *)
+  let c = mk () in
+  Team.run ~nthreads:2 (fun _ -> Brgemm.exec ker ~a:(mk ()) ~b:(mk ()) ~c);
+  checki "arenas clean after recovery" 0 (Scratch.busy_slots ())
+
+let test_spec_parse_result_positions () =
+  (match Spec_parser.parse_result "aB{" with
+  | Error e ->
+    checki "position of unterminated brace" 2 e.Spec_parser.pos;
+    checkb "reason mentions brace" true
+      (String.length e.Spec_parser.reason > 0)
+  | Ok _ -> Alcotest.fail "expected parse error");
+  (match Spec_parser.parse_result "ab?" with
+  | Error e -> checki "position of bad char" 2 e.Spec_parser.pos
+  | Ok _ -> Alcotest.fail "expected parse error");
+  (match Spec_parser.parse_result "" with
+  | Error e -> checki "empty spec at position 0" 0 e.Spec_parser.pos
+  | Ok _ -> Alcotest.fail "expected parse error");
+  checkb "valid spec parses" true
+    (match Spec_parser.parse_result "bcaBCb" with Ok _ -> true | Error _ -> false)
+
+let test_jit_fault_site_leaves_cache_clean () =
+  (* an injected dispatch failure surfaces as Fault.Injected; once the
+     plan clears, the same instantiation compiles and runs *)
+  let specs =
+    [ Loop_spec.make ~bound:4 ~step:1 ();
+      Loop_spec.make ~bound:4 ~step:1 ();
+      Loop_spec.make ~bound:4 ~step:1 () ]
+  in
+  Fault.with_plan
+    { Fault.seed = 1;
+      rules =
+        [ { Fault.rsite = "parlooper.jit.compile"; rkind = Fault.Exn;
+            rtrigger = Fault.Nth { first = 1; period = Some 1 } } ] }
+    (fun () ->
+      match Threaded_loop.create specs "abc" with
+      | exception Fault.Injected _ -> ()
+      | exception e ->
+        Alcotest.fail ("unexpected exception " ^ Printexc.to_string e)
+      | _ -> Alcotest.fail "expected injected dispatch failure");
+  let l = Threaded_loop.create specs "abc" in
+  let n = ref 0 in
+  Threaded_loop.run l (fun _ -> incr n);
+  checki "dispatch clean after fault cleared" 64 !n
 
 let test_counters_growth_race () =
   (* many work-sharing instances claimed concurrently: the instance table
@@ -582,6 +767,8 @@ let () =
         [
           Alcotest.test_case "barrier" `Quick test_team_barrier_sync;
           Alcotest.test_case "exceptions" `Quick test_team_exception_propagates;
+          Alcotest.test_case "aggregates all failures" `Quick
+            test_team_aggregates_all_failures;
           Alcotest.test_case "dynamic chunks" `Quick
             test_team_dynamic_chunks_disjoint;
         ] );
@@ -593,6 +780,18 @@ let () =
           Alcotest.test_case "barrier stress" `Quick test_pool_barrier_stress;
           Alcotest.test_case "nested fallback" `Quick
             test_pool_nested_region_falls_back;
+          Alcotest.test_case "watchdog warns" `Quick
+            test_watchdog_warns_without_failing;
+          Alcotest.test_case "watchdog abandons stuck worker" `Quick
+            test_watchdog_abandons_stuck_worker;
+          Alcotest.test_case "worker death transparent fallback" `Quick
+            test_worker_death_transparent_fallback;
+          Alcotest.test_case "worker exception leaves arenas clean" `Quick
+            test_worker_exception_leaves_arenas_clean;
+          Alcotest.test_case "spec parse_result positions" `Quick
+            test_spec_parse_result_positions;
+          Alcotest.test_case "jit fault site" `Quick
+            test_jit_fault_site_leaves_cache_clean;
           Alcotest.test_case "counters growth race" `Quick
             test_counters_growth_race;
         ] );

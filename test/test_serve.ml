@@ -30,14 +30,18 @@ let mk_req ?(deadline_s = Float.infinity) ~prompt_len ~new_tokens id =
 (* reference: run one request alone against a fresh cache, no scheduler *)
 let replay_sequential llm (req : Serve.Request.t) =
   let cache = Llm.new_cache llm in
-  let rng = Prng.create 0 in
-  let first = Llm.prefill llm cache (Llm.embed llm ~rng req.Serve.Request.prompt) in
+  let first = Llm.prefill llm cache (Llm.embed llm req.Serve.Request.prompt) in
   let outs = ref [ first ] in
   for k = 0 to req.Serve.Request.new_tokens - 2 do
-    let e = Llm.embed llm ~rng [| req.Serve.Request.gen.(k) |] in
+    let e = Llm.embed llm [| req.Serve.Request.gen.(k) |] in
     outs := Llm.decode_step llm cache e :: !outs
   done;
   List.rev !outs
+
+let acquire_exn pool =
+  match Serve.Kv_pool.acquire pool with
+  | `Cache c -> c
+  | `Denied -> Alcotest.fail "unexpected KV denial"
 
 (* ---- continuous batching is bit-identical to sequential decoding ---- *)
 
@@ -113,9 +117,9 @@ let test_kv_pool_acquire_release () =
   clean ();
   let llm = make_llm () in
   let pool = Serve.Kv_pool.create ~init_cap:8 ~max_free:2 llm in
-  let c1 = Serve.Kv_pool.acquire pool in
-  let c2 = Serve.Kv_pool.acquire pool in
-  let c3 = Serve.Kv_pool.acquire pool in
+  let c1 = acquire_exn pool in
+  let c2 = acquire_exn pool in
+  let c3 = acquire_exn pool in
   checki "three created" 3 (Serve.Kv_pool.created pool);
   checki "three in use" 3 (Serve.Kv_pool.in_use pool);
   Serve.Kv_pool.release pool c1;
@@ -124,7 +128,7 @@ let test_kv_pool_acquire_release () =
   (* max_free = 2: the third release is dropped, not retained *)
   checki "free list bounded" 2 (Serve.Kv_pool.free_count pool);
   checki "none in use" 0 (Serve.Kv_pool.in_use pool);
-  let c4 = Serve.Kv_pool.acquire pool in
+  let c4 = acquire_exn pool in
   checki "reused, not created" 3 (Serve.Kv_pool.created pool);
   checki "reuse counted" 1 (Serve.Kv_pool.reused pool);
   checki "recycled cache rewound" 0 (Llm.cache_len c4)
@@ -290,6 +294,143 @@ let test_driver_end_to_end () =
     (String.length (Serve.Metrics.summary_to_string s) > 0);
   clean ()
 
+(* ---- hardened failure paths ---- *)
+
+(* a request whose deadline budget is already gone is refused at submit:
+   it could never meet its SLO, so admitting it would only burn compute *)
+let test_submit_past_deadline_rejected () =
+  clean ();
+  let llm = make_llm () in
+  let sched = Serve.Scheduler.create llm in
+  let r = mk_req ~deadline_s:0.0 ~prompt_len:3 ~new_tokens:2 0 in
+  checkb "refused" false (Serve.Scheduler.submit sched ~now:5.0 r);
+  checkb "stamped rejected" true
+    (r.Serve.Request.state = Serve.Request.Rejected);
+  checkb "nothing queued" true (not (Serve.Scheduler.busy sched))
+
+(* a session whose deadline passes mid-flight is cancelled and its KV
+   cache goes back to the pool *)
+let test_deadline_cancels_inflight () =
+  clean ();
+  let llm = make_llm () in
+  let sched = Serve.Scheduler.create llm in
+  let r = mk_req ~deadline_s:0.5 ~prompt_len:3 ~new_tokens:50 0 in
+  checkb "accepted" true (Serve.Scheduler.submit sched ~now:0.0 r);
+  let vnow = ref 0.0 in
+  ignore (Serve.Scheduler.step sched ~now:(fun () -> !vnow));
+  checkb "decoding after first step" true
+    (r.Serve.Request.state = Serve.Request.Decoding);
+  vnow := 1.0;
+  (* past the 0.5 s deadline *)
+  ignore (Serve.Scheduler.step sched ~now:(fun () -> !vnow));
+  checkb "cancelled mid-flight" true
+    (r.Serve.Request.state = Serve.Request.Cancelled);
+  checki "KV returned to pool" 0
+    (Serve.Kv_pool.in_use (Serve.Scheduler.pool sched));
+  checkb "scheduler idle" true (not (Serve.Scheduler.busy sched))
+
+(* a transient decode failure is retried after rewinding the KV cache;
+   the recovered output must be bit-identical to a run that never saw
+   the fault *)
+let test_retry_transient_bit_identical () =
+  clean ();
+  let llm = make_llm () in
+  let before = Telemetry.Counter.value Telemetry.Registry.fault_retries_name in
+  let r = mk_req ~prompt_len:4 ~new_tokens:4 0 in
+  Fault.with_plan
+    { Fault.seed = 1;
+      rules =
+        [ { Fault.rsite = "serve.decode"; rkind = Fault.Exn;
+            rtrigger = Fault.Nth { first = 2; period = None } } ] }
+    (fun () ->
+      let sched = Serve.Scheduler.create llm in
+      checkb "accepted" true (Serve.Scheduler.submit sched ~now:0.0 r);
+      Serve.Scheduler.drain sched ~now:frozen_now);
+  checkb "finished despite fault" true
+    (r.Serve.Request.state = Serve.Request.Finished);
+  checkb "a retry happened" true
+    (Telemetry.Counter.value Telemetry.Registry.fault_retries_name > before);
+  List.iter2
+    (fun b a -> checkb "recovered output bit-identical" true (bits_equal b a))
+    (Serve.Request.outputs r) (replay_sequential llm r)
+
+(* a fault that persists past max_retries fails the request without
+   leaking its KV cache or wedging the scheduler *)
+let test_retry_exhausted_fails_cleanly () =
+  clean ();
+  let llm = make_llm () in
+  let good = mk_req ~prompt_len:3 ~new_tokens:2 0 in
+  let doomed = mk_req ~prompt_len:3 ~new_tokens:2 1 in
+  Fault.with_plan
+    { Fault.seed = 1;
+      rules =
+        [ { Fault.rsite = "serve.prefill"; rkind = Fault.Exn;
+            (* from invocation 2 every attempt fails: request 0 prefills
+               clean, request 1 exhausts all its retries *)
+            rtrigger = Fault.Nth { first = 2; period = Some 1 } } ] }
+    (fun () ->
+      let sched = Serve.Scheduler.create llm in
+      checkb "good accepted" true (Serve.Scheduler.submit sched ~now:0.0 good);
+      checkb "doomed accepted" true
+        (Serve.Scheduler.submit sched ~now:0.0 doomed);
+      Serve.Scheduler.drain sched ~now:frozen_now;
+      checkb "good finished" true
+        (good.Serve.Request.state = Serve.Request.Finished);
+      checkb "doomed failed" true
+        (doomed.Serve.Request.state = Serve.Request.Failed);
+      checki "no KV leaked" 0
+        (Serve.Kv_pool.in_use (Serve.Scheduler.pool sched)))
+
+(* KV denial sheds load (shrinks the admission window) but every request
+   still completes once the denial clears *)
+let test_denial_sheds_then_recovers () =
+  clean ();
+  let llm = make_llm () in
+  let before_shed = Telemetry.Counter.value Telemetry.Registry.fault_shed_name in
+  let config =
+    { Serve.Scheduler.default_config with Serve.Scheduler.max_batch = 2 }
+  in
+  let reqs = List.init 4 (fun id -> mk_req ~prompt_len:3 ~new_tokens:2 id) in
+  Fault.with_plan
+    { Fault.seed = 1;
+      rules =
+        [ { Fault.rsite = "serve.kv.acquire"; rkind = Fault.Deny;
+            rtrigger = Fault.Nth { first = 2; period = Some 3 } } ] }
+    (fun () ->
+      let sched = Serve.Scheduler.create ~config llm in
+      List.iter
+        (fun r ->
+          checkb "accepted" true (Serve.Scheduler.submit sched ~now:0.0 r))
+        reqs;
+      Serve.Scheduler.drain sched ~now:frozen_now;
+      checkb "denials counted" true (Serve.Kv_pool.denied (Serve.Scheduler.pool sched) > 0));
+  checkb "shed counted" true
+    (Telemetry.Counter.value Telemetry.Registry.fault_shed_name > before_shed);
+  List.iter
+    (fun (r : Serve.Request.t) ->
+      checkb "finished despite denials" true
+        (r.Serve.Request.state = Serve.Request.Finished))
+    reqs
+
+(* the chaos harness is deterministic: same seed, same report *)
+let test_chaos_deterministic () =
+  clean ();
+  let config = { Serve.Chaos.default with Serve.Chaos.requests = 8 } in
+  let a = Serve.Chaos.run ~config () in
+  let b = Serve.Chaos.run ~config () in
+  checkb "faults fired" true (a.Serve.Chaos.injected > 0);
+  Alcotest.(check (list string)) "no violations" [] a.Serve.Chaos.violations;
+  Alcotest.(check (list string)) "no violations (2nd)" [] b.Serve.Chaos.violations;
+  (* timing-sensitive counters (trips, quarantines, retries) may differ
+     under CI load; the fault schedule and the ledger must not *)
+  checki "same injected" a.Serve.Chaos.injected b.Serve.Chaos.injected;
+  checki "same submitted" a.Serve.Chaos.submitted b.Serve.Chaos.submitted;
+  checki "same finished" a.Serve.Chaos.finished b.Serve.Chaos.finished;
+  checki "same cancelled" a.Serve.Chaos.cancelled b.Serve.Chaos.cancelled;
+  checki "same failed" a.Serve.Chaos.failed b.Serve.Chaos.failed;
+  checki "same compared" a.Serve.Chaos.compared b.Serve.Chaos.compared;
+  checki "same mismatched" a.Serve.Chaos.mismatched b.Serve.Chaos.mismatched
+
 let () =
   Alcotest.run "serve"
     [
@@ -320,4 +461,19 @@ let () =
       ( "driver",
         [ Alcotest.test_case "end-to-end" `Quick test_driver_end_to_end ]
       );
+      ( "fault-paths",
+        [
+          Alcotest.test_case "past-deadline submit refused" `Quick
+            test_submit_past_deadline_rejected;
+          Alcotest.test_case "deadline cancels in-flight" `Quick
+            test_deadline_cancels_inflight;
+          Alcotest.test_case "transient retry bit-identical" `Quick
+            test_retry_transient_bit_identical;
+          Alcotest.test_case "exhausted retries fail cleanly" `Quick
+            test_retry_exhausted_fails_cleanly;
+          Alcotest.test_case "denial sheds then recovers" `Quick
+            test_denial_sheds_then_recovers;
+          Alcotest.test_case "chaos deterministic" `Quick
+            test_chaos_deterministic;
+        ] );
     ]

@@ -538,6 +538,77 @@ let test_dispatch_cache () =
   Dispatch.clear ();
   checki "cleared" 0 (Dispatch.stats ()).Dispatch.misses
 
+(* ---- numeric guard (Tpp_check) and the BRGEMM poison fault site ---- *)
+
+let with_check_mode mode f =
+  let prev = Tpp_check.mode () in
+  Tpp_check.set_mode mode;
+  Fun.protect ~finally:(fun () -> Tpp_check.set_mode prev) f
+
+let test_tpp_check_finds_nonfinite () =
+  let v = Tensor.create Datatype.F32 [| 3; 4 |] in
+  Tensor.set v [| 1; 2 |] Float.nan;
+  (match Tpp_check.finite_2d ~mode:Tpp_check.Full ~kernel:"t" (Tensor.view2d v) with
+  | exception Tpp_check.Numeric_error { kernel; row; col; _ } ->
+    Alcotest.(check string) "kernel named" "t" kernel;
+    checki "row located" 1 row;
+    checki "col located" 2 col
+  | () -> Alcotest.fail "expected Numeric_error");
+  Tensor.set v [| 1; 2 |] Float.infinity;
+  (match Tpp_check.finite_2d ~mode:Tpp_check.Full ~kernel:"t" (Tensor.view2d v) with
+  | exception Tpp_check.Numeric_error _ -> ()
+  | () -> Alcotest.fail "expected Numeric_error on inf");
+  Tensor.set v [| 1; 2 |] 0.0;
+  Tpp_check.finite_2d ~mode:Tpp_check.Full ~kernel:"t" (Tensor.view2d v)
+
+let test_tpp_check_sampled_vs_full () =
+  (* sampling with step k probes every k-th flattened element plus index
+     0: a NaN off the sample grid escapes Sampled but never Full *)
+  let v = Tensor.create Datatype.F32 [| 2; 8 |] in
+  Tensor.set v [| 0; 3 |] Float.nan;
+  (* index 3: not on the step-5 grid {0,5,10,15} *)
+  Tpp_check.finite_2d ~mode:(Tpp_check.Sampled 5) ~kernel:"t" (Tensor.view2d v);
+  (match Tpp_check.finite_2d ~mode:Tpp_check.Full ~kernel:"t" (Tensor.view2d v) with
+  | exception Tpp_check.Numeric_error _ -> ()
+  | () -> Alcotest.fail "Full must catch what Sampled missed");
+  (* index 0 is probed by every sampling step *)
+  Tensor.set v [| 0; 3 |] 0.0;
+  Tensor.set v [| 0; 0 |] Float.nan;
+  match
+    Tpp_check.finite_2d ~mode:(Tpp_check.Sampled 1000) ~kernel:"t"
+      (Tensor.view2d v)
+  with
+  | exception Tpp_check.Numeric_error { row = 0; col = 0; _ } -> ()
+  | _ -> Alcotest.fail "Sampled must always probe index 0"
+
+let test_brgemm_poison_detected_and_arenas_clean () =
+  (* end-to-end: the injected NaN store is caught by the guard inside the
+     kernel's protected region, so the scratch lease is released even
+     though the kernel raised *)
+  let ker = Brgemm.compile (Brgemm.make_config ~beta:0.0 ~m:4 ~n:4 ~k:4 ()) in
+  let mk () = Tensor.view2d (tensor_of 4 4 (fun i j -> float_of_int (i + j))) in
+  with_check_mode (Tpp_check.Sampled 7) (fun () ->
+      Fault.with_plan
+        { Fault.seed = 1;
+          rules =
+            [ { Fault.rsite = "tpp.brgemm.store"; rkind = Fault.Nan;
+                rtrigger = Fault.Nth { first = 2; period = None } } ] }
+        (fun () ->
+          (* invocation 1: clean *)
+          Brgemm.exec ker ~a:(mk ()) ~b:(mk ()) ~c:(mk ());
+          checki "lease released on clean path" 0 (Scratch.busy_slots ());
+          (* invocation 2: poisoned; Sampled always probes index 0 *)
+          (match Brgemm.exec ker ~a:(mk ()) ~b:(mk ()) ~c:(mk ()) with
+          | exception Tpp_check.Numeric_error { row = 0; col = 0; _ } -> ()
+          | () -> Alcotest.fail "expected poisoned store to raise");
+          checki "lease released on raise" 0 (Scratch.busy_slots ());
+          (* invocation 3: clean again through the same arena *)
+          Brgemm.exec ker ~a:(mk ()) ~b:(mk ()) ~c:(mk ());
+          checki "arena reusable after poison" 0 (Scratch.busy_slots ())))
+
+let test_check_off_by_default () =
+  checkb "guard disabled by default" true (Tpp_check.mode () = Tpp_check.Off)
+
 let () =
   Alcotest.run ~and_exit:false "tpp"
     [
@@ -595,6 +666,16 @@ let () =
             test_layernorm_nostats_matches_stats;
         ] );
       ("dispatch", [ Alcotest.test_case "cache" `Quick test_dispatch_cache ]);
+      ( "numeric-guard",
+        [
+          Alcotest.test_case "finds non-finite" `Quick
+            test_tpp_check_finds_nonfinite;
+          Alcotest.test_case "sampled vs full" `Quick
+            test_tpp_check_sampled_vs_full;
+          Alcotest.test_case "brgemm poison end-to-end" `Quick
+            test_brgemm_poison_detected_and_arenas_clean;
+          Alcotest.test_case "off by default" `Quick test_check_off_by_default;
+        ] );
     ]
 
 (* ---- equations (fused elementwise trees) ---- *)
