@@ -1,4 +1,4 @@
-.PHONY: all build test fmt smoke-serve smoke-pool smoke-chaos ci clean
+.PHONY: all build test fmt smoke-serve smoke-pool smoke-chaos smoke-flight ci clean
 
 all: build
 
@@ -34,12 +34,25 @@ smoke-chaos: build
 	dune exec bench/main.exe -- --chaos --json /tmp/bench-chaos.json
 	@test -s /tmp/bench-chaos.json && echo "smoke-chaos: /tmp/bench-chaos.json ok"
 
+# Flight-recorder smoke (~2 s): the chaos run again, this time with the
+# recorder's dump directory armed. The default fault plan makes workers
+# die, so the hardened failure paths must snapshot the per-thread rings
+# into post-mortem dumps; `recorder check --require-fault` then insists
+# every dump is well-formed trace JSON and at least one captured an
+# injected-fault event.
+smoke-flight: build
+	rm -rf /tmp/parlooper-flight && mkdir -p /tmp/parlooper-flight
+	PARLOOPER_DUMP_DIR=/tmp/parlooper-flight dune exec bench/main.exe -- --chaos --chaos-requests 12
+	dune exec bin/parlooper_cli.exe -- recorder check /tmp/parlooper-flight --require-fault
+	@echo "smoke-flight: /tmp/parlooper-flight dumps ok"
+
 # Single gate run by CI and before every commit: formatting must be
 # canonical (dune files; ocamlformat is not in the pinned toolchain),
-# everything must build, the full tier-1 suite must pass, and the
-# serving and pooled-dispatch paths must produce valid machine-readable
-# output.
-ci: fmt build test smoke-serve smoke-pool smoke-chaos
+# everything must build, the full tier-1 suite must pass, the serving
+# and pooled-dispatch paths must produce valid machine-readable output,
+# and a chaos run with the recorder armed must produce a validating
+# post-mortem flight dump.
+ci: fmt build test smoke-serve smoke-pool smoke-chaos smoke-flight
 
 clean:
 	dune clean

@@ -239,7 +239,7 @@ let run_gemm_points () =
             ("nthreads", string_of_int nthreads);
             ("pool", if Team.pool_enabled () then "on" else "off") ]
         ~metrics:[ ("seconds", !best); ("gflops", gflops) ])
-    [ (128, 32, "B{R:2}Ca", 2); (256, 32, "B{R:2}Ca", 2) ]
+    [ (128, 32, "BCa", 2); (256, 32, "BCa", 2) ]
 
 (* ---- dispatch-overhead microbenchmark (persistent pool vs spawn) ----
 
@@ -344,6 +344,81 @@ let run_dispatch () =
     exit 1
   end
 
+(* ---- flight-recorder overhead (recorder) ----
+
+   Two costs matter for an always-on recorder: the per-event emit cost
+   (ns/event, and the residual cost of the disabled check), and the
+   end-to-end impact on real parallel work (the pooled 2-thread GEMM
+   point, recorder on vs off). Both are recorded in the bench JSON so
+   the overhead budget in DESIGN.md stays an asserted number, not a
+   hope. *)
+
+let run_recorder () =
+  Modelkit.section "flight-recorder overhead: emit cost and pooled-GEMM impact";
+  let was_enabled = Telemetry.Recorder.enabled () in
+  let lbl = Telemetry.Recorder.intern "bench.recorder" in
+  let time_emits enabled =
+    Telemetry.Recorder.set_enabled enabled;
+    (* warm-up creates the calling thread's ring so the timed loop sees
+       only the steady-state path *)
+    for i = 1 to 1_000 do
+      Telemetry.Recorder.emit Telemetry.Recorder.Mark ~label:lbl ~a:i ~b:0
+    done;
+    let iters = 1_000_000 in
+    let t0 = Telemetry.Clock.now_s () in
+    for i = 1 to iters do
+      Telemetry.Recorder.emit Telemetry.Recorder.Mark ~label:lbl ~a:i ~b:0
+    done;
+    1e9 *. (Telemetry.Clock.now_s () -. t0) /. float_of_int iters
+  in
+  let emit_on_ns = time_emits true in
+  let emit_off_ns = time_emits false in
+  let events_per_s = 1e9 /. emit_on_ns in
+  Printf.printf
+    "  emit: %6.1f ns/event enabled (%.1f Mevents/s), %6.2f ns/event \
+     disabled\n%!"
+    emit_on_ns (events_per_s /. 1e6) emit_off_ns;
+  let gemm_point enabled =
+    Telemetry.Recorder.set_enabled enabled;
+    let dim = 128 and block = 32 and nthreads = 2 in
+    let rng = Prng.create 99 in
+    let cfg =
+      Gemm.make_config ~bm:block ~bn:block ~bk:block ~dtype:Datatype.F32
+        ~m:dim ~n:dim ~k:dim ()
+    in
+    let g = Gemm.create cfg "BCa" in
+    let a = Tensor.create Datatype.F32 [| dim; dim |] in
+    let b = Tensor.create Datatype.F32 [| dim; dim |] in
+    Tensor.fill_random a rng ~scale:1.0;
+    Tensor.fill_random b rng ~scale:1.0;
+    let ap = Gemm.pack_a cfg a and bp = Gemm.pack_b cfg b in
+    let cp = Gemm.alloc_c cfg in
+    Gemm.run ~nthreads g ~a:ap ~b:bp ~c:cp;
+    let best = ref Float.infinity in
+    for _ = 1 to 5 do
+      let t0 = Telemetry.Clock.now_s () in
+      Gemm.run ~nthreads g ~a:ap ~b:bp ~c:cp;
+      best := Float.min !best (Telemetry.Clock.now_s () -. t0)
+    done;
+    !best
+  in
+  let gemm_on_s = gemm_point true in
+  let gemm_off_s = gemm_point false in
+  Telemetry.Recorder.set_enabled was_enabled;
+  let overhead_pct = 100.0 *. ((gemm_on_s /. gemm_off_s) -. 1.0) in
+  Printf.printf
+    "  gemm 128^3 BCa 2 thr: %8.3f ms on, %8.3f ms off (%+.1f%%)\n%!"
+    (1e3 *. gemm_on_s) (1e3 *. gemm_off_s) overhead_pct;
+  record_bench ~name:"recorder"
+    ~config:
+      [ ("gemm", "128x128x128 f32 BCa nthreads=2");
+        ("ring_capacity", "4096") ]
+    ~metrics:
+      [ ("emit_ns_enabled", emit_on_ns); ("emit_ns_disabled", emit_off_ns);
+        ("events_per_s", events_per_s); ("gemm_s_enabled", gemm_on_s);
+        ("gemm_s_disabled", gemm_off_s);
+        ("gemm_overhead_pct", overhead_pct) ]
+
 (* ---- serving benchmark (--serve): continuous batching over Llm.tiny ---- *)
 
 let run_serve ~rate ~duration () =
@@ -394,7 +469,14 @@ let run_serve ~rate ~duration () =
         ("ttft_p99_ms", s.Serve.Metrics.ttft_ms.Serve.Metrics.p99);
         ("tpot_p50_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p50);
         ("tpot_p95_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p95);
-        ("tpot_p99_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p99) ]
+        ("tpot_p99_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p99);
+        ("slo_ttft_breaches",
+         float_of_int
+           (Telemetry.Counter.value Serve.Metrics.slo_ttft_breaches_name));
+        ("slo_deadline_breaches",
+         float_of_int
+           (Telemetry.Counter.value Serve.Metrics.slo_deadline_breaches_name))
+      ]
 
 (* ---- chaos harness (--chaos): seeded fault injection over serving ----
 
@@ -471,6 +553,7 @@ let experiments =
     ("micro", run_micro);
     ("gemm", run_gemm_points);
     ("dispatch", run_dispatch);
+    ("recorder", run_recorder);
   ]
 
 let run_all () =

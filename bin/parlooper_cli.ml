@@ -223,8 +223,25 @@ let policy_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"load-generator seed")
 
+let live_metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "live-metrics" ]
+        ~doc:
+          "stream periodic live-metrics snapshots (one JSON object per \
+           line: counters, gauges, deltas and per-second rates) to $(docv) \
+           while serving; '-' streams to stdout"
+        ~docv:"FILE")
+
+let live_interval_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "live-interval-ms" ]
+        ~doc:"interval between live-metrics snapshots in milliseconds")
+
 let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
-    policy seed threads trace telemetry =
+    policy seed threads live_metrics live_interval_ms trace telemetry =
   if rate <= 0.0 || duration <= 0.0 then begin
     Printf.eprintf "--rate and --duration must be positive\n";
     exit 1
@@ -268,7 +285,34 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
       nthreads = Some threads }
   in
   let sched = Serve.Scheduler.create ~config llm in
-  let o = Serve.Driver.run sched trace_reqs in
+  let live_out =
+    match live_metrics with
+    | None -> None
+    | Some "-" -> Some (stdout, false)
+    | Some path -> (
+      try Some (open_out path, true)
+      with Sys_error msg ->
+        Printf.eprintf "cannot open %s: %s\n" path msg;
+        exit 1)
+  in
+  let live =
+    Option.map
+      (fun (out, _) ->
+        { Serve.Driver.every_s =
+            float_of_int (max 1 live_interval_ms) /. 1000.0;
+          out })
+      live_out
+  in
+  let o = Serve.Driver.run ?live sched trace_reqs in
+  (match live_out with
+  | None -> ()
+  | Some (oc, close) ->
+    if close then close_out oc;
+    Printf.printf "live metrics: %d snapshot%s%s\n%!" o.Serve.Driver.snapshots
+      (if o.Serve.Driver.snapshots = 1 then "" else "s")
+      (match live_metrics with
+      | Some p when p <> "-" -> " -> " ^ p
+      | _ -> ""));
   Serve.Metrics.print o.Serve.Driver.summary;
   let pool = Serve.Scheduler.pool sched in
   Printf.printf
@@ -336,6 +380,123 @@ let chaos seed requests plan_str =
     Printf.eprintf "warning: plan injected no faults\n";
   if r.Serve.Chaos.violations <> [] then exit 1
 
+(* ---- recorder: flight-recorder dump / check utilities ---- *)
+
+let recorder_dump out_dir threads =
+  Telemetry.Registry.reset ();
+  Telemetry.Registry.enable ();
+  Telemetry.Recorder.set_enabled true;
+  Telemetry.Recorder.set_dump_dir (Some out_dir);
+  (* a small pooled GEMM exercises every instrumented seam — pool
+     dispatch, barrier arrivals, JIT compile, kernel begin/end — so the
+     dump demonstrates a multi-thread timeline *)
+  let threads = max 1 threads in
+  let dim = 64 and block = 32 in
+  let spec = "BCa" in
+  let cfg = make_cfg dim dim dim block "f32" in
+  let g = Gemm.create cfg spec in
+  let rng = Prng.create 1 in
+  let a = Tensor.create Datatype.F32 [| dim; dim |] in
+  let b = Tensor.create Datatype.F32 [| dim; dim |] in
+  Tensor.fill_random a rng ~scale:1.0;
+  Tensor.fill_random b rng ~scale:1.0;
+  ignore (Gemm.run_logical ~nthreads:threads g ~a ~b);
+  match Telemetry.Recorder.post_mortem ~reason:"cli.recorder.dump" with
+  | Some prefix ->
+    Printf.printf "flight dump: %s.{txt,trace.json} (%d events from %d \
+                   threads)\n"
+      prefix
+      (List.length (Telemetry.Recorder.events ()))
+      (List.length (Telemetry.Recorder.tids ()))
+  | None ->
+    Printf.eprintf "no dump produced (recorder disabled or no events)\n";
+    exit 1
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let recorder_check dir require_fault =
+  let entries =
+    try Sys.readdir dir
+    with Sys_error msg ->
+      Printf.eprintf "cannot read %s: %s\n" dir msg;
+      exit 1
+  in
+  let traces =
+    Array.to_list entries
+    |> List.filter (fun f -> Filename.check_suffix f ".trace.json")
+    |> List.sort compare
+  in
+  if traces = [] then begin
+    Printf.eprintf "no *.trace.json flight dumps in %s\n" dir;
+    exit 1
+  end;
+  let fault_seen = ref false in
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      (match Telemetry.Json_check.check s with
+      | Ok () -> ()
+      | Error m ->
+        Printf.eprintf "%s: malformed trace JSON: %s\n" path m;
+        exit 1);
+      if contains_sub s "\"cat\":\"fault\"" then fault_seen := true;
+      Printf.printf "%s: valid (%d bytes)\n" path n)
+    traces;
+  if require_fault && not !fault_seen then begin
+    Printf.eprintf
+      "no fault event (\"cat\":\"fault\") in any dump under %s\n" dir;
+    exit 1
+  end;
+  Printf.printf "checked %d dump(s)%s\n" (List.length traces)
+    (if !fault_seen then ", fault events present" else "")
+
+let recorder_out_arg =
+  Arg.(
+    value
+    & opt string "/tmp/parlooper-flight"
+    & info [ "out" ] ~doc:"directory to write the dump into" ~docv:"DIR")
+
+let recorder_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~doc:"dump directory to check" ~docv:"DIR")
+
+let require_fault_arg =
+  Arg.(
+    value & flag
+    & info [ "require-fault" ]
+        ~doc:"fail unless at least one dump contains a fault event")
+
+let recorder_cmd =
+  let dump =
+    Cmd.v
+      (Cmd.info "dump"
+         ~doc:
+           "run a small pooled GEMM with the flight recorder armed and \
+            snapshot the rings into a dump directory")
+      Term.(const recorder_dump $ recorder_out_arg $ threads_arg)
+  in
+  let check =
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:
+           "validate every *.trace.json flight dump in a directory \
+            (well-formed JSON; with --require-fault, at least one \
+            injected-fault event)")
+      Term.(const recorder_check $ recorder_dir_arg $ require_fault_arg)
+  in
+  Cmd.group
+    (Cmd.info "recorder" ~doc:"flight-recorder dump and check utilities")
+    [ dump; check ]
+
 let gemm_cmd =
   Cmd.v (Cmd.info "gemm" ~doc:"run and verify a PARLOOPER GEMM")
     Term.(
@@ -365,7 +526,8 @@ let serve_cmd =
     Term.(
       const serve $ rate_arg $ duration_arg $ prompt_min_arg $ prompt_max_arg
       $ tokens_min_arg $ tokens_max_arg $ deadline_arg $ queue_arg $ batch_arg
-      $ policy_arg $ seed_arg $ threads_arg $ trace_arg $ telemetry_arg)
+      $ policy_arg $ seed_arg $ threads_arg $ live_metrics_arg
+      $ live_interval_arg $ trace_arg $ telemetry_arg)
 
 let chaos_cmd =
   Cmd.v
@@ -380,4 +542,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gemm_cmd; tune_cmd; model_cmd; platforms_cmd; serve_cmd; chaos_cmd ]))
+          [ gemm_cmd; tune_cmd; model_cmd; platforms_cmd; serve_cmd; chaos_cmd;
+            recorder_cmd ]))

@@ -53,6 +53,7 @@ let () =
 type site = {
   sname : string;
   shash : int64;
+  slabel : int;  (* flight-recorder label, interned at registration *)
   invocations : int Atomic.t;
   (* rules of the installed plan that target this site; rebuilt on
      [install]/[clear] and on late registration *)
@@ -86,6 +87,7 @@ let site name =
     | None ->
       let s =
         { sname = name; shash = site_hash name;
+          slabel = Telemetry.Recorder.intern name;
           invocations = Atomic.make 0;
           armed =
             (match !installed with
@@ -161,6 +163,9 @@ let fire s =
     | None -> `None
     | Some r -> (
       Telemetry.Counter.incr injected_c;
+      Telemetry.Recorder.emit Telemetry.Recorder.Fault_fired ~label:s.slabel
+        ~a:invocation
+        ~b:(match r.rkind with Exn -> 0 | Stall _ -> 1 | Nan -> 2 | Deny -> 3);
       match r.rkind with
       | Exn -> raise (Injected { site = s.sname; invocation })
       | Stall sec ->

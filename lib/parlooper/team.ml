@@ -29,6 +29,11 @@ let trips_c =
 let quarantined_c =
   Telemetry.Counter.find_or_create Telemetry.Registry.pool_quarantined_name
 
+(* flight-recorder labels, interned once (never on the hot path) *)
+let lbl_barrier = Telemetry.Recorder.intern "team.barrier"
+let lbl_pool = Telemetry.Recorder.intern "team.pool"
+let lbl_spawn = Telemetry.Recorder.intern "team.spawn"
+
 (* ---- failure model ----
 
    A parallel region never loses an exception: every thread's failure is
@@ -165,7 +170,10 @@ module Barrier = struct
   let wait t =
     if t.total > 1 then begin
       let gen = Atomic.get t.generation in
-      if Atomic.fetch_and_add t.arrived 1 = t.total - 1 then begin
+      let arrival = Atomic.fetch_and_add t.arrived 1 in
+      Telemetry.Recorder.emit Telemetry.Recorder.Barrier_arrive
+        ~label:lbl_barrier ~a:arrival ~b:gen;
+      if arrival = t.total - 1 then begin
         Atomic.set t.arrived 0;
         Mutex.lock t.mutex;
         Atomic.incr t.generation;
@@ -317,11 +325,16 @@ let run_spawn ~nthreads f =
     let mine =
       List.init nthreads Fun.id |> List.filter (fun t -> t mod ndomains = 0)
     in
+    Telemetry.Recorder.emit Telemetry.Recorder.Pool_dispatch ~label:lbl_spawn
+      ~a:nthreads ~b:ndomains;
     let threads = List.map (fun tid -> Thread.create (thread_body tid) ()) mine in
     List.iter Thread.join threads;
     List.iter Domain.join domains;
-    if Failures.any failures then
+    if Failures.any failures then begin
+      ignore
+        (Telemetry.Recorder.post_mortem ~reason:"team.parallel_failure");
       raise (Parallel_failure (Failures.get failures))
+    end
   end
 
 (* ---- persistent worker pool ----
@@ -651,6 +664,8 @@ let run_pooled ~nthreads f =
     Atomic.set tm.Pool.started 0;
     tm.Pool.t0 <- Telemetry.Clock.now_ns ()
   end;
+  Telemetry.Recorder.emit Telemetry.Recorder.Pool_dispatch ~label:lbl_pool
+    ~a:nthreads ~b:(Array.length Pool.pool.workers);
   for tid = 1 to nthreads - 1 do
     Pool.submit Pool.pool.workers.(tid - 1) tm.Pool.jobs.(tid - 1)
   done;
@@ -677,6 +692,7 @@ let run_pooled ~nthreads f =
     (* a failed region may leave barrier/job state inconsistent (timed-out
        barrier waiters, stuck workers): rebuild per-dispatch state *)
     Pool.pool.team <- None;
+    ignore (Telemetry.Recorder.post_mortem ~reason:"team.parallel_failure");
     raise (Parallel_failure (Failures.get tm.Pool.failures))
   end
 

@@ -104,8 +104,12 @@ let create specs_list spec_string =
     (* compile outside the lock; racing duplicates are harmless *)
     let t0 = Telemetry.Clock.now_ns () in
     let t = compile specs_list spec_string in
-    Telemetry.Counter.add compile_ns_c
-      (Int64.to_int (Telemetry.Clock.elapsed_ns ~since:t0));
+    let compile_ns = Int64.to_int (Telemetry.Clock.elapsed_ns ~since:t0) in
+    Telemetry.Counter.add compile_ns_c compile_ns;
+    (* cold path: interning the spec string here is fine *)
+    Telemetry.Recorder.emit Telemetry.Recorder.Jit_compile
+      ~label:(Telemetry.Recorder.intern spec_string)
+      ~a:compile_ns ~b:(List.length specs_list);
     Mutex.lock cache_lock;
     (match Hashtbl.find_opt cache key with
     | Some e ->

@@ -234,6 +234,11 @@ let run ?(config = default) () =
         "KV caches leaked (pool in_use <> 0 after drain)";
       check (!mismatched = 0)
         "recovered outputs not bit-identical to fault-free run";
+      (* an invariant violation is exactly the situation the flight
+         recorder exists for: capture the rings before the report is the
+         only evidence left *)
+      if !violations <> [] then
+        ignore (Telemetry.Recorder.post_mortem ~reason:"chaos.invariant");
       { steps; terminated; submitted; finished; rejected; cancelled; failed;
         compared = !compared; mismatched = !mismatched; injected; retries;
         shed; trips; quarantined; denied; numeric_errors;

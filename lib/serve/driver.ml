@@ -3,17 +3,47 @@
    timestamp (whether or not the scheduler is keeping up — that is what
    makes the load "open loop" and the queue/SLO numbers honest), and the
    loop spins through serving iterations until the trace is exhausted and
-   the scheduler drains. *)
+   the scheduler drains.
+
+   With [live] set, the driver doubles as the live metrics plane: every
+   [every_s] seconds it writes one {!Telemetry.Expose.jsonl} line
+   (counters, gauges, and deltas/rates vs the previous snapshot) to
+   [out], plus one final line after the drain — so a run of any length
+   produces at least interval + final snapshots, and the last line's
+   absolute values agree with the end-of-run report. *)
+
+type live = { every_s : float; out : out_channel }
 
 type outcome = {
   summary : Metrics.summary;
   requests : Request.t list;  (* submission ledger, oldest first *)
+  snapshots : int;  (* live-metrics JSONL lines written (0 without [live]) *)
 }
 
-let run sched trace =
+let run ?live sched trace =
   let t0 = Telemetry.Clock.now_s () in
   let now () = Telemetry.Clock.now_s () -. t0 in
   let pending = ref trace in
+  let snapshots = ref 0 in
+  let prev = ref None in
+  let last_emit = ref 0.0 in
+  let emit_snapshot () =
+    match live with
+    | None -> ()
+    | Some l ->
+      let snap = Telemetry.Expose.take () in
+      output_string l.out (Telemetry.Expose.jsonl ?prev:!prev snap);
+      output_char l.out '\n';
+      flush l.out;
+      prev := Some snap;
+      incr snapshots;
+      last_emit := now ()
+  in
+  let maybe_emit () =
+    match live with
+    | None -> ()
+    | Some l -> if now () -. !last_emit >= l.every_s then emit_snapshot ()
+  in
   let submit_due () =
     let t = now () in
     let rec go () =
@@ -29,6 +59,7 @@ let run sched trace =
   let rec loop () =
     submit_due ();
     let worked = Scheduler.step sched ~now in
+    maybe_emit ();
     if !pending <> [] || Scheduler.busy sched then begin
       (* idle gap before the next arrival: yield rather than burn *)
       if not worked then Domain.cpu_relax ();
@@ -36,10 +67,14 @@ let run sched trace =
     end
   in
   loop ();
+  (* final snapshot after the drain, so the stream's last line matches
+     the end-of-run report *)
+  emit_snapshot ();
   let elapsed = now () in
   { summary =
       Metrics.collect
         ~requests:(Scheduler.requests sched)
         ~tokens:(Scheduler.tokens_emitted sched)
         ~elapsed_s:elapsed;
-    requests = Scheduler.requests sched }
+    requests = Scheduler.requests sched;
+    snapshots = !snapshots }

@@ -1,14 +1,21 @@
 (** Open-loop real-time replay of a load trace against a scheduler:
     arrivals are submitted when the serving clock reaches their timestamp
     regardless of scheduler backlog, then the loop iterates until the
-    trace is exhausted and the scheduler drains. *)
+    trace is exhausted and the scheduler drains. Optionally doubles as
+    the live metrics plane, streaming periodic {!Telemetry.Expose}
+    snapshots while serving. *)
+
+(** Live-metrics stream: one {!Telemetry.Expose.jsonl} line to [out]
+    every [every_s] seconds, plus a final line after the drain. *)
+type live = { every_s : float; out : out_channel }
 
 type outcome = {
   summary : Metrics.summary;
   requests : Request.t list;  (** submission ledger, oldest first *)
+  snapshots : int;  (** live JSONL lines written; 0 when [live] absent *)
 }
 
-(** [run sched trace] — [trace] must be arrival-time-sorted (what
+(** [run ?live sched trace] — [trace] must be arrival-time-sorted (what
     {!Load_gen.generate} returns). Blocks until everything accepted has
     finished. *)
-val run : Scheduler.t -> (float * Request.t) list -> outcome
+val run : ?live:live -> Scheduler.t -> (float * Request.t) list -> outcome

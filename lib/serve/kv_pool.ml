@@ -10,6 +10,9 @@
    must shed load, it cannot conjure cache space *)
 let deny_site = Fault.site "serve.kv.acquire"
 
+(* flight-recorder label for all KV pool events *)
+let lbl_kv = Telemetry.Recorder.intern "serve.kv_pool"
+
 type t = {
   llm : Llm.t;
   init_cap : int;  (* initial rows of a freshly created cache *)
@@ -20,11 +23,11 @@ type t = {
   mutable free_n : int;
   mutable in_use : int;
   mutable peak_rows : int;  (* largest per-layer capacity seen *)
-  in_use_c : Telemetry.Counter.t;
-  free_c : Telemetry.Counter.t;
+  in_use_g : Telemetry.Gauge.t;
+  free_g : Telemetry.Gauge.t;
+  peak_rows_g : Telemetry.Gauge.t;
   created_c : Telemetry.Counter.t;
   reused_c : Telemetry.Counter.t;
-  peak_rows_c : Telemetry.Counter.t;
   denied_c : Telemetry.Counter.t;
 }
 
@@ -33,17 +36,17 @@ let create ?(init_cap = 16) ?(max_free = 64) ?(max_live = max_int) llm =
   { llm; init_cap; max_free; max_live; lock = Mutex.create (); free = [];
     free_n = 0;
     in_use = 0; peak_rows = 0;
-    in_use_c = Telemetry.Counter.find_or_create Metrics.kv_in_use_name;
-    free_c = Telemetry.Counter.find_or_create Metrics.kv_free_name;
+    in_use_g = Telemetry.Gauge.find_or_create Metrics.kv_in_use_name;
+    free_g = Telemetry.Gauge.find_or_create Metrics.kv_free_name;
+    peak_rows_g = Telemetry.Gauge.find_or_create Metrics.kv_peak_rows_name;
     created_c = Telemetry.Counter.find_or_create Metrics.kv_created_name;
     reused_c = Telemetry.Counter.find_or_create Metrics.kv_reused_name;
-    peak_rows_c = Telemetry.Counter.find_or_create Metrics.kv_peak_rows_name;
     denied_c = Telemetry.Counter.find_or_create Metrics.kv_denied_name }
 
 let publish t =
-  Telemetry.Counter.set t.in_use_c t.in_use;
-  Telemetry.Counter.set t.free_c t.free_n;
-  Telemetry.Counter.set t.peak_rows_c t.peak_rows
+  Telemetry.Gauge.set t.in_use_g t.in_use;
+  Telemetry.Gauge.set t.free_g t.free_n;
+  Telemetry.Gauge.set t.peak_rows_g t.peak_rows
 
 (* [`Denied] instead of unbounded growth: the pool refuses an acquire
    beyond [max_live] live caches (or when the fault site fires), and the
@@ -57,7 +60,10 @@ let acquire t =
   Mutex.lock t.lock;
   if fault_denied || t.in_use >= t.max_live then begin
     Telemetry.Counter.incr t.denied_c;
+    let in_use = t.in_use in
     Mutex.unlock t.lock;
+    Telemetry.Recorder.emit Telemetry.Recorder.Kv_deny ~label:lbl_kv
+      ~a:t.init_cap ~b:in_use;
     `Denied
   end
   else begin
@@ -74,7 +80,11 @@ let acquire t =
     in
     t.in_use <- t.in_use + 1;
     publish t;
+    let in_use = t.in_use in
     Mutex.unlock t.lock;
+    Telemetry.Recorder.emit Telemetry.Recorder.Kv_acquire ~label:lbl_kv
+      ~a:(Llm.cache_capacity cache)
+      ~b:in_use;
     `Cache cache
   end
 
@@ -88,7 +98,10 @@ let release t cache =
     t.free_n <- t.free_n + 1
   end;
   publish t;
-  Mutex.unlock t.lock
+  let in_use = t.in_use in
+  Mutex.unlock t.lock;
+  Telemetry.Recorder.emit Telemetry.Recorder.Kv_release ~label:lbl_kv
+    ~a:(Llm.cache_capacity cache) ~b:in_use
 
 let in_use t = t.in_use
 let denied t = Telemetry.Counter.get t.denied_c

@@ -8,19 +8,28 @@
 let ttft_ms_name = "serve.ttft_ms"
 let tpot_ms_name = "serve.tpot_ms"
 
-(* counters and gauges *)
+(* counters (monotonic) *)
 let submitted_name = "serve.submitted"
 let rejected_name = "serve.rejected"
 let completed_name = "serve.completed"
-let queue_depth_name = "serve.queue_depth"
-let kv_in_use_name = "serve.kv_pool.in_use"
-let kv_free_name = "serve.kv_pool.free"
 let kv_created_name = "serve.kv_pool.created"
 let kv_reused_name = "serve.kv_pool.reused"
-let kv_peak_rows_name = "serve.kv_pool.peak_rows"
 let kv_denied_name = "serve.kv_pool.denied"
 let cancelled_name = "serve.cancelled"
 let failed_name = "serve.failed"
+
+(* SLO-burn counters: how often the service broke its promises. TTFT
+   breach = first token produced after the request's deadline; deadline
+   breach = the request missed its deadline outright (cancelled by the
+   sweep, refused at submit as already blown, or finished late). *)
+let slo_ttft_breaches_name = "serve.slo.ttft_breaches"
+let slo_deadline_breaches_name = "serve.slo.deadline_breaches"
+
+(* gauges (levels, Telemetry.Gauge) *)
+let queue_depth_name = "serve.queue_depth"
+let kv_in_use_name = "serve.kv_pool.in_use"
+let kv_free_name = "serve.kv_pool.free"
+let kv_peak_rows_name = "serve.kv_pool.peak_rows"
 let eff_batch_name = "serve.effective_batch"
 
 type percentiles = { p50 : float; p95 : float; p99 : float }

@@ -12,17 +12,27 @@ val tpot_ms_name : string
 val submitted_name : string
 val rejected_name : string
 val completed_name : string
-val queue_depth_name : string
-val kv_in_use_name : string
-val kv_free_name : string
 val kv_created_name : string
 val kv_reused_name : string
-val kv_peak_rows_name : string
 val kv_denied_name : string
 val cancelled_name : string
 val failed_name : string
 
-(** Gauge: the scheduler's current load-shedding batch limit. *)
+(** SLO-burn counters: first token produced past the deadline, and
+    requests that missed their deadline outright (cancelled, refused as
+    already blown, or finished late). *)
+val slo_ttft_breaches_name : string
+
+val slo_deadline_breaches_name : string
+
+(** {!Telemetry.Gauge} names (levels, not counts): instantaneous queue
+    depth, KV-pool occupancy/free, KV high-water mark in rows, and the
+    scheduler's current load-shedding batch limit. *)
+val queue_depth_name : string
+
+val kv_in_use_name : string
+val kv_free_name : string
+val kv_peak_rows_name : string
 val eff_batch_name : string
 
 type percentiles = { p50 : float; p95 : float; p99 : float }

@@ -93,10 +93,12 @@ type t = {
   completed_c : Telemetry.Counter.t;
   cancelled_c : Telemetry.Counter.t;
   failed_c : Telemetry.Counter.t;
-  queue_c : Telemetry.Counter.t;
-  eff_batch_c : Telemetry.Counter.t;
+  queue_g : Telemetry.Gauge.t;
+  eff_batch_g : Telemetry.Gauge.t;
   retries_c : Telemetry.Counter.t;
   shed_c : Telemetry.Counter.t;
+  ttft_breach_c : Telemetry.Counter.t;
+  deadline_breach_c : Telemetry.Counter.t;
 }
 
 (* fault sites: fire ahead of the real model call, inside the retry
@@ -104,6 +106,14 @@ type t = {
    real kernel failure would *)
 let prefill_site = Fault.site "serve.prefill"
 let decode_site = Fault.site "serve.decode"
+
+(* flight-recorder label for scheduler iteration events *)
+let lbl_sched = Telemetry.Recorder.intern "serve.scheduler"
+
+(* this many deadline cancellations in one sweep is a cancellation storm:
+   worth a post-mortem dump, because by the next report the evidence of
+   *why* the batch fell behind (stalls, faults, KV denials) is gone *)
+let storm_threshold = 4
 
 let create ?(config = default_config) llm =
   assert (config.max_queue > 0 && config.max_batch > 0);
@@ -122,14 +132,18 @@ let create ?(config = default_config) llm =
       completed_c = Telemetry.Counter.find_or_create Metrics.completed_name;
       cancelled_c = Telemetry.Counter.find_or_create Metrics.cancelled_name;
       failed_c = Telemetry.Counter.find_or_create Metrics.failed_name;
-      queue_c = Telemetry.Counter.find_or_create Metrics.queue_depth_name;
-      eff_batch_c = Telemetry.Counter.find_or_create Metrics.eff_batch_name;
+      queue_g = Telemetry.Gauge.find_or_create Metrics.queue_depth_name;
+      eff_batch_g = Telemetry.Gauge.find_or_create Metrics.eff_batch_name;
       retries_c =
         Telemetry.Counter.find_or_create Telemetry.Registry.fault_retries_name;
       shed_c =
-        Telemetry.Counter.find_or_create Telemetry.Registry.fault_shed_name }
+        Telemetry.Counter.find_or_create Telemetry.Registry.fault_shed_name;
+      ttft_breach_c =
+        Telemetry.Counter.find_or_create Metrics.slo_ttft_breaches_name;
+      deadline_breach_c =
+        Telemetry.Counter.find_or_create Metrics.slo_deadline_breaches_name }
   in
-  Telemetry.Counter.set t.eff_batch_c t.eff_batch;
+  Telemetry.Gauge.set t.eff_batch_g t.eff_batch;
   t
 
 let config t = t.cfg
@@ -154,6 +168,8 @@ let submit t ~now (req : Request.t) =
   then begin
     (* queue full, or the SLO is already blown at submission: running it
        could only waste batch slots on a guaranteed miss *)
+    if req.Request.deadline_s <= 0.0 then
+      Telemetry.Counter.incr t.deadline_breach_c;
     req.Request.state <- Request.Rejected;
     Telemetry.Counter.incr t.rejected_c;
     false
@@ -161,7 +177,7 @@ let submit t ~now (req : Request.t) =
   else begin
     req.Request.state <- Request.Queued;
     t.queue <- t.queue @ [ req ];
-    Telemetry.Counter.set t.queue_c (List.length t.queue);
+    Telemetry.Gauge.set t.queue_g (List.length t.queue);
     true
   end
 
@@ -185,7 +201,7 @@ let pop_next t =
     (match best with
     | Some b ->
       t.queue <- List.filter (fun r -> r != b) q;
-      Telemetry.Counter.set t.queue_c (List.length t.queue)
+      Telemetry.Gauge.set t.queue_g (List.length t.queue)
     | None -> ());
     best
 
@@ -200,6 +216,8 @@ let retire t (s : session) ~now_s ~(state : Request.state) counter =
 
 let finish t (s : session) ~now_s =
   retire t s ~now_s ~state:Request.Finished t.completed_c;
+  if not (Request.met_deadline s.req) then
+    Telemetry.Counter.incr t.deadline_breach_c;
   t.finished <- s.req :: t.finished
 
 let cancel t (s : session) ~now_s =
@@ -212,9 +230,14 @@ let fail_session t (s : session) ~now_s =
    cancelled (KV back to the pool); a queued request past its deadline is
    cancelled before wasting a prefill *)
 let sweep_deadlines t ~now_s =
+  let storm = ref 0 in
   List.iter
     (fun s ->
-      if now_s > Request.deadline_abs s.req then cancel t s ~now_s)
+      if now_s > Request.deadline_abs s.req then begin
+        cancel t s ~now_s;
+        Telemetry.Counter.incr t.deadline_breach_c;
+        incr storm
+      end)
     t.active;
   let late, ok =
     List.partition
@@ -223,14 +246,20 @@ let sweep_deadlines t ~now_s =
   in
   if late <> [] then begin
     t.queue <- ok;
-    Telemetry.Counter.set t.queue_c (List.length t.queue);
+    Telemetry.Gauge.set t.queue_g (List.length t.queue);
     List.iter
       (fun (r : Request.t) ->
         r.Request.state <- Request.Cancelled;
         r.Request.finish_s <- now_s -. r.Request.arrival_s;
-        Telemetry.Counter.incr t.cancelled_c)
+        Telemetry.Counter.incr t.cancelled_c;
+        Telemetry.Counter.incr t.deadline_breach_c;
+        incr storm)
       late
-  end
+  end;
+  (* a burst of deadline kills in a single sweep = cancellation storm:
+     snapshot the flight recorder while the evidence is still in the rings *)
+  if !storm >= storm_threshold then
+    ignore (Telemetry.Recorder.post_mortem ~reason:"serve.deadline_storm")
 
 (* run one prefill/decode attempt with bounded retry; [rewind] restores
    the pre-attempt KV state so the retried step recomputes from identical
@@ -270,16 +299,16 @@ let shed t (req : Request.t) ~now_s =
     else begin
       req.Request.state <- Request.Queued;
       t.queue <- req :: t.queue;
-      Telemetry.Counter.set t.queue_c (List.length t.queue)
+      Telemetry.Gauge.set t.queue_g (List.length t.queue)
     end
   end
   else begin
     (* degrade: requeue at the head and shrink the admission window *)
     req.Request.state <- Request.Queued;
     t.queue <- req :: t.queue;
-    Telemetry.Counter.set t.queue_c (List.length t.queue);
+    Telemetry.Gauge.set t.queue_g (List.length t.queue);
     t.eff_batch <- max 1 (t.eff_batch - 1);
-    Telemetry.Counter.set t.eff_batch_c t.eff_batch
+    Telemetry.Gauge.set t.eff_batch_g t.eff_batch
   end
 
 (* admit one queued request: acquire KV, run the prefill phase (with
@@ -323,6 +352,10 @@ let admit_one t ~now =
         let now_s = now () in
         req.Request.ttft_s <- now_s -. req.Request.arrival_s;
         Telemetry.Histogram.observe t.ttft_h (1000.0 *. req.Request.ttft_s);
+        if now_s > Request.deadline_abs req then
+          Telemetry.Counter.incr t.ttft_breach_c;
+        Telemetry.Recorder.emit Telemetry.Recorder.Sched_admit ~label:lbl_sched
+          ~a:req.Request.id ~b:(List.length t.queue);
         req.Request.outputs <- [ first ];
         req.Request.state <- Request.Decoding;
         t.tokens <- t.tokens + 1;
@@ -336,6 +369,8 @@ let decode_round t ~now =
   match t.active with
   | [] -> false
   | sessions ->
+    Telemetry.Recorder.emit Telemetry.Recorder.Sched_decode ~label:lbl_sched
+      ~a:(List.length sessions) ~b:t.tokens;
     List.iter
       (fun s ->
         (* the snapshot may contain sessions retired earlier this round *)
@@ -393,7 +428,7 @@ let step t ~now =
     if t.clean >= recovery_steps then begin
       t.clean <- 0;
       t.eff_batch <- t.eff_batch + 1;
-      Telemetry.Counter.set t.eff_batch_c t.eff_batch
+      Telemetry.Gauge.set t.eff_batch_g t.eff_batch
     end
   end;
   admitted || decoded

@@ -7,6 +7,10 @@ external now_ns : unit -> (int64[@unboxed])
   = "tl_monotonic_now_ns_byte" "tl_monotonic_now_ns"
 [@@noalloc]
 
+(* tagged-int nanoseconds (~146 years of range): the flight recorder's
+   timestamp, guaranteed allocation-free even without flambda *)
+external now_int_ns : unit -> int = "tl_monotonic_now_int_ns" [@@noalloc]
+
 let s_of_ns ns = Int64.to_float ns *. 1e-9
 let us_of_ns ns = Int64.to_float ns *. 1e-3
 let now_s () = s_of_ns (now_ns ())

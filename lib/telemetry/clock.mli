@@ -8,6 +8,11 @@ external now_ns : unit -> (int64[@unboxed])
   = "tl_monotonic_now_ns_byte" "tl_monotonic_now_ns"
 [@@noalloc]
 
+(** Same clock as a tagged OCaml int (≈146 years of nanosecond range).
+    Strictly allocation-free on every build mode — this is the timestamp
+    the flight recorder writes on its hot path. *)
+external now_int_ns : unit -> int = "tl_monotonic_now_int_ns" [@@noalloc]
+
 val now_s : unit -> float
 val s_of_ns : int64 -> float
 val us_of_ns : int64 -> float

@@ -1,0 +1,100 @@
+(* Live metrics plane: interval snapshots of the counter/gauge stores
+   with per-counter deltas and rates, rendered either as one JSON line
+   per snapshot (the Serve.Driver live-metrics stream) or as Prometheus
+   text exposition (for scraping / humans). Reads the same interned
+   stores the runtime writes, so a snapshot is just two sorted assoc
+   lists — cheap enough to take every few hundred ms during a serve
+   run. *)
+
+type snapshot = {
+  at_s : float;  (* Clock.now_s at capture *)
+  counters : (string * int) list;
+  gauges : (string * int) list;
+}
+
+let take () =
+  { at_s = Clock.now_s (); counters = Counter.all (); gauges = Gauge.all () }
+
+(* per-counter increase since [prev]; counters absent from [prev] count
+   from zero (they were created mid-interval) *)
+let deltas ~prev snap =
+  List.map
+    (fun (n, v) ->
+      let p = match List.assoc_opt n prev.counters with
+        | Some p -> p
+        | None -> 0
+      in
+      (n, v - p))
+    snap.counters
+
+let jsonl ?prev snap =
+  let b = Buffer.create 512 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let obj pairs render =
+    List.iteri
+      (fun i (n, v) ->
+        if i > 0 then pr ",";
+        pr "\"%s\":%s" (Json_check.escape n) (render v))
+      pairs
+  in
+  pr "{\"at_s\":%s," (Json_check.float_repr snap.at_s);
+  pr "\"counters\":{";
+  obj snap.counters string_of_int;
+  pr "},\"gauges\":{";
+  obj snap.gauges string_of_int;
+  pr "}";
+  (match prev with
+  | None -> ()
+  | Some prev ->
+    let interval = snap.at_s -. prev.at_s in
+    let ds = deltas ~prev snap in
+    pr ",\"interval_s\":%s" (Json_check.float_repr interval);
+    pr ",\"deltas\":{";
+    obj ds string_of_int;
+    pr "},\"rates\":{";
+    obj ds (fun d ->
+        Json_check.float_repr
+          (if interval > 0.0 then float_of_int d /. interval else 0.0));
+    pr "}");
+  pr "}";
+  Buffer.contents b
+
+(* ---- Prometheus text exposition ---------------------------------------- *)
+
+(* metric names must match [a-zA-Z_:][a-zA-Z0-9_:]* *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prometheus () =
+  let b = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  List.iter
+    (fun (n, v) ->
+      let m = sanitize n in
+      pr "# TYPE %s counter\n%s %d\n" m m v)
+    (Counter.all ());
+  List.iter
+    (fun (n, v) ->
+      let m = sanitize n in
+      pr "# TYPE %s gauge\n%s %d\n" m m v)
+    (Gauge.all ());
+  List.iter
+    (fun h ->
+      if Histogram.count h > 0 then begin
+        let m = sanitize (Histogram.name h) in
+        pr "# TYPE %s summary\n" m;
+        List.iter
+          (fun q ->
+            pr "%s{quantile=\"%g\"} %s\n" m q
+              (Json_check.float_repr (Histogram.quantile h q)))
+          [ 0.5; 0.9; 0.95; 0.99 ];
+        pr "%s_sum %s\n" m (Json_check.float_repr (Histogram.sum h));
+        pr "%s_count %d\n" m (Histogram.count h)
+      end)
+    (Histogram.all ());
+  Buffer.contents b

@@ -1,0 +1,27 @@
+(** Live metrics plane: interval snapshots of the counter and gauge
+    stores, per-counter deltas/rates between snapshots, and two
+    renderings — one JSON object per line (the [Serve.Driver]
+    live-metrics stream) and Prometheus text exposition. *)
+
+type snapshot = {
+  at_s : float;  (** {!Clock.now_s} at capture *)
+  counters : (string * int) list;
+  gauges : (string * int) list;
+}
+
+val take : unit -> snapshot
+
+(** Per-counter increase from [prev] to [snap]; counters that did not
+    exist in [prev] count from zero. *)
+val deltas : prev:snapshot -> snapshot -> (string * int) list
+
+(** One JSON line (no trailing newline): [at_s], [counters], [gauges],
+    and — when [prev] is given — [interval_s], [deltas] and per-second
+    [rates]. Always valid JSON per {!Json_check}. *)
+val jsonl : ?prev:snapshot -> snapshot -> string
+
+(** Prometheus text exposition of all counters (TYPE counter), gauges
+    (TYPE gauge) and non-empty histograms (TYPE summary with quantile
+    labels plus [_sum]/[_count]). Metric names are sanitized to the
+    Prometheus charset (dots become underscores). *)
+val prometheus : unit -> string

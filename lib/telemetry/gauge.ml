@@ -1,0 +1,55 @@
+(* Named atomic gauges — point-in-time levels (queue depth, KV rows in
+   use) as opposed to monotonically increasing {!Counter}s. Keeping them
+   in a separate store lets {!Report} and {!Expose} render them with the
+   correct metric type instead of pretending a level is a count. Same
+   interning discipline as Counter: [find_or_create] always returns the
+   same cell for a name, so modules cache the handle and update lock-free. *)
+
+type t = { name : string; cell : int Atomic.t }
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 32
+let lock = Mutex.create ()
+
+let find_or_create name =
+  Mutex.lock lock;
+  let g =
+    match Hashtbl.find_opt table name with
+    | Some g -> g
+    | None ->
+      let g = { name; cell = Atomic.make 0 } in
+      Hashtbl.replace table name g;
+      g
+  in
+  Mutex.unlock lock;
+  g
+
+let name t = t.name
+let set t v = Atomic.set t.cell v
+let add t n = ignore (Atomic.fetch_and_add t.cell n)
+let incr t = add t 1
+let decr t = add t (-1)
+let get t = Atomic.get t.cell
+
+(* value by name; 0 if the gauge was never created *)
+let value name =
+  Mutex.lock lock;
+  let v =
+    match Hashtbl.find_opt table name with
+    | Some g -> Atomic.get g.cell
+    | None -> 0
+  in
+  Mutex.unlock lock;
+  v
+
+let all () =
+  Mutex.lock lock;
+  let l =
+    Hashtbl.fold (fun name g acc -> (name, Atomic.get g.cell) :: acc) table []
+  in
+  Mutex.unlock lock;
+  List.sort compare l
+
+let reset_all () =
+  Mutex.lock lock;
+  Hashtbl.iter (fun _ g -> Atomic.set g.cell 0) table;
+  Mutex.unlock lock

@@ -1,0 +1,28 @@
+(** Named atomic gauges: point-in-time levels (queue depth, buffer
+    occupancy, high-water marks), as opposed to the monotonically
+    increasing {!Counter}. Gauges are interned — [find_or_create name]
+    always returns the same gauge for the same name — and appear in
+    {!Report} and {!Expose} under their own metric type. *)
+
+type t
+
+val find_or_create : string -> t
+val name : t -> string
+
+(** [set] is the primary gauge operation: overwrite the level. *)
+val set : t -> int -> unit
+
+(** Relative adjustment (e.g. +1 on acquire, -1 on release). *)
+val add : t -> int -> unit
+
+val incr : t -> unit
+val decr : t -> unit
+val get : t -> int
+
+(** Value by name; 0 if the gauge was never created. *)
+val value : string -> int
+
+(** All gauges as [(name, value)], sorted by name. *)
+val all : unit -> (string * int) list
+
+val reset_all : unit -> unit

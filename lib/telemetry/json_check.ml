@@ -118,3 +118,31 @@ let validate (s : string) : unit =
   if !pos <> n then fail "trailing garbage"
 
 let check s = match validate s with () -> Ok () | exception Bad_json m -> Error m
+
+(* ---- emission helpers --------------------------------------------------
+   These live here (not in Report) so low-level emitters — Recorder,
+   Expose — can produce strings this module accepts without pulling in the
+   whole report layer. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON floats: no nan/inf, no exponent surprises for consumers *)
+let float_repr f =
+  if Float.is_nan f || (Float.is_integer f && Float.abs f < 1e15) then
+    Printf.sprintf "%.0f" (if Float.is_nan f then 0.0 else f)
+  else if Float.is_finite f then Printf.sprintf "%.6g" f
+  else "0"

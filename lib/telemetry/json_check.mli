@@ -12,3 +12,10 @@ val validate : string -> unit
 
 (** Non-raising variant: [Error msg] on malformed input. *)
 val check : string -> (unit, string) result
+
+(** Escape a string for inclusion in a JSON string literal (quotes,
+    backslash, control characters; bytes ≥ 0x20 pass through verbatim). *)
+val escape : string -> string
+
+(** Render a float with no NaN/Inf and no exponent surprises. *)
+val float_repr : float -> string

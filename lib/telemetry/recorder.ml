@@ -1,0 +1,404 @@
+(* Always-on flight recorder.
+
+   Every thread that passes an instrumented seam (kernel dispatch, pool
+   dispatch, barrier arrival, scheduler iteration, KV-pool traffic, fault
+   injection, JIT compile) appends a compact fixed-width event record to
+   its own ring buffer. The write path is lock-free and allocation-free
+   in steady state:
+
+   - one ring per OS thread (keyed by [Thread.id]), found by scanning a
+     small immutable array published through an [Atomic.t] — rings are
+     appended under a mutex exactly once per thread lifetime, then every
+     subsequent [emit] is a plain array scan plus five [Array.unsafe_set]s;
+   - each ring is five parallel [int array]s (kind, timestamp, interned
+     label, two free operands) plus a write cursor, so recording boxes
+     nothing — timestamps come from {!Clock.now_int_ns} (tagged int, not
+     Int64) and labels are interned to ints at site-creation time, off
+     the hot path;
+   - a ring is only ever written by its owning thread, so there is no
+     write-side synchronization at all. Snapshot reads ([events],
+     [post_mortem]) race benignly with writers: a torn record can at
+     worst misreport the couple of events in flight, which is the
+     accepted price of a recorder that costs ~tens of ns per event.
+
+   When a hardened failure path fires (Team.Parallel_failure,
+   Tpp_check.Numeric_error, a chaos invariant violation, a deadline
+   cancellation storm), the runtime calls {!post_mortem}: if a dump
+   directory is configured (PARLOOPER_DUMP_DIR or {!set_dump_dir}), the
+   merged timeline is written as a text dump plus a Chrome trace_event
+   JSON file (validated by {!Json_check} before it hits disk) and
+   announced on stderr. Recording itself is on by default and disabled
+   with PARLOOPER_RECORDER=0 (or {!set_enabled}). *)
+
+type kind =
+  | Kernel_begin
+  | Kernel_end
+  | Pool_dispatch
+  | Barrier_arrive
+  | Sched_admit
+  | Sched_decode
+  | Kv_acquire
+  | Kv_release
+  | Kv_deny
+  | Fault_fired
+  | Jit_compile
+  | Mark
+
+let code = function
+  | Kernel_begin -> 0
+  | Kernel_end -> 1
+  | Pool_dispatch -> 2
+  | Barrier_arrive -> 3
+  | Sched_admit -> 4
+  | Sched_decode -> 5
+  | Kv_acquire -> 6
+  | Kv_release -> 7
+  | Kv_deny -> 8
+  | Fault_fired -> 9
+  | Jit_compile -> 10
+  | Mark -> 11
+
+let kind_of_code = function
+  | 0 -> Kernel_begin
+  | 1 -> Kernel_end
+  | 2 -> Pool_dispatch
+  | 3 -> Barrier_arrive
+  | 4 -> Sched_admit
+  | 5 -> Sched_decode
+  | 6 -> Kv_acquire
+  | 7 -> Kv_release
+  | 8 -> Kv_deny
+  | 9 -> Fault_fired
+  | 10 -> Jit_compile
+  | _ -> Mark
+
+let kind_name = function
+  | Kernel_begin -> "kernel_begin"
+  | Kernel_end -> "kernel_end"
+  | Pool_dispatch -> "pool_dispatch"
+  | Barrier_arrive -> "barrier_arrive"
+  | Sched_admit -> "sched_admit"
+  | Sched_decode -> "sched_decode"
+  | Kv_acquire -> "kv_acquire"
+  | Kv_release -> "kv_release"
+  | Kv_deny -> "kv_deny"
+  | Fault_fired -> "fault_fired"
+  | Jit_compile -> "jit_compile"
+  | Mark -> "mark"
+
+(* Chrome trace category; also what tests grep for ("cat":"fault") *)
+let kind_cat = function
+  | Kernel_begin | Kernel_end -> "kernel"
+  | Pool_dispatch -> "pool"
+  | Barrier_arrive -> "barrier"
+  | Sched_admit | Sched_decode -> "sched"
+  | Kv_acquire | Kv_release | Kv_deny -> "kv"
+  | Fault_fired -> "fault"
+  | Jit_compile -> "jit"
+  | Mark -> "mark"
+
+(* ---- enable switch ----------------------------------------------------- *)
+
+let enabled_flag =
+  ref (match Sys.getenv_opt "PARLOOPER_RECORDER" with
+      | Some "0" -> false
+      | _ -> true)
+
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+(* ---- label interning --------------------------------------------------- *)
+
+let intern_lock = Mutex.create ()
+let intern_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
+let intern_names = ref (Array.make 64 "")
+let intern_count = ref 0
+
+let intern s =
+  Mutex.lock intern_lock;
+  let id =
+    match Hashtbl.find_opt intern_tbl s with
+    | Some id -> id
+    | None ->
+      let id = !intern_count in
+      if id >= Array.length !intern_names then begin
+        let bigger = Array.make (2 * Array.length !intern_names) "" in
+        Array.blit !intern_names 0 bigger 0 id;
+        intern_names := bigger
+      end;
+      !intern_names.(id) <- s;
+      Hashtbl.replace intern_tbl s id;
+      incr intern_count;
+      id
+  in
+  Mutex.unlock intern_lock;
+  id
+
+let no_label = intern ""
+
+let label_name id =
+  Mutex.lock intern_lock;
+  let s = if id >= 0 && id < !intern_count then !intern_names.(id) else "?" in
+  Mutex.unlock intern_lock;
+  s
+
+(* ---- per-thread rings -------------------------------------------------- *)
+
+type ring = {
+  rtid : int;  (* Thread.id of the owning (sole writer) thread *)
+  kinds : int array;
+  times : int array;
+  labels : int array;
+  aa : int array;
+  bb : int array;
+  mutable pos : int;  (* next write index *)
+  mutable total : int;  (* events ever written to this ring *)
+}
+
+let default_capacity = 4096
+let capacity_ref = ref default_capacity
+let set_capacity n = capacity_ref := max 16 n
+let max_rings = 1024
+let rings : ring array Atomic.t = Atomic.make [||]
+let rings_lock = Mutex.create ()
+let lost = Atomic.make 0
+let events_lost () = Atomic.get lost
+
+(* hot-path ring lookup: immediate-arg recursion, no closure, no ref *)
+let rec scan arr n id i =
+  if i >= n then raise_notrace Not_found
+  else
+    let r = Array.unsafe_get arr i in
+    if r.rtid == id then r else scan arr n id (i + 1)
+
+(* slow path, once per thread: append a fresh ring (allocates, takes the
+   lock — both fine off the steady state) *)
+let add_ring id =
+  Mutex.lock rings_lock;
+  let arr = Atomic.get rings in
+  let r =
+    match scan arr (Array.length arr) id 0 with
+    | r -> r (* lost a benign race with ourselves via reset *)
+    | exception Not_found ->
+      let cap = !capacity_ref in
+      let r =
+        { rtid = id; kinds = Array.make cap 0; times = Array.make cap 0;
+          labels = Array.make cap 0; aa = Array.make cap 0;
+          bb = Array.make cap 0; pos = 0; total = 0 }
+      in
+      let bigger = Array.make (Array.length arr + 1) r in
+      Array.blit arr 0 bigger 0 (Array.length arr);
+      Atomic.set rings bigger;
+      r
+  in
+  Mutex.unlock rings_lock;
+  r
+
+let emit k ~label ~a ~b =
+  if !enabled_flag then begin
+    let id = Thread.id (Thread.self ()) in
+    let arr = Atomic.get rings in
+    match scan arr (Array.length arr) id 0 with
+    | exception Not_found ->
+      if Array.length arr >= max_rings then Atomic.incr lost
+      else begin
+        let r = add_ring id in
+        let i = r.pos in
+        Array.unsafe_set r.kinds i (code k);
+        Array.unsafe_set r.times i (Clock.now_int_ns ());
+        Array.unsafe_set r.labels i label;
+        Array.unsafe_set r.aa i a;
+        Array.unsafe_set r.bb i b;
+        r.pos <- (if i + 1 = Array.length r.kinds then 0 else i + 1);
+        r.total <- r.total + 1
+      end
+    | r ->
+      let i = r.pos in
+      Array.unsafe_set r.kinds i (code k);
+      Array.unsafe_set r.times i (Clock.now_int_ns ());
+      Array.unsafe_set r.labels i label;
+      Array.unsafe_set r.aa i a;
+      Array.unsafe_set r.bb i b;
+      r.pos <- (if i + 1 = Array.length r.kinds then 0 else i + 1);
+      r.total <- r.total + 1
+  end
+
+let mark ~label = emit Mark ~label ~a:0 ~b:0
+
+(* ---- snapshots --------------------------------------------------------- *)
+
+type event = {
+  tid : int;
+  seq : int;  (* position in the owning thread's event stream *)
+  t_ns : int;
+  ekind : kind;
+  label : string;
+  a : int;
+  b : int;
+}
+
+let events () =
+  let arr = Atomic.get rings in
+  let acc = ref [] in
+  Array.iter
+    (fun r ->
+      let cap = Array.length r.kinds in
+      let total = r.total in
+      let n = if total < cap then total else cap in
+      let start = if total < cap then 0 else r.pos in
+      let base_seq = total - n in
+      for j = 0 to n - 1 do
+        let i = (start + j) mod cap in
+        acc :=
+          { tid = r.rtid; seq = base_seq + j; t_ns = r.times.(i);
+            ekind = kind_of_code r.kinds.(i);
+            label = label_name r.labels.(i); a = r.aa.(i); b = r.bb.(i) }
+          :: !acc
+      done)
+    arr;
+  List.sort
+    (fun e1 e2 -> compare (e1.t_ns, e1.tid, e1.seq) (e2.t_ns, e2.tid, e2.seq))
+    !acc
+
+let tids () =
+  let arr = Atomic.get rings in
+  Array.to_list arr
+  |> List.filter_map (fun r -> if r.total > 0 then Some r.rtid else None)
+  |> List.sort compare
+
+(* ---- rendering --------------------------------------------------------- *)
+
+let text_of_events ?(reason = "") evs =
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "# parlooper flight recorder\n";
+  if reason <> "" then pr "# reason: %s\n" reason;
+  let ntids =
+    List.sort_uniq compare (List.map (fun e -> e.tid) evs) |> List.length
+  in
+  pr "# %d event%s across %d thread%s\n"
+    (List.length evs)
+    (if List.length evs = 1 then "" else "s")
+    ntids
+    (if ntids = 1 then "" else "s");
+  let t0 = match evs with [] -> 0 | e :: _ -> e.t_ns in
+  pr "#  rel_us      tid    seq  kind            a          b  label\n";
+  List.iter
+    (fun e ->
+      pr "%9.1f %8d %6d  %-14s %-10d %-10d %s\n"
+        (float_of_int (e.t_ns - t0) /. 1e3)
+        e.tid e.seq (kind_name e.ekind) e.a e.b e.label)
+    evs;
+  Buffer.contents b
+
+let trace_of_events ?(reason = "") evs =
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "{\"traceEvents\":[";
+  pr
+    "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+     \"args\":{\"name\":\"parlooper flight recorder%s%s\"}}"
+    (if reason = "" then "" else ": ")
+    (Json_check.escape reason);
+  List.iter
+    (fun t ->
+      pr
+        ",{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\
+         \"args\":{\"name\":\"thread %d\"}}"
+        t t)
+    (List.sort_uniq compare (List.map (fun e -> e.tid) evs));
+  List.iter
+    (fun e ->
+      let ts = float_of_int e.t_ns /. 1e3 in
+      let name = if e.label = "" then kind_name e.ekind else e.label in
+      match e.ekind with
+      | Kernel_begin ->
+        pr
+          ",{\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"name\":\"%s\",\
+           \"cat\":\"%s\",\"args\":{\"a\":%d,\"b\":%d}}"
+          e.tid
+          (Json_check.float_repr ts)
+          (Json_check.escape name) (kind_cat e.ekind) e.a e.b
+      | Kernel_end ->
+        pr ",{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"name\":\"%s\",\"cat\":\"%s\"}"
+          e.tid
+          (Json_check.float_repr ts)
+          (Json_check.escape name) (kind_cat e.ekind)
+      | _ ->
+        pr
+          ",{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"s\":\"t\",\
+           \"name\":\"%s\",\"cat\":\"%s\",\"args\":{\"a\":%d,\"b\":%d}}"
+          e.tid
+          (Json_check.float_repr ts)
+          (Json_check.escape name) (kind_cat e.ekind) e.a e.b)
+    evs;
+  pr "]}";
+  Buffer.contents b
+
+(* ---- post-mortem dumps ------------------------------------------------- *)
+
+let dump_dir_ref = ref (Sys.getenv_opt "PARLOOPER_DUMP_DIR")
+let set_dump_dir d = dump_dir_ref := d
+let dump_dir () = !dump_dir_ref
+let max_dumps_ref = ref 8
+let set_max_dumps n = max_dumps_ref := max 0 n
+let dump_lock = Mutex.create ()
+let dump_seq = ref 0
+let dumps_written () = !dump_seq
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc s)
+
+(* Snapshot every ring into <dir>/flight-NNN.{txt,trace.json}. Returns the
+   common path prefix, or [None] when no dump directory is configured, the
+   dump budget is exhausted, or the recorder is disabled/empty. The trace
+   JSON is validated before writing; the text dump carries the reason. *)
+let post_mortem ~reason =
+  match !dump_dir_ref with
+  | None -> None
+  | Some dir ->
+    Mutex.lock dump_lock;
+    let result =
+      if !dump_seq >= !max_dumps_ref then None
+      else begin
+        let evs = events () in
+        if evs = [] then None
+        else begin
+          incr dump_seq;
+          let prefix = Filename.concat dir
+              (Printf.sprintf "flight-%03d" !dump_seq)
+          in
+          match
+            (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+            let trace = trace_of_events ~reason evs in
+            Json_check.validate trace;
+            write_file (prefix ^ ".txt") (text_of_events ~reason evs);
+            write_file (prefix ^ ".trace.json") trace
+          with
+          | () ->
+            Printf.eprintf
+              "[parlooper] flight recorder: %s -> %s.{txt,trace.json}\n%!"
+              reason prefix;
+            Some prefix
+          | exception e ->
+            Printf.eprintf "[parlooper] flight recorder: dump failed (%s): %s\n%!"
+              reason (Printexc.to_string e);
+            None
+        end
+      end
+    in
+    Mutex.unlock dump_lock;
+    result
+
+(* ---- lifecycle --------------------------------------------------------- *)
+
+let reset () =
+  Mutex.lock rings_lock;
+  Atomic.set rings [||];
+  Atomic.set lost 0;
+  Mutex.unlock rings_lock;
+  Mutex.lock dump_lock;
+  dump_seq := 0;
+  Mutex.unlock dump_lock

@@ -1,0 +1,105 @@
+(** Always-on flight recorder: fixed-size per-thread ring buffers of
+    compact binary event records, written lock-free with zero
+    steady-state allocation, snapshotted into post-mortem dumps (text
+    timeline + Chrome trace_event JSON) when a hardened failure path
+    fires.
+
+    Recording is on by default; disable with [PARLOOPER_RECORDER=0] or
+    {!set_enabled}. Dumps are written only when a dump directory is
+    configured ([PARLOOPER_DUMP_DIR] or {!set_dump_dir}), so test runs
+    that intentionally trip failure paths stay quiet. *)
+
+(** Event vocabulary — one constructor per instrumented seam. *)
+type kind =
+  | Kernel_begin  (** BRGEMM batch entry; [label]=kernel config, [a]=batch *)
+  | Kernel_end  (** matching exit (also on the exception path) *)
+  | Pool_dispatch  (** Team pool run; [a]=team width *)
+  | Barrier_arrive  (** barrier arrival; [a]=tid, [b]=arrival rank *)
+  | Sched_admit  (** scheduler admitted a request; [a]=req id, [b]=queue *)
+  | Sched_decode  (** scheduler decode round; [a]=batch, [b]=tokens *)
+  | Kv_acquire  (** KV cache leased; [a]=rows, [b]=in_use *)
+  | Kv_release  (** KV cache returned; [a]=rows, [b]=in_use *)
+  | Kv_deny  (** KV lease refused; [a]=rows requested *)
+  | Fault_fired  (** injected fault; [label]=site, [a]=invocation, [b]=kind *)
+  | Jit_compile  (** JIT cache miss compiled; [label]=spec, [a]=ns *)
+  | Mark  (** free-form point event *)
+
+val kind_name : kind -> string
+
+(** Chrome-trace category for a kind ("kernel", "pool", "barrier",
+    "sched", "kv", "fault", "jit", "mark"). *)
+val kind_cat : kind -> string
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** Intern a label string to the int the hot path carries. Call once at
+    site/kernel creation, never per event. *)
+val intern : string -> int
+
+(** The interned empty label, for events that don't need one. *)
+val no_label : int
+
+val label_name : int -> string
+
+(** Append one event to the calling thread's ring. Allocation-free and
+    lock-free after the thread's first event; a no-op while disabled. *)
+val emit : kind -> label:int -> a:int -> b:int -> unit
+
+(** [mark ~label] = [emit Mark ~label ~a:0 ~b:0]. *)
+val mark : label:int -> unit
+
+(** Ring capacity (events per thread) for rings created after the call;
+    default 4096. *)
+val set_capacity : int -> unit
+
+(** Events discarded because the ring registry was full. *)
+val events_lost : unit -> int
+
+(** A decoded event, as seen by snapshots. *)
+type event = {
+  tid : int;  (** OS thread id (Thread.id) *)
+  seq : int;  (** position in the owning thread's event stream *)
+  t_ns : int;  (** {!Clock.now_int_ns} timestamp *)
+  ekind : kind;
+  label : string;
+  a : int;
+  b : int;
+}
+
+(** Best-effort merged snapshot of every ring, sorted by time. Races
+    benignly with concurrent writers. *)
+val events : unit -> event list
+
+(** Thread ids that have recorded at least one event, sorted. *)
+val tids : unit -> int list
+
+(** Human-readable timeline (relative-microsecond columns). *)
+val text_of_events : ?reason:string -> event list -> string
+
+(** Chrome trace_event JSON ({v {"traceEvents":[...]} v}): B/E pairs for
+    kernel begin/end, instant events for everything else, thread-name
+    metadata per tid. Output always passes {!Json_check.validate}. *)
+val trace_of_events : ?reason:string -> event list -> string
+
+(** Where post-mortem dumps go; [None] (the default, unless
+    [PARLOOPER_DUMP_DIR] is set) disables dumping. *)
+val set_dump_dir : string option -> unit
+
+val dump_dir : unit -> string option
+
+(** Cap on dumps per process (default 8), so a failure storm can't fill
+    the disk. *)
+val set_max_dumps : int -> unit
+
+val dumps_written : unit -> int
+
+(** Snapshot all rings into [<dir>/flight-NNN.txt] and
+    [<dir>/flight-NNN.trace.json], validate the trace, announce on
+    stderr, and return the common path prefix. [None] when no dump dir
+    is configured, the budget is spent, or there are no events. Called
+    by the hardened failure paths; safe to call manually. *)
+val post_mortem : reason:string -> string option
+
+(** Drop all rings and reset the dump budget (labels stay interned). *)
+val reset : unit -> unit

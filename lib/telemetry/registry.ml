@@ -124,6 +124,10 @@ let watchdog_trips_name = "watchdog.trips"
 let pool_quarantined_name = "pool.quarantined"
 let numeric_errors_name = "tpp.numeric_errors"
 
+(* ---- telemetry self-accounting ---- *)
+
+let spans_dropped_name = Span.dropped_name
+
 (* ---- lifecycle ---- *)
 
 let reset () =
@@ -133,4 +137,6 @@ let reset () =
   Mutex.unlock lock;
   Span.reset ();
   Counter.reset_all ();
-  Histogram.reset_all ()
+  Gauge.reset_all ();
+  Histogram.reset_all ();
+  Recorder.reset ()

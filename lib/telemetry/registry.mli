@@ -93,6 +93,10 @@ val watchdog_trips_name : string
 val pool_quarantined_name : string
 val numeric_errors_name : string
 
-(** Clear kernel stats, predictions, spans and zero all counters and
-    histograms. *)
+(** Counter of spans discarded once the bounded span store is full
+    (= {!Span.dropped_name}). *)
+val spans_dropped_name : string
+
+(** Clear kernel stats, predictions, spans, recorder rings and zero all
+    counters, gauges and histograms. *)
 val reset : unit -> unit

@@ -3,28 +3,10 @@
    barrier-wait totals, raw counters and perf-model error — as plain text
    for terminals and as JSON for scripts. *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-(* JSON floats: no nan/inf, no exponent surprises for consumers *)
-let json_float f =
-  if Float.is_nan f || Float.is_integer f && Float.abs f < 1e15 then
-    Printf.sprintf "%.0f" (if Float.is_nan f then 0.0 else f)
-  else if Float.is_finite f then Printf.sprintf "%.6g" f
-  else "0"
+(* emission helpers live in Json_check (shared with Recorder/Expose);
+   re-exported here for existing callers *)
+let json_escape = Json_check.escape
+let json_float = Json_check.float_repr
 
 (* attainable GFLOPS at a kernel's arithmetic intensity, classic roofline *)
 let roofline ~peak_gflops ~mem_bw_gbs ai =
@@ -118,6 +100,11 @@ let summary ?peak_gflops ?mem_bw_gbs () =
     pr "counters:\n";
     List.iter (fun (n, v) -> pr "  %-40s %d\n" n v) rest
   end;
+  let gs = List.filter (fun (_, v) -> v <> 0) (Gauge.all ()) in
+  if gs <> [] then begin
+    pr "gauges:\n";
+    List.iter (fun (n, v) -> pr "  %-40s %d\n" n v) gs
+  end;
   pr "spans: %d recorded on %d thread track%s\n" (Span.count ())
     (List.length (Span.by_tid ()))
     (if List.length (Span.by_tid ()) = 1 then "" else "s");
@@ -189,5 +176,11 @@ let to_json ?peak_gflops ?mem_bw_gbs () =
       if i > 0 then pr ",";
       pr "\"%s\":%d" (json_escape n) v)
     (Counter.all ());
+  pr "},\"gauges\":{";
+  List.iteri
+    (fun i (n, v) ->
+      if i > 0 then pr ",";
+      pr "\"%s\":%d" (json_escape n) v)
+    (Gauge.all ());
   pr "},\"spans\":%d}" (Span.count ());
   Buffer.contents b

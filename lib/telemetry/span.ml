@@ -24,13 +24,30 @@ let lock = Mutex.create ()
 let spans : t list ref = ref []
 let recorded = ref 0
 
+(* Bounded store: a multi-hour serve run with tracing left on must not
+   leak one list cell per span forever. Past the cap, spans are counted
+   into [dropped_name] and discarded; the cap is generous enough that any
+   bench/test run keeps everything. The counter-name literal lives here
+   (Registry re-exports it) because Registry already depends on Span. *)
+let dropped_name = "telemetry.spans.dropped"
+let limit_ref = ref 65_536
+let set_limit n = limit_ref := max 1 n
+let limit () = !limit_ref
+let dropped_c = lazy (Counter.find_or_create dropped_name)
+
 let record ?(args = []) ?(cat = "default") ?(tid = -1) ~name ~start_ns ~dur_ns
     () =
   if !enabled_flag then begin
     Mutex.lock lock;
-    spans := { name; cat; tid; start_ns; dur_ns; args } :: !spans;
-    incr recorded;
-    Mutex.unlock lock
+    if !recorded < !limit_ref then begin
+      spans := { name; cat; tid; start_ns; dur_ns; args } :: !spans;
+      incr recorded;
+      Mutex.unlock lock
+    end
+    else begin
+      Mutex.unlock lock;
+      Counter.incr (Lazy.force dropped_c)
+    end
   end
 
 (* scoped wrapper: times [f] and records on the way out, even on raise *)

@@ -15,6 +15,15 @@ type t = {
 val set_enabled : bool -> unit
 val enabled : unit -> bool
 
+(** The span store is bounded: once [limit ()] spans are held, further
+    records are discarded and counted into the counter named
+    [dropped_name] ("telemetry.spans.dropped"). {!reset} empties the
+    store, re-admitting new spans. *)
+val set_limit : int -> unit
+
+val limit : unit -> int
+val dropped_name : string
+
 (** Record a finished span (no-op while disabled). *)
 val record :
   ?args:(string * float) list ->

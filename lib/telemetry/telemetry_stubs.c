@@ -22,3 +22,15 @@ CAMLprim value tl_monotonic_now_ns_byte(value unit)
 {
   return caml_copy_int64(tl_monotonic_now_ns(unit));
 }
+
+/* Tagged-int variant for the flight recorder's hot path: a 63-bit OCaml
+   int holds ~146 years of nanoseconds, and returning Val_long avoids the
+   Int64 box the unboxed external would still allocate through opaque
+   call boundaries on non-flambda builds. */
+CAMLprim value tl_monotonic_now_int_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -29,10 +29,13 @@ let config_to_string c =
 (* Kernels are stateless (safe to share across threads from the dispatch
    cache); the FP32 accumulator — the emulated tile-register file — is
    leased from the calling thread's scratch arena per invocation, so
-   after warm-up the hot path allocates nothing. *)
-type kernel = { cfg : config }
+   after warm-up the hot path allocates nothing. [rlabel] is the kernel's
+   flight-recorder label, interned once at compile so the begin/end
+   events in the exec paths stay allocation-free. *)
+type kernel = { cfg : config; rlabel : int }
 
-let compile cfg = { cfg }
+let compile cfg =
+  { cfg; rlabel = Telemetry.Recorder.intern (config_to_string cfg) }
 
 let config_of k = k.cfg
 
@@ -143,6 +146,8 @@ let check_views ker ~(a : View.t) ~(b : View.t) ~(c : View.t) =
 
 let exec_stride ker ~a ~b ~c ~stride_a ~stride_b ~count =
   check_views ker ~a ~b ~c;
+  Telemetry.Recorder.emit Telemetry.Recorder.Kernel_begin ~label:ker.rlabel
+    ~a:count ~b:0;
   let ar = Scratch.arena () in
   let acc = Scratch.lease ar (ker.cfg.m * ker.cfg.n) in
   (* try/with (not Fun.protect) keeps the no-exception path allocation-free *)
@@ -155,12 +160,18 @@ let exec_stride ker ~a ~b ~c ~stride_a ~stride_b ~count =
      guard ker c
    with e ->
      Scratch.release ar acc;
+     Telemetry.Recorder.emit Telemetry.Recorder.Kernel_end ~label:ker.rlabel
+       ~a:count ~b:1;
      raise e);
-  Scratch.release ar acc
+  Scratch.release ar acc;
+  Telemetry.Recorder.emit Telemetry.Recorder.Kernel_end ~label:ker.rlabel
+    ~a:count ~b:0
 
 let exec_offsets ker ~a ~b ~c ~offs_a ~offs_b =
   assert (Array.length offs_a = Array.length offs_b);
   check_views ker ~a ~b ~c;
+  Telemetry.Recorder.emit Telemetry.Recorder.Kernel_begin ~label:ker.rlabel
+    ~a:(Array.length offs_a) ~b:0;
   let ar = Scratch.arena () in
   let acc = Scratch.lease ar (ker.cfg.m * ker.cfg.n) in
   (try
@@ -172,8 +183,12 @@ let exec_offsets ker ~a ~b ~c ~offs_a ~offs_b =
      guard ker c
    with e ->
      Scratch.release ar acc;
+     Telemetry.Recorder.emit Telemetry.Recorder.Kernel_end ~label:ker.rlabel
+       ~a:(Array.length offs_a) ~b:1;
      raise e);
-  Scratch.release ar acc
+  Scratch.release ar acc;
+  Telemetry.Recorder.emit Telemetry.Recorder.Kernel_end ~label:ker.rlabel
+    ~a:(Array.length offs_a) ~b:0
 
 let exec_list ker ~ab ~c =
   match ab with
@@ -189,6 +204,8 @@ let exec_list ker ~ab ~c =
       done
   | (a0, b0) :: _ ->
     check_views ker ~a:a0 ~b:b0 ~c;
+    Telemetry.Recorder.emit Telemetry.Recorder.Kernel_begin ~label:ker.rlabel
+      ~a:(List.length ab) ~b:0;
     let ar = Scratch.arena () in
     let acc = Scratch.lease ar (ker.cfg.m * ker.cfg.n) in
     (try
@@ -205,8 +222,12 @@ let exec_list ker ~ab ~c =
        guard ker c
      with e ->
        Scratch.release ar acc;
+       Telemetry.Recorder.emit Telemetry.Recorder.Kernel_end ~label:ker.rlabel
+         ~a:(List.length ab) ~b:1;
        raise e);
-    Scratch.release ar acc
+    Scratch.release ar acc;
+    Telemetry.Recorder.emit Telemetry.Recorder.Kernel_end ~label:ker.rlabel
+      ~a:(List.length ab) ~b:0
 
 let exec ker ~a ~b ~c = exec_stride ker ~a ~b ~c ~stride_a:0 ~stride_b:0 ~count:1
 

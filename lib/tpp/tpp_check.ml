@@ -43,6 +43,11 @@ let check ~kernel (v : View.t) ~step =
     let x = View.get v r c in
     if not (Float.is_finite x) then begin
       Telemetry.Counter.incr errors_c;
+      (* already off the happy path: intern + dump are affordable here *)
+      Telemetry.Recorder.emit Telemetry.Recorder.Mark
+        ~label:(Telemetry.Recorder.intern ("numeric_error:" ^ kernel))
+        ~a:r ~b:c;
+      ignore (Telemetry.Recorder.post_mortem ~reason:"tpp.numeric_error");
       raise (Numeric_error { kernel; row = r; col = c; value = x })
     end;
     i := !i + step

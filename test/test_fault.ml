@@ -155,6 +155,91 @@ let test_stall_sleeps () =
       checkb "stalled for the configured duration" true
         (Telemetry.Clock.now_s () -. t0 >= 0.04))
 
+(* ---- flight recorder on the hardened failure path ---- *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* A worker-body fault must leave a complete post-mortem: the dump has to
+   carry the injected-fault event AND the events every other team thread
+   recorded before things went wrong — that context is the whole point of
+   a flight recorder. *)
+let test_worker_failure_dumps_flight () =
+  Telemetry.Recorder.reset ();
+  Telemetry.Recorder.set_enabled true;
+  let dir = Filename.temp_file "parlooper-fault-flight" ".d" in
+  Sys.remove dir;
+  let old_dir = Telemetry.Recorder.dump_dir () in
+  Telemetry.Recorder.set_dump_dir (Some dir);
+  let nthreads = 4 in
+  let lbl = Telemetry.Recorder.intern "t.flight.body" in
+  let s = Fault.site "t.flight" in
+  Fault.with_plan
+    { Fault.seed = 0; rules = [ rule "t.flight" 3 ] }
+    (fun () ->
+      match
+        Team.run ~nthreads (fun ctx ->
+            (* every logical thread leaves its fingerprint in its ring
+               before anyone can fail *)
+            Telemetry.Recorder.emit Telemetry.Recorder.Mark ~label:lbl
+              ~a:ctx.Team.tid ~b:0;
+            match Fault.fire s with
+            | `None | `Nan | `Deny -> ())
+      with
+      | () -> Alcotest.fail "expected Parallel_failure"
+      | exception Team.Parallel_failure _ -> ());
+  Telemetry.Recorder.set_dump_dir old_dir;
+  (* the rings (still live after the dump) saw all four logical tids and
+     the injected fault *)
+  let evs = Telemetry.Recorder.events () in
+  let marks =
+    List.filter
+      (fun e ->
+        e.Telemetry.Recorder.ekind = Telemetry.Recorder.Mark
+        && e.Telemetry.Recorder.label = "t.flight.body")
+      evs
+  in
+  let seen_tid t =
+    List.exists (fun e -> e.Telemetry.Recorder.a = t) marks
+  in
+  for t = 0 to nthreads - 1 do
+    checkb (Printf.sprintf "logical tid %d recorded" t) true (seen_tid t)
+  done;
+  checkb "fault event recorded" true
+    (List.exists
+       (fun e ->
+         e.Telemetry.Recorder.ekind = Telemetry.Recorder.Fault_fired
+         && e.Telemetry.Recorder.label = "t.flight")
+       evs);
+  (* the failure path wrote a dump, and the dump covers every OS thread
+     that recorded anything *)
+  checkb "dump written on Parallel_failure" true
+    (Telemetry.Recorder.dumps_written () >= 1);
+  let traces =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".trace.json")
+  in
+  checkb "trace dump present" true (traces <> []);
+  let trace_path = Filename.concat dir (List.hd traces) in
+  let ic = open_in_bin trace_path in
+  let trace = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (try Telemetry.Json_check.validate trace with
+  | Telemetry.Json_check.Bad_json m ->
+    Alcotest.failf "dumped trace invalid JSON: %s" m);
+  checkb "dump carries the fault event" true
+    (contains ~needle:"\"cat\":\"fault\"" trace);
+  List.iter
+    (fun tid ->
+      checkb
+        (Printf.sprintf "dump carries events from tid %d" tid)
+        true
+        (contains ~needle:(Printf.sprintf "\"tid\":%d" tid) trace))
+    (Telemetry.Recorder.tids ());
+  Telemetry.Recorder.reset ()
+
 let () =
   Alcotest.run "fault"
     [
@@ -180,5 +265,10 @@ let () =
           Alcotest.test_case "install resets counts" `Quick
             test_install_resets_counts;
           Alcotest.test_case "stall sleeps" `Quick test_stall_sleeps;
+        ] );
+      ( "flight-recorder",
+        [
+          Alcotest.test_case "worker failure dumps all rings" `Quick
+            test_worker_failure_dumps_flight;
         ] );
     ]

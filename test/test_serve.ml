@@ -294,6 +294,111 @@ let test_driver_end_to_end () =
     (String.length (Serve.Metrics.summary_to_string s) > 0);
   clean ()
 
+(* ---- live metrics plane ---- *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* pull the integer value of ["name":<int>] out of one JSONL line *)
+let json_int_field line name =
+  let key = "\"" ^ name ^ "\":" in
+  let kl = String.length key and ll = String.length line in
+  let rec find i =
+    if i + kl > ll then None
+    else if String.sub line i kl = key then begin
+      let j = ref (i + kl) in
+      let start = !j in
+      if !j < ll && line.[!j] = '-' then incr j;
+      while !j < ll && line.[!j] >= '0' && line.[!j] <= '9' do
+        incr j
+      done;
+      if !j > start then int_of_string_opt (String.sub line start (!j - start))
+      else None
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let test_driver_live_metrics () =
+  clean ();
+  Telemetry.Registry.enable ();
+  let llm = make_llm () in
+  let cfg =
+    { Serve.Load_gen.default with
+      Serve.Load_gen.rate_hz = 50.0;
+      duration_s = 0.4;
+      deadline_s = 30.0 }
+  in
+  let trace = Serve.Load_gen.generate cfg ~vocab:Llm.tiny.Llm.vocab in
+  let sched = Serve.Scheduler.create llm in
+  let path = Filename.temp_file "parlooper-live" ".jsonl" in
+  let oc = open_out path in
+  let o =
+    Serve.Driver.run ~live:{ Serve.Driver.every_s = 0.05; out = oc } sched
+      trace
+  in
+  close_out oc;
+  Telemetry.Registry.disable ();
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  Sys.remove path;
+  checkb "at least two snapshots" true (List.length lines >= 2);
+  checki "snapshot count matches outcome" o.Serve.Driver.snapshots
+    (List.length lines);
+  List.iteri
+    (fun i line ->
+      (try Telemetry.Json_check.validate line with
+      | Telemetry.Json_check.Bad_json m ->
+        Alcotest.failf "snapshot %d invalid JSON: %s" i m);
+      if i > 0 then
+        checkb
+          (Printf.sprintf "snapshot %d carries deltas" i)
+          true
+          (contains ~needle:"\"deltas\"" line
+          && contains ~needle:"\"rates\"" line))
+    lines;
+  (* counters are monotonic across the stream *)
+  let submitted_series =
+    List.filter_map
+      (fun l -> json_int_field l Serve.Metrics.submitted_name)
+      lines
+  in
+  checki "every snapshot reports the counter" (List.length lines)
+    (List.length submitted_series);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  checkb "submitted counter is monotonic" true (monotone submitted_series);
+  (* the final snapshot agrees with the end-of-run state *)
+  let last = List.nth lines (List.length lines - 1) in
+  let s = o.Serve.Driver.summary in
+  (match json_int_field last Serve.Metrics.completed_name with
+  | Some v -> checki "final completed matches summary" s.Serve.Metrics.completed v
+  | None -> Alcotest.fail "final snapshot missing completed counter");
+  (match json_int_field last Serve.Metrics.kv_in_use_name with
+  | Some v -> checki "final kv_in_use gauge drained" 0 v
+  | None -> Alcotest.fail "final snapshot missing kv_in_use gauge");
+  (* the same values flow into Report.to_json: the gauges section must
+     agree with the stream's last line *)
+  let j = Telemetry.Report.to_json ~peak_gflops:1.0 ~mem_bw_gbs:1.0 () in
+  checkb "report has gauges section" true (contains ~needle:"\"gauges\"" j);
+  (match json_int_field j Serve.Metrics.kv_free_name with
+  | Some rv -> (
+    match json_int_field last Serve.Metrics.kv_free_name with
+    | Some lv -> checki "kv_free gauge agrees with report" rv lv
+    | None -> Alcotest.fail "final snapshot missing kv_free gauge")
+  | None -> Alcotest.fail "report missing kv_free gauge");
+  clean ()
+
 (* ---- hardened failure paths ---- *)
 
 (* a request whose deadline budget is already gone is refused at submit:
@@ -459,8 +564,11 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_load_gen_deterministic;
         ] );
       ( "driver",
-        [ Alcotest.test_case "end-to-end" `Quick test_driver_end_to_end ]
-      );
+        [
+          Alcotest.test_case "end-to-end" `Quick test_driver_end_to_end;
+          Alcotest.test_case "live metrics stream" `Quick
+            test_driver_live_metrics;
+        ] );
       ( "fault-paths",
         [
           Alcotest.test_case "past-deadline submit refused" `Quick

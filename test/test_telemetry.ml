@@ -268,6 +268,211 @@ let test_roofline () =
     "compute bound" 100.0
     (Telemetry.Report.roofline ~peak_gflops:100.0 ~mem_bw_gbs:50.0 1000.0)
 
+(* ---- gauges ---- *)
+
+let test_gauge_basic () =
+  Telemetry.Gauge.reset_all ();
+  let g = Telemetry.Gauge.find_or_create "test.gauge" in
+  checkb "same name, same gauge" true
+    (g == Telemetry.Gauge.find_or_create "test.gauge");
+  Alcotest.(check string) "name" "test.gauge" (Telemetry.Gauge.name g);
+  Telemetry.Gauge.set g 5;
+  checki "set" 5 (Telemetry.Gauge.get g);
+  Telemetry.Gauge.add g 3;
+  Telemetry.Gauge.incr g;
+  Telemetry.Gauge.decr g;
+  checki "add/incr/decr" 8 (Telemetry.Gauge.get g);
+  checki "value by name" 8 (Telemetry.Gauge.value "test.gauge");
+  Telemetry.Gauge.set g (-2);
+  checki "gauges can go negative" (-2) (Telemetry.Gauge.get g);
+  checkb "listed in all" true
+    (List.mem_assoc "test.gauge" (Telemetry.Gauge.all ()));
+  Telemetry.Gauge.reset_all ();
+  checki "reset zeroes but keeps identity" 0 (Telemetry.Gauge.get g)
+
+(* ---- span cap ---- *)
+
+let test_span_cap () =
+  reset_on ();
+  let old = Telemetry.Span.limit () in
+  Telemetry.Span.set_limit 4;
+  for i = 1 to 10 do
+    Telemetry.Span.record
+      ~name:(string_of_int i)
+      ~start_ns:(Int64.of_int i) ~dur_ns:1L ()
+  done;
+  off ();
+  Telemetry.Span.set_limit old;
+  checki "kept at most the cap" 4 (Telemetry.Span.count ());
+  checki "overflow counted" 6
+    (Telemetry.Counter.value Telemetry.Registry.spans_dropped_name)
+
+(* ---- live metrics plane (Expose) ---- *)
+
+let test_expose_jsonl () =
+  reset_on ();
+  let c = Telemetry.Counter.find_or_create "test.expose.c" in
+  Telemetry.Counter.incr c;
+  Telemetry.Gauge.set (Telemetry.Gauge.find_or_create "test.expose.g") 7;
+  let s1 = Telemetry.Expose.take () in
+  Telemetry.Counter.add c 4;
+  let s2 = Telemetry.Expose.take () in
+  off ();
+  let line1 = Telemetry.Expose.jsonl s1 in
+  let line2 = Telemetry.Expose.jsonl ~prev:s1 s2 in
+  (try parse_json line1 with
+  | Telemetry.Json_check.Bad_json m -> Alcotest.failf "invalid JSONL: %s" m);
+  (try parse_json line2 with
+  | Telemetry.Json_check.Bad_json m ->
+    Alcotest.failf "invalid JSONL with prev: %s" m);
+  checkb "no deltas without prev" false (contains ~needle:"\"deltas\"" line1);
+  checkb "deltas present with prev" true (contains ~needle:"\"deltas\"" line2);
+  checkb "rates present with prev" true (contains ~needle:"\"rates\"" line2);
+  checkb "gauge in snapshot" true (contains ~needle:"test.expose.g" line1);
+  match List.assoc_opt "test.expose.c" (Telemetry.Expose.deltas ~prev:s1 s2)
+  with
+  | Some d -> checki "counter delta" 4 d
+  | None -> Alcotest.fail "counter missing from deltas"
+
+let test_expose_prometheus () =
+  reset_on ();
+  Telemetry.Counter.incr (Telemetry.Counter.find_or_create "test.prom.count");
+  Telemetry.Gauge.set (Telemetry.Gauge.find_or_create "test.prom.depth") 3;
+  off ();
+  let s = Telemetry.Expose.prometheus () in
+  checkb "TYPE counter line" true
+    (contains ~needle:"# TYPE test_prom_count counter" s);
+  checkb "TYPE gauge line" true
+    (contains ~needle:"# TYPE test_prom_depth gauge" s);
+  checkb "gauge sample" true (contains ~needle:"test_prom_depth 3" s)
+
+(* ---- flight recorder ---- *)
+
+let test_recorder_emit_decode () =
+  Telemetry.Recorder.reset ();
+  Telemetry.Recorder.set_enabled true;
+  let lbl = Telemetry.Recorder.intern "test.recorder" in
+  Telemetry.Recorder.emit Telemetry.Recorder.Sched_admit ~label:lbl ~a:7 ~b:2;
+  Telemetry.Recorder.emit Telemetry.Recorder.Mark
+    ~label:Telemetry.Recorder.no_label ~a:0 ~b:0;
+  (match Telemetry.Recorder.events () with
+  | [ e1; e2 ] ->
+    checkb "kind decodes" true
+      (e1.Telemetry.Recorder.ekind = Telemetry.Recorder.Sched_admit);
+    Alcotest.(check string)
+      "label decodes" "test.recorder" e1.Telemetry.Recorder.label;
+    checki "a" 7 e1.Telemetry.Recorder.a;
+    checki "b" 2 e1.Telemetry.Recorder.b;
+    checkb "time ordered" true
+      (e2.Telemetry.Recorder.t_ns >= e1.Telemetry.Recorder.t_ns);
+    checkb "seq ordered" true
+      (e2.Telemetry.Recorder.seq > e1.Telemetry.Recorder.seq)
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l));
+  checki "one recording thread" 1 (List.length (Telemetry.Recorder.tids ()));
+  Telemetry.Recorder.reset ()
+
+let test_recorder_kill_switch () =
+  Telemetry.Recorder.reset ();
+  Telemetry.Recorder.set_enabled false;
+  Telemetry.Recorder.emit Telemetry.Recorder.Mark
+    ~label:Telemetry.Recorder.no_label ~a:0 ~b:0;
+  checki "disabled emits nothing" 0
+    (List.length (Telemetry.Recorder.events ()));
+  Telemetry.Recorder.set_enabled true
+
+let test_recorder_wrap () =
+  Telemetry.Recorder.reset ();
+  Telemetry.Recorder.set_enabled true;
+  Telemetry.Recorder.set_capacity 16;
+  let lbl = Telemetry.Recorder.intern "test.wrap" in
+  (* a fresh thread gets a fresh ring at the new capacity *)
+  let t =
+    Thread.create
+      (fun () ->
+        for i = 1 to 100 do
+          Telemetry.Recorder.emit Telemetry.Recorder.Mark ~label:lbl ~a:i ~b:0
+        done)
+      ()
+  in
+  Thread.join t;
+  Telemetry.Recorder.set_capacity 4096;
+  let evs = Telemetry.Recorder.events () in
+  checki "ring kept exactly capacity events" 16 (List.length evs);
+  let min_a =
+    List.fold_left (fun m e -> min m e.Telemetry.Recorder.a) max_int evs
+  in
+  checki "survivors are the newest" 85 min_a;
+  Telemetry.Recorder.reset ()
+
+let test_recorder_trace_json () =
+  Telemetry.Recorder.reset ();
+  Telemetry.Recorder.set_enabled true;
+  (* labels exercise JSON escaping: quotes, backslash, and non-ASCII
+     (UTF-8 multibyte) kernel names must all survive *)
+  let k = Telemetry.Recorder.intern "gemm \"64\xc2\xb3\" bf16\\f32" in
+  let f = Telemetry.Recorder.intern "team.worker.body" in
+  Telemetry.Recorder.emit Telemetry.Recorder.Kernel_begin ~label:k ~a:4 ~b:0;
+  Telemetry.Recorder.emit Telemetry.Recorder.Fault_fired ~label:f ~a:47 ~b:0;
+  Telemetry.Recorder.emit Telemetry.Recorder.Kernel_end ~label:k ~a:4 ~b:0;
+  let evs = Telemetry.Recorder.events () in
+  let s = Telemetry.Recorder.trace_of_events ~reason:"test.trace" evs in
+  (try parse_json s with
+  | Telemetry.Json_check.Bad_json m ->
+    Alcotest.failf "invalid trace JSON: %s" m);
+  checkb "fault category present" true (contains ~needle:"\"cat\":\"fault\"" s);
+  checkb "kernel begin" true (contains ~needle:"\"ph\":\"B\"" s);
+  checkb "kernel end" true (contains ~needle:"\"ph\":\"E\"" s);
+  checkb "non-ASCII label survives" true (contains ~needle:"64\xc2\xb3" s);
+  let txt = Telemetry.Recorder.text_of_events ~reason:"test.trace" evs in
+  checkb "text timeline carries reason" true
+    (contains ~needle:"test.trace" txt);
+  Telemetry.Recorder.reset ()
+
+let test_recorder_post_mortem () =
+  Telemetry.Recorder.reset ();
+  Telemetry.Recorder.set_enabled true;
+  let dir = Filename.temp_file "parlooper-flight" ".d" in
+  Sys.remove dir;
+  let old = Telemetry.Recorder.dump_dir () in
+  Telemetry.Recorder.set_dump_dir (Some dir);
+  Telemetry.Recorder.emit Telemetry.Recorder.Mark
+    ~label:(Telemetry.Recorder.intern "pm")
+    ~a:1 ~b:0;
+  (match Telemetry.Recorder.post_mortem ~reason:"test.pm" with
+  | None -> Alcotest.fail "no dump produced"
+  | Some prefix ->
+    let trace = prefix ^ ".trace.json" in
+    checkb "trace file exists" true (Sys.file_exists trace);
+    checkb "text file exists" true (Sys.file_exists (prefix ^ ".txt"));
+    let ic = open_in_bin trace in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    (try parse_json s with
+    | Telemetry.Json_check.Bad_json m ->
+      Alcotest.failf "dumped trace invalid: %s" m);
+    checkb "reason recorded in dump" true (contains ~needle:"test.pm" s);
+    checki "dump counted" 1 (Telemetry.Recorder.dumps_written ()));
+  Telemetry.Recorder.set_dump_dir old;
+  Telemetry.Recorder.reset ()
+
+(* The always-on claim: after the calling thread's ring exists, emit must
+   not allocate — same Gc-delta pattern as the BRGEMM hot-path test. *)
+let test_recorder_emit_no_alloc () =
+  Telemetry.Recorder.reset ();
+  Telemetry.Recorder.set_enabled true;
+  let lbl = Telemetry.Recorder.intern "test.noalloc" in
+  for i = 1 to 50 do
+    Telemetry.Recorder.emit Telemetry.Recorder.Mark ~label:lbl ~a:i ~b:0
+  done;
+  let before = Gc.minor_words () in
+  for i = 1 to 200 do
+    Telemetry.Recorder.emit Telemetry.Recorder.Mark ~label:lbl ~a:i ~b:0
+  done;
+  let delta = Gc.minor_words () -. before in
+  if delta > 64.0 then
+    Alcotest.failf "emit allocated %.0f minor words over 200 events" delta;
+  Telemetry.Recorder.reset ()
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -278,6 +483,24 @@ let () =
           Alcotest.test_case "nesting" `Quick test_span_nesting;
           Alcotest.test_case "exception" `Quick
             test_span_exception_still_recorded;
+          Alcotest.test_case "bounded store" `Quick test_span_cap;
+        ] );
+      ( "gauge", [ Alcotest.test_case "basic" `Quick test_gauge_basic ] );
+      ( "expose",
+        [
+          Alcotest.test_case "jsonl snapshots" `Quick test_expose_jsonl;
+          Alcotest.test_case "prometheus" `Quick test_expose_prometheus;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "emit/decode" `Quick test_recorder_emit_decode;
+          Alcotest.test_case "kill switch" `Quick test_recorder_kill_switch;
+          Alcotest.test_case "ring wrap" `Quick test_recorder_wrap;
+          Alcotest.test_case "trace json" `Quick test_recorder_trace_json;
+          Alcotest.test_case "post-mortem dump" `Quick
+            test_recorder_post_mortem;
+          Alcotest.test_case "emit allocates nothing" `Quick
+            test_recorder_emit_no_alloc;
         ] );
       ( "counter",
         [ Alcotest.test_case "cross-domain" `Quick test_counter_cross_domain ]
