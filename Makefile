@@ -1,4 +1,4 @@
-.PHONY: all build test fmt smoke-serve smoke-pool smoke-chaos smoke-flight ci clean
+.PHONY: all build test fmt smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight ci clean
 
 all: build
 
@@ -34,6 +34,20 @@ smoke-chaos: build
 	dune exec bench/main.exe -- --chaos --json /tmp/bench-chaos.json
 	@test -s /tmp/bench-chaos.json && echo "smoke-chaos: /tmp/bench-chaos.json ok"
 
+# Cluster smoke (~3 s): a short multi-replica chaos run — 3 sharded
+# replicas behind the router, replica 1 quarantined mid-run — followed
+# by a disaggregated pass. The bench binary exits non-zero on any
+# router-conservation violation (request lost/double-served, pool not
+# drained fleet-wide, double KV release, identity mismatch); the grep
+# insists the fleet SLO-burn counters actually made it into the JSON.
+smoke-cluster: build
+	dune exec bench/main.exe -- --chaos --replicas 3 --shards 2 --json /tmp/bench-cluster.json
+	@grep -q '"fleet_slo_ttft_breaches"' /tmp/bench-cluster.json \
+	  && grep -q '"fleet_slo_deadline_breaches"' /tmp/bench-cluster.json \
+	  || { echo "smoke-cluster: fleet SLO counters missing from JSON"; exit 1; }
+	dune exec bench/main.exe -- --chaos --replicas 2 --disaggregate --chaos-requests 16
+	@echo "smoke-cluster: /tmp/bench-cluster.json ok"
+
 # Flight-recorder smoke (~2 s): the chaos run again, this time with the
 # recorder's dump directory armed. The default fault plan makes workers
 # die, so the hardened failure paths must snapshot the per-thread rings
@@ -50,9 +64,10 @@ smoke-flight: build
 # canonical (dune files; ocamlformat is not in the pinned toolchain),
 # everything must build, the full tier-1 suite must pass, the serving
 # and pooled-dispatch paths must produce valid machine-readable output,
-# and a chaos run with the recorder armed must produce a validating
-# post-mortem flight dump.
-ci: fmt build test smoke-serve smoke-pool smoke-chaos smoke-flight
+# a multi-replica chaos run with a quarantined replica must hold the
+# router conservation invariants, and a chaos run with the recorder
+# armed must produce a validating post-mortem flight dump.
+ci: fmt build test smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight
 
 clean:
 	dune clean

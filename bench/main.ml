@@ -14,8 +14,9 @@
    experiments with the telemetry registry enabled and print the
    aggregated report — per-kernel achieved GFLOPS, JIT-cache hit rate,
    predicted-vs-measured model deviation — at the end. Pass --json FILE
-   to write the machine-readable BENCH file (schema parlooper-bench/1:
-   bench name + config + metrics per entry) for runs that produce
+   to write the machine-readable BENCH file (schema parlooper-bench/2:
+   bench name + config + metrics per entry, plus per-replica metric
+   blocks and a fleet rollup for cluster runs) for runs that produce
    metrics (serve, gemm, micro); the file is validated before the
    process exits. *)
 
@@ -25,23 +26,37 @@ open Toolkit
 (* ---- machine-readable BENCH output (--json FILE) ----
 
    Commit-agnostic schema so the perf trajectory can be compared across
-   PRs: each entry is {name, config (strings), metrics (numbers)}. *)
+   PRs: each entry is {name, config (strings), metrics (numbers)}.
+   Schema parlooper-bench/2 adds an optional per-entry "replicas" array
+   ([{replica, metrics}] blocks) for cluster runs; entries without it
+   are byte-compatible with /1 consumers and single-replica output
+   still validates unchanged. *)
 
 type bench_entry = {
   bname : string;
   config : (string * string) list;
-  metrics : (string * float) list;
+  metrics : (string * float) list;  (* fleet rollup for cluster runs *)
+  replicas : (int * (string * float) list) list;  (* [] = omit the key *)
 }
 
 let bench_entries : bench_entry list ref = ref []
 
-let record_bench ~name ~config ~metrics =
-  bench_entries := { bname = name; config; metrics } :: !bench_entries
+let record_bench ?(replicas = []) ~name ~config ~metrics () =
+  bench_entries := { bname = name; config; metrics; replicas } :: !bench_entries
 
 let bench_json_string () =
   let b = Buffer.create 512 in
   let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  pr "{\"schema\":\"parlooper-bench/1\",\"host\":\"%s\",\"benches\":["
+  let pr_metrics ms =
+    List.iteri
+      (fun j (k, v) ->
+        if j > 0 then pr ",";
+        pr "\"%s\":%s"
+          (Telemetry.Report.json_escape k)
+          (Telemetry.Report.json_float v))
+      ms
+  in
+  pr "{\"schema\":\"parlooper-bench/2\",\"host\":\"%s\",\"benches\":["
     (Telemetry.Report.json_escape Platform.host.Platform.name);
   List.iteri
     (fun i e ->
@@ -55,14 +70,20 @@ let bench_json_string () =
             (Telemetry.Report.json_escape v))
         e.config;
       pr "},\"metrics\":{";
-      List.iteri
-        (fun j (k, v) ->
-          if j > 0 then pr ",";
-          pr "\"%s\":%s"
-            (Telemetry.Report.json_escape k)
-            (Telemetry.Report.json_float v))
-        e.metrics;
-      pr "}}")
+      pr_metrics e.metrics;
+      pr "}";
+      if e.replicas <> [] then begin
+        pr ",\"replicas\":[";
+        List.iteri
+          (fun j (r, ms) ->
+            if j > 0 then pr ",";
+            pr "{\"replica\":%d,\"metrics\":{" r;
+            pr_metrics ms;
+            pr "}}")
+          e.replicas;
+        pr "]"
+      end;
+      pr "}")
     (List.rev !bench_entries);
   pr "]}";
   Buffer.contents b
@@ -202,7 +223,7 @@ let run_gemm_points () =
           [ ("m", string_of_int dim); ("n", string_of_int dim);
             ("k", string_of_int dim); ("block", string_of_int block);
             ("spec", spec); ("dtype", "f32") ]
-        ~metrics:[ ("seconds", !best); ("gflops", gflops) ])
+        ~metrics:[ ("seconds", !best); ("gflops", gflops) ] ())
     [ (128, 32, "BCa"); (256, 32, "BCa") ];
   (* pool-on points: the same contraction dispatched onto the persistent
      worker team (parallel outer loop, 2 logical threads) *)
@@ -238,7 +259,7 @@ let run_gemm_points () =
             ("spec", spec); ("dtype", "f32");
             ("nthreads", string_of_int nthreads);
             ("pool", if Team.pool_enabled () then "on" else "off") ]
-        ~metrics:[ ("seconds", !best); ("gflops", gflops) ])
+        ~metrics:[ ("seconds", !best); ("gflops", gflops) ] ())
     [ (128, 32, "BCa", 2); (256, 32, "BCa", 2) ]
 
 (* ---- dispatch-overhead microbenchmark (persistent pool vs spawn) ----
@@ -317,7 +338,7 @@ let run_dispatch () =
           [ ("pool_ns_per_exec", pool_ns); ("spawn_ns_per_exec", spawn_ns);
             ("body_ns_per_exec", seq_ns);
             ("pool_overhead_ns", pool_ov); ("spawn_overhead_ns", spawn_ov);
-            ("speedup", speedup) ])
+            ("speedup", speedup) ] ())
     cases;
   let cval = Telemetry.Counter.value in
   let reuse = cval Telemetry.Registry.pool_reuse_name in
@@ -333,7 +354,8 @@ let run_dispatch () =
         ("arena_misses",
          float_of_int (cval Telemetry.Registry.arena_misses_name));
         ("arena_bytes", float_of_int (cval Telemetry.Registry.arena_bytes_name))
-      ];
+      ]
+    ();
   Printf.printf "  pool: %d workers, %d dispatches, %d reuses\n%!"
     (Team.pool_size ())
     (cval Telemetry.Registry.pool_dispatches_name)
@@ -418,14 +440,43 @@ let run_recorder () =
         ("events_per_s", events_per_s); ("gemm_s_enabled", gemm_on_s);
         ("gemm_s_disabled", gemm_off_s);
         ("gemm_overhead_pct", overhead_pct) ]
+    ()
 
-(* ---- serving benchmark (--serve): continuous batching over Llm.tiny ---- *)
+(* ---- serving benchmark (--serve): continuous batching over Llm.tiny ----
 
-let run_serve ~rate ~duration () =
+   With --replicas N / --shards M / --disaggregate the load runs through
+   the cluster tier (Router + per-replica schedulers) instead of a lone
+   scheduler; the bench entry then carries the fleet rollup in "metrics"
+   and one per-replica block each under "replicas". *)
+
+let summary_metrics (s : Serve.Metrics.summary) =
+  [ ("submitted", float_of_int s.Serve.Metrics.submitted);
+    ("completed", float_of_int s.Serve.Metrics.completed);
+    ("rejected", float_of_int s.Serve.Metrics.rejected);
+    ("goodput", float_of_int s.Serve.Metrics.goodput);
+    ("tokens", float_of_int s.Serve.Metrics.tokens);
+    ("tokens_per_s", s.Serve.Metrics.tokens_per_s);
+    ("ttft_p50_ms", s.Serve.Metrics.ttft_ms.Serve.Metrics.p50);
+    ("ttft_p95_ms", s.Serve.Metrics.ttft_ms.Serve.Metrics.p95);
+    ("ttft_p99_ms", s.Serve.Metrics.ttft_ms.Serve.Metrics.p99);
+    ("tpot_p50_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p50);
+    ("tpot_p95_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p95);
+    ("tpot_p99_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p99) ]
+
+let run_serve ~rate ~duration ~replicas ~shards ~disaggregate ~placement () =
+  let clustered = replicas > 1 || shards > 1 || disaggregate in
   Modelkit.section
-    (Printf.sprintf
-       "serving: continuous batching over %s, Poisson %.0f req/s for %.1fs"
-       Llm.tiny.Llm.name rate duration);
+    (if clustered then
+       Printf.sprintf
+         "serving: %d replicas x %d shards%s (%s) over %s, Poisson %.0f \
+          req/s for %.1fs"
+         replicas shards
+         (if disaggregate then " + prefill tier" else "")
+         (Cluster.Router.placement_name placement) Llm.tiny.Llm.name rate duration
+     else
+       Printf.sprintf
+         "serving: continuous batching over %s, Poisson %.0f req/s for %.1fs"
+         Llm.tiny.Llm.name rate duration);
   let rng = Prng.create 7 in
   let llm = Llm.create ~rng ~block:8 Llm.tiny in
   let load =
@@ -441,42 +492,82 @@ let run_serve ~rate ~duration () =
     (1e3 *. load.Serve.Load_gen.deadline_s)
     (Serve.Load_gen.dist_to_string load.Serve.Load_gen.prompt_len)
     (Serve.Load_gen.dist_to_string load.Serve.Load_gen.new_tokens);
-  let sched = Serve.Scheduler.create llm in
-  let o = Serve.Driver.run sched trace in
-  Serve.Metrics.print o.Serve.Driver.summary;
-  let s = o.Serve.Driver.summary in
-  record_bench ~name:"serve"
-    ~config:
-      [ ("model", Llm.tiny.Llm.name); ("rate_hz", Printf.sprintf "%g" rate);
-        ("duration_s", Printf.sprintf "%g" duration);
-        ("deadline_ms",
-         Printf.sprintf "%g" (1e3 *. load.Serve.Load_gen.deadline_s));
-        ("policy",
-         Serve.Scheduler.policy_name
-           (Serve.Scheduler.config sched).Serve.Scheduler.policy);
-        ("max_batch",
-         string_of_int (Serve.Scheduler.config sched).Serve.Scheduler.max_batch)
-      ]
-    ~metrics:
-      [ ("submitted", float_of_int s.Serve.Metrics.submitted);
-        ("completed", float_of_int s.Serve.Metrics.completed);
-        ("rejected", float_of_int s.Serve.Metrics.rejected);
-        ("goodput", float_of_int s.Serve.Metrics.goodput);
-        ("tokens", float_of_int s.Serve.Metrics.tokens);
-        ("tokens_per_s", s.Serve.Metrics.tokens_per_s);
-        ("ttft_p50_ms", s.Serve.Metrics.ttft_ms.Serve.Metrics.p50);
-        ("ttft_p95_ms", s.Serve.Metrics.ttft_ms.Serve.Metrics.p95);
-        ("ttft_p99_ms", s.Serve.Metrics.ttft_ms.Serve.Metrics.p99);
-        ("tpot_p50_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p50);
-        ("tpot_p95_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p95);
-        ("tpot_p99_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p99);
-        ("slo_ttft_breaches",
-         float_of_int
-           (Telemetry.Counter.value Serve.Metrics.slo_ttft_breaches_name));
-        ("slo_deadline_breaches",
-         float_of_int
-           (Telemetry.Counter.value Serve.Metrics.slo_deadline_breaches_name))
-      ]
+  let slo_metrics () =
+    [ ("slo_ttft_breaches",
+       float_of_int
+         (Telemetry.Counter.value Serve.Metrics.slo_ttft_breaches_name));
+      ("slo_deadline_breaches",
+       float_of_int
+         (Telemetry.Counter.value Serve.Metrics.slo_deadline_breaches_name))
+    ]
+  in
+  if not clustered then begin
+    let sched = Serve.Scheduler.create llm in
+    let o = Serve.Driver.run sched trace in
+    Serve.Metrics.print o.Serve.Driver.summary;
+    record_bench ~name:"serve"
+      ~config:
+        [ ("model", Llm.tiny.Llm.name); ("rate_hz", Printf.sprintf "%g" rate);
+          ("duration_s", Printf.sprintf "%g" duration);
+          ("deadline_ms",
+           Printf.sprintf "%g" (1e3 *. load.Serve.Load_gen.deadline_s));
+          ("policy",
+           Serve.Scheduler.policy_name
+             (Serve.Scheduler.config sched).Serve.Scheduler.policy);
+          ("max_batch",
+           string_of_int
+             (Serve.Scheduler.config sched).Serve.Scheduler.max_batch)
+        ]
+      ~metrics:(summary_metrics o.Serve.Driver.summary @ slo_metrics ())
+      ()
+  end
+  else begin
+    let rcfg =
+      { Cluster.Router.default_config with
+        Cluster.Router.replicas; shards; disaggregate; placement }
+    in
+    let router =
+      match Cluster.Router.create ~config:rcfg llm with
+      | Ok r -> r
+      | Error e ->
+        Printf.eprintf "serve: cannot build cluster: %s\n" e;
+        exit 1
+    in
+    let o = Cluster.Driver.run router trace in
+    Printf.printf "  fleet (merged across %d replica histograms):\n"
+      (List.length o.Cluster.Driver.per_replica);
+    Serve.Metrics.print o.Cluster.Driver.summary;
+    List.iter
+      (fun (i, s) ->
+        Printf.printf "  replica %d%s: %s\n" i
+          (if i >= replicas then " (prefill)" else "")
+          (Serve.Metrics.summary_to_string s))
+      o.Cluster.Driver.per_replica;
+    record_bench ~name:"serve"
+      ~config:
+        [ ("model", Llm.tiny.Llm.name); ("rate_hz", Printf.sprintf "%g" rate);
+          ("duration_s", Printf.sprintf "%g" duration);
+          ("deadline_ms",
+           Printf.sprintf "%g" (1e3 *. load.Serve.Load_gen.deadline_s));
+          ("replicas", string_of_int replicas);
+          ("shards", string_of_int shards);
+          ("disaggregate", string_of_bool disaggregate);
+          ("placement", Cluster.Router.placement_name placement) ]
+      ~metrics:
+        (summary_metrics o.Cluster.Driver.summary
+        @ slo_metrics ()
+        @ [ ("routed",
+             float_of_int (Telemetry.Counter.value Cluster.Router.routed_name));
+            ("rerouted",
+             float_of_int (Telemetry.Counter.value Cluster.Router.rerouted_name));
+            ("adopted",
+             float_of_int (Telemetry.Counter.value Cluster.Router.adopted_name)) ])
+      ~replicas:
+        (List.map
+           (fun (i, s) -> (i, summary_metrics s))
+           o.Cluster.Driver.per_replica)
+      ()
+  end
 
 (* ---- chaos harness (--chaos): seeded fault injection over serving ----
 
@@ -487,6 +578,74 @@ let run_serve ~rate ~duration () =
    injects nothing would make the "survived chaos" claim vacuous). *)
 
 let chaos_failed = ref false
+
+(* cluster chaos (--chaos --replicas N): router fleet under the seeded
+   plan with a mid-run replica quarantine; the bench entry carries the
+   router conservation counters and the fleet SLO-burn gauges, and any
+   invariant violation fails the process like the single-replica run. *)
+let run_cluster_chaos ~seed ~requests ~replicas ~shards ~disaggregate () =
+  Modelkit.section
+    (Printf.sprintf
+       "chaos: %d-replica fleet under seeded fault injection (seed %d, %d \
+        requests, %d shards%s, replica %d quarantined mid-run)"
+       replicas seed requests shards
+       (if disaggregate then ", disaggregated" else "")
+       Cluster.Chaos.default.Cluster.Chaos.quarantine_replica);
+  let config =
+    { Cluster.Chaos.default with
+      Cluster.Chaos.seed; requests; replicas; shards; disaggregate }
+  in
+  let plan =
+    match config.Cluster.Chaos.plan with
+    | Some p -> p
+    | None -> Cluster.Chaos.default_plan seed
+  in
+  Printf.printf "  plan: %s\n%!" (Fault.plan_to_string plan);
+  let r = Cluster.Chaos.run ~config () in
+  print_string (Cluster.Chaos.report_to_string r);
+  let f = float_of_int in
+  record_bench ~name:"cluster-chaos"
+    ~config:
+      [ ("seed", string_of_int seed); ("requests", string_of_int requests);
+        ("replicas", string_of_int replicas);
+        ("shards", string_of_int shards);
+        ("disaggregate", string_of_bool disaggregate);
+        ("quarantine_replica",
+         string_of_int config.Cluster.Chaos.quarantine_replica);
+        ("plan", Fault.plan_to_string plan) ]
+    ~metrics:
+      [ ("steps", f r.Cluster.Chaos.steps);
+        ("submitted", f r.Cluster.Chaos.submitted);
+        ("finished", f r.Cluster.Chaos.finished);
+        ("rejected", f r.Cluster.Chaos.rejected);
+        ("cancelled", f r.Cluster.Chaos.cancelled);
+        ("failed", f r.Cluster.Chaos.failed);
+        ("routed", f r.Cluster.Chaos.routed);
+        ("rerouted", f r.Cluster.Chaos.rerouted);
+        ("adopted", f r.Cluster.Chaos.adopted);
+        ("route_faults", f r.Cluster.Chaos.route_faults);
+        ("compared", f r.Cluster.Chaos.compared);
+        ("mismatched", f r.Cluster.Chaos.mismatched);
+        ("fault_injected", f r.Cluster.Chaos.injected);
+        ("fault_retries", f r.Cluster.Chaos.retries);
+        ("fault_shed", f r.Cluster.Chaos.shed);
+        ("kv_denied", f r.Cluster.Chaos.denied);
+        ("double_released", f r.Cluster.Chaos.double_released);
+        ("fleet_slo_ttft_breaches", f r.Cluster.Chaos.fleet_slo_ttft);
+        ("fleet_slo_deadline_breaches", f r.Cluster.Chaos.fleet_slo_deadline);
+        ("violations", f (List.length r.Cluster.Chaos.violations)) ]
+    ();
+  if r.Cluster.Chaos.violations <> [] then begin
+    Printf.eprintf "cluster chaos: %d invariant violation(s)\n"
+      (List.length r.Cluster.Chaos.violations);
+    List.iter (Printf.eprintf "  - %s\n") r.Cluster.Chaos.violations;
+    chaos_failed := true
+  end;
+  if r.Cluster.Chaos.injected = 0 then begin
+    Printf.eprintf "cluster chaos: plan injected no faults — run proves \
+                    nothing\n";
+    chaos_failed := true
+  end
 
 let run_chaos ~seed ~requests () =
   Modelkit.section
@@ -523,7 +682,8 @@ let run_chaos ~seed ~requests () =
         ("watchdog_trips", f r.Serve.Chaos.trips);
         ("pool_quarantined", f r.Serve.Chaos.quarantined);
         ("numeric_errors", f r.Serve.Chaos.numeric_errors);
-        ("violations", f (List.length r.Serve.Chaos.violations)) ];
+        ("violations", f (List.length r.Serve.Chaos.violations)) ]
+    ();
   if r.Serve.Chaos.violations <> [] then begin
     Printf.eprintf "chaos: %d invariant violation(s)\n"
       (List.length r.Serve.Chaos.violations);
@@ -569,7 +729,9 @@ let usage () =
   Printf.eprintf
     "usage: main.exe [EXPERIMENT...] [--serve] [--serve-rate HZ]\n\
     \       [--serve-duration S] [--chaos] [--chaos-seed N]\n\
-    \       [--chaos-requests N] [--json FILE] [--telemetry]\n\
+    \       [--chaos-requests N] [--replicas N] [--shards M]\n\
+    \       [--disaggregate] [--placement rr|jsq|deadline]\n\
+    \       [--json FILE] [--telemetry]\n\
      experiments: %s\n"
     (String.concat ", " (List.map fst experiments));
   exit 1
@@ -583,6 +745,10 @@ let () =
   let chaos = ref false in
   let chaos_seed = ref 42 in
   let chaos_requests = ref 24 in
+  let replicas = ref 1 in
+  let shards = ref 1 in
+  let disaggregate = ref false in
+  let placement = ref Cluster.Router.Round_robin in
   let json_path = ref None in
   let names = ref [] in
   let int_arg name rest =
@@ -645,6 +811,28 @@ let () =
       chaos_requests := v;
       chaos := true;
       parse rest
+    | "--replicas" :: rest ->
+      let v, rest = int_arg "--replicas" rest in
+      replicas := v;
+      parse rest
+    | "--shards" :: rest ->
+      let v, rest = int_arg "--shards" rest in
+      shards := v;
+      parse rest
+    | "--disaggregate" :: rest ->
+      disaggregate := true;
+      parse rest
+    | "--placement" :: v :: rest -> (
+      match Cluster.Router.placement_of_string v with
+      | Some p ->
+        placement := p;
+        parse rest
+      | None ->
+        Printf.eprintf "--placement expects rr|jsq|deadline, got %S\n" v;
+        exit 1)
+    | "--placement" :: [] ->
+      Printf.eprintf "--placement expects a value\n";
+      exit 1
     | "--json" :: path :: rest ->
       json_path := Some path;
       parse rest
@@ -677,8 +865,15 @@ let () =
           exit 1)
       names
   | [], false -> run_all ());
-  if !serve then run_serve ~rate:!serve_rate ~duration:!serve_duration ();
-  if !chaos then run_chaos ~seed:!chaos_seed ~requests:!chaos_requests ();
+  if !serve then
+    run_serve ~rate:!serve_rate ~duration:!serve_duration ~replicas:!replicas
+      ~shards:!shards ~disaggregate:!disaggregate ~placement:!placement ();
+  if !chaos then
+    if !replicas > 1 || !shards > 1 || !disaggregate then
+      run_cluster_chaos ~seed:!chaos_seed ~requests:!chaos_requests
+        ~replicas:(max 2 !replicas) ~shards:!shards
+        ~disaggregate:!disaggregate ()
+    else run_chaos ~seed:!chaos_seed ~requests:!chaos_requests ();
   if !telemetry then begin
     Telemetry.Registry.disable ();
     let host = Platform.host in

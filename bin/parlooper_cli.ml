@@ -240,8 +240,35 @@ let live_interval_arg =
     & info [ "live-interval-ms" ]
         ~doc:"interval between live-metrics snapshots in milliseconds")
 
+let replicas_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "replicas" ]
+        ~doc:"decode scheduler replicas behind the router (1 = no router)")
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ]
+        ~doc:"tensor-parallel shards inside each replica (bit-identical to \
+              unsharded)")
+
+let disaggregate_arg =
+  Arg.(
+    value & flag
+    & info [ "disaggregate" ]
+        ~doc:"run prefill on a dedicated replica and hand finished KV \
+              caches to decode replicas over the handoff channel")
+
+let placement_arg =
+  Arg.(
+    value & opt string "rr"
+    & info [ "placement" ]
+        ~doc:"router placement: rr | jsq | deadline")
+
 let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
-    policy seed threads live_metrics live_interval_ms trace telemetry =
+    policy seed threads replicas shards disaggregate placement live_metrics
+    live_interval_ms trace telemetry =
   if rate <= 0.0 || duration <= 0.0 then begin
     Printf.eprintf "--rate and --duration must be positive\n";
     exit 1
@@ -257,6 +284,18 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
       Printf.eprintf "unknown policy %S (fcfs | deadline)\n" policy;
       exit 1
   in
+  let placement =
+    match Cluster.Router.placement_of_string placement with
+    | Some p -> p
+    | None ->
+      Printf.eprintf "unknown placement %S (rr | jsq | deadline)\n" placement;
+      exit 1
+  in
+  if replicas < 1 || shards < 1 then begin
+    Printf.eprintf "--replicas and --shards must be positive\n";
+    exit 1
+  end;
+  let clustered = replicas > 1 || shards > 1 || disaggregate in
   Telemetry.Registry.reset ();
   Telemetry.Registry.enable ();
   let rng = Prng.create 7 in
@@ -266,25 +305,31 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
       prompt_len = Serve.Load_gen.Uniform (pmin, pmax);
       new_tokens = Serve.Load_gen.Uniform (tmin, tmax);
       deadline_s =
-        (if deadline_ms > 0.0 then deadline_ms /. 1000.0 else Float.infinity)
+        (if deadline_ms > 0.0 then deadline_ms /. 1000.0 else Float.infinity);
+      id_base = 0;
+      id_stride = 1
     }
   in
   let trace_reqs = Serve.Load_gen.generate load ~vocab:Llm.tiny.Llm.vocab in
   Printf.printf
     "serving %d arrivals (%.0f req/s x %.1fs, prompts %s, new tokens %s) on \
-     %s: queue<=%d batch<=%d policy=%s threads=%d\n%!"
+     %s: queue<=%d batch<=%d policy=%s threads=%d%s\n%!"
     (List.length trace_reqs) rate duration
     (Serve.Load_gen.dist_to_string load.Serve.Load_gen.prompt_len)
     (Serve.Load_gen.dist_to_string load.Serve.Load_gen.new_tokens)
     Llm.tiny.Llm.name max_queue max_batch
     (Serve.Scheduler.policy_name policy)
-    threads;
+    threads
+    (if clustered then
+       Printf.sprintf " replicas=%d shards=%d placement=%s%s" replicas shards
+         (Cluster.Router.placement_name placement)
+         (if disaggregate then " disaggregated" else "")
+     else "");
   let config =
     { Serve.Scheduler.default_config with
       Serve.Scheduler.max_queue; max_batch; policy;
       nthreads = Some threads }
   in
-  let sched = Serve.Scheduler.create ~config llm in
   let live_out =
     match live_metrics with
     | None -> None
@@ -303,23 +348,67 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
           out })
       live_out
   in
-  let o = Serve.Driver.run ?live sched trace_reqs in
-  (match live_out with
-  | None -> ()
-  | Some (oc, close) ->
-    if close then close_out oc;
-    Printf.printf "live metrics: %d snapshot%s%s\n%!" o.Serve.Driver.snapshots
-      (if o.Serve.Driver.snapshots = 1 then "" else "s")
-      (match live_metrics with
-      | Some p when p <> "-" -> " -> " ^ p
-      | _ -> ""));
-  Serve.Metrics.print o.Serve.Driver.summary;
-  let pool = Serve.Scheduler.pool sched in
-  Printf.printf
-    "KV pool: %d created, %d reused, %d free at exit, peak %d rows/layer\n%!"
-    (Serve.Kv_pool.created pool) (Serve.Kv_pool.reused pool)
-    (Serve.Kv_pool.free_count pool)
-    (Serve.Kv_pool.peak_rows pool);
+  let finish_live snapshots =
+    match live_out with
+    | None -> ()
+    | Some (oc, close) ->
+      if close then close_out oc;
+      Printf.printf "live metrics: %d snapshot%s%s\n%!" snapshots
+        (if snapshots = 1 then "" else "s")
+        (match live_metrics with
+        | Some p when p <> "-" -> " -> " ^ p
+        | _ -> "")
+  in
+  if not clustered then begin
+    let sched = Serve.Scheduler.create ~config llm in
+    let o = Serve.Driver.run ?live sched trace_reqs in
+    finish_live o.Serve.Driver.snapshots;
+    Serve.Metrics.print o.Serve.Driver.summary;
+    let pool = Serve.Scheduler.pool sched in
+    Printf.printf
+      "KV pool: %d created, %d reused, %d free at exit, peak %d rows/layer\n%!"
+      (Serve.Kv_pool.created pool) (Serve.Kv_pool.reused pool)
+      (Serve.Kv_pool.free_count pool)
+      (Serve.Kv_pool.peak_rows pool)
+  end
+  else begin
+    let rcfg =
+      { Cluster.Router.default_config with
+        Cluster.Router.replicas; shards; disaggregate; placement;
+        scheduler = config }
+    in
+    let router =
+      match Cluster.Router.create ~config:rcfg llm with
+      | Ok r -> r
+      | Error e ->
+        Printf.eprintf "cannot build cluster: %s\n" e;
+        exit 1
+    in
+    let o = Cluster.Driver.run ?live router trace_reqs in
+    finish_live o.Cluster.Driver.snapshots;
+    List.iter
+      (fun (i, s) ->
+        Printf.printf "replica %d%s: %s\n" i
+          (if i >= replicas then " (prefill)" else "")
+          (Serve.Metrics.summary_to_string s))
+      o.Cluster.Driver.per_replica;
+    Printf.printf "fleet (histograms merged across replicas):\n";
+    Serve.Metrics.print o.Cluster.Driver.summary;
+    (* created/reused are fleet-wide counters; free/peak are per pool *)
+    (match Cluster.Router.pools router with
+    | [] -> ()
+    | (p :: _) as pools ->
+      Printf.printf "KV fleet: %d created, %d reused across %d pools\n%!"
+        (Serve.Kv_pool.created p) (Serve.Kv_pool.reused p)
+        (List.length pools);
+      List.iteri
+        (fun i pool ->
+          Printf.printf "KV pool %d: %d free at exit, peak %d rows/layer\n%!"
+            i
+            (Serve.Kv_pool.free_count pool)
+            (Serve.Kv_pool.peak_rows pool))
+        pools)
+  end;
   Telemetry.Registry.disable ();
   if telemetry then
     Telemetry.Report.print
@@ -526,7 +615,8 @@ let serve_cmd =
     Term.(
       const serve $ rate_arg $ duration_arg $ prompt_min_arg $ prompt_max_arg
       $ tokens_min_arg $ tokens_max_arg $ deadline_arg $ queue_arg $ batch_arg
-      $ policy_arg $ seed_arg $ threads_arg $ live_metrics_arg
+      $ policy_arg $ seed_arg $ threads_arg $ replicas_arg $ shards_arg
+      $ disaggregate_arg $ placement_arg $ live_metrics_arg
       $ live_interval_arg $ trace_arg $ telemetry_arg)
 
 let chaos_cmd =

@@ -1,0 +1,337 @@
+(* Cluster chaos harness: drive the router fleet under a seeded fault
+   plan with a mid-run replica quarantine, and check the router-level
+   conservation invariants on top of everything Serve.Chaos establishes
+   for a single scheduler:
+
+     - liveness: the fleet drains within the step budget;
+     - router-ledger conservation: every routed request reaches a
+       terminal state; finished + rejected + cancelled + failed =
+       submitted; every id appears exactly once in the router ledger and
+       in at most one decode replica's ledger (quarantine re-routes move
+       requests, never duplicate them);
+     - no double serve: no request carries more outputs than its
+       [new_tokens]; finished requests carry exactly [new_tokens];
+     - quarantine isolation: the quarantined replica's ledger does not
+       grow after the quarantine (no new routes, no adoptions);
+     - fleet drain: every KV pool (decode replicas + prefiller) reports
+       zero caches in use and the handoff channel is empty;
+     - exactly-once handoff release: the double-release counter stays 0;
+     - bit-identity: every finished request's outputs equal a solo
+       fault-free replay on the same model — sharding, placement,
+       disaggregation and recovery must be semantically invisible.
+
+   The drive is virtual-clock and fault triggers are invocation-count
+   based, so a seed reproduces the same schedule anywhere. *)
+
+type config = {
+  seed : int;
+  requests : int;
+  replicas : int;
+  shards : int;
+  disaggregate : bool;
+  placement : Router.placement;
+  prompt_len : Serve.Load_gen.dist;
+  new_tokens : Serve.Load_gen.dist;
+  arrival_gap_s : float;  (* virtual seconds between arrivals *)
+  deadline_s : float;
+  dt_s : float;  (* virtual seconds per drive step *)
+  scheduler : Serve.Scheduler.config;
+  handoff_cap : int;
+  quarantine_step : int;  (* drive step at which the quarantine fires *)
+  quarantine_replica : int;
+  plan : Fault.plan option;  (* None = default_plan seed *)
+  max_steps : int;
+}
+
+let default =
+  { seed = 42;
+    requests = 24;
+    replicas = 3;
+    shards = 1;
+    disaggregate = false;
+    placement = Router.Round_robin;
+    prompt_len = Serve.Load_gen.Uniform (2, 6);
+    new_tokens = Serve.Load_gen.Uniform (1, 5);
+    arrival_gap_s = 0.01;
+    deadline_s = Float.infinity;
+    dt_s = 0.002;
+    scheduler =
+      { Serve.Scheduler.default_config with
+        max_batch = 4; nthreads = Some 1; kv_cap = 8; max_retries = 4;
+        check_numerics = true };
+    handoff_cap = 8;
+    quarantine_step = 40;
+    quarantine_replica = 1;
+    plan = None;
+    max_steps = 50_000 }
+
+(* Router/handoff/prefill sites plus the serve-level transients; the
+   periods keep each fault a transient so the conservation ledger — not
+   wholesale failure — is what gets exercised. *)
+let default_plan seed =
+  let nth first period = Fault.Nth { first; period = Some period } in
+  { Fault.seed;
+    rules =
+      [ { rsite = "serve.prefill"; rkind = Fault.Exn; rtrigger = nth 3 9 };
+        { rsite = "serve.decode"; rkind = Fault.Exn; rtrigger = nth 4 11 };
+        { rsite = "serve.kv.acquire"; rkind = Fault.Deny; rtrigger = nth 3 13 };
+        { rsite = "cluster.router.route"; rkind = Fault.Deny;
+          rtrigger = nth 7 19 };
+        { rsite = "cluster.router.route"; rkind = Fault.Exn;
+          rtrigger = nth 11 23 };
+        { rsite = "cluster.prefill"; rkind = Fault.Exn; rtrigger = nth 5 9 };
+        { rsite = "cluster.handoff.push"; rkind = Fault.Deny;
+          rtrigger = nth 4 17 }
+      ] }
+
+type report = {
+  steps : int;
+  terminated : bool;
+  submitted : int;
+  finished : int;
+  rejected : int;
+  cancelled : int;
+  failed : int;
+  routed : int;
+  rerouted : int;
+  adopted : int;
+  route_faults : int;
+  injected : int;
+  retries : int;
+  shed : int;
+  denied : int;
+  double_released : int;
+  compared : int;
+  mismatched : int;
+  fleet_slo_ttft : int;  (* fleet SLO-burn gauges after the drain *)
+  fleet_slo_deadline : int;
+  violations : string list;
+}
+
+let make_trace cfg ~vocab =
+  let rng = Prng.create cfg.seed in
+  List.init cfg.requests (fun id ->
+      let plen = max 1 (Serve.Load_gen.sample rng cfg.prompt_len) in
+      let glen = max 1 (Serve.Load_gen.sample rng cfg.new_tokens) in
+      let prompt = Array.init plen (fun _ -> Prng.int rng vocab) in
+      let gen = Array.init glen (fun _ -> Prng.int rng vocab) in
+      ( cfg.arrival_gap_s *. float_of_int id,
+        Serve.Request.make ~id ~prompt ~gen ~deadline_s:cfg.deadline_s () ))
+
+(* fault-free solo replay — the bit-identity reference for one request *)
+let replay_solo llm (req : Serve.Request.t) =
+  let cache = Llm.new_cache llm in
+  let first = Llm.prefill llm cache (Llm.embed llm req.Serve.Request.prompt) in
+  let outs = ref [ first ] in
+  for k = 0 to req.Serve.Request.new_tokens - 2 do
+    outs :=
+      Llm.decode_step llm cache (Llm.embed llm [| req.Serve.Request.gen.(k) |])
+      :: !outs
+  done;
+  List.rev !outs
+
+let counter_names =
+  [ Telemetry.Registry.fault_injected_name;
+    Telemetry.Registry.fault_retries_name;
+    Telemetry.Registry.fault_shed_name;
+    Serve.Metrics.kv_denied_name;
+    Router.routed_name;
+    Router.rerouted_name;
+    Router.adopted_name;
+    Router.route_faults_name;
+    Kv_handoff.double_release_name ]
+
+let snapshot () = List.map Telemetry.Counter.value counter_names
+
+let run ?(config = default) () =
+  assert (config.quarantine_replica >= 0
+          && config.quarantine_replica < config.replicas);
+  let llm = Llm.create ~rng:(Prng.create 7) ~block:8 Llm.tiny in
+  let vocab = (Llm.config llm).Llm.vocab in
+  Fault.clear ();
+  Fun.protect
+    ~finally:(fun () -> Fault.clear ())
+    (fun () ->
+      let rcfg =
+        { Router.replicas = config.replicas;
+          shards = config.shards;
+          disaggregate = config.disaggregate;
+          placement = config.placement;
+          scheduler = config.scheduler;
+          handoff_cap = config.handoff_cap;
+          prefill_queue = config.requests + 1 }
+      in
+      let router =
+        match Router.create ~config:rcfg llm with
+        | Ok r -> r
+        | Error e -> failwith ("cluster chaos: " ^ e)
+      in
+      let trace = make_trace config ~vocab in
+      let plan =
+        match config.plan with
+        | Some p -> p
+        | None -> default_plan config.seed
+      in
+      let before = snapshot () in
+      Fault.install plan;
+      (* virtual-clock drive with the quarantine at a fixed step *)
+      let vnow = ref 0.0 in
+      let now () = !vnow in
+      let pending = ref trace in
+      let steps = ref 0 in
+      let live = ref true in
+      let q_ledger_after = ref (-1) in
+      let qsched = (Router.schedulers router).(config.quarantine_replica) in
+      while !live && !steps < config.max_steps do
+        let rec admit_due () =
+          match !pending with
+          | (at, r) :: rest when at <= !vnow ->
+            ignore (Router.submit router ~now:!vnow r);
+            pending := rest;
+            admit_due ()
+          | _ -> ()
+        in
+        admit_due ();
+        if !steps = config.quarantine_step then begin
+          Router.quarantine router config.quarantine_replica;
+          q_ledger_after :=
+            List.length (Serve.Scheduler.requests qsched)
+        end;
+        ignore (Router.step router ~now);
+        incr steps;
+        vnow := !vnow +. config.dt_s;
+        live := !pending <> [] || Router.busy router
+      done;
+      let terminated = (not !live) && !pending = [] in
+      Fault.clear ();
+      let delta = List.map2 (fun a b -> b - a) before (snapshot ()) in
+      let ( injected, retries, shed, denied, routed, rerouted, adopted,
+            route_faults, double_released ) =
+        match delta with
+        | [ a; b; c; d; e; f; g; h; i ] -> (a, b, c, d, e, f, g, h, i)
+        | _ -> assert false
+      in
+      let reqs = Router.requests router in
+      let count st =
+        List.length
+          (List.filter (fun r -> r.Serve.Request.state = st) reqs)
+      in
+      let finished = count Serve.Request.Finished in
+      let rejected = count Serve.Request.Rejected in
+      let cancelled = count Serve.Request.Cancelled in
+      let failed = count Serve.Request.Failed in
+      let submitted = List.length reqs in
+      (* bit-identity vs a fault-free solo replay of each finished req *)
+      let compared = ref 0 and mismatched = ref 0 in
+      List.iter
+        (fun (r : Serve.Request.t) ->
+          if r.Serve.Request.state = Serve.Request.Finished then begin
+            incr compared;
+            let got = Serve.Request.outputs r in
+            let want = replay_solo llm r in
+            if
+              List.length got <> List.length want
+              || not
+                   (List.for_all2
+                      (fun x y -> Tensor.approx_equal ~tol:0.0 x y)
+                      got want)
+            then incr mismatched
+          end)
+        reqs;
+      let violations = ref [] in
+      let check cond msg = if not cond then violations := msg :: !violations in
+      check terminated "fleet did not drain within max_steps";
+      check (submitted = config.requests)
+        "router ledger lost submissions (ledger <> trace length)";
+      check
+        (List.for_all
+           (fun r -> Serve.Request.terminal r.Serve.Request.state)
+           reqs)
+        "non-terminal request left in the router ledger";
+      check
+        (finished + rejected + cancelled + failed = submitted)
+        "terminal states do not sum to submitted";
+      (* each id exactly once in the router ledger *)
+      let ids = Hashtbl.create 64 in
+      List.iter
+        (fun (r : Serve.Request.t) ->
+          Hashtbl.replace ids r.Serve.Request.id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt ids r.Serve.Request.id)))
+        reqs;
+      check
+        (Hashtbl.fold (fun _ n ok -> ok && n = 1) ids true)
+        "request id duplicated in the router ledger";
+      (* each id in at most one decode replica's ledger — re-routes move,
+         never duplicate *)
+      let decode_seen = Hashtbl.create 64 in
+      Array.iter
+        (fun s ->
+          List.iter
+            (fun (r : Serve.Request.t) ->
+              Hashtbl.replace decode_seen r.Serve.Request.id
+                (1
+                + Option.value ~default:0
+                    (Hashtbl.find_opt decode_seen r.Serve.Request.id)))
+            (Serve.Scheduler.requests s))
+        (Router.schedulers router);
+      check
+        (Hashtbl.fold (fun _ n ok -> ok && n <= 1) decode_seen true)
+        "request present in more than one decode replica's ledger";
+      (* no double serve: outputs bounded by new_tokens, exact when
+         finished *)
+      check
+        (List.for_all
+           (fun (r : Serve.Request.t) ->
+             let n = List.length (Serve.Request.outputs r) in
+             n <= r.Serve.Request.new_tokens
+             && (r.Serve.Request.state <> Serve.Request.Finished
+                || n = r.Serve.Request.new_tokens))
+           reqs)
+        "request served more tokens than requested (double serve)";
+      check
+        (!q_ledger_after < 0
+        || List.length (Serve.Scheduler.requests qsched) = !q_ledger_after)
+        "quarantined replica kept receiving work";
+      check
+        (List.for_all (fun p -> Serve.Kv_pool.in_use p = 0) (Router.pools router))
+        "KV caches leaked (a fleet pool has in_use <> 0 after drain)";
+      check (Router.handoff_depth router = 0)
+        "handoff channel not drained";
+      check (double_released = 0) "KV handoff released a cache twice";
+      check (!mismatched = 0)
+        "finished outputs not bit-identical to solo fault-free replay";
+      if !violations <> [] then
+        ignore (Telemetry.Recorder.post_mortem ~reason:"cluster.chaos.invariant");
+      { steps = !steps; terminated; submitted; finished; rejected; cancelled;
+        failed; routed; rerouted; adopted; route_faults; injected; retries;
+        shed; denied; double_released; compared = !compared;
+        mismatched = !mismatched;
+        fleet_slo_ttft = Telemetry.Gauge.value Router.fleet_slo_ttft_name;
+        fleet_slo_deadline =
+          Telemetry.Gauge.value Router.fleet_slo_deadline_name;
+        violations = List.rev !violations })
+
+let report_to_string r =
+  let b = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "== cluster chaos report ==\n";
+  pr "drive:    %d steps, terminated=%b\n" r.steps r.terminated;
+  pr "ledger:   %d submitted = %d finished + %d rejected + %d cancelled + \
+      %d failed\n"
+    r.submitted r.finished r.rejected r.cancelled r.failed;
+  pr "router:   %d routed, %d rerouted (quarantine), %d adopted (handoff), \
+      %d route faults\n"
+    r.routed r.rerouted r.adopted r.route_faults;
+  pr "identity: %d finished compared vs solo replay, %d mismatched\n"
+    r.compared r.mismatched;
+  pr "faults:   %d injected, %d retries, %d shed, %d KV denials, %d double \
+      releases\n"
+    r.injected r.retries r.shed r.denied r.double_released;
+  pr "slo burn: fleet ttft breaches %d, deadline breaches %d\n"
+    r.fleet_slo_ttft r.fleet_slo_deadline;
+  (match r.violations with
+  | [] -> pr "invariants: all passed\n"
+  | vs ->
+    pr "invariants: %d VIOLATED\n" (List.length vs);
+    List.iter (fun v -> pr "  - %s\n" v) vs);
+  Buffer.contents b

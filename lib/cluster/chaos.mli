@@ -1,0 +1,71 @@
+(** Cluster-level chaos harness: drives a {!Router} fleet under a seeded
+    {!Fault} plan with a mid-run replica quarantine, then checks the
+    router conservation invariants — fleet drains, router ledger
+    conserves every request exactly once (terminal states sum to
+    submissions, no id duplicated, each id in at most one decode
+    replica's ledger), nothing is double-served, the quarantined replica
+    receives no work after the quarantine, all KV pools and the handoff
+    channel drain, no handoff cache is released twice, and every finished
+    request's outputs are bit-identical to a fault-free solo replay of
+    the same model. The drive is virtual-clock and the plan is
+    invocation-count triggered, so a seed reproduces everywhere. *)
+
+type config = {
+  seed : int;
+  requests : int;
+  replicas : int;
+  shards : int;  (** tensor-parallel width inside each replica *)
+  disaggregate : bool;
+  placement : Router.placement;
+  prompt_len : Serve.Load_gen.dist;
+  new_tokens : Serve.Load_gen.dist;
+  arrival_gap_s : float;  (** virtual seconds between arrivals *)
+  deadline_s : float;
+  dt_s : float;  (** virtual seconds per drive step *)
+  scheduler : Serve.Scheduler.config;
+  handoff_cap : int;
+  quarantine_step : int;  (** drive step at which the quarantine fires *)
+  quarantine_replica : int;
+  plan : Fault.plan option;  (** [None] = {!default_plan} [seed] *)
+  max_steps : int;  (** liveness bound on the drive loop *)
+}
+
+(** 24 requests over 3 replicas, replica 1 quarantined at step 40,
+    transient faults on prefill/decode/KV-admission/route/handoff. *)
+val default : config
+
+(** Router, prefill and handoff sites plus the serve-level transients;
+    all periodic, so recovery — not wholesale failure — is exercised. *)
+val default_plan : int -> Fault.plan
+
+type report = {
+  steps : int;
+  terminated : bool;
+  submitted : int;
+  finished : int;
+  rejected : int;
+  cancelled : int;
+  failed : int;
+  routed : int;
+  rerouted : int;  (** moved off the quarantined replica *)
+  adopted : int;  (** decode sessions adopted from the handoff *)
+  route_faults : int;
+  injected : int;
+  retries : int;
+  shed : int;
+  denied : int;  (** KV admission denials *)
+  double_released : int;  (** must be 0 *)
+  compared : int;  (** finished requests checked for bit-identity *)
+  mismatched : int;  (** must be 0 *)
+  fleet_slo_ttft : int;  (** fleet SLO-burn gauges after the drain *)
+  fleet_slo_deadline : int;
+  violations : string list;  (** empty = all invariants held *)
+}
+
+(** Builds the model and fleet, installs the plan, drives to drain (or
+    [max_steps]), restores fault state, and verifies the invariants. A
+    non-empty [violations] also triggers a flight-recorder post-mortem
+    dump under reason [cluster.chaos.invariant]. *)
+val run : ?config:config -> unit -> report
+
+val report_to_string : report -> string

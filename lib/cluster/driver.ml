@@ -1,0 +1,115 @@
+(* Open-loop real-time replay of a load trace against the whole fleet:
+   the Serve.Driver loop with the Router in the scheduler's place. The
+   final report is fleet-merged (Metrics.collect_fleet over every
+   replica's histograms) and each replica also gets its own summary cut
+   from its serve.r<i>.* telemetry — never the other way around. *)
+
+type outcome = {
+  summary : Serve.Metrics.summary;  (* fleet rollup, merged histograms *)
+  per_replica : (int * Serve.Metrics.summary) list;
+  requests : Serve.Request.t list;  (* router ledger, oldest first *)
+  snapshots : int;
+}
+
+let replica_summary i sched ~elapsed_s =
+  let base =
+    Serve.Metrics.collect
+      ~requests:(Serve.Scheduler.requests sched)
+      ~tokens:(Serve.Scheduler.tokens_emitted sched)
+      ~elapsed_s
+  in
+  { base with
+    Serve.Metrics.ttft_ms =
+      Serve.Metrics.percentiles_of
+        (Telemetry.Histogram.find_or_create
+           (Serve.Metrics.replica_ttft_ms_name i));
+    tpot_ms =
+      Serve.Metrics.percentiles_of
+        (Telemetry.Histogram.find_or_create
+           (Serve.Metrics.replica_tpot_ms_name i)) }
+
+let run ?live router trace =
+  let t0 = Telemetry.Clock.now_s () in
+  let now () = Telemetry.Clock.now_s () -. t0 in
+  let pending = ref trace in
+  let snapshots = ref 0 in
+  let prev = ref None in
+  let last_emit = ref 0.0 in
+  let emit_snapshot () =
+    match live with
+    | None -> ()
+    | Some l ->
+      let snap = Telemetry.Expose.take () in
+      output_string l.Serve.Driver.out (Telemetry.Expose.jsonl ?prev:!prev snap);
+      output_char l.Serve.Driver.out '\n';
+      flush l.Serve.Driver.out;
+      prev := Some snap;
+      incr snapshots;
+      last_emit := now ()
+  in
+  let maybe_emit () =
+    match live with
+    | None -> ()
+    | Some l ->
+      if now () -. !last_emit >= l.Serve.Driver.every_s then emit_snapshot ()
+  in
+  let submit_due () =
+    let t = now () in
+    let rec go () =
+      match !pending with
+      | (at, req) :: rest when at <= t ->
+        ignore (Router.submit router ~now:t req);
+        pending := rest;
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let rec loop () =
+    submit_due ();
+    let worked = Router.step router ~now in
+    maybe_emit ();
+    if !pending <> [] || Router.busy router then begin
+      if not worked then Domain.cpu_relax ();
+      loop ()
+    end
+  in
+  loop ();
+  emit_snapshot ();
+  let elapsed = now () in
+  let requests = Router.requests router in
+  let tokens = Router.tokens_emitted router in
+  let replicas = Router.replica_indices router in
+  { summary =
+      Serve.Metrics.collect_fleet ~replicas ~requests ~tokens
+        ~elapsed_s:elapsed;
+    per_replica =
+      List.map
+        (fun i ->
+          if i < Array.length (Router.schedulers router) then
+            (i, replica_summary i (Router.schedulers router).(i) ~elapsed_s:elapsed)
+          else
+            (* prefill replica: ledger lives in the prefiller *)
+            let base =
+              match Router.prefiller router with
+              | Some p ->
+                Serve.Metrics.collect
+                  ~requests:(Prefiller.requests p)
+                  ~tokens:(Prefiller.tokens_emitted p) ~elapsed_s:elapsed
+              | None ->
+                Serve.Metrics.collect ~requests:[] ~tokens:0
+                  ~elapsed_s:elapsed
+            in
+            ( i,
+              { base with
+                Serve.Metrics.ttft_ms =
+                  Serve.Metrics.percentiles_of
+                    (Telemetry.Histogram.find_or_create
+                       (Serve.Metrics.replica_ttft_ms_name i));
+                tpot_ms =
+                  Serve.Metrics.percentiles_of
+                    (Telemetry.Histogram.find_or_create
+                       (Serve.Metrics.replica_tpot_ms_name i)) } ))
+        replicas;
+    requests;
+    snapshots = !snapshots }

@@ -1,0 +1,23 @@
+(** Open-loop real-time replay of a load trace against the whole fleet
+    ({!Router}): the {!Serve.Driver} loop with the router in the
+    scheduler's place, including the optional live-metrics stream. The
+    final summary is fleet-merged ({!Serve.Metrics.collect_fleet} over
+    every replica's histograms) and [per_replica] carries each replica's
+    own cut from its [serve.r<i>.*] telemetry. *)
+
+type outcome = {
+  summary : Serve.Metrics.summary;  (** fleet rollup, merged histograms *)
+  per_replica : (int * Serve.Metrics.summary) list;
+      (** decode replicas 0..N-1, plus the prefill replica when
+          disaggregated *)
+  requests : Serve.Request.t list;  (** router ledger, oldest first *)
+  snapshots : int;  (** live JSONL lines written; 0 when [live] absent *)
+}
+
+(** [run ?live router trace] — [trace] must be arrival-time-sorted.
+    Blocks until the fleet drains. *)
+val run :
+  ?live:Serve.Driver.live ->
+  Router.t ->
+  (float * Serve.Request.t) list ->
+  outcome

@@ -1,0 +1,81 @@
+(* Bounded prefill -> decode KV handoff channel — the disaggregation seam.
+   A prefill replica pushes a finished prefill (request + filled KV cache)
+   and a decode replica adopts it; the cache never moves or copies, only
+   ownership does. The [release] stored with each entry returns the cache
+   to the pool that created it (the prefill side's), and it is wrapped to
+   fire exactly once — a buggy double retirement is swallowed and counted
+   under [cluster.handoff.double_release] instead of corrupting the pool's
+   occupancy accounting. *)
+
+type entry = {
+  req : Serve.Request.t;
+  cache : Llm.kv_cache;
+  release : Llm.kv_cache -> unit;  (* exactly-once, owning-pool release *)
+}
+
+(* fires inside [push]: Deny simulates a full channel, Exn a transport
+   failure — both exercise the prefiller's reclaim path *)
+let push_site = Fault.site "cluster.handoff.push"
+
+let pushed_name = "cluster.handoff.pushed"
+let popped_name = "cluster.handoff.popped"
+let double_release_name = "cluster.handoff.double_release"
+let depth_name = "cluster.handoff.depth"
+
+type t = {
+  cap : int;
+  mutable items : entry list;  (* oldest first *)
+  pushed_c : Telemetry.Counter.t;
+  popped_c : Telemetry.Counter.t;
+  double_release_c : Telemetry.Counter.t;
+  depth_g : Telemetry.Gauge.t;
+}
+
+let create ?(cap = 16) () =
+  assert (cap > 0);
+  { cap;
+    items = [];
+    pushed_c = Telemetry.Counter.find_or_create pushed_name;
+    popped_c = Telemetry.Counter.find_or_create popped_name;
+    double_release_c = Telemetry.Counter.find_or_create double_release_name;
+    depth_g = Telemetry.Gauge.find_or_create depth_name }
+
+let depth t = List.length t.items
+let is_full t = depth t >= t.cap
+
+(* wrap an owning-pool release so retirement can only happen once *)
+let once t ~release =
+  let released = ref false in
+  fun cache ->
+    if !released then Telemetry.Counter.incr t.double_release_c
+    else begin
+      released := true;
+      release cache
+    end
+
+let push t ~req ~cache ~release =
+  match Fault.fire push_site with
+  | `Deny -> `Full
+  | `None | `Nan ->
+    if is_full t then `Full
+    else begin
+      t.items <- t.items @ [ { req; cache; release = once t ~release } ];
+      Telemetry.Counter.incr t.pushed_c;
+      Telemetry.Gauge.set t.depth_g (depth t);
+      `Ok
+    end
+
+let pop t =
+  match t.items with
+  | [] -> None
+  | e :: rest ->
+    t.items <- rest;
+    Telemetry.Counter.incr t.popped_c;
+    Telemetry.Gauge.set t.depth_g (depth t);
+    Some e
+
+(* put back an entry a full decode batch could not adopt — head position,
+   so handoff order is preserved; no push/pop accounting *)
+let requeue t e =
+  t.items <- e :: t.items;
+  Telemetry.Gauge.set t.depth_g (depth t)

@@ -1,0 +1,47 @@
+(** Bounded prefill → decode KV handoff channel (disaggregation seam,
+    built on {!Serve.Kv_pool} ownership transfer): a prefill replica
+    pushes a finished prefill — request plus filled KV cache — and a
+    decode replica adopts it. The cache itself never moves; only
+    ownership does. Each entry carries an {e exactly-once} [release]
+    closure returning the cache to the pool that created it; a second
+    invocation is swallowed and counted under
+    [cluster.handoff.double_release]. The [cluster.handoff.push] fault
+    site fires inside {!push} (Deny = channel full, Exn = transport
+    failure). *)
+
+type entry = {
+  req : Serve.Request.t;
+  cache : Llm.kv_cache;
+  release : Llm.kv_cache -> unit;  (** exactly-once, owning-pool release *)
+}
+
+type t
+
+val pushed_name : string
+val popped_name : string
+val double_release_name : string
+val depth_name : string
+
+(** [create ?cap ()] — at most [cap] (default 16) entries in flight. *)
+val create : ?cap:int -> unit -> t
+
+val depth : t -> int
+val is_full : t -> bool
+
+(** [`Full] when at capacity (or fault-denied); the caller keeps
+    ownership of [cache] and must reclaim it. May raise
+    [Fault.Injected]. On [`Ok] the channel owns the cache until {!pop};
+    [release] is wrapped for exactly-once invocation. *)
+val push :
+  t ->
+  req:Serve.Request.t ->
+  cache:Llm.kv_cache ->
+  release:(Llm.kv_cache -> unit) ->
+  [ `Ok | `Full ]
+
+(** Oldest entry, transferring ownership to the caller. *)
+val pop : t -> entry option
+
+(** Put a popped entry back at the head (a full decode batch could not
+    adopt it); preserves handoff order, no push/pop accounting. *)
+val requeue : t -> entry -> unit

@@ -1,0 +1,349 @@
+(* Front-end router: spreads an arrival stream across N scheduler
+   replicas with pluggable placement, optionally behind a dedicated
+   prefill replica (disaggregation). Each decode replica owns its own
+   Kv_pool and — when [shards > 1] — runs its model tensor-parallel
+   across its slice of the persistent Team pool via the scheduler's
+   pluggable engine (bit-identical to the unsharded path, so placement
+   and sharding can never change what a request computes).
+
+   Quarantine protocol (the chaos harness's conservation target): a
+   quarantined replica receives no new routes or adoptions; its queued
+   (never admitted) requests are evicted from queue AND ledger and
+   re-routed to healthy replicas with their original arrival stamp, so
+   deadlines do not reset; its in-flight sessions keep decoding until
+   they drain. Each request therefore lives in exactly one decode
+   ledger at any time — nothing is lost, nothing is double-served.
+
+   Accounting note: re-routing re-submits, so the monotonic global
+   serve.submitted counter counts a re-routed request twice; the
+   router's own ledger (each request exactly once) is the source of
+   truth for fleet request accounting, and [cluster.router.rerouted]
+   records the double-counts. *)
+
+(* fires per routing decision: Deny = admission refused at the front
+   door (request rejected, accounted), Exn = placement failure (degrades
+   to first-healthy routing) *)
+let route_site = Fault.site "cluster.router.route"
+
+let routed_name = "cluster.router.routed"
+let rerouted_name = "cluster.router.rerouted"
+let rejected_name = "cluster.router.rejected"
+let route_faults_name = "cluster.router.route_faults"
+let quarantines_name = "cluster.router.quarantines"
+let adopted_name = "cluster.adopted"
+let fleet_inflight_name = "cluster.fleet.inflight"
+let fleet_slo_ttft_name = "cluster.fleet.slo.ttft_breaches"
+let fleet_slo_deadline_name = "cluster.fleet.slo.deadline_breaches"
+let replica_queue_name i = Printf.sprintf "cluster.r%d.queue_depth" i
+let replica_active_name i = Printf.sprintf "cluster.r%d.active" i
+let replica_quarantined_name i = Printf.sprintf "cluster.r%d.quarantined" i
+
+type placement = Round_robin | Jsq | Deadline_aware
+
+let placement_name = function
+  | Round_robin -> "rr"
+  | Jsq -> "jsq"
+  | Deadline_aware -> "deadline"
+
+let placement_of_string = function
+  | "rr" | "round-robin" -> Some Round_robin
+  | "jsq" -> Some Jsq
+  | "deadline" -> Some Deadline_aware
+  | _ -> None
+
+type config = {
+  replicas : int;  (* decode replicas *)
+  shards : int;  (* tensor-parallel width inside each replica *)
+  disaggregate : bool;  (* dedicated prefill replica + KV handoff *)
+  placement : placement;
+  scheduler : Serve.Scheduler.config;  (* per-replica template *)
+  handoff_cap : int;
+  prefill_queue : int;
+}
+
+let default_config =
+  { replicas = 2; shards = 1; disaggregate = false; placement = Round_robin;
+    scheduler = Serve.Scheduler.default_config; handoff_cap = 16;
+    prefill_queue = 64 }
+
+type t = {
+  cfg : config;
+  scheds : Serve.Scheduler.t array;
+  handoff : Kv_handoff.t option;
+  prefiller : Prefiller.t option;
+  quarantined : bool array;
+  mutable rr : int;  (* round-robin cursor *)
+  mutable ledger : Serve.Request.t list;  (* every submission, newest first *)
+  routed_c : Telemetry.Counter.t;
+  rerouted_c : Telemetry.Counter.t;
+  rejected_c : Telemetry.Counter.t;
+  route_faults_c : Telemetry.Counter.t;
+  quarantines_c : Telemetry.Counter.t;
+  adopted_c : Telemetry.Counter.t;
+  inflight_g : Telemetry.Gauge.t;
+  slo_ttft_g : Telemetry.Gauge.t;
+  slo_deadline_g : Telemetry.Gauge.t;
+  queue_gs : Telemetry.Gauge.t array;
+  active_gs : Telemetry.Gauge.t array;
+  quarantine_gs : Telemetry.Gauge.t array;
+}
+
+(* prefill replica's telemetry index sits after the decode replicas *)
+let prefill_replica_index cfg = cfg.replicas
+
+let replica_indices t =
+  let n = t.cfg.replicas in
+  List.init (if t.prefiller = None then n else n + 1) Fun.id
+
+let create ?(config = default_config) llm =
+  if config.replicas < 1 then Error "Router.create: replicas must be >= 1"
+  else
+    match
+      Shard.engine_for ?nthreads:config.scheduler.Serve.Scheduler.nthreads llm
+        ~shards:config.shards
+    with
+    | Error e -> Error e
+    | Ok engine ->
+      let scheds =
+        Array.init config.replicas (fun i ->
+            Serve.Scheduler.create
+              ~config:{ config.scheduler with Serve.Scheduler.replica = Some i }
+              ~engine llm)
+      in
+      let handoff, prefiller =
+        if config.disaggregate then begin
+          let h = Kv_handoff.create ~cap:config.handoff_cap () in
+          let p =
+            Prefiller.create
+              ~config:
+                { Prefiller.max_queue = config.prefill_queue;
+                  kv_cap = config.scheduler.Serve.Scheduler.kv_cap;
+                  (* live caches bound the whole prefill->handoff window *)
+                  max_live =
+                    config.handoff_cap
+                    + config.scheduler.Serve.Scheduler.max_batch;
+                  replica = prefill_replica_index config }
+              ~engine llm ~handoff:h
+          in
+          (Some h, Some p)
+        end
+        else (None, None)
+      in
+      let c = Telemetry.Counter.find_or_create in
+      let g = Telemetry.Gauge.find_or_create in
+      Ok
+        { cfg = config; scheds; handoff; prefiller;
+          quarantined = Array.make config.replicas false; rr = 0; ledger = [];
+          routed_c = c routed_name;
+          rerouted_c = c rerouted_name;
+          rejected_c = c rejected_name;
+          route_faults_c = c route_faults_name;
+          quarantines_c = c quarantines_name;
+          adopted_c = c adopted_name;
+          inflight_g = g fleet_inflight_name;
+          slo_ttft_g = g fleet_slo_ttft_name;
+          slo_deadline_g = g fleet_slo_deadline_name;
+          queue_gs = Array.init config.replicas (fun i -> g (replica_queue_name i));
+          active_gs =
+            Array.init config.replicas (fun i -> g (replica_active_name i));
+          quarantine_gs =
+            Array.init config.replicas (fun i ->
+                g (replica_quarantined_name i)) }
+
+let config t = t.cfg
+let schedulers t = t.scheds
+let prefiller t = t.prefiller
+let handoff_depth t = match t.handoff with None -> 0 | Some h -> Kv_handoff.depth h
+let requests t = List.rev t.ledger
+let is_quarantined t i = t.quarantined.(i)
+
+let healthy t =
+  List.filter
+    (fun i -> not t.quarantined.(i))
+    (List.init t.cfg.replicas Fun.id)
+
+let tokens_emitted t =
+  Array.fold_left (fun a s -> a + Serve.Scheduler.tokens_emitted s) 0 t.scheds
+  + match t.prefiller with None -> 0 | Some p -> Prefiller.tokens_emitted p
+
+let pools t =
+  Array.to_list (Array.map Serve.Scheduler.pool t.scheds)
+  @ match t.prefiller with None -> [] | Some p -> [ Prefiller.pool p ]
+
+(* shortest queue among healthy replicas: queued + active, first index
+   wins ties — deterministic for the chaos harness *)
+let pick_jsq t hs =
+  let load i =
+    Serve.Scheduler.queue_depth t.scheds.(i)
+    + Serve.Scheduler.active_count t.scheds.(i)
+  in
+  List.fold_left
+    (fun best i ->
+      match best with
+      | Some b when load b <= load i -> best
+      | _ -> Some i)
+    None hs
+
+let pick_rr t hs =
+  let n = List.length hs in
+  let i = List.nth hs (t.rr mod n) in
+  t.rr <- t.rr + 1;
+  Some i
+
+(* placement: deadline-aware sends SLO-carrying requests to the shortest
+   queue (their budget burns in queues) and best-effort ones round-robin *)
+let choose t (req : Serve.Request.t) =
+  match healthy t with
+  | [] -> None
+  | hs -> (
+    match t.cfg.placement with
+    | Round_robin -> pick_rr t hs
+    | Jsq -> pick_jsq t hs
+    | Deadline_aware ->
+      if req.Serve.Request.deadline_s < Float.infinity then pick_jsq t hs
+      else pick_rr t hs)
+
+let reject_at_router t (req : Serve.Request.t) ~now =
+  req.Serve.Request.arrival_s <- now;
+  req.Serve.Request.state <- Serve.Request.Rejected;
+  Telemetry.Counter.incr t.rejected_c
+
+(* route one request: ledger first (the router's ledger is the fleet's
+   source of truth), then placement, then the replica's own admission *)
+let submit t ~now (req : Serve.Request.t) =
+  t.ledger <- req :: t.ledger;
+  match Fault.fire route_site with
+  | `Deny ->
+    Telemetry.Counter.incr t.route_faults_c;
+    reject_at_router t req ~now;
+    false
+  | exception Fault.Injected _ ->
+    (* placement failure: degrade to first-healthy, never drop *)
+    Telemetry.Counter.incr t.route_faults_c;
+    (match healthy t with
+    | [] ->
+      reject_at_router t req ~now;
+      false
+    | i :: _ ->
+      Telemetry.Counter.incr t.routed_c;
+      (match t.prefiller with
+      | Some p -> Prefiller.submit p ~now req
+      | None -> Serve.Scheduler.submit t.scheds.(i) ~now req))
+  | `None | `Nan -> (
+    match t.prefiller with
+    | Some p ->
+      Telemetry.Counter.incr t.routed_c;
+      Prefiller.submit p ~now req
+    | None -> (
+      match choose t req with
+      | None ->
+        reject_at_router t req ~now;
+        false
+      | Some i ->
+        Telemetry.Counter.incr t.routed_c;
+        Serve.Scheduler.submit t.scheds.(i) ~now req))
+
+(* quarantine: stop routing to [i], evict its queued requests and
+   re-route them (original arrival stamp — deadlines never reset), let
+   its in-flight batch drain. Safe to call twice. *)
+let quarantine t i =
+  if i < 0 || i >= t.cfg.replicas then
+    invalid_arg "Router.quarantine: bad replica";
+  if not t.quarantined.(i) then begin
+    t.quarantined.(i) <- true;
+    Telemetry.Counter.incr t.quarantines_c;
+    Telemetry.Gauge.set t.quarantine_gs.(i) 1;
+    let evicted = Serve.Scheduler.evict_queued t.scheds.(i) in
+    List.iter
+      (fun (r : Serve.Request.t) ->
+        Telemetry.Counter.incr t.rerouted_c;
+        match choose t r with
+        | None -> reject_at_router t r ~now:r.Serve.Request.arrival_s
+        | Some j ->
+          ignore
+            (Serve.Scheduler.submit t.scheds.(j)
+               ~now:r.Serve.Request.arrival_s r))
+      evicted
+  end
+
+let unquarantine t i =
+  if i >= 0 && i < t.cfg.replicas && t.quarantined.(i) then begin
+    t.quarantined.(i) <- false;
+    Telemetry.Gauge.set t.quarantine_gs.(i) 0
+  end
+
+(* per-replica + fleet gauges: levels recomputed once per step *)
+let publish t =
+  let inflight = ref (handoff_depth t) in
+  (match t.prefiller with
+  | Some p -> inflight := !inflight + Prefiller.queue_depth p
+  | None -> ());
+  Array.iteri
+    (fun i s ->
+      let q = Serve.Scheduler.queue_depth s in
+      let a = Serve.Scheduler.active_count s in
+      inflight := !inflight + q + a;
+      Telemetry.Gauge.set t.queue_gs.(i) q;
+      Telemetry.Gauge.set t.active_gs.(i) a)
+    t.scheds;
+  Telemetry.Gauge.set t.inflight_g !inflight;
+  let sum name_of =
+    List.fold_left
+      (fun a i -> a + Telemetry.Counter.value (name_of i))
+      0 (replica_indices t)
+  in
+  Telemetry.Gauge.set t.slo_ttft_g
+    (sum Serve.Metrics.replica_slo_ttft_breaches_name);
+  Telemetry.Gauge.set t.slo_deadline_g
+    (sum Serve.Metrics.replica_slo_deadline_breaches_name)
+
+(* adopt finished prefills into healthy decode replicas; stop at the
+   first replica refusal ([`Full]) to preserve handoff order *)
+let drain_handoff t ~now =
+  match t.handoff with
+  | None -> false
+  | Some h ->
+    let worked = ref false in
+    let rec go () =
+      match Kv_handoff.pop h with
+      | None -> ()
+      | Some e -> (
+        match choose t e.Kv_handoff.req with
+        | None -> Kv_handoff.requeue h e
+        | Some i -> (
+          match
+            Serve.Scheduler.adopt t.scheds.(i) ~now:(now ())
+              ~release:e.Kv_handoff.release e.Kv_handoff.req
+              e.Kv_handoff.cache
+          with
+          | `Adopted ->
+            Telemetry.Counter.incr t.adopted_c;
+            worked := true;
+            go ()
+          | `Full -> Kv_handoff.requeue h e))
+    in
+    go ();
+    !worked
+
+let step t ~now =
+  let worked = ref false in
+  (match t.prefiller with
+  | Some p -> if Prefiller.step p ~now then worked := true
+  | None -> ());
+  if drain_handoff t ~now then worked := true;
+  (* quarantined replicas still step: their in-flight batch must drain *)
+  Array.iter
+    (fun s -> if Serve.Scheduler.step s ~now then worked := true)
+    t.scheds;
+  publish t;
+  !worked
+
+let busy t =
+  Array.exists Serve.Scheduler.busy t.scheds
+  || handoff_depth t > 0
+  || match t.prefiller with None -> false | Some p -> Prefiller.busy p
+
+let drain t ~now =
+  while busy t do
+    ignore (step t ~now)
+  done

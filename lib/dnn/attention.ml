@@ -33,18 +33,20 @@ let head_view x ~heads ~h =
   let d = hidden / heads in
   Tensor.view_flat x ~off:(h * d) ~rows:n ~cols:d ~ld:hidden
 
-let attend ?(causal = false) ~heads q k v =
+let attend_range ?(causal = false) ~heads ~h0 ~h1 ~out q k v =
   let dq = Tensor.dims q and dk = Tensor.dims k in
   let nq = dq.(0) and nk = dk.(0) and hidden = dq.(1) in
   assert (dk.(1) = hidden && (Tensor.dims v).(1) = hidden);
+  assert (0 <= h0 && h0 <= h1 && h1 <= heads);
+  let od = Tensor.dims out in
+  assert (od.(0) = nq && od.(1) = hidden);
   let d = hidden / heads in
   let scale = 1.0 /. sqrt (float_of_int d) in
-  let out = Tensor.create Datatype.F32 [| nq; hidden |] in
   let scores = Tensor.create Datatype.F32 [| nq; nk |] in
   let kt = Tensor.create Datatype.F32 [| d; nk |] in
   let score_ker = Brgemm.compile (Brgemm.make_config ~beta:0.0 ~m:nq ~n:nk ~k:d ()) in
   let ctx_ker = Brgemm.compile (Brgemm.make_config ~beta:0.0 ~m:nq ~n:d ~k:nk ()) in
-  for h = 0 to heads - 1 do
+  for h = h0 to h1 - 1 do
     let qh = head_view q ~heads ~h in
     let kh = head_view k ~heads ~h in
     let vh = head_view v ~heads ~h in
@@ -65,7 +67,12 @@ let attend ?(causal = false) ~heads q k v =
     (* C_h = S x V_h *)
     let oh = head_view out ~heads ~h in
     Brgemm.exec ctx_ker ~a:(Tensor.view2d scores) ~b:vh ~c:oh
-  done;
+  done
+
+let attend ?causal ~heads q k v =
+  let dq = Tensor.dims q in
+  let out = Tensor.create Datatype.F32 [| dq.(0); dq.(1) |] in
+  attend_range ?causal ~heads ~h0:0 ~h1:heads ~out q k v;
   out
 
 let forward ?nthreads ?causal t x =

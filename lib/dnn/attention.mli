@@ -34,6 +34,24 @@ val project : ?nthreads:int -> t -> Tensor.t -> Tensor.t * Tensor.t * Tensor.t
 val attend :
   ?causal:bool -> heads:int -> Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t
 
+(** [attend_range ~heads ~h0 ~h1 ~out q k v] — the same computation
+    restricted to heads [h0, h1), writing each head's context into its
+    column slice of [out] (a caller-owned [Nq x hidden] tensor; columns
+    of other heads are left untouched). Head h is computed exactly as
+    {!attend} computes it, so a head-partitioned (tensor-parallel) run
+    that covers [0, heads) across workers is bit-identical to one
+    {!attend} call. *)
+val attend_range :
+  ?causal:bool ->
+  heads:int ->
+  h0:int ->
+  h1:int ->
+  out:Tensor.t ->
+  Tensor.t ->
+  Tensor.t ->
+  Tensor.t ->
+  unit
+
 (** Full block: projections, attention, output projection. *)
 val forward : ?nthreads:int -> ?causal:bool -> t -> Tensor.t -> Tensor.t
 

@@ -214,6 +214,213 @@ let forward_full ?nthreads t x =
   let cache = new_cache t in
   run_tokens ?nthreads t cache x
 
+(* ---------- tensor-parallel (sharded) execution ---------- *)
+
+(* Every projection in the decoder block is column-split (split along its
+   OUTPUT features): shard s owns a contiguous, block-aligned slice of the
+   output dimension and computes it with the full input. The "all-reduce"
+   of Megatron-style row splits never happens — each float of every
+   intermediate tensor is produced by exactly one shard with the same
+   k-reduction order as the unsharded GEMM, and shards only concatenate
+   (disjoint column writes into a shared tensor), so the sharded path is
+   bit-identical to the unsharded one by construction. The price is that
+   every shard reads the full input of each projection; for the
+   bandwidth-bound decode step the weights dominate traffic, and those
+   really are split 1/shards per shard. *)
+
+type tp_fc = { pfc : Fc.t; col0 : int }
+
+type tp_layer = {
+  tq : tp_fc;
+  tk : tp_fc;
+  tv : tp_fc;
+  two : tp_fc;
+  tup : tp_fc;
+  tgate : tp_fc option;
+  tdown : tp_fc;
+  th0 : int;  (** first attention head owned by this shard *)
+  th1 : int;  (** one past the last owned head *)
+}
+
+type tp_plan = {
+  tpl : t;
+  shards : int;
+  slices : tp_layer array array;  (** [shard].(layer) *)
+}
+
+(* rows [r0, r1) of an [out x in] projection: same block/spec/act/dtype,
+   so the sliced GEMM tiles and reduces exactly like the full one. *)
+let slice_fc (fc : Fc.t) r0 r1 =
+  let rows = r1 - r0 in
+  let weights =
+    Tensor.init fc.Fc.dtype [| rows; fc.Fc.in_features |] (fun i ->
+        Tensor.get fc.Fc.weights [| r0 + i.(0); i.(1) |])
+  in
+  let bias =
+    Tensor.init fc.Fc.dtype [| rows |] (fun i ->
+        Tensor.get fc.Fc.bias [| r0 + i.(0) |])
+  in
+  { pfc = { fc with Fc.out_features = rows; weights; bias }; col0 = r0 }
+
+let tp_plan t ~shards =
+  let cfg = t.cfg in
+  if shards < 1 then Error "tp_plan: shards must be >= 1"
+  else if cfg.heads mod shards <> 0 then
+    Error
+      (Printf.sprintf "tp_plan: heads (%d) not divisible by shards (%d)"
+         cfg.heads shards)
+  else if cfg.intermediate mod shards <> 0 then
+    Error
+      (Printf.sprintf
+         "tp_plan: intermediate (%d) not divisible by shards (%d)"
+         cfg.intermediate shards)
+  else begin
+    let head_dim = cfg.hidden / cfg.heads in
+    let hchunk = cfg.heads / shards * head_dim in
+    let ichunk = cfg.intermediate / shards in
+    let l0 = t.decoder.(0) in
+    let ablock = l0.attention.Attention.wq.Fc.block in
+    let ublock = l0.ffn_up.Fc.block in
+    let oblock = l0.ffn_down.Fc.block in
+    if hchunk mod ablock <> 0 || hchunk mod oblock <> 0 then
+      Error
+        (Printf.sprintf
+           "tp_plan: hidden slice (%d) not a multiple of the GEMM block \
+            (%d/%d)"
+           hchunk ablock oblock)
+    else if ichunk mod ublock <> 0 then
+      Error
+        (Printf.sprintf
+           "tp_plan: intermediate slice (%d) not a multiple of the GEMM \
+            block (%d)"
+           ichunk ublock)
+    else begin
+      let heads_per = cfg.heads / shards in
+      let slice_layer s (layer : layer) =
+        let h0 = s * hchunk and h1 = (s + 1) * hchunk in
+        let i0 = s * ichunk and i1 = (s + 1) * ichunk in
+        { tq = slice_fc layer.attention.Attention.wq h0 h1;
+          tk = slice_fc layer.attention.Attention.wk h0 h1;
+          tv = slice_fc layer.attention.Attention.wv h0 h1;
+          two = slice_fc layer.attention.Attention.wo h0 h1;
+          tup = slice_fc layer.ffn_up i0 i1;
+          tgate = Option.map (fun g -> slice_fc g i0 i1) layer.ffn_gate;
+          tdown = slice_fc layer.ffn_down h0 h1;
+          th0 = s * heads_per;
+          th1 = (s + 1) * heads_per }
+      in
+      Ok
+        { tpl = t;
+          shards;
+          slices =
+            Array.init shards (fun s -> Array.map (slice_layer s) t.decoder)
+        }
+    end
+  end
+
+let tp_llm p = p.tpl
+let tp_shards p = p.shards
+
+(* write [src : n x w] into columns [col0, col0+w) of [dst : n x W] —
+   the concat step; shards write disjoint slices, so no synchronization
+   beyond the enclosing region's join/barrier is needed. *)
+let scatter_cols ~dst ~col0 src =
+  let d = Tensor.dims src in
+  let n = d.(0) and w = d.(1) in
+  let wd = (Tensor.dims dst).(1) in
+  for r = 0 to n - 1 do
+    for c = 0 to w - 1 do
+      Tensor.set_flat dst ((r * wd) + col0 + c)
+        (Tensor.get_flat src ((r * w) + c))
+    done
+  done
+
+(* One decoder block across [shards] team workers, three parallel regions:
+   A) q/k/v column slices; (join) cache append by the caller;
+   B) owned heads' attention into a shared ctx, barrier, wo column slice
+      over the full ctx;
+   C) up/gate column slices (+SwiGLU on the slice), barrier, down column
+      slice over the full intermediate. LN / residual / cache glue runs on
+      the caller between regions, identical to the unsharded block. All
+      inner kernels run with [~nthreads:1] — parallelism lives at the
+      shard level, and nesting teams would fall back to spawn-per-call. *)
+let decoder_block_tp plan cache entry_idx x =
+  let t = plan.tpl in
+  let layer = t.decoder.(entry_idx) in
+  let entry = cache.entries.(entry_idx) in
+  let n = (Tensor.dims x).(0) in
+  let hidden = t.cfg.hidden in
+  let inter = t.cfg.intermediate in
+  let shards = plan.shards in
+  let sl ctx = plan.slices.(ctx.Team.tid).(entry_idx) in
+  let normed = layernorm layer.ln1_gamma layer.ln1_beta x in
+  let q = Tensor.create Datatype.F32 [| n; hidden |] in
+  let k_new = Tensor.create Datatype.F32 [| n; hidden |] in
+  let v_new = Tensor.create Datatype.F32 [| n; hidden |] in
+  Team.run ~nthreads:shards (fun ctx ->
+      let s = sl ctx in
+      scatter_cols ~dst:q ~col0:s.tq.col0 (Fc.forward ~nthreads:1 s.tq.pfc normed);
+      scatter_cols ~dst:k_new ~col0:s.tk.col0
+        (Fc.forward ~nthreads:1 s.tk.pfc normed);
+      scatter_cols ~dst:v_new ~col0:s.tv.col0
+        (Fc.forward ~nthreads:1 s.tv.pfc normed));
+  append_rows cache entry ~k_new ~v_new;
+  let k_all = Tensor.sub_rows entry.k entry.used in
+  let v_all = Tensor.sub_rows entry.v entry.used in
+  let ctx_t = Tensor.create Datatype.F32 [| n; hidden |] in
+  let att = Tensor.create Datatype.F32 [| n; hidden |] in
+  Team.run ~nthreads:shards (fun ctx ->
+      let s = sl ctx in
+      Attention.attend_range ~causal:true
+        ~heads:layer.attention.Attention.heads ~h0:s.th0 ~h1:s.th1 ~out:ctx_t
+        q k_all v_all;
+      ctx.Team.barrier ();
+      scatter_cols ~dst:att ~col0:s.two.col0
+        (Fc.forward ~nthreads:1 s.two.pfc ctx_t));
+  add_inplace att x;
+  let normed2 = layernorm layer.ln2_gamma layer.ln2_beta att in
+  let up = Tensor.create Datatype.F32 [| n; inter |] in
+  let down = Tensor.create Datatype.F32 [| n; hidden |] in
+  Team.run ~nthreads:shards (fun ctx ->
+      let s = sl ctx in
+      let u = Fc.forward ~nthreads:1 s.tup.pfc normed2 in
+      (match s.tgate with
+      | Some g ->
+        let gate = Fc.forward ~nthreads:1 g.pfc normed2 in
+        let sig_t = Tensor.create Datatype.F32 (Tensor.dims gate) in
+        Tpp_unary.exec Tpp_unary.Sigmoid ~inp:(Tensor.view2d gate)
+          ~out:(Tensor.view2d sig_t);
+        Tpp_binary.exec Tpp_binary.Mul ~bcast:Tpp_binary.Full
+          ~a:(Tensor.view2d gate) ~b:(Tensor.view2d sig_t)
+          ~out:(Tensor.view2d gate);
+        Tpp_binary.exec Tpp_binary.Mul ~bcast:Tpp_binary.Full
+          ~a:(Tensor.view2d u) ~b:(Tensor.view2d gate)
+          ~out:(Tensor.view2d u)
+      | None -> ());
+      scatter_cols ~dst:up ~col0:s.tup.col0 u;
+      ctx.Team.barrier ();
+      scatter_cols ~dst:down ~col0:s.tdown.col0
+        (Fc.forward ~nthreads:1 s.tdown.pfc up));
+  add_inplace down att;
+  down
+
+let run_tokens_tp plan cache x =
+  let t = plan.tpl in
+  let out = ref x in
+  for i = 0 to Array.length t.decoder - 1 do
+    out := decoder_block_tp plan cache i !out
+  done;
+  cache.len <- cache.len + (Tensor.dims x).(0);
+  !out
+
+let prefill_tp plan cache x =
+  assert (cache.len = 0);
+  last_row (run_tokens_tp plan cache x)
+
+let decode_step_tp plan cache x =
+  assert ((Tensor.dims x).(0) = 1);
+  run_tokens_tp plan cache x
+
 let embed t ids =
   (* deterministic per-token-id synthetic embedding *)
   Tensor.init Datatype.F32

@@ -78,3 +78,84 @@ let run ?live sched trace =
         ~elapsed_s:elapsed;
     requests = Scheduler.requests sched;
     snapshots = !snapshots }
+
+(* Multi-replica replay: each replica gets its own (pre-split) trace and
+   scheduler; arrivals are submitted per replica when due and every
+   replica steps each iteration. The final report merges every replica's
+   latency histograms through Metrics.collect_fleet — it never reports a
+   single replica's histogram as the fleet's. *)
+let run_many ?live pairs =
+  assert (pairs <> []);
+  let t0 = Telemetry.Clock.now_s () in
+  let now () = Telemetry.Clock.now_s () -. t0 in
+  let scheds = Array.of_list (List.map fst pairs) in
+  let pending = Array.of_list (List.map (fun (_, tr) -> ref tr) pairs) in
+  let n = Array.length scheds in
+  let snapshots = ref 0 in
+  let prev = ref None in
+  let last_emit = ref 0.0 in
+  let emit_snapshot () =
+    match live with
+    | None -> ()
+    | Some l ->
+      let snap = Telemetry.Expose.take () in
+      output_string l.out (Telemetry.Expose.jsonl ?prev:!prev snap);
+      output_char l.out '\n';
+      flush l.out;
+      prev := Some snap;
+      incr snapshots;
+      last_emit := now ()
+  in
+  let maybe_emit () =
+    match live with
+    | None -> ()
+    | Some l -> if now () -. !last_emit >= l.every_s then emit_snapshot ()
+  in
+  let submit_due i =
+    let t = now () in
+    let rec go () =
+      match !(pending.(i)) with
+      | (at, req) :: rest when at <= t ->
+        ignore (Scheduler.submit scheds.(i) ~now:t req);
+        pending.(i) := rest;
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let busy_any () =
+    let b = ref false in
+    for i = 0 to n - 1 do
+      if !(pending.(i)) <> [] || Scheduler.busy scheds.(i) then b := true
+    done;
+    !b
+  in
+  let rec loop () =
+    let worked = ref false in
+    for i = 0 to n - 1 do
+      submit_due i;
+      if Scheduler.step scheds.(i) ~now then worked := true
+    done;
+    maybe_emit ();
+    if busy_any () then begin
+      if not !worked then Domain.cpu_relax ();
+      loop ()
+    end
+  in
+  loop ();
+  emit_snapshot ();
+  let elapsed = now () in
+  let requests =
+    List.concat_map (fun (s, _) -> Scheduler.requests s) pairs
+  in
+  let tokens =
+    List.fold_left (fun a (s, _) -> a + Scheduler.tokens_emitted s) 0 pairs
+  in
+  let replicas =
+    List.filter_map (fun (s, _) -> (Scheduler.config s).Scheduler.replica) pairs
+  in
+  let summary =
+    if replicas = [] then Metrics.collect ~requests ~tokens ~elapsed_s:elapsed
+    else Metrics.collect_fleet ~replicas ~requests ~tokens ~elapsed_s:elapsed
+  in
+  { summary; requests; snapshots = !snapshots }

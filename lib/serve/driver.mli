@@ -19,3 +19,12 @@ type outcome = {
     {!Load_gen.generate} returns). Blocks until everything accepted has
     finished. *)
 val run : ?live:live -> Scheduler.t -> (float * Request.t) list -> outcome
+
+(** [run_many pairs] — drive several replicas at once, each against its
+    own (pre-split, see {!Load_gen.split}) trace. The final report merges
+    every replica's latency histograms via {!Metrics.collect_fleet}
+    (when the schedulers carry replica indices) instead of reporting a
+    single replica's histogram as the fleet's; [requests] concatenates
+    the per-replica ledgers in replica order. *)
+val run_many :
+  ?live:live -> (Scheduler.t * (float * Request.t) list) list -> outcome

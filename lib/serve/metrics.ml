@@ -32,6 +32,27 @@ let kv_free_name = "serve.kv_pool.free"
 let kv_peak_rows_name = "serve.kv_pool.peak_rows"
 let eff_batch_name = "serve.effective_batch"
 
+(* per-replica metric names: a scheduler created with [replica = Some i]
+   observes into these alongside the global serve.* names, so a cluster
+   run exposes both the per-replica split and the process-wide totals *)
+let replica_prefix i = Printf.sprintf "serve.r%d." i
+let replica_ttft_ms_name i = replica_prefix i ^ "ttft_ms"
+let replica_tpot_ms_name i = replica_prefix i ^ "tpot_ms"
+let replica_submitted_name i = replica_prefix i ^ "submitted"
+let replica_rejected_name i = replica_prefix i ^ "rejected"
+let replica_completed_name i = replica_prefix i ^ "completed"
+let replica_cancelled_name i = replica_prefix i ^ "cancelled"
+let replica_failed_name i = replica_prefix i ^ "failed"
+let replica_slo_ttft_breaches_name i = replica_prefix i ^ "slo.ttft_breaches"
+
+let replica_slo_deadline_breaches_name i =
+  replica_prefix i ^ "slo.deadline_breaches"
+
+(* fleet rollup histograms: rebuilt by [collect_fleet] from the
+   per-replica histograms via Histogram.merge_into *)
+let fleet_ttft_ms_name = "cluster.fleet.ttft_ms"
+let fleet_tpot_ms_name = "cluster.fleet.tpot_ms"
+
 type percentiles = { p50 : float; p95 : float; p99 : float }
 
 type summary = {
@@ -70,6 +91,27 @@ let collect ~(requests : Request.t list) ~tokens ~elapsed_s =
     ttft_ms = percentiles_of (Telemetry.Histogram.find_or_create ttft_ms_name);
     tpot_ms = percentiles_of (Telemetry.Histogram.find_or_create tpot_ms_name)
   }
+
+(* Fleet final report: merge every replica's latency histograms into the
+   fleet rollup histograms (the existing mergeable-histogram mechanism)
+   and compute percentiles over the merged distribution — never over a
+   single replica's view. [requests] is the deduplicated fleet ledger. *)
+let collect_fleet ~replicas ~(requests : Request.t list) ~tokens ~elapsed_s =
+  let merged name per_replica =
+    let into = Telemetry.Histogram.find_or_create name in
+    Telemetry.Histogram.reset into;
+    List.iter
+      (fun i ->
+        Telemetry.Histogram.merge_into
+          (Telemetry.Histogram.find_or_create (per_replica i))
+          ~into)
+      replicas;
+    into
+  in
+  let fttft = merged fleet_ttft_ms_name replica_ttft_ms_name in
+  let ftpot = merged fleet_tpot_ms_name replica_tpot_ms_name in
+  let base = collect ~requests ~tokens ~elapsed_s in
+  { base with ttft_ms = percentiles_of fttft; tpot_ms = percentiles_of ftpot }
 
 let summary_to_string s =
   let b = Buffer.create 256 in

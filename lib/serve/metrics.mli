@@ -35,7 +35,32 @@ val kv_free_name : string
 val kv_peak_rows_name : string
 val eff_batch_name : string
 
+(** {2 Per-replica and fleet names}
+
+    A scheduler created with [replica = Some i] observes into the
+    [serve.r<i>.*] names {e alongside} the global [serve.*] names, so a
+    cluster run exposes both views through {!Telemetry.Expose}. *)
+
+val replica_ttft_ms_name : int -> string
+val replica_tpot_ms_name : int -> string
+val replica_submitted_name : int -> string
+val replica_rejected_name : int -> string
+val replica_completed_name : int -> string
+val replica_cancelled_name : int -> string
+val replica_failed_name : int -> string
+val replica_slo_ttft_breaches_name : int -> string
+val replica_slo_deadline_breaches_name : int -> string
+
+(** Fleet rollup histograms, rebuilt by {!collect_fleet} from the
+    per-replica histograms via [Telemetry.Histogram.merge_into]. *)
+val fleet_ttft_ms_name : string
+
+val fleet_tpot_ms_name : string
+
 type percentiles = { p50 : float; p95 : float; p99 : float }
+
+(** p50/p95/p99 of one histogram (nan while empty). *)
+val percentiles_of : Telemetry.Histogram.t -> percentiles
 
 type summary = {
   submitted : int;
@@ -55,6 +80,18 @@ type summary = {
     submission ledger (finished, rejected and in-flight alike); latency
     percentiles are read from the global histograms. *)
 val collect : requests:Request.t list -> tokens:int -> elapsed_s:float -> summary
+
+(** Fleet final report for a multi-replica run: merges every replica's
+    latency histograms into the fleet rollups ({!fleet_ttft_ms_name} /
+    {!fleet_tpot_ms_name}) via [Histogram.merge_into] and computes the
+    percentiles over the merged distribution, never over a single
+    replica's view. [requests] is the deduplicated fleet ledger. *)
+val collect_fleet :
+  replicas:int list ->
+  requests:Request.t list ->
+  tokens:int ->
+  elapsed_s:float ->
+  summary
 
 val summary_to_string : summary -> string
 val print : summary -> unit

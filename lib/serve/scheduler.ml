@@ -56,12 +56,23 @@ type config = {
   max_retries : int;  (* extra attempts for a failing prefill/decode *)
   retry_backoff_s : float;  (* base sleep before retry k doubles; 0 = none *)
   check_numerics : bool;  (* guard step outputs with Tpp_check.finite_2d *)
+  replica : int option;
+      (* cluster replica index: observe into serve.r<i>.* telemetry
+         alongside the global serve.* names *)
 }
 
 let default_config =
   { max_queue = 64; max_batch = 8; policy = Fcfs; nthreads = None;
     kv_cap = 16; max_retries = 2; retry_backoff_s = 0.0;
-    check_numerics = false }
+    check_numerics = false; replica = None }
+
+(* pluggable model entry points, so a cluster replica can substitute the
+   tensor-parallel (sharded) kernels for the default single-team path
+   without the scheduler knowing the difference *)
+type engine = {
+  prefill : Llm.kv_cache -> Tensor.t -> Tensor.t;
+  decode : Llm.kv_cache -> Tensor.t -> Tensor.t;
+}
 
 (* denial-free steps before the shed batch limit is raised by one *)
 let recovery_steps = 8
@@ -69,13 +80,32 @@ let recovery_steps = 8
 type session = {
   req : Request.t;
   cache : Llm.kv_cache;
+  release : Llm.kv_cache -> unit;
+      (* where the cache goes on retirement: the scheduler's own pool for
+         locally admitted sessions, the prefill replica's pool for
+         sessions adopted through a KV handoff *)
   mutable emitted : int;  (* output tokens produced so far *)
   mutable last_token_s : float;  (* inter-token latency anchor *)
+}
+
+(* per-replica telemetry shadow: bumped alongside the global handles *)
+type replica_tel = {
+  r_ttft : Telemetry.Histogram.t;
+  r_tpot : Telemetry.Histogram.t;
+  r_submitted : Telemetry.Counter.t;
+  r_rejected : Telemetry.Counter.t;
+  r_completed : Telemetry.Counter.t;
+  r_cancelled : Telemetry.Counter.t;
+  r_failed : Telemetry.Counter.t;
+  r_ttft_breach : Telemetry.Counter.t;
+  r_deadline_breach : Telemetry.Counter.t;
 }
 
 type t = {
   llm : Llm.t;
   cfg : config;
+  engine : engine;
+  rtel : replica_tel option;
   pool : Kv_pool.t;
   mutable queue : Request.t list;  (* oldest first *)
   mutable active : session list;  (* admission order *)
@@ -115,11 +145,46 @@ let lbl_sched = Telemetry.Recorder.intern "serve.scheduler"
    *why* the batch fell behind (stalls, faults, KV denials) is gone *)
 let storm_threshold = 4
 
-let create ?(config = default_config) llm =
+let create ?(config = default_config) ?engine llm =
   assert (config.max_queue > 0 && config.max_batch > 0);
   assert (config.max_retries >= 0 && config.retry_backoff_s >= 0.0);
+  let engine =
+    match engine with
+    | Some e -> e
+    | None ->
+      { prefill =
+          (fun cache emb -> Llm.prefill ?nthreads:config.nthreads llm cache emb);
+        decode =
+          (fun cache emb ->
+            Llm.decode_step ?nthreads:config.nthreads llm cache emb) }
+  in
+  let rtel =
+    Option.map
+      (fun i ->
+        { r_ttft =
+            Telemetry.Histogram.find_or_create (Metrics.replica_ttft_ms_name i);
+          r_tpot =
+            Telemetry.Histogram.find_or_create (Metrics.replica_tpot_ms_name i);
+          r_submitted =
+            Telemetry.Counter.find_or_create (Metrics.replica_submitted_name i);
+          r_rejected =
+            Telemetry.Counter.find_or_create (Metrics.replica_rejected_name i);
+          r_completed =
+            Telemetry.Counter.find_or_create (Metrics.replica_completed_name i);
+          r_cancelled =
+            Telemetry.Counter.find_or_create (Metrics.replica_cancelled_name i);
+          r_failed =
+            Telemetry.Counter.find_or_create (Metrics.replica_failed_name i);
+          r_ttft_breach =
+            Telemetry.Counter.find_or_create
+              (Metrics.replica_slo_ttft_breaches_name i);
+          r_deadline_breach =
+            Telemetry.Counter.find_or_create
+              (Metrics.replica_slo_deadline_breaches_name i) })
+      config.replica
+  in
   let t =
-    { llm; cfg = config;
+    { llm; cfg = config; engine; rtel;
       pool =
         Kv_pool.create ~init_cap:config.kv_cap ~max_live:config.max_batch llm;
       queue = []; active = []; ledger = []; finished = []; tokens = 0;
@@ -160,18 +225,32 @@ let requests t = List.rev t.ledger
 (* completed requests in completion order *)
 let finished t = List.rev t.finished
 
+(* bump a global counter and, on a cluster replica, its serve.r<i>.*
+   shadow — the per-replica split the fleet report exposes *)
+let incr2 t global sel =
+  Telemetry.Counter.incr global;
+  match t.rtel with
+  | None -> ()
+  | Some r -> Telemetry.Counter.incr (sel r)
+
+let observe2 t global sel v =
+  Telemetry.Histogram.observe global v;
+  match t.rtel with
+  | None -> ()
+  | Some r -> Telemetry.Histogram.observe (sel r) v
+
 let submit t ~now (req : Request.t) =
   req.Request.arrival_s <- now;
   t.ledger <- req :: t.ledger;
-  Telemetry.Counter.incr t.submitted_c;
+  incr2 t t.submitted_c (fun r -> r.r_submitted);
   if req.Request.deadline_s <= 0.0 || List.length t.queue >= t.cfg.max_queue
   then begin
     (* queue full, or the SLO is already blown at submission: running it
        could only waste batch slots on a guaranteed miss *)
     if req.Request.deadline_s <= 0.0 then
-      Telemetry.Counter.incr t.deadline_breach_c;
+      incr2 t t.deadline_breach_c (fun r -> r.r_deadline_breach);
     req.Request.state <- Request.Rejected;
-    Telemetry.Counter.incr t.rejected_c;
+    incr2 t t.rejected_c (fun r -> r.r_rejected);
     false
   end
   else begin
@@ -207,24 +286,26 @@ let pop_next t =
 
 let embed t ids = Llm.embed t.llm ids
 
-let retire t (s : session) ~now_s ~(state : Request.state) counter =
+let retire t (s : session) ~now_s ~(state : Request.state) =
   s.req.Request.state <- state;
   s.req.Request.finish_s <- now_s -. s.req.Request.arrival_s;
-  Kv_pool.release t.pool s.cache;
-  t.active <- List.filter (fun x -> x != s) t.active;
-  Telemetry.Counter.incr counter
+  s.release s.cache;
+  t.active <- List.filter (fun x -> x != s) t.active
 
 let finish t (s : session) ~now_s =
-  retire t s ~now_s ~state:Request.Finished t.completed_c;
+  retire t s ~now_s ~state:Request.Finished;
+  incr2 t t.completed_c (fun r -> r.r_completed);
   if not (Request.met_deadline s.req) then
-    Telemetry.Counter.incr t.deadline_breach_c;
+    incr2 t t.deadline_breach_c (fun r -> r.r_deadline_breach);
   t.finished <- s.req :: t.finished
 
 let cancel t (s : session) ~now_s =
-  retire t s ~now_s ~state:Request.Cancelled t.cancelled_c
+  retire t s ~now_s ~state:Request.Cancelled;
+  incr2 t t.cancelled_c (fun r -> r.r_cancelled)
 
 let fail_session t (s : session) ~now_s =
-  retire t s ~now_s ~state:Request.Failed t.failed_c
+  retire t s ~now_s ~state:Request.Failed;
+  incr2 t t.failed_c (fun r -> r.r_failed)
 
 (* deadline enforcement: an active session past its absolute deadline is
    cancelled (KV back to the pool); a queued request past its deadline is
@@ -235,7 +316,7 @@ let sweep_deadlines t ~now_s =
     (fun s ->
       if now_s > Request.deadline_abs s.req then begin
         cancel t s ~now_s;
-        Telemetry.Counter.incr t.deadline_breach_c;
+        incr2 t t.deadline_breach_c (fun r -> r.r_deadline_breach);
         incr storm
       end)
     t.active;
@@ -251,8 +332,8 @@ let sweep_deadlines t ~now_s =
       (fun (r : Request.t) ->
         r.Request.state <- Request.Cancelled;
         r.Request.finish_s <- now_s -. r.Request.arrival_s;
-        Telemetry.Counter.incr t.cancelled_c;
-        Telemetry.Counter.incr t.deadline_breach_c;
+        incr2 t t.cancelled_c (fun rt -> rt.r_cancelled);
+        incr2 t t.deadline_breach_c (fun rt -> rt.r_deadline_breach);
         incr storm)
       late
   end;
@@ -294,7 +375,7 @@ let shed t (req : Request.t) ~now_s =
       t.idle_denials <- 0;
       req.Request.state <- Request.Failed;
       req.Request.finish_s <- now_s -. req.Request.arrival_s;
-      Telemetry.Counter.incr t.failed_c
+      incr2 t t.failed_c (fun r -> r.r_failed)
     end
     else begin
       req.Request.state <- Request.Queued;
@@ -335,7 +416,7 @@ let admit_one t ~now =
               Telemetry.Span.with_span ~cat:"serve"
                 ~args:[ ("request", float_of_int req.Request.id) ]
                 "prefill"
-                (fun () -> Llm.prefill ?nthreads:t.cfg.nthreads t.llm cache emb)
+                (fun () -> t.engine.prefill cache emb)
             in
             guard t ~kernel:"serve.prefill" out)
       with
@@ -346,20 +427,23 @@ let admit_one t ~now =
         let now_s = now () in
         req.Request.state <- Request.Failed;
         req.Request.finish_s <- now_s -. req.Request.arrival_s;
-        Telemetry.Counter.incr t.failed_c;
+        incr2 t t.failed_c (fun r -> r.r_failed);
         `Progress
       | first ->
         let now_s = now () in
         req.Request.ttft_s <- now_s -. req.Request.arrival_s;
-        Telemetry.Histogram.observe t.ttft_h (1000.0 *. req.Request.ttft_s);
+        observe2 t t.ttft_h (fun r -> r.r_ttft) (1000.0 *. req.Request.ttft_s);
         if now_s > Request.deadline_abs req then
-          Telemetry.Counter.incr t.ttft_breach_c;
+          incr2 t t.ttft_breach_c (fun r -> r.r_ttft_breach);
         Telemetry.Recorder.emit Telemetry.Recorder.Sched_admit ~label:lbl_sched
           ~a:req.Request.id ~b:(List.length t.queue);
         req.Request.outputs <- [ first ];
         req.Request.state <- Request.Decoding;
         t.tokens <- t.tokens + 1;
-        let s = { req; cache; emitted = 1; last_token_s = now_s } in
+        let s =
+          { req; cache; release = Kv_pool.release t.pool; emitted = 1;
+            last_token_s = now_s }
+        in
         t.active <- t.active @ [ s ];
         if s.emitted >= req.Request.new_tokens then finish t s ~now_s;
         `Progress))
@@ -387,8 +471,7 @@ let decode_round t ~now =
                   Telemetry.Span.with_span ~cat:"serve"
                     ~args:[ ("request", float_of_int s.req.Request.id) ]
                     "decode"
-                    (fun () ->
-                      Llm.decode_step ?nthreads:t.cfg.nthreads t.llm s.cache e)
+                    (fun () -> t.engine.decode s.cache e)
                 in
                 guard t ~kernel:"serve.decode" out)
           with
@@ -397,7 +480,8 @@ let decode_round t ~now =
             fail_session t s ~now_s:(now ())
           | out ->
             let now_s = now () in
-            Telemetry.Histogram.observe t.tpot_h
+            observe2 t t.tpot_h
+              (fun r -> r.r_tpot)
               (1000.0 *. (now_s -. s.last_token_s));
             s.last_token_s <- now_s;
             s.req.Request.outputs <- out :: s.req.Request.outputs;
@@ -437,3 +521,34 @@ let drain t ~now =
   while busy t do
     ignore (step t ~now)
   done
+
+(* ---- cluster hooks: KV handoff adoption and quarantine eviction ---- *)
+
+(* Adopt a session whose prefill already ran elsewhere (prefill/decode
+   disaggregation): the request arrives Decoding with its first token in
+   [outputs] and a filled [cache]; [release] returns the cache to its
+   owning (prefill-side) pool on retirement. The prefill side already
+   counted the submission, TTFT and first token, so adoption only takes
+   over the decode loop — it bumps neither [submitted] nor [tokens]. *)
+let adopt t ~now ~release (req : Request.t) cache =
+  if List.length t.active >= t.eff_batch then `Full
+  else begin
+    assert (req.Request.state = Request.Decoding);
+    t.ledger <- req :: t.ledger;
+    let s = { req; cache; release; emitted = 1; last_token_s = now } in
+    t.active <- t.active @ [ s ];
+    if s.emitted >= req.Request.new_tokens then finish t s ~now_s:now;
+    `Adopted
+  end
+
+(* Evict every queued (not yet admitted) request, removing it from the
+   ledger as well — the quarantine path: a router re-routes the returned
+   requests to healthy replicas, where re-submission re-enters them into
+   that replica's ledger. In-flight sessions keep decoding (the batch
+   drains); the KV caches never move. *)
+let evict_queued t =
+  let q = t.queue in
+  t.queue <- [];
+  Telemetry.Gauge.set t.queue_g 0;
+  t.ledger <- List.filter (fun r -> not (List.memq r q)) t.ledger;
+  q

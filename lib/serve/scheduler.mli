@@ -40,15 +40,29 @@ type config = {
   check_numerics : bool;
       (** run each step's output through [Tpp_check.finite_2d] so NaN/Inf
           surfaces as a retryable structured error *)
+  replica : int option;
+      (** cluster replica index: observe into the [serve.r<i>.*] telemetry
+          names alongside the global [serve.*] names *)
 }
 
 (** queue 64, batch 8, FCFS, default threads, 16 KV rows, 2 retries, no
-    backoff, numeric checks off. *)
+    backoff, numeric checks off, no replica index. *)
 val default_config : config
+
+(** Pluggable model entry points — what the scheduler calls for the
+    prefill and decode phases. The default engine wraps
+    [Llm.prefill]/[Llm.decode_step] with the config's [nthreads]; a
+    cluster replica substitutes the tensor-parallel
+    [Llm.prefill_tp]/[Llm.decode_step_tp] path, which is bit-identical,
+    so nothing downstream can tell the difference. *)
+type engine = {
+  prefill : Llm.kv_cache -> Tensor.t -> Tensor.t;
+  decode : Llm.kv_cache -> Tensor.t -> Tensor.t;
+}
 
 type t
 
-val create : ?config:config -> Llm.t -> t
+val create : ?config:config -> ?engine:engine -> Llm.t -> t
 val config : t -> config
 val pool : t -> Kv_pool.t
 
@@ -82,3 +96,30 @@ val requests : t -> Request.t list
 
 (** Completed requests in completion order. *)
 val finished : t -> Request.t list
+
+(** {2 Cluster hooks} *)
+
+(** [adopt t ~now ~release req cache] — take over the decode phase of a
+    request whose prefill ran elsewhere (prefill/decode disaggregation).
+    [req] must be in state [Decoding] with its first token already in
+    [outputs]; [cache] holds the prefilled KV state and is returned via
+    [release] (to its owning pool) on retirement. [`Full] means the batch
+    is at its (possibly shed) limit and the caller should retry later.
+    Adoption adds the request to this scheduler's ledger but bumps
+    neither [submitted] nor token counts — the prefill side already
+    accounted for the submission and the first token. *)
+val adopt :
+  t ->
+  now:float ->
+  release:(Llm.kv_cache -> unit) ->
+  Request.t ->
+  Llm.kv_cache ->
+  [ `Adopted | `Full ]
+
+(** Remove every queued (not yet admitted) request from the queue {e and}
+    the ledger, returning them oldest-first — the quarantine path: the
+    router re-routes them to healthy replicas (re-submission re-enters
+    them into that replica's ledger, preserving the original arrival
+    stamp when called with [~now:req.arrival_s]). Active sessions are
+    untouched and drain normally. *)
+val evict_queued : t -> Request.t list

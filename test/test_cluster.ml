@@ -1,0 +1,399 @@
+(* Tests for lib/cluster: tensor-parallel sharding bit-identity,
+   Load_gen substream splitting, router conservation under chaos with a
+   replica quarantine, per-replica EDF ordering through the router,
+   exactly-once KV handoff release, and disaggregated-decode identity. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let clean () =
+  Telemetry.Registry.reset ();
+  Telemetry.Registry.disable ()
+
+let make_llm () =
+  let rng = Prng.create 7 in
+  Llm.create ~rng ~block:8 Llm.tiny
+
+let bits_equal = Tensor.approx_equal ~tol:0.0
+let frozen_now () = 0.0
+
+let mk_req ?(deadline_s = Float.infinity) ~prompt_len ~new_tokens id =
+  let vocab = Llm.tiny.Llm.vocab in
+  let prompt = Array.init prompt_len (fun i -> (7 + (3 * id) + i) mod vocab) in
+  let gen = Array.init new_tokens (fun i -> (11 + (5 * id) + i) mod vocab) in
+  Serve.Request.make ~id ~prompt ~gen ~deadline_s ()
+
+let replay_sequential llm (req : Serve.Request.t) =
+  let cache = Llm.new_cache llm in
+  let first = Llm.prefill llm cache (Llm.embed llm req.Serve.Request.prompt) in
+  let outs = ref [ first ] in
+  for k = 0 to req.Serve.Request.new_tokens - 2 do
+    let e = Llm.embed llm [| req.Serve.Request.gen.(k) |] in
+    outs := Llm.decode_step llm cache e :: !outs
+  done;
+  List.rev !outs
+
+(* ---- tensor-parallel sharding is bit-identical to unsharded ---- *)
+
+let test_tp_bit_identity () =
+  clean ();
+  let llm = make_llm () in
+  let plan =
+    match Llm.tp_plan llm ~shards:2 with
+    | Ok p -> p
+    | Error e -> Alcotest.fail ("tp_plan: " ^ e)
+  in
+  checki "shards" 2 (Llm.tp_shards plan);
+  let prompt = [| 3; 11; 7; 29; 1 |] in
+  let gen = [| 5; 17; 23; 2 |] in
+  (* unsharded reference *)
+  let c0 = Llm.new_cache llm in
+  let ref_first = Llm.prefill llm c0 (Llm.embed llm prompt) in
+  let ref_steps =
+    Array.map (fun tok -> Llm.decode_step llm c0 (Llm.embed llm [| tok |])) gen
+  in
+  (* sharded run over the same tokens *)
+  let c1 = Llm.new_cache llm in
+  let tp_first = Llm.prefill_tp plan c1 (Llm.embed llm prompt) in
+  checkb "prefill bit-identical" true (bits_equal ref_first tp_first);
+  Array.iteri
+    (fun i tok ->
+      let got = Llm.decode_step_tp plan c1 (Llm.embed llm [| tok |]) in
+      checkb
+        (Printf.sprintf "decode step %d bit-identical" i)
+        true
+        (bits_equal ref_steps.(i) got))
+    gen;
+  checki "cache lengths agree" (Llm.cache_len c0) (Llm.cache_len c1)
+
+let test_tp_plan_rejects_bad_split () =
+  clean ();
+  let llm = make_llm () in
+  (* tiny has 2 heads: 3 shards cannot split them *)
+  checkb "3-way split rejected" true
+    (match Llm.tp_plan llm ~shards:3 with Ok _ -> false | Error _ -> true)
+
+(* ---- Load_gen.split: deterministic, disjoint, rate-dividing ---- *)
+
+let test_load_gen_split () =
+  clean ();
+  let cfg =
+    { Serve.Load_gen.default with
+      Serve.Load_gen.seed = 5; rate_hz = 30.0; duration_s = 2.0 }
+  in
+  let subs = Serve.Load_gen.split cfg 3 in
+  checki "three substreams" 3 (List.length subs);
+  List.iter
+    (fun (s : Serve.Load_gen.config) ->
+      checkb "rate divided" true
+        (Float.abs (s.Serve.Load_gen.rate_hz -. (30.0 /. 3.0)) < 1e-9))
+    subs;
+  let traces =
+    List.map (fun s -> Serve.Load_gen.generate s ~vocab:64) subs
+  in
+  (* global id uniqueness across substreams, and the id lattice holds *)
+  let ids = Hashtbl.create 64 in
+  List.iteri
+    (fun i trace ->
+      List.iter
+        (fun ((_, r) : float * Serve.Request.t) ->
+          checkb "id on substream lattice" true
+            (r.Serve.Request.id mod 3 = i);
+          checkb "id globally unique" false (Hashtbl.mem ids r.Serve.Request.id);
+          Hashtbl.add ids r.Serve.Request.id ())
+        trace)
+    traces;
+  (* deterministic: regenerating any substream gives the same trace,
+     independent of the other substreams *)
+  let again = List.nth (Serve.Load_gen.split cfg 3) 1 in
+  let t1 = Serve.Load_gen.generate (List.nth subs 1) ~vocab:64 in
+  let t2 = Serve.Load_gen.generate again ~vocab:64 in
+  checki "substream reproducible" (List.length t1) (List.length t2);
+  List.iter2
+    (fun ((a, ra) : float * Serve.Request.t) ((b, rb) : float * Serve.Request.t) ->
+      checkb "same arrival" true (a = b);
+      checki "same id" ra.Serve.Request.id rb.Serve.Request.id;
+      checkb "same prompt" true (ra.Serve.Request.prompt = rb.Serve.Request.prompt);
+      checkb "same gen" true (ra.Serve.Request.gen = rb.Serve.Request.gen))
+    t1 t2;
+  (* substreams with different indices draw different schedules *)
+  let t0 = List.nth traces 0 in
+  checkb "substreams differ" true
+    (List.length t0 <> List.length t1
+    || List.exists2
+         (fun ((a, _) : float * Serve.Request.t) ((b, _) : float * Serve.Request.t) ->
+           a <> b)
+         t0 t1)
+
+(* ---- router conservation under chaos with a quarantine ---- *)
+
+let test_cluster_chaos_conservation () =
+  clean ();
+  let config =
+    { Cluster.Chaos.default with Cluster.Chaos.requests = 16 }
+  in
+  let r = Cluster.Chaos.run ~config () in
+  Alcotest.(check (list string)) "no violations" [] r.Cluster.Chaos.violations;
+  checkb "faults fired" true (r.Cluster.Chaos.injected > 0);
+  checkb "quarantine exercised the reroute path" true
+    (r.Cluster.Chaos.rerouted >= 0);
+  checki "ledger conserved" r.Cluster.Chaos.submitted
+    (r.Cluster.Chaos.finished + r.Cluster.Chaos.rejected
+    + r.Cluster.Chaos.cancelled + r.Cluster.Chaos.failed);
+  checki "no double release" 0 r.Cluster.Chaos.double_released;
+  checki "no identity mismatch" 0 r.Cluster.Chaos.mismatched;
+  (* deterministic: same seed, same ledger *)
+  let b = Cluster.Chaos.run ~config () in
+  checki "same injected" r.Cluster.Chaos.injected b.Cluster.Chaos.injected;
+  checki "same finished" r.Cluster.Chaos.finished b.Cluster.Chaos.finished;
+  checki "same rerouted" r.Cluster.Chaos.rerouted b.Cluster.Chaos.rerouted
+
+let test_cluster_chaos_disaggregated () =
+  clean ();
+  let config =
+    { Cluster.Chaos.default with
+      Cluster.Chaos.requests = 16; replicas = 2; disaggregate = true }
+  in
+  let r = Cluster.Chaos.run ~config () in
+  Alcotest.(check (list string)) "no violations" [] r.Cluster.Chaos.violations;
+  checkb "handoff adoptions happened" true (r.Cluster.Chaos.adopted > 0);
+  checki "no double release" 0 r.Cluster.Chaos.double_released;
+  checki "no identity mismatch" 0 r.Cluster.Chaos.mismatched
+
+let test_cluster_chaos_sharded () =
+  clean ();
+  let config =
+    { Cluster.Chaos.default with Cluster.Chaos.requests = 12; shards = 2 }
+  in
+  let r = Cluster.Chaos.run ~config () in
+  Alcotest.(check (list string)) "no violations" [] r.Cluster.Chaos.violations;
+  checki "no identity mismatch" 0 r.Cluster.Chaos.mismatched;
+  checkb "all finished compared" true
+    (r.Cluster.Chaos.compared = r.Cluster.Chaos.finished)
+
+(* ---- quarantine conservation outside chaos: no request lost ---- *)
+
+let test_quarantine_reroutes_queued () =
+  clean ();
+  let llm = make_llm () in
+  let rcfg =
+    { Cluster.Router.default_config with
+      Cluster.Router.replicas = 2;
+      scheduler =
+        { Serve.Scheduler.default_config with
+          Serve.Scheduler.max_batch = 1; nthreads = Some 1 } }
+  in
+  let router =
+    match Cluster.Router.create ~config:rcfg llm with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  (* round-robin: even ids land on replica 0, odd ids on replica 1 *)
+  for id = 0 to 5 do
+    checkb "accepted" true
+      (Cluster.Router.submit router ~now:0.0
+         (mk_req ~prompt_len:3 ~new_tokens:2 id))
+  done;
+  Cluster.Router.quarantine router 1;
+  checkb "replica 1 quarantined" true (Cluster.Router.is_quarantined router 1);
+  Cluster.Router.drain router ~now:frozen_now;
+  let reqs = Cluster.Router.requests router in
+  checki "ledger intact" 6 (List.length reqs);
+  List.iter
+    (fun (r : Serve.Request.t) ->
+      checkb
+        (Printf.sprintf "request %d finished" r.Serve.Request.id)
+        true
+        (r.Serve.Request.state = Serve.Request.Finished))
+    reqs;
+  (* every request decoded bit-identically despite the migration *)
+  List.iter
+    (fun (r : Serve.Request.t) ->
+      let alone = replay_sequential llm r in
+      let got = Serve.Request.outputs r in
+      checki "output count" (List.length alone) (List.length got);
+      List.iter2
+        (fun a b -> checkb "bit-identical" true (bits_equal a b))
+        alone got)
+    reqs;
+  List.iter
+    (fun p -> checki "pool drained" 0 (Serve.Kv_pool.in_use p))
+    (Cluster.Router.pools router)
+
+(* ---- EDF ordering holds per replica behind the router ---- *)
+
+let test_edf_per_replica () =
+  clean ();
+  let llm = make_llm () in
+  let rcfg =
+    { Cluster.Router.default_config with
+      Cluster.Router.replicas = 2;
+      scheduler =
+        { Serve.Scheduler.default_config with
+          Serve.Scheduler.policy = Serve.Scheduler.Edf;
+          max_batch = 1;
+          nthreads = Some 1 } }
+  in
+  let router =
+    match Cluster.Router.create ~config:rcfg llm with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  (* submit with descending deadlines so FCFS order would be wrong *)
+  let n = 8 in
+  for id = 0 to n - 1 do
+    let deadline_s = 1000.0 -. (10.0 *. float_of_int id) in
+    checkb "accepted" true
+      (Cluster.Router.submit router ~now:0.0
+         (mk_req ~deadline_s ~prompt_len:2 ~new_tokens:1 id))
+  done;
+  Cluster.Router.drain router ~now:frozen_now;
+  Array.iter
+    (fun sched ->
+      let fin = Serve.Scheduler.finished sched in
+      checkb "replica served something" true (fin <> []);
+      let deadlines =
+        List.map (fun r -> Serve.Request.deadline_abs r) fin
+      in
+      checkb "finished in EDF order" true
+        (List.sort compare deadlines = deadlines))
+    (Cluster.Router.schedulers router)
+
+(* ---- KV handoff releases exactly once ---- *)
+
+let test_handoff_exactly_once () =
+  clean ();
+  Telemetry.Registry.enable ();
+  let llm = make_llm () in
+  let h = Cluster.Kv_handoff.create ~cap:2 () in
+  let cache = Llm.new_cache llm in
+  let released = ref 0 in
+  let req = mk_req ~prompt_len:2 ~new_tokens:2 0 in
+  (match
+     Cluster.Kv_handoff.push h ~req ~cache ~release:(fun _ -> incr released)
+   with
+  | `Ok -> ()
+  | `Full -> Alcotest.fail "push refused on empty channel");
+  checki "depth" 1 (Cluster.Kv_handoff.depth h);
+  let e =
+    match Cluster.Kv_handoff.pop h with
+    | Some e -> e
+    | None -> Alcotest.fail "pop on non-empty channel"
+  in
+  checki "depth after pop" 0 (Cluster.Kv_handoff.depth h);
+  let before =
+    Telemetry.Counter.value Cluster.Kv_handoff.double_release_name
+  in
+  e.Cluster.Kv_handoff.release e.Cluster.Kv_handoff.cache;
+  e.Cluster.Kv_handoff.release e.Cluster.Kv_handoff.cache;
+  e.Cluster.Kv_handoff.release e.Cluster.Kv_handoff.cache;
+  checki "released exactly once" 1 !released;
+  checki "double releases counted" 2
+    (Telemetry.Counter.value Cluster.Kv_handoff.double_release_name - before);
+  (* capacity bound: a full channel refuses and leaves ownership with
+     the caller *)
+  let push_ok () =
+    Cluster.Kv_handoff.push h
+      ~req:(mk_req ~prompt_len:2 ~new_tokens:2 1)
+      ~cache:(Llm.new_cache llm)
+      ~release:(fun _ -> ())
+  in
+  checkb "1st fits" true (push_ok () = `Ok);
+  checkb "2nd fits" true (push_ok () = `Ok);
+  checkb "3rd refused" true (push_ok () = `Full)
+
+(* ---- disaggregated serving is bit-identical to solo decoding ---- *)
+
+let test_disaggregated_bit_identity () =
+  clean ();
+  let llm = make_llm () in
+  let rcfg =
+    { Cluster.Router.default_config with
+      Cluster.Router.replicas = 2;
+      disaggregate = true;
+      scheduler =
+        { Serve.Scheduler.default_config with
+          Serve.Scheduler.max_batch = 2; nthreads = Some 1 } }
+  in
+  let router =
+    match Cluster.Router.create ~config:rcfg llm with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  checkb "prefiller present" true (Cluster.Router.prefiller router <> None);
+  for id = 0 to 5 do
+    checkb "accepted" true
+      (Cluster.Router.submit router ~now:0.0
+         (mk_req ~prompt_len:(2 + id) ~new_tokens:3 id))
+  done;
+  Cluster.Router.drain router ~now:frozen_now;
+  let reqs = Cluster.Router.requests router in
+  checki "all requests tracked" 6 (List.length reqs);
+  List.iter
+    (fun (r : Serve.Request.t) ->
+      checkb "finished" true (r.Serve.Request.state = Serve.Request.Finished);
+      let alone = replay_sequential llm r in
+      let got = Serve.Request.outputs r in
+      checki "output count" (List.length alone) (List.length got);
+      List.iter2
+        (fun a b -> checkb "bit-identical" true (bits_equal a b))
+        alone got)
+    reqs;
+  checki "handoff drained" 0 (Cluster.Router.handoff_depth router);
+  List.iter
+    (fun p -> checki "pool drained" 0 (Serve.Kv_pool.in_use p))
+    (Cluster.Router.pools router)
+
+(* ---- placement parsing round-trips ---- *)
+
+let test_placement_of_string () =
+  clean ();
+  let open Cluster.Router in
+  checkb "rr" true (placement_of_string "rr" = Some Round_robin);
+  checkb "round-robin" true
+    (placement_of_string "round-robin" = Some Round_robin);
+  checkb "jsq" true (placement_of_string "jsq" = Some Jsq);
+  checkb "deadline" true (placement_of_string "deadline" = Some Deadline_aware);
+  checkb "junk" true (placement_of_string "nope" = None);
+  List.iter
+    (fun p ->
+      checkb "round-trip" true (placement_of_string (placement_name p) = Some p))
+    [ Round_robin; Jsq; Deadline_aware ]
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "sharding",
+        [
+          Alcotest.test_case "tp = unsharded (bit-identical)" `Quick
+            test_tp_bit_identity;
+          Alcotest.test_case "tp_plan rejects bad split" `Quick
+            test_tp_plan_rejects_bad_split;
+        ] );
+      ( "load-gen",
+        [ Alcotest.test_case "split substreams" `Quick test_load_gen_split ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "conservation + quarantine" `Quick
+            test_cluster_chaos_conservation;
+          Alcotest.test_case "disaggregated" `Quick
+            test_cluster_chaos_disaggregated;
+          Alcotest.test_case "sharded" `Quick test_cluster_chaos_sharded;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "quarantine re-routes queued" `Quick
+            test_quarantine_reroutes_queued;
+          Alcotest.test_case "EDF order per replica" `Quick
+            test_edf_per_replica;
+          Alcotest.test_case "placement_of_string" `Quick
+            test_placement_of_string;
+        ] );
+      ( "handoff",
+        [
+          Alcotest.test_case "releases exactly once" `Quick
+            test_handoff_exactly_once;
+          Alcotest.test_case "disaggregated bit-identity" `Quick
+            test_disaggregated_bit_identity;
+        ] );
+    ]
