@@ -1,4 +1,4 @@
-.PHONY: all build test fmt smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight ci clean
+.PHONY: all build test fmt smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight smoke-paged ci clean
 
 all: build
 
@@ -60,14 +60,34 @@ smoke-flight: build
 	dune exec bin/parlooper_cli.exe -- recorder check /tmp/parlooper-flight --require-fault
 	@echo "smoke-flight: /tmp/parlooper-flight dumps ok"
 
+# Paged-KV smoke (~5 s): the "paged" experiment measures max concurrent
+# width at a fixed arena and exits non-zero unless paged+prefix beats
+# contiguous strictly and the trie recorded hits; then a paged serve run
+# with speculative decoding and a shared system prompt (the grep insists
+# prefix sharing actually happened — kv_prefix_hits lands in the JSON
+# non-zero), and finally a paged chaos pass which exits non-zero on any
+# leaked block (free-list + trie pins must equal the arena) or identity
+# mismatch.
+smoke-paged: build
+	dune exec bench/main.exe -- paged --serve --paged --block-size 16 --num-blocks 128 --spec-decode 4 --sys-prompt 32 --serve-duration 2 --json /tmp/bench-paged.json
+	@grep -q '"kv_prefix_hits":0[,}]' /tmp/bench-paged.json \
+	  && { echo "smoke-paged: no prefix hits recorded in serve run"; exit 1; } \
+	  || true
+	@grep -q '"kv_prefix_hits"' /tmp/bench-paged.json \
+	  || { echo "smoke-paged: kv_prefix_hits missing from JSON"; exit 1; }
+	dune exec bench/main.exe -- --chaos --paged --spec-decode 4 --sys-prompt 32
+	@echo "smoke-paged: /tmp/bench-paged.json ok"
+
 # Single gate run by CI and before every commit: formatting must be
 # canonical (dune files; ocamlformat is not in the pinned toolchain),
 # everything must build, the full tier-1 suite must pass, the serving
 # and pooled-dispatch paths must produce valid machine-readable output,
 # a multi-replica chaos run with a quarantined replica must hold the
-# router conservation invariants, and a chaos run with the recorder
-# armed must produce a validating post-mortem flight dump.
-ci: fmt build test smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight
+# router conservation invariants, a chaos run with the recorder
+# armed must produce a validating post-mortem flight dump, and the
+# paged-KV path must beat contiguous on width, share prefixes, and
+# survive chaos without leaking a block.
+ci: fmt build test smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight smoke-paged
 
 clean:
 	dune clean

@@ -14,11 +14,20 @@
    experiments with the telemetry registry enabled and print the
    aggregated report — per-kernel achieved GFLOPS, JIT-cache hit rate,
    predicted-vs-measured model deviation — at the end. Pass --json FILE
-   to write the machine-readable BENCH file (schema parlooper-bench/2:
+   to write the machine-readable BENCH file (schema parlooper-bench/3:
    bench name + config + metrics per entry, plus per-replica metric
-   blocks and a fleet rollup for cluster runs) for runs that produce
+   blocks and a fleet rollup for cluster runs, and the kv.pages.* /
+   serve.spec.* counters on serve entries) for runs that produce
    metrics (serve, gemm, micro); the file is validated before the
-   process exits. *)
+   process exits.
+
+   --paged / --block-size / --num-blocks switch the serve and chaos
+   harnesses to the paged KV arena, --spec-decode K / --draft-layers N
+   turn on speculative decoding, and --sys-prompt N prepends a shared
+   prefix to every generated prompt so the prefix trie has something to
+   share. The "paged" experiment measures max concurrent width at a
+   fixed arena, contiguous vs paged, and fails the process unless paged
+   is strictly wider. *)
 
 open Bechamel
 open Toolkit
@@ -28,9 +37,11 @@ open Toolkit
    Commit-agnostic schema so the perf trajectory can be compared across
    PRs: each entry is {name, config (strings), metrics (numbers)}.
    Schema parlooper-bench/2 adds an optional per-entry "replicas" array
-   ([{replica, metrics}] blocks) for cluster runs; entries without it
-   are byte-compatible with /1 consumers and single-replica output
-   still validates unchanged. *)
+   ([{replica, metrics}] blocks) for cluster runs; /3 adds the paged-KV
+   and speculative-decoding counters (kv_pages_..., spec_...) to serve
+   entries plus the "paged-width" entry. Both are purely additive:
+   entries without the new keys are byte-compatible with /1 and /2
+   consumers and old outputs still validate unchanged. *)
 
 type bench_entry = {
   bname : string;
@@ -56,7 +67,7 @@ let bench_json_string () =
           (Telemetry.Report.json_float v))
       ms
   in
-  pr "{\"schema\":\"parlooper-bench/2\",\"host\":\"%s\",\"benches\":["
+  pr "{\"schema\":\"parlooper-bench/3\",\"host\":\"%s\",\"benches\":["
     (Telemetry.Report.json_escape Platform.host.Platform.name);
   List.iteri
     (fun i e ->
@@ -463,7 +474,30 @@ let summary_metrics (s : Serve.Metrics.summary) =
     ("tpot_p95_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p95);
     ("tpot_p99_ms", s.Serve.Metrics.tpot_ms.Serve.Metrics.p99) ]
 
-let run_serve ~rate ~duration ~replicas ~shards ~disaggregate ~placement () =
+(* kv.pages.* / serve.spec.* counter values for serve bench entries
+   (schema parlooper-bench/3); zeros in contiguous / non-speculative
+   runs, so the keys cost nothing downstream. *)
+let kv_spec_metrics () =
+  let c n = float_of_int (Telemetry.Counter.value n) in
+  [ ("kv_pages_allocated", c Kv.Block_manager.pages_allocated_name);
+    ("kv_pages_freed", c Kv.Block_manager.pages_freed_name);
+    ("kv_cow_copies", c Kv.Block_manager.cow_copies_name);
+    ("kv_prefix_hits", c Kv.Block_manager.prefix_hits_name);
+    ("spec_proposed", c Serve.Metrics.spec_proposed_name);
+    ("spec_accepted", c Serve.Metrics.spec_accepted_name);
+    ("spec_rejected", c Serve.Metrics.spec_rejected_name) ]
+
+let paged_config_kvs ~paged ~block_size ~num_blocks ~spec_k ~draft_layers
+    ~sys_prompt =
+  [ ("paged", string_of_bool paged);
+    ("block_size", string_of_int block_size);
+    ("num_blocks", string_of_int num_blocks);
+    ("spec_k", string_of_int spec_k);
+    ("draft_layers", string_of_int draft_layers);
+    ("sys_prompt", string_of_int sys_prompt) ]
+
+let run_serve ~rate ~duration ~replicas ~shards ~disaggregate ~placement
+    ~paged ~block_size ~num_blocks ~spec_k ~draft_layers ~sys_prompt () =
   let clustered = replicas > 1 || shards > 1 || disaggregate in
   Modelkit.section
     (if clustered then
@@ -477,13 +511,25 @@ let run_serve ~rate ~duration ~replicas ~shards ~disaggregate ~placement () =
        Printf.sprintf
          "serving: continuous batching over %s, Poisson %.0f req/s for %.1fs"
          Llm.tiny.Llm.name rate duration);
+  if paged then
+    Printf.printf "  paged KV: %d blocks x %d tokens, prefix sharing on\n%!"
+      num_blocks block_size;
+  if spec_k > 0 then
+    Printf.printf "  speculative decoding: k=%d, %d draft layer%s\n%!" spec_k
+      draft_layers
+      (if draft_layers = 1 then "" else "s");
   let rng = Prng.create 7 in
   let llm = Llm.create ~rng ~block:8 Llm.tiny in
+  let scfg =
+    { Serve.Scheduler.default_config with
+      Serve.Scheduler.paged; block_size; num_blocks; spec_k; draft_layers }
+  in
   let load =
     { Serve.Load_gen.default with
       Serve.Load_gen.rate_hz = rate;
       duration_s = duration;
-      deadline_s = 0.25 }
+      deadline_s = 0.25;
+      sys_prompt_len = sys_prompt }
   in
   let trace = Serve.Load_gen.generate load ~vocab:Llm.tiny.Llm.vocab in
   Printf.printf "  trace: %d arrivals, deadline %.0f ms, prompts %s, \
@@ -502,29 +548,42 @@ let run_serve ~rate ~duration ~replicas ~shards ~disaggregate ~placement () =
     ]
   in
   if not clustered then begin
-    let sched = Serve.Scheduler.create llm in
+    let sched = Serve.Scheduler.create ~config:scfg llm in
     let o = Serve.Driver.run sched trace in
     Serve.Metrics.print o.Serve.Driver.summary;
+    (match Serve.Kv_pool.manager (Serve.Scheduler.pool sched) with
+    | Some m ->
+      Printf.printf "  arena after drain: %d/%d blocks free, %d prefix hits\n%!"
+        (Kv.Block_manager.free_blocks m)
+        (Kv.Block_manager.num_blocks m)
+        (Telemetry.Counter.value Kv.Block_manager.prefix_hits_name)
+    | None -> ());
     record_bench ~name:"serve"
       ~config:
-        [ ("model", Llm.tiny.Llm.name); ("rate_hz", Printf.sprintf "%g" rate);
-          ("duration_s", Printf.sprintf "%g" duration);
-          ("deadline_ms",
-           Printf.sprintf "%g" (1e3 *. load.Serve.Load_gen.deadline_s));
-          ("policy",
-           Serve.Scheduler.policy_name
-             (Serve.Scheduler.config sched).Serve.Scheduler.policy);
-          ("max_batch",
-           string_of_int
-             (Serve.Scheduler.config sched).Serve.Scheduler.max_batch)
-        ]
-      ~metrics:(summary_metrics o.Serve.Driver.summary @ slo_metrics ())
+        ([ ("model", Llm.tiny.Llm.name); ("rate_hz", Printf.sprintf "%g" rate);
+           ("duration_s", Printf.sprintf "%g" duration);
+           ("deadline_ms",
+            Printf.sprintf "%g" (1e3 *. load.Serve.Load_gen.deadline_s));
+           ("policy",
+            Serve.Scheduler.policy_name
+              (Serve.Scheduler.config sched).Serve.Scheduler.policy);
+           ("max_batch",
+            string_of_int
+              (Serve.Scheduler.config sched).Serve.Scheduler.max_batch)
+         ]
+        @ paged_config_kvs ~paged ~block_size ~num_blocks ~spec_k
+            ~draft_layers ~sys_prompt)
+      ~metrics:
+        (summary_metrics o.Serve.Driver.summary
+        @ slo_metrics ()
+        @ kv_spec_metrics ())
       ()
   end
   else begin
     let rcfg =
       { Cluster.Router.default_config with
-        Cluster.Router.replicas; shards; disaggregate; placement }
+        Cluster.Router.replicas; shards; disaggregate; placement;
+        scheduler = scfg }
     in
     let router =
       match Cluster.Router.create ~config:rcfg llm with
@@ -545,17 +604,20 @@ let run_serve ~rate ~duration ~replicas ~shards ~disaggregate ~placement () =
       o.Cluster.Driver.per_replica;
     record_bench ~name:"serve"
       ~config:
-        [ ("model", Llm.tiny.Llm.name); ("rate_hz", Printf.sprintf "%g" rate);
-          ("duration_s", Printf.sprintf "%g" duration);
-          ("deadline_ms",
-           Printf.sprintf "%g" (1e3 *. load.Serve.Load_gen.deadline_s));
-          ("replicas", string_of_int replicas);
-          ("shards", string_of_int shards);
-          ("disaggregate", string_of_bool disaggregate);
-          ("placement", Cluster.Router.placement_name placement) ]
+        ([ ("model", Llm.tiny.Llm.name); ("rate_hz", Printf.sprintf "%g" rate);
+           ("duration_s", Printf.sprintf "%g" duration);
+           ("deadline_ms",
+            Printf.sprintf "%g" (1e3 *. load.Serve.Load_gen.deadline_s));
+           ("replicas", string_of_int replicas);
+           ("shards", string_of_int shards);
+           ("disaggregate", string_of_bool disaggregate);
+           ("placement", Cluster.Router.placement_name placement) ]
+        @ paged_config_kvs ~paged ~block_size ~num_blocks ~spec_k
+            ~draft_layers ~sys_prompt)
       ~metrics:
         (summary_metrics o.Cluster.Driver.summary
         @ slo_metrics ()
+        @ kv_spec_metrics ()
         @ [ ("routed",
              float_of_int (Telemetry.Counter.value Cluster.Router.routed_name));
             ("rerouted",
@@ -583,17 +645,24 @@ let chaos_failed = ref false
    plan with a mid-run replica quarantine; the bench entry carries the
    router conservation counters and the fleet SLO-burn gauges, and any
    invariant violation fails the process like the single-replica run. *)
-let run_cluster_chaos ~seed ~requests ~replicas ~shards ~disaggregate () =
+let run_cluster_chaos ~seed ~requests ~replicas ~shards ~disaggregate ~paged
+    ~block_size ~num_blocks ~spec_k ~draft_layers ~sys_prompt () =
   Modelkit.section
     (Printf.sprintf
        "chaos: %d-replica fleet under seeded fault injection (seed %d, %d \
-        requests, %d shards%s, replica %d quarantined mid-run)"
+        requests, %d shards%s%s, replica %d quarantined mid-run)"
        replicas seed requests shards
        (if disaggregate then ", disaggregated" else "")
+       (if paged then ", paged KV" else "")
        Cluster.Chaos.default.Cluster.Chaos.quarantine_replica);
+  let scheduler =
+    { Cluster.Chaos.default.Cluster.Chaos.scheduler with
+      Serve.Scheduler.paged; block_size; num_blocks; spec_k; draft_layers }
+  in
   let config =
     { Cluster.Chaos.default with
-      Cluster.Chaos.seed; requests; replicas; shards; disaggregate }
+      Cluster.Chaos.seed; requests; replicas; shards; disaggregate;
+      scheduler; shared_prefix = sys_prompt }
   in
   let plan =
     match config.Cluster.Chaos.plan with
@@ -606,13 +675,15 @@ let run_cluster_chaos ~seed ~requests ~replicas ~shards ~disaggregate () =
   let f = float_of_int in
   record_bench ~name:"cluster-chaos"
     ~config:
-      [ ("seed", string_of_int seed); ("requests", string_of_int requests);
-        ("replicas", string_of_int replicas);
-        ("shards", string_of_int shards);
-        ("disaggregate", string_of_bool disaggregate);
-        ("quarantine_replica",
-         string_of_int config.Cluster.Chaos.quarantine_replica);
-        ("plan", Fault.plan_to_string plan) ]
+      ([ ("seed", string_of_int seed); ("requests", string_of_int requests);
+         ("replicas", string_of_int replicas);
+         ("shards", string_of_int shards);
+         ("disaggregate", string_of_bool disaggregate);
+         ("quarantine_replica",
+          string_of_int config.Cluster.Chaos.quarantine_replica);
+         ("plan", Fault.plan_to_string plan) ]
+      @ paged_config_kvs ~paged ~block_size ~num_blocks ~spec_k ~draft_layers
+          ~sys_prompt)
     ~metrics:
       [ ("steps", f r.Cluster.Chaos.steps);
         ("submitted", f r.Cluster.Chaos.submitted);
@@ -647,12 +718,23 @@ let run_cluster_chaos ~seed ~requests ~replicas ~shards ~disaggregate () =
     chaos_failed := true
   end
 
-let run_chaos ~seed ~requests () =
+let run_chaos ~seed ~requests ~paged ~block_size ~num_blocks ~spec_k
+    ~draft_layers ~sys_prompt () =
   Modelkit.section
     (Printf.sprintf
-       "chaos: serve loop under seeded fault injection (seed %d, %d requests)"
-       seed requests);
-  let config = { Serve.Chaos.default with Serve.Chaos.seed; requests } in
+       "chaos: serve loop under seeded fault injection (seed %d, %d \
+        requests%s%s)"
+       seed requests
+       (if paged then ", paged KV" else "")
+       (if spec_k > 0 then Printf.sprintf ", spec k=%d" spec_k else ""));
+  let scheduler =
+    { Serve.Chaos.default.Serve.Chaos.scheduler with
+      Serve.Scheduler.paged; block_size; num_blocks; spec_k; draft_layers }
+  in
+  let config =
+    { Serve.Chaos.default with
+      Serve.Chaos.seed; requests; scheduler; shared_prefix = sys_prompt }
+  in
   let plan =
     match config.Serve.Chaos.plan with
     | Some p -> p
@@ -664,8 +746,10 @@ let run_chaos ~seed ~requests () =
   let f = float_of_int in
   record_bench ~name:"chaos"
     ~config:
-      [ ("seed", string_of_int seed); ("requests", string_of_int requests);
-        ("plan", Fault.plan_to_string plan) ]
+      ([ ("seed", string_of_int seed); ("requests", string_of_int requests);
+         ("plan", Fault.plan_to_string plan) ]
+      @ paged_config_kvs ~paged ~block_size ~num_blocks ~spec_k ~draft_layers
+          ~sys_prompt)
     ~metrics:
       [ ("steps", f r.Serve.Chaos.steps);
         ("submitted", f r.Serve.Chaos.submitted);
@@ -682,6 +766,10 @@ let run_chaos ~seed ~requests () =
         ("watchdog_trips", f r.Serve.Chaos.trips);
         ("pool_quarantined", f r.Serve.Chaos.quarantined);
         ("numeric_errors", f r.Serve.Chaos.numeric_errors);
+        ("kv_pages_allocated", f r.Serve.Chaos.pages_allocated);
+        ("kv_pages_freed", f r.Serve.Chaos.pages_freed);
+        ("kv_cow_copies", f r.Serve.Chaos.cow_copies);
+        ("kv_prefix_hits", f r.Serve.Chaos.prefix_hits);
         ("violations", f (List.length r.Serve.Chaos.violations)) ]
     ();
   if r.Serve.Chaos.violations <> [] then begin
@@ -691,6 +779,111 @@ let run_chaos ~seed ~requests () =
   end;
   if r.Serve.Chaos.injected = 0 then begin
     Printf.eprintf "chaos: plan injected no faults — run proves nothing\n";
+    chaos_failed := true
+  end
+
+(* ---- paged-width experiment ("paged") ----
+
+   The capacity claim behind the paged arena, measured: at a fixed KV
+   row budget, requests sharing a long system prompt are admitted until
+   the first [`Denied], once with contiguous per-request buffers (each
+   live request reserves its whole footprint — best-case provisioning,
+   no fragmentation modelled) and once over the paged arena with the
+   prefix trie on (shared prompt blocks are physically deduplicated).
+   Real prefills run through [Llm.extend] so the trie, COW boundaries
+   and block refcounts are exercised, not simulated. The process fails
+   unless paged sustains strictly more concurrent requests and the trie
+   recorded at least one hit. *)
+
+let run_paged_width () =
+  let block_size = 16 and num_blocks = 40 in
+  let arena_rows = block_size * num_blocks in
+  let shared = 3 * block_size in  (* a 3-block shared system prompt *)
+  let plen = shared + 8 and new_tokens = 8 in
+  let total_rows = plen + new_tokens - 1 in
+  Modelkit.section
+    (Printf.sprintf
+       "paged KV: max concurrent width at a fixed %d-row arena, contiguous \
+        vs paged+prefix"
+       arena_rows);
+  let rng = Prng.create 7 in
+  let llm = Llm.create ~rng ~block:8 Llm.tiny in
+  let vocab = Llm.tiny.Llm.vocab in
+  let prompt_of i =
+    Array.init plen (fun j ->
+        if j < shared then (7 * j + 3) mod vocab
+        else (131 * (i + 1) + j) mod vocab)
+  in
+  (* admit until the first denial, keeping every admitted cache live (the
+     concurrent width is the point); prefill really runs so prefix hits
+     attach shared blocks and suffixes append fresh ones *)
+  let admit_loop pool =
+    let live = ref [] and width = ref 0 and stop = ref false in
+    while not !stop && !width <= 4 * num_blocks do
+      let prompt = prompt_of !width in
+      match Serve.Kv_pool.acquire_for pool ~prompt ~total_rows with
+      | `Denied -> stop := true
+      | `Cache (cache, matched) ->
+        let suffix = Array.sub prompt matched (plen - matched) in
+        ignore (Llm.extend llm cache (Llm.embed llm suffix));
+        Serve.Kv_pool.register pool ~prompt cache;
+        live := cache :: !live;
+        incr width
+    done;
+    let w = !width in
+    List.iter (Serve.Kv_pool.release pool) !live;
+    w
+  in
+  (* contiguous provisioning at the same row budget: every live request
+     reserves [total_rows] dedicated rows, nothing can be shared *)
+  let contig_width =
+    admit_loop
+      (Serve.Kv_pool.create ~init_cap:total_rows
+         ~max_live:(arena_rows / total_rows) llm)
+  in
+  let hits0 = Telemetry.Counter.value Kv.Block_manager.prefix_hits_name in
+  let paged_width =
+    admit_loop
+      (Serve.Kv_pool.create
+         ~policy:
+           (Serve.Kv_pool.Paged { block_size; num_blocks; prefix = true })
+         llm)
+  in
+  let hits =
+    Telemetry.Counter.value Kv.Block_manager.prefix_hits_name - hits0
+  in
+  Printf.printf
+    "  arena: %d blocks x %d tokens; request: %d prompt (%d shared) + %d \
+     new tokens\n"
+    num_blocks block_size plen shared new_tokens;
+  Printf.printf "  contiguous:   %d concurrent before first Denied\n"
+    contig_width;
+  Printf.printf
+    "  paged+prefix: %d concurrent before first Denied (%d prefix hits)\n%!"
+    paged_width hits;
+  let f = float_of_int in
+  record_bench ~name:"paged-width"
+    ~config:
+      [ ("model", Llm.tiny.Llm.name);
+        ("block_size", string_of_int block_size);
+        ("num_blocks", string_of_int num_blocks);
+        ("prompt_len", string_of_int plen);
+        ("shared_prefix", string_of_int shared);
+        ("new_tokens", string_of_int new_tokens) ]
+    ~metrics:
+      [ ("arena_rows", f arena_rows); ("contiguous_width", f contig_width);
+        ("paged_width", f paged_width); ("kv_prefix_hits", f hits) ]
+    ();
+  if paged_width <= contig_width then begin
+    Printf.eprintf
+      "paged: width %d is not strictly above contiguous width %d at the \
+       same arena\n"
+      paged_width contig_width;
+    chaos_failed := true
+  end;
+  if hits = 0 then begin
+    Printf.eprintf
+      "paged: prefix trie recorded no hits — sharing never happened\n";
     chaos_failed := true
   end
 
@@ -714,6 +907,7 @@ let experiments =
     ("gemm", run_gemm_points);
     ("dispatch", run_dispatch);
     ("recorder", run_recorder);
+    ("paged", run_paged_width);
   ]
 
 let run_all () =
@@ -731,6 +925,8 @@ let usage () =
     \       [--serve-duration S] [--chaos] [--chaos-seed N]\n\
     \       [--chaos-requests N] [--replicas N] [--shards M]\n\
     \       [--disaggregate] [--placement rr|jsq|deadline]\n\
+    \       [--paged] [--block-size N] [--num-blocks N]\n\
+    \       [--spec-decode K] [--draft-layers N] [--sys-prompt N]\n\
     \       [--json FILE] [--telemetry]\n\
      experiments: %s\n"
     (String.concat ", " (List.map fst experiments));
@@ -749,6 +945,12 @@ let () =
   let shards = ref 1 in
   let disaggregate = ref false in
   let placement = ref Cluster.Router.Round_robin in
+  let paged = ref false in
+  let block_size = ref 16 in
+  let num_blocks = ref 64 in
+  let spec_decode = ref 0 in
+  let draft_layers = ref 1 in
+  let sys_prompt = ref 0 in
   let json_path = ref None in
   let names = ref [] in
   let int_arg name rest =
@@ -822,6 +1024,31 @@ let () =
     | "--disaggregate" :: rest ->
       disaggregate := true;
       parse rest
+    | "--paged" :: rest ->
+      paged := true;
+      parse rest
+    | "--block-size" :: rest ->
+      let v, rest = int_arg "--block-size" rest in
+      block_size := v;
+      paged := true;
+      parse rest
+    | "--num-blocks" :: rest ->
+      let v, rest = int_arg "--num-blocks" rest in
+      num_blocks := v;
+      paged := true;
+      parse rest
+    | "--spec-decode" :: rest ->
+      let v, rest = int_arg "--spec-decode" rest in
+      spec_decode := v;
+      parse rest
+    | "--draft-layers" :: rest ->
+      let v, rest = int_arg "--draft-layers" rest in
+      draft_layers := v;
+      parse rest
+    | "--sys-prompt" :: rest ->
+      let v, rest = int_arg "--sys-prompt" rest in
+      sys_prompt := v;
+      parse rest
     | "--placement" :: v :: rest -> (
       match Cluster.Router.placement_of_string v with
       | Some p ->
@@ -867,13 +1094,21 @@ let () =
   | [], false -> run_all ());
   if !serve then
     run_serve ~rate:!serve_rate ~duration:!serve_duration ~replicas:!replicas
-      ~shards:!shards ~disaggregate:!disaggregate ~placement:!placement ();
+      ~shards:!shards ~disaggregate:!disaggregate ~placement:!placement
+      ~paged:!paged ~block_size:!block_size ~num_blocks:!num_blocks
+      ~spec_k:!spec_decode ~draft_layers:!draft_layers
+      ~sys_prompt:!sys_prompt ();
   if !chaos then
     if !replicas > 1 || !shards > 1 || !disaggregate then
       run_cluster_chaos ~seed:!chaos_seed ~requests:!chaos_requests
         ~replicas:(max 2 !replicas) ~shards:!shards
-        ~disaggregate:!disaggregate ()
-    else run_chaos ~seed:!chaos_seed ~requests:!chaos_requests ();
+        ~disaggregate:!disaggregate ~paged:!paged ~block_size:!block_size
+        ~num_blocks:!num_blocks ~spec_k:!spec_decode
+        ~draft_layers:!draft_layers ~sys_prompt:!sys_prompt ()
+    else
+      run_chaos ~seed:!chaos_seed ~requests:!chaos_requests ~paged:!paged
+        ~block_size:!block_size ~num_blocks:!num_blocks ~spec_k:!spec_decode
+        ~draft_layers:!draft_layers ~sys_prompt:!sys_prompt ();
   if !telemetry then begin
     Telemetry.Registry.disable ();
     let host = Platform.host in

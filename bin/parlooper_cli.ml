@@ -266,8 +266,49 @@ let placement_arg =
     & info [ "placement" ]
         ~doc:"router placement: rr | jsq | deadline")
 
+let paged_arg =
+  Arg.(
+    value & flag
+    & info [ "paged" ]
+        ~doc:"paged KV storage: fixed-size token blocks from a shared arena \
+              with copy-on-write sharing and prompt-prefix deduplication \
+              (bit-identical to contiguous)")
+
+let block_size_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "block-size" ] ~doc:"tokens per KV block (with --paged)")
+
+let num_blocks_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "num-blocks" ]
+        ~doc:"KV arena size in blocks per pool (with --paged)")
+
+let spec_decode_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "spec-decode" ] ~docv:"K"
+        ~doc:"speculative decoding: propose $(docv) draft tokens per round \
+              and verify them in one batched pass (0 disables; \
+              token-identical to greedy decoding)")
+
+let draft_layers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "draft-layers" ]
+        ~doc:"decoder layers of the draft model (with --spec-decode)")
+
+let sys_prompt_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "sys-prompt" ]
+        ~doc:"tokens of a shared system prompt prepended to every request \
+              (the workload shape --paged prefix sharing deduplicates)")
+
 let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
-    policy seed threads replicas shards disaggregate placement live_metrics
+    policy seed threads replicas shards disaggregate placement paged
+    block_size num_blocks spec_decode draft_layers sys_prompt live_metrics
     live_interval_ms trace telemetry =
   if rate <= 0.0 || duration <= 0.0 then begin
     Printf.eprintf "--rate and --duration must be positive\n";
@@ -275,6 +316,14 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
   end;
   if pmin < 1 || pmax < pmin || tmin < 1 || tmax < tmin then begin
     Printf.eprintf "need 1 <= prompt-min <= prompt-max and likewise tokens\n";
+    exit 1
+  end;
+  if block_size < 1 || num_blocks < 1 || spec_decode < 0 || draft_layers < 1
+     || sys_prompt < 0
+  then begin
+    Printf.eprintf
+      "need positive --block-size/--num-blocks/--draft-layers and \
+       non-negative --spec-decode/--sys-prompt\n";
     exit 1
   end;
   let policy =
@@ -307,7 +356,8 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
       deadline_s =
         (if deadline_ms > 0.0 then deadline_ms /. 1000.0 else Float.infinity);
       id_base = 0;
-      id_stride = 1
+      id_stride = 1;
+      sys_prompt_len = sys_prompt
     }
   in
   let trace_reqs = Serve.Load_gen.generate load ~vocab:Llm.tiny.Llm.vocab in
@@ -325,10 +375,19 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
          (Cluster.Router.placement_name placement)
          (if disaggregate then " disaggregated" else "")
      else "");
+  if paged then
+    Printf.printf "paged KV: %d-token blocks, %d-block arena, prefix sharing \
+                   on\n%!"
+      block_size num_blocks;
+  if spec_decode > 0 then
+    Printf.printf "speculative decoding: k=%d, %d draft layer%s\n%!"
+      spec_decode draft_layers
+      (if draft_layers = 1 then "" else "s");
   let config =
     { Serve.Scheduler.default_config with
       Serve.Scheduler.max_queue; max_batch; policy;
-      nthreads = Some threads }
+      nthreads = Some threads; paged; block_size; num_blocks;
+      spec_k = spec_decode; draft_layers }
   in
   let live_out =
     match live_metrics with
@@ -359,6 +418,26 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
         | Some p when p <> "-" -> " -> " ^ p
         | _ -> "")
   in
+  let print_arena pool =
+    match Serve.Kv_pool.manager pool with
+    | None -> ()
+    | Some m ->
+      let pins =
+        match Serve.Kv_pool.prefix_cache pool with
+        | Some p -> Kv.Prefix.pinned p
+        | None -> 0
+      in
+      Printf.printf
+        "KV arena: %d/%d blocks free at exit (%d prefix-pinned); fleet \
+         totals: %d allocated, %d freed, %d COW copies, %d prefix hits\n%!"
+        (Kv.Block_manager.free_blocks m)
+        (Kv.Block_manager.num_blocks m)
+        pins
+        (Telemetry.Counter.value Kv.Block_manager.pages_allocated_name)
+        (Telemetry.Counter.value Kv.Block_manager.pages_freed_name)
+        (Telemetry.Counter.value Kv.Block_manager.cow_copies_name)
+        (Telemetry.Counter.value Kv.Block_manager.prefix_hits_name)
+  in
   if not clustered then begin
     let sched = Serve.Scheduler.create ~config llm in
     let o = Serve.Driver.run ?live sched trace_reqs in
@@ -369,7 +448,8 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
       "KV pool: %d created, %d reused, %d free at exit, peak %d rows/layer\n%!"
       (Serve.Kv_pool.created pool) (Serve.Kv_pool.reused pool)
       (Serve.Kv_pool.free_count pool)
-      (Serve.Kv_pool.peak_rows pool)
+      (Serve.Kv_pool.peak_rows pool);
+    print_arena pool
   end
   else begin
     let rcfg =
@@ -406,7 +486,8 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
           Printf.printf "KV pool %d: %d free at exit, peak %d rows/layer\n%!"
             i
             (Serve.Kv_pool.free_count pool)
-            (Serve.Kv_pool.peak_rows pool))
+            (Serve.Kv_pool.peak_rows pool);
+          print_arena pool)
         pools)
   end;
   Telemetry.Registry.disable ();
@@ -616,8 +697,9 @@ let serve_cmd =
       const serve $ rate_arg $ duration_arg $ prompt_min_arg $ prompt_max_arg
       $ tokens_min_arg $ tokens_max_arg $ deadline_arg $ queue_arg $ batch_arg
       $ policy_arg $ seed_arg $ threads_arg $ replicas_arg $ shards_arg
-      $ disaggregate_arg $ placement_arg $ live_metrics_arg
-      $ live_interval_arg $ trace_arg $ telemetry_arg)
+      $ disaggregate_arg $ placement_arg $ paged_arg $ block_size_arg
+      $ num_blocks_arg $ spec_decode_arg $ draft_layers_arg $ sys_prompt_arg
+      $ live_metrics_arg $ live_interval_arg $ trace_arg $ telemetry_arg)
 
 let chaos_cmd =
   Cmd.v

@@ -32,6 +32,10 @@ type config = {
   placement : Router.placement;
   prompt_len : Serve.Load_gen.dist;
   new_tokens : Serve.Load_gen.dist;
+  shared_prefix : int;
+      (* tokens of a common prefix prepended to every prompt (0 = none):
+         with a paged scheduler config this exercises prefix sharing and
+         COW across the whole fleet *)
   arrival_gap_s : float;  (* virtual seconds between arrivals *)
   deadline_s : float;
   dt_s : float;  (* virtual seconds per drive step *)
@@ -52,6 +56,7 @@ let default =
     placement = Router.Round_robin;
     prompt_len = Serve.Load_gen.Uniform (2, 6);
     new_tokens = Serve.Load_gen.Uniform (1, 5);
+    shared_prefix = 0;
     arrival_gap_s = 0.01;
     deadline_s = Float.infinity;
     dt_s = 0.002;
@@ -81,7 +86,10 @@ let default_plan seed =
           rtrigger = nth 11 23 };
         { rsite = "cluster.prefill"; rkind = Fault.Exn; rtrigger = nth 5 9 };
         { rsite = "cluster.handoff.push"; rkind = Fault.Deny;
-          rtrigger = nth 4 17 }
+          rtrigger = nth 4 17 };
+        (* paged-KV sites — inert unless the scheduler config is paged *)
+        { rsite = "kv.page.acquire"; rkind = Fault.Deny; rtrigger = nth 6 17 };
+        { rsite = "kv.cow.copy"; rkind = Fault.Exn; rtrigger = nth 2 7 }
       ] }
 
 type report = {
@@ -110,10 +118,15 @@ type report = {
 
 let make_trace cfg ~vocab =
   let rng = Prng.create cfg.seed in
+  let shared =
+    Array.init (max 0 cfg.shared_prefix) (fun _ -> Prng.int rng vocab)
+  in
   List.init cfg.requests (fun id ->
       let plen = max 1 (Serve.Load_gen.sample rng cfg.prompt_len) in
       let glen = max 1 (Serve.Load_gen.sample rng cfg.new_tokens) in
-      let prompt = Array.init plen (fun _ -> Prng.int rng vocab) in
+      let prompt =
+        Array.append shared (Array.init plen (fun _ -> Prng.int rng vocab))
+      in
       let gen = Array.init glen (fun _ -> Prng.int rng vocab) in
       ( cfg.arrival_gap_s *. float_of_int id,
         Serve.Request.make ~id ~prompt ~gen ~deadline_s:cfg.deadline_s () ))
@@ -295,6 +308,25 @@ let run ?(config = default) () =
       check
         (List.for_all (fun p -> Serve.Kv_pool.in_use p = 0) (Router.pools router))
         "KV caches leaked (a fleet pool has in_use <> 0 after drain)";
+      (* paged-arena conservation, fleet-wide: in every replica's arena
+         the free list plus the prefix trie's pins must account for all
+         blocks — no block table leaked through handoff, quarantine,
+         retry-rewind or shed paths *)
+      check
+        (List.for_all
+           (fun p ->
+             match Serve.Kv_pool.manager p with
+             | None -> true
+             | Some m ->
+               let pinned =
+                 match Serve.Kv_pool.prefix_cache p with
+                 | Some px -> Kv.Prefix.pinned px
+                 | None -> 0
+               in
+               Kv.Block_manager.free_blocks m + pinned
+               = Kv.Block_manager.num_blocks m)
+           (Router.pools router))
+        "paged KV blocks leaked (free + trie pins <> arena size)";
       check (Router.handoff_depth router = 0)
         "handoff channel not drained";
       check (double_released = 0) "KV handoff released a cache twice";

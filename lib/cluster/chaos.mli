@@ -19,6 +19,10 @@ type config = {
   placement : Router.placement;
   prompt_len : Serve.Load_gen.dist;
   new_tokens : Serve.Load_gen.dist;
+  shared_prefix : int;
+      (** tokens of a common prefix prepended to every prompt (0 = none):
+          with a paged scheduler config this exercises fleet-wide prefix
+          sharing and COW under faults *)
   arrival_gap_s : float;  (** virtual seconds between arrivals *)
   deadline_s : float;
   dt_s : float;  (** virtual seconds per drive step *)

@@ -55,13 +55,13 @@ type t = {
   r_deadline_breach_c : Telemetry.Counter.t;
 }
 
-let create ?(config = default_config) ?engine llm ~handoff =
+let create ?(config = default_config) ?engine
+    ?(policy = Serve.Kv_pool.Contiguous) llm ~handoff =
   let engine =
     match engine with
     | Some e -> e
     | None ->
-      { Serve.Scheduler.prefill = (fun cache emb -> Llm.prefill llm cache emb);
-        decode = (fun cache emb -> Llm.decode_step llm cache emb) }
+      { Serve.Scheduler.extend = (fun cache emb -> Llm.extend llm cache emb) }
   in
   let c = Telemetry.Counter.find_or_create in
   let h = Telemetry.Histogram.find_or_create in
@@ -69,7 +69,7 @@ let create ?(config = default_config) ?engine llm ~handoff =
   { llm; cfg = config; engine;
     pool =
       Serve.Kv_pool.create ~init_cap:config.kv_cap ~max_live:config.max_live
-        llm;
+        ~policy llm;
     handoff; queue = []; ledger = []; tokens = 0; idle_denials = 0;
     ttft_h = h Serve.Metrics.ttft_ms_name;
     r_ttft_h = h (Serve.Metrics.replica_ttft_ms_name i);
@@ -141,7 +141,11 @@ let step t ~now =
   | req :: rest ->
     if Kv_handoff.is_full t.handoff then false
     else begin
-      match Serve.Kv_pool.acquire t.pool with
+      let prompt = req.Serve.Request.prompt in
+      let total_rows =
+        Array.length prompt + req.Serve.Request.new_tokens - 1
+      in
+      match Serve.Kv_pool.acquire_for t.pool ~prompt ~total_rows with
       | `Denied ->
         (* a denial can only clear once an in-flight cache is released;
            if nothing is in flight anywhere downstream, fail the head
@@ -158,20 +162,26 @@ let step t ~now =
           true
         end
         else false
-      | `Cache cache -> (
+      | `Cache (cache, matched) -> (
         t.idle_denials <- 0;
         t.queue <- rest;
         req.Serve.Request.state <- Serve.Request.Prefilling;
-        let emb = Llm.embed t.llm req.Serve.Request.prompt in
+        (* a prefix-trie hit pre-seeded [matched] prompt rows from shared
+           blocks — only the suffix needs compute *)
+        let suffix =
+          Array.sub prompt matched (Array.length prompt - matched)
+        in
+        let emb = Llm.embed t.llm suffix in
         match
           (match Fault.fire prefill_site with _ -> ());
-          t.engine.Serve.Scheduler.prefill cache emb
+          Llm.last_row (t.engine.Serve.Scheduler.extend cache emb)
         with
         | exception _ ->
           Serve.Kv_pool.release t.pool cache;
           fail t req ~now_s:(now ());
           true
         | first ->
+          Serve.Kv_pool.register t.pool ~prompt cache;
           let now_s = now () in
           req.Serve.Request.ttft_s <- now_s -. req.Serve.Request.arrival_s;
           let ms = 1000.0 *. req.Serve.Request.ttft_s in

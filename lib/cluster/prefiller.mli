@@ -22,12 +22,16 @@ val default_config : config
 
 type t
 
-(** [create ?config ?engine llm ~handoff] — the default engine is the
-    unsharded [Llm.prefill]; pass {!Shard.engine} for tensor-parallel
-    prefill. *)
+(** [create ?config ?engine ?policy llm ~handoff] — the default engine
+    is the unsharded [Llm.prefill]; pass {!Shard.engine} for
+    tensor-parallel prefill. [policy] is the pool's KV storage policy
+    (default contiguous): under [Paged] the handoff carries block
+    tables over this prefiller's arena — the decode tier appends into
+    the same blocks and the exactly-once release returns them here. *)
 val create :
   ?config:config ->
   ?engine:Serve.Scheduler.engine ->
+  ?policy:Serve.Kv_pool.policy ->
   Llm.t ->
   handoff:Kv_handoff.t ->
   t

@@ -113,6 +113,19 @@ let create ?(config = default_config) llm =
       let handoff, prefiller =
         if config.disaggregate then begin
           let h = Kv_handoff.create ~cap:config.handoff_cap () in
+          (* under a paged template the prefiller gets its own arena: the
+             handoff then carries block tables over it, and the decode
+             tier appends into those blocks until the exactly-once
+             release returns them *)
+          let policy =
+            let s = config.scheduler in
+            if s.Serve.Scheduler.paged then
+              Serve.Kv_pool.Paged
+                { block_size = s.Serve.Scheduler.block_size;
+                  num_blocks = s.Serve.Scheduler.num_blocks;
+                  prefix = s.Serve.Scheduler.prefix_share }
+            else Serve.Kv_pool.Contiguous
+          in
           let p =
             Prefiller.create
               ~config:
@@ -123,7 +136,7 @@ let create ?(config = default_config) llm =
                     config.handoff_cap
                     + config.scheduler.Serve.Scheduler.max_batch;
                   replica = prefill_replica_index config }
-              ~engine llm ~handoff:h
+              ~engine ~policy llm ~handoff:h
           in
           (Some h, Some p)
         end

@@ -1,12 +1,11 @@
 (* Tensor-parallel shard layer: adapt an [Llm.tp_plan] to the scheduler's
    pluggable engine, so a replica runs its GEMM/attention layers split
    column-wise across its slice of the Team pool. The sharded entry
-   points are bit-identical to the unsharded ones (see Llm's tp notes),
-   so swapping the engine changes only where the FLOPs run. *)
+   point is bit-identical to the unsharded one (see Llm's tp notes), so
+   swapping the engine changes only where the FLOPs run. *)
 
 let engine plan =
-  { Serve.Scheduler.prefill = (fun cache emb -> Llm.prefill_tp plan cache emb);
-    decode = (fun cache emb -> Llm.decode_step_tp plan cache emb) }
+  { Serve.Scheduler.extend = (fun cache emb -> Llm.extend_tp plan cache emb) }
 
 (* [shards <= 1] keeps the classic single-team path (with [nthreads]
    inside the kernels); [shards > 1] builds a tp plan or explains why the
@@ -14,7 +13,6 @@ let engine plan =
 let engine_for ?nthreads llm ~shards =
   if shards <= 1 then
     Ok
-      { Serve.Scheduler.prefill =
-          (fun cache emb -> Llm.prefill ?nthreads llm cache emb);
-        decode = (fun cache emb -> Llm.decode_step ?nthreads llm cache emb) }
+      { Serve.Scheduler.extend =
+          (fun cache emb -> Llm.extend ?nthreads llm cache emb) }
   else Result.map engine (Llm.tp_plan llm ~shards)

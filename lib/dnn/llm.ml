@@ -87,35 +87,95 @@ type kv_entry = {
   mutable cap : int;
 }
 
-type kv_cache = { entries : kv_entry array; mutable len : int; hidden : int }
+(* Paged storage: a per-request block table over a shared arena
+   (lib/kv), plus gather scratch that the attention kernels read from.
+   The scratch grows geometrically and survives [reset_cache], so pooled
+   paged caches stop allocating at steady state just like contiguous
+   ones. One scratch pair serves all layers — layers run sequentially
+   and each gathers before its attention. *)
+type paged_store = {
+  seq : Kv.Seq.t;
+  mutable gk : Tensor.t;
+  mutable gv : Tensor.t;
+  mutable gcap : int;
+}
+
+(* Storage policy: [Contig] = one private capacity-doubling buffer pair
+   per layer; [Paged] = fixed-size token blocks from a shared refcounted
+   arena (block table per request, copy-on-write on shared tails). Both
+   feed the same dense attention kernels — paged gathers valid rows into
+   contiguous scratch first — so the two policies are bit-identical by
+   construction (the correctness gate the kv tests pin down). *)
+type kv_store = Contig of kv_entry array | Paged of paged_store
+
+type kv_cache = { store : kv_store; mutable len : int; hidden : int }
 
 let new_cache ?(cap = 16) t =
   let cap = max 1 cap in
-  { entries =
-      Array.init t.cfg.layers (fun _ ->
-          { k = Tensor.create Datatype.F32 [| cap; t.cfg.hidden |];
-            v = Tensor.create Datatype.F32 [| cap; t.cfg.hidden |];
-            used = 0; cap });
+  { store =
+      Contig
+        (Array.init t.cfg.layers (fun _ ->
+             { k = Tensor.create Datatype.F32 [| cap; t.cfg.hidden |];
+               v = Tensor.create Datatype.F32 [| cap; t.cfg.hidden |];
+               used = 0; cap }));
+    len = 0;
+    hidden = t.cfg.hidden }
+
+let new_paged_cache t mgr =
+  if
+    Kv.Block_manager.layers mgr <> t.cfg.layers
+    || Kv.Block_manager.hidden mgr <> t.cfg.hidden
+  then invalid_arg "Llm.new_paged_cache: arena shape does not match model";
+  let gcap = max 1 (Kv.Block_manager.block_size mgr) in
+  { store =
+      Paged
+        { seq = Kv.Seq.create mgr;
+          gk = Tensor.create Datatype.F32 [| gcap; t.cfg.hidden |];
+          gv = Tensor.create Datatype.F32 [| gcap; t.cfg.hidden |];
+          gcap };
     len = 0;
     hidden = t.cfg.hidden }
 
 let cache_len c = c.len
 
+let cache_seq c =
+  match c.store with Contig _ -> None | Paged p -> Some p.seq
+
 let cache_capacity c =
-  if Array.length c.entries = 0 then 0 else c.entries.(0).cap
+  match c.store with
+  | Contig entries -> if Array.length entries = 0 then 0 else entries.(0).cap
+  | Paged p -> Kv.Seq.capacity p.seq
 
 let reset_cache c =
-  Array.iter (fun e -> e.used <- 0) c.entries;
+  (match c.store with
+  | Contig entries -> Array.iter (fun e -> e.used <- 0) entries
+  | Paged p -> Kv.Seq.release_all p.seq);
   c.len <- 0
 
 (* rewind the cache to its state at [len] valid rows, discarding any rows
-   a partially-completed (failed) prefill/decode step appended. Buffers
-   and capacity are untouched, so a retried step re-appends into the same
-   storage and recovery is bit-identical to a run that never failed. *)
+   a partially-completed (failed) prefill/decode step appended. Contig
+   buffers keep their capacity; a paged table frees exactly the tail
+   blocks past row [len-1]. Either way a retried step re-appends into
+   writable storage and recovery is bit-identical to a run that never
+   failed. *)
 let truncate_cache c len =
   assert (len >= 0);
-  Array.iter (fun e -> e.used <- min e.used len) c.entries;
+  (match c.store with
+  | Contig entries -> Array.iter (fun e -> e.used <- min e.used len) entries
+  | Paged p -> if len < Kv.Seq.capacity p.seq then Kv.Seq.truncate p.seq ~len);
   c.len <- min c.len len
+
+(* seed an empty paged cache with shared prefix blocks covering [len]
+   prompt tokens (a prefix-trie hit); the suffix is then computed with
+   [extend]. [len] may land mid-block — the first append COWs the shared
+   tail. *)
+let attach_prefix c ~blocks ~len =
+  match c.store with
+  | Contig _ -> invalid_arg "Llm.attach_prefix: contiguous cache"
+  | Paged p ->
+    assert (c.len = 0 && len >= 0);
+    Kv.Seq.attach p.seq ~blocks;
+    c.len <- len
 
 (* copy the first [rows] rows of [src] into [dst] starting at [dst_row];
    both are contiguous [_ x hidden] F32 buffers *)
@@ -142,6 +202,39 @@ let append_rows cache (e : kv_entry) ~k_new ~v_new =
   copy_rows ~hidden ~rows:n v_new e.v ~dst_row:e.used;
   e.used <- e.used + n
 
+(* storage-agnostic append: write this layer's fresh K/V rows at token
+   positions [cache.len, cache.len + n). Layer 0 reserves the block-table
+   capacity for the whole forward pass (allocation is per token position,
+   shared by all layers); later layers write into the same slots. *)
+let append_layer cache ~layer ~k_new ~v_new =
+  match cache.store with
+  | Contig entries -> append_rows cache entries.(layer) ~k_new ~v_new
+  | Paged p ->
+    let n = (Tensor.dims k_new).(0) in
+    if layer = 0 then Kv.Seq.ensure p.seq ~len:cache.len ~extra:n;
+    Kv.Seq.append p.seq ~layer ~at:cache.len ~rows:n ~k_src:k_new ~v_src:v_new
+
+(* storage-agnostic view of this layer's first [rows] K/V rows as
+   contiguous [rows x hidden] tensors. Contig returns shared-storage
+   views; paged gathers the block rows into the cache's scratch (grown
+   geometrically, reused across layers and steps) — after which the
+   dense attention path is byte-for-byte the same computation, which is
+   what makes paged decode bit-identical to contiguous decode. *)
+let layer_kv cache ~layer ~rows =
+  match cache.store with
+  | Contig entries ->
+    let e = entries.(layer) in
+    (Tensor.sub_rows e.k rows, Tensor.sub_rows e.v rows)
+  | Paged p ->
+    if p.gcap < rows then begin
+      let cap = max rows (2 * p.gcap) in
+      p.gk <- Tensor.create Datatype.F32 [| cap; cache.hidden |];
+      p.gv <- Tensor.create Datatype.F32 [| cap; cache.hidden |];
+      p.gcap <- cap
+    end;
+    Kv.Seq.gather p.seq ~layer ~rows ~k_dst:p.gk ~v_dst:p.gv;
+    (Tensor.sub_rows p.gk rows, Tensor.sub_rows p.gv rows)
+
 let layernorm gamma beta x =
   let y = Tensor.create Datatype.F32 (Tensor.dims x) in
   Blocks.layernorm_rows_nostats ~eps:1e-5 ~inp:(Tensor.view2d x)
@@ -154,12 +247,12 @@ let add_inplace a b =
     ~b:(Tensor.view2d b) ~out:(Tensor.view2d a)
 
 (* pre-norm decoder block with a cache: x += Attn(LN1(x)); x += FFN(LN2(x)) *)
-let decoder_block ?nthreads cache (layer : layer) (entry : kv_entry) x =
+let decoder_block ?nthreads cache (layer : layer) layer_idx x =
+  let n = (Tensor.dims x).(0) in
   let normed = layernorm layer.ln1_gamma layer.ln1_beta x in
   let q, k_new, v_new = Attention.project ?nthreads layer.attention normed in
-  append_rows cache entry ~k_new ~v_new;
-  let k_all = Tensor.sub_rows entry.k entry.used in
-  let v_all = Tensor.sub_rows entry.v entry.used in
+  append_layer cache ~layer:layer_idx ~k_new ~v_new;
+  let k_all, v_all = layer_kv cache ~layer:layer_idx ~rows:(cache.len + n) in
   let ctx =
     Attention.attend ~causal:true ~heads:layer.attention.Attention.heads q
       k_all v_all
@@ -190,8 +283,7 @@ let run_tokens ?nthreads t cache x =
     Array.to_list t.decoder
     |> List.mapi (fun i l -> (i, l))
     |> List.fold_left
-         (fun acc (i, layer) ->
-           decoder_block ?nthreads cache layer cache.entries.(i) acc)
+         (fun acc (i, layer) -> decoder_block ?nthreads cache layer i acc)
          x
   in
   cache.len <- cache.len + (Tensor.dims x).(0);
@@ -201,6 +293,14 @@ let last_row x =
   let d = Tensor.dims x in
   Tensor.init Datatype.F32 [| 1; d.(1) |] (fun i ->
       Tensor.get x [| d.(0) - 1; i.(1) |])
+
+(* batched extension over an already-filled cache: append [n] token rows
+   and return all [n] output rows. Per-row outputs are bit-identical to
+   feeding the same tokens one decode step at a time (the k-reduction
+   order of every kernel is independent of the batch row count) — the
+   property that makes prefix-hit suffix prefills and speculative
+   verification exact, not approximate. *)
+let extend ?nthreads t cache x = run_tokens ?nthreads t cache x
 
 let prefill ?nthreads t cache x =
   assert (cache.len = 0);
@@ -213,6 +313,14 @@ let decode_step ?nthreads t cache x =
 let forward_full ?nthreads t x =
   let cache = new_cache t in
   run_tokens ?nthreads t cache x
+
+(* a draft model sharing the target's first [layers] decoder layers (and
+   weights) — the proposer half of speculative decoding. No copy: slices
+   reference the same layer records. *)
+let draft t ~layers =
+  let layers = max 1 (min layers t.cfg.layers) in
+  { cfg = { t.cfg with layers; name = t.cfg.name ^ "-draft" };
+    decoder = Array.sub t.decoder 0 layers }
 
 (* ---------- tensor-parallel (sharded) execution ---------- *)
 
@@ -347,7 +455,6 @@ let scatter_cols ~dst ~col0 src =
 let decoder_block_tp plan cache entry_idx x =
   let t = plan.tpl in
   let layer = t.decoder.(entry_idx) in
-  let entry = cache.entries.(entry_idx) in
   let n = (Tensor.dims x).(0) in
   let hidden = t.cfg.hidden in
   let inter = t.cfg.intermediate in
@@ -364,9 +471,10 @@ let decoder_block_tp plan cache entry_idx x =
         (Fc.forward ~nthreads:1 s.tk.pfc normed);
       scatter_cols ~dst:v_new ~col0:s.tv.col0
         (Fc.forward ~nthreads:1 s.tv.pfc normed));
-  append_rows cache entry ~k_new ~v_new;
-  let k_all = Tensor.sub_rows entry.k entry.used in
-  let v_all = Tensor.sub_rows entry.v entry.used in
+  (* cache append + gather run on the caller between regions — the block
+     table (or contig buffer) is storage the shards only ever read *)
+  append_layer cache ~layer:entry_idx ~k_new ~v_new;
+  let k_all, v_all = layer_kv cache ~layer:entry_idx ~rows:(cache.len + n) in
   let ctx_t = Tensor.create Datatype.F32 [| n; hidden |] in
   let att = Tensor.create Datatype.F32 [| n; hidden |] in
   Team.run ~nthreads:shards (fun ctx ->
@@ -412,6 +520,10 @@ let run_tokens_tp plan cache x =
   done;
   cache.len <- cache.len + (Tensor.dims x).(0);
   !out
+
+(* sharded batched extension — same contract (and bit-identity) as
+   {!extend}, with the FLOPs split across the shard team *)
+let extend_tp plan cache x = run_tokens_tp plan cache x
 
 let prefill_tp plan cache x =
   assert (cache.len = 0);

@@ -32,15 +32,36 @@ val config : t -> config
 
 type kv_cache
 
-(** Fresh empty cache. K/V are stored in capacity-backed per-layer
-    buffers ([cap] initial rows, default 16) that double in place as the
-    sequence grows — decode steps append without reallocating the cache. *)
+(** Fresh empty cache with {e contiguous} storage: capacity-backed
+    per-layer buffers ([cap] initial rows, default 16) that double in
+    place as the sequence grows — decode steps append without
+    reallocating the cache. *)
 val new_cache : ?cap:int -> t -> kv_cache
+
+(** Fresh empty cache with {e paged} storage: a per-request block table
+    over the given shared arena. Fixed-size token blocks are acquired on
+    demand and freed by {!truncate_cache}/{!reset_cache}; gather scratch
+    bridges the block table to the same dense attention kernels the
+    contiguous path runs, so the two policies are bit-identical. Raises
+    [Invalid_argument] when the arena's layers/hidden do not match the
+    model. *)
+val new_paged_cache : t -> Kv.Block_manager.t -> kv_cache
+
+(** The block table of a paged cache ([None] for contiguous). *)
+val cache_seq : kv_cache -> Kv.Seq.t option
+
+(** [attach_prefix c ~blocks ~len] seeds an empty paged cache with shared
+    prefix blocks (a prefix-trie hit) covering the first [len] prompt
+    tokens; each block gains a reference, and the first append past a
+    mid-block [len] copies-on-write. The suffix is then computed with
+    {!extend}. *)
+val attach_prefix : kv_cache -> blocks:int array -> len:int -> unit
 
 (** Tokens currently cached. *)
 val cache_len : kv_cache -> int
 
-(** Allocated rows per layer (>= [cache_len]; grows geometrically). *)
+(** Allocated rows (contiguous: per-layer buffer capacity; paged: block
+    table size in rows). *)
 val cache_capacity : kv_cache -> int
 
 (** Rewind to empty {e keeping the allocated buffers}, so the cache can be
@@ -49,9 +70,10 @@ val cache_capacity : kv_cache -> int
 val reset_cache : kv_cache -> unit
 
 (** [truncate_cache c len] rewinds the cache to [len] valid rows,
-    discarding rows a partially-completed (failed) step appended; buffers
-    and capacity are untouched, so a retried step re-appends into the
-    same storage and recovery is bit-identical. *)
+    discarding rows a partially-completed (failed) step appended.
+    Contiguous buffers keep their capacity; a paged table frees exactly
+    the tail blocks past row [len-1]. Either way a retried step
+    re-appends into writable storage and recovery is bit-identical. *)
 val truncate_cache : kv_cache -> int -> unit
 
 (** [prefill t cache embeddings] runs the prefill phase over
@@ -63,8 +85,27 @@ val prefill : ?nthreads:int -> t -> kv_cache -> Tensor.t -> Tensor.t
     its output hidden state ("next token" computation). *)
 val decode_step : ?nthreads:int -> t -> kv_cache -> Tensor.t -> Tensor.t
 
+(** [extend t cache embs] appends [n] token rows over an already-filled
+    cache and returns all [n] output rows ([n x hidden]). Per-row outputs
+    are bit-identical to feeding the same tokens one {!decode_step} at a
+    time — the exactness that prefix-hit suffix prefills and speculative
+    verification rely on. On an empty cache, [last_row (extend ...)] is
+    {!prefill}. *)
+val extend : ?nthreads:int -> t -> kv_cache -> Tensor.t -> Tensor.t
+
+(** Copy of the last row of an [n x hidden] tensor (the "first token"
+    hidden state of a prefill-shaped output). *)
+val last_row : Tensor.t -> Tensor.t
+
 (** Full-sequence forward without a cache (reference for tests). *)
 val forward_full : ?nthreads:int -> t -> Tensor.t -> Tensor.t
+
+(** [draft t ~layers] — a proposer model sharing the target's first
+    [layers] decoder layers and weights (no copy; clamped to
+    [1, t.layers]). The draft half of speculative decoding: cheap
+    proposals whose acceptance is decided by the target's batched
+    verification pass. *)
+val draft : t -> layers:int -> t
 
 (** {2 Tensor-parallel (sharded) execution}
 
@@ -94,6 +135,9 @@ val prefill_tp : tp_plan -> kv_cache -> Tensor.t -> Tensor.t
 
 (** Sharded {!decode_step}: same contract, bit-identical output. *)
 val decode_step_tp : tp_plan -> kv_cache -> Tensor.t -> Tensor.t
+
+(** Sharded {!extend}: same contract, bit-identical output. *)
+val extend_tp : tp_plan -> kv_cache -> Tensor.t -> Tensor.t
 
 (** Deterministic synthetic embedding matrix for a token-id sequence. *)
 val embed : t -> int array -> Tensor.t

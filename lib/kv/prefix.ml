@@ -1,0 +1,109 @@
+(* Shared-prefix deduplication: a trie over block_size-sized chunks of
+   prompt token ids. Each node pins one physical block (a reference held
+   by the trie) whose K/V rows are the chunk's attention state — valid
+   for every request whose prompt starts with the same chunks, because a
+   causal position's K/V depends only on the tokens at and before it.
+
+   Matching is exact: nodes are keyed on a hash of the chunk but compared
+   on the full token array, so hash collisions cannot alias prompts.
+   Only full chunks are ever shared — a partially-filled tail block is
+   private to its request until it fills (and COW keeps it private even
+   when attached mid-block).
+
+   The pin budget ([max_pinned], default half the arena) bounds how much
+   of the arena the trie may hold; insertion past the budget stops
+   quietly rather than evicting — the shared system-prompt workload this
+   targets re-registers hot prefixes constantly, so cold chains simply
+   never get pinned. *)
+
+type node = {
+  hash : int;
+  chunk : int array;
+  block : int;
+  mutable children : node list;
+}
+
+type t = {
+  mgr : Block_manager.t;
+  mutable roots : node list;
+  mutable pinned : int;
+  max_pinned : int;
+  hits_c : Telemetry.Counter.t;
+}
+
+let create ?max_pinned mgr =
+  let mp =
+    match max_pinned with
+    | Some m -> max 1 m
+    | None -> max 1 (Block_manager.num_blocks mgr / 2)
+  in
+  { mgr; roots = []; pinned = 0; max_pinned = mp;
+    hits_c = Telemetry.Counter.find_or_create Block_manager.prefix_hits_name }
+
+let pinned t = t.pinned
+
+let chunk_of prompt i bs = Array.sub prompt (i * bs) bs
+
+let find nodes h c =
+  List.find_opt (fun n -> n.hash = h && n.chunk = c) nodes
+
+(* longest chain of full prompt chunks present in the trie: the pinned
+   blocks (not retained here — the caller attaches, which retains) and
+   the token count they cover. Each matched block is a prefix hit. *)
+let lookup t ~prompt =
+  let bs = Block_manager.block_size t.mgr in
+  let nchunks = Array.length prompt / bs in
+  let rec go i nodes acc =
+    if i >= nchunks then acc
+    else
+      let c = chunk_of prompt i bs in
+      match find nodes (Hashtbl.hash c) c with
+      | None -> acc
+      | Some n ->
+        Telemetry.Counter.incr t.hits_c;
+        go (i + 1) n.children (n.block :: acc)
+  in
+  let matched = List.rev (go 0 t.roots []) in
+  (Array.of_list matched, List.length matched * bs)
+
+(* register a prefilled request's prompt: walk/create a node per full
+   chunk, pinning the request's block for each newly created node. A
+   chunk already present keeps its existing block (dedup); creation
+   stops at the pin budget — deeper chunks would dangle without their
+   ancestors anyway. *)
+let insert t ~prompt ~blocks =
+  let bs = Block_manager.block_size t.mgr in
+  let nchunks = min (Array.length prompt / bs) (Array.length blocks) in
+  let children_of = function None -> t.roots | Some p -> p.children in
+  let set_children parent l =
+    match parent with None -> t.roots <- l | Some p -> p.children <- l
+  in
+  let rec go i parent =
+    if i < nchunks then begin
+      let c = chunk_of prompt i bs in
+      let h = Hashtbl.hash c in
+      match find (children_of parent) h c with
+      | Some n -> go (i + 1) (Some n)
+      | None ->
+        if t.pinned < t.max_pinned then begin
+          let b = blocks.(i) in
+          Block_manager.retain t.mgr b;
+          t.pinned <- t.pinned + 1;
+          let n = { hash = h; chunk = c; block = b; children = [] } in
+          set_children parent (n :: children_of parent);
+          go (i + 1) (Some n)
+        end
+    end
+  in
+  go 0 None
+
+(* drop every pin — after this (and all sequences released) the arena
+   free list must equal its size again *)
+let flush t =
+  let rec rel n =
+    Block_manager.release t.mgr n.block;
+    List.iter rel n.children
+  in
+  List.iter rel t.roots;
+  t.roots <- [];
+  t.pinned <- 0

@@ -1,0 +1,30 @@
+(** Shared-prefix deduplication: a trie over [block_size]-sized chunks of
+    prompt token ids, each node pinning one physical block of prompt K/V
+    state. Keyed on chunk hashes, compared on the full token arrays (hash
+    collisions cannot alias prompts). Hits count into
+    [kv.pages.prefix_hits]. *)
+
+type t
+
+(** [create ?max_pinned mgr] — the trie holds at most [max_pinned] block
+    references (default: half the arena), bounding how much memory
+    sharing may pin. *)
+val create : ?max_pinned:int -> Block_manager.t -> t
+
+(** Blocks currently pinned by the trie. *)
+val pinned : t -> int
+
+(** [lookup t ~prompt] — the longest chain of full prompt chunks present:
+    the pinned blocks (in prompt order, {e not} retained — attach them to
+    a {!Seq} to take references) and the token count they cover (a
+    multiple of the block size). *)
+val lookup : t -> prompt:int array -> int array * int
+
+(** [insert t ~prompt ~blocks] — register a prefilled prompt, pinning
+    [blocks.(i)] for each full chunk [i] not already present. Existing
+    chunks keep their blocks (dedup); insertion stops at the pin
+    budget. *)
+val insert : t -> prompt:int array -> blocks:int array -> unit
+
+(** Release every pinned block and empty the trie. *)
+val flush : t -> unit

@@ -1,0 +1,116 @@
+(* Per-request block table over a Block_manager arena: an ordered list of
+   physical block ids plus enough arithmetic to map token rows onto
+   (block, slot) spans. The table itself carries no length — the owning
+   Llm.kv_cache's [len] is the single source of truth for committed rows,
+   and every operation takes explicit row indices, so a failed step's
+   rewind ([truncate]) and the retry's re-append line up exactly.
+
+   Sharing: [attach] seeds a fresh table with retained blocks (prefix
+   hits); [ensure] performs the copy-on-write when an append would write
+   into a partially-filled block someone else still references. *)
+
+exception Out_of_blocks
+
+type t = {
+  mgr : Block_manager.t;
+  mutable blocks : int array;  (* physical ids, table order; prefix valid *)
+  mutable nblocks : int;
+}
+
+let create mgr = { mgr; blocks = [||]; nblocks = 0 }
+let manager t = t.mgr
+let block_count t = t.nblocks
+let capacity t = t.nblocks * Block_manager.block_size t.mgr
+let blocks t = Array.sub t.blocks 0 t.nblocks
+
+let push t b =
+  if t.nblocks = Array.length t.blocks then begin
+    let cap = max 4 (2 * Array.length t.blocks) in
+    let grown = Array.make cap 0 in
+    Array.blit t.blocks 0 grown 0 t.nblocks;
+    t.blocks <- grown
+  end;
+  t.blocks.(t.nblocks) <- b;
+  t.nblocks <- t.nblocks + 1
+
+(* seed an empty table with shared blocks (a prefix-trie hit): each block
+   gains a reference; the caller owns the matching [len] bookkeeping *)
+let attach t ~blocks =
+  assert (t.nblocks = 0);
+  Array.iter (Block_manager.retain t.mgr) blocks;
+  t.blocks <- Array.copy blocks;
+  t.nblocks <- Array.length blocks
+
+(* Make room for [extra] rows after row [len]: COW the tail block when
+   row [len] lands mid-block in a shared one, then extend the table from
+   the free list. Raises [Out_of_blocks] on exhaustion or a fired
+   [`Deny] — the caller's retry/fail path owns recovery. *)
+let ensure t ~len ~extra =
+  let bs = Block_manager.block_size t.mgr in
+  assert (len >= 0 && len <= t.nblocks * bs);
+  if extra > 0 && len mod bs <> 0 then begin
+    let bi = len / bs in
+    let b = t.blocks.(bi) in
+    if Block_manager.refcount t.mgr b > 1 then
+      match Block_manager.cow t.mgr b ~rows:(len mod bs) with
+      | `Denied -> raise Out_of_blocks
+      | `Block nb -> t.blocks.(bi) <- nb
+  end;
+  let needed = (len + extra + bs - 1) / bs in
+  while t.nblocks < needed do
+    match Block_manager.acquire t.mgr with
+    | `Denied -> raise Out_of_blocks
+    | `Block b -> push t b
+  done
+
+(* map token rows [at, at+rows) onto contiguous (block, slot) spans;
+   [off] is the offset into the caller's flat row stream *)
+let iter_spans t ~at ~rows f =
+  let bs = Block_manager.block_size t.mgr in
+  let rec go at off rows =
+    if rows > 0 then begin
+      let bi = at / bs and slot = at mod bs in
+      let n = min rows (bs - slot) in
+      f ~block:t.blocks.(bi) ~slot ~off ~n;
+      go (at + n) (off + n) (rows - n)
+    end
+  in
+  go at 0 rows
+
+(* write [rows] K/V rows for one layer at token positions [at, at+rows);
+   the caller has [ensure]d capacity (and COW) beforehand *)
+let append t ~layer ~at ~rows ~k_src ~v_src =
+  let bs = Block_manager.block_size t.mgr in
+  let hidden = Block_manager.hidden t.mgr in
+  let ka = Block_manager.k_arena t.mgr layer in
+  let va = Block_manager.v_arena t.mgr layer in
+  iter_spans t ~at ~rows (fun ~block ~slot ~off ~n ->
+      let dst_row = (block * bs) + slot in
+      Block_manager.blit_rows ~hidden ~rows:n k_src ~src_row:off ka ~dst_row;
+      Block_manager.blit_rows ~hidden ~rows:n v_src ~src_row:off va ~dst_row)
+
+(* gather token rows [0, rows) of one layer into contiguous scratch —
+   the bridge that lets the existing dense attention kernels run
+   unchanged over a block table *)
+let gather t ~layer ~rows ~k_dst ~v_dst =
+  let bs = Block_manager.block_size t.mgr in
+  let hidden = Block_manager.hidden t.mgr in
+  let ka = Block_manager.k_arena t.mgr layer in
+  let va = Block_manager.v_arena t.mgr layer in
+  iter_spans t ~at:0 ~rows (fun ~block ~slot ~off ~n ->
+      let src_row = (block * bs) + slot in
+      Block_manager.blit_rows ~hidden ~rows:n ka ~src_row k_dst ~dst_row:off;
+      Block_manager.blit_rows ~hidden ~rows:n va ~src_row v_dst ~dst_row:off)
+
+(* drop every block past the one holding row [len-1] — frees exactly the
+   tail blocks; a truncated-to shared block keeps its other references *)
+let truncate t ~len =
+  assert (len >= 0);
+  let bs = Block_manager.block_size t.mgr in
+  let keep = (len + bs - 1) / bs in
+  while t.nblocks > keep do
+    t.nblocks <- t.nblocks - 1;
+    Block_manager.release t.mgr t.blocks.(t.nblocks)
+  done
+
+let release_all t = truncate t ~len:0

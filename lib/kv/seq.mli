@@ -1,0 +1,54 @@
+(** Per-request block table over a {!Block_manager} arena. The table
+    carries no committed-row count — the owning cache's length is the
+    single source of truth and every operation takes explicit row
+    indices, so rewind-and-retry lines up exactly. *)
+
+(** Arena exhausted (or [kv.page.acquire]/[kv.cow.copy] fired [`Deny])
+    while extending a table mid-flight; the caller's retry/fail path
+    owns recovery. *)
+exception Out_of_blocks
+
+type t
+
+val create : Block_manager.t -> t
+val manager : t -> Block_manager.t
+val block_count : t -> int
+
+(** Allocated rows ([block_count * block_size]). *)
+val capacity : t -> int
+
+(** Snapshot of the physical block ids, table order. *)
+val blocks : t -> int array
+
+(** Seed an empty table with shared blocks (a prefix-trie hit); each
+    block gains a reference. *)
+val attach : t -> blocks:int array -> unit
+
+(** [ensure t ~len ~extra] makes rows [len, len+extra) writable: performs
+    the copy-on-write when row [len] lands mid-block in a shared block,
+    then extends the table from the free list.
+    @raise Out_of_blocks on exhaustion or a fired [`Deny]. *)
+val ensure : t -> len:int -> extra:int -> unit
+
+(** Write [rows] K/V rows of one layer at token positions [at, at+rows);
+    capacity must have been [ensure]d. *)
+val append :
+  t ->
+  layer:int ->
+  at:int ->
+  rows:int ->
+  k_src:Tensor.t ->
+  v_src:Tensor.t ->
+  unit
+
+(** Gather token rows [0, rows) of one layer into contiguous scratch
+    ([rows x hidden] prefixes of [k_dst]/[v_dst]) — the bridge that lets
+    the dense attention kernels run unchanged over a block table. *)
+val gather : t -> layer:int -> rows:int -> k_dst:Tensor.t -> v_dst:Tensor.t -> unit
+
+(** Release every block past the one holding row [len-1] — frees exactly
+    the tail blocks. *)
+val truncate : t -> len:int -> unit
+
+(** Release every block (the table becomes empty and reusable). *)
+val release_all : t -> unit

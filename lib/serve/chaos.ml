@@ -28,6 +28,9 @@ type config = {
   requests : int;
   prompt_len : Load_gen.dist;
   new_tokens : Load_gen.dist;
+  shared_prefix : int;
+      (* tokens of a common prefix prepended to every prompt (0 = none):
+         exercises the prefix trie + COW paths under fault injection *)
   arrival_gap_s : float;  (* virtual seconds between arrivals *)
   deadline_s : float;  (* virtual-clock SLO per request *)
   dt_s : float;  (* virtual seconds per drive step *)
@@ -42,6 +45,7 @@ let default =
     requests = 24;
     prompt_len = Load_gen.Uniform (2, 6);
     new_tokens = Load_gen.Uniform (1, 5);
+    shared_prefix = 0;
     arrival_gap_s = 0.01;
     deadline_s = Float.infinity;
     dt_s = 0.002;
@@ -71,6 +75,13 @@ let default_plan seed =
       [ { rsite = "serve.prefill"; rkind = Fault.Exn; rtrigger = nth 2 9 };
         { rsite = "serve.decode"; rkind = Fault.Exn; rtrigger = nth 3 11 };
         { rsite = "serve.kv.acquire"; rkind = Fault.Deny; rtrigger = nth 2 7 };
+        (* paged-KV sites: fire only when the pool policy is Paged (a
+           contiguous run never invokes them, so the rules are inert).
+           Block acquires run once per block per ensure, so the periods
+           sit above one attempt's worth of acquires — a retried step
+           sees a clean window. *)
+        { rsite = "kv.page.acquire"; rkind = Fault.Deny; rtrigger = nth 5 13 };
+        { rsite = "kv.cow.copy"; rkind = Fault.Exn; rtrigger = nth 2 5 };
         { rsite = "parlooper.jit.compile"; rkind = Fault.Exn;
           rtrigger = nth 101 1013 };
         { rsite = "tpp.brgemm.store"; rkind = Fault.Nan;
@@ -98,16 +109,26 @@ type report = {
   quarantined : int;
   denied : int;
   numeric_errors : int;
+  pages_allocated : int;  (* paged KV: arena blocks handed out *)
+  pages_freed : int;
+  cow_copies : int;
+  prefix_hits : int;
   violations : string list;
 }
 
-(* deterministic trace: fixed arrival cadence, lengths/ids from the seed *)
+(* deterministic trace: fixed arrival cadence, lengths/ids from the seed;
+   [shared_prefix] tokens are drawn once and prepended to every prompt *)
 let make_trace cfg ~vocab =
   let rng = Prng.create cfg.seed in
+  let shared =
+    Array.init (max 0 cfg.shared_prefix) (fun _ -> Prng.int rng vocab)
+  in
   List.init cfg.requests (fun id ->
       let plen = max 1 (Load_gen.sample rng cfg.prompt_len) in
       let glen = max 1 (Load_gen.sample rng cfg.new_tokens) in
-      let prompt = Array.init plen (fun _ -> Prng.int rng vocab) in
+      let prompt =
+        Array.append shared (Array.init plen (fun _ -> Prng.int rng vocab))
+      in
       let gen = Array.init glen (fun _ -> Prng.int rng vocab) in
       ( cfg.arrival_gap_s *. float_of_int id,
         Request.make ~id ~prompt ~gen ~deadline_s:cfg.deadline_s () ))
@@ -145,7 +166,11 @@ let counter_names =
     Telemetry.Registry.watchdog_trips_name;
     Telemetry.Registry.pool_quarantined_name;
     Telemetry.Registry.numeric_errors_name;
-    Metrics.kv_denied_name ]
+    Metrics.kv_denied_name;
+    Kv.Block_manager.pages_allocated_name;
+    Kv.Block_manager.pages_freed_name;
+    Kv.Block_manager.cow_copies_name;
+    Kv.Block_manager.prefix_hits_name ]
 
 let snapshot () = List.map Telemetry.Counter.value counter_names
 
@@ -181,9 +206,11 @@ let run ?(config = default) () =
       Fault.clear ();
       Tpp_check.set_mode prev_mode;
       let delta = List.map2 (fun a b -> b - a) before (snapshot ()) in
-      let injected, retries, shed, trips, quarantined, numeric_errors, denied =
+      let ( injected, retries, shed, trips, quarantined, numeric_errors,
+            denied, pages_allocated, pages_freed, cow_copies, prefix_hits ) =
         match delta with
-        | [ a; b; c; d; e; f; g ] -> (a, b, c, d, e, f, g)
+        | [ a; b; c; d; e; f; g; h; i; j; k ] ->
+          (a, b, c, d, e, f, g, h, i, j, k)
         | _ -> assert false
       in
       let reqs = Scheduler.requests sched in
@@ -232,6 +259,24 @@ let run ?(config = default) () =
       check
         (Kv_pool.in_use (Scheduler.pool sched) = 0)
         "KV caches leaked (pool in_use <> 0 after drain)";
+      (* paged-arena conservation: after the drain the only live blocks
+         are the prefix trie's pins — free list + trie pins must account
+         for the whole arena, or a rewind path leaked a block *)
+      (match Kv_pool.manager (Scheduler.pool sched) with
+      | None -> ()
+      | Some m ->
+        let pinned =
+          match Kv_pool.prefix_cache (Scheduler.pool sched) with
+          | Some p -> Kv.Prefix.pinned p
+          | None -> 0
+        in
+        check
+          (Kv.Block_manager.free_blocks m + pinned
+          = Kv.Block_manager.num_blocks m)
+          "paged KV blocks leaked (free + trie pins <> arena size)";
+        check
+          (Kv.Block_manager.live_blocks m = pinned)
+          "paged KV blocks live beyond trie pins after drain");
       check (!mismatched = 0)
         "recovered outputs not bit-identical to fault-free run";
       (* an invariant violation is exactly the situation the flight
@@ -242,6 +287,7 @@ let run ?(config = default) () =
       { steps; terminated; submitted; finished; rejected; cancelled; failed;
         compared = !compared; mismatched = !mismatched; injected; retries;
         shed; trips; quarantined; denied; numeric_errors;
+        pages_allocated; pages_freed; cow_copies; prefix_hits;
         violations = List.rev !violations })
 
 let report_to_string r =
@@ -259,6 +305,10 @@ let report_to_string r =
     r.injected r.retries r.shed r.denied r.numeric_errors;
   pr "team:     %d watchdog trips, %d workers quarantined\n" r.trips
     r.quarantined;
+  if r.pages_allocated > 0 then
+    pr "paged kv: %d blocks allocated, %d freed, %d COW copies, %d prefix \
+        hits\n"
+      r.pages_allocated r.pages_freed r.cow_copies r.prefix_hits;
   (match r.violations with
   | [] -> pr "invariants: all passed\n"
   | vs ->

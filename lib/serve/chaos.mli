@@ -9,7 +9,10 @@
     - liveness: both runs terminate within the step budget;
     - ledger conservation: every submitted request ends terminal, and
       finished + rejected + cancelled + failed = submitted;
-    - no KV leak: the pool has zero caches in use after the drain;
+    - no KV leak: the pool has zero caches in use after the drain; with
+      a paged pool, additionally arena conservation — free blocks plus
+      prefix-trie pins must equal the arena size (no block leaked by any
+      rewind path);
     - bit-identical recovery: requests finished by both runs have
       exactly equal outputs (tolerance 0.0) — retries, rewinds, steals
       and quarantines must be semantically invisible.
@@ -23,6 +26,9 @@ type config = {
   requests : int;
   prompt_len : Load_gen.dist;
   new_tokens : Load_gen.dist;
+  shared_prefix : int;
+      (** tokens of a common prefix prepended to every prompt (0 = none):
+          exercises the prefix trie + COW paths under fault injection *)
   arrival_gap_s : float;  (** virtual seconds between arrivals *)
   deadline_s : float;  (** virtual-clock SLO per request *)
   dt_s : float;  (** virtual seconds per drive step *)
@@ -58,6 +64,10 @@ type report = {
   quarantined : int;
   denied : int;
   numeric_errors : int;
+  pages_allocated : int;  (** paged KV: arena blocks handed out *)
+  pages_freed : int;
+  cow_copies : int;
+  prefix_hits : int;
   violations : string list;  (** empty iff every invariant held *)
 }
 

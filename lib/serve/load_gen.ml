@@ -26,12 +26,17 @@ type config = {
   deadline_s : float;  (* per-request SLO; infinity disables *)
   id_base : int;  (* first request id *)
   id_stride : int;  (* id increment between requests *)
+  sys_prompt_len : int;
+      (* tokens of a shared "system prompt" prepended to every request's
+         prompt (drawn once from the seed) — the realistic workload shape
+         prefix sharing exploits; 0 disables *)
 }
 
 let default =
   { seed = 42; rate_hz = 20.0; duration_s = 5.0;
     prompt_len = Uniform (4, 12); new_tokens = Uniform (2, 8);
-    deadline_s = Float.infinity; id_base = 0; id_stride = 1 }
+    deadline_s = Float.infinity; id_base = 0; id_stride = 1;
+    sys_prompt_len = 0 }
 
 (* exponential inter-arrival gap; 1 - U in (0, 1] keeps log finite *)
 let exp_gap rng ~rate = -.Float.log (1.0 -. Prng.float rng) /. rate
@@ -41,11 +46,22 @@ let generate cfg ~vocab =
   let stride = max 1 cfg.id_stride in
   let rng = Prng.create cfg.seed in
   let draw_ids n = Array.init n (fun _ -> Prng.int rng vocab) in
+  (* shared system prompt: drawn from a fixed-seed stream, NOT the
+     per-config stream, so every replica substream (split) prepends the
+     same prefix — the cross-request sharing the prefix trie dedupes *)
+  let sys_prompt =
+    if cfg.sys_prompt_len <= 0 then [||]
+    else
+      let srng = Prng.create 0x5157 in
+      Array.init cfg.sys_prompt_len (fun _ -> Prng.int srng vocab)
+  in
   let rec go acc id at =
     let at = at +. exp_gap rng ~rate:cfg.rate_hz in
     if at >= cfg.duration_s then List.rev acc
     else
-      let prompt = draw_ids (max 1 (sample rng cfg.prompt_len)) in
+      let prompt =
+        Array.append sys_prompt (draw_ids (max 1 (sample rng cfg.prompt_len)))
+      in
       let gen = draw_ids (max 1 (sample rng cfg.new_tokens)) in
       let req =
         Request.make ~id ~prompt ~gen ~deadline_s:cfg.deadline_s ()

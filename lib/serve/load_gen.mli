@@ -17,6 +17,10 @@ type config = {
   deadline_s : float;  (** per-request SLO; [infinity] disables *)
   id_base : int;  (** first request id (default 0) *)
   id_stride : int;  (** id increment between requests (default 1) *)
+  sys_prompt_len : int;
+      (** tokens of a shared "system prompt" prepended to every prompt —
+          drawn from a fixed seed so every {!split} substream shares it
+          (the workload shape prefix sharing exploits); 0 disables *)
 }
 
 (** 20 req/s for 5 s, prompts of 4–12 tokens, 2–8 output tokens, no

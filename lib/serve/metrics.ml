@@ -25,6 +25,12 @@ let failed_name = "serve.failed"
 let slo_ttft_breaches_name = "serve.slo.ttft_breaches"
 let slo_deadline_breaches_name = "serve.slo.deadline_breaches"
 
+(* speculative decoding: draft proposals issued, accepted by the target's
+   batched verification pass, and rolled back (blocks freed) *)
+let spec_proposed_name = "serve.spec.proposed"
+let spec_accepted_name = "serve.spec.accepted"
+let spec_rejected_name = "serve.spec.rejected"
+
 (* gauges (levels, Telemetry.Gauge) *)
 let queue_depth_name = "serve.queue_depth"
 let kv_in_use_name = "serve.kv_pool.in_use"
@@ -67,6 +73,9 @@ type summary = {
   tokens_per_s : float;
   ttft_ms : percentiles;
   tpot_ms : percentiles;
+  spec_proposed : int;  (** draft tokens offered for verification *)
+  spec_accepted : int;  (** draft tokens the target confirmed *)
+  spec_rejected : int;  (** draft tokens rolled back (blocks freed) *)
 }
 
 let percentiles_of h =
@@ -89,7 +98,10 @@ let collect ~(requests : Request.t list) ~tokens ~elapsed_s =
     tokens_per_s = (if elapsed_s > 0.0 then float_of_int tokens /. elapsed_s
                     else 0.0);
     ttft_ms = percentiles_of (Telemetry.Histogram.find_or_create ttft_ms_name);
-    tpot_ms = percentiles_of (Telemetry.Histogram.find_or_create tpot_ms_name)
+    tpot_ms = percentiles_of (Telemetry.Histogram.find_or_create tpot_ms_name);
+    spec_proposed = Telemetry.Counter.value spec_proposed_name;
+    spec_accepted = Telemetry.Counter.value spec_accepted_name;
+    spec_rejected = Telemetry.Counter.value spec_rejected_name
   }
 
 (* Fleet final report: merge every replica's latency histograms into the
@@ -127,6 +139,10 @@ let summary_to_string s =
     s.ttft_ms.p99;
   pr "TPOT ms:  p50 %.2f  p95 %.2f  p99 %.2f\n" s.tpot_ms.p50 s.tpot_ms.p95
     s.tpot_ms.p99;
+  if s.spec_proposed > 0 then
+    pr "spec:     %d proposed, %d accepted, %d rejected (%.0f%% accept)\n"
+      s.spec_proposed s.spec_accepted s.spec_rejected
+      (100.0 *. float_of_int s.spec_accepted /. float_of_int s.spec_proposed);
   Buffer.contents b
 
 let print s =

@@ -25,6 +25,13 @@ val slo_ttft_breaches_name : string
 
 val slo_deadline_breaches_name : string
 
+(** Speculative decoding counters: draft tokens offered for verification,
+    confirmed by the target's batched pass, and rolled back. *)
+val spec_proposed_name : string
+
+val spec_accepted_name : string
+val spec_rejected_name : string
+
 (** {!Telemetry.Gauge} names (levels, not counts): instantaneous queue
     depth, KV-pool occupancy/free, KV high-water mark in rows, and the
     scheduler's current load-shedding batch limit. *)
@@ -74,6 +81,9 @@ type summary = {
   tokens_per_s : float;
   ttft_ms : percentiles;
   tpot_ms : percentiles;
+  spec_proposed : int;  (** draft tokens offered for verification *)
+  spec_accepted : int;  (** draft tokens the target confirmed *)
+  spec_rejected : int;  (** draft tokens rolled back (blocks freed) *)
 }
 
 (** [collect ~requests ~tokens ~elapsed_s] — [requests] is the full

@@ -59,20 +59,32 @@ type config = {
   replica : int option;
       (* cluster replica index: observe into serve.r<i>.* telemetry
          alongside the global serve.* names *)
+  paged : bool;  (* paged KV storage over a shared block arena *)
+  block_size : int;  (* tokens per KV block (paged only) *)
+  num_blocks : int;  (* arena size in blocks (paged only) *)
+  prefix_share : bool;  (* dedupe shared prompt prefixes (paged only) *)
+  spec_k : int;  (* speculative decoding: draft tokens per round; 0 = off *)
+  draft_layers : int;  (* decoder layers of the draft model *)
+  spec_accuracy : float;
+      (* deterministic draft-acceptance model: the probability a proposed
+         token matches the truth (there is no LM head — acceptance is
+         drawn from a hash of (request id, position), so runs replay) *)
 }
 
 let default_config =
   { max_queue = 64; max_batch = 8; policy = Fcfs; nthreads = None;
     kv_cap = 16; max_retries = 2; retry_backoff_s = 0.0;
-    check_numerics = false; replica = None }
+    check_numerics = false; replica = None;
+    paged = false; block_size = 16; num_blocks = 64; prefix_share = true;
+    spec_k = 0; draft_layers = 1; spec_accuracy = 0.75 }
 
-(* pluggable model entry points, so a cluster replica can substitute the
+(* pluggable model entry point, so a cluster replica can substitute the
    tensor-parallel (sharded) kernels for the default single-team path
-   without the scheduler knowing the difference *)
-type engine = {
-  prefill : Llm.kv_cache -> Tensor.t -> Tensor.t;
-  decode : Llm.kv_cache -> Tensor.t -> Tensor.t;
-}
+   without the scheduler knowing the difference. One batched [extend]
+   covers every phase: prefill (empty cache, last row = first token),
+   single-token decode (one row) and speculative verification (k+1
+   rows) — per-row outputs are bit-identical across all three. *)
+type engine = { extend : Llm.kv_cache -> Tensor.t -> Tensor.t }
 
 (* denial-free steps before the shed batch limit is raised by one *)
 let recovery_steps = 8
@@ -86,6 +98,9 @@ type session = {
          sessions adopted through a KV handoff *)
   mutable emitted : int;  (* output tokens produced so far *)
   mutable last_token_s : float;  (* inter-token latency anchor *)
+  draft : Llm.kv_cache option;
+      (* speculative decoding draft-model cache (contiguous, private,
+         dropped to the GC on retirement); None = greedy decode *)
 }
 
 (* per-replica telemetry shadow: bumped alongside the global handles *)
@@ -105,6 +120,7 @@ type t = {
   llm : Llm.t;
   cfg : config;
   engine : engine;
+  draft_llm : Llm.t option;  (* Some iff spec_k > 0 *)
   rtel : replica_tel option;
   pool : Kv_pool.t;
   mutable queue : Request.t list;  (* oldest first *)
@@ -129,6 +145,9 @@ type t = {
   shed_c : Telemetry.Counter.t;
   ttft_breach_c : Telemetry.Counter.t;
   deadline_breach_c : Telemetry.Counter.t;
+  spec_proposed_c : Telemetry.Counter.t;
+  spec_accepted_c : Telemetry.Counter.t;
+  spec_rejected_c : Telemetry.Counter.t;
 }
 
 (* fault sites: fire ahead of the real model call, inside the retry
@@ -148,15 +167,18 @@ let storm_threshold = 4
 let create ?(config = default_config) ?engine llm =
   assert (config.max_queue > 0 && config.max_batch > 0);
   assert (config.max_retries >= 0 && config.retry_backoff_s >= 0.0);
+  assert (config.spec_k >= 0 && config.block_size > 0 && config.num_blocks > 0);
   let engine =
     match engine with
     | Some e -> e
     | None ->
-      { prefill =
-          (fun cache emb -> Llm.prefill ?nthreads:config.nthreads llm cache emb);
-        decode =
-          (fun cache emb ->
-            Llm.decode_step ?nthreads:config.nthreads llm cache emb) }
+      { extend =
+          (fun cache emb -> Llm.extend ?nthreads:config.nthreads llm cache emb)
+      }
+  in
+  let draft_llm =
+    if config.spec_k > 0 then Some (Llm.draft llm ~layers:config.draft_layers)
+    else None
   in
   let rtel =
     Option.map
@@ -183,10 +205,18 @@ let create ?(config = default_config) ?engine llm =
               (Metrics.replica_slo_deadline_breaches_name i) })
       config.replica
   in
+  let pool_policy =
+    if config.paged then
+      Kv_pool.Paged
+        { block_size = config.block_size; num_blocks = config.num_blocks;
+          prefix = config.prefix_share }
+    else Kv_pool.Contiguous
+  in
   let t =
-    { llm; cfg = config; engine; rtel;
+    { llm; cfg = config; engine; draft_llm; rtel;
       pool =
-        Kv_pool.create ~init_cap:config.kv_cap ~max_live:config.max_batch llm;
+        Kv_pool.create ~init_cap:config.kv_cap ~max_live:config.max_batch
+          ~policy:pool_policy llm;
       queue = []; active = []; ledger = []; finished = []; tokens = 0;
       eff_batch = config.max_batch; clean = 0; denied_step = false;
       idle_denials = 0;
@@ -206,7 +236,13 @@ let create ?(config = default_config) ?engine llm =
       ttft_breach_c =
         Telemetry.Counter.find_or_create Metrics.slo_ttft_breaches_name;
       deadline_breach_c =
-        Telemetry.Counter.find_or_create Metrics.slo_deadline_breaches_name }
+        Telemetry.Counter.find_or_create Metrics.slo_deadline_breaches_name;
+      spec_proposed_c =
+        Telemetry.Counter.find_or_create Metrics.spec_proposed_name;
+      spec_accepted_c =
+        Telemetry.Counter.find_or_create Metrics.spec_accepted_name;
+      spec_rejected_c =
+        Telemetry.Counter.find_or_create Metrics.spec_rejected_name }
   in
   Telemetry.Gauge.set t.eff_batch_g t.eff_batch;
   t
@@ -285,6 +321,32 @@ let pop_next t =
     best
 
 let embed t ids = Llm.embed t.llm ids
+
+(* copy of row [r] of an [n x hidden] output — per-token outputs must not
+   alias the (recycled) batched output tensor *)
+let row_copy x r =
+  let d = Tensor.dims x in
+  Tensor.init Datatype.F32 [| 1; d.(1) |] (fun i -> Tensor.get x [| r; i.(1) |])
+
+(* deterministic draft-acceptance draw: splitmix64 over (request id,
+   token position) mapped to [0,1). No mutable RNG state — replays and
+   the chaos reference run see identical accept/reject sequences. *)
+let splitmix64 z =
+  let open Int64 in
+  let z = add z 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let accept_draw ~id ~pos =
+  let h = splitmix64 (Int64.of_int (((id * 0x9E3779B1) lxor pos) + pos)) in
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+
+(* true token id at cache position [i] of a request: prompt, then the
+   pre-drawn generator ids *)
+let token_at (req : Request.t) i =
+  let plen = Array.length req.Request.prompt in
+  if i < plen then req.Request.prompt.(i) else req.Request.gen.(i - plen)
 
 let retire t (s : session) ~now_s ~(state : Request.state) =
   s.req.Request.state <- state;
@@ -392,37 +454,60 @@ let shed t (req : Request.t) ~now_s =
     Telemetry.Gauge.set t.eff_batch_g t.eff_batch
   end
 
-(* admit one queued request: acquire KV, run the prefill phase (with
-   retries), record TTFT; the prefill output is the request's first
-   token *)
+(* Speculative-decoding draft setup for a freshly admitted session: a
+   private contiguous cache for the draft model, prefilled over the full
+   prompt. Failure is non-fatal — the session falls back to greedy
+   decoding with [draft = None]. *)
+let make_draft t (req : Request.t) =
+  match t.draft_llm with
+  | None -> None
+  | Some d -> (
+    let dc = Llm.new_cache ~cap:t.cfg.kv_cap d in
+    match
+      with_retries t
+        ~rewind:(fun () -> Llm.reset_cache dc)
+        (fun () ->
+          ignore
+            (Llm.prefill ?nthreads:t.cfg.nthreads d dc
+               (embed t req.Request.prompt)))
+    with
+    | () -> Some dc
+    | exception _ -> None)
+
+(* admit one queued request: acquire KV (prefix-aware and, for a paged
+   pool, admission-gated on arena capacity), run the prefill phase over
+   the un-shared prompt suffix (with retries), record TTFT; the last
+   output row is the request's first token *)
 let admit_one t ~now =
   match pop_next t with
   | None -> `Empty
   | Some req -> (
-    match Kv_pool.acquire t.pool with
+    let plen = Array.length req.Request.prompt in
+    let total_rows = plen + req.Request.new_tokens - 1 in
+    match Kv_pool.acquire_for t.pool ~prompt:req.Request.prompt ~total_rows with
     | `Denied ->
       shed t req ~now_s:(now ());
       `Denied
-    | `Cache cache -> (
+    | `Cache (cache, matched) -> (
       t.idle_denials <- 0;
       req.Request.state <- Request.Prefilling;
-      let emb = embed t req.Request.prompt in
+      let suffix = Array.sub req.Request.prompt matched (plen - matched) in
+      let emb = embed t suffix in
       match
         with_retries t
-          ~rewind:(fun () -> Llm.reset_cache cache)
+          ~rewind:(fun () -> Llm.truncate_cache cache matched)
           (fun () ->
             (match Fault.fire prefill_site with _ -> ());
             let out =
               Telemetry.Span.with_span ~cat:"serve"
                 ~args:[ ("request", float_of_int req.Request.id) ]
                 "prefill"
-                (fun () -> t.engine.prefill cache emb)
+                (fun () -> t.engine.extend cache emb)
             in
-            guard t ~kernel:"serve.prefill" out)
+            Llm.last_row (guard t ~kernel:"serve.prefill" out))
       with
       | exception _ ->
         (* permanent: retries exhausted *)
-        Llm.reset_cache cache;
         Kv_pool.release t.pool cache;
         let now_s = now () in
         req.Request.state <- Request.Failed;
@@ -430,6 +515,8 @@ let admit_one t ~now =
         incr2 t t.failed_c (fun r -> r.r_failed);
         `Progress
       | first ->
+        (* pin the prompt's full blocks for later prefix hits *)
+        Kv_pool.register t.pool ~prompt:req.Request.prompt cache;
         let now_s = now () in
         req.Request.ttft_s <- now_s -. req.Request.arrival_s;
         observe2 t t.ttft_h (fun r -> r.r_ttft) (1000.0 *. req.Request.ttft_s);
@@ -442,13 +529,141 @@ let admit_one t ~now =
         t.tokens <- t.tokens + 1;
         let s =
           { req; cache; release = Kv_pool.release t.pool; emitted = 1;
-            last_token_s = now_s }
+            last_token_s = now_s; draft = make_draft t req }
         in
         t.active <- t.active @ [ s ];
         if s.emitted >= req.Request.new_tokens then finish t s ~now_s;
         `Progress))
 
-(* one decode step for every active session (continuous batching) *)
+(* plain greedy decode: one token for session [s] *)
+let decode_greedy t (s : session) ~now =
+  let pre_len = Llm.cache_len s.cache in
+  let id = s.req.Request.gen.(s.emitted - 1) in
+  let e = embed t [| id |] in
+  match
+    with_retries t
+      ~rewind:(fun () -> Llm.truncate_cache s.cache pre_len)
+      (fun () ->
+        (match Fault.fire decode_site with _ -> ());
+        let out =
+          Telemetry.Span.with_span ~cat:"serve"
+            ~args:[ ("request", float_of_int s.req.Request.id) ]
+            "decode"
+            (fun () -> t.engine.extend s.cache e)
+        in
+        guard t ~kernel:"serve.decode" out)
+  with
+  | exception _ ->
+    Llm.truncate_cache s.cache pre_len;
+    fail_session t s ~now_s:(now ())
+  | out ->
+    let now_s = now () in
+    observe2 t t.tpot_h
+      (fun r -> r.r_tpot)
+      (1000.0 *. (now_s -. s.last_token_s));
+    s.last_token_s <- now_s;
+    s.req.Request.outputs <- out :: s.req.Request.outputs;
+    s.emitted <- s.emitted + 1;
+    t.tokens <- t.tokens + 1;
+    if s.emitted >= s.req.Request.new_tokens then finish t s ~now_s
+
+(* Speculative round for session [s] against draft cache [dc]:
+
+     1. catch up the draft (it lags the target by the tokens the last
+        round accepted beyond its own proposals);
+     2. run [rows-1] draft decode steps; each proposes the next input —
+        the true generator id when the acceptance draw passes, a
+        deliberately wrong id otherwise (there is no LM head: proposal
+        quality is modelled, the compute is real);
+     3. verify all [rows] inputs in ONE batched target [extend] — row j
+        of the output is bit-identical to the j'th greedy decode step
+        provided inputs 0..j are true (causal attention: later wrong
+        inputs cannot pollute earlier rows);
+     4. accept the longest true prefix (row 0's input is the known last
+        token, so every round emits at least one token) and roll both
+        caches back over the rejected tail — paged storage frees the
+        tail blocks.
+
+   The whole round sits in one retry scope whose rewind restores both
+   cache lengths, so a mid-round fault recovers bit-identically. *)
+let decode_spec t (s : session) dc ~now =
+  let req = s.req in
+  let pre = Llm.cache_len s.cache in
+  let d_start = Llm.cache_len dc in
+  let e0 = s.emitted in
+  let remaining = req.Request.new_tokens - e0 in
+  let rows = 1 + min t.cfg.spec_k (remaining - 1) in
+  let inputs = Array.make rows 0 in
+  inputs.(0) <- req.Request.gen.(e0 - 1);
+  let d = Option.get t.draft_llm in
+  match
+    with_retries t
+      ~rewind:(fun () ->
+        Llm.truncate_cache s.cache pre;
+        Llm.truncate_cache dc d_start)
+      (fun () ->
+        (match Fault.fire decode_site with _ -> ());
+        (* draft catch-up: append the true tokens the draft missed *)
+        if d_start < pre then begin
+          let ids =
+            Array.init (pre - d_start) (fun k -> token_at req (d_start + k))
+          in
+          ignore (Llm.extend ?nthreads:t.cfg.nthreads d dc (embed t ids))
+        end;
+        (* propose: draft decode steps (output discarded — acceptance is
+           drawn deterministically, the compute models the draft cost) *)
+        for j = 0 to rows - 2 do
+          ignore
+            (Llm.decode_step ?nthreads:t.cfg.nthreads d dc
+               (embed t [| inputs.(j) |]));
+          let truth = req.Request.gen.(e0 + j) in
+          inputs.(j + 1) <-
+            (if accept_draw ~id:req.Request.id ~pos:(e0 + j)
+               < t.cfg.spec_accuracy
+             then truth
+             else truth + 1)
+        done;
+        (* verify: one batched prefill-style pass over all proposals *)
+        let out =
+          Telemetry.Span.with_span ~cat:"serve"
+            ~args:[ ("request", float_of_int req.Request.id) ]
+            "spec_verify"
+            (fun () -> t.engine.extend s.cache (embed t inputs))
+        in
+        guard t ~kernel:"serve.spec_verify" out)
+  with
+  | exception _ ->
+    Llm.truncate_cache s.cache pre;
+    Llm.truncate_cache dc d_start;
+    fail_session t s ~now_s:(now ())
+  | out ->
+    (* longest prefix of true inputs; row 0 is always true *)
+    let a = ref 1 in
+    while !a < rows && inputs.(!a) = req.Request.gen.(e0 - 1 + !a) do
+      incr a
+    done;
+    let a = !a in
+    (* roll back the rejected tail on both caches (frees tail blocks);
+       the draft keeps only proposals the target confirmed *)
+    Llm.truncate_cache s.cache (pre + a);
+    Llm.truncate_cache dc (pre + min a (rows - 1));
+    Telemetry.Counter.add t.spec_proposed_c (rows - 1);
+    Telemetry.Counter.add t.spec_accepted_c (a - 1);
+    Telemetry.Counter.add t.spec_rejected_c (rows - a);
+    let now_s = now () in
+    let dt_ms = 1000.0 *. (now_s -. s.last_token_s) /. float_of_int a in
+    for j = 0 to a - 1 do
+      observe2 t t.tpot_h (fun r -> r.r_tpot) dt_ms;
+      s.req.Request.outputs <- row_copy out j :: s.req.Request.outputs
+    done;
+    s.last_token_s <- now_s;
+    s.emitted <- s.emitted + a;
+    t.tokens <- t.tokens + a;
+    if s.emitted >= req.Request.new_tokens then finish t s ~now_s
+
+(* one decode round for every active session (continuous batching):
+   greedy sessions advance one token, speculative sessions advance by
+   their accepted prefix (at least one) *)
 let decode_round t ~now =
   match t.active with
   | [] -> false
@@ -458,37 +673,10 @@ let decode_round t ~now =
     List.iter
       (fun s ->
         (* the snapshot may contain sessions retired earlier this round *)
-        if s.req.Request.state = Request.Decoding then begin
-          let pre_len = Llm.cache_len s.cache in
-          let id = s.req.Request.gen.(s.emitted - 1) in
-          let e = embed t [| id |] in
-          match
-            with_retries t
-              ~rewind:(fun () -> Llm.truncate_cache s.cache pre_len)
-              (fun () ->
-                (match Fault.fire decode_site with _ -> ());
-                let out =
-                  Telemetry.Span.with_span ~cat:"serve"
-                    ~args:[ ("request", float_of_int s.req.Request.id) ]
-                    "decode"
-                    (fun () -> t.engine.decode s.cache e)
-                in
-                guard t ~kernel:"serve.decode" out)
-          with
-          | exception _ ->
-            Llm.truncate_cache s.cache pre_len;
-            fail_session t s ~now_s:(now ())
-          | out ->
-            let now_s = now () in
-            observe2 t t.tpot_h
-              (fun r -> r.r_tpot)
-              (1000.0 *. (now_s -. s.last_token_s));
-            s.last_token_s <- now_s;
-            s.req.Request.outputs <- out :: s.req.Request.outputs;
-            s.emitted <- s.emitted + 1;
-            t.tokens <- t.tokens + 1;
-            if s.emitted >= s.req.Request.new_tokens then finish t s ~now_s
-        end)
+        if s.req.Request.state = Request.Decoding then
+          match s.draft with
+          | Some dc -> decode_spec t s dc ~now
+          | None -> decode_greedy t s ~now)
       sessions;
     true
 
@@ -535,7 +723,11 @@ let adopt t ~now ~release (req : Request.t) cache =
   else begin
     assert (req.Request.state = Request.Decoding);
     t.ledger <- req :: t.ledger;
-    let s = { req; cache; release; emitted = 1; last_token_s = now } in
+    (* adopted sessions decode greedily: the draft model would have to
+       re-prefill the whole prompt this replica never saw *)
+    let s =
+      { req; cache; release; emitted = 1; last_token_s = now; draft = None }
+    in
     t.active <- t.active @ [ s ];
     if s.emitted >= req.Request.new_tokens then finish t s ~now_s:now;
     `Adopted

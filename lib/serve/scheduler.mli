@@ -43,22 +43,33 @@ type config = {
   replica : int option;
       (** cluster replica index: observe into the [serve.r<i>.*] telemetry
           names alongside the global [serve.*] names *)
+  paged : bool;  (** paged KV storage over a shared block arena *)
+  block_size : int;  (** tokens per KV block (paged only) *)
+  num_blocks : int;  (** arena size in blocks (paged only) *)
+  prefix_share : bool;  (** dedupe shared prompt prefixes (paged only) *)
+  spec_k : int;
+      (** speculative decoding: draft tokens proposed per round; 0 = off *)
+  draft_layers : int;  (** decoder layers of the draft model *)
+  spec_accuracy : float;
+      (** deterministic draft-acceptance model: probability a proposal
+          matches the truth, drawn from a hash of (request id, position)
+          so runs replay exactly *)
 }
 
 (** queue 64, batch 8, FCFS, default threads, 16 KV rows, 2 retries, no
-    backoff, numeric checks off, no replica index. *)
+    backoff, numeric checks off, no replica index; contiguous KV
+    (16-token blocks, 64-block arena, prefix sharing when paged);
+    speculation off (k=0, 1 draft layer, 75% modelled accuracy). *)
 val default_config : config
 
-(** Pluggable model entry points — what the scheduler calls for the
-    prefill and decode phases. The default engine wraps
-    [Llm.prefill]/[Llm.decode_step] with the config's [nthreads]; a
-    cluster replica substitutes the tensor-parallel
-    [Llm.prefill_tp]/[Llm.decode_step_tp] path, which is bit-identical,
-    so nothing downstream can tell the difference. *)
-type engine = {
-  prefill : Llm.kv_cache -> Tensor.t -> Tensor.t;
-  decode : Llm.kv_cache -> Tensor.t -> Tensor.t;
-}
+(** Pluggable model entry point. One batched [extend] covers every
+    phase — prefill (empty cache, last row = first token), single-token
+    decode (one row), speculative verification ([k+1] rows) — because
+    per-row outputs are bit-identical across batch shapes. The default
+    engine wraps [Llm.extend] with the config's [nthreads]; a cluster
+    replica substitutes the tensor-parallel [Llm.extend_tp], which is
+    bit-identical, so nothing downstream can tell the difference. *)
+type engine = { extend : Llm.kv_cache -> Tensor.t -> Tensor.t }
 
 type t
 
