@@ -1,4 +1,4 @@
-.PHONY: all build test fmt smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight smoke-paged ci clean
+.PHONY: all build test fmt smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight smoke-paged smoke-tune ci clean
 
 all: build
 
@@ -78,6 +78,25 @@ smoke-paged: build
 	dune exec bench/main.exe -- --chaos --paged --spec-decode 4 --sys-prompt 32
 	@echo "smoke-paged: /tmp/bench-paged.json ok"
 
+# Tuner smoke (~5 s): first the "tune" experiment — exhaustive vs
+# model-guided search on two GEMM shapes; the bench binary exits
+# non-zero unless beam search matches the exhaustive top-1 within 2%
+# while scoring under 10% of the spec space. Then a short serve run
+# with the online per-shape spec cache on; the greps insist the
+# tuner.cache counters made it into the bench JSON and that the cache
+# actually served hits, tuned in the background, and hot-swapped at
+# least one spec (all zero would mean the resolver hook never fired).
+smoke-tune: build
+	dune exec bench/main.exe -- tune --json /tmp/bench-tune.json
+	dune exec bench/main.exe -- --serve --serve-duration 2 --online-tune --json /tmp/bench-tune-serve.json
+	@for c in hits misses swaps tunes; do \
+	  grep -q "\"tuner_cache_$$c\"" /tmp/bench-tune-serve.json \
+	    || { echo "smoke-tune: tuner_cache_$$c missing from JSON"; exit 1; }; \
+	  grep -q "\"tuner_cache_$$c\":0[,}]" /tmp/bench-tune-serve.json \
+	    && { echo "smoke-tune: tuner_cache_$$c is zero"; exit 1; } || true; \
+	done
+	@echo "smoke-tune: /tmp/bench-tune.json ok"
+
 # Single gate run by CI and before every commit: formatting must be
 # canonical (dune files; ocamlformat is not in the pinned toolchain),
 # everything must build, the full tier-1 suite must pass, the serving
@@ -86,8 +105,10 @@ smoke-paged: build
 # router conservation invariants, a chaos run with the recorder
 # armed must produce a validating post-mortem flight dump, and the
 # paged-KV path must beat contiguous on width, share prefixes, and
-# survive chaos without leaking a block.
-ci: fmt build test smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight smoke-paged
+# survive chaos without leaking a block, and the model-guided tuner
+# must match exhaustive search cheaply while the online spec cache
+# demonstrably serves, tunes, and hot-swaps in the serve path.
+ci: fmt build test smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight smoke-paged smoke-tune
 
 clean:
 	dune clean

@@ -67,7 +67,7 @@ let bench_json_string () =
           (Telemetry.Report.json_float v))
       ms
   in
-  pr "{\"schema\":\"parlooper-bench/3\",\"host\":\"%s\",\"benches\":["
+  pr "{\"schema\":\"parlooper-bench/4\",\"host\":\"%s\",\"benches\":["
     (Telemetry.Report.json_escape Platform.host.Platform.name);
   List.iteri
     (fun i e ->
@@ -487,6 +487,16 @@ let kv_spec_metrics () =
     ("spec_accepted", c Serve.Metrics.spec_accepted_name);
     ("spec_rejected", c Serve.Metrics.spec_rejected_name) ]
 
+(* tuner.cache.* counter values for serve bench entries (schema
+   parlooper-bench/4, additive); zeros without --online-tune *)
+let tuner_cache_metrics () =
+  let c n = float_of_int (Telemetry.Counter.value n) in
+  [ ("tuner_cache_hits", c Telemetry.Registry.tuner_cache_hits_name);
+    ("tuner_cache_misses", c Telemetry.Registry.tuner_cache_misses_name);
+    ("tuner_cache_swaps", c Telemetry.Registry.tuner_cache_swaps_name);
+    ("tuner_cache_rejected", c Telemetry.Registry.tuner_cache_rejected_name);
+    ("tuner_cache_tunes", c Telemetry.Registry.tuner_cache_tunes_name) ]
+
 let paged_config_kvs ~paged ~block_size ~num_blocks ~spec_k ~draft_layers
     ~sys_prompt =
   [ ("paged", string_of_bool paged);
@@ -497,7 +507,8 @@ let paged_config_kvs ~paged ~block_size ~num_blocks ~spec_k ~draft_layers
     ("sys_prompt", string_of_int sys_prompt) ]
 
 let run_serve ~rate ~duration ~replicas ~shards ~disaggregate ~placement
-    ~paged ~block_size ~num_blocks ~spec_k ~draft_layers ~sys_prompt () =
+    ~paged ~block_size ~num_blocks ~spec_k ~draft_layers ~sys_prompt
+    ~online_tune () =
   let clustered = replicas > 1 || shards > 1 || disaggregate in
   Modelkit.section
     (if clustered then
@@ -520,9 +531,12 @@ let run_serve ~rate ~duration ~replicas ~shards ~disaggregate ~placement
       (if draft_layers = 1 then "" else "s");
   let rng = Prng.create 7 in
   let llm = Llm.create ~rng ~block:8 Llm.tiny in
+  if online_tune then
+    Printf.printf "  online tuning: per-shape spec cache + background tuner on\n%!";
   let scfg =
     { Serve.Scheduler.default_config with
-      Serve.Scheduler.paged; block_size; num_blocks; spec_k; draft_layers }
+      Serve.Scheduler.paged; block_size; num_blocks; spec_k; draft_layers;
+      online_tune }
   in
   let load =
     { Serve.Load_gen.default with
@@ -547,9 +561,24 @@ let run_serve ~rate ~duration ~replicas ~shards ~disaggregate ~placement
          (Telemetry.Counter.value Serve.Metrics.slo_deadline_breaches_name))
     ]
   in
+  (* let queued background tunes land so the recorded tuner.cache.*
+     counters are final, then report and stop the tuning domain *)
+  let finish_online_tune () =
+    if online_tune then begin
+      ignore (Spec_cache.drain ~timeout_s:10.0);
+      let s = Spec_cache.stats () in
+      Printf.printf
+        "  spec cache: %d hits, %d misses, %d hot-swaps, %d rejected, %d \
+         tunes\n%!"
+        s.Spec_cache.hits s.Spec_cache.misses s.Spec_cache.swaps
+        s.Spec_cache.rejected s.Spec_cache.tunes;
+      Spec_cache.disable ()
+    end
+  in
   if not clustered then begin
     let sched = Serve.Scheduler.create ~config:scfg llm in
     let o = Serve.Driver.run sched trace in
+    finish_online_tune ();
     Serve.Metrics.print o.Serve.Driver.summary;
     (match Serve.Kv_pool.manager (Serve.Scheduler.pool sched) with
     | Some m ->
@@ -572,11 +601,13 @@ let run_serve ~rate ~duration ~replicas ~shards ~disaggregate ~placement
               (Serve.Scheduler.config sched).Serve.Scheduler.max_batch)
          ]
         @ paged_config_kvs ~paged ~block_size ~num_blocks ~spec_k
-            ~draft_layers ~sys_prompt)
+            ~draft_layers ~sys_prompt
+        @ [ ("online_tune", string_of_bool online_tune) ])
       ~metrics:
         (summary_metrics o.Serve.Driver.summary
         @ slo_metrics ()
-        @ kv_spec_metrics ())
+        @ kv_spec_metrics ()
+        @ tuner_cache_metrics ())
       ()
   end
   else begin
@@ -593,6 +624,7 @@ let run_serve ~rate ~duration ~replicas ~shards ~disaggregate ~placement
         exit 1
     in
     let o = Cluster.Driver.run router trace in
+    finish_online_tune ();
     Printf.printf "  fleet (merged across %d replica histograms):\n"
       (List.length o.Cluster.Driver.per_replica);
     Serve.Metrics.print o.Cluster.Driver.summary;
@@ -613,11 +645,13 @@ let run_serve ~rate ~duration ~replicas ~shards ~disaggregate ~placement
            ("disaggregate", string_of_bool disaggregate);
            ("placement", Cluster.Router.placement_name placement) ]
         @ paged_config_kvs ~paged ~block_size ~num_blocks ~spec_k
-            ~draft_layers ~sys_prompt)
+            ~draft_layers ~sys_prompt
+        @ [ ("online_tune", string_of_bool online_tune) ])
       ~metrics:
         (summary_metrics o.Cluster.Driver.summary
         @ slo_metrics ()
         @ kv_spec_metrics ()
+        @ tuner_cache_metrics ()
         @ [ ("routed",
              float_of_int (Telemetry.Counter.value Cluster.Router.routed_name));
             ("rerouted",
@@ -887,6 +921,106 @@ let run_paged_width () =
     chaos_failed := true
   end
 
+(* ---- tuner benchmark (tune): exhaustive vs model-guided search ----
+
+   Two seed GEMM shapes; every strategy scores candidates with the same
+   §II-E model on a fixed platform (SPR, 16 threads), so results are
+   machine-independent and deterministic. The process fails unless the
+   beam search lands within 2% of the exhaustive best while scoring
+   under 10% of the space — the headline claim for replacing §II-D
+   enumeration with model-guided search. *)
+
+let run_tune () =
+  let platform = Platform.spr and nthreads = 16 in
+  Modelkit.section
+    (Printf.sprintf
+       "tuner: exhaustive vs model-guided search (modeled on %s, %d threads)"
+       platform.Platform.name nthreads);
+  let shapes =
+    [ ("128x128x128/b32", Gemm.make_config ~bm:32 ~bn:32 ~bk:32 ~m:128 ~n:128
+         ~k:128 ());
+      ("512x128x256/b32", Gemm.make_config ~bm:32 ~bn:32 ~bk:32 ~m:512 ~n:128
+         ~k:256 ()) ]
+  in
+  let f = float_of_int in
+  List.iter
+    (fun (shape, cfg) ->
+      (* ground truth: the full §II-D space, uncapped *)
+      let ex =
+        Autotune.tune_gemm ~max_candidates:100_000
+          (Autotune.Modeled { platform; nthreads })
+          cfg
+      in
+      let ex_best =
+        match ex.Autotune.ranked with
+        | e :: _ -> e.Autotune.gflops
+        | [] -> 0.0
+      in
+      let space = ex.Autotune.evaluated + ex.Autotune.skipped in
+      record_bench ~name:"tune"
+        ~config:[ ("shape", shape); ("strategy", "exhaustive") ]
+        ~metrics:
+          [ ("evaluated", f ex.Autotune.evaluated);
+            ("space", f space);
+            ("best_gflops", ex_best);
+            ("tuning_seconds", ex.Autotune.tuning_seconds) ]
+        ();
+      Printf.printf "  %-16s exhaustive: best %7.0f GFLOPS, %d candidates, \
+                     %.2fs\n%!"
+        shape ex_best ex.Autotune.evaluated ex.Autotune.tuning_seconds;
+      (* model-guided strategies under a <10%-of-space budget *)
+      let budget = max 8 (space / 12) in
+      List.iter
+        (fun strategy ->
+          let r =
+            Search.search ~strategy ~max_evals:budget ~platform ~nthreads cfg
+          in
+          let best =
+            match r.Search.ranked with
+            | e :: _ -> e.Autotune.gflops
+            | [] -> 0.0
+          in
+          let frac = f r.Search.evaluated /. f (max 1 r.Search.space) in
+          record_bench ~name:"tune"
+            ~config:
+              [ ("shape", shape);
+                ("strategy", Search.strategy_name strategy) ]
+            ~metrics:
+              [ ("evaluated", f r.Search.evaluated);
+                ("space", f r.Search.space);
+                ("space_fraction", frac);
+                ("best_gflops", best);
+                ("tuning_seconds", r.Search.tuning_seconds) ]
+            ();
+          Printf.printf
+            "  %-16s %-10s: best %7.0f GFLOPS (%5.1f%% of exhaustive), %d \
+             candidates (%.1f%% of space), %.2fs\n%!"
+            shape
+            (Search.strategy_name strategy)
+            best
+            (100.0 *. best /. ex_best)
+            r.Search.evaluated (100.0 *. frac) r.Search.tuning_seconds;
+          if strategy = Search.default_strategy then begin
+            if best < 0.98 *. ex_best then begin
+              Printf.eprintf
+                "tune: %s beam best %.0f GFLOPS is below 98%% of exhaustive \
+                 best %.0f\n"
+                shape best ex_best;
+              chaos_failed := true
+            end;
+            if f r.Search.evaluated >= 0.10 *. f r.Search.space then begin
+              Printf.eprintf
+                "tune: %s beam scored %d of %d candidates — not under 10%% \
+                 of the space\n"
+                shape r.Search.evaluated r.Search.space;
+              chaos_failed := true
+            end
+          end)
+        [ Search.default_strategy;
+          Search.Greedy { max_steps = 32 };
+          Search.Bandit { epsilon = 0.3; rounds = 64 } ])
+    shapes
+
 (* ---- experiment registry ---- *)
 
 let experiments =
@@ -908,6 +1042,7 @@ let experiments =
     ("dispatch", run_dispatch);
     ("recorder", run_recorder);
     ("paged", run_paged_width);
+    ("tune", run_tune);
   ]
 
 let run_all () =
@@ -927,7 +1062,7 @@ let usage () =
     \       [--disaggregate] [--placement rr|jsq|deadline]\n\
     \       [--paged] [--block-size N] [--num-blocks N]\n\
     \       [--spec-decode K] [--draft-layers N] [--sys-prompt N]\n\
-    \       [--json FILE] [--telemetry]\n\
+    \       [--online-tune] [--json FILE] [--telemetry]\n\
      experiments: %s\n"
     (String.concat ", " (List.map fst experiments));
   exit 1
@@ -951,6 +1086,7 @@ let () =
   let spec_decode = ref 0 in
   let draft_layers = ref 1 in
   let sys_prompt = ref 0 in
+  let online_tune = ref false in
   let json_path = ref None in
   let names = ref [] in
   let int_arg name rest =
@@ -1049,6 +1185,9 @@ let () =
       let v, rest = int_arg "--sys-prompt" rest in
       sys_prompt := v;
       parse rest
+    | "--online-tune" :: rest ->
+      online_tune := true;
+      parse rest
     | "--placement" :: v :: rest -> (
       match Cluster.Router.placement_of_string v with
       | Some p ->
@@ -1097,7 +1236,7 @@ let () =
       ~shards:!shards ~disaggregate:!disaggregate ~placement:!placement
       ~paged:!paged ~block_size:!block_size ~num_blocks:!num_blocks
       ~spec_k:!spec_decode ~draft_layers:!draft_layers
-      ~sys_prompt:!sys_prompt ();
+      ~sys_prompt:!sys_prompt ~online_tune:!online_tune ();
   if !chaos then
     if !replicas > 1 || !shards > 1 || !disaggregate then
       run_cluster_chaos ~seed:!chaos_seed ~requests:!chaos_requests

@@ -45,6 +45,38 @@ let platform_arg =
 let candidates_arg =
   Arg.(value & opt int 200 & info [ "candidates" ] ~doc:"tuning candidates")
 
+let search_arg =
+  Arg.(
+    value & opt string "exhaustive"
+    & info [ "search" ]
+        ~doc:
+          "candidate exploration: $(b,exhaustive) enumeration or \
+           model-guided $(b,beam), $(b,greedy) or $(b,bandit) search")
+
+let beam_width_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "beam-width" ] ~doc:"states kept per step (with --search beam)")
+
+let budget_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "budget" ]
+        ~doc:"max candidates the model-guided search may score")
+
+let tune_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~doc:"PRNG seed (with --search bandit)")
+
+let measure_top_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "measure-top" ]
+        ~doc:
+          "re-rank this many model-best survivors by real measurement on \
+           this host (0 = modeled only)")
+
 let trace_arg =
   Arg.(
     value
@@ -126,27 +158,76 @@ let gemm_run m n k block spec threads dtype trace telemetry =
   end;
   if not ok then exit 1
 
-let tune m n k block dtype platform candidates =
+let tune m n k block dtype platform candidates search_kind beam_width budget
+    seed measure_top =
   match Platform.by_name platform with
   | None ->
     Printf.eprintf "unknown platform %s\n" platform;
     exit 1
   | Some p ->
     let cfg = make_cfg m n k block dtype in
-    let report =
-      Autotune.tune_gemm ~max_candidates:candidates
-        (Autotune.Modeled { platform = p; nthreads = Platform.cores p })
-        cfg
+    let nthreads = Platform.cores p in
+    let print_top ranked =
+      List.iteri
+        (fun i (e : Autotune.entry) ->
+          if i < 10 then
+            Printf.printf "  #%-2d %-16s %10.0f GFLOPS (%s)\n" (i + 1)
+              e.Autotune.spec e.Autotune.gflops
+              (if e.Autotune.predicted_gflops <> None then "measured"
+               else "modeled"))
+        ranked
     in
-    Printf.printf "evaluated %d instantiations in %.2fs; top 10 for %s:\n"
-      report.Autotune.evaluated report.Autotune.tuning_seconds
-      p.Platform.name;
-    List.iteri
-      (fun i e ->
-        if i < 10 then
-          Printf.printf "  #%-2d %-16s %10.0f GFLOPS (modeled)\n" (i + 1)
-            e.Autotune.spec e.Autotune.gflops)
-      report.Autotune.ranked
+    if search_kind = "exhaustive" then begin
+      let report =
+        Autotune.tune_gemm ~max_candidates:candidates
+          (Autotune.Modeled { platform = p; nthreads })
+          cfg
+      in
+      Printf.printf
+        "evaluated %d instantiations (%d skipped) in %.2fs; top 10 for %s:\n"
+        report.Autotune.evaluated report.Autotune.skipped
+        report.Autotune.tuning_seconds p.Platform.name;
+      print_top report.Autotune.ranked
+    end
+    else
+      match Search.strategy_of_string search_kind with
+      | None ->
+        Printf.eprintf
+          "unknown search %S (exhaustive | beam | greedy | bandit)\n"
+          search_kind;
+        exit 1
+      | Some s ->
+        let strategy =
+          match s with
+          | Search.Beam { depth; _ } ->
+            Search.Beam { width = beam_width; depth }
+          | other -> other
+        in
+        let report =
+          Search.search ~strategy ~max_evals:budget ~measure_top ~seed
+            ~platform:p ~nthreads cfg
+        in
+        Printf.printf
+          "%s search: scored %d of %d candidates (%.1f%% of the space), \
+           measured %d, %.2fs; top 10 for %s:\n"
+          (Search.strategy_name strategy)
+          report.Search.evaluated report.Search.space
+          (100.0
+          *. float_of_int report.Search.evaluated
+          /. float_of_int (max 1 report.Search.space))
+          report.Search.measured report.Search.tuning_seconds p.Platform.name;
+        print_top report.Search.ranked;
+        List.iter
+          (fun (s : Search.step_stat) ->
+            Printf.printf
+              "  step %-2d generated %-3d scored %-3d pruned %-3d best %.0f\n"
+              s.Search.step s.Search.generated s.Search.scored s.Search.pruned
+              s.Search.best_gflops)
+          report.Search.steps;
+        (match report.Search.rank_correlation with
+        | Some rho ->
+          Printf.printf "  model-vs-measured rank correlation: %+.2f\n" rho
+        | None -> ())
 
 let model m n k block dtype platform spec threads =
   match Platform.by_name platform with
@@ -306,10 +387,19 @@ let sys_prompt_arg =
         ~doc:"tokens of a shared system prompt prepended to every request \
               (the workload shape --paged prefix sharing deduplicates)")
 
+let online_tune_arg =
+  Arg.(
+    value & flag
+    & info [ "online-tune" ]
+        ~doc:
+          "tune serve-path GEMM shapes on a background domain and hot-swap \
+           their loop instantiations once a bit-identity check passes \
+           (decode outputs are unchanged)")
+
 let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
     policy seed threads replicas shards disaggregate placement paged
-    block_size num_blocks spec_decode draft_layers sys_prompt live_metrics
-    live_interval_ms trace telemetry =
+    block_size num_blocks spec_decode draft_layers sys_prompt online_tune
+    live_metrics live_interval_ms trace telemetry =
   if rate <= 0.0 || duration <= 0.0 then begin
     Printf.eprintf "--rate and --duration must be positive\n";
     exit 1
@@ -383,11 +473,13 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
     Printf.printf "speculative decoding: k=%d, %d draft layer%s\n%!"
       spec_decode draft_layers
       (if draft_layers = 1 then "" else "s");
+  if online_tune then
+    Printf.printf "online tuning: per-shape spec cache + background tuner on\n%!";
   let config =
     { Serve.Scheduler.default_config with
       Serve.Scheduler.max_queue; max_batch; policy;
       nthreads = Some threads; paged; block_size; num_blocks;
-      spec_k = spec_decode; draft_layers }
+      spec_k = spec_decode; draft_layers; online_tune }
   in
   let live_out =
     match live_metrics with
@@ -489,6 +581,22 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
             (Serve.Kv_pool.peak_rows pool);
           print_arena pool)
         pools)
+  end;
+  if online_tune then begin
+    (* let in-flight background tunes land, then report and stop the
+       tuning domain so the process exits cleanly *)
+    ignore (Spec_cache.drain ~timeout_s:10.0);
+    let s = Spec_cache.stats () in
+    Printf.printf
+      "spec cache: %d hits, %d misses, %d hot-swaps, %d rejected, %d tunes\n%!"
+      s.Spec_cache.hits s.Spec_cache.misses s.Spec_cache.swaps
+      s.Spec_cache.rejected s.Spec_cache.tunes;
+    List.iter
+      (fun (e : Spec_cache.entry) ->
+        Printf.printf "  %-40s %-9s %s\n" e.Spec_cache.shape e.Spec_cache.state
+          e.Spec_cache.spec)
+      (Spec_cache.entries ());
+    Spec_cache.disable ()
   end;
   Telemetry.Registry.disable ();
   if telemetry then
@@ -674,10 +782,16 @@ let gemm_cmd =
       $ threads_arg $ dtype_arg $ trace_arg $ telemetry_arg)
 
 let tune_cmd =
-  Cmd.v (Cmd.info "tune" ~doc:"auto-tune loop instantiations (modeled)")
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "auto-tune loop instantiations: exhaustive enumeration or \
+          model-guided search (beam / greedy / bandit), modeled with \
+          optional measured refinement")
     Term.(
       const tune $ m_arg $ n_arg $ k_arg $ block_arg $ dtype_arg
-      $ platform_arg $ candidates_arg)
+      $ platform_arg $ candidates_arg $ search_arg $ beam_width_arg
+      $ budget_arg $ tune_seed_arg $ measure_top_arg)
 
 let model_cmd =
   Cmd.v (Cmd.info "model" ~doc:"score one instantiation with the perf model")
@@ -699,7 +813,8 @@ let serve_cmd =
       $ policy_arg $ seed_arg $ threads_arg $ replicas_arg $ shards_arg
       $ disaggregate_arg $ placement_arg $ paged_arg $ block_size_arg
       $ num_blocks_arg $ spec_decode_arg $ draft_layers_arg $ sys_prompt_arg
-      $ live_metrics_arg $ live_interval_arg $ trace_arg $ telemetry_arg)
+      $ online_tune_arg $ live_metrics_arg $ live_interval_arg $ trace_arg
+      $ telemetry_arg)
 
 let chaos_cmd =
   Cmd.v

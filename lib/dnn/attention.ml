@@ -1,5 +1,3 @@
-module View = Tensor.View
-
 type t = {
   hidden : int;
   heads : int;

@@ -1,5 +1,3 @@
-module View = Tensor.View
-
 type activation = Linear | Relu_act | Gelu_act
 
 type t = {
@@ -62,7 +60,9 @@ let forward_internal ?nthreads t x =
   let n = dx.(0) in
   (* any token count works: bn falls back to the largest divisor of n *)
   let cfg = gemm_cfg t ~n in
-  let g = Gemm.create cfg t.spec in
+  (* routed through the spec-resolver hook: with online tuning enabled the
+     per-shape cache may substitute a tuned (config, spec) here *)
+  let g = Gemm.create_resolved cfg t.spec in
   let a = Gemm.pack_a cfg t.weights in
   let b = Gemm.pack_b cfg (transpose x) in
   let c = Gemm.alloc_c cfg in

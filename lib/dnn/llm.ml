@@ -1,5 +1,3 @@
-module View = Tensor.View
-
 type config = {
   name : string;
   hidden : int;

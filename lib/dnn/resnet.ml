@@ -85,6 +85,10 @@ type t = {
   dtype : Datatype.t;
 }
 
+let channels t = t.channels
+let classes t = t.classes
+let dtype t = t.dtype
+
 let make_bn rng k =
   {
     scale =

@@ -37,6 +37,10 @@ val train_step_flops : n:int -> float
 (** Executable residual CNN. *)
 type t
 
+val channels : t -> int  (** input image channels *)
+val classes : t -> int  (** classifier width *)
+val dtype : t -> Datatype.t
+
 (** [create ~rng ~channels ~blocks ()] — a small ResNet-style network:
     stem conv, [blocks] residual bottleneck-ish stages on [channels] maps,
     global average pooling and an FC classifier. All channel counts must

@@ -1,5 +1,3 @@
-module View = Tensor.View
-
 (* a sparse fully-connected layer: W in BCSC, Y = X W^T computed as
    W_sparse x X^T via the Block-SpMM PARLOOPER kernel *)
 type sfc = {
@@ -85,6 +83,9 @@ let sparsify ~bm ~bk ~sparsity (bert : Bert.t) =
     |> fun arr -> (Array.map fst arr, Array.map snd arr)
   in
   { bert; layers; dense_layers; bm; bk }
+
+let bert t = t.bert
+let blocking t = (t.bm, t.bk)
 
 let achieved_sparsity t =
   let sfcs l = [ l.q; l.k; l.v; l.o; l.att_output; l.intermediate; l.out ] in

@@ -1,5 +1,3 @@
-module View = Tensor.View
-
 type config = {
   n : int;
   c : int;

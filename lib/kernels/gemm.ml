@@ -59,6 +59,31 @@ let create cfg spec_string =
     ker_acc = mk 1.0;
   }
 
+(* ---- spec resolver hook ----
+   An installed resolver may substitute the instantiation of a GEMM at
+   nest-compile time: it returns a replacement (config, spec) — same
+   m/n/k/block/dtype, possibly different blocking lists — or None to keep
+   the caller's choice. The online tuner (lib/tuner Spec_cache) installs
+   one so serve-path layers pick up tuned specs without any layer code
+   change; the tuner itself always calls [create] directly, so resolution
+   cannot recurse. The hook is an atomic ref: install/clear are safe from
+   any domain. *)
+
+let spec_resolver :
+    (config -> string -> (config * string) option) option Atomic.t =
+  Atomic.make None
+
+let set_spec_resolver f = Atomic.set spec_resolver (Some f)
+let clear_spec_resolver () = Atomic.set spec_resolver None
+
+let create_resolved cfg spec_string =
+  match Atomic.get spec_resolver with
+  | None -> create cfg spec_string
+  | Some resolve -> (
+    match resolve cfg spec_string with
+    | Some (cfg', spec') -> create cfg' spec'
+    | None -> create cfg spec_string)
+
 let config t = t.cfg
 let spec t = Threaded_loop.spec_string t.loop
 

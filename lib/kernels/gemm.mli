@@ -73,6 +73,25 @@ val create : config -> string -> t
 val config : t -> config
 val spec : t -> string
 
+(** {2 Spec resolver hook}
+
+    An installed resolver may substitute a GEMM's instantiation at
+    nest-compile time: given the caller's config and spec it returns a
+    replacement [(config, spec)] — same shape/blocks/dtype, possibly
+    different blocking lists — or [None] to keep the caller's choice.
+    The online tuner installs one so serve-path layers pick up tuned
+    specs with zero layer-code changes. Install/clear are atomic and
+    safe from any domain. *)
+
+val set_spec_resolver : (config -> string -> (config * string) option) -> unit
+val clear_spec_resolver : unit -> unit
+
+(** [create] routed through the resolver when one is installed;
+    otherwise identical to [create]. Tuning code must use [create] (the
+    resolver is never consulted there), serve-path layers use
+    [create_resolved]. *)
+val create_resolved : config -> string -> t
+
 (** Layout helpers between logical rank-2 tensors and blocked storage. *)
 val pack_a : config -> Tensor.t -> Tensor.t
 val pack_b : config -> Tensor.t -> Tensor.t

@@ -105,7 +105,8 @@ let compile specs parsed =
     (fun i lv ->
       levels.(i) <- { lv with parent_level = last_level_of.(lv.loop) };
       last_level_of.(lv.loop) <- i;
-      innermost.(lv.loop) <- i)
+      (* the last occurrence is the innermost one *)
+      if lv.occ = totals.(lv.loop) - 1 then innermost.(lv.loop) <- i)
     levels;
   (* group consecutive PAR-MODE 1 levels into collapse groups *)
   let group = ref (-1) in

@@ -46,7 +46,7 @@ type thread_sim = {
   isa : Isa.t option;
   mutable cycles : float;
   mutable mem_bytes : float;
-  mutable hits : int array;
+  hits : int array;  (* per level; elements bumped in place *)
   mutable mem_accesses : int;
   mutable compute_bound : int;
   mutable invocations : int;

@@ -69,6 +69,10 @@ type config = {
       (* deterministic draft-acceptance model: the probability a proposed
          token matches the truth (there is no LM head — acceptance is
          drawn from a hash of (request id, position), so runs replay) *)
+  online_tune : bool;
+      (* enable the online per-shape spec cache: serve-path GEMM shapes
+         are tuned on a background domain and hot-swapped after a
+         bit-identity check *)
 }
 
 let default_config =
@@ -76,7 +80,7 @@ let default_config =
     kv_cap = 16; max_retries = 2; retry_backoff_s = 0.0;
     check_numerics = false; replica = None;
     paged = false; block_size = 16; num_blocks = 64; prefix_share = true;
-    spec_k = 0; draft_layers = 1; spec_accuracy = 0.75 }
+    spec_k = 0; draft_layers = 1; spec_accuracy = 0.75; online_tune = false }
 
 (* pluggable model entry point, so a cluster replica can substitute the
    tensor-parallel (sharded) kernels for the default single-team path
@@ -168,6 +172,11 @@ let create ?(config = default_config) ?engine llm =
   assert (config.max_queue > 0 && config.max_batch > 0);
   assert (config.max_retries >= 0 && config.retry_backoff_s >= 0.0);
   assert (config.spec_k >= 0 && config.block_size > 0 && config.num_blocks > 0);
+  (* the spec cache is process-global (it hooks Gemm's resolver); the
+     scheduler only switches it on — a cluster of replicas shares one
+     cache and one background tuning domain *)
+  if config.online_tune && not (Spec_cache.enabled ()) then
+    Spec_cache.enable ~nthreads:(Option.value config.nthreads ~default:1) ();
   let engine =
     match engine with
     | Some e -> e

@@ -54,12 +54,18 @@ type config = {
       (** deterministic draft-acceptance model: probability a proposal
           matches the truth, drawn from a hash of (request id, position)
           so runs replay exactly *)
+  online_tune : bool;
+      (** enable the online per-shape spec cache ({!Spec_cache}): GEMM
+          shapes arriving in the serve path are tuned on a background
+          domain and hot-swapped after a bit-identity check; decode
+          outputs are unchanged, only the loop instantiation is *)
 }
 
 (** queue 64, batch 8, FCFS, default threads, 16 KV rows, 2 retries, no
     backoff, numeric checks off, no replica index; contiguous KV
     (16-token blocks, 64-block arena, prefix sharing when paged);
-    speculation off (k=0, 1 draft layer, 75% modelled accuracy). *)
+    speculation off (k=0, 1 draft layer, 75% modelled accuracy); online
+    tuning off. *)
 val default_config : config
 
 (** Pluggable model entry point. One batched [extend] covers every

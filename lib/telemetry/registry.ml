@@ -124,6 +124,21 @@ let watchdog_trips_name = "watchdog.trips"
 let pool_quarantined_name = "pool.quarantined"
 let numeric_errors_name = "tpp.numeric_errors"
 
+(* ---- tuner counter names ----
+   owned by lib/tuner (Search bumps the search counters, Spec_cache the
+   cache counters); declared here so Expose consumers and the bench have
+   one canonical spelling *)
+
+let tuner_search_generated_name = "tuner.search.generated"
+let tuner_search_pruned_name = "tuner.search.pruned"
+let tuner_search_scored_name = "tuner.search.scored"
+let tuner_search_measured_name = "tuner.search.measured"
+let tuner_cache_hits_name = "tuner.cache.hits"
+let tuner_cache_misses_name = "tuner.cache.misses"
+let tuner_cache_swaps_name = "tuner.cache.swaps"
+let tuner_cache_rejected_name = "tuner.cache.rejected"
+let tuner_cache_tunes_name = "tuner.cache.tunes"
+
 (* ---- telemetry self-accounting ---- *)
 
 let spans_dropped_name = Span.dropped_name

@@ -93,6 +93,27 @@ val watchdog_trips_name : string
 val pool_quarantined_name : string
 val numeric_errors_name : string
 
+(** Counter names for the model-guided tuner: candidates generated, pruned
+    (illegal / duplicate / over budget) and model-scored by the search, and
+    candidates promoted to real measurement. *)
+val tuner_search_generated_name : string
+
+val tuner_search_pruned_name : string
+val tuner_search_scored_name : string
+val tuner_search_measured_name : string
+
+(** Counter names for the online per-shape spec cache in the serve path:
+    lookups served from a published spec, first-arrival misses (default
+    spec served, shape queued for background tuning), hot-swaps published
+    after the bit-identity gate passed, candidate specs rejected by that
+    gate, and background tunes completed. *)
+val tuner_cache_hits_name : string
+
+val tuner_cache_misses_name : string
+val tuner_cache_swaps_name : string
+val tuner_cache_rejected_name : string
+val tuner_cache_tunes_name : string
+
 (** Counter of spans discarded once the bounded span store is full
     (= {!Span.dropped_name}). *)
 val spans_dropped_name : string

@@ -30,6 +30,7 @@ let rec validate nargs = function
     validate nargs b
 
 let nargs t = t.nargs
+let expr t = t.expr
 
 let unary_fn op =
   match op with

@@ -23,6 +23,9 @@ val compile : nargs:int -> expr -> t
 
 val nargs : t -> int
 
+(** The expression tree the equation was compiled from. *)
+val expr : t -> expr
+
 (** [exec t ~args ~out] — all argument views and [out] must share the
     output's shape; [out] may alias an argument. *)
 val exec : t -> args:Tensor.View.t array -> out:Tensor.View.t -> unit

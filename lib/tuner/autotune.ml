@@ -12,10 +12,11 @@ type entry = {
 type report = {
   ranked : entry list;
   evaluated : int;
+  skipped : int;
   tuning_seconds : float;
 }
 
-exception Measurement_error of string
+exception Measurement_error of { spec : string; reason : string }
 
 let candidate_config (base : Gemm.config) (c : Spec_gen.candidate) =
   {
@@ -51,9 +52,10 @@ let measure_gemm ~nthreads ~repeats cfg spec =
   if dt <= 0.0 then
     raise
       (Measurement_error
-         (Printf.sprintf
-            "degenerate timing (%g s over %d repeats) measuring spec %S" dt
-            repeats spec));
+         { spec;
+           reason =
+             Printf.sprintf "degenerate timing (%g s over %d repeats)" dt
+               repeats });
   Gemm.flops cfg /. dt /. 1e9
 
 let default_constraints (base : Gemm.config) =
@@ -69,6 +71,11 @@ let tune_gemm ?max_candidates ?constraints ?model_platform objective base =
   in
   let candidates = Spec_gen.generate ?max_candidates cons in
   let t0 = Telemetry.Clock.now_ns () in
+  let skipped = ref 0 in
+  let skip () =
+    incr skipped;
+    None
+  in
   let entries =
     List.filter_map
       (fun cand ->
@@ -77,32 +84,38 @@ let tune_gemm ?max_candidates ?constraints ?model_platform objective base =
           (try Some (Gemm.create cfg cand.Spec_gen.spec)
            with Threaded_loop.Invalid_spec _ | Invalid_argument _ -> None)
         with
-        | None -> None
-        | Some _ ->
-          let gflops =
+        | None -> skip ()
+        | Some _ -> (
+          match
             match objective with
             | Measured { nthreads; repeats } ->
               measure_gemm ~nthreads ~repeats cfg cand.Spec_gen.spec
             | Modeled { platform; nthreads } ->
               (Gemm_trace.score ~platform ~nthreads cfg cand.Spec_gen.spec)
                 .Perf_model.gflops
-          in
-          (* with a measured objective and a platform model of the host we
-             can confront the §II-E model with reality per candidate *)
-          let predicted_gflops =
-            match (objective, model_platform) with
-            | Measured { nthreads; _ }, Some platform ->
-              let p =
-                (Gemm_trace.score ~platform ~nthreads cfg cand.Spec_gen.spec)
-                  .Perf_model.gflops
-              in
-              Telemetry.Registry.record_prediction
-                ~name:("gemm " ^ cand.Spec_gen.spec) ~predicted_gflops:p
-                ~measured_gflops:gflops;
-              Some p
-            | _ -> None
-          in
-          Some { spec = cand.Spec_gen.spec; cfg; gflops; predicted_gflops })
+          with
+          | exception Measurement_error { spec; reason } ->
+            (* an unmeasurable candidate must not abort the sweep: note the
+               failing spec, drop it from the ranking, keep tuning *)
+            Printf.eprintf "autotune: skipping spec %S: %s\n%!" spec reason;
+            skip ()
+          | gflops ->
+            (* with a measured objective and a platform model of the host
+               we can confront the §II-E model with reality per candidate *)
+            let predicted_gflops =
+              match (objective, model_platform) with
+              | Measured { nthreads; _ }, Some platform ->
+                let p =
+                  (Gemm_trace.score ~platform ~nthreads cfg cand.Spec_gen.spec)
+                    .Perf_model.gflops
+                in
+                Telemetry.Registry.record_prediction
+                  ~name:("gemm " ^ cand.Spec_gen.spec) ~predicted_gflops:p
+                  ~measured_gflops:gflops;
+                Some p
+              | _ -> None
+            in
+            Some { spec = cand.Spec_gen.spec; cfg; gflops; predicted_gflops }))
       candidates
   in
   let ranked =
@@ -111,5 +124,6 @@ let tune_gemm ?max_candidates ?constraints ?model_platform objective base =
   {
     ranked;
     evaluated = List.length entries;
+    skipped = !skipped;
     tuning_seconds = Telemetry.Clock.elapsed_s ~since:t0;
   }

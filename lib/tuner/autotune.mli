@@ -22,12 +22,27 @@ type entry = {
 type report = {
   ranked : entry list;  (** best first *)
   evaluated : int;
+  skipped : int;
+      (** candidates dropped from the ranking: spec failed to compile for
+          this shape, or its measurement raised {!Measurement_error} *)
   tuning_seconds : float;
 }
 
-exception Measurement_error of string
+(** Instantiate [base] with a candidate's blocking step lists (its
+    m/n/k/block sizes and dtype are kept). Shared with {!Search} so both
+    tuners derive configs the same way. *)
+val candidate_config : Gemm.config -> Spec_gen.candidate -> Gemm.config
+
+(** GEMM constraints derived from a config's trips/steps (§II-D stock
+    search space). *)
+val default_constraints : Gemm.config -> Spec_gen.constraints
+
+exception Measurement_error of { spec : string; reason : string }
 (** Raised by {!measure_gemm} when the timed region measures a
-    non-positive interval — instead of silently reporting 0 GFLOPS. *)
+    non-positive interval — instead of silently reporting 0 GFLOPS. The
+    payload names the spec string being measured so a failing candidate is
+    attributable; {!tune_gemm} catches it per candidate and counts the
+    skip in the report instead of aborting the sweep. *)
 
 (** [tune_gemm ?max_candidates objective base] sweeps instantiations of the
     GEMM described by [base] (its m/n/k/block sizes and dtype are kept; its

@@ -1,0 +1,532 @@
+(* Model-guided loop_spec_string search (LoopTune / LoopStack style).
+
+   Instead of enumerating the whole §II-D candidate space, the search
+   walks it through typed mutations of a structured spec state —
+   reordering non-reduction loop occurrences, re-factoring blocking
+   chains via Factorize, and reassigning the parallel (capitalized)
+   run — with every candidate scored by the §II-E performance model
+   (Gemm_trace.score), which costs microseconds instead of a kernel
+   run. Only the top-k survivors are promoted to real measurement
+   (Autotune.measure_gemm), and the model-vs-measured rank agreement
+   over that refined set is reported so model drift is visible.
+
+   Everything is deterministic: neighbor generation order is fixed,
+   ranking ties break on the spec string, and the epsilon-bandit draws
+   from a seeded splitmix PRNG — the same seed always yields the same
+   ranked list (pinned by the tuner tests).
+
+   Legality by construction: mutations only permute occurrences of
+   DISTINCT loops (two occurrences of the reduction loop are never
+   swapped with each other), so the k occurrences keep their relative
+   outer-to-inner order and every visited spec accumulates C blocks in
+   increasing-k order — the bit-identity precondition the online spec
+   cache relies on. The K loop is never capitalized because the
+   constraints mark it non-parallelizable. *)
+
+type strategy =
+  | Beam of { width : int; depth : int }
+  | Greedy of { max_steps : int }
+  | Bandit of { epsilon : float; rounds : int }
+
+let strategy_name = function
+  | Beam _ -> "beam"
+  | Greedy _ -> "greedy"
+  | Bandit _ -> "bandit"
+
+let strategy_of_string = function
+  | "beam" -> Some (Beam { width = 8; depth = 8 })
+  | "greedy" -> Some (Greedy { max_steps = 32 })
+  | "bandit" -> Some (Bandit { epsilon = 0.3; rounds = 64 })
+  | _ -> None
+
+type step_stat = {
+  step : int;
+  generated : int;  (** neighbors proposed this step *)
+  pruned : int;  (** duplicates, illegal or over-budget candidates *)
+  scored : int;  (** model evaluations this step *)
+  best_gflops : float;  (** best modeled GFLOPS after this step *)
+}
+
+type report = {
+  ranked : Autotune.entry list;  (** best first; measured-first if refined *)
+  evaluated : int;  (** distinct candidates model-scored *)
+  measured : int;  (** candidates promoted to real measurement *)
+  space : int;  (** exhaustive candidate-space size, same constraints *)
+  steps : step_stat list;  (** chronological per-step telemetry *)
+  rank_correlation : float option;
+      (** Spearman rho between model and measured ranks over the refined
+          top-k (needs >= 2 successful measurements) *)
+  tuning_seconds : float;
+}
+
+(* ---- structured spec state ---- *)
+
+(* A candidate as the mutations see it: loop id per occurrence
+   (outermost first), the capitalized run, and per-loop blocking
+   chains. [order] always keeps same-loop occurrences in declaration
+   order (outer chunk first), so rendering occurrence i of loop l picks
+   the i-th entry of its blocking chain. *)
+type state = {
+  order : int array;
+  par : (int * int) option;  (** (start, len) of the capitalized run *)
+  blocks : int list array;
+}
+
+let render st =
+  let n = Array.length st.order in
+  String.init n (fun i ->
+      let ch = Char.chr (st.order.(i) + Char.code 'a') in
+      match st.par with
+      | Some (s, l) when i >= s && i < s + l -> Char.uppercase_ascii ch
+      | _ -> ch)
+
+let to_candidate st =
+  { Spec_gen.spec = render st; block_steps = Array.copy st.blocks }
+
+(* parse a plain generated spec (letters only, no grid/barrier
+   annotations) back into a state; [None] for anything fancier *)
+let of_candidate (c : Spec_gen.candidate) =
+  let n = String.length c.Spec_gen.spec in
+  let order = Array.make n 0 in
+  let par_lo = ref (-1) and par_hi = ref (-1) and plain = ref true in
+  String.iteri
+    (fun i ch ->
+      let lower = Char.lowercase_ascii ch in
+      if lower < 'a' || lower > 'z' then plain := false
+      else begin
+        order.(i) <- Char.code lower - Char.code 'a';
+        if ch <> lower then begin
+          if !par_lo < 0 then par_lo := i;
+          par_hi := i
+        end
+      end)
+    c.Spec_gen.spec;
+  let caps = ref 0 in
+  String.iter
+    (fun ch -> if ch <> Char.lowercase_ascii ch then incr caps)
+    c.Spec_gen.spec;
+  (* only one consecutive capitalized run is representable *)
+  let run_is_consecutive = !par_lo < 0 || !par_hi - !par_lo + 1 = !caps in
+  if (not !plain) || n = 0 || not run_is_consecutive then None
+  else
+    let par =
+      if !par_lo < 0 then None else Some (!par_lo, !par_hi - !par_lo + 1)
+    in
+    Some { order; par; blocks = Array.copy c.Spec_gen.block_steps }
+
+(* a parallel run is legal when its letters are distinct, all
+   parallelizable, and it fits the occurrence list *)
+let par_legal (cons : Spec_gen.constraints) order = function
+  | None -> true
+  | Some (s, l) ->
+    s >= 0 && l >= 1
+    && l <= cons.Spec_gen.max_parallel
+    && s + l <= Array.length order
+    && (let letters = Array.to_list (Array.sub order s l) in
+        List.length (List.sort_uniq compare letters) = l
+        && List.for_all (fun c -> cons.Spec_gen.parallelizable.(c)) letters)
+
+let normalize_par cons st =
+  if par_legal cons st.order st.par then st else { st with par = None }
+
+(* ---- typed mutations ---- *)
+
+(* adjacent transpositions of occurrences of distinct loops: generates
+   every permutation that preserves the relative order of same-loop
+   occurrences — in particular the reduction loop's *)
+let swap_neighbors cons st =
+  let n = Array.length st.order in
+  let out = ref [] in
+  for i = 0 to n - 2 do
+    if st.order.(i) <> st.order.(i + 1) then begin
+      let order = Array.copy st.order in
+      let tmp = order.(i) in
+      order.(i) <- order.(i + 1);
+      order.(i + 1) <- tmp;
+      out := normalize_par cons { st with order } :: !out
+    end
+  done;
+  List.rev !out
+
+(* re-factor one loop's blocking chain: every legal Factorize chain of
+   every allowed depth; the occurrence count of that loop tracks the
+   chain length (depth+1 occurrences) *)
+let reblock_neighbors (cons : Spec_gen.constraints) st =
+  let nloops = Array.length cons.Spec_gen.trip_counts in
+  let out = ref [] in
+  for l = 0 to nloops - 1 do
+    for depth = 0 to cons.Spec_gen.max_blockings.(l) do
+      List.iter
+        (fun chain ->
+          if chain <> st.blocks.(l) then begin
+            let cur = Array.fold_left (fun a x -> if x = l then a + 1 else a) 0 st.order in
+            let want = List.length chain + 1 in
+            let order =
+              if want = cur then Array.copy st.order
+              else if want > cur then begin
+                (* insert extra occurrences just before the innermost one *)
+                let last = ref (-1) in
+                Array.iteri (fun i x -> if x = l then last := i) st.order;
+                let extra = want - cur in
+                let n = Array.length st.order in
+                Array.init (n + extra) (fun i ->
+                    if i < !last then st.order.(i)
+                    else if i < !last + extra then l
+                    else st.order.(i - extra))
+              end
+              else begin
+                (* drop outermost surplus occurrences of l *)
+                let drop = ref (cur - want) in
+                let kept = ref [] in
+                Array.iter
+                  (fun x ->
+                    if x = l && !drop > 0 then decr drop
+                    else kept := x :: !kept)
+                  st.order;
+                Array.of_list (List.rev !kept)
+              end
+            in
+            let blocks = Array.copy st.blocks in
+            blocks.(l) <- chain;
+            (* occurrence positions moved: keep the run only if it still
+               denotes a legal collapse at the same indices *)
+            let cand = { order; par = st.par; blocks } in
+            out := normalize_par cons cand :: !out
+          end)
+        (Factorize.blocking_lists ~trip:cons.Spec_gen.trip_counts.(l)
+           ~step:cons.Spec_gen.steps.(l) ~depth)
+    done
+  done;
+  List.rev !out
+
+(* reassign the parallel dim: every legal capitalized run (including
+   dropping parallelism) other than the current one *)
+let repar_neighbors (cons : Spec_gen.constraints) st =
+  let n = Array.length st.order in
+  let out = ref [] in
+  if st.par <> None then out := { st with par = None } :: !out;
+  for len = 1 to cons.Spec_gen.max_parallel do
+    for start = 0 to n - len do
+      let par = Some (start, len) in
+      if par <> st.par && par_legal cons st.order par then
+        out := { st with par } :: !out
+    done
+  done;
+  List.rev !out
+
+let neighbor_states cons st =
+  swap_neighbors cons st @ reblock_neighbors cons st @ repar_neighbors cons st
+
+(* the mutation interface the legality tests exercise *)
+let neighbors cons (c : Spec_gen.candidate) =
+  match of_candidate c with
+  | None -> []
+  | Some st -> List.map to_candidate (neighbor_states cons st)
+
+(* ---- search proper ---- *)
+
+type ctx = {
+  cons : Spec_gen.constraints;
+  base : Gemm.config;
+  platform : Platform.t;
+  nthreads : int;
+  max_evals : int;
+  seen : (string, float option) Hashtbl.t;
+      (** key -> modeled GFLOPS; None = illegal / failed to compile *)
+  mutable evals : int;
+  mutable stats : step_stat list;
+  mutable stepno : int;
+  gen_c : Telemetry.Counter.t;
+  pruned_c : Telemetry.Counter.t;
+  scored_c : Telemetry.Counter.t;
+}
+
+let key_of st =
+  render st ^ "/"
+  ^ String.concat ";"
+      (Array.to_list
+         (Array.map
+            (fun l -> String.concat "," (List.map string_of_int l))
+            st.blocks))
+
+let budget_left ctx = ctx.evals < ctx.max_evals
+
+(* score one state through the §II-E model; memoized, budget-counted *)
+let score ctx st =
+  let key = key_of st in
+  match Hashtbl.find_opt ctx.seen key with
+  | Some v -> (v, false)
+  | None ->
+    let cand = to_candidate st in
+    let cfg = Autotune.candidate_config ctx.base cand in
+    let v =
+      match Gemm.create cfg cand.Spec_gen.spec with
+      | exception (Threaded_loop.Invalid_spec _ | Invalid_argument _) -> None
+      | _ ->
+        Some
+          (Gemm_trace.score ~platform:ctx.platform ~nthreads:ctx.nthreads cfg
+             cand.Spec_gen.spec)
+            .Perf_model.gflops
+    in
+    Hashtbl.add ctx.seen key v;
+    (match v with
+    | Some _ ->
+      ctx.evals <- ctx.evals + 1;
+      Telemetry.Counter.incr ctx.scored_c
+    | None -> Telemetry.Counter.incr ctx.pruned_c);
+    (v, true)
+
+(* deterministic ranking: GFLOPS descending, spec string as tie-break *)
+let cmp_scored (ga, sa) (gb, sb) =
+  match compare gb ga with 0 -> compare (key_of sa) (key_of sb) | c -> c
+
+(* expand one step: propose neighbors of [frontier], dedup against
+   [seen], score the fresh ones; returns scored fresh states *)
+let expand ctx frontier =
+  let proposed = List.concat_map (neighbor_states ctx.cons) frontier in
+  let generated = List.length proposed in
+  Telemetry.Counter.add ctx.gen_c generated;
+  let scored = ref 0 and pruned = ref 0 in
+  let fresh =
+    List.filter_map
+      (fun st ->
+        if not (budget_left ctx) then begin
+          incr pruned;
+          None
+        end
+        else
+          match score ctx st with
+          | Some g, true ->
+            incr scored;
+            Some (g, st)
+          | Some _, false | None, _ ->
+            incr pruned;
+            None)
+      proposed
+  in
+  ctx.stepno <- ctx.stepno + 1;
+  (fresh, generated, !scored, !pruned)
+
+let record_step ctx ~generated ~scored ~pruned ~best =
+  ctx.stats <-
+    { step = ctx.stepno; generated; pruned; scored; best_gflops = best }
+    :: ctx.stats
+
+let run_greedy ctx start ~max_steps =
+  let best = ref start in
+  let best_g = ref (match score ctx start with Some g, _ -> g | None, _ -> 0.0) in
+  let continue = ref true in
+  let steps = ref 0 in
+  while !continue && !steps < max_steps && budget_left ctx do
+    incr steps;
+    let fresh, generated, scored, pruned = expand ctx [ !best ] in
+    (match List.sort cmp_scored fresh with
+    | (g, st) :: _ when g > !best_g ->
+      best := st;
+      best_g := g
+    | _ -> continue := false);
+    record_step ctx ~generated ~scored ~pruned ~best:!best_g
+  done
+
+let run_beam ctx start ~width ~depth =
+  let beam = ref [ (Option.value (fst (score ctx start)) ~default:0.0, start) ] in
+  let continue = ref true in
+  let d = ref 0 in
+  while !continue && !d < depth && budget_left ctx do
+    incr d;
+    let fresh, generated, scored, pruned =
+      expand ctx (List.map snd !beam)
+    in
+    let merged =
+      List.sort_uniq cmp_scored (fresh @ !beam) |> fun l ->
+      List.filteri (fun i _ -> i < width) l
+    in
+    let best_before = match !beam with (g, _) :: _ -> g | [] -> 0.0 in
+    let best_after = match merged with (g, _) :: _ -> g | [] -> 0.0 in
+    record_step ctx ~generated ~scored ~pruned ~best:best_after;
+    if scored = 0 || (merged = !beam && best_after <= best_before) then
+      continue := false;
+    beam := merged
+  done
+
+let run_bandit ctx start ~epsilon ~rounds ~seed =
+  let rng = Prng.create seed in
+  let pool = ref [ (Option.value (fst (score ctx start)) ~default:0.0, start) ] in
+  let r = ref 0 in
+  while !r < rounds && budget_left ctx do
+    incr r;
+    let sorted = List.sort cmp_scored !pool in
+    let parent =
+      if Prng.float rng < epsilon then
+        snd (List.nth sorted (Prng.int rng (List.length sorted)))
+      else snd (List.hd sorted)
+    in
+    let fresh, generated, scored, pruned = expand ctx [ parent ] in
+    (* keep one random fresh arm plus the best fresh arm *)
+    (match List.sort cmp_scored fresh with
+    | [] -> ()
+    | (gb, sb) :: _ as all ->
+      pool := (gb, sb) :: !pool;
+      let n = List.length all in
+      if n > 1 then pool := List.nth all (Prng.int rng n) :: !pool);
+    let best = match List.sort cmp_scored !pool with (g, _) :: _ -> g | [] -> 0.0 in
+    record_step ctx ~generated ~scored ~pruned ~best
+  done
+
+(* Spearman rank correlation between model and measured GFLOPS *)
+let spearman pairs =
+  let n = List.length pairs in
+  if n < 2 then None
+  else begin
+    let rank proj =
+      let sorted =
+        List.sort
+          (fun a b -> compare (proj b, snd b) (proj a, snd a))
+          (List.mapi (fun i p -> (p, i)) pairs |> List.map (fun ((m, g), i) ->
+               ((m, g), i)))
+      in
+      let tbl = Hashtbl.create n in
+      List.iteri (fun r ((_, i)) -> Hashtbl.replace tbl i r) sorted;
+      tbl
+    in
+    let rm = rank (fun ((m, _), _) -> m) in
+    let rg = rank (fun ((_, g), _) -> g) in
+    let sum_d2 = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = float_of_int (Hashtbl.find rm i - Hashtbl.find rg i) in
+      sum_d2 := !sum_d2 +. (d *. d)
+    done;
+    let nf = float_of_int n in
+    Some (1.0 -. (6.0 *. !sum_d2 /. (nf *. ((nf *. nf) -. 1.0))))
+  end
+
+let default_strategy = Beam { width = 8; depth = 8 }
+
+let search ?(strategy = default_strategy) ?(max_evals = 200) ?(measure_top = 0)
+    ?(measure_repeats = 3) ?measure_nthreads ?(seed = 42) ?constraints
+    ~platform ~nthreads (base : Gemm.config) =
+  let cons =
+    match constraints with
+    | Some c -> c
+    | None -> Autotune.default_constraints base
+  in
+  let t0 = Telemetry.Clock.now_ns () in
+  let ctx =
+    { cons; base; platform; nthreads; max_evals;
+      seen = Hashtbl.create 256; evals = 0; stats = []; stepno = 0;
+      gen_c =
+        Telemetry.Counter.find_or_create
+          Telemetry.Registry.tuner_search_generated_name;
+      pruned_c =
+        Telemetry.Counter.find_or_create
+          Telemetry.Registry.tuner_search_pruned_name;
+      scored_c =
+        Telemetry.Counter.find_or_create
+          Telemetry.Registry.tuner_search_scored_name }
+  in
+  (* start from the default instantiation: canonical blocking-free order
+     with the stock parallel collapse (Gemm.default_spec = "BCa") *)
+  let start =
+    let st =
+      { order = [| 1; 2; 0 |]; par = Some (0, 2);
+        blocks = Array.make (Array.length cons.Spec_gen.trip_counts) [] }
+    in
+    normalize_par cons st
+  in
+  (match strategy with
+  | Greedy { max_steps } -> run_greedy ctx start ~max_steps
+  | Beam { width; depth } -> run_beam ctx start ~width ~depth
+  | Bandit { epsilon; rounds } -> run_bandit ctx start ~epsilon ~rounds ~seed);
+  (* modeled ranking over everything scored *)
+  let modeled =
+    Hashtbl.fold
+      (fun key v acc ->
+        match v with
+        | None -> acc
+        | Some g -> (key, g) :: acc)
+      ctx.seen []
+    |> List.sort (fun (ka, ga) (kb, gb) ->
+           match compare gb ga with 0 -> compare ka kb | c -> c)
+  in
+  (* keys carry "spec/blocks"; rebuild entries through the same parse the
+     mutations use, so cfg blocking lists match the candidate *)
+  let entry_of_key (key, g) =
+    let spec, blocks_s =
+      match String.index_opt key '/' with
+      | Some i ->
+        ( String.sub key 0 i,
+          String.sub key (i + 1) (String.length key - i - 1) )
+      | None -> (key, "")
+    in
+    let blocks =
+      String.split_on_char ';' blocks_s
+      |> List.map (fun s ->
+             if s = "" then []
+             else String.split_on_char ',' s |> List.map int_of_string)
+      |> Array.of_list
+    in
+    let cand = { Spec_gen.spec; block_steps = blocks } in
+    let cfg = Autotune.candidate_config base cand in
+    { Autotune.spec; cfg; gflops = g; predicted_gflops = None }
+  in
+  let modeled_entries = List.map entry_of_key modeled in
+  (* measured refinement of the top-k survivors *)
+  let measured_c =
+    Telemetry.Counter.find_or_create
+      Telemetry.Registry.tuner_search_measured_name
+  in
+  let to_measure =
+    List.filteri (fun i _ -> i < measure_top) modeled_entries
+  in
+  let mnthreads = Option.value measure_nthreads ~default:nthreads in
+  let measured =
+    List.filter_map
+      (fun (e : Autotune.entry) ->
+        match
+          Autotune.measure_gemm ~nthreads:mnthreads ~repeats:measure_repeats
+            e.Autotune.cfg e.Autotune.spec
+        with
+        | exception Autotune.Measurement_error { spec; reason } ->
+          Printf.eprintf "search: skipping measurement of %S: %s\n%!" spec
+            reason;
+          None
+        | g ->
+          Telemetry.Counter.incr measured_c;
+          Telemetry.Registry.record_prediction ~name:("gemm " ^ e.Autotune.spec)
+            ~predicted_gflops:e.Autotune.gflops ~measured_gflops:g;
+          Some
+            { e with
+              Autotune.gflops = g;
+              predicted_gflops = Some e.Autotune.gflops })
+      to_measure
+  in
+  let rank_correlation =
+    spearman
+      (List.map
+         (fun (e : Autotune.entry) ->
+           (Option.value e.Autotune.predicted_gflops ~default:0.0,
+            e.Autotune.gflops))
+         measured)
+  in
+  let measured_specs =
+    List.map (fun (e : Autotune.entry) -> e.Autotune.spec) measured
+  in
+  let ranked =
+    List.sort
+      (fun (a : Autotune.entry) b -> compare b.Autotune.gflops a.Autotune.gflops)
+      measured
+    @ List.filter
+        (fun (e : Autotune.entry) ->
+          not (List.mem e.Autotune.spec measured_specs))
+        modeled_entries
+  in
+  let space =
+    List.length (Spec_gen.generate ~max_candidates:100_000 cons)
+  in
+  { ranked;
+    evaluated = ctx.evals;
+    measured = List.length measured;
+    space;
+    steps = List.rev ctx.stats;
+    rank_correlation;
+    tuning_seconds = Telemetry.Clock.elapsed_s ~since:t0 }

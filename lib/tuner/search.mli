@@ -1,0 +1,86 @@
+(** Model-guided [loop_spec_string] search (LoopTune / LoopStack style,
+    replacing §II-D exhaustive enumeration for large spaces).
+
+    The search walks the candidate space through typed mutations of a
+    structured spec — reordering non-reduction loop occurrences,
+    re-factoring blocking chains via {!Factorize}, reassigning the
+    parallel (capitalized) run — scoring every candidate with the §II-E
+    performance model ({!Gemm_trace.score}) and promoting only the top-k
+    survivors to real measurement ({!Autotune.measure_gemm}).
+
+    All mutations preserve the relative order of reduction-loop
+    occurrences and never capitalize the reduction loop, so every visited
+    spec accumulates C blocks in the same increasing-k order — the
+    bit-identity precondition {!Spec_cache} relies on. Given the same
+    seed, strategy and constraints, the ranked result is deterministic. *)
+
+type strategy =
+  | Beam of { width : int; depth : int }
+      (** keep the [width] best states, expand all, repeat [depth] times *)
+  | Greedy of { max_steps : int }
+      (** hill-climb from the default spec; stop at a local optimum *)
+  | Bandit of { epsilon : float; rounds : int }
+      (** epsilon-greedy arm selection over discovered states, seeded *)
+
+val default_strategy : strategy
+val strategy_name : strategy -> string
+
+(** Parse "beam" | "greedy" | "bandit" (CLI flag values) into a strategy
+    with stock parameters. *)
+val strategy_of_string : string -> strategy option
+
+(** Telemetry for one expansion step of the search. *)
+type step_stat = {
+  step : int;
+  generated : int;  (** neighbors proposed this step *)
+  pruned : int;  (** duplicates, illegal or over-budget candidates *)
+  scored : int;  (** model evaluations this step *)
+  best_gflops : float;  (** best modeled GFLOPS after this step *)
+}
+
+type report = {
+  ranked : Autotune.entry list;
+      (** best first; measured entries (carrying [predicted_gflops]) lead
+          when [measure_top] > 0, modeled-only entries follow *)
+  evaluated : int;  (** distinct candidates model-scored *)
+  measured : int;  (** candidates promoted to real measurement *)
+  space : int;
+      (** exhaustive §II-D candidate-space size under the same
+          constraints, for "<10% of the space evaluated" assertions *)
+  steps : step_stat list;  (** chronological per-step telemetry *)
+  rank_correlation : float option;
+      (** Spearman rho between model and measured ranks over the refined
+          top-k (requires at least 2 successful measurements) *)
+  tuning_seconds : float;
+}
+
+(** The typed mutation set, exported for the legality tests: every
+    returned candidate parses, compiles for the shape it was derived
+    from, and keeps the reduction loop serial and in-order. Candidates
+    whose spec carries annotations beyond plain letters are not
+    mutable ([]). *)
+val neighbors :
+  Spec_gen.constraints -> Spec_gen.candidate -> Spec_gen.candidate list
+
+(** [search ~platform ~nthreads base] explores spec instantiations of the
+    GEMM described by [base] (blocking lists replaced per candidate, like
+    {!Autotune.tune_gemm}) under [strategy], scoring at most [max_evals]
+    candidates with the §II-E model for [platform] at [nthreads].
+
+    [measure_top] > 0 re-ranks that many model-best survivors by real
+    measurement ([measure_repeats] runs at [measure_nthreads], default
+    [nthreads]) and deposits predicted-vs-measured records in
+    [Telemetry.Registry]. [seed] only affects the [Bandit] strategy.
+    Search progress bumps the [tuner.search.*] counters. *)
+val search :
+  ?strategy:strategy ->
+  ?max_evals:int ->
+  ?measure_top:int ->
+  ?measure_repeats:int ->
+  ?measure_nthreads:int ->
+  ?seed:int ->
+  ?constraints:Spec_gen.constraints ->
+  platform:Platform.t ->
+  nthreads:int ->
+  Gemm.config ->
+  report

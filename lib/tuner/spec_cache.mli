@@ -1,0 +1,68 @@
+(** Online per-shape spec cache for the serve path.
+
+    {!enable} installs a {!Gemm.set_spec_resolver} hook and spawns one
+    background tuning domain. Serve-path layers that compile their GEMMs
+    through [Gemm.create_resolved] then behave as follows, with zero
+    layer-code changes:
+
+    - first arrival of a shape: the caller's default instantiation is
+      served unchanged and the shape is queued for background tuning
+      ([tuner.cache.misses]);
+    - the background domain runs the model-guided {!Search} over the
+      shape and probes the winning candidate for bit-identity against
+      the default spec on deterministic inputs; on success the tuned
+      (config, spec) is published ([tuner.cache.swaps]), on failure the
+      default is published instead, pinning the shape
+      ([tuner.cache.rejected]);
+    - subsequent arrivals resolve to the published instantiation
+      ([tuner.cache.hits]) — the next nest compile hot-swaps to it.
+
+    Decode outputs are bit-identical to an untuned run by construction
+    (every reachable spec keeps the per-C-block K accumulation order)
+    and by the probe (verified end-to-end before any swap).
+
+    All entry points are thread- and domain-safe. *)
+
+(** Enable online tuning: install the resolver and start the background
+    tuning domain. [nthreads] is the thread count candidates are modeled
+    at (pass the serve worker count); [max_evals] bounds model scorings
+    per shape (keep small — tuning shares the machine with serving).
+    Re-enabling restarts with a fresh cache. *)
+val enable :
+  ?strategy:Search.strategy ->
+  ?max_evals:int ->
+  ?platform:Platform.t ->
+  nthreads:int ->
+  unit ->
+  unit
+
+(** Uninstall the resolver, stop the background domain (joining it) and
+    drop all published entries and queued work. No-op when disabled. *)
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+(** Block until the tuning queue is empty and the worker idle, or
+    [timeout_s] elapses; returns whether it drained. For tests and
+    smoke runs that need deterministic swap points. *)
+val drain : timeout_s:float -> bool
+
+type entry = {
+  shape : string;  (** cache key: shape/blocks/dtype/k_step/spec *)
+  state : string;  (** "pending" or "published" *)
+  spec : string;  (** published spec; "" while pending *)
+}
+
+(** Current cache contents, sorted by shape key. *)
+val entries : unit -> entry list
+
+type stats = {
+  hits : int;
+  misses : int;
+  swaps : int;
+  rejected : int;
+  tunes : int;
+}
+
+(** The [tuner.cache.*] counter values. *)
+val stats : unit -> stats

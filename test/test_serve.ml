@@ -536,6 +536,61 @@ let test_chaos_deterministic () =
   checki "same compared" a.Serve.Chaos.compared b.Serve.Chaos.compared;
   checki "same mismatched" a.Serve.Chaos.mismatched b.Serve.Chaos.mismatched
 
+(* ---- online tuning: hot-swapped specs stay bit-identical ---- *)
+
+(* an online-tune scheduler must produce the same tokens as an untuned
+   one: first arrivals decode on the default spec while the background
+   domain tunes; once a tuned spec is published (gated on a bit-identity
+   probe), later nest compiles pick it up through the resolver hook *)
+let test_online_tune_bit_identical () =
+  clean ();
+  let llm = make_llm () in
+  let reqs () =
+    [
+      mk_req ~prompt_len:5 ~new_tokens:4 0;
+      mk_req ~prompt_len:8 ~new_tokens:6 1;
+      mk_req ~prompt_len:3 ~new_tokens:5 2;
+    ]
+  in
+  let run_wave sched rs =
+    List.iter
+      (fun r -> checkb "accepted" true (Serve.Scheduler.submit sched ~now:0.0 r))
+      rs;
+    Serve.Scheduler.drain sched ~now:frozen_now
+  in
+  (* reference: untuned scheduler, default specs everywhere *)
+  let reference =
+    let rs = reqs () in
+    run_wave (Serve.Scheduler.create llm) rs;
+    List.map Serve.Request.outputs rs
+  in
+  let config =
+    { Serve.Scheduler.default_config with Serve.Scheduler.online_tune = true }
+  in
+  Fun.protect
+    ~finally:(fun () -> Spec_cache.disable ())
+    (fun () ->
+      (* warm-up wave: first arrivals serve the default spec and enqueue
+         their shapes for the background tuner *)
+      run_wave (Serve.Scheduler.create ~config llm) (reqs ());
+      checkb "tuner drained" true (Spec_cache.drain ~timeout_s:60.0);
+      let mid = Spec_cache.stats () in
+      checkb "background tunes ran" true (mid.Spec_cache.tunes > 0);
+      checkb "at least one hot-swap" true (mid.Spec_cache.swaps > 0);
+      (* post-swap wave: the same requests now compile against published
+         specs and must reproduce the untuned outputs bit for bit *)
+      let rs = reqs () in
+      run_wave (Serve.Scheduler.create ~config llm) rs;
+      checkb "tuned specs served from cache" true
+        ((Spec_cache.stats ()).Spec_cache.hits > mid.Spec_cache.hits);
+      List.iter2
+        (fun ref_outs (r : Serve.Request.t) ->
+          List.iter2
+            (fun a b ->
+              checkb "tuned decode bit-identical" true (bits_equal a b))
+            ref_outs (Serve.Request.outputs r))
+        reference rs)
+
 let () =
   Alcotest.run "serve"
     [
@@ -583,5 +638,10 @@ let () =
             test_denial_sheds_then_recovers;
           Alcotest.test_case "chaos deterministic" `Quick
             test_chaos_deterministic;
+        ] );
+      ( "online-tune",
+        [
+          Alcotest.test_case "hot-swap bit-identical" `Quick
+            test_online_tune_bit_identical;
         ] );
     ]

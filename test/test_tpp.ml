@@ -1,8 +1,6 @@
 (* Tests for the TPP backend: unary/binary ops, BRGEMM, SpMM, composite
    blocks and the dispatch cache. *)
 
-module View = Tensor.View
-
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 let checkf msg = Alcotest.(check (float 1e-5)) msg

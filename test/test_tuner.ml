@@ -146,6 +146,152 @@ let test_measure_gemm_runs () =
   let g = Autotune.measure_gemm ~nthreads:2 ~repeats:2 cfg "BCa" in
   checkb "positive gflops" true (g > 0.0)
 
+(* ---- model-guided search ---- *)
+
+let default_cand =
+  { Spec_gen.spec = Gemm.default_spec; block_steps = [| []; []; [] |] }
+
+(* one and two mutation steps away from the default instantiation *)
+let mutation_closure cons =
+  let one = Search.neighbors cons default_cand in
+  let two = List.concat_map (Search.neighbors cons) one in
+  default_cand :: (one @ two)
+
+let test_mutations_parse_and_stay_legal () =
+  let cands = mutation_closure cons_small in
+  checkb "closure is nonempty" true (List.length cands > 10);
+  List.iter
+    (fun (c : Spec_gen.candidate) ->
+      (match Spec_parser.parse_result c.Spec_gen.spec with
+      | Ok parsed ->
+        (* occurrence counts track the blocking chains: depth+1 each *)
+        Array.iteri
+          (fun l chain ->
+            checki
+              (Printf.sprintf "%S: loop %d occurrences" c.Spec_gen.spec l)
+              (List.length chain + 1)
+              (Spec_parser.occurrence_count parsed l))
+          c.Spec_gen.block_steps
+      | Error e ->
+        Alcotest.failf "mutated spec %S does not parse: %s" c.Spec_gen.spec
+          (Spec_parser.error_to_string e));
+      (* the reduction loop must stay serial: bit-identity precondition *)
+      checkb
+        (Printf.sprintf "%S: K never parallel" c.Spec_gen.spec)
+        false
+        (String.contains c.Spec_gen.spec 'A'))
+    cands
+
+let test_mutations_compile () =
+  List.iter
+    (fun (c : Spec_gen.candidate) ->
+      let specs =
+        List.mapi
+          (fun l _ ->
+            Loop_spec.make ~bound:8 ~step:1
+              ~block_steps:c.Spec_gen.block_steps.(l) ())
+          [ (); (); () ]
+      in
+      match Threaded_loop.create specs c.Spec_gen.spec with
+      | _ -> ()
+      | exception Threaded_loop.Invalid_spec m ->
+        Alcotest.failf "mutated spec %S does not compile: %s" c.Spec_gen.spec
+          m)
+    (mutation_closure cons_small)
+
+let ranked_keys (r : Search.report) =
+  List.map
+    (fun (e : Autotune.entry) ->
+      ( e.Autotune.spec,
+        e.Autotune.cfg.Gemm.kk_blocks,
+        e.Autotune.cfg.Gemm.mk_blocks,
+        e.Autotune.cfg.Gemm.nk_blocks,
+        e.Autotune.gflops ))
+    r.Search.ranked
+
+let test_search_deterministic () =
+  let run () =
+    Search.search
+      ~strategy:(Search.Bandit { epsilon = 0.3; rounds = 40 })
+      ~max_evals:80 ~seed:7 ~platform:Platform.spr ~nthreads:16 base_cfg
+  in
+  let a = run () and b = run () in
+  checki "same evaluated" a.Search.evaluated b.Search.evaluated;
+  checkb "same ranking" true (ranked_keys a = ranked_keys b);
+  (* a different seed explores differently (sanity that the seed matters) *)
+  let c =
+    Search.search
+      ~strategy:(Search.Bandit { epsilon = 0.3; rounds = 40 })
+      ~max_evals:80 ~seed:8 ~platform:Platform.spr ~nthreads:16 base_cfg
+  in
+  checkb "seed changes exploration" true
+    (ranked_keys a <> ranked_keys c || a.Search.evaluated = c.Search.evaluated)
+
+let test_search_matches_exhaustive_cheaply () =
+  let cfg = Gemm.make_config ~bm:32 ~bn:32 ~bk:32 ~m:128 ~n:128 ~k:128 () in
+  let ex =
+    Autotune.tune_gemm ~max_candidates:100_000
+      (Autotune.Modeled { platform = Platform.spr; nthreads = 16 })
+      cfg
+  in
+  let ex_best = (List.hd ex.Autotune.ranked).Autotune.gflops in
+  let r = Search.search ~platform:Platform.spr ~nthreads:16 ~max_evals:100 cfg in
+  let best = (List.hd r.Search.ranked).Autotune.gflops in
+  checkb "within 2% of exhaustive best" true (best >= 0.98 *. ex_best);
+  checkb "under 10% of the space" true
+    (10 * r.Search.evaluated < r.Search.space);
+  checkb "steps recorded" true (r.Search.steps <> []);
+  checkb "space matches enumeration" true
+    (r.Search.space = ex.Autotune.evaluated + ex.Autotune.skipped)
+
+let test_search_measured_refinement () =
+  let cfg = Gemm.make_config ~bm:16 ~bn:16 ~bk:16 ~m:32 ~n:32 ~k:32 () in
+  let r =
+    Search.search ~platform:Platform.spr ~nthreads:4 ~max_evals:20
+      ~measure_top:2 ~measure_repeats:1 ~measure_nthreads:1 cfg
+  in
+  checkb "measured some" true (r.Search.measured > 0);
+  (* measured entries lead the ranking and carry the model's prediction *)
+  let first = List.hd r.Search.ranked in
+  checkb "leader was measured" true (first.Autotune.predicted_gflops <> None)
+
+(* ---- online spec cache ---- *)
+
+let test_spec_cache_swaps_and_serves () =
+  Spec_cache.enable ~max_evals:40 ~platform:Platform.spr ~nthreads:4 ();
+  Fun.protect ~finally:Spec_cache.disable (fun () ->
+      let cfg =
+        Gemm.make_config ~bm:32 ~bn:32 ~bk:32 ~m:128 ~n:128 ~k:128 ()
+      in
+      (* first arrival: default served, shape queued *)
+      let g0 = Gemm.create_resolved cfg "bca" in
+      checkb "first arrival keeps caller spec" true (Gemm.spec g0 = "bca");
+      checkb "drained" true (Spec_cache.drain ~timeout_s:30.0);
+      let s = Spec_cache.stats () in
+      checkb "tuned in background" true (s.Spec_cache.tunes > 0);
+      checki "nothing rejected" 0 s.Spec_cache.rejected;
+      (* "bca" is far from the model optimum: the tuner must have swapped *)
+      checkb "hot-swapped" true (s.Spec_cache.swaps > 0);
+      let g1 = Gemm.create_resolved cfg "bca" in
+      checkb "resolved to tuned spec" true (Gemm.spec g1 <> "bca");
+      checkb "hit recorded" true ((Spec_cache.stats ()).Spec_cache.hits > 0);
+      (* bit-identity of the swapped instantiation against the default *)
+      let rng = Prng.create 99 in
+      let a = Tensor.create Datatype.F32 [| 128; 128 |] in
+      let b = Tensor.create Datatype.F32 [| 128; 128 |] in
+      Tensor.fill_random a rng ~scale:1.0;
+      Tensor.fill_random b rng ~scale:1.0;
+      let c0 = Gemm.run_logical (Gemm.create cfg "bca") ~a ~b in
+      let c1 = Gemm.run_logical g1 ~a ~b in
+      let identical = ref true in
+      for i = 0 to Tensor.numel c0 - 1 do
+        if
+          Int64.bits_of_float (Tensor.get_flat c0 i)
+          <> Int64.bits_of_float (Tensor.get_flat c1 i)
+        then identical := false
+      done;
+      checkb "bit-identical outputs" true !identical)
+
 let () =
   Alcotest.run "tuner"
     [
@@ -174,5 +320,22 @@ let () =
           Alcotest.test_case "modeled ranking" `Quick test_tune_modeled_ranked;
           Alcotest.test_case "beats serial" `Quick test_tune_best_beats_serial;
           Alcotest.test_case "measured objective" `Quick test_measure_gemm_runs;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "mutations parse + stay legal" `Quick
+            test_mutations_parse_and_stay_legal;
+          Alcotest.test_case "mutations compile" `Quick test_mutations_compile;
+          Alcotest.test_case "seeded determinism" `Quick
+            test_search_deterministic;
+          Alcotest.test_case "matches exhaustive cheaply" `Quick
+            test_search_matches_exhaustive_cheaply;
+          Alcotest.test_case "measured refinement" `Quick
+            test_search_measured_refinement;
+        ] );
+      ( "spec-cache",
+        [
+          Alcotest.test_case "swap + serve + bit-identity" `Quick
+            test_spec_cache_swaps_and_serves;
         ] );
     ]
