@@ -1,4 +1,4 @@
-.PHONY: all build test fmt smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight smoke-paged smoke-tune ci clean
+.PHONY: all build test fmt smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight smoke-paged smoke-tune smoke-migrate ci clean
 
 all: build
 
@@ -78,6 +78,24 @@ smoke-paged: build
 	dune exec bench/main.exe -- --chaos --paged --spec-decode 4 --sys-prompt 32
 	@echo "smoke-paged: /tmp/bench-paged.json ok"
 
+# Failover smoke (~3 s): a 3-replica chaos run where replica 1 is
+# hard-killed mid-run with sessions mid-decode, so its live KV state
+# must migrate to the survivors (the quarantine drain path is not
+# enough). The bench binary exits non-zero on any conservation
+# violation, if the killed replica's ledger moved after the kill, if a
+# migration vanished in transit, or if no migration completed (a run
+# that proves nothing about failover); the greps insist the migration
+# counters landed in the JSON and completed is non-zero. A paged pass
+# with a shared prefix exercises the trie re-attach import path.
+smoke-migrate: build
+	dune exec bench/main.exe -- --chaos --replicas 3 --hard-kill --json /tmp/bench-migrate.json
+	@grep -q '"migrations_completed"' /tmp/bench-migrate.json \
+	  || { echo "smoke-migrate: migrations_completed missing from JSON"; exit 1; }
+	@grep -q '"migrations_completed":0[,}]' /tmp/bench-migrate.json \
+	  && { echo "smoke-migrate: no migration completed"; exit 1; } || true
+	dune exec bench/main.exe -- --chaos --replicas 3 --hard-kill --paged --sys-prompt 12
+	@echo "smoke-migrate: /tmp/bench-migrate.json ok"
+
 # Tuner smoke (~5 s): first the "tune" experiment — exhaustive vs
 # model-guided search on two GEMM shapes; the bench binary exits
 # non-zero unless beam search matches the exhaustive top-1 within 2%
@@ -105,10 +123,12 @@ smoke-tune: build
 # router conservation invariants, a chaos run with the recorder
 # armed must produce a validating post-mortem flight dump, and the
 # paged-KV path must beat contiguous on width, share prefixes, and
-# survive chaos without leaking a block, and the model-guided tuner
-# must match exhaustive search cheaply while the online spec cache
-# demonstrably serves, tunes, and hot-swaps in the serve path.
-ci: fmt build test smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight smoke-paged smoke-tune
+# survive chaos without leaking a block, a hard-killed replica's live
+# sessions must migrate and finish bit-identically on the survivors,
+# and the model-guided tuner must match exhaustive search cheaply while
+# the online spec cache demonstrably serves, tunes, and hot-swaps in
+# the serve path.
+ci: fmt build test smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight smoke-paged smoke-migrate smoke-tune
 
 clean:
 	dune clean

@@ -14,7 +14,7 @@
    experiments with the telemetry registry enabled and print the
    aggregated report — per-kernel achieved GFLOPS, JIT-cache hit rate,
    predicted-vs-measured model deviation — at the end. Pass --json FILE
-   to write the machine-readable BENCH file (schema parlooper-bench/3:
+   to write the machine-readable BENCH file (schema parlooper-bench/5:
    bench name + config + metrics per entry, plus per-replica metric
    blocks and a fleet rollup for cluster runs, and the kv.pages.* /
    serve.spec.* counters on serve entries) for runs that produce
@@ -39,9 +39,11 @@ open Toolkit
    Schema parlooper-bench/2 adds an optional per-entry "replicas" array
    ([{replica, metrics}] blocks) for cluster runs; /3 adds the paged-KV
    and speculative-decoding counters (kv_pages_..., spec_...) to serve
-   entries plus the "paged-width" entry. Both are purely additive:
-   entries without the new keys are byte-compatible with /1 and /2
-   consumers and old outputs still validate unchanged. *)
+   entries plus the "paged-width" entry; /4 adds the tuner-cache
+   counters; /5 adds the migration counters (resubmitted,
+   migrations_started/completed/failed) to cluster-chaos entries. All
+   purely additive: entries without the new keys are byte-compatible
+   with earlier consumers and old outputs still validate unchanged. *)
 
 type bench_entry = {
   bname : string;
@@ -67,7 +69,7 @@ let bench_json_string () =
           (Telemetry.Report.json_float v))
       ms
   in
-  pr "{\"schema\":\"parlooper-bench/4\",\"host\":\"%s\",\"benches\":["
+  pr "{\"schema\":\"parlooper-bench/5\",\"host\":\"%s\",\"benches\":["
     (Telemetry.Report.json_escape Platform.host.Platform.name);
   List.iteri
     (fun i e ->
@@ -676,25 +678,33 @@ let run_serve ~rate ~duration ~replicas ~shards ~disaggregate ~placement
 let chaos_failed = ref false
 
 (* cluster chaos (--chaos --replicas N): router fleet under the seeded
-   plan with a mid-run replica quarantine; the bench entry carries the
-   router conservation counters and the fleet SLO-burn gauges, and any
-   invariant violation fails the process like the single-replica run. *)
-let run_cluster_chaos ~seed ~requests ~replicas ~shards ~disaggregate ~paged
-    ~block_size ~num_blocks ~spec_k ~draft_layers ~sys_prompt () =
+   plan with a mid-run replica quarantine — or, with --hard-kill, a
+   mid-run hard kill whose in-flight sessions must live-migrate; the
+   bench entry carries the router conservation + migration counters and
+   the fleet SLO-burn gauges, and any invariant violation fails the
+   process like the single-replica run. A hard-kill run additionally
+   fails unless at least one migration completed (otherwise the run
+   proved nothing about failover). *)
+let run_cluster_chaos ~seed ~requests ~replicas ~shards ~disaggregate
+    ~hard_kill ~paged ~block_size ~num_blocks ~spec_k ~draft_layers
+    ~sys_prompt () =
+  let base = if hard_kill then Cluster.Chaos.hard_kill else Cluster.Chaos.default in
   Modelkit.section
     (Printf.sprintf
        "chaos: %d-replica fleet under seeded fault injection (seed %d, %d \
-        requests, %d shards%s%s, replica %d quarantined mid-run)"
+        requests, %d shards%s%s, replica %d %s mid-run)"
        replicas seed requests shards
        (if disaggregate then ", disaggregated" else "")
        (if paged then ", paged KV" else "")
-       Cluster.Chaos.default.Cluster.Chaos.quarantine_replica);
+       (if hard_kill then base.Cluster.Chaos.hard_kill_replica
+        else base.Cluster.Chaos.quarantine_replica)
+       (if hard_kill then "hard-killed" else "quarantined"));
   let scheduler =
-    { Cluster.Chaos.default.Cluster.Chaos.scheduler with
+    { base.Cluster.Chaos.scheduler with
       Serve.Scheduler.paged; block_size; num_blocks; spec_k; draft_layers }
   in
   let config =
-    { Cluster.Chaos.default with
+    { base with
       Cluster.Chaos.seed; requests; replicas; shards; disaggregate;
       scheduler; shared_prefix = sys_prompt }
   in
@@ -715,6 +725,9 @@ let run_cluster_chaos ~seed ~requests ~replicas ~shards ~disaggregate ~paged
          ("disaggregate", string_of_bool disaggregate);
          ("quarantine_replica",
           string_of_int config.Cluster.Chaos.quarantine_replica);
+         ("hard_kill", string_of_bool hard_kill);
+         ("hard_kill_replica",
+          string_of_int config.Cluster.Chaos.hard_kill_replica);
          ("plan", Fault.plan_to_string plan) ]
       @ paged_config_kvs ~paged ~block_size ~num_blocks ~spec_k ~draft_layers
           ~sys_prompt)
@@ -727,8 +740,12 @@ let run_cluster_chaos ~seed ~requests ~replicas ~shards ~disaggregate ~paged
         ("failed", f r.Cluster.Chaos.failed);
         ("routed", f r.Cluster.Chaos.routed);
         ("rerouted", f r.Cluster.Chaos.rerouted);
+        ("resubmitted", f r.Cluster.Chaos.resubmitted);
         ("adopted", f r.Cluster.Chaos.adopted);
         ("route_faults", f r.Cluster.Chaos.route_faults);
+        ("migrations_started", f r.Cluster.Chaos.migrations_started);
+        ("migrations_completed", f r.Cluster.Chaos.migrations_completed);
+        ("migrations_failed", f r.Cluster.Chaos.migrations_failed);
         ("compared", f r.Cluster.Chaos.compared);
         ("mismatched", f r.Cluster.Chaos.mismatched);
         ("fault_injected", f r.Cluster.Chaos.injected);
@@ -749,6 +766,11 @@ let run_cluster_chaos ~seed ~requests ~replicas ~shards ~disaggregate ~paged
   if r.Cluster.Chaos.injected = 0 then begin
     Printf.eprintf "cluster chaos: plan injected no faults — run proves \
                     nothing\n";
+    chaos_failed := true
+  end;
+  if hard_kill && r.Cluster.Chaos.migrations_completed = 0 then begin
+    Printf.eprintf "cluster chaos: hard kill completed no migrations — run \
+                    proves nothing about failover\n";
     chaos_failed := true
   end
 
@@ -1059,7 +1081,7 @@ let usage () =
     "usage: main.exe [EXPERIMENT...] [--serve] [--serve-rate HZ]\n\
     \       [--serve-duration S] [--chaos] [--chaos-seed N]\n\
     \       [--chaos-requests N] [--replicas N] [--shards M]\n\
-    \       [--disaggregate] [--placement rr|jsq|deadline]\n\
+    \       [--disaggregate] [--hard-kill] [--placement rr|jsq|deadline]\n\
     \       [--paged] [--block-size N] [--num-blocks N]\n\
     \       [--spec-decode K] [--draft-layers N] [--sys-prompt N]\n\
     \       [--online-tune] [--json FILE] [--telemetry]\n\
@@ -1079,6 +1101,7 @@ let () =
   let replicas = ref 1 in
   let shards = ref 1 in
   let disaggregate = ref false in
+  let hard_kill = ref false in
   let placement = ref Cluster.Router.Round_robin in
   let paged = ref false in
   let block_size = ref 16 in
@@ -1160,6 +1183,10 @@ let () =
     | "--disaggregate" :: rest ->
       disaggregate := true;
       parse rest
+    | "--hard-kill" :: rest ->
+      hard_kill := true;
+      chaos := true;
+      parse rest
     | "--paged" :: rest ->
       paged := true;
       parse rest
@@ -1238,11 +1265,11 @@ let () =
       ~spec_k:!spec_decode ~draft_layers:!draft_layers
       ~sys_prompt:!sys_prompt ~online_tune:!online_tune ();
   if !chaos then
-    if !replicas > 1 || !shards > 1 || !disaggregate then
+    if !replicas > 1 || !shards > 1 || !disaggregate || !hard_kill then
       run_cluster_chaos ~seed:!chaos_seed ~requests:!chaos_requests
         ~replicas:(max 2 !replicas) ~shards:!shards
-        ~disaggregate:!disaggregate ~paged:!paged ~block_size:!block_size
-        ~num_blocks:!num_blocks ~spec_k:!spec_decode
+        ~disaggregate:!disaggregate ~hard_kill:!hard_kill ~paged:!paged
+        ~block_size:!block_size ~num_blocks:!num_blocks ~spec_k:!spec_decode
         ~draft_layers:!draft_layers ~sys_prompt:!sys_prompt ()
     else
       run_chaos ~seed:!chaos_seed ~requests:!chaos_requests ~paged:!paged

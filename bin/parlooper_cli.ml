@@ -347,6 +347,14 @@ let placement_arg =
     & info [ "placement" ]
         ~doc:"router placement: rr | jsq | deadline")
 
+let hard_kill_arg =
+  Arg.(
+    value & flag
+    & info [ "hard-kill" ]
+        ~doc:"hard-kill replica 1 halfway through the run: its in-flight \
+              sessions live-migrate to the surviving replicas (requires \
+              --replicas >= 2)")
+
 let paged_arg =
   Arg.(
     value & flag
@@ -397,9 +405,9 @@ let online_tune_arg =
            (decode outputs are unchanged)")
 
 let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
-    policy seed threads replicas shards disaggregate placement paged
-    block_size num_blocks spec_decode draft_layers sys_prompt online_tune
-    live_metrics live_interval_ms trace telemetry =
+    policy seed threads replicas shards disaggregate placement hard_kill
+    paged block_size num_blocks spec_decode draft_layers sys_prompt
+    online_tune live_metrics live_interval_ms trace telemetry =
   if rate <= 0.0 || duration <= 0.0 then begin
     Printf.eprintf "--rate and --duration must be positive\n";
     exit 1
@@ -432,6 +440,10 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
   in
   if replicas < 1 || shards < 1 then begin
     Printf.eprintf "--replicas and --shards must be positive\n";
+    exit 1
+  end;
+  if hard_kill && replicas < 2 then begin
+    Printf.eprintf "--hard-kill needs --replicas >= 2 (somewhere to migrate)\n";
     exit 1
   end;
   let clustered = replicas > 1 || shards > 1 || disaggregate in
@@ -556,7 +568,8 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
         Printf.eprintf "cannot build cluster: %s\n" e;
         exit 1
     in
-    let o = Cluster.Driver.run ?live router trace_reqs in
+    let hk = if hard_kill then Some (duration /. 2.0, 1) else None in
+    let o = Cluster.Driver.run ?live ?hard_kill:hk router trace_reqs in
     finish_live o.Cluster.Driver.snapshots;
     List.iter
       (fun (i, s) ->
@@ -811,7 +824,8 @@ let serve_cmd =
       const serve $ rate_arg $ duration_arg $ prompt_min_arg $ prompt_max_arg
       $ tokens_min_arg $ tokens_max_arg $ deadline_arg $ queue_arg $ batch_arg
       $ policy_arg $ seed_arg $ threads_arg $ replicas_arg $ shards_arg
-      $ disaggregate_arg $ placement_arg $ paged_arg $ block_size_arg
+      $ disaggregate_arg $ placement_arg $ hard_kill_arg $ paged_arg
+      $ block_size_arg
       $ num_blocks_arg $ spec_decode_arg $ draft_layers_arg $ sys_prompt_arg
       $ online_tune_arg $ live_metrics_arg $ live_interval_arg $ trace_arg
       $ telemetry_arg)

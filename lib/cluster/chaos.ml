@@ -41,8 +41,13 @@ type config = {
   dt_s : float;  (* virtual seconds per drive step *)
   scheduler : Serve.Scheduler.config;
   handoff_cap : int;
-  quarantine_step : int;  (* drive step at which the quarantine fires *)
+  quarantine_step : int;
+      (* drive step at which the quarantine fires; -1 = never *)
   quarantine_replica : int;
+  hard_kill_step : int;
+      (* drive step at which a replica hard-fails (in-flight sessions
+         migrate); -1 = never *)
+  hard_kill_replica : int;
   plan : Fault.plan option;  (* None = default_plan seed *)
   max_steps : int;
 }
@@ -67,8 +72,22 @@ let default =
     handoff_cap = 8;
     quarantine_step = 40;
     quarantine_replica = 1;
+    hard_kill_step = -1;
+    hard_kill_replica = 1;
     plan = None;
     max_steps = 50_000 }
+
+(* Hard-kill scenario: one arrival per drive step and longer decodes so
+   the victim has sessions mid-decode when it dies — migration, not
+   drain-in-place, is what the invariants then exercise (the quarantine
+   path is disabled). *)
+let hard_kill =
+  { default with
+    new_tokens = Serve.Load_gen.Uniform (8, 14);
+    arrival_gap_s = default.dt_s;
+    quarantine_step = -1;
+    hard_kill_step = 12;
+    hard_kill_replica = 1 }
 
 (* Router/handoff/prefill sites plus the serve-level transients; the
    periods keep each fault a transient so the conservation ledger — not
@@ -89,7 +108,14 @@ let default_plan seed =
           rtrigger = nth 4 17 };
         (* paged-KV sites — inert unless the scheduler config is paged *)
         { rsite = "kv.page.acquire"; rkind = Fault.Deny; rtrigger = nth 6 17 };
-        { rsite = "kv.cow.copy"; rkind = Fault.Exn; rtrigger = nth 2 7 }
+        { rsite = "kv.cow.copy"; rkind = Fault.Exn; rtrigger = nth 2 7 };
+        (* migration sites — inert unless a hard kill fires mid-run. An
+           export Exn fails that session in place (still conserved); an
+           import Deny forces the router to retry the next replica. *)
+        { rsite = "cluster.migrate.export"; rkind = Fault.Exn;
+          rtrigger = nth 4 9 };
+        { rsite = "cluster.migrate.import"; rkind = Fault.Deny;
+          rtrigger = nth 2 5 }
       ] }
 
 type report = {
@@ -102,8 +128,12 @@ type report = {
   failed : int;
   routed : int;
   rerouted : int;
+  resubmitted : int;
   adopted : int;
   route_faults : int;
+  migrations_started : int;
+  migrations_completed : int;
+  migrations_failed : int;
   injected : int;
   retries : int;
   shed : int;
@@ -150,8 +180,12 @@ let counter_names =
     Serve.Metrics.kv_denied_name;
     Router.routed_name;
     Router.rerouted_name;
+    Router.resubmitted_name;
     Router.adopted_name;
     Router.route_faults_name;
+    Router.migrations_started_name;
+    Router.migrations_completed_name;
+    Router.migrations_failed_name;
     Kv_handoff.double_release_name ]
 
 let snapshot () = List.map Telemetry.Counter.value counter_names
@@ -159,6 +193,9 @@ let snapshot () = List.map Telemetry.Counter.value counter_names
 let run ?(config = default) () =
   assert (config.quarantine_replica >= 0
           && config.quarantine_replica < config.replicas);
+  assert (config.hard_kill_step < 0
+          || (config.hard_kill_replica >= 0
+             && config.hard_kill_replica < config.replicas));
   let llm = Llm.create ~rng:(Prng.create 7) ~block:8 Llm.tiny in
   let vocab = (Llm.config llm).Llm.vocab in
   Fault.clear ();
@@ -195,6 +232,11 @@ let run ?(config = default) () =
       let live = ref true in
       let q_ledger_after = ref (-1) in
       let qsched = (Router.schedulers router).(config.quarantine_replica) in
+      (* hard-kill bookkeeping: the victim's ledger ids at the kill
+         (after detach moved the in-flight sessions out) — the frozen
+         set the isolation invariant checks against *)
+      let hk_ids = ref None in
+      let ksched = (Router.schedulers router).(config.hard_kill_replica) in
       while !live && !steps < config.max_steps do
         let rec admit_due () =
           match !pending with
@@ -210,6 +252,14 @@ let run ?(config = default) () =
           q_ledger_after :=
             List.length (Serve.Scheduler.requests qsched)
         end;
+        if !steps = config.hard_kill_step then begin
+          Router.hard_fail router ~now:!vnow config.hard_kill_replica;
+          hk_ids :=
+            Some
+              (List.map
+                 (fun (r : Serve.Request.t) -> r.Serve.Request.id)
+                 (Serve.Scheduler.requests ksched))
+        end;
         ignore (Router.step router ~now);
         incr steps;
         vnow := !vnow +. config.dt_s;
@@ -218,10 +268,12 @@ let run ?(config = default) () =
       let terminated = (not !live) && !pending = [] in
       Fault.clear ();
       let delta = List.map2 (fun a b -> b - a) before (snapshot ()) in
-      let ( injected, retries, shed, denied, routed, rerouted, adopted,
-            route_faults, double_released ) =
+      let ( injected, retries, shed, denied, routed, rerouted, resubmitted,
+            adopted, route_faults, migrations_started, migrations_completed,
+            migrations_failed, double_released ) =
         match delta with
-        | [ a; b; c; d; e; f; g; h; i ] -> (a, b, c, d, e, f, g, h, i)
+        | [ a; b; c; d; e; f; g; h; i; j; k; l; m ] ->
+          (a, b, c, d, e, f, g, h, i, j, k, l, m)
         | _ -> assert false
       in
       let reqs = Router.requests router in
@@ -305,6 +357,35 @@ let run ?(config = default) () =
         (!q_ledger_after < 0
         || List.length (Serve.Scheduler.requests qsched) = !q_ledger_after)
         "quarantined replica kept receiving work";
+      (* hard-kill isolation: the dead replica's ledger is frozen at the
+         kill (detach moved the in-flight ids out; nothing routes back)
+         and holds only terminal requests *)
+      (match !hk_ids with
+      | None -> ()
+      | Some frozen ->
+        let final =
+          List.map
+            (fun (r : Serve.Request.t) -> r.Serve.Request.id)
+            (Serve.Scheduler.requests ksched)
+        in
+        check
+          (List.length final = List.length frozen
+          && List.for_all (fun id -> List.mem id frozen) final)
+          "hard-failed replica's ledger changed after the kill";
+        check
+          (List.for_all
+             (fun (r : Serve.Request.t) ->
+               Serve.Request.terminal r.Serve.Request.state)
+             (Serve.Scheduler.requests ksched))
+          "non-terminal request left on the hard-failed replica";
+        check
+          (migrations_started
+          = migrations_completed + migrations_failed)
+          "migrations started <> completed + failed (a session vanished \
+           in transit)");
+      check
+        (Router.migration_depth router = 0)
+        "migration channel not drained";
       check
         (List.for_all (fun p -> Serve.Kv_pool.in_use p = 0) (Router.pools router))
         "KV caches leaked (a fleet pool has in_use <> 0 after drain)";
@@ -335,8 +416,10 @@ let run ?(config = default) () =
       if !violations <> [] then
         ignore (Telemetry.Recorder.post_mortem ~reason:"cluster.chaos.invariant");
       { steps = !steps; terminated; submitted; finished; rejected; cancelled;
-        failed; routed; rerouted; adopted; route_faults; injected; retries;
-        shed; denied; double_released; compared = !compared;
+        failed; routed; rerouted; resubmitted; adopted; route_faults;
+        migrations_started; migrations_completed; migrations_failed;
+        injected; retries; shed; denied; double_released;
+        compared = !compared;
         mismatched = !mismatched;
         fleet_slo_ttft = Telemetry.Gauge.value Router.fleet_slo_ttft_name;
         fleet_slo_deadline =
@@ -351,9 +434,11 @@ let report_to_string r =
   pr "ledger:   %d submitted = %d finished + %d rejected + %d cancelled + \
       %d failed\n"
     r.submitted r.finished r.rejected r.cancelled r.failed;
-  pr "router:   %d routed, %d rerouted (quarantine), %d adopted (handoff), \
-      %d route faults\n"
-    r.routed r.rerouted r.adopted r.route_faults;
+  pr "router:   %d routed, %d rerouted (%d resubmitted), %d adopted \
+      (handoff), %d route faults\n"
+    r.routed r.rerouted r.resubmitted r.adopted r.route_faults;
+  pr "failover: %d migrations started, %d completed, %d failed\n"
+    r.migrations_started r.migrations_completed r.migrations_failed;
   pr "identity: %d finished compared vs solo replay, %d mismatched\n"
     r.compared r.mismatched;
   pr "faults:   %d injected, %d retries, %d shed, %d KV denials, %d double \

@@ -1,14 +1,18 @@
 (** Cluster-level chaos harness: drives a {!Router} fleet under a seeded
-    {!Fault} plan with a mid-run replica quarantine, then checks the
-    router conservation invariants — fleet drains, router ledger
-    conserves every request exactly once (terminal states sum to
+    {!Fault} plan with a mid-run replica quarantine (or hard kill), then
+    checks the router conservation invariants — fleet drains, router
+    ledger conserves every request exactly once (terminal states sum to
     submissions, no id duplicated, each id in at most one decode
-    replica's ledger), nothing is double-served, the quarantined replica
-    receives no work after the quarantine, all KV pools and the handoff
-    channel drain, no handoff cache is released twice, and every finished
-    request's outputs are bit-identical to a fault-free solo replay of
-    the same model. The drive is virtual-clock and the plan is
-    invocation-count triggered, so a seed reproduces everywhere. *)
+    replica's ledger — including ids that migrated off a dead replica),
+    nothing is double-served, the quarantined replica receives no work
+    after the quarantine, a hard-failed replica's ledger is frozen at
+    the kill with only terminal entries, every started migration either
+    completes or fails (none vanish in transit), all KV pools, the
+    handoff channel and the migration channel drain, no handoff cache is
+    released twice, and every finished request's outputs are
+    bit-identical to a fault-free solo contiguous replay of the same
+    model. The drive is virtual-clock and the plan is invocation-count
+    triggered, so a seed reproduces everywhere. *)
 
 type config = {
   seed : int;
@@ -28,15 +32,27 @@ type config = {
   dt_s : float;  (** virtual seconds per drive step *)
   scheduler : Serve.Scheduler.config;
   handoff_cap : int;
-  quarantine_step : int;  (** drive step at which the quarantine fires *)
+  quarantine_step : int;
+      (** drive step at which the quarantine fires; -1 = never *)
   quarantine_replica : int;
+  hard_kill_step : int;
+      (** drive step at which a replica hard-fails ({!Router.hard_fail} —
+          in-flight sessions migrate); -1 = never *)
+  hard_kill_replica : int;
   plan : Fault.plan option;  (** [None] = {!default_plan} [seed] *)
   max_steps : int;  (** liveness bound on the drive loop *)
 }
 
 (** 24 requests over 3 replicas, replica 1 quarantined at step 40,
-    transient faults on prefill/decode/KV-admission/route/handoff. *)
+    transient faults on prefill/decode/KV-admission/route/handoff; no
+    hard kill. *)
 val default : config
+
+(** {!default} with the quarantine replaced by a hard kill of replica 1
+    at step 12, one arrival per drive step and longer decodes — the
+    victim dies with sessions mid-decode, so live migration (not
+    drain-in-place) is what the invariants exercise. *)
+val hard_kill : config
 
 (** Router, prefill and handoff sites plus the serve-level transients;
     all periodic, so recovery — not wholesale failure — is exercised. *)
@@ -52,8 +68,12 @@ type report = {
   failed : int;
   routed : int;
   rerouted : int;  (** moved off the quarantined replica *)
+  resubmitted : int;  (** re-route resubmissions (not double-counted) *)
   adopted : int;  (** decode sessions adopted from the handoff *)
   route_faults : int;
+  migrations_started : int;  (** in-flight sessions detached at the kill *)
+  migrations_completed : int;  (** resumed on a healthy replica *)
+  migrations_failed : int;  (** failed terminally (still conserved) *)
   injected : int;
   retries : int;
   shed : int;

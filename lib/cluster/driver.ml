@@ -28,10 +28,22 @@ let replica_summary i sched ~elapsed_s =
         (Telemetry.Histogram.find_or_create
            (Serve.Metrics.replica_tpot_ms_name i)) }
 
-let run ?live router trace =
+let run ?live ?hard_kill router trace =
   let t0 = Telemetry.Clock.now_s () in
   let now () = Telemetry.Clock.now_s () -. t0 in
   let pending = ref trace in
+  let killed = ref false in
+  let maybe_kill () =
+    match hard_kill with
+    | Some (at, replica) when (not !killed) && now () >= at ->
+      killed := true;
+      Printf.printf
+        "hard-killing replica %d at t=%.2fs: migrating its in-flight \
+         sessions\n%!"
+        replica (now ());
+      Router.hard_fail router ~now:(now ()) replica
+    | _ -> ()
+  in
   let snapshots = ref 0 in
   let prev = ref None in
   let last_emit = ref 0.0 in
@@ -67,6 +79,7 @@ let run ?live router trace =
   in
   let rec loop () =
     submit_due ();
+    maybe_kill ();
     let worked = Router.step router ~now in
     maybe_emit ();
     if !pending <> [] || Router.busy router then begin
@@ -76,6 +89,12 @@ let run ?live router trace =
   in
   loop ();
   emit_snapshot ();
+  if !killed then
+    Printf.printf
+      "failover: %d migrations started, %d completed, %d failed\n%!"
+      (Telemetry.Counter.value Router.migrations_started_name)
+      (Telemetry.Counter.value Router.migrations_completed_name)
+      (Telemetry.Counter.value Router.migrations_failed_name);
   let elapsed = now () in
   let requests = Router.requests router in
   let tokens = Router.tokens_emitted router in

@@ -14,10 +14,15 @@ type outcome = {
   snapshots : int;  (** live JSONL lines written; 0 when [live] absent *)
 }
 
-(** [run ?live router trace] — [trace] must be arrival-time-sorted.
-    Blocks until the fleet drains. *)
+(** [run ?live ?hard_kill router trace] — [trace] must be
+    arrival-time-sorted. Blocks until the fleet drains.
+    [hard_kill = (at_s, replica)] hard-fails [replica]
+    ({!Router.hard_fail}) once the wall clock passes [at_s]: its
+    in-flight sessions live-migrate to the survivors and the migration
+    counters are printed after the drain. *)
 val run :
   ?live:Serve.Driver.live ->
+  ?hard_kill:float * int ->
   Router.t ->
   (float * Serve.Request.t) list ->
   outcome

@@ -1,13 +1,43 @@
-(** Bounded prefill → decode KV handoff channel (disaggregation seam,
-    built on {!Serve.Kv_pool} ownership transfer): a prefill replica
-    pushes a finished prefill — request plus filled KV cache — and a
-    decode replica adopts it. The cache itself never moves; only
-    ownership does. Each entry carries an {e exactly-once} [release]
-    closure returning the cache to the pool that created it; a second
-    invocation is swallowed and counted under
-    [cluster.handoff.double_release]. The [cluster.handoff.push] fault
-    site fires inside {!push} (Deny = channel full, Exn = transport
-    failure). *)
+(** Bounded handoff channels — the seam work crosses when it moves
+    between replicas. The generic ['a chan] is a capacity-bounded FIFO
+    with depth telemetry whose [`Full] is a {e structured, retryable}
+    backpressure signal (producers reclaim or drain-and-retry, never
+    drop). The prefill → decode KV handoff ([t]) is one instantiation:
+    a prefill replica pushes a finished prefill — request plus filled KV
+    cache — and a decode replica adopts it. The cache itself never
+    moves; only ownership does. Each entry carries an {e exactly-once}
+    [release] closure returning the cache to the pool that created it; a
+    second invocation is swallowed and counted under
+    [cluster.handoff.double_release]. The router builds its migration
+    channel (detached in-flight sessions during a hard-kill failover)
+    from the same ['a chan]. *)
+
+(** Generic bounded FIFO channel. *)
+type 'a chan
+
+(** Raised by producers that exhausted their structured retry path on a
+    persistently full channel (drain-and-retry found no room). *)
+exception Backpressure of string
+
+(** [chan_create ?cap ~pushed ~popped ~depth ()] — a channel of at most
+    [cap] (default 16) items publishing under the given counter/gauge
+    telemetry names. *)
+val chan_create :
+  ?cap:int -> pushed:string -> popped:string -> depth:string -> unit -> 'a chan
+
+val chan_depth : 'a chan -> int
+val chan_is_full : 'a chan -> bool
+
+(** [`Full] when at capacity — backpressure, the caller keeps ownership
+    and must reclaim or drain-and-retry. *)
+val chan_push : 'a chan -> 'a -> [ `Ok | `Full ]
+
+(** Oldest item, transferring ownership to the caller. *)
+val chan_pop : 'a chan -> 'a option
+
+(** Put a popped item back at the head (the consumer could not take it);
+    preserves channel order, no push/pop accounting. *)
+val chan_requeue : 'a chan -> 'a -> unit
 
 type entry = {
   req : Serve.Request.t;
@@ -15,7 +45,8 @@ type entry = {
   release : Llm.kv_cache -> unit;  (** exactly-once, owning-pool release *)
 }
 
-type t
+(** The prefill → decode KV handoff channel. *)
+type t = entry chan
 
 val pushed_name : string
 val popped_name : string
@@ -27,6 +58,11 @@ val create : ?cap:int -> unit -> t
 
 val depth : t -> int
 val is_full : t -> bool
+
+(** Wrap a release closure for exactly-once invocation; a second call is
+    swallowed and counted under [cluster.handoff.double_release]. *)
+val once :
+  release:(Llm.kv_cache -> unit) -> Llm.kv_cache -> unit
 
 (** [`Full] when at capacity (or fault-denied); the caller keeps
     ownership of [cache] and must reclaim it. May raise

@@ -13,24 +13,55 @@
    deadlines do not reset; its in-flight sessions keep decoding until
    they drain. Each request therefore lives in exactly one decode
    ledger at any time — nothing is lost, nothing is double-served.
+   Rejoin ([unquarantine]) is gated on a health probe, not a flag flip.
 
-   Accounting note: re-routing re-submits, so the monotonic global
-   serve.submitted counter counts a re-routed request twice; the
-   router's own ledger (each request exactly once) is the source of
-   truth for fleet request accounting, and [cluster.router.rerouted]
-   records the double-counts. *)
+   Hard failure ([hard_fail]) goes further: the replica is dead, so even
+   its in-flight sessions move — each is detached (KV snapshot + ledger
+   removal + exactly-once source release), carried through the bounded
+   migration channel, and resumed on a healthy replica chosen by the
+   placement policy with its original arrival stamp. The destination
+   import is the commit point: the source KV is freed only after a
+   successful resume, so a fault anywhere mid-migration leaves exactly
+   one live copy.
+
+   Accounting note: re-routing re-submits through
+   [Serve.Scheduler.resubmit], which does NOT bump the monotonic global
+   serve.submitted counter again — each resubmission is tallied under
+   [cluster.router.resubmitted] instead, so serve.submitted, the
+   router's ledger (each request exactly once) and the resubmission
+   count reconcile exactly. [cluster.router.rerouted] still counts
+   re-route events. *)
 
 (* fires per routing decision: Deny = admission refused at the front
    door (request rejected, accounted), Exn = placement failure (degrades
    to first-healthy routing) *)
 let route_site = Fault.site "cluster.router.route"
 
+(* migration fault sites: [export] fires before a session is
+   checkpointed off a dead replica (Exn/Deny fail that session in place
+   — terminal, ledgered, nothing lost); [import] fires at the
+   destination just before the commit point (Exn/Deny leave the package
+   intact and the router retries the next healthy replica) *)
+let migrate_export_site = Fault.site "cluster.migrate.export"
+let migrate_import_site = Fault.site "cluster.migrate.import"
+
 let routed_name = "cluster.router.routed"
 let rerouted_name = "cluster.router.rerouted"
+let resubmitted_name = "cluster.router.resubmitted"
 let rejected_name = "cluster.router.rejected"
 let route_faults_name = "cluster.router.route_faults"
 let quarantines_name = "cluster.router.quarantines"
+let rejoins_name = "cluster.router.rejoins"
+let hard_fails_name = "cluster.router.hard_fails"
 let adopted_name = "cluster.adopted"
+let migrations_started_name = "cluster.migrations.started"
+let migrations_completed_name = "cluster.migrations.completed"
+let migrations_failed_name = "cluster.migrations.failed"
+let migrate_backpressure_name = "cluster.migrate.backpressure"
+let migrate_pushed_name = "cluster.migrate.pushed"
+let migrate_popped_name = "cluster.migrate.popped"
+let migrate_depth_name = "cluster.migrate.depth"
+let migration_ms_name = "cluster.migration_ms"
 let fleet_inflight_name = "cluster.fleet.inflight"
 let fleet_slo_ttft_name = "cluster.fleet.slo.ttft_breaches"
 let fleet_slo_deadline_name = "cluster.fleet.slo.deadline_breaches"
@@ -72,14 +103,25 @@ type t = {
   handoff : Kv_handoff.t option;
   prefiller : Prefiller.t option;
   quarantined : bool array;
+  hard_failed : bool array;  (* implies quarantined *)
+  migrations : (float * Serve.Scheduler.detached) Kv_handoff.chan;
+      (* detached sessions in transit, stamped with detach wall time *)
   mutable rr : int;  (* round-robin cursor *)
   mutable ledger : Serve.Request.t list;  (* every submission, newest first *)
   routed_c : Telemetry.Counter.t;
   rerouted_c : Telemetry.Counter.t;
+  resubmitted_c : Telemetry.Counter.t;
   rejected_c : Telemetry.Counter.t;
   route_faults_c : Telemetry.Counter.t;
   quarantines_c : Telemetry.Counter.t;
+  rejoins_c : Telemetry.Counter.t;
+  hard_fails_c : Telemetry.Counter.t;
   adopted_c : Telemetry.Counter.t;
+  migr_started_c : Telemetry.Counter.t;
+  migr_completed_c : Telemetry.Counter.t;
+  migr_failed_c : Telemetry.Counter.t;
+  migr_backpressure_c : Telemetry.Counter.t;
+  migration_ms_h : Telemetry.Histogram.t;
   inflight_g : Telemetry.Gauge.t;
   slo_ttft_g : Telemetry.Gauge.t;
   slo_deadline_g : Telemetry.Gauge.t;
@@ -146,13 +188,27 @@ let create ?(config = default_config) llm =
       let g = Telemetry.Gauge.find_or_create in
       Ok
         { cfg = config; scheds; handoff; prefiller;
-          quarantined = Array.make config.replicas false; rr = 0; ledger = [];
+          quarantined = Array.make config.replicas false;
+          hard_failed = Array.make config.replicas false;
+          migrations =
+            Kv_handoff.chan_create ~cap:config.handoff_cap
+              ~pushed:migrate_pushed_name ~popped:migrate_popped_name
+              ~depth:migrate_depth_name ();
+          rr = 0; ledger = [];
           routed_c = c routed_name;
           rerouted_c = c rerouted_name;
+          resubmitted_c = c resubmitted_name;
           rejected_c = c rejected_name;
           route_faults_c = c route_faults_name;
           quarantines_c = c quarantines_name;
+          rejoins_c = c rejoins_name;
+          hard_fails_c = c hard_fails_name;
           adopted_c = c adopted_name;
+          migr_started_c = c migrations_started_name;
+          migr_completed_c = c migrations_completed_name;
+          migr_failed_c = c migrations_failed_name;
+          migr_backpressure_c = c migrate_backpressure_name;
+          migration_ms_h = Telemetry.Histogram.find_or_create migration_ms_name;
           inflight_g = g fleet_inflight_name;
           slo_ttft_g = g fleet_slo_ttft_name;
           slo_deadline_g = g fleet_slo_deadline_name;
@@ -273,16 +329,160 @@ let quarantine t i =
         match choose t r with
         | None -> reject_at_router t r ~now:r.Serve.Request.arrival_s
         | Some j ->
+          Telemetry.Counter.incr t.resubmitted_c;
           ignore
-            (Serve.Scheduler.submit t.scheds.(j)
+            (Serve.Scheduler.resubmit t.scheds.(j)
                ~now:r.Serve.Request.arrival_s r))
       evicted
   end
 
+(* Rejoin is gated on a health probe — one successful no-op engine step
+   on the replica — not a bare flag flip; [false] means the probe failed
+   and the replica stays out of the rotation. A hard-failed replica may
+   rejoin the same way (the probe is what models its restart). *)
 let unquarantine t i =
-  if i >= 0 && i < t.cfg.replicas && t.quarantined.(i) then begin
-    t.quarantined.(i) <- false;
-    Telemetry.Gauge.set t.quarantine_gs.(i) 0
+  if i < 0 || i >= t.cfg.replicas then
+    invalid_arg "Router.unquarantine: bad replica"
+  else if not t.quarantined.(i) then true
+  else begin
+    let ok = Serve.Scheduler.probe t.scheds.(i) in
+    if ok then begin
+      t.quarantined.(i) <- false;
+      t.hard_failed.(i) <- false;
+      Telemetry.Counter.incr t.rejoins_c;
+      Telemetry.Gauge.set t.quarantine_gs.(i) 0
+    end;
+    ok
+  end
+
+let migration_depth t = Kv_handoff.chan_depth t.migrations
+
+(* one destination attempt: [`Resumed] commits; [`Full]/[`Denied]/an
+   exception (the [cluster.migrate.import] site, or any import error)
+   leave the package intact for the next candidate *)
+let try_resume t ~now (d : Serve.Scheduler.detached) j =
+  match
+    Serve.Scheduler.resume t.scheds.(j)
+      ~before_import:(fun () ->
+        match Fault.fire migrate_import_site with
+        | `Deny -> failwith "cluster.migrate.import: denied"
+        | `None | `Nan -> ())
+      ~now d
+  with
+  | `Resumed -> true
+  | `Full | `Denied -> false
+  | exception _ -> false
+
+(* Drain the migration channel: place each detached session on a healthy
+   replica (placement policy first, then the remaining healthy replicas
+   in order). On success the destination import has committed, so — and
+   only then — the source KV is released and the latency recorded. A
+   session no replica can take *right now* ([`Full]/[`Denied]
+   everywhere) is requeued at the head and retried next step; with no
+   healthy replica at all it fails terminally (exactly one release,
+   counted under cluster.migrations.failed) rather than spinning —
+   conservation over availability, never a silent drop. *)
+let drain_migrations t ~now =
+  let worked = ref false in
+  let fail_terminally (d : Serve.Scheduler.detached) =
+    let r = d.Serve.Scheduler.d_req in
+    r.Serve.Request.state <- Serve.Request.Failed;
+    r.Serve.Request.finish_s <- now -. r.Serve.Request.arrival_s;
+    d.Serve.Scheduler.d_release ();
+    Telemetry.Counter.incr t.migr_failed_c
+  in
+  let rec go () =
+    match Kv_handoff.chan_pop t.migrations with
+    | None -> ()
+    | Some (t0, d) -> (
+      match healthy t with
+      | [] ->
+        fail_terminally d;
+        worked := true;
+        go ()
+      | hs ->
+        let candidates =
+          match choose t d.Serve.Scheduler.d_req with
+          | Some j -> j :: List.filter (fun k -> k <> j) hs
+          | None -> hs
+        in
+        if List.exists (try_resume t ~now d) candidates then begin
+          (* commit point passed: the destination owns the session *)
+          d.Serve.Scheduler.d_release ();
+          Telemetry.Counter.incr t.migr_completed_c;
+          Telemetry.Histogram.observe t.migration_ms_h
+            (1000.0 *. (Telemetry.Clock.now_s () -. t0));
+          worked := true;
+          go ()
+        end
+        else Kv_handoff.chan_requeue t.migrations (t0, d))
+  in
+  go ();
+  !worked
+
+(* Hard failure: unlike [quarantine] (stop routing, drain in place),
+   replica [i] is dead — its queued requests are evicted and re-routed
+   exactly as in quarantine, and every in-flight session is detached and
+   pushed through the bounded migration channel. A [`Full] push is
+   structured backpressure: drain in place, retry, and as a last resort
+   place the session directly — never drop it. Safe to call twice. *)
+let hard_fail t ~now i =
+  if i < 0 || i >= t.cfg.replicas then
+    invalid_arg "Router.hard_fail: bad replica";
+  if not t.hard_failed.(i) then begin
+    t.hard_failed.(i) <- true;
+    Telemetry.Counter.incr t.hard_fails_c;
+    quarantine t i;
+    (* gauge level 2 distinguishes dead from drained-in-place *)
+    Telemetry.Gauge.set t.quarantine_gs.(i) 2;
+    let sched = t.scheds.(i) in
+    let rec detach_all () =
+      match
+        Serve.Scheduler.detach_next sched ~now_s:now
+          ~before_export:(fun () ->
+            match Fault.fire migrate_export_site with
+            | `Deny -> failwith "cluster.migrate.export: denied"
+            | `None | `Nan -> ())
+      with
+      | `Empty -> ()
+      | `Failed _ ->
+        (* export fault: the session failed in place, still ledgered *)
+        Telemetry.Counter.incr t.migr_started_c;
+        Telemetry.Counter.incr t.migr_failed_c;
+        detach_all ()
+      | `Detached d ->
+        Telemetry.Counter.incr t.migr_started_c;
+        let item = (Telemetry.Clock.now_s (), d) in
+        (match Kv_handoff.chan_push t.migrations item with
+        | `Ok -> ()
+        | `Full -> (
+          Telemetry.Counter.incr t.migr_backpressure_c;
+          ignore (drain_migrations t ~now);
+          match Kv_handoff.chan_push t.migrations item with
+          | `Ok -> ()
+          | `Full ->
+            (* channel still full (all destinations refusing): place
+               this one directly rather than drop it *)
+            let placed =
+              match healthy t with
+              | [] -> false
+              | hs -> List.exists (try_resume t ~now d) hs
+            in
+            if placed then begin
+              d.Serve.Scheduler.d_release ();
+              Telemetry.Counter.incr t.migr_completed_c
+            end
+            else begin
+              let r = d.Serve.Scheduler.d_req in
+              r.Serve.Request.state <- Serve.Request.Failed;
+              r.Serve.Request.finish_s <- now -. r.Serve.Request.arrival_s;
+              d.Serve.Scheduler.d_release ();
+              Telemetry.Counter.incr t.migr_failed_c
+            end));
+        detach_all ()
+    in
+    detach_all ();
+    ignore (drain_migrations t ~now)
   end
 
 (* per-replica + fleet gauges: levels recomputed once per step *)
@@ -344,9 +544,16 @@ let step t ~now =
   | Some p -> if Prefiller.step p ~now then worked := true
   | None -> ());
   if drain_handoff t ~now then worked := true;
-  (* quarantined replicas still step: their in-flight batch must drain *)
-  Array.iter
-    (fun s -> if Serve.Scheduler.step s ~now then worked := true)
+  (* sessions stranded in the migration channel retry every step — a
+     destination that was [`Full] frees slots as its batch drains *)
+  if migration_depth t > 0 && drain_migrations t ~now:(now ()) then
+    worked := true;
+  (* quarantined replicas still step (their in-flight batch must drain);
+     hard-failed ones are dead — detach emptied them, nothing runs *)
+  Array.iteri
+    (fun i s ->
+      if (not t.hard_failed.(i)) && Serve.Scheduler.step s ~now then
+        worked := true)
     t.scheds;
   publish t;
   !worked
@@ -354,6 +561,7 @@ let step t ~now =
 let busy t =
   Array.exists Serve.Scheduler.busy t.scheds
   || handoff_depth t > 0
+  || migration_depth t > 0
   || match t.prefiller with None -> false | Some p -> Prefiller.busy p
 
 let drain t ~now =

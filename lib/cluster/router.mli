@@ -12,6 +12,17 @@
     conservation invariant {!Chaos} checks. The router's own ledger
     (each request exactly once) is the fleet's source of truth.
 
+    Hard failure ({!hard_fail}) treats the replica as dead: even its
+    in-flight sessions move — detached ({!Serve.Scheduler.detach_next}),
+    carried through a bounded migration channel (backpressure is
+    structured and retryable, never a drop), and resumed on healthy
+    replicas. The destination import is the commit point; the source KV
+    is freed only after, so faults mid-migration (the
+    [cluster.migrate.export]/[cluster.migrate.import] sites) leave
+    exactly one live copy. Migrations are counted under
+    [cluster.migrations.{started,completed,failed}] with latencies in
+    the [cluster.migration_ms] histogram.
+
     Fault site [cluster.router.route] fires per routing decision:
     [Deny] rejects at the front door (accounted), [Exn] degrades to
     first-healthy placement. Per-replica queue/active/quarantine levels
@@ -65,9 +76,27 @@ val drain : t -> now:(unit -> float) -> unit
     (original arrival stamps), let its in-flight batch drain. Idempotent. *)
 val quarantine : t -> int -> unit
 
-val unquarantine : t -> int -> unit
+(** [hard_fail t ~now i] — replica [i] died: quarantine it, then detach
+    every in-flight session and migrate each through the bounded
+    migration channel to a healthy replica chosen by the placement
+    policy (original arrival stamps preserved inside the requests).
+    Sessions no replica can take right now stay in the channel and are
+    retried every {!step}; with no healthy replica at all they fail
+    terminally (exactly one KV release) rather than spin. Idempotent. *)
+val hard_fail : t -> now:float -> int -> unit
+
+(** Rejoin replica [i], gated on a health probe (one successful no-op
+    engine step — {!Serve.Scheduler.probe}) rather than a bare flag
+    flip. [false]: the probe failed, the replica stays quarantined.
+    [true] on an already-healthy replica. Hard-failed replicas may
+    rejoin too (the probe models their restart). *)
+val unquarantine : t -> int -> bool
+
 val is_quarantined : t -> int -> bool
 val healthy : t -> int list
+
+(** Detached sessions currently in transit (0 once drained). *)
+val migration_depth : t -> int
 
 (** Router ledger, oldest first — each request exactly once, regardless
     of re-routes or disaggregation. *)
@@ -82,10 +111,18 @@ val pools : t -> Serve.Kv_pool.t list
 val routed_name : string
 
 val rerouted_name : string
+val resubmitted_name : string
 val rejected_name : string
 val route_faults_name : string
 val quarantines_name : string
+val rejoins_name : string
+val hard_fails_name : string
 val adopted_name : string
+val migrations_started_name : string
+val migrations_completed_name : string
+val migrations_failed_name : string
+val migrate_backpressure_name : string
+val migration_ms_name : string
 val fleet_inflight_name : string
 val fleet_slo_ttft_name : string
 val fleet_slo_deadline_name : string

@@ -200,6 +200,79 @@ let append_rows cache (e : kv_entry) ~k_new ~v_new =
   copy_rows ~hidden ~rows:n v_new e.v ~dst_row:e.used;
   e.used <- e.used + n
 
+(* ---- live-migration checkpoint/restore over the dense export ----
+
+   [export_cache] snapshots the first [len] valid rows of every layer
+   into an arena-independent dense export (a pure read — the cache stays
+   the live copy); [import_cache] materializes such a snapshot into an
+   EMPTY cache on any replica, either storage policy. Because both
+   policies feed attention dense rows in token order, a resumed decode
+   over an imported cache is bit-identical to the source continuing. *)
+let export_cache c =
+  match c.store with
+  | Paged p -> Kv.Seq.export p.seq ~rows:c.len
+  | Contig entries ->
+    let layers = Array.length entries in
+    let dense () =
+      Array.init layers (fun _ ->
+          Tensor.create Datatype.F32 [| max c.len 1; c.hidden |])
+    in
+    let xk = dense () and xv = dense () in
+    Array.iteri
+      (fun l e ->
+        copy_rows ~hidden:c.hidden ~rows:c.len e.k xk.(l) ~dst_row:0;
+        copy_rows ~hidden:c.hidden ~rows:c.len e.v xv.(l) ~dst_row:0)
+      entries;
+    { Kv.Block_manager.xrows = c.len; xlayers = layers; xhidden = c.hidden;
+      xk; xv }
+
+(* Restore a snapshot into an empty cache. Paged: [attach] re-shares the
+   destination trie's blocks for the first [alen] (block-aligned) rows —
+   bit-identical to the exported bytes since both replicas run the same
+   deterministic engine over the same prefix — then the remainder is
+   imported as private blocks; the freshly acquired blocks are adopted
+   without an extra retain (ownership transfer). This is the commit
+   point of a migration: on a [`Denied] arena the attached blocks are
+   released and [Kv.Seq.Out_of_blocks] is raised with the destination
+   left untouched, so the caller's export snapshot remains the one live
+   copy. Contig: the dense rows are appended per layer. *)
+let import_cache c ?attach:att (e : Kv.Block_manager.export) =
+  assert (c.len = 0);
+  if e.Kv.Block_manager.xhidden <> c.hidden then
+    invalid_arg "Llm.import_cache: hidden mismatch";
+  (match c.store with
+  | Contig entries ->
+    if e.Kv.Block_manager.xlayers <> Array.length entries then
+      invalid_arg "Llm.import_cache: layer mismatch";
+    if att <> None then invalid_arg "Llm.import_cache: attach on contiguous";
+    if e.Kv.Block_manager.xrows > 0 then
+      Array.iteri
+        (fun l entry ->
+          append_rows c entry
+            ~k_new:(Tensor.sub_rows e.Kv.Block_manager.xk.(l)
+                      e.Kv.Block_manager.xrows)
+            ~v_new:(Tensor.sub_rows e.Kv.Block_manager.xv.(l)
+                      e.Kv.Block_manager.xrows))
+        entries
+  | Paged p ->
+    let from =
+      match att with
+      | None -> 0
+      | Some (blocks, alen) ->
+        assert (alen <= e.Kv.Block_manager.xrows);
+        Kv.Seq.attach p.seq ~blocks;
+        alen
+    in
+    (match Kv.Block_manager.import (Kv.Seq.manager p.seq) e ~from with
+    | `Blocks fresh -> Kv.Seq.adopt p.seq ~blocks:fresh
+    | `Denied ->
+      Kv.Seq.release_all p.seq;
+      raise Kv.Seq.Out_of_blocks
+    | exception exn ->
+      Kv.Seq.release_all p.seq;
+      raise exn));
+  c.len <- e.Kv.Block_manager.xrows
+
 (* storage-agnostic append: write this layer's fresh K/V rows at token
    positions [cache.len, cache.len + n). Layer 0 reserves the block-table
    capacity for the whole forward pass (allocation is per token position,

@@ -76,6 +76,23 @@ val reset_cache : kv_cache -> unit
     re-appends into writable storage and recovery is bit-identical. *)
 val truncate_cache : kv_cache -> int -> unit
 
+(** Snapshot the cache's valid rows into an arena-independent dense
+    {!Kv.Block_manager.export} (either storage policy). A pure read —
+    the cache stays the live copy of the session's KV state. *)
+val export_cache : kv_cache -> Kv.Block_manager.export
+
+(** [import_cache c ?attach e] restores a snapshot into an {e empty}
+    cache — the commit point of a live migration. Paged caches may
+    [?attach] destination-trie blocks covering the first [alen]
+    (block-aligned) rows as [(blocks, alen)] — bit-identical to the
+    exported bytes, since every replica runs the same deterministic
+    engine over the same prefix — and the remainder is imported as
+    private blocks. On arena denial the destination is left untouched
+    and [Kv.Seq.Out_of_blocks] raises, so the caller's snapshot remains
+    the one live copy. Raises [Invalid_argument] on shape mismatch. *)
+val import_cache :
+  kv_cache -> ?attach:int array * int -> Kv.Block_manager.export -> unit
+
 (** [prefill t cache embeddings] runs the prefill phase over
     [n_in x hidden] input embeddings, fills the cache and returns the last
     hidden state [1 x hidden] ("first token" computation). *)

@@ -146,6 +146,72 @@ let blit_rows ~hidden ~rows (src : Tensor.t) ~src_row (dst : Tensor.t)
       (Bigarray.Array1.sub src.Tensor.data (src_row * hidden) (rows * hidden))
       (Bigarray.Array1.sub dst.Tensor.data (dst_row * hidden) (rows * hidden))
 
+(* ---- live-migration snapshot: dense export / arena import ----
+
+   An [export] is an arena-independent checkpoint of a sequence's valid
+   K/V rows: per layer, token rows [0, xrows) packed contiguously. It
+   carries no block ids, so it can be materialized into a *different*
+   replica's arena; because import writes row j of the export at token
+   position j, a [Seq.gather] over the imported table reproduces exactly
+   the dense K/V the source replica's attention saw — the row-layout
+   preservation that keeps gather-fed attention bit-identical across a
+   migration. *)
+type export = {
+  xrows : int;
+  xlayers : int;
+  xhidden : int;
+  xk : Tensor.t array;  (* layer -> [xrows x hidden], dense *)
+  xv : Tensor.t array;
+}
+
+(* Materialize export rows [from, xrows) into this arena: acquire the
+   covering blocks (refcount 1 each, fault-governed like any acquire)
+   and blit every layer's rows into their slots. All-or-nothing: a
+   denial or an exception mid-import releases the partially acquired
+   blocks before reporting, so a failed import leaves the destination
+   arena untouched — the source snapshot stays the one live copy.
+   [from] must be block-aligned (the caller's prefix re-attach covers
+   only full trie chunks). *)
+let import t (e : export) ~from =
+  if e.xlayers <> t.layers || e.xhidden <> t.hidden then
+    invalid_arg "Block_manager.import: export shape does not match arena";
+  if from < 0 || from > e.xrows || from mod t.block_size <> 0 then
+    invalid_arg "Block_manager.import: bad block-aligned offset";
+  let rows = e.xrows - from in
+  let nblocks = (rows + t.block_size - 1) / t.block_size in
+  let acquired = ref [] in
+  let cleanup () = List.iter (release t) !acquired in
+  let rec grab n =
+    if n = 0 then `Ok
+    else
+      match acquire t with
+      | `Denied -> `Denied
+      | `Block b ->
+        acquired := b :: !acquired;
+        grab (n - 1)
+  in
+  match grab nblocks with
+  | `Denied ->
+    cleanup ();
+    `Denied
+  | exception e ->
+    cleanup ();
+    raise e
+  | `Ok ->
+    let blocks = Array.of_list (List.rev !acquired) in
+    Array.iteri
+      (fun j b ->
+        let n = min t.block_size (rows - (j * t.block_size)) in
+        let src_row = from + (j * t.block_size) in
+        for l = 0 to t.layers - 1 do
+          blit_rows ~hidden:t.hidden ~rows:n e.xk.(l) ~src_row t.k.(l)
+            ~dst_row:(b * t.block_size);
+          blit_rows ~hidden:t.hidden ~rows:n e.xv.(l) ~src_row t.v.(l)
+            ~dst_row:(b * t.block_size)
+        done)
+      blocks;
+    `Blocks blocks
+
 (* Copy-on-write: allocate a fresh block, copy the first [rows] valid
    rows of shared block [b] across every layer, drop this caller's
    reference on [b]. The source keeps its other references — readers of

@@ -64,6 +64,29 @@ val refcount : t -> int -> int
     shared source is left untouched either way. *)
 val cow : t -> int -> rows:int -> [ `Block of int | `Denied ]
 
+(** Arena-independent checkpoint of a sequence's valid K/V rows: per
+    layer, token rows [0, xrows) packed densely. Carries no block ids,
+    so it can be materialized into a different replica's arena with the
+    exact row layout preserved — the property that keeps [Seq.gather]-fed
+    attention bit-identical across a live migration. *)
+type export = {
+  xrows : int;
+  xlayers : int;
+  xhidden : int;
+  xk : Tensor.t array;  (** layer -> [xrows x hidden], dense *)
+  xv : Tensor.t array;
+}
+
+(** [import t e ~from] materializes export rows [from, xrows) into this
+    arena: acquires the covering blocks (each refcount 1, governed by the
+    [kv.page.acquire] fault site) and blits every layer's rows into their
+    slots. All-or-nothing: on [`Denied] or an exception mid-import the
+    partially acquired blocks are released first, leaving the destination
+    arena untouched — the source snapshot stays the one live copy.
+    [from] must be block-aligned (prefix re-attach covers only full trie
+    chunks). Raises [Invalid_argument] on a shape/alignment mismatch. *)
+val import : t -> export -> from:int -> [ `Blocks of int array | `Denied ]
+
 (** [blit_rows ~hidden ~rows src ~src_row dst ~dst_row] — row copy
     between contiguous [_ x hidden] F32 buffers (exposed for {!Seq}). *)
 val blit_rows :

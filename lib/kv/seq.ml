@@ -102,6 +102,28 @@ let gather t ~layer ~rows ~k_dst ~v_dst =
       Block_manager.blit_rows ~hidden ~rows:n ka ~src_row k_dst ~dst_row:off;
       Block_manager.blit_rows ~hidden ~rows:n va ~src_row v_dst ~dst_row:off)
 
+(* append already-owned blocks (refcount held by the caller, e.g. fresh
+   from [Block_manager.import]) — ownership transfer, no extra retain;
+   the counterpart of [attach], which shares *)
+let adopt t ~blocks = Array.iter (push t) blocks
+
+(* snapshot rows [0, rows) into a dense, arena-independent export — a
+   pure read of the source arena (no refcount or table change), so the
+   source stays the live copy until a destination import commits *)
+let export t ~rows =
+  let mgr = t.mgr in
+  let layers = Block_manager.layers mgr in
+  let hidden = Block_manager.hidden mgr in
+  let dense () =
+    Array.init layers (fun _ ->
+        Tensor.create Datatype.F32 [| max rows 1; hidden |])
+  in
+  let xk = dense () and xv = dense () in
+  for l = 0 to layers - 1 do
+    gather t ~layer:l ~rows ~k_dst:xk.(l) ~v_dst:xv.(l)
+  done;
+  { Block_manager.xrows = rows; xlayers = layers; xhidden = hidden; xk; xv }
+
 (* drop every block past the one holding row [len-1] — frees exactly the
    tail blocks; a truncated-to shared block keeps its other references *)
 let truncate t ~len =

@@ -46,6 +46,17 @@ val append :
     the dense attention kernels run unchanged over a block table. *)
 val gather : t -> layer:int -> rows:int -> k_dst:Tensor.t -> v_dst:Tensor.t -> unit
 
+(** Append already-owned blocks (e.g. fresh from {!Block_manager.import})
+    — ownership transfer, no extra retain; the counterpart of [attach],
+    which shares. *)
+val adopt : t -> blocks:int array -> unit
+
+(** [export t ~rows] snapshots token rows [0, rows) into a dense,
+    arena-independent {!Block_manager.export}. A pure read — no refcount
+    or table change — so the source sequence stays the live copy until a
+    destination import commits. *)
+val export : t -> rows:int -> Block_manager.export
+
 (** Release every block past the one holding row [len-1] — frees exactly
     the tail blocks. *)
 val truncate : t -> len:int -> unit

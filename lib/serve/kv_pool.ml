@@ -166,13 +166,6 @@ let acquire_for t ~prompt ~total_rows =
             ~len:matched;
         `Cache (c, matched))
 
-(* Register a finished prefill in the prefix trie so later requests with
-   the same prompt prefix reuse its blocks. No-op for contiguous pools. *)
-let register t ~prompt cache =
-  match (t.pfx, Llm.cache_seq cache) with
-  | Some p, Some seq -> Kv.Prefix.insert p ~prompt ~blocks:(Kv.Seq.blocks seq)
-  | _ -> ()
-
 let release t cache =
   (* capture capacity before the rewind: a paged cache's block table
      empties on reset, a contiguous cache keeps its buffers either way *)
@@ -190,6 +183,59 @@ let release t cache =
   Mutex.unlock t.lock;
   Telemetry.Recorder.emit Telemetry.Recorder.Kv_release ~label:lbl_kv ~a:cap
     ~b:in_use
+
+(* Admission-gated restore of a migrated session's KV snapshot — the
+   destination half of a live migration. Same admission discipline as
+   [acquire_for] ([serve.kv.acquire] fault, max_live bound, arena
+   headroom for the request's whole footprint), but the cache is filled
+   from the export instead of a fresh prefill: matched prompt chunks
+   re-attach against *this* replica's trie (block-aligned by
+   construction — the trie pins only full chunks — and bit-identical to
+   the exported bytes since every replica runs the same deterministic
+   engine), the remainder is imported as private blocks. On a mid-import
+   denial the half-acquired cache is returned to the pool and [`Denied]
+   is reported — the caller's snapshot stays the one live copy. *)
+let import t ~prompt ~total_rows (e : Kv.Block_manager.export) =
+  match t.mgr with
+  | None ->
+    acquire_common t ~extra_deny:(fun () -> false) ~on_cache:(fun c ->
+        Llm.import_cache c e;
+        `Cache c)
+  | Some m ->
+    let bs = Kv.Block_manager.block_size m in
+    let blocks, btok =
+      match t.pfx with
+      | Some p -> Kv.Prefix.lookup p ~prompt
+      | None -> ([||], 0)
+    in
+    (* never attach past the snapshot, and keep the boundary aligned *)
+    let matched = min btok e.Kv.Block_manager.xrows / bs * bs in
+    let attach_n = matched / bs in
+    let needed = ((total_rows + bs - 1) / bs) - attach_n in
+    let extra_deny () = Kv.Block_manager.free_blocks m < needed in
+    acquire_common t ~extra_deny ~on_cache:(fun c ->
+        match
+          Llm.import_cache c
+            ?attach:
+              (if matched > 0 then
+                 Some (Array.sub blocks 0 attach_n, matched)
+               else None)
+            e
+        with
+        | () -> `Cache c
+        | exception Kv.Seq.Out_of_blocks ->
+          release t c;
+          `Denied
+        | exception exn ->
+          release t c;
+          raise exn)
+
+(* Register a finished prefill in the prefix trie so later requests with
+   the same prompt prefix reuse its blocks. No-op for contiguous pools. *)
+let register t ~prompt cache =
+  match (t.pfx, Llm.cache_seq cache) with
+  | Some p, Some seq -> Kv.Prefix.insert p ~prompt ~blocks:(Kv.Seq.blocks seq)
+  | _ -> ()
 
 let in_use t = t.in_use
 let denied t = Telemetry.Counter.get t.denied_c

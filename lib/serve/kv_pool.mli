@@ -59,6 +59,22 @@ val acquire_for :
   total_rows:int ->
   [ `Cache of Llm.kv_cache * int | `Denied ]
 
+(** [import t ~prompt ~total_rows e] — admission-gated restore of a
+    migrated session's KV snapshot (the destination half of a live
+    migration). Same admission discipline as {!acquire_for}, but the
+    cache is filled from the export instead of a fresh prefill: matched
+    prompt chunks re-attach against this replica's trie, the remainder
+    is imported as private blocks. [`Denied] (admission, arena pressure,
+    or a mid-import denial — in which case the half-acquired cache is
+    returned to the pool) leaves the destination untouched, so the
+    caller's snapshot stays the one live copy. *)
+val import :
+  t ->
+  prompt:int array ->
+  total_rows:int ->
+  Kv.Block_manager.export ->
+  [ `Cache of Llm.kv_cache | `Denied ]
+
 (** [register t ~prompt cache] — after a successful prefill, pin the
     prompt's full blocks in the prefix trie so later requests sharing
     the prefix reuse them. No-op for contiguous pools / no trie. *)

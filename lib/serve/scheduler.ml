@@ -284,10 +284,10 @@ let observe2 t global sel v =
   | None -> ()
   | Some r -> Telemetry.Histogram.observe (sel r) v
 
-let submit t ~now (req : Request.t) =
+let submit_common t ~now ~count_submitted (req : Request.t) =
   req.Request.arrival_s <- now;
   t.ledger <- req :: t.ledger;
-  incr2 t t.submitted_c (fun r -> r.r_submitted);
+  if count_submitted then incr2 t t.submitted_c (fun r -> r.r_submitted);
   if req.Request.deadline_s <= 0.0 || List.length t.queue >= t.cfg.max_queue
   then begin
     (* queue full, or the SLO is already blown at submission: running it
@@ -304,6 +304,16 @@ let submit t ~now (req : Request.t) =
     Telemetry.Gauge.set t.queue_g (List.length t.queue);
     true
   end
+
+let submit t ~now req = submit_common t ~now ~count_submitted:true req
+
+(* Re-route resubmission (quarantine/failover): identical admission to
+   [submit], but the original submission was already counted on the
+   evicting replica — bumping [serve.submitted] again here is the
+   double-count the router header used to document. The router records
+   the event under its own [cluster.router.resubmitted] counter instead,
+   so fleet telemetry reconciles with the ledger. *)
+let resubmit t ~now req = submit_common t ~now ~count_submitted:false req
 
 (* next admission per policy; queue order is arrival order, and the fold
    keeps the earlier element on ties, so FCFS and EDF are deterministic *)
@@ -753,3 +763,99 @@ let evict_queued t =
   Telemetry.Gauge.set t.queue_g 0;
   t.ledger <- List.filter (fun r -> not (List.memq r q)) t.ledger;
   q
+
+(* ---- live migration: checkpoint/restore of in-flight sessions ---- *)
+
+(* A detached session: everything another replica needs to resume the
+   decode mid-flight. The decode position is rng-free — greedy decode
+   reads only [gen.(emitted-1)] and the cache, and the pre-drawn [gen]
+   ids travel inside the request — so resuming elsewhere replays the
+   exact token stream. [d_export] is the one live copy of the KV state
+   between detach and a successful destination import; [d_release] frees
+   the source cache exactly once (idempotent), and the migration driver
+   calls it only after the destination commits (or the migration fails
+   terminally) — never before. *)
+type detached = {
+  d_req : Request.t;
+  d_emitted : int;
+  d_export : Kv.Block_manager.export;
+  d_release : unit -> unit;
+}
+
+(* Detach the oldest in-flight session: snapshot its valid KV rows into
+   a dense arena-independent export (a pure read), remove it from the
+   active set AND the ledger (the destination's resume re-enters it), and
+   package it for the router. [before_export] is the migration driver's
+   fault hook (the [cluster.migrate.export] site): if it raises, the
+   session fails in place — terminal, still ledgered, cache released —
+   and is reported as [`Failed]; the fleet never silently loses it. *)
+let detach_next ?(before_export = fun () -> ()) t ~now_s =
+  match t.active with
+  | [] -> `Empty
+  | s :: _ -> (
+    match before_export () with
+    | exception _ ->
+      fail_session t s ~now_s;
+      `Failed s.req
+    | () ->
+      let d_export = Llm.export_cache s.cache in
+      let released = ref false in
+      let d_release () =
+        if not !released then begin
+          released := true;
+          s.release s.cache
+        end
+      in
+      t.active <- List.filter (fun x -> x != s) t.active;
+      t.ledger <- List.filter (fun r -> r != s.req) t.ledger;
+      (* the draft cache is dropped: a resumed session decodes greedily,
+         which emits the same tokens by the spec-decode invariant *)
+      `Detached { d_req = s.req; d_emitted = s.emitted; d_export; d_release })
+
+(* Resume a detached session mid-decode — the destination half of a
+   migration, and its commit point. The KV snapshot is imported through
+   the pool (prefix re-attach + admission gating); only on success does
+   the session enter the active set and the ledger, at its saved decode
+   position, through the same machinery [adopt] uses. Bumps neither
+   [submitted] nor [tokens] — both were counted where they happened.
+   [`Full]/[`Denied] (and an exception from [before_import], the
+   [cluster.migrate.import] fault hook) leave this replica untouched and
+   the caller's package intact, so the export snapshot remains the one
+   live copy and the router can retry elsewhere. *)
+let resume ?(before_import = fun () -> ()) t ~now (d : detached) =
+  if List.length t.active >= t.eff_batch then `Full
+  else begin
+    before_import ();
+    let req = d.d_req in
+    let plen = Array.length req.Request.prompt in
+    let total_rows = plen + req.Request.new_tokens - 1 in
+    match Kv_pool.import t.pool ~prompt:req.Request.prompt ~total_rows
+            d.d_export
+    with
+    | `Denied -> `Denied
+    | `Cache cache ->
+      assert (req.Request.state = Request.Decoding);
+      (* re-pin the prompt's full blocks in this replica's trie *)
+      Kv_pool.register t.pool ~prompt:req.Request.prompt cache;
+      t.ledger <- req :: t.ledger;
+      let s =
+        { req; cache; release = Kv_pool.release t.pool;
+          emitted = d.d_emitted; last_token_s = now; draft = None }
+      in
+      t.active <- t.active @ [ s ];
+      if s.emitted >= req.Request.new_tokens then finish t s ~now_s:now;
+      `Resumed
+  end
+
+(* Health probe: one single-token engine extend on a private scratch
+   cache (bypassing the pool, so admission pressure cannot fail it),
+   checked finite — the "successful no-op step" a router demands before
+   letting a quarantined or restarted replica rejoin the rotation. *)
+let probe t =
+  match
+    let cache = Llm.new_cache ~cap:4 t.llm in
+    let out = t.engine.extend cache (embed t [| 0 |]) in
+    Tensor.get out [| 0; 0 |]
+  with
+  | x -> Float.is_finite x
+  | exception _ -> false

@@ -140,3 +140,58 @@ val adopt :
     stamp when called with [~now:req.arrival_s]). Active sessions are
     untouched and drain normally. *)
 val evict_queued : t -> Request.t list
+
+(** Like {!submit} but without bumping [serve.submitted] — the re-route
+    path: the original submission was already counted on the evicting
+    replica, and the router tallies the event under its own
+    [cluster.router.resubmitted] counter, so fleet telemetry reconciles
+    with the ledger. *)
+val resubmit : t -> now:float -> Request.t -> bool
+
+(** {2 Live migration (checkpoint/restore of in-flight sessions)} *)
+
+(** A detached in-flight session: the request (with its pre-drawn
+    generator ids — the decode position is rng-free), the tokens emitted
+    so far, and a dense arena-independent KV snapshot. [d_export] is the
+    one live copy of the KV state between detach and a successful
+    destination import; [d_release] frees the source cache exactly once
+    (idempotent) and must be called only after the destination commits
+    or the migration fails terminally. *)
+type detached = {
+  d_req : Request.t;
+  d_emitted : int;
+  d_export : Kv.Block_manager.export;
+  d_release : unit -> unit;
+}
+
+(** [detach_next t ~now_s] checkpoints the oldest in-flight session and
+    removes it from the active set and the ledger (the destination's
+    {!resume} re-enters it). [`Failed req]: [before_export] (the
+    router's [cluster.migrate.export] fault hook) raised, so the session
+    failed in place — terminal, still ledgered, cache released; nothing
+    is silently lost. [`Empty]: no in-flight sessions. *)
+val detach_next :
+  ?before_export:(unit -> unit) ->
+  t ->
+  now_s:float ->
+  [ `Detached of detached | `Failed of Request.t | `Empty ]
+
+(** [resume t ~now d] — the destination half of a migration and its
+    commit point: import the KV snapshot through this replica's pool
+    (prefix re-attach, admission gating), then adopt the session at its
+    saved decode position. Bumps neither [submitted] nor token counts.
+    [`Full]/[`Denied] (and an exception from [before_import], the
+    [cluster.migrate.import] fault hook) leave this replica untouched
+    and the package intact — the snapshot stays the one live copy and
+    the caller can retry elsewhere. *)
+val resume :
+  ?before_import:(unit -> unit) ->
+  t ->
+  now:float ->
+  detached ->
+  [ `Resumed | `Full | `Denied ]
+
+(** Health probe: one single-token engine extend on a private scratch
+    cache (bypassing the pool), checked finite — the "successful no-op
+    step" gating a quarantined replica's rejoin. *)
+val probe : t -> bool

@@ -175,6 +175,7 @@ let test_cluster_chaos_sharded () =
 
 let test_quarantine_reroutes_queued () =
   clean ();
+  Telemetry.Registry.enable ();
   let llm = make_llm () in
   let rcfg =
     { Cluster.Router.default_config with
@@ -196,6 +197,13 @@ let test_quarantine_reroutes_queued () =
   done;
   Cluster.Router.quarantine router 1;
   checkb "replica 1 quarantined" true (Cluster.Router.is_quarantined router 1);
+  (* re-routes resubmit without re-bumping serve.submitted: distinct
+     requests only, with the moves tallied separately *)
+  checki "submitted counts distinct requests" 6
+    (Telemetry.Counter.value Serve.Metrics.submitted_name);
+  checki "re-routes tallied as resubmissions"
+    (Telemetry.Counter.value Cluster.Router.rerouted_name)
+    (Telemetry.Counter.value Cluster.Router.resubmitted_name);
   Cluster.Router.drain router ~now:frozen_now;
   let reqs = Cluster.Router.requests router in
   checki "ledger intact" 6 (List.length reqs);
@@ -215,6 +223,140 @@ let test_quarantine_reroutes_queued () =
       List.iter2
         (fun a b -> checkb "bit-identical" true (bits_equal a b))
         alone got)
+    reqs;
+  List.iter
+    (fun p -> checki "pool drained" 0 (Serve.Kv_pool.in_use p))
+    (Cluster.Router.pools router)
+
+(* ---- hard kill: in-flight sessions migrate and finish identically ---- *)
+
+let test_hard_fail_migrates_inflight () =
+  clean ();
+  Telemetry.Registry.enable ();
+  let llm = make_llm () in
+  let rcfg =
+    { Cluster.Router.default_config with
+      Cluster.Router.replicas = 2;
+      scheduler =
+        { Serve.Scheduler.default_config with
+          Serve.Scheduler.max_batch = 4; nthreads = Some 1 } }
+  in
+  let router =
+    match Cluster.Router.create ~config:rcfg llm with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  (* round-robin: odd ids land on replica 1 *)
+  for id = 0 to 5 do
+    checkb "accepted" true
+      (Cluster.Router.submit router ~now:0.0
+         (mk_req ~prompt_len:3 ~new_tokens:8 id))
+  done;
+  (* a few steps put replica 1's sessions mid-decode, then kill it *)
+  for _ = 1 to 3 do
+    ignore (Cluster.Router.step router ~now:frozen_now)
+  done;
+  let victim = (Cluster.Router.schedulers router).(1) in
+  checkb "victim has in-flight sessions" true
+    (Serve.Scheduler.active_count victim > 0);
+  Cluster.Router.hard_fail router ~now:0.0 1;
+  checkb "victim quarantined" true (Cluster.Router.is_quarantined router 1);
+  let started =
+    Telemetry.Counter.value Cluster.Router.migrations_started_name
+  in
+  checkb "migrations started" true (started > 0);
+  Cluster.Router.drain router ~now:frozen_now;
+  checki "migration channel drained" 0 (Cluster.Router.migration_depth router);
+  checki "all migrations completed" started
+    (Telemetry.Counter.value Cluster.Router.migrations_completed_name);
+  let reqs = Cluster.Router.requests router in
+  checki "ledger intact" 6 (List.length reqs);
+  List.iter
+    (fun (r : Serve.Request.t) ->
+      checkb
+        (Printf.sprintf "request %d finished" r.Serve.Request.id)
+        true
+        (r.Serve.Request.state = Serve.Request.Finished);
+      (* migrated decodes are bit-identical to a solo replay *)
+      let alone = replay_sequential llm r in
+      let got = Serve.Request.outputs r in
+      checki "output count" (List.length alone) (List.length got);
+      List.iter2
+        (fun a b -> checkb "bit-identical" true (bits_equal a b))
+        alone got)
+    reqs;
+  List.iter
+    (fun p -> checki "pool drained" 0 (Serve.Kv_pool.in_use p))
+    (Cluster.Router.pools router);
+  checki "no double release" 0
+    (Telemetry.Counter.value Cluster.Kv_handoff.double_release_name)
+
+(* ---- hard-kill chaos: conservation + completed migrations ---- *)
+
+let test_cluster_chaos_hard_kill () =
+  clean ();
+  let r = Cluster.Chaos.run ~config:Cluster.Chaos.hard_kill () in
+  Alcotest.(check (list string)) "no violations" [] r.Cluster.Chaos.violations;
+  checkb "migrations completed" true (r.Cluster.Chaos.migrations_completed > 0);
+  checki "none vanished in transit" r.Cluster.Chaos.migrations_started
+    (r.Cluster.Chaos.migrations_completed + r.Cluster.Chaos.migrations_failed);
+  checki "no identity mismatch" 0 r.Cluster.Chaos.mismatched;
+  checki "no double release" 0 r.Cluster.Chaos.double_released;
+  checki "ledger conserved" r.Cluster.Chaos.submitted
+    (r.Cluster.Chaos.finished + r.Cluster.Chaos.rejected
+    + r.Cluster.Chaos.cancelled + r.Cluster.Chaos.failed);
+  (* deterministic: same seed, same failover *)
+  let b = Cluster.Chaos.run ~config:Cluster.Chaos.hard_kill () in
+  checki "same migrations" r.Cluster.Chaos.migrations_completed
+    b.Cluster.Chaos.migrations_completed;
+  checki "same finished" r.Cluster.Chaos.finished b.Cluster.Chaos.finished
+
+(* ---- unquarantine is probe-gated and the replica takes work again ---- *)
+
+let test_unquarantine_probe_rejoin () =
+  clean ();
+  let llm = make_llm () in
+  let rcfg =
+    { Cluster.Router.default_config with
+      Cluster.Router.replicas = 2;
+      scheduler =
+        { Serve.Scheduler.default_config with
+          Serve.Scheduler.max_batch = 2; nthreads = Some 1 } }
+  in
+  let router =
+    match Cluster.Router.create ~config:rcfg llm with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  for id = 0 to 3 do
+    checkb "accepted" true
+      (Cluster.Router.submit router ~now:0.0
+         (mk_req ~prompt_len:3 ~new_tokens:2 id))
+  done;
+  Cluster.Router.hard_fail router ~now:0.0 1;
+  Cluster.Router.drain router ~now:frozen_now;
+  checkb "still quarantined after drain" true
+    (Cluster.Router.is_quarantined router 1);
+  checkb "probe passes, replica rejoins" true
+    (Cluster.Router.unquarantine router 1);
+  checkb "no longer quarantined" true
+    (not (Cluster.Router.is_quarantined router 1));
+  checkb "rejoin is idempotent" true (Cluster.Router.unquarantine router 1);
+  (* round-robin again: odd ids must land on the rejoined replica *)
+  for id = 4 to 7 do
+    checkb "accepted after rejoin" true
+      (Cluster.Router.submit router ~now:0.0
+         (mk_req ~prompt_len:3 ~new_tokens:2 id))
+  done;
+  checkb "rejoined replica took work" true
+    (Serve.Scheduler.requests (Cluster.Router.schedulers router).(1)
+     |> List.exists (fun (r : Serve.Request.t) -> r.Serve.Request.id >= 4));
+  Cluster.Router.drain router ~now:frozen_now;
+  let reqs = Cluster.Router.requests router in
+  checki "ledger conserved across kill + rejoin" 8 (List.length reqs);
+  List.iter
+    (fun (r : Serve.Request.t) ->
+      checkb "finished" true (r.Serve.Request.state = Serve.Request.Finished))
     reqs;
   List.iter
     (fun p -> checki "pool drained" 0 (Serve.Kv_pool.in_use p))
@@ -379,11 +521,16 @@ let () =
           Alcotest.test_case "disaggregated" `Quick
             test_cluster_chaos_disaggregated;
           Alcotest.test_case "sharded" `Quick test_cluster_chaos_sharded;
+          Alcotest.test_case "hard kill" `Quick test_cluster_chaos_hard_kill;
         ] );
       ( "router",
         [
           Alcotest.test_case "quarantine re-routes queued" `Quick
             test_quarantine_reroutes_queued;
+          Alcotest.test_case "hard fail migrates in-flight" `Quick
+            test_hard_fail_migrates_inflight;
+          Alcotest.test_case "unquarantine probe-gated rejoin" `Quick
+            test_unquarantine_probe_rejoin;
           Alcotest.test_case "EDF order per replica" `Quick
             test_edf_per_replica;
           Alcotest.test_case "placement_of_string" `Quick

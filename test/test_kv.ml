@@ -151,6 +151,102 @@ let test_truncate_frees_exact_tail () =
   checki "empty table" 0 (Kv.Seq.block_count s);
   checki "everything back" 8 (Kv.Block_manager.free_blocks m)
 
+(* ---- retry rewind landing inside a pinned shared-prefix block ----
+   a truncate to a row inside a trie-pinned block must not free or
+   scribble the shared block: the re-extension COWs it, the trie keeps
+   serving the prefix, refcounts never underflow, and the replayed
+   decode is bit-identical to a cold contiguous run *)
+
+let test_truncate_cow_inside_pinned_prefix () =
+  clean ();
+  Telemetry.Registry.enable ();
+  let llm = make_llm () in
+  let vocab = (Llm.config llm).Llm.vocab in
+  let shared = Array.init 8 (fun i -> (3 + (7 * i)) mod vocab) in
+  let prompt =
+    Array.append shared (Array.init 2 (fun i -> (29 + (13 * i)) mod vocab))
+  in
+  let pool =
+    Serve.Kv_pool.create
+      ~policy:
+        (Serve.Kv_pool.Paged
+           { block_size = 4; num_blocks = 32; prefix = true })
+      llm
+  in
+  let m =
+    match Serve.Kv_pool.manager pool with
+    | Some m -> m
+    | None -> Alcotest.fail "paged pool has a manager"
+  in
+  let trie =
+    match Serve.Kv_pool.prefix_cache pool with
+    | Some p -> p
+    | None -> Alcotest.fail "paged pool has a prefix trie"
+  in
+  (* warm the trie: the 8-token prefix pins two full blocks *)
+  (match Serve.Kv_pool.acquire_for pool ~prompt:shared ~total_rows:12 with
+  | `Denied -> Alcotest.fail "cold acquire denied"
+  | `Cache (c, _) ->
+    ignore (Llm.extend llm c (Llm.embed llm shared));
+    Serve.Kv_pool.register pool ~prompt:shared c;
+    Serve.Kv_pool.release pool c);
+  let pins = Kv.Prefix.pinned trie in
+  checkb "trie pinned the prefix" true (pins > 0);
+  (* the retry victim shares both pinned blocks *)
+  let cache, matched =
+    match Serve.Kv_pool.acquire_for pool ~prompt ~total_rows:16 with
+    | `Denied -> Alcotest.fail "prefix-hit acquire denied"
+    | `Cache (c, matched) -> (c, matched)
+  in
+  checki "both pinned blocks shared" 8 matched;
+  let suffix = Array.sub prompt matched (Array.length prompt - matched) in
+  ignore (Llm.extend llm cache (Llm.embed llm suffix));
+  let gen = [| 5; 17; 23 |] in
+  Array.iter
+    (fun tok -> ignore (Llm.decode_step llm cache (Llm.embed llm [| tok |])))
+    gen;
+  checki "session decoded to 13 rows" 13 (Llm.cache_len cache);
+  (* retry rewind to row 6 — inside pinned block 1 (rows 4..7) *)
+  let cows_before = Telemetry.Counter.value Kv.Block_manager.cow_copies_name in
+  Llm.truncate_cache cache 6;
+  checki "rewound" 6 (Llm.cache_len cache);
+  checki "pins survived the truncate" pins (Kv.Prefix.pinned trie);
+  (* cold contiguous reference for the replay *)
+  let rc = Llm.new_cache llm in
+  let all = Llm.extend llm rc (Llm.embed llm prompt) in
+  let hidden = (Llm.config llm).Llm.hidden in
+  (* re-extend rows 6..9: the row-6 write lands in the shared block, so
+     COW must copy it rather than scribble over the trie's rows *)
+  let tail = Array.sub prompt 6 (Array.length prompt - 6) in
+  let re = Llm.extend llm cache (Llm.embed llm tail) in
+  checkb "COW fired on the pinned block" true
+    (Telemetry.Counter.value Kv.Block_manager.cow_copies_name > cows_before);
+  for r = 0 to Array.length tail - 1 do
+    for j = 0 to hidden - 1 do
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "replayed row %d col %d" (6 + r) j)
+        (Tensor.get all [| 6 + r; j |])
+        (Tensor.get re [| r; j |])
+    done
+  done;
+  Array.iteri
+    (fun i tok ->
+      let e = Llm.embed llm [| tok |] in
+      checkb
+        (Printf.sprintf "post-rewind decode %d bit-identical" i)
+        true
+        (bits_equal (Llm.decode_step llm rc e) (Llm.decode_step llm cache e)))
+    gen;
+  (* the trie still serves the prefix after the rewind *)
+  (match Serve.Kv_pool.acquire_for pool ~prompt ~total_rows:16 with
+  | `Denied -> Alcotest.fail "trie hit denied after rewind"
+  | `Cache (c, matched2) ->
+    checki "trie intact after COW" 8 matched2;
+    Serve.Kv_pool.release pool c);
+  Serve.Kv_pool.release pool cache;
+  checki "arena conserved (free + pins)" 32
+    (Kv.Block_manager.free_blocks m + Kv.Prefix.pinned trie)
+
 (* ---- paged storage is bit-identical to contiguous ---- *)
 
 let test_paged_bit_identical_to_contiguous () =
@@ -430,6 +526,8 @@ let () =
             test_seq_out_of_blocks;
           Alcotest.test_case "truncate frees exact tail" `Quick
             test_truncate_frees_exact_tail;
+          Alcotest.test_case "rewind inside pinned prefix COWs" `Quick
+            test_truncate_cow_inside_pinned_prefix;
         ] );
       ( "identity",
         [
