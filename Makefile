@@ -1,4 +1,4 @@
-.PHONY: all build test fmt smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight smoke-paged smoke-tune smoke-migrate ci clean
+.PHONY: all build test fmt smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight smoke-paged smoke-tune smoke-migrate smoke-regress smoke-trace ci clean
 
 all: build
 
@@ -115,6 +115,33 @@ smoke-tune: build
 	done
 	@echo "smoke-tune: /tmp/bench-tune.json ok"
 
+# Perf-regression smoke (~10 s): rerun the recorder microbench and the
+# serve-level chaos harness, then gate against the committed baseline
+# (bench/baselines/smoke.json) with per-metric tolerances — exact match
+# on correctness counters (violations, mismatched, numeric_errors),
+# a 1.5x band on timing metrics, presence for the rest. The recorder
+# bench itself also hard-fails if trace-lane emits cost more than 10%
+# over dense-lane emits. Regenerate the baseline on an intentional
+# perf change with:
+#   dune exec bench/main.exe -- recorder --chaos --json bench/baselines/smoke.json
+smoke-regress: build
+	dune exec bench/main.exe -- recorder --chaos --compare bench/baselines/smoke.json
+	@echo "smoke-regress: baseline bench/baselines/smoke.json held"
+
+# Causal-tracing smoke (~3 s): a 3-replica disaggregated serve under
+# tight deadlines with the tail sampler armed, then the worst retained
+# TTFT exemplar must resolve to a complete causal timeline that reaches
+# a decode span, and every dumped trace JSON must validate as a Chrome
+# trace (recorder check).
+smoke-trace: build
+	rm -rf /tmp/parlooper-traces
+	dune exec bin/parlooper_cli.exe -- serve --rate 60 --duration 2 --deadline-ms 30 --replicas 3 --disaggregate --trace-dir /tmp/parlooper-traces --trace-sample 8
+	dune exec bin/parlooper_cli.exe -- trace worst --metric ttft --dir /tmp/parlooper-traces --require-decode > /tmp/parlooper-trace-worst.txt
+	@grep -q "trace_end" /tmp/parlooper-trace-worst.txt \
+	  || { echo "smoke-trace: worst trace has no terminal span"; exit 1; }
+	dune exec bin/parlooper_cli.exe -- recorder check /tmp/parlooper-traces
+	@echo "smoke-trace: /tmp/parlooper-traces ok"
+
 # Single gate run by CI and before every commit: formatting must be
 # canonical (dune files; ocamlformat is not in the pinned toolchain),
 # everything must build, the full tier-1 suite must pass, the serving
@@ -127,8 +154,10 @@ smoke-tune: build
 # sessions must migrate and finish bit-identically on the survivors,
 # and the model-guided tuner must match exhaustive search cheaply while
 # the online spec cache demonstrably serves, tunes, and hot-swaps in
-# the serve path.
-ci: fmt build test smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight smoke-paged smoke-migrate smoke-tune
+# the serve path, the committed perf baseline must hold within its
+# per-metric tolerances, and a tail-sampled serve run must yield a
+# complete causal timeline for its worst retained TTFT exemplar.
+ci: fmt build test smoke-serve smoke-pool smoke-chaos smoke-cluster smoke-flight smoke-paged smoke-migrate smoke-tune smoke-regress smoke-trace
 
 clean:
 	dune clean

@@ -14,7 +14,7 @@
    experiments with the telemetry registry enabled and print the
    aggregated report — per-kernel achieved GFLOPS, JIT-cache hit rate,
    predicted-vs-measured model deviation — at the end. Pass --json FILE
-   to write the machine-readable BENCH file (schema parlooper-bench/5:
+   to write the machine-readable BENCH file (schema parlooper-bench/6:
    bench name + config + metrics per entry, plus per-replica metric
    blocks and a fleet rollup for cluster runs, and the kv.pages.* /
    serve.spec.* counters on serve entries) for runs that produce
@@ -41,9 +41,11 @@ open Toolkit
    and speculative-decoding counters (kv_pages_..., spec_...) to serve
    entries plus the "paged-width" entry; /4 adds the tuner-cache
    counters; /5 adds the migration counters (resubmitted,
-   migrations_started/completed/failed) to cluster-chaos entries. All
-   purely additive: entries without the new keys are byte-compatible
-   with earlier consumers and old outputs still validate unchanged. *)
+   migrations_started/completed/failed) to cluster-chaos entries; /6
+   adds the trace-lane emit cost (trace_emit_ns, trace_overhead_pct) to
+   the "recorder" entry. All purely additive: entries without the new
+   keys are byte-compatible with earlier consumers and old outputs
+   still validate unchanged. *)
 
 type bench_entry = {
   bname : string;
@@ -69,7 +71,7 @@ let bench_json_string () =
           (Telemetry.Report.json_float v))
       ms
   in
-  pr "{\"schema\":\"parlooper-bench/5\",\"host\":\"%s\",\"benches\":["
+  pr "{\"schema\":\"parlooper-bench/6\",\"host\":\"%s\",\"benches\":["
     (Telemetry.Report.json_escape Platform.host.Platform.name);
   List.iteri
     (fun i e ->
@@ -115,6 +117,298 @@ let write_bench_json path =
   Printf.printf "bench JSON written to %s (%d entr%s)\n%!" path
     (List.length !bench_entries)
     (if List.length !bench_entries = 1 then "y" else "ies")
+
+(* ---- perf-regression gate (--compare BASELINE.json) ----
+
+   Reads a committed bench JSON (any parlooper-bench/N schema) and
+   compares this run's entries against it with per-metric tolerances:
+
+   - correctness counters (violations, mismatched, double_released,
+     numeric_errors) must match the baseline exactly — these are not
+     performance numbers and have no noise band;
+   - lower-is-better rates (..._ms, ..._ns, ..._pct) may grow at most
+     1.5x over the baseline;
+   - higher-is-better rates (tokens_per_s, events_per_s, ..._gflops)
+     may shrink to at worst 1/1.5 of the baseline;
+   - everything else is presence-only: the key must still be reported
+     (a silently dropped metric is a regression of the bench itself).
+
+   Any violation prints a FAIL line and the process exits non-zero, so
+   `make smoke-regress` can gate a change on a committed baseline. *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Bad_json of string
+
+(* minimal recursive-descent reader — enough for the bench schema (and
+   strict about it); not a general JSON library *)
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let lit word v =
+    if !pos + String.length word <= n
+       && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let string_body () =
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents b
+        else if c = '\\' then begin
+          (if !pos >= n then fail "unterminated escape"
+           else
+             let e = s.[!pos] in
+             advance ();
+             match e with
+             | '"' -> Buffer.add_char b '"'
+             | '\\' -> Buffer.add_char b '\\'
+             | '/' -> Buffer.add_char b '/'
+             | 'n' -> Buffer.add_char b '\n'
+             | 't' -> Buffer.add_char b '\t'
+             | 'r' -> Buffer.add_char b '\r'
+             | 'b' -> Buffer.add_char b '\b'
+             | 'f' -> Buffer.add_char b '\012'
+             | 'u' ->
+               if !pos + 4 > n then fail "truncated \\u escape"
+               else begin
+                 (* bench strings are ASCII; keep the escape verbatim *)
+                 Buffer.add_string b ("\\u" ^ String.sub s !pos 4);
+                 pos := !pos + 4
+               end
+             | _ -> fail "unknown escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char b c;
+          go ()
+        end
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Jnum f
+    | None -> fail "malformed number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' ->
+      advance ();
+      Jstr (string_body ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Jobj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          expect '"';
+          let k = string_body () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Jobj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or } in object"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Jarr []
+      end
+      else begin
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Jarr (List.rev (v :: acc))
+          | _ -> fail "expected , or ] in array"
+        in
+        elements []
+      end
+    | Some 't' -> lit "true" (Jbool true)
+    | Some 'f' -> lit "false" (Jbool false)
+    | Some 'n' -> lit "null" Jnull
+    | Some _ -> number ()
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing bytes after value";
+  v
+
+(* baseline entry name -> metric name -> value *)
+let baseline_metrics (j : json) : (string * (string * float) list) list =
+  let obj = function Jobj kv -> kv | _ -> raise (Bad_json "expected object") in
+  let benches =
+    match List.assoc_opt "benches" (obj j) with
+    | Some (Jarr l) -> l
+    | _ -> raise (Bad_json "no benches array")
+  in
+  List.map
+    (fun e ->
+      let kv = obj e in
+      let name =
+        match List.assoc_opt "name" kv with
+        | Some (Jstr s) -> s
+        | _ -> raise (Bad_json "bench entry without a name")
+      in
+      let metrics =
+        match List.assoc_opt "metrics" kv with
+        | Some (Jobj ms) ->
+          List.filter_map
+            (fun (k, v) -> match v with Jnum f -> Some (k, f) | _ -> None)
+            ms
+        | _ -> []
+      in
+      (name, metrics))
+    benches
+
+type tolerance =
+  | Exact  (* correctness counter: any drift fails *)
+  | Lower_better of float  (* current may be at most [factor] x baseline *)
+  | Higher_better of float  (* current may be at least baseline / [factor] *)
+  | Presence  (* key must exist; value unconstrained *)
+
+let perf_band = 1.5
+
+let tolerance_of metric =
+  let suffix suf =
+    let ls = String.length suf and lm = String.length metric in
+    lm >= ls && String.sub metric (lm - ls) ls = suf
+  in
+  match metric with
+  | "violations" | "mismatched" | "double_released" | "numeric_errors" ->
+    Exact
+  | "tokens_per_s" | "events_per_s" -> Higher_better perf_band
+  | _ when suffix "_gflops" -> Higher_better perf_band
+  | _ when suffix "_ms" || suffix "_ns" || suffix "_pct" || suffix "_s" ->
+    Lower_better perf_band
+  | _ -> Presence
+
+let compare_with_baseline path =
+  let baseline =
+    match
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      parse_json s
+    with
+    | j -> baseline_metrics j
+    | exception Sys_error msg ->
+      Printf.eprintf "cannot read baseline %s: %s\n" path msg;
+      exit 1
+    | exception Bad_json msg ->
+      Printf.eprintf "baseline %s is not valid bench JSON: %s\n" path msg;
+      exit 1
+  in
+  let current =
+    List.map (fun e -> (e.bname, e.metrics)) (List.rev !bench_entries)
+  in
+  let failures = ref 0 in
+  let fail_line fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr failures;
+        Printf.printf "  FAIL %s\n" s)
+      fmt
+  in
+  Printf.printf "comparing against baseline %s:\n" path;
+  List.iter
+    (fun (bname, base_ms) ->
+      match List.assoc_opt bname current with
+      | None -> fail_line "%s: entry missing from this run" bname
+      | Some cur_ms ->
+        List.iter
+          (fun (metric, base) ->
+            match List.assoc_opt metric cur_ms with
+            | None -> fail_line "%s.%s: metric no longer reported" bname metric
+            | Some cur -> (
+              let ok fmt = Printf.printf ("  ok   " ^^ fmt ^^ "\n") in
+              match tolerance_of metric with
+              | Exact ->
+                if cur <> base then
+                  fail_line "%s.%s: %g, baseline %g (must match exactly)"
+                    bname metric cur base
+                else ok "%s.%s: %g (exact)" bname metric cur
+              | Lower_better f ->
+                (* a zero baseline carries no scale to compare against *)
+                if base > 0.0 && cur > base *. f then
+                  fail_line "%s.%s: %g exceeds %.2gx baseline %g" bname
+                    metric cur f base
+                else ok "%s.%s: %g (baseline %g, <=%.2gx)" bname metric cur
+                    base f
+              | Higher_better f ->
+                if base > 0.0 && cur < base /. f then
+                  fail_line "%s.%s: %g below baseline %g / %.2g" bname metric
+                    cur base f
+                else ok "%s.%s: %g (baseline %g, >=1/%.2gx)" bname metric cur
+                    base f
+              | Presence -> ok "%s.%s: %g (presence)" bname metric cur))
+          base_ms)
+    baseline;
+  if !failures > 0 then begin
+    Printf.eprintf "%d perf-regression failure(s) against %s\n" !failures path;
+    exit 1
+  end;
+  Printf.printf "no regressions against %s\n%!" path
 
 (* ---- Bechamel microbenchmarks of the real kernels ---- *)
 
@@ -392,19 +686,26 @@ let run_recorder () =
   Modelkit.section "flight-recorder overhead: emit cost and pooled-GEMM impact";
   let was_enabled = Telemetry.Recorder.enabled () in
   let lbl = Telemetry.Recorder.intern "bench.recorder" in
-  let time_emits enabled =
+  let time_emits ?(kind = Telemetry.Recorder.Mark) enabled =
     Telemetry.Recorder.set_enabled enabled;
     (* warm-up creates the calling thread's ring so the timed loop sees
        only the steady-state path *)
     for i = 1 to 1_000 do
-      Telemetry.Recorder.emit Telemetry.Recorder.Mark ~label:lbl ~a:i ~b:0
+      Telemetry.Recorder.emit kind ~label:lbl ~a:i ~b:0
     done;
+    (* min of 5 passes: the gate below compares two of these numbers,
+       so each must be a stable floor, not a one-shot sample *)
     let iters = 1_000_000 in
-    let t0 = Telemetry.Clock.now_s () in
-    for i = 1 to iters do
-      Telemetry.Recorder.emit Telemetry.Recorder.Mark ~label:lbl ~a:i ~b:0
+    let best = ref Float.infinity in
+    for _ = 1 to 5 do
+      let t0 = Telemetry.Clock.now_s () in
+      for i = 1 to iters do
+        Telemetry.Recorder.emit kind ~label:lbl ~a:i ~b:0
+      done;
+      best :=
+        Float.min !best (Telemetry.Clock.now_s () -. t0)
     done;
-    1e9 *. (Telemetry.Clock.now_s () -. t0) /. float_of_int iters
+    1e9 *. !best /. float_of_int iters
   in
   let emit_on_ns = time_emits true in
   let emit_off_ns = time_emits false in
@@ -413,6 +714,22 @@ let run_recorder () =
     "  emit: %6.1f ns/event enabled (%.1f Mevents/s), %6.2f ns/event \
      disabled\n%!"
     emit_on_ns (events_per_s /. 1e6) emit_off_ns;
+  (* trace-kind emits route to the per-thread trace lane: same write
+     path plus one compare, so tracing a request may add at most 10% per
+     event over the dense lane — a hard gate, not a report line *)
+  let trace_emit_ns = time_emits ~kind:Telemetry.Recorder.Trace_decode true in
+  let trace_overhead_pct =
+    100.0 *. ((trace_emit_ns /. emit_on_ns) -. 1.0)
+  in
+  Printf.printf
+    "  trace emit: %6.1f ns/event (%+.1f%% vs dense lane)\n%!"
+    trace_emit_ns trace_overhead_pct;
+  if trace_overhead_pct > 10.0 then begin
+    Printf.eprintf
+      "FAIL: trace-lane emit adds %.1f%% per event (budget: 10%%)\n"
+      trace_overhead_pct;
+    exit 1
+  end;
   let gemm_point enabled =
     Telemetry.Recorder.set_enabled enabled;
     let dim = 128 and block = 32 and nthreads = 2 in
@@ -450,6 +767,8 @@ let run_recorder () =
         ("ring_capacity", "4096") ]
     ~metrics:
       [ ("emit_ns_enabled", emit_on_ns); ("emit_ns_disabled", emit_off_ns);
+        ("trace_emit_ns", trace_emit_ns);
+        ("trace_overhead_pct", trace_overhead_pct);
         ("events_per_s", events_per_s); ("gemm_s_enabled", gemm_on_s);
         ("gemm_s_disabled", gemm_off_s);
         ("gemm_overhead_pct", overhead_pct) ]
@@ -755,6 +1074,8 @@ let run_cluster_chaos ~seed ~requests ~replicas ~shards ~disaggregate
         ("double_released", f r.Cluster.Chaos.double_released);
         ("fleet_slo_ttft_breaches", f r.Cluster.Chaos.fleet_slo_ttft);
         ("fleet_slo_deadline_breaches", f r.Cluster.Chaos.fleet_slo_deadline);
+        ("traces_checked", f r.Cluster.Chaos.traces_checked);
+        ("migrated_traced", f r.Cluster.Chaos.migrated_traced);
         ("violations", f (List.length r.Cluster.Chaos.violations)) ]
     ();
   if r.Cluster.Chaos.violations <> [] then begin
@@ -826,6 +1147,7 @@ let run_chaos ~seed ~requests ~paged ~block_size ~num_blocks ~spec_k
         ("kv_pages_freed", f r.Serve.Chaos.pages_freed);
         ("kv_cow_copies", f r.Serve.Chaos.cow_copies);
         ("kv_prefix_hits", f r.Serve.Chaos.prefix_hits);
+        ("traces_checked", f r.Serve.Chaos.traces_checked);
         ("violations", f (List.length r.Serve.Chaos.violations)) ]
     ();
   if r.Serve.Chaos.violations <> [] then begin
@@ -877,7 +1199,7 @@ let run_paged_width () =
     let live = ref [] and width = ref 0 and stop = ref false in
     while not !stop && !width <= 4 * num_blocks do
       let prompt = prompt_of !width in
-      match Serve.Kv_pool.acquire_for pool ~prompt ~total_rows with
+      match Serve.Kv_pool.acquire_for pool ~prompt ~total_rows () with
       | `Denied -> stop := true
       | `Cache (cache, matched) ->
         let suffix = Array.sub prompt matched (plen - matched) in
@@ -1084,7 +1406,8 @@ let usage () =
     \       [--disaggregate] [--hard-kill] [--placement rr|jsq|deadline]\n\
     \       [--paged] [--block-size N] [--num-blocks N]\n\
     \       [--spec-decode K] [--draft-layers N] [--sys-prompt N]\n\
-    \       [--online-tune] [--json FILE] [--telemetry]\n\
+    \       [--online-tune] [--json FILE] [--compare BASELINE.json]\n\
+    \       [--telemetry]\n\
      experiments: %s\n"
     (String.concat ", " (List.map fst experiments));
   exit 1
@@ -1111,6 +1434,7 @@ let () =
   let sys_prompt = ref 0 in
   let online_tune = ref false in
   let json_path = ref None in
+  let compare_path = ref None in
   let names = ref [] in
   let int_arg name rest =
     match rest with
@@ -1232,6 +1556,12 @@ let () =
     | "--json" :: [] ->
       Printf.eprintf "--json expects a file path\n";
       exit 1
+    | "--compare" :: path :: rest ->
+      compare_path := Some path;
+      parse rest
+    | "--compare" :: [] ->
+      Printf.eprintf "--compare expects a baseline JSON path\n";
+      exit 1
     | a :: _ when String.length a > 0 && a.[0] = '-' ->
       Printf.eprintf "unknown flag %S\n" a;
       usage ()
@@ -1283,4 +1613,5 @@ let () =
       ~mem_bw_gbs:host.Platform.mem_bw_gbs ()
   end;
   (match !json_path with Some p -> write_bench_json p | None -> ());
+  (match !compare_path with Some p -> compare_with_baseline p | None -> ());
   if !chaos_failed then exit 1

@@ -404,10 +404,29 @@ let online_tune_arg =
            their loop instantiations once a bit-identity check passes \
            (decode outputs are unchanged)")
 
+let serve_trace_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-dir" ] ~docv:"DIR"
+        ~doc:
+          "dump retained causal request traces (tail-sampled: SLO breaches, \
+           faults, sheds, migrations, plus a seeded 1-in-N baseline) into \
+           $(docv) after the run; inspect with 'parlooper trace'")
+
+let serve_trace_sample_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:
+          "baseline sampling rate with --trace-dir: retain roughly one in \
+           $(docv) healthy requests alongside every breaching one")
+
 let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
     policy seed threads replicas shards disaggregate placement hard_kill
     paged block_size num_blocks spec_decode draft_layers sys_prompt
-    online_tune live_metrics live_interval_ms trace telemetry =
+    online_tune trace_dir trace_sample live_metrics live_interval_ms trace
+    telemetry =
   if rate <= 0.0 || duration <= 0.0 then begin
     Printf.eprintf "--rate and --duration must be positive\n";
     exit 1
@@ -449,6 +468,16 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
   let clustered = replicas > 1 || shards > 1 || disaggregate in
   Telemetry.Registry.reset ();
   Telemetry.Registry.enable ();
+  (match trace_dir with
+  | None -> ()
+  | Some _ ->
+    (* big rings so a whole run's sparse trace events survive; fresh
+       trace state so retention and exemplars describe this run only *)
+    Telemetry.Recorder.set_capacity 65536;
+    Telemetry.Recorder.reset ();
+    Telemetry.Trace.reset ();
+    Telemetry.Trace.set_baseline (max 1 trace_sample);
+    Telemetry.Trace.set_seed seed);
   let rng = Prng.create 7 in
   let llm = Llm.create ~rng ~block:8 Llm.tiny in
   let load =
@@ -611,6 +640,14 @@ let serve rate duration pmin pmax tmin tmax deadline_ms max_queue max_batch
       (Spec_cache.entries ());
     Spec_cache.disable ()
   end;
+  (match trace_dir with
+  | None -> ()
+  | Some dir ->
+    let retained = Telemetry.Trace.dump ~dir in
+    Printf.printf
+      "causal traces: %d retained -> %s (inspect: parlooper trace worst \
+       --metric ttft --dir %s)\n%!"
+      retained dir dir);
   Telemetry.Registry.disable ();
   if telemetry then
     Telemetry.Report.print
@@ -673,32 +710,60 @@ let chaos seed requests plan_str =
 
 (* ---- recorder: flight-recorder dump / check utilities ---- *)
 
-let recorder_dump out_dir threads =
+let recorder_dump out_dir threads cluster =
   Telemetry.Registry.reset ();
   Telemetry.Registry.enable ();
   Telemetry.Recorder.set_enabled true;
   Telemetry.Recorder.set_dump_dir (Some out_dir);
-  (* a small pooled GEMM exercises every instrumented seam — pool
-     dispatch, barrier arrivals, JIT compile, kernel begin/end — so the
-     dump demonstrates a multi-thread timeline *)
-  let threads = max 1 threads in
-  let dim = 64 and block = 32 in
-  let spec = "BCa" in
-  let cfg = make_cfg dim dim dim block "f32" in
-  let g = Gemm.create cfg spec in
-  let rng = Prng.create 1 in
-  let a = Tensor.create Datatype.F32 [| dim; dim |] in
-  let b = Tensor.create Datatype.F32 [| dim; dim |] in
-  Tensor.fill_random a rng ~scale:1.0;
-  Tensor.fill_random b rng ~scale:1.0;
-  ignore (Gemm.run_logical ~nthreads:threads g ~a ~b);
+  if cluster then begin
+    (* a short 2-replica serve merges every replica's recorder events
+       into one dump: the Chrome trace gets one process lane per replica
+       (events labelled "replica:<i>") alongside the worker threads *)
+    Telemetry.Recorder.set_capacity 65536;
+    Telemetry.Recorder.reset ();
+    let rng = Prng.create 7 in
+    let llm = Llm.create ~rng ~block:8 Llm.tiny in
+    let load =
+      { Serve.Load_gen.seed = 42; rate_hz = 60.0; duration_s = 0.3;
+        prompt_len = Serve.Load_gen.Uniform (4, 10);
+        new_tokens = Serve.Load_gen.Uniform (2, 6);
+        deadline_s = Float.infinity; id_base = 0; id_stride = 1;
+        sys_prompt_len = 0 }
+    in
+    let reqs = Serve.Load_gen.generate load ~vocab:Llm.tiny.Llm.vocab in
+    let rcfg =
+      { Cluster.Router.default_config with Cluster.Router.replicas = 2 }
+    in
+    match Cluster.Router.create ~config:rcfg llm with
+    | Error e ->
+      Printf.eprintf "cannot build cluster: %s\n" e;
+      exit 1
+    | Ok router -> ignore (Cluster.Driver.run router reqs)
+  end
+  else begin
+    (* a small pooled GEMM exercises every instrumented seam — pool
+       dispatch, barrier arrivals, JIT compile, kernel begin/end — so the
+       dump demonstrates a multi-thread timeline *)
+    let threads = max 1 threads in
+    let dim = 64 and block = 32 in
+    let spec = "BCa" in
+    let cfg = make_cfg dim dim dim block "f32" in
+    let g = Gemm.create cfg spec in
+    let rng = Prng.create 1 in
+    let a = Tensor.create Datatype.F32 [| dim; dim |] in
+    let b = Tensor.create Datatype.F32 [| dim; dim |] in
+    Tensor.fill_random a rng ~scale:1.0;
+    Tensor.fill_random b rng ~scale:1.0;
+    ignore (Gemm.run_logical ~nthreads:threads g ~a ~b)
+  end;
   match Telemetry.Recorder.post_mortem ~reason:"cli.recorder.dump" with
   | Some prefix ->
     Printf.printf "flight dump: %s.{txt,trace.json} (%d events from %d \
-                   threads)\n"
+                   threads%s)\n"
       prefix
       (List.length (Telemetry.Recorder.events ()))
       (List.length (Telemetry.Recorder.tids ()))
+      (if cluster then ", replica lanes merged" else "")
   | None ->
     Printf.eprintf "no dump produced (recorder disabled or no events)\n";
     exit 1
@@ -748,6 +813,137 @@ let recorder_check dir require_fault =
   Printf.printf "checked %d dump(s)%s\n" (List.length traces)
     (if !fault_seen then ", fault events present" else "")
 
+(* ---- trace: retained causal-timeline lookup ---- *)
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let trace_lookup_dir_arg =
+  Arg.(
+    value
+    & opt string "/tmp/parlooper-traces"
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:"trace dump directory (written by serve --trace-dir)")
+
+let trace_id_arg =
+  Arg.(
+    required
+    & pos 0 (some int) None
+    & info [] ~docv:"ID" ~doc:"trace id (= request id) to print")
+
+let trace_metric_arg =
+  Arg.(
+    value & opt string "ttft"
+    & info [ "metric" ] ~doc:"latency metric: ttft | tpot")
+
+let trace_require_decode_arg =
+  Arg.(
+    value & flag
+    & info [ "require-decode" ]
+        ~doc:"fail unless the resolved trace contains at least one decode \
+              span (per index.txt)")
+
+let print_trace_file dir id =
+  let path = Filename.concat dir (Printf.sprintf "trace-%d.txt" id) in
+  match read_whole_file path with
+  | s -> print_string s
+  | exception Sys_error _ ->
+    Printf.eprintf
+      "no retained trace %d under %s (not sampled, or the dump directory is \
+       stale — see %s)\n"
+      id dir
+      (Filename.concat dir "index.txt");
+    exit 1
+
+let trace_show id dir = print_trace_file dir id
+
+(* index.txt rows: "id reason events decode_spans" *)
+let index_row dir id =
+  match read_whole_file (Filename.concat dir "index.txt") with
+  | exception Sys_error _ -> None
+  | s ->
+    String.split_on_char '\n' s
+    |> List.find_map (fun line ->
+        match String.split_on_char ' ' (String.trim line) with
+        | [ id'; reason; events; spans ]
+          when int_of_string_opt id' = Some id ->
+          Option.bind (int_of_string_opt events) (fun ev ->
+              Option.map
+                (fun sp -> (reason, ev, sp))
+                (int_of_string_opt spans))
+        | _ -> None)
+
+let trace_worst metric dir require_decode =
+  if metric <> "ttft" && metric <> "tpot" then begin
+    Printf.eprintf "unknown metric %S (ttft | tpot)\n" metric;
+    exit 1
+  end;
+  (* exemplars.txt rows: "metric value_ms id"; worst = largest value *)
+  let rows =
+    match read_whole_file (Filename.concat dir "exemplars.txt") with
+    | exception Sys_error msg ->
+      Printf.eprintf "cannot read exemplars under %s: %s\n" dir msg;
+      exit 1
+    | s ->
+      String.split_on_char '\n' s
+      |> List.filter_map (fun line ->
+          match String.split_on_char ' ' (String.trim line) with
+          | [ m; v; id ] when m = metric ->
+            Option.bind (float_of_string_opt v) (fun v ->
+                Option.map (fun id -> (v, id)) (int_of_string_opt id))
+          | _ -> None)
+  in
+  match List.sort (fun a b -> compare b a) rows with
+  | [] ->
+    Printf.eprintf "no %s exemplar links a retained trace under %s\n" metric
+      dir;
+    exit 1
+  | (v, id) :: _ ->
+    (match index_row dir id with
+    | Some (reason, events, spans) ->
+      Printf.printf
+        "worst %s: %.3f ms -> trace %d (%s, %d events, %d decode spans)\n"
+        metric v id reason events spans;
+      if require_decode && spans < 1 then begin
+        Printf.eprintf "trace %d has no decode span\n" id;
+        exit 1
+      end
+    | None ->
+      Printf.printf "worst %s: %.3f ms -> trace %d\n" metric v id;
+      if require_decode then begin
+        Printf.eprintf "cannot verify decode spans: no index row for %d\n" id;
+        exit 1
+      end);
+    print_trace_file dir id
+
+let trace_cmd =
+  let show =
+    Cmd.v
+      (Cmd.info "show"
+         ~doc:"print the retained causal timeline of one request by trace id")
+      Term.(const trace_show $ trace_id_arg $ trace_lookup_dir_arg)
+  in
+  let worst =
+    Cmd.v
+      (Cmd.info "worst"
+         ~doc:
+           "resolve the worst retained latency exemplar (largest observed \
+            value of --metric) to its causal timeline and print it")
+      Term.(
+        const trace_worst $ trace_metric_arg $ trace_lookup_dir_arg
+        $ trace_require_decode_arg)
+  in
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "inspect retained causal request traces (written by serve \
+          --trace-dir)")
+    [ show; worst ]
+
 let recorder_out_arg =
   Arg.(
     value
@@ -766,14 +962,25 @@ let require_fault_arg =
     & info [ "require-fault" ]
         ~doc:"fail unless at least one dump contains a fault event")
 
+let recorder_cluster_arg =
+  Arg.(
+    value & flag
+    & info [ "cluster" ]
+        ~doc:
+          "demo workload is a short 2-replica serve instead of a pooled \
+           GEMM; the Chrome trace carries one process lane per replica")
+
 let recorder_cmd =
   let dump =
     Cmd.v
       (Cmd.info "dump"
          ~doc:
-           "run a small pooled GEMM with the flight recorder armed and \
-            snapshot the rings into a dump directory")
-      Term.(const recorder_dump $ recorder_out_arg $ threads_arg)
+           "run a small demo workload (pooled GEMM, or a 2-replica serve \
+            with --cluster) with the flight recorder armed and snapshot \
+            the rings into a dump directory")
+      Term.(
+        const recorder_dump $ recorder_out_arg $ threads_arg
+        $ recorder_cluster_arg)
   in
   let check =
     Cmd.v
@@ -827,7 +1034,8 @@ let serve_cmd =
       $ disaggregate_arg $ placement_arg $ hard_kill_arg $ paged_arg
       $ block_size_arg
       $ num_blocks_arg $ spec_decode_arg $ draft_layers_arg $ sys_prompt_arg
-      $ online_tune_arg $ live_metrics_arg $ live_interval_arg $ trace_arg
+      $ online_tune_arg $ serve_trace_dir_arg $ serve_trace_sample_arg
+      $ live_metrics_arg $ live_interval_arg $ trace_arg
       $ telemetry_arg)
 
 let chaos_cmd =
@@ -844,4 +1052,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gemm_cmd; tune_cmd; model_cmd; platforms_cmd; serve_cmd; chaos_cmd;
-            recorder_cmd ]))
+            recorder_cmd; trace_cmd ]))

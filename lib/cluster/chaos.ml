@@ -143,6 +143,9 @@ type report = {
   mismatched : int;
   fleet_slo_ttft : int;  (* fleet SLO-burn gauges after the drain *)
   fleet_slo_deadline : int;
+  traces_checked : int;  (* causal timelines verified complete (0 when
+                            the flight recorder is disabled) *)
+  migrated_traced : int;  (* timelines carrying a detach→resume join *)
   violations : string list;
 }
 
@@ -211,6 +214,16 @@ let run ?(config = default) () =
           handoff_cap = config.handoff_cap;
           prefill_queue = config.requests + 1 }
       in
+      (* a clean flight recorder per run: request ids recur across runs
+         in one process, and the trace-conservation checks below read
+         whole timelines back from the rings — bigger rings keep early
+         spans from being evicted first *)
+      let rec_on = Telemetry.Recorder.enabled () in
+      if rec_on then begin
+        Telemetry.Recorder.set_capacity 65536;
+        Telemetry.Recorder.reset ();
+        Telemetry.Trace.reset ()
+      end;
       let router =
         match Router.create ~config:rcfg llm with
         | Ok r -> r
@@ -413,6 +426,39 @@ let run ?(config = default) () =
       check (double_released = 0) "KV handoff released a cache twice";
       check (!mismatched = 0)
         "finished outputs not bit-identical to solo fault-free replay";
+      (* trace conservation, fleet-wide: every routed request leaves a
+         complete well-nested causal timeline whatever combination of
+         re-routes, handoffs, faults and migrations it crossed; a
+         migrated request carries exactly one detach→resume join (its
+         one live KV copy moved exactly once) *)
+      let traces_checked = ref 0 and migrated_traced = ref 0 in
+      if rec_on then
+        List.iter
+          (fun (r : Serve.Request.t) ->
+            incr traces_checked;
+            let tr = r.Serve.Request.trace in
+            (match Telemetry.Trace.check tr with
+            | Ok () -> ()
+            | Error m -> check false ("trace conservation: " ^ m));
+            let evs = Telemetry.Trace.timeline tr in
+            let n k =
+              List.length
+                (List.filter
+                   (fun e -> e.Telemetry.Recorder.ekind = k)
+                   evs)
+            in
+            let detaches = n Telemetry.Recorder.Trace_detach in
+            let resumes = n Telemetry.Recorder.Trace_resume in
+            if resumes > 0 then begin
+              incr migrated_traced;
+              check
+                (detaches = 1 && resumes = 1)
+                (Printf.sprintf
+                   "trace %d: migrated request has %d detach / %d resume \
+                    joins (want exactly one of each)"
+                   tr detaches resumes)
+            end)
+          reqs;
       if !violations <> [] then
         ignore (Telemetry.Recorder.post_mortem ~reason:"cluster.chaos.invariant");
       { steps = !steps; terminated; submitted; finished; rejected; cancelled;
@@ -424,6 +470,8 @@ let run ?(config = default) () =
         fleet_slo_ttft = Telemetry.Gauge.value Router.fleet_slo_ttft_name;
         fleet_slo_deadline =
           Telemetry.Gauge.value Router.fleet_slo_deadline_name;
+        traces_checked = !traces_checked;
+        migrated_traced = !migrated_traced;
         violations = List.rev !violations })
 
 let report_to_string r =
@@ -446,6 +494,10 @@ let report_to_string r =
     r.injected r.retries r.shed r.denied r.double_released;
   pr "slo burn: fleet ttft breaches %d, deadline breaches %d\n"
     r.fleet_slo_ttft r.fleet_slo_deadline;
+  if r.traces_checked > 0 then
+    pr "traces:   %d causal timelines checked complete, %d with a \
+        migration join\n"
+      r.traces_checked r.migrated_traced;
   (match r.violations with
   | [] -> pr "invariants: all passed\n"
   | vs ->

@@ -11,8 +11,12 @@
     handoff channel and the migration channel drain, no handoff cache is
     released twice, and every finished request's outputs are
     bit-identical to a fault-free solo contiguous replay of the same
-    model. The drive is virtual-clock and the plan is invocation-count
-    triggered, so a seed reproduces everywhere. *)
+    model. When the flight recorder is enabled, trace conservation is
+    checked too: every routed request leaves a complete causal timeline
+    ({!Telemetry.Trace.check}) and every migrated request carries
+    exactly one detach→resume join. The drive is virtual-clock and the
+    plan is invocation-count triggered, so a seed reproduces
+    everywhere. *)
 
 type config = {
   seed : int;
@@ -83,6 +87,12 @@ type report = {
   mismatched : int;  (** must be 0 *)
   fleet_slo_ttft : int;  (** fleet SLO-burn gauges after the drain *)
   fleet_slo_deadline : int;
+  traces_checked : int;
+      (** causal timelines verified complete ({!Telemetry.Trace.check});
+          0 when the flight recorder is disabled *)
+  migrated_traced : int;
+      (** timelines carrying a detach→resume join — each checked to have
+          exactly one (a migrated KV copy moves exactly once) *)
   violations : string list;  (** empty = all invariants held *)
 }
 

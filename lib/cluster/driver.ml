@@ -41,6 +41,9 @@ let run ?live ?hard_kill router trace =
         "hard-killing replica %d at t=%.2fs: migrating its in-flight \
          sessions\n%!"
         replica (now ());
+      (* pin the kill instant into the flight recorder so a trace dump
+         shows which spans straddle the failover *)
+      Telemetry.Recorder.mark ~label:(Telemetry.Trace.replica_label replica);
       Router.hard_fail router ~now:(now ()) replica
     | _ -> ()
   in

@@ -76,6 +76,9 @@ type entry = {
    failure — both exercise the prefiller's reclaim path *)
 let push_site = Fault.site "cluster.handoff.push"
 
+(* causal-trace lane label for the cross-replica handoff seam *)
+let lbl_handoff = Telemetry.Recorder.intern "cluster.handoff"
+
 let pushed_name = "cluster.handoff.pushed"
 let popped_name = "cluster.handoff.popped"
 let double_release_name = "cluster.handoff.double_release"
@@ -106,7 +109,13 @@ let once ~release =
 let push t ~req ~cache ~release =
   match Fault.fire push_site with
   | `Deny -> `Full
-  | `None | `Nan -> chan_push t { req; cache; release = once ~release }
+  | `None | `Nan -> (
+    match chan_push t { req; cache; release = once ~release } with
+    | `Ok ->
+      Telemetry.Recorder.emit Telemetry.Recorder.Trace_handoff
+        ~label:lbl_handoff ~a:req.Serve.Request.trace ~b:(chan_depth t);
+      `Ok
+    | `Full -> `Full)
 
 let pop = chan_pop
 let requeue = chan_requeue

@@ -35,6 +35,7 @@ type t = {
   engine : Serve.Scheduler.engine;
   pool : Serve.Kv_pool.t;
   handoff : Kv_handoff.t;
+  tr_lbl : int;  (* causal-trace lane label: "replica:<replica>" *)
   mutable queue : Serve.Request.t list;  (* oldest first *)
   mutable ledger : Serve.Request.t list;  (* newest first *)
   mutable tokens : int;
@@ -70,7 +71,8 @@ let create ?(config = default_config) ?engine
     pool =
       Serve.Kv_pool.create ~init_cap:config.kv_cap ~max_live:config.max_live
         ~policy llm;
-    handoff; queue = []; ledger = []; tokens = 0; idle_denials = 0;
+    handoff; tr_lbl = Telemetry.Trace.replica_label i;
+    queue = []; ledger = []; tokens = 0; idle_denials = 0;
     ttft_h = h Serve.Metrics.ttft_ms_name;
     r_ttft_h = h (Serve.Metrics.replica_ttft_ms_name i);
     submitted_c = c Serve.Metrics.submitted_name;
@@ -101,6 +103,9 @@ let submit t ~now (req : Serve.Request.t) =
   req.Serve.Request.arrival_s <- now;
   t.ledger <- req :: t.ledger;
   incr2 t.submitted_c t.r_submitted_c;
+  Telemetry.Recorder.emit Telemetry.Recorder.Trace_queued ~label:t.tr_lbl
+    ~a:req.Serve.Request.trace
+    ~b:(List.length t.queue);
   if
     req.Serve.Request.deadline_s <= 0.0
     || List.length t.queue >= t.cfg.max_queue
@@ -109,6 +114,9 @@ let submit t ~now (req : Serve.Request.t) =
       incr2 t.deadline_breach_c t.r_deadline_breach_c;
     req.Serve.Request.state <- Serve.Request.Rejected;
     incr2 t.rejected_c t.r_rejected_c;
+    Telemetry.Trace.terminal ~id:req.Serve.Request.trace ~label:t.tr_lbl
+      ~state:(Serve.Request.state_code Serve.Request.Rejected)
+      ~reason:"rejected" ();
     false
   end
   else begin
@@ -120,7 +128,10 @@ let submit t ~now (req : Serve.Request.t) =
 let fail t (req : Serve.Request.t) ~now_s =
   req.Serve.Request.state <- Serve.Request.Failed;
   req.Serve.Request.finish_s <- now_s -. req.Serve.Request.arrival_s;
-  incr2 t.failed_c t.r_failed_c
+  incr2 t.failed_c t.r_failed_c;
+  Telemetry.Trace.terminal ~id:req.Serve.Request.trace ~label:t.tr_lbl
+    ~state:(Serve.Request.state_code Serve.Request.Failed)
+    ~reason:"failed" ()
 
 (* single-token request: the prefill IS the whole serve — finish here,
    the decode tier never sees it *)
@@ -129,8 +140,12 @@ let finish_now t (req : Serve.Request.t) cache ~now_s =
   req.Serve.Request.finish_s <- now_s -. req.Serve.Request.arrival_s;
   Serve.Kv_pool.release t.pool cache;
   incr2 t.completed_c t.r_completed_c;
-  if not (Serve.Request.met_deadline req) then
-    incr2 t.deadline_breach_c t.r_deadline_breach_c
+  let breached = not (Serve.Request.met_deadline req) in
+  if breached then incr2 t.deadline_breach_c t.r_deadline_breach_c;
+  Telemetry.Trace.terminal ~id:req.Serve.Request.trace ~label:t.tr_lbl
+    ~state:(Serve.Request.state_code Serve.Request.Finished)
+    ?reason:(if breached then Some "deadline_breach" else None)
+    ()
 
 (* Run at most one prefill: pop the head, acquire KV, prefill, hand off.
    Returns false when nothing could progress (empty queue, handoff full,
@@ -145,7 +160,10 @@ let step t ~now =
       let total_rows =
         Array.length prompt + req.Serve.Request.new_tokens - 1
       in
-      match Serve.Kv_pool.acquire_for t.pool ~prompt ~total_rows with
+      match
+        Serve.Kv_pool.acquire_for t.pool ~owner:req.Serve.Request.trace
+          ~prompt ~total_rows ()
+      with
       | `Denied ->
         (* a denial can only clear once an in-flight cache is released;
            if nothing is in flight anywhere downstream, fail the head
@@ -187,8 +205,16 @@ let step t ~now =
           let ms = 1000.0 *. req.Serve.Request.ttft_s in
           Telemetry.Histogram.observe t.ttft_h ms;
           Telemetry.Histogram.observe t.r_ttft_h ms;
-          if now_s > Serve.Request.deadline_abs req then
+          Telemetry.Trace.exemplar ~metric:Telemetry.Trace.metric_ttft
+            ~value_ms:ms ~id:req.Serve.Request.trace;
+          if now_s > Serve.Request.deadline_abs req then begin
             incr2 t.ttft_breach_c t.r_ttft_breach_c;
+            Telemetry.Trace.retain ~id:req.Serve.Request.trace
+              ~reason:"ttft_breach"
+          end;
+          Telemetry.Recorder.emit Telemetry.Recorder.Trace_prefill
+            ~label:t.tr_lbl ~a:req.Serve.Request.trace
+            ~b:(Array.length prompt - matched);
           req.Serve.Request.outputs <- [ first ];
           req.Serve.Request.state <- Serve.Request.Decoding;
           t.tokens <- t.tokens + 1;

@@ -275,12 +275,25 @@ let choose t (req : Serve.Request.t) =
 let reject_at_router t (req : Serve.Request.t) ~now =
   req.Serve.Request.arrival_s <- now;
   req.Serve.Request.state <- Serve.Request.Rejected;
-  Telemetry.Counter.incr t.rejected_c
+  Telemetry.Counter.incr t.rejected_c;
+  Telemetry.Trace.terminal ~id:req.Serve.Request.trace
+    ~label:Telemetry.Trace.router_label
+    ~state:(Serve.Request.state_code Serve.Request.Rejected)
+    ~reason:"rejected" ()
+
+(* the routing decision lands in the request's causal timeline: operand
+   [b] is the chosen replica index (the prefill replica for a
+   disaggregated fleet) *)
+let trace_routed (req : Serve.Request.t) i =
+  Telemetry.Recorder.emit Telemetry.Recorder.Trace_routed
+    ~label:Telemetry.Trace.router_label ~a:req.Serve.Request.trace ~b:i
 
 (* route one request: ledger first (the router's ledger is the fleet's
    source of truth), then placement, then the replica's own admission *)
 let submit t ~now (req : Serve.Request.t) =
   t.ledger <- req :: t.ledger;
+  Telemetry.Recorder.emit Telemetry.Recorder.Trace_queued
+    ~label:Telemetry.Trace.router_label ~a:req.Serve.Request.trace ~b:0;
   match Fault.fire route_site with
   | `Deny ->
     Telemetry.Counter.incr t.route_faults_c;
@@ -296,12 +309,17 @@ let submit t ~now (req : Serve.Request.t) =
     | i :: _ ->
       Telemetry.Counter.incr t.routed_c;
       (match t.prefiller with
-      | Some p -> Prefiller.submit p ~now req
-      | None -> Serve.Scheduler.submit t.scheds.(i) ~now req))
+      | Some p ->
+        trace_routed req (prefill_replica_index t.cfg);
+        Prefiller.submit p ~now req
+      | None ->
+        trace_routed req i;
+        Serve.Scheduler.submit t.scheds.(i) ~now req))
   | `None | `Nan -> (
     match t.prefiller with
     | Some p ->
       Telemetry.Counter.incr t.routed_c;
+      trace_routed req (prefill_replica_index t.cfg);
       Prefiller.submit p ~now req
     | None -> (
       match choose t req with
@@ -310,6 +328,7 @@ let submit t ~now (req : Serve.Request.t) =
         false
       | Some i ->
         Telemetry.Counter.incr t.routed_c;
+        trace_routed req i;
         Serve.Scheduler.submit t.scheds.(i) ~now req))
 
 (* quarantine: stop routing to [i], evict its queued requests and
@@ -330,6 +349,7 @@ let quarantine t i =
         | None -> reject_at_router t r ~now:r.Serve.Request.arrival_s
         | Some j ->
           Telemetry.Counter.incr t.resubmitted_c;
+          trace_routed r j;
           ignore
             (Serve.Scheduler.resubmit t.scheds.(j)
                ~now:r.Serve.Request.arrival_s r))
@@ -389,7 +409,11 @@ let drain_migrations t ~now =
     r.Serve.Request.state <- Serve.Request.Failed;
     r.Serve.Request.finish_s <- now -. r.Serve.Request.arrival_s;
     d.Serve.Scheduler.d_release ();
-    Telemetry.Counter.incr t.migr_failed_c
+    Telemetry.Counter.incr t.migr_failed_c;
+    Telemetry.Trace.terminal ~id:r.Serve.Request.trace
+      ~label:Telemetry.Trace.router_label
+      ~state:(Serve.Request.state_code Serve.Request.Failed)
+      ~reason:"failed" ()
   in
   let rec go () =
     match Kv_handoff.chan_pop t.migrations with
@@ -477,7 +501,11 @@ let hard_fail t ~now i =
               r.Serve.Request.state <- Serve.Request.Failed;
               r.Serve.Request.finish_s <- now -. r.Serve.Request.arrival_s;
               d.Serve.Scheduler.d_release ();
-              Telemetry.Counter.incr t.migr_failed_c
+              Telemetry.Counter.incr t.migr_failed_c;
+              Telemetry.Trace.terminal ~id:r.Serve.Request.trace
+                ~label:Telemetry.Trace.router_label
+                ~state:(Serve.Request.state_code Serve.Request.Failed)
+                ~reason:"failed" ()
             end));
         detach_all ()
     in
@@ -531,6 +559,7 @@ let drain_handoff t ~now =
           with
           | `Adopted ->
             Telemetry.Counter.incr t.adopted_c;
+            trace_routed e.Kv_handoff.req i;
             worked := true;
             go ()
           | `Full -> Kv_handoff.requeue h e))

@@ -113,6 +113,8 @@ type report = {
   pages_freed : int;
   cow_copies : int;
   prefix_hits : int;
+  traces_checked : int;  (* causal timelines verified complete (0 when
+                            the flight recorder is disabled) *)
   violations : string list;
 }
 
@@ -187,10 +189,25 @@ let run ?(config = default) () =
       Team.set_watchdog prev_wd;
       Tpp_check.set_mode prev_mode)
     (fun () ->
+      (* a clean flight recorder per drive: request ids recur between
+         the reference and chaos runs (same trace), so the causal-trace
+         assembler must only ever see one drive's events; bigger rings
+         keep early spans from being evicted before the conservation
+         checks read them back *)
+      let rec_on = Telemetry.Recorder.enabled () in
+      let fresh_recorder () =
+        if rec_on then begin
+          Telemetry.Recorder.set_capacity 65536;
+          Telemetry.Recorder.reset ();
+          Telemetry.Trace.reset ()
+        end
+      in
+      fresh_recorder ();
       (* reference: identical trace and scheduler config, no faults *)
       let ref_sched = Scheduler.create ~config:config.scheduler llm in
       let ref_trace = make_trace config ~vocab in
       let _, ref_done = drive config ref_sched ref_trace in
+      fresh_recorder ();
       (* chaos run *)
       let plan =
         match config.plan with
@@ -279,6 +296,18 @@ let run ?(config = default) () =
           "paged KV blocks live beyond trie pins after drain");
       check (!mismatched = 0)
         "recovered outputs not bit-identical to fault-free run";
+      (* trace conservation: every ledgered request — whatever faults,
+         sheds or retries it survived — must leave a complete well-nested
+         causal timeline in the rings *)
+      let traces_checked = ref 0 in
+      if rec_on then
+        List.iter
+          (fun (r : Request.t) ->
+            incr traces_checked;
+            match Telemetry.Trace.check r.Request.trace with
+            | Ok () -> ()
+            | Error m -> check false ("trace conservation: " ^ m))
+          reqs;
       (* an invariant violation is exactly the situation the flight
          recorder exists for: capture the rings before the report is the
          only evidence left *)
@@ -288,6 +317,7 @@ let run ?(config = default) () =
         compared = !compared; mismatched = !mismatched; injected; retries;
         shed; trips; quarantined; denied; numeric_errors;
         pages_allocated; pages_freed; cow_copies; prefix_hits;
+        traces_checked = !traces_checked;
         violations = List.rev !violations })
 
 let report_to_string r =
@@ -305,6 +335,8 @@ let report_to_string r =
     r.injected r.retries r.shed r.denied r.numeric_errors;
   pr "team:     %d watchdog trips, %d workers quarantined\n" r.trips
     r.quarantined;
+  if r.traces_checked > 0 then
+    pr "traces:   %d causal timelines checked complete\n" r.traces_checked;
   if r.pages_allocated > 0 then
     pr "paged kv: %d blocks allocated, %d freed, %d COW copies, %d prefix \
         hits\n"

@@ -15,7 +15,10 @@
       rewind path);
     - bit-identical recovery: requests finished by both runs have
       exactly equal outputs (tolerance 0.0) — retries, rewinds, steals
-      and quarantines must be semantically invisible.
+      and quarantines must be semantically invisible;
+    - trace conservation (when the flight recorder is enabled): every
+      ledgered request leaves a complete well-nested causal timeline
+      ({!Telemetry.Trace.check}) whatever faults it survived.
 
     Faults are triggered by per-site invocation counts, and the clock
     driving deadlines is virtual, so the same seed reproduces the same
@@ -68,6 +71,9 @@ type report = {
   pages_freed : int;
   cow_copies : int;
   prefix_hits : int;
+  traces_checked : int;
+      (** causal timelines verified complete (0 when the flight recorder
+          is disabled) *)
   violations : string list;  (** empty iff every invariant held *)
 }
 

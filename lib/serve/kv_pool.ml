@@ -90,8 +90,10 @@ let new_cache_for t =
   | None -> Llm.new_cache ~cap:t.init_cap t.llm
 
 (* Common acquire body: caller holds no lock; [extra_deny] runs under the
-   pool lock and may veto (paged admission capacity check). *)
-let acquire_common t ~extra_deny ~on_cache =
+   pool lock and may veto (paged admission capacity check). [owner] is
+   the requesting trace id: when given, the grant/denial also lands in
+   the request's causal timeline as a [Trace_kv] event. *)
+let acquire_common t ?owner ~extra_deny ~on_cache () =
   let fault_denied =
     match Fault.fire deny_site with `Deny -> true | `None | `Nan -> false
   in
@@ -102,6 +104,11 @@ let acquire_common t ~extra_deny ~on_cache =
     Mutex.unlock t.lock;
     Telemetry.Recorder.emit Telemetry.Recorder.Kv_deny ~label:lbl_kv
       ~a:t.init_cap ~b:in_use;
+    (match owner with
+    | Some tr ->
+      Telemetry.Recorder.emit Telemetry.Recorder.Trace_kv ~label:lbl_kv ~a:tr
+        ~b:(-1)
+    | None -> ());
     `Denied
   end
   else begin
@@ -123,6 +130,11 @@ let acquire_common t ~extra_deny ~on_cache =
     Telemetry.Recorder.emit Telemetry.Recorder.Kv_acquire ~label:lbl_kv
       ~a:(Llm.cache_capacity cache)
       ~b:in_use;
+    (match owner with
+    | Some tr ->
+      Telemetry.Recorder.emit Telemetry.Recorder.Trace_kv ~label:lbl_kv ~a:tr
+        ~b:(Llm.cache_capacity cache)
+    | None -> ());
     on_cache cache
   end
 
@@ -132,7 +144,9 @@ let acquire_common t ~extra_deny ~on_cache =
    without limit under pressure. The fault fires outside the lock: a
    [Stall] rule must not block [release]. *)
 let acquire t =
-  acquire_common t ~extra_deny:(fun () -> false) ~on_cache:(fun c -> `Cache c)
+  acquire_common t ~extra_deny:(fun () -> false)
+    ~on_cache:(fun c -> `Cache c)
+    ()
 
 (* Prefix-aware, admission-gated acquire. [total_rows] is the request's
    whole KV footprint (prompt + generated tokens); a paged pool denies
@@ -140,10 +154,13 @@ let acquire t =
    are shed at admission instead of failing mid-decode. The matched
    prefix is capped at [prompt-1] tokens: at least one suffix row must
    remain to compute the first token. *)
-let acquire_for t ~prompt ~total_rows =
+let acquire_for t ?owner ~prompt ~total_rows () =
   match t.mgr with
-  | None -> acquire_common t ~extra_deny:(fun () -> false)
-              ~on_cache:(fun c -> `Cache (c, 0))
+  | None ->
+    acquire_common t ?owner
+      ~extra_deny:(fun () -> false)
+      ~on_cache:(fun c -> `Cache (c, 0))
+      ()
   | Some m ->
     let bs = Kv.Block_manager.block_size m in
     let blocks, btok =
@@ -160,11 +177,13 @@ let acquire_for t ~prompt ~total_rows =
       + (if matched mod bs <> 0 && matched > 0 then 1 else 0)
     in
     let extra_deny () = Kv.Block_manager.free_blocks m < needed in
-    acquire_common t ~extra_deny ~on_cache:(fun c ->
+    acquire_common t ?owner ~extra_deny
+      ~on_cache:(fun c ->
         if matched > 0 then
           Llm.attach_prefix c ~blocks:(Array.sub blocks 0 attach_n)
             ~len:matched;
         `Cache (c, matched))
+      ()
 
 let release t cache =
   (* capture capacity before the rewind: a paged cache's block table
@@ -195,12 +214,15 @@ let release t cache =
    engine), the remainder is imported as private blocks. On a mid-import
    denial the half-acquired cache is returned to the pool and [`Denied]
    is reported — the caller's snapshot stays the one live copy. *)
-let import t ~prompt ~total_rows (e : Kv.Block_manager.export) =
+let import t ?owner ~prompt ~total_rows (e : Kv.Block_manager.export) =
   match t.mgr with
   | None ->
-    acquire_common t ~extra_deny:(fun () -> false) ~on_cache:(fun c ->
+    acquire_common t ?owner
+      ~extra_deny:(fun () -> false)
+      ~on_cache:(fun c ->
         Llm.import_cache c e;
         `Cache c)
+      ()
   | Some m ->
     let bs = Kv.Block_manager.block_size m in
     let blocks, btok =
@@ -213,7 +235,8 @@ let import t ~prompt ~total_rows (e : Kv.Block_manager.export) =
     let attach_n = matched / bs in
     let needed = ((total_rows + bs - 1) / bs) - attach_n in
     let extra_deny () = Kv.Block_manager.free_blocks m < needed in
-    acquire_common t ~extra_deny ~on_cache:(fun c ->
+    acquire_common t ?owner ~extra_deny
+      ~on_cache:(fun c ->
         match
           Llm.import_cache c
             ?attach:
@@ -229,6 +252,7 @@ let import t ~prompt ~total_rows (e : Kv.Block_manager.export) =
         | exception exn ->
           release t c;
           raise exn)
+      ()
 
 (* Register a finished prefill in the prefix trie so later requests with
    the same prompt prefix reuse its blocks. No-op for contiguous pools. *)

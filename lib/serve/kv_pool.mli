@@ -46,17 +46,22 @@ val prefix_cache : t -> Kv.Prefix.t option
     the caller must degrade, the pool will not grow unboundedly. *)
 val acquire : t -> [ `Cache of Llm.kv_cache | `Denied ]
 
-(** [acquire_for t ~prompt ~total_rows] — prefix-aware, admission-gated
-    acquire. [total_rows] is the request's whole KV footprint (prompt
-    plus generated tokens): a paged pool also denies when the arena
-    cannot cover the un-shared part, shedding at admission instead of
-    failing mid-decode. On [`Cache (c, matched)] the first [matched]
-    prompt tokens are already cached via shared prefix blocks (0 when
-    no trie, no hit, or contiguous policy) — prefill only the suffix. *)
+(** [acquire_for t ~prompt ~total_rows ()] — prefix-aware,
+    admission-gated acquire. [total_rows] is the request's whole KV
+    footprint (prompt plus generated tokens): a paged pool also denies
+    when the arena cannot cover the un-shared part, shedding at
+    admission instead of failing mid-decode. On [`Cache (c, matched)]
+    the first [matched] prompt tokens are already cached via shared
+    prefix blocks (0 when no trie, no hit, or contiguous policy) —
+    prefill only the suffix. When [owner] (the requesting trace id) is
+    given, the grant or denial is also emitted as a [Trace_kv] event in
+    that request's causal timeline. *)
 val acquire_for :
   t ->
+  ?owner:int ->
   prompt:int array ->
   total_rows:int ->
+  unit ->
   [ `Cache of Llm.kv_cache * int | `Denied ]
 
 (** [import t ~prompt ~total_rows e] — admission-gated restore of a
@@ -67,9 +72,11 @@ val acquire_for :
     is imported as private blocks. [`Denied] (admission, arena pressure,
     or a mid-import denial — in which case the half-acquired cache is
     returned to the pool) leaves the destination untouched, so the
-    caller's snapshot stays the one live copy. *)
+    caller's snapshot stays the one live copy. [owner] as in
+    {!acquire_for}. *)
 val import :
   t ->
+  ?owner:int ->
   prompt:int array ->
   total_rows:int ->
   Kv.Block_manager.export ->

@@ -64,7 +64,9 @@ let generate cfg ~vocab =
       in
       let gen = draw_ids (max 1 (sample rng cfg.new_tokens)) in
       let req =
-        Request.make ~id ~prompt ~gen ~deadline_s:cfg.deadline_s ()
+        (* the request id doubles as the causal-trace id: the id lattice
+           ([id_base]/[id_stride]) already makes it fleet-unique *)
+        Request.make ~id ~trace:id ~prompt ~gen ~deadline_s:cfg.deadline_s ()
       in
       go ((at, req) :: acc) (id + stride) at
   in

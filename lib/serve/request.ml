@@ -32,6 +32,17 @@ let state_name = function
   | Cancelled -> "cancelled"
   | Failed -> "failed"
 
+(* compact code carried in Trace_end recorder events; must agree with
+   Telemetry.Trace.state_name *)
+let state_code = function
+  | Queued -> 0
+  | Prefilling -> 1
+  | Decoding -> 2
+  | Finished -> 3
+  | Rejected -> 4
+  | Cancelled -> 5
+  | Failed -> 6
+
 (* a request in a terminal state will never change again; every ledger
    entry must be terminal once the scheduler drains *)
 let terminal t_state =
@@ -41,6 +52,7 @@ let terminal t_state =
 
 type t = {
   id : int;
+  trace : int;  (* causal-trace id tagging this request's recorder events *)
   prompt : int array;
   gen : int array;
       (* gen.(k) is the input id of decode step k+1; the request emits
@@ -55,10 +67,11 @@ type t = {
   mutable outputs : Tensor.t list;  (* per-token hidden states, newest first *)
 }
 
-let make ~id ~prompt ~gen ?(deadline_s = Float.infinity) () =
+let make ~id ?trace ~prompt ~gen ?(deadline_s = Float.infinity) () =
   assert (Array.length prompt > 0);
   assert (Array.length gen > 0);
-  { id; prompt; gen; new_tokens = Array.length gen; deadline_s;
+  let trace = match trace with Some tr -> tr | None -> id in
+  { id; trace; prompt; gen; new_tokens = Array.length gen; deadline_s;
     arrival_s = 0.0; state = Queued; ttft_s = Float.nan;
     finish_s = Float.nan; outputs = [] }
 

@@ -16,12 +16,20 @@ type state =
 
 val state_name : state -> string
 
+(** Compact state code carried in [Trace_end] recorder events (0=queued …
+    6=failed; agrees with {!Telemetry.Trace.state_name}). *)
+val state_code : state -> int
+
 (** True for states that can never change again ([Finished], [Rejected],
     [Cancelled], [Failed]). *)
 val terminal : state -> bool
 
 type t = {
   id : int;
+  trace : int;
+      (** causal-trace id tagging this request's recorder events; assigned
+          at {!Load_gen}/submit time (defaults to [id]) and carried across
+          routing, handoff and migration unchanged *)
   prompt : int array;  (** prefill input token ids *)
   gen : int array;
       (** pre-drawn "sampled" ids fed back during decode: [gen.(k)] is the
@@ -38,9 +46,16 @@ type t = {
 }
 
 (** [make ~id ~prompt ~gen ()] — [new_tokens] is [Array.length gen];
-    default deadline is infinite (never violates the SLO). *)
+    default deadline is infinite (never violates the SLO); default
+    [trace] is [id]. *)
 val make :
-  id:int -> prompt:int array -> gen:int array -> ?deadline_s:float -> unit -> t
+  id:int ->
+  ?trace:int ->
+  prompt:int array ->
+  gen:int array ->
+  ?deadline_s:float ->
+  unit ->
+  t
 
 (** Absolute deadline on the serving clock (arrival + budget). *)
 val deadline_abs : t -> float

@@ -126,6 +126,9 @@ type t = {
   engine : engine;
   draft_llm : Llm.t option;  (* Some iff spec_k > 0 *)
   rtel : replica_tel option;
+  tr_lbl : int;
+      (* causal-trace lane label: "replica:<i>" on a cluster replica
+         (rendered as its own Chrome process lane), "serve" standalone *)
   pool : Kv_pool.t;
   mutable queue : Request.t list;  (* oldest first *)
   mutable active : session list;  (* admission order *)
@@ -221,8 +224,13 @@ let create ?(config = default_config) ?engine llm =
           prefix = config.prefix_share }
     else Kv_pool.Contiguous
   in
+  let tr_lbl =
+    match config.replica with
+    | Some i -> Telemetry.Trace.replica_label i
+    | None -> Telemetry.Trace.solo_label
+  in
   let t =
-    { llm; cfg = config; engine; draft_llm; rtel;
+    { llm; cfg = config; engine; draft_llm; rtel; tr_lbl;
       pool =
         Kv_pool.create ~init_cap:config.kv_cap ~max_live:config.max_batch
           ~policy:pool_policy llm;
@@ -288,6 +296,9 @@ let submit_common t ~now ~count_submitted (req : Request.t) =
   req.Request.arrival_s <- now;
   t.ledger <- req :: t.ledger;
   if count_submitted then incr2 t t.submitted_c (fun r -> r.r_submitted);
+  Telemetry.Recorder.emit Telemetry.Recorder.Trace_queued ~label:t.tr_lbl
+    ~a:req.Request.trace
+    ~b:(List.length t.queue);
   if req.Request.deadline_s <= 0.0 || List.length t.queue >= t.cfg.max_queue
   then begin
     (* queue full, or the SLO is already blown at submission: running it
@@ -296,6 +307,9 @@ let submit_common t ~now ~count_submitted (req : Request.t) =
       incr2 t t.deadline_breach_c (fun r -> r.r_deadline_breach);
     req.Request.state <- Request.Rejected;
     incr2 t t.rejected_c (fun r -> r.r_rejected);
+    Telemetry.Trace.terminal ~id:req.Request.trace ~label:t.tr_lbl
+      ~state:(Request.state_code Request.Rejected)
+      ~reason:"rejected" ();
     false
   end
   else begin
@@ -376,17 +390,28 @@ let retire t (s : session) ~now_s ~(state : Request.state) =
 let finish t (s : session) ~now_s =
   retire t s ~now_s ~state:Request.Finished;
   incr2 t t.completed_c (fun r -> r.r_completed);
-  if not (Request.met_deadline s.req) then
+  let breached = not (Request.met_deadline s.req) in
+  if breached then
     incr2 t t.deadline_breach_c (fun r -> r.r_deadline_breach);
+  Telemetry.Trace.terminal ~id:s.req.Request.trace ~label:t.tr_lbl
+    ~state:(Request.state_code Request.Finished)
+    ?reason:(if breached then Some "deadline_breach" else None)
+    ();
   t.finished <- s.req :: t.finished
 
 let cancel t (s : session) ~now_s =
   retire t s ~now_s ~state:Request.Cancelled;
-  incr2 t t.cancelled_c (fun r -> r.r_cancelled)
+  incr2 t t.cancelled_c (fun r -> r.r_cancelled);
+  Telemetry.Trace.terminal ~id:s.req.Request.trace ~label:t.tr_lbl
+    ~state:(Request.state_code Request.Cancelled)
+    ~reason:"deadline_cancelled" ()
 
 let fail_session t (s : session) ~now_s =
   retire t s ~now_s ~state:Request.Failed;
-  incr2 t t.failed_c (fun r -> r.r_failed)
+  incr2 t t.failed_c (fun r -> r.r_failed);
+  Telemetry.Trace.terminal ~id:s.req.Request.trace ~label:t.tr_lbl
+    ~state:(Request.state_code Request.Failed)
+    ~reason:"failed" ()
 
 (* deadline enforcement: an active session past its absolute deadline is
    cancelled (KV back to the pool); a queued request past its deadline is
@@ -415,6 +440,9 @@ let sweep_deadlines t ~now_s =
         r.Request.finish_s <- now_s -. r.Request.arrival_s;
         incr2 t t.cancelled_c (fun rt -> rt.r_cancelled);
         incr2 t t.deadline_breach_c (fun rt -> rt.r_deadline_breach);
+        Telemetry.Trace.terminal ~id:r.Request.trace ~label:t.tr_lbl
+          ~state:(Request.state_code Request.Cancelled)
+          ~reason:"deadline_cancelled" ();
         incr storm)
       late
   end;
@@ -425,14 +453,23 @@ let sweep_deadlines t ~now_s =
 
 (* run one prefill/decode attempt with bounded retry; [rewind] restores
    the pre-attempt KV state so the retried step recomputes from identical
-   inputs — the source of the bit-identical-recovery guarantee *)
-let with_retries t ~rewind f =
+   inputs — the source of the bit-identical-recovery guarantee. [tr] is
+   the request's trace id: a retry-with-rewind lands in its causal
+   timeline and force-retains the trace (a recovered fault is exactly
+   the kind of tail event post-hoc debugging wants the full story for) *)
+let with_retries ?tr t ~rewind f =
   let rec go attempt =
     try f ()
     with e when attempt < t.cfg.max_retries ->
       ignore e;
       rewind ();
       Telemetry.Counter.incr t.retries_c;
+      (match tr with
+      | Some id ->
+        Telemetry.Recorder.emit Telemetry.Recorder.Trace_retry ~label:t.tr_lbl
+          ~a:id ~b:(attempt + 1);
+        Telemetry.Trace.retain ~id ~reason:"fault_retry"
+      | None -> ());
       if t.cfg.retry_backoff_s > 0.0 then
         Thread.delay (t.cfg.retry_backoff_s *. float_of_int (1 lsl attempt));
       go (attempt + 1)
@@ -447,6 +484,9 @@ let guard t ~kernel out =
 let shed t (req : Request.t) ~now_s =
   t.denied_step <- true;
   Telemetry.Counter.incr t.shed_c;
+  Telemetry.Recorder.emit Telemetry.Recorder.Trace_shed ~label:t.tr_lbl
+    ~a:req.Request.trace ~b:t.eff_batch;
+  Telemetry.Trace.retain ~id:req.Request.trace ~reason:"shed";
   if t.active = [] then begin
     (* nothing holds a cache, so no release can unblock this request;
        tolerate up to [max_retries] consecutive idle denials (the denial
@@ -456,7 +496,10 @@ let shed t (req : Request.t) ~now_s =
       t.idle_denials <- 0;
       req.Request.state <- Request.Failed;
       req.Request.finish_s <- now_s -. req.Request.arrival_s;
-      incr2 t t.failed_c (fun r -> r.r_failed)
+      incr2 t t.failed_c (fun r -> r.r_failed);
+      Telemetry.Trace.terminal ~id:req.Request.trace ~label:t.tr_lbl
+        ~state:(Request.state_code Request.Failed)
+        ~reason:"shed" ()
     end
     else begin
       req.Request.state <- Request.Queued;
@@ -483,7 +526,7 @@ let make_draft t (req : Request.t) =
   | Some d -> (
     let dc = Llm.new_cache ~cap:t.cfg.kv_cap d in
     match
-      with_retries t
+      with_retries ~tr:req.Request.trace t
         ~rewind:(fun () -> Llm.reset_cache dc)
         (fun () ->
           ignore
@@ -503,7 +546,10 @@ let admit_one t ~now =
   | Some req -> (
     let plen = Array.length req.Request.prompt in
     let total_rows = plen + req.Request.new_tokens - 1 in
-    match Kv_pool.acquire_for t.pool ~prompt:req.Request.prompt ~total_rows with
+    match
+      Kv_pool.acquire_for t.pool ~owner:req.Request.trace
+        ~prompt:req.Request.prompt ~total_rows ()
+    with
     | `Denied ->
       shed t req ~now_s:(now ());
       `Denied
@@ -513,7 +559,7 @@ let admit_one t ~now =
       let suffix = Array.sub req.Request.prompt matched (plen - matched) in
       let emb = embed t suffix in
       match
-        with_retries t
+        with_retries ~tr:req.Request.trace t
           ~rewind:(fun () -> Llm.truncate_cache cache matched)
           (fun () ->
             (match Fault.fire prefill_site with _ -> ());
@@ -532,15 +578,25 @@ let admit_one t ~now =
         req.Request.state <- Request.Failed;
         req.Request.finish_s <- now_s -. req.Request.arrival_s;
         incr2 t t.failed_c (fun r -> r.r_failed);
+        Telemetry.Trace.terminal ~id:req.Request.trace ~label:t.tr_lbl
+          ~state:(Request.state_code Request.Failed)
+          ~reason:"failed" ();
         `Progress
       | first ->
         (* pin the prompt's full blocks for later prefix hits *)
         Kv_pool.register t.pool ~prompt:req.Request.prompt cache;
         let now_s = now () in
         req.Request.ttft_s <- now_s -. req.Request.arrival_s;
-        observe2 t t.ttft_h (fun r -> r.r_ttft) (1000.0 *. req.Request.ttft_s);
-        if now_s > Request.deadline_abs req then
+        let ttft_ms = 1000.0 *. req.Request.ttft_s in
+        observe2 t t.ttft_h (fun r -> r.r_ttft) ttft_ms;
+        Telemetry.Trace.exemplar ~metric:Telemetry.Trace.metric_ttft
+          ~value_ms:ttft_ms ~id:req.Request.trace;
+        if now_s > Request.deadline_abs req then begin
           incr2 t t.ttft_breach_c (fun r -> r.r_ttft_breach);
+          Telemetry.Trace.retain ~id:req.Request.trace ~reason:"ttft_breach"
+        end;
+        Telemetry.Recorder.emit Telemetry.Recorder.Trace_prefill
+          ~label:t.tr_lbl ~a:req.Request.trace ~b:(plen - matched);
         Telemetry.Recorder.emit Telemetry.Recorder.Sched_admit ~label:lbl_sched
           ~a:req.Request.id ~b:(List.length t.queue);
         req.Request.outputs <- [ first ];
@@ -560,7 +616,7 @@ let decode_greedy t (s : session) ~now =
   let id = s.req.Request.gen.(s.emitted - 1) in
   let e = embed t [| id |] in
   match
-    with_retries t
+    with_retries ~tr:s.req.Request.trace t
       ~rewind:(fun () -> Llm.truncate_cache s.cache pre_len)
       (fun () ->
         (match Fault.fire decode_site with _ -> ());
@@ -577,9 +633,13 @@ let decode_greedy t (s : session) ~now =
     fail_session t s ~now_s:(now ())
   | out ->
     let now_s = now () in
-    observe2 t t.tpot_h
-      (fun r -> r.r_tpot)
-      (1000.0 *. (now_s -. s.last_token_s));
+    let tpot_ms = 1000.0 *. (now_s -. s.last_token_s) in
+    observe2 t t.tpot_h (fun r -> r.r_tpot) tpot_ms;
+    Telemetry.Trace.exemplar ~metric:Telemetry.Trace.metric_tpot
+      ~value_ms:tpot_ms ~id:s.req.Request.trace;
+    Telemetry.Recorder.emit Telemetry.Recorder.Trace_decode ~label:t.tr_lbl
+      ~a:s.req.Request.trace
+      ~b:(List.length t.active);
     s.last_token_s <- now_s;
     s.req.Request.outputs <- out :: s.req.Request.outputs;
     s.emitted <- s.emitted + 1;
@@ -616,7 +676,7 @@ let decode_spec t (s : session) dc ~now =
   inputs.(0) <- req.Request.gen.(e0 - 1);
   let d = Option.get t.draft_llm in
   match
-    with_retries t
+    with_retries ~tr:req.Request.trace t
       ~rewind:(fun () ->
         Llm.truncate_cache s.cache pre;
         Llm.truncate_cache dc d_start)
@@ -669,8 +729,12 @@ let decode_spec t (s : session) dc ~now =
     Telemetry.Counter.add t.spec_proposed_c (rows - 1);
     Telemetry.Counter.add t.spec_accepted_c (a - 1);
     Telemetry.Counter.add t.spec_rejected_c (rows - a);
+    Telemetry.Recorder.emit Telemetry.Recorder.Trace_spec ~label:t.tr_lbl
+      ~a:req.Request.trace ~b:(a - 1);
     let now_s = now () in
     let dt_ms = 1000.0 *. (now_s -. s.last_token_s) /. float_of_int a in
+    Telemetry.Trace.exemplar ~metric:Telemetry.Trace.metric_tpot
+      ~value_ms:dt_ms ~id:req.Request.trace;
     for j = 0 to a - 1 do
       observe2 t t.tpot_h (fun r -> r.r_tpot) dt_ms;
       s.req.Request.outputs <- row_copy out j :: s.req.Request.outputs
@@ -808,6 +872,9 @@ let detach_next ?(before_export = fun () -> ()) t ~now_s =
       in
       t.active <- List.filter (fun x -> x != s) t.active;
       t.ledger <- List.filter (fun r -> r != s.req) t.ledger;
+      Telemetry.Recorder.emit Telemetry.Recorder.Trace_detach ~label:t.tr_lbl
+        ~a:s.req.Request.trace ~b:s.emitted;
+      Telemetry.Trace.retain ~id:s.req.Request.trace ~reason:"migrated";
       (* the draft cache is dropped: a resumed session decodes greedily,
          which emits the same tokens by the spec-decode invariant *)
       `Detached { d_req = s.req; d_emitted = s.emitted; d_export; d_release })
@@ -829,12 +896,18 @@ let resume ?(before_import = fun () -> ()) t ~now (d : detached) =
     let req = d.d_req in
     let plen = Array.length req.Request.prompt in
     let total_rows = plen + req.Request.new_tokens - 1 in
-    match Kv_pool.import t.pool ~prompt:req.Request.prompt ~total_rows
-            d.d_export
+    match
+      Kv_pool.import t.pool ~owner:req.Request.trace ~prompt:req.Request.prompt
+        ~total_rows d.d_export
     with
     | `Denied -> `Denied
     | `Cache cache ->
       assert (req.Request.state = Request.Decoding);
+      Telemetry.Recorder.emit Telemetry.Recorder.Trace_import ~label:t.tr_lbl
+        ~a:req.Request.trace ~b:d.d_export.Kv.Block_manager.xrows;
+      Telemetry.Recorder.emit Telemetry.Recorder.Trace_resume ~label:t.tr_lbl
+        ~a:req.Request.trace
+        ~b:(Option.value t.cfg.replica ~default:(-1));
       (* re-pin the prompt's full blocks in this replica's trie *)
       Kv_pool.register t.pool ~prompt:req.Request.prompt cache;
       t.ledger <- req :: t.ledger;

@@ -43,6 +43,19 @@ type kind =
   | Fault_fired
   | Jit_compile
   | Mark
+  | Trace_queued
+  | Trace_routed
+  | Trace_prefill
+  | Trace_handoff
+  | Trace_decode
+  | Trace_spec
+  | Trace_kv
+  | Trace_retry
+  | Trace_shed
+  | Trace_detach
+  | Trace_import
+  | Trace_resume
+  | Trace_end
 
 let code = function
   | Kernel_begin -> 0
@@ -57,6 +70,23 @@ let code = function
   | Fault_fired -> 9
   | Jit_compile -> 10
   | Mark -> 11
+  | Trace_queued -> 12
+  | Trace_routed -> 13
+  | Trace_prefill -> 14
+  | Trace_handoff -> 15
+  | Trace_decode -> 16
+  | Trace_spec -> 17
+  | Trace_kv -> 18
+  | Trace_retry -> 19
+  | Trace_shed -> 20
+  | Trace_detach -> 21
+  | Trace_import -> 22
+  | Trace_resume -> 23
+  | Trace_end -> 24
+
+(* trace kinds occupy a contiguous code range so the hot path can route
+   them to the per-thread trace lane with one compare *)
+let trace_code_base = 12
 
 let kind_of_code = function
   | 0 -> Kernel_begin
@@ -70,6 +100,20 @@ let kind_of_code = function
   | 8 -> Kv_deny
   | 9 -> Fault_fired
   | 10 -> Jit_compile
+  | 11 -> Mark
+  | 12 -> Trace_queued
+  | 13 -> Trace_routed
+  | 14 -> Trace_prefill
+  | 15 -> Trace_handoff
+  | 16 -> Trace_decode
+  | 17 -> Trace_spec
+  | 18 -> Trace_kv
+  | 19 -> Trace_retry
+  | 20 -> Trace_shed
+  | 21 -> Trace_detach
+  | 22 -> Trace_import
+  | 23 -> Trace_resume
+  | 24 -> Trace_end
   | _ -> Mark
 
 let kind_name = function
@@ -85,6 +129,19 @@ let kind_name = function
   | Fault_fired -> "fault_fired"
   | Jit_compile -> "jit_compile"
   | Mark -> "mark"
+  | Trace_queued -> "trace_queued"
+  | Trace_routed -> "trace_routed"
+  | Trace_prefill -> "trace_prefill"
+  | Trace_handoff -> "trace_handoff"
+  | Trace_decode -> "trace_decode"
+  | Trace_spec -> "trace_spec"
+  | Trace_kv -> "trace_kv"
+  | Trace_retry -> "trace_retry"
+  | Trace_shed -> "trace_shed"
+  | Trace_detach -> "trace_detach"
+  | Trace_import -> "trace_import"
+  | Trace_resume -> "trace_resume"
+  | Trace_end -> "trace_end"
 
 (* Chrome trace category; also what tests grep for ("cat":"fault") *)
 let kind_cat = function
@@ -96,6 +153,10 @@ let kind_cat = function
   | Fault_fired -> "fault"
   | Jit_compile -> "jit"
   | Mark -> "mark"
+  | Trace_queued | Trace_routed | Trace_prefill | Trace_handoff | Trace_decode
+  | Trace_spec | Trace_kv | Trace_retry | Trace_shed | Trace_detach
+  | Trace_import | Trace_resume | Trace_end ->
+    "trace"
 
 (* ---- enable switch ----------------------------------------------------- *)
 
@@ -144,6 +205,13 @@ let label_name id =
 
 (* ---- per-thread rings -------------------------------------------------- *)
 
+(* Each ring carries two lanes: a dense lane for kernel/pool/scheduler
+   events and a trace lane for the causal request-trace kinds. Trace
+   events are sparse (a few per request) but must survive a drive whose
+   kernel spans wrap the dense lane thousands of times over — one
+   circular buffer for both would evict every trace event long before a
+   timeline could be read back. Routing is a single integer compare on
+   the kind code, so the write path stays allocation-free. *)
 type ring = {
   rtid : int;  (* Thread.id of the owning (sole writer) thread *)
   kinds : int array;
@@ -153,6 +221,13 @@ type ring = {
   bb : int array;
   mutable pos : int;  (* next write index *)
   mutable total : int;  (* events ever written to this ring *)
+  t_kinds : int array;  (* trace lane *)
+  t_times : int array;
+  t_labels : int array;
+  t_aa : int array;
+  t_bb : int array;
+  mutable t_pos : int;
+  mutable t_total : int;
 }
 
 let default_capacity = 4096
@@ -184,7 +259,10 @@ let add_ring id =
       let r =
         { rtid = id; kinds = Array.make cap 0; times = Array.make cap 0;
           labels = Array.make cap 0; aa = Array.make cap 0;
-          bb = Array.make cap 0; pos = 0; total = 0 }
+          bb = Array.make cap 0; pos = 0; total = 0;
+          t_kinds = Array.make cap 0; t_times = Array.make cap 0;
+          t_labels = Array.make cap 0; t_aa = Array.make cap 0;
+          t_bb = Array.make cap 0; t_pos = 0; t_total = 0 }
       in
       let bigger = Array.make (Array.length arr + 1) r in
       Array.blit arr 0 bigger 0 (Array.length arr);
@@ -194,6 +272,28 @@ let add_ring id =
   Mutex.unlock rings_lock;
   r
 
+let[@inline] write r c ~label ~a ~b =
+  if c >= trace_code_base then begin
+    let i = r.t_pos in
+    Array.unsafe_set r.t_kinds i c;
+    Array.unsafe_set r.t_times i (Clock.now_int_ns ());
+    Array.unsafe_set r.t_labels i label;
+    Array.unsafe_set r.t_aa i a;
+    Array.unsafe_set r.t_bb i b;
+    r.t_pos <- (if i + 1 = Array.length r.t_kinds then 0 else i + 1);
+    r.t_total <- r.t_total + 1
+  end
+  else begin
+    let i = r.pos in
+    Array.unsafe_set r.kinds i c;
+    Array.unsafe_set r.times i (Clock.now_int_ns ());
+    Array.unsafe_set r.labels i label;
+    Array.unsafe_set r.aa i a;
+    Array.unsafe_set r.bb i b;
+    r.pos <- (if i + 1 = Array.length r.kinds then 0 else i + 1);
+    r.total <- r.total + 1
+  end
+
 let emit k ~label ~a ~b =
   if !enabled_flag then begin
     let id = Thread.id (Thread.self ()) in
@@ -201,26 +301,8 @@ let emit k ~label ~a ~b =
     match scan arr (Array.length arr) id 0 with
     | exception Not_found ->
       if Array.length arr >= max_rings then Atomic.incr lost
-      else begin
-        let r = add_ring id in
-        let i = r.pos in
-        Array.unsafe_set r.kinds i (code k);
-        Array.unsafe_set r.times i (Clock.now_int_ns ());
-        Array.unsafe_set r.labels i label;
-        Array.unsafe_set r.aa i a;
-        Array.unsafe_set r.bb i b;
-        r.pos <- (if i + 1 = Array.length r.kinds then 0 else i + 1);
-        r.total <- r.total + 1
-      end
-    | r ->
-      let i = r.pos in
-      Array.unsafe_set r.kinds i (code k);
-      Array.unsafe_set r.times i (Clock.now_int_ns ());
-      Array.unsafe_set r.labels i label;
-      Array.unsafe_set r.aa i a;
-      Array.unsafe_set r.bb i b;
-      r.pos <- (if i + 1 = Array.length r.kinds then 0 else i + 1);
-      r.total <- r.total + 1
+      else write (add_ring id) (code k) ~label ~a ~b
+    | r -> write r (code k) ~label ~a ~b
   end
 
 let mark ~label = emit Mark ~label ~a:0 ~b:0
@@ -237,24 +319,33 @@ type event = {
   b : int;
 }
 
+(* trace-lane events sort after dense events on a timestamp tie within
+   one thread: their seq is offset past any plausible dense count *)
+let trace_seq_base = 0x40000000
+
 let events () =
   let arr = Atomic.get rings in
   let acc = ref [] in
+  let read_lane rtid kinds times labels aa bb ~pos ~total ~seq0 =
+    let cap = Array.length kinds in
+    let n = if total < cap then total else cap in
+    let start = if total < cap then 0 else pos in
+    let base_seq = seq0 + total - n in
+    for j = 0 to n - 1 do
+      let i = (start + j) mod cap in
+      acc :=
+        { tid = rtid; seq = base_seq + j; t_ns = times.(i);
+          ekind = kind_of_code kinds.(i);
+          label = label_name labels.(i); a = aa.(i); b = bb.(i) }
+        :: !acc
+    done
+  in
   Array.iter
     (fun r ->
-      let cap = Array.length r.kinds in
-      let total = r.total in
-      let n = if total < cap then total else cap in
-      let start = if total < cap then 0 else r.pos in
-      let base_seq = total - n in
-      for j = 0 to n - 1 do
-        let i = (start + j) mod cap in
-        acc :=
-          { tid = r.rtid; seq = base_seq + j; t_ns = r.times.(i);
-            ekind = kind_of_code r.kinds.(i);
-            label = label_name r.labels.(i); a = r.aa.(i); b = r.bb.(i) }
-          :: !acc
-      done)
+      read_lane r.rtid r.kinds r.times r.labels r.aa r.bb ~pos:r.pos
+        ~total:r.total ~seq0:0;
+      read_lane r.rtid r.t_kinds r.t_times r.t_labels r.t_aa r.t_bb
+        ~pos:r.t_pos ~total:r.t_total ~seq0:trace_seq_base)
     arr;
   List.sort
     (fun e1 e2 -> compare (e1.t_ns, e1.tid, e1.seq) (e2.t_ns, e2.tid, e2.seq))
@@ -263,7 +354,8 @@ let events () =
 let tids () =
   let arr = Atomic.get rings in
   Array.to_list arr
-  |> List.filter_map (fun r -> if r.total > 0 then Some r.rtid else None)
+  |> List.filter_map (fun r ->
+      if r.total > 0 || r.t_total > 0 then Some r.rtid else None)
   |> List.sort compare
 
 (* ---- rendering --------------------------------------------------------- *)
@@ -291,6 +383,20 @@ let text_of_events ?(reason = "") evs =
     evs;
   Buffer.contents b
 
+(* Replica lane convention: events whose label is "replica:<i>" render
+   into their own Chrome process lane (pid i+2; pid 1 is the process-wide
+   lane), so multi-replica post-mortems read side by side instead of
+   interleaved flat. *)
+let lane_of_label l =
+  let p = "replica:" in
+  let pl = String.length p in
+  if String.length l > pl && String.sub l 0 pl = p then
+    int_of_string_opt (String.sub l pl (String.length l - pl))
+  else None
+
+let pid_of_event e =
+  match lane_of_label e.label with Some i when i >= 0 -> i + 2 | _ -> 1
+
 let trace_of_events ?(reason = "") evs =
   let b = Buffer.create 4096 in
   let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -300,35 +406,46 @@ let trace_of_events ?(reason = "") evs =
      \"args\":{\"name\":\"parlooper flight recorder%s%s\"}}"
     (if reason = "" then "" else ": ")
     (Json_check.escape reason);
+  let lanes =
+    List.sort_uniq compare (List.filter_map (fun e -> lane_of_label e.label) evs)
+  in
   List.iter
-    (fun t ->
+    (fun i ->
       pr
-        ",{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\
+        ",{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"replica %d\"}}"
+        (i + 2) i)
+    lanes;
+  List.iter
+    (fun (p, t) ->
+      pr
+        ",{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\
          \"args\":{\"name\":\"thread %d\"}}"
-        t t)
-    (List.sort_uniq compare (List.map (fun e -> e.tid) evs));
+        p t t)
+    (List.sort_uniq compare (List.map (fun e -> (pid_of_event e, e.tid)) evs));
   List.iter
     (fun e ->
       let ts = float_of_int e.t_ns /. 1e3 in
       let name = if e.label = "" then kind_name e.ekind else e.label in
+      let pid = pid_of_event e in
       match e.ekind with
       | Kernel_begin ->
         pr
-          ",{\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"name\":\"%s\",\
+          ",{\"ph\":\"B\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"name\":\"%s\",\
            \"cat\":\"%s\",\"args\":{\"a\":%d,\"b\":%d}}"
-          e.tid
+          pid e.tid
           (Json_check.float_repr ts)
           (Json_check.escape name) (kind_cat e.ekind) e.a e.b
       | Kernel_end ->
-        pr ",{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"name\":\"%s\",\"cat\":\"%s\"}"
-          e.tid
+        pr ",{\"ph\":\"E\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"name\":\"%s\",\"cat\":\"%s\"}"
+          pid e.tid
           (Json_check.float_repr ts)
           (Json_check.escape name) (kind_cat e.ekind)
       | _ ->
         pr
-          ",{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"s\":\"t\",\
+          ",{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"s\":\"t\",\
            \"name\":\"%s\",\"cat\":\"%s\",\"args\":{\"a\":%d,\"b\":%d}}"
-          e.tid
+          pid e.tid
           (Json_check.float_repr ts)
           (Json_check.escape name) (kind_cat e.ekind) e.a e.b)
     evs;

@@ -23,11 +23,24 @@ type kind =
   | Fault_fired  (** injected fault; [label]=site, [a]=invocation, [b]=kind *)
   | Jit_compile  (** JIT cache miss compiled; [label]=spec, [a]=ns *)
   | Mark  (** free-form point event *)
+  | Trace_queued  (** request entered a queue; [a]=trace id, [b]=depth *)
+  | Trace_routed  (** placement decision; [a]=trace id, [b]=replica *)
+  | Trace_prefill  (** prefill finished; [a]=trace id, [b]=prompt rows *)
+  | Trace_handoff  (** KV handoff push; [a]=trace id, [b]=channel depth *)
+  | Trace_decode  (** one decode iteration; [a]=trace id, [b]=batch width *)
+  | Trace_spec  (** speculative verify round; [a]=trace id, [b]=accepted *)
+  | Trace_kv  (** KV lease for a request; [a]=trace id, [b]=rows, -1=denied *)
+  | Trace_retry  (** retry-with-rewind; [a]=trace id, [b]=attempt *)
+  | Trace_shed  (** load-shed requeue; [a]=trace id, [b]=eff batch *)
+  | Trace_detach  (** migration export; [a]=trace id, [b]=tokens emitted *)
+  | Trace_import  (** migration KV import; [a]=trace id, [b]=rows *)
+  | Trace_resume  (** migration commit; [a]=trace id, [b]=dest replica *)
+  | Trace_end  (** terminal transition; [a]=trace id, [b]=state code *)
 
 val kind_name : kind -> string
 
 (** Chrome-trace category for a kind ("kernel", "pool", "barrier",
-    "sched", "kv", "fault", "jit", "mark"). *)
+    "sched", "kv", "fault", "jit", "mark", "trace"). *)
 val kind_cat : kind -> string
 
 val set_enabled : bool -> unit
@@ -43,7 +56,10 @@ val no_label : int
 val label_name : int -> string
 
 (** Append one event to the calling thread's ring. Allocation-free and
-    lock-free after the thread's first event; a no-op while disabled. *)
+    lock-free after the thread's first event; a no-op while disabled.
+    [Trace_*] kinds land in a separate per-thread lane of the same
+    capacity, so sparse causal-trace events are never evicted by dense
+    kernel/scheduler spans wrapping the main lane. *)
 val emit : kind -> label:int -> a:int -> b:int -> unit
 
 (** [mark ~label] = [emit Mark ~label ~a:0 ~b:0]. *)
@@ -77,9 +93,16 @@ val tids : unit -> int list
 (** Human-readable timeline (relative-microsecond columns). *)
 val text_of_events : ?reason:string -> event list -> string
 
+(** Parse the replica lane convention: labels of the form
+    ["replica:<i>"] place an event in replica [i]'s Chrome process lane.
+    [None] for any other label. *)
+val lane_of_label : string -> int option
+
 (** Chrome trace_event JSON ({v {"traceEvents":[...]} v}): B/E pairs for
     kernel begin/end, instant events for everything else, thread-name
-    metadata per tid. Output always passes {!Json_check.validate}. *)
+    metadata per tid. Events carrying a ["replica:<i>"] label render in
+    a per-replica process lane (pid [i+2], named "replica i"); everything
+    else stays in pid 1. Output always passes {!Json_check.validate}. *)
 val trace_of_events : ?reason:string -> event list -> string
 
 (** Where post-mortem dumps go; [None] (the default, unless

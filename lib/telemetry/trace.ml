@@ -1,0 +1,391 @@
+(* Request-scoped causal tracing over the flight recorder.
+
+   Every serving-layer seam tags its recorder events with the request's
+   trace id in operand [a] (the Trace_* kinds), so a trace is nothing
+   but a filter over the merged ring snapshot — the hot path stays the
+   recorder's five unsafe stores and the assembler runs entirely
+   off-line. This module owns the three pieces that are not per-event:
+
+   - the tail-based sampling policy: a trace is retained in full only
+     when its request breached an SLO, hit a fault site, was shed, or
+     was migrated — plus a seeded 1-in-N baseline draw so healthy
+     requests stay represented. Everything else keeps only its counter
+     and histogram contributions, never a per-request timeline.
+   - exemplars: each TTFT/TPOT histogram observation may nominate its
+     trace id for the log-bucket it landed in (max value wins), so a
+     tail percentile is one lookup away from a causal explanation.
+   - the assembler: per-id timelines (text + Chrome, one process lane
+     per replica via the recorder's "replica:<i>" label convention), a
+     span-tree conservation check, and an on-disk dump the
+     [parlooper_cli trace] subcommands read back. *)
+
+let metric_ttft = "ttft"
+let metric_tpot = "tpot"
+
+let is_trace_kind = function
+  | Recorder.Trace_queued | Recorder.Trace_routed | Recorder.Trace_prefill
+  | Recorder.Trace_handoff | Recorder.Trace_decode | Recorder.Trace_spec
+  | Recorder.Trace_kv | Recorder.Trace_retry | Recorder.Trace_shed
+  | Recorder.Trace_detach | Recorder.Trace_import | Recorder.Trace_resume
+  | Recorder.Trace_end ->
+    true
+  | _ -> false
+
+(* ---- lane labels ------------------------------------------------------- *)
+
+(* interning takes a lock, so cache the replica labels we hand out *)
+let replica_lbl_lock = Mutex.create ()
+let replica_lbls : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let replica_label i =
+  Mutex.lock replica_lbl_lock;
+  let l =
+    match Hashtbl.find_opt replica_lbls i with
+    | Some l -> l
+    | None ->
+      let l = Recorder.intern (Printf.sprintf "replica:%d" i) in
+      Hashtbl.replace replica_lbls i l;
+      l
+  in
+  Mutex.unlock replica_lbl_lock;
+  l
+
+let solo_label = Recorder.intern "serve"
+let router_label = Recorder.intern "cluster.router"
+
+(* ---- terminal-state vocabulary ----------------------------------------- *)
+
+(* mirrors Serve.Request.state (state_code there must agree) *)
+let state_name = function
+  | 0 -> "queued"
+  | 1 -> "prefilling"
+  | 2 -> "decoding"
+  | 3 -> "finished"
+  | 4 -> "rejected"
+  | 5 -> "cancelled"
+  | 6 -> "failed"
+  | n -> Printf.sprintf "state%d" n
+
+let state_finished = 3
+
+(* ---- tail-based sampling ------------------------------------------------ *)
+
+let ret_lock = Mutex.create ()
+let retention : (int, string) Hashtbl.t = Hashtbl.create 64
+let baseline_ref = ref 16
+let seed_ref = ref 0x5452
+
+let set_baseline n = baseline_ref := max 0 n
+let set_seed s = seed_ref := s
+
+let splitmix64 x =
+  let open Int64 in
+  let z = add x 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* deterministic 1-in-N draw keyed by (seed, id): the same run retains
+   the same baseline ids on every host *)
+let baseline_hit id =
+  let n = !baseline_ref in
+  n > 0
+  &&
+  let h = splitmix64 (Int64.of_int ((id * 0x9E3779B9) lxor !seed_ref)) in
+  Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int n) = 0L
+
+let retain ~id ~reason =
+  Mutex.lock ret_lock;
+  (* first reason wins: "fault_retry" set mid-flight is more causal than
+     the terminal "deadline_breach" that usually follows it *)
+  if not (Hashtbl.mem retention id) then Hashtbl.replace retention id reason;
+  Mutex.unlock ret_lock
+
+let retention_reason id =
+  Mutex.lock ret_lock;
+  let r = Hashtbl.find_opt retention id in
+  Mutex.unlock ret_lock;
+  r
+
+let is_retained id = retention_reason id <> None
+
+let retained () =
+  Mutex.lock ret_lock;
+  let l = Hashtbl.fold (fun id r acc -> (id, r) :: acc) retention [] in
+  Mutex.unlock ret_lock;
+  List.sort compare l
+
+(* Emit the terminal span event and apply the retention policy: an
+   explicit [reason] (SLO breach, shed, fault, migration…) always
+   retains; otherwise the request only survives the baseline draw. *)
+let terminal ~id ~label ~state ?reason () =
+  Recorder.emit Recorder.Trace_end ~label ~a:id ~b:state;
+  match reason with
+  | Some r -> retain ~id ~reason:r
+  | None -> if baseline_hit id then retain ~id ~reason:"baseline"
+
+(* ---- exemplars ---------------------------------------------------------- *)
+
+let ex_lock = Mutex.create ()
+
+let ex_tbl : (string, (int, float * int) Hashtbl.t) Hashtbl.t =
+  Hashtbl.create 8
+
+(* same geometric spirit as Histogram's buckets: ~9% relative resolution *)
+let ex_bucket v =
+  if not (v > 0.0) then min_int
+  else int_of_float (Float.round (16.0 *. Float.log v))
+
+let exemplar ~metric ~value_ms ~id =
+  Mutex.lock ex_lock;
+  let t =
+    match Hashtbl.find_opt ex_tbl metric with
+    | Some t -> t
+    | None ->
+      let t = Hashtbl.create 32 in
+      Hashtbl.replace ex_tbl metric t;
+      t
+  in
+  let bkt = ex_bucket value_ms in
+  (match Hashtbl.find_opt t bkt with
+  | Some (v, _) when v >= value_ms -> ()
+  | _ -> Hashtbl.replace t bkt (value_ms, id));
+  Mutex.unlock ex_lock
+
+let exemplars ~metric =
+  Mutex.lock ex_lock;
+  let l =
+    match Hashtbl.find_opt ex_tbl metric with
+    | None -> []
+    | Some t -> Hashtbl.fold (fun _ vi acc -> vi :: acc) t []
+  in
+  Mutex.unlock ex_lock;
+  List.sort (fun (v1, _) (v2, _) -> compare (v2 : float) v1) l
+
+let all_exemplars () =
+  Mutex.lock ex_lock;
+  let ms = Hashtbl.fold (fun m _ acc -> m :: acc) ex_tbl [] in
+  Mutex.unlock ex_lock;
+  List.sort compare ms |> List.map (fun m -> (m, exemplars ~metric:m))
+
+(* worst retained trace for a metric: the highest exemplar value whose
+   id survived tail sampling (every breacher is retained, so the true
+   worst is always resolvable) *)
+let worst ~metric =
+  let rec go = function
+    | [] -> None
+    | (v, id) :: rest -> if is_retained id then Some (id, v) else go rest
+  in
+  go (exemplars ~metric)
+
+(* ---- assembler ---------------------------------------------------------- *)
+
+let timelines () =
+  let tl : (int, Recorder.event list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if is_trace_kind e.Recorder.ekind then
+        Hashtbl.replace tl e.Recorder.a
+          (e
+          ::
+          (match Hashtbl.find_opt tl e.Recorder.a with
+          | Some l -> l
+          | None -> [])))
+    (Recorder.events ());
+  Hashtbl.fold (fun id rev acc -> (id, List.rev rev) :: acc) tl []
+  |> List.sort compare
+
+let timeline id =
+  match List.assoc_opt id (timelines ()) with Some l -> l | None -> []
+
+let ids () = List.map fst (timelines ())
+
+let decode_spans evs =
+  List.length
+    (List.filter
+       (fun e ->
+         match e.Recorder.ekind with
+         | Recorder.Trace_decode | Recorder.Trace_spec -> true
+         | _ -> false)
+       evs)
+
+let detail e =
+  let b = e.Recorder.b in
+  match e.Recorder.ekind with
+  | Recorder.Trace_queued -> Printf.sprintf "depth=%d" b
+  | Recorder.Trace_routed -> Printf.sprintf "replica=%d" b
+  | Recorder.Trace_prefill -> Printf.sprintf "rows=%d" b
+  | Recorder.Trace_handoff -> Printf.sprintf "depth=%d" b
+  | Recorder.Trace_decode -> Printf.sprintf "batch=%d" b
+  | Recorder.Trace_spec -> Printf.sprintf "accepted=%d" b
+  | Recorder.Trace_kv ->
+    if b >= 0 then Printf.sprintf "rows=%d" b else "denied"
+  | Recorder.Trace_retry -> Printf.sprintf "attempt=%d" b
+  | Recorder.Trace_shed -> Printf.sprintf "eff_batch=%d" b
+  | Recorder.Trace_detach -> Printf.sprintf "emitted=%d" b
+  | Recorder.Trace_import -> Printf.sprintf "rows=%d" b
+  | Recorder.Trace_resume -> Printf.sprintf "replica=%d" b
+  | Recorder.Trace_end -> Printf.sprintf "state=%s" (state_name b)
+  | _ -> Printf.sprintf "a=%d b=%d" e.Recorder.a b
+
+let text_of_timeline_events ~id ?reason evs =
+  let b = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "# parlooper trace %d\n" id;
+  (match reason with
+  | Some r -> pr "# retained: %s\n" r
+  | None -> ());
+  pr "# %d event%s, %d decode span%s\n" (List.length evs)
+    (if List.length evs = 1 then "" else "s")
+    (decode_spans evs)
+    (if decode_spans evs = 1 then "" else "s");
+  let t0 = match evs with [] -> 0 | e :: _ -> e.Recorder.t_ns in
+  pr "#   rel_ms  lane             event           detail\n";
+  List.iter
+    (fun e ->
+      let lane =
+        if e.Recorder.label = "" then "-" else e.Recorder.label
+      in
+      pr "%10.3f  %-16s %-15s %s\n"
+        (float_of_int (e.Recorder.t_ns - t0) /. 1e6)
+        lane
+        (Recorder.kind_name e.Recorder.ekind)
+        (detail e))
+    evs;
+  Buffer.contents b
+
+let text_of_timeline ?reason id =
+  let reason =
+    match reason with Some _ -> reason | None -> retention_reason id
+  in
+  text_of_timeline_events ~id ?reason (timeline id)
+
+let chrome_of_timeline id =
+  Recorder.trace_of_events
+    ~reason:(Printf.sprintf "trace %d" id)
+    (timeline id)
+
+(* ---- span-tree conservation --------------------------------------------- *)
+
+(* A complete, well-nested trace: opens with trace_queued, closes with
+   exactly one trace_end, decodes only after a prefill (or a migration
+   resume), and migration joins balance — a resume needs its detach, and
+   a finished request cannot leave a detach unresumed. *)
+let check_events evs =
+  match evs with
+  | [] -> Error "no trace events"
+  | first :: _ ->
+    let count k =
+      List.length (List.filter (fun e -> e.Recorder.ekind = k) evs)
+    in
+    let last = List.nth evs (List.length evs - 1) in
+    if first.Recorder.ekind <> Recorder.Trace_queued then
+      Error
+        (Printf.sprintf "first event is %s, not trace_queued"
+           (Recorder.kind_name first.Recorder.ekind))
+    else if count Recorder.Trace_end <> 1 then
+      Error
+        (Printf.sprintf "%d trace_end events (want exactly 1)"
+           (count Recorder.Trace_end))
+    else if last.Recorder.ekind <> Recorder.Trace_end then
+      Error "trace_end is not the last event"
+    else begin
+      let detaches = count Recorder.Trace_detach in
+      let resumes = count Recorder.Trace_resume in
+      if resumes > detaches then
+        Error
+          (Printf.sprintf "%d resumes for %d detaches" resumes detaches)
+      else if last.Recorder.b = state_finished && detaches > resumes then
+        Error
+          (Printf.sprintf
+             "finished with %d detach(es) but only %d resume(s)" detaches
+             resumes)
+      else begin
+        let seen_prefill = ref false and bad = ref None in
+        List.iter
+          (fun e ->
+            match e.Recorder.ekind with
+            | Recorder.Trace_prefill | Recorder.Trace_resume ->
+              seen_prefill := true
+            | Recorder.Trace_decode | Recorder.Trace_spec ->
+              if not !seen_prefill then
+                bad := Some "decode span before prefill/resume"
+            | _ -> ())
+          evs;
+        match !bad with Some m -> Error m | None -> Ok ()
+      end
+    end
+
+let check id =
+  match timeline id with
+  | [] -> Error (Printf.sprintf "trace %d: no trace events" id)
+  | evs -> (
+    match check_events evs with
+    | Ok () -> Ok ()
+    | Error m -> Error (Printf.sprintf "trace %d: %s" id m))
+
+(* ---- on-disk dump -------------------------------------------------------- *)
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc s)
+
+(* Write every retained trace (that still has ring events) under [dir]:
+   trace-<id>.txt, trace-<id>.trace.json (validated), plus index.txt
+   ("id reason events decode_spans" rows) and exemplars.txt
+   ("metric value_ms id" rows, worst first) for the CLI to read back.
+   Returns the number of traces written. *)
+let dump ~dir =
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let tls = timelines () in
+  let written = ref 0 in
+  let idx = Buffer.create 512 in
+  Buffer.add_string idx "# parlooper trace index: id reason events decode_spans\n";
+  List.iter
+    (fun (id, reason) ->
+      match List.assoc_opt id tls with
+      | None | Some [] -> () (* ring-evicted before the dump; nothing left *)
+      | Some evs ->
+        Buffer.add_string idx
+          (Printf.sprintf "%d %s %d %d\n" id reason (List.length evs)
+             (decode_spans evs));
+        write_file
+          (Filename.concat dir (Printf.sprintf "trace-%d.txt" id))
+          (text_of_timeline_events ~id ~reason evs);
+        let tr =
+          Recorder.trace_of_events
+            ~reason:(Printf.sprintf "trace %d (%s)" id reason)
+            evs
+        in
+        Json_check.validate tr;
+        write_file
+          (Filename.concat dir (Printf.sprintf "trace-%d.trace.json" id))
+          tr;
+        incr written)
+    (retained ());
+  write_file (Filename.concat dir "index.txt") (Buffer.contents idx);
+  let exb = Buffer.create 512 in
+  Buffer.add_string exb "# parlooper trace exemplars: metric value_ms id\n";
+  List.iter
+    (fun (m, l) ->
+      List.iter
+        (fun (v, id) ->
+          (* only link traces the tail sampler actually kept: every row
+             here resolves to a trace-<id>.txt next to it *)
+          if is_retained id then
+            Buffer.add_string exb
+              (Printf.sprintf "%s %s %d\n" m (Json_check.float_repr v) id))
+        l)
+    (all_exemplars ());
+  write_file (Filename.concat dir "exemplars.txt") (Buffer.contents exb);
+  !written
+
+let reset () =
+  Mutex.lock ret_lock;
+  Hashtbl.reset retention;
+  Mutex.unlock ret_lock;
+  Mutex.lock ex_lock;
+  Hashtbl.reset ex_tbl;
+  Mutex.unlock ex_lock

@@ -129,6 +129,7 @@ let test_load_gen_split () =
 
 let test_cluster_chaos_conservation () =
   clean ();
+  Telemetry.Recorder.set_enabled true;
   let config =
     { Cluster.Chaos.default with Cluster.Chaos.requests = 16 }
   in
@@ -142,6 +143,8 @@ let test_cluster_chaos_conservation () =
     + r.Cluster.Chaos.cancelled + r.Cluster.Chaos.failed);
   checki "no double release" 0 r.Cluster.Chaos.double_released;
   checki "no identity mismatch" 0 r.Cluster.Chaos.mismatched;
+  checki "every ledgered request trace-checked" r.Cluster.Chaos.submitted
+    r.Cluster.Chaos.traces_checked;
   (* deterministic: same seed, same ledger *)
   let b = Cluster.Chaos.run ~config () in
   checki "same injected" r.Cluster.Chaos.injected b.Cluster.Chaos.injected;
@@ -295,6 +298,7 @@ let test_hard_fail_migrates_inflight () =
 
 let test_cluster_chaos_hard_kill () =
   clean ();
+  Telemetry.Recorder.set_enabled true;
   let r = Cluster.Chaos.run ~config:Cluster.Chaos.hard_kill () in
   Alcotest.(check (list string)) "no violations" [] r.Cluster.Chaos.violations;
   checkb "migrations completed" true (r.Cluster.Chaos.migrations_completed > 0);
@@ -305,6 +309,13 @@ let test_cluster_chaos_hard_kill () =
   checki "ledger conserved" r.Cluster.Chaos.submitted
     (r.Cluster.Chaos.finished + r.Cluster.Chaos.rejected
     + r.Cluster.Chaos.cancelled + r.Cluster.Chaos.failed);
+  (* trace conservation across the failover: every request leaves a
+     complete timeline, and every migrated session's trace joins its
+     detach to exactly one import + resume on the survivor *)
+  checki "every ledgered request trace-checked" r.Cluster.Chaos.submitted
+    r.Cluster.Chaos.traces_checked;
+  checkb "migrated sessions traced across the join" true
+    (r.Cluster.Chaos.migrated_traced > 0);
   (* deterministic: same seed, same failover *)
   let b = Cluster.Chaos.run ~config:Cluster.Chaos.hard_kill () in
   checki "same migrations" r.Cluster.Chaos.migrations_completed

@@ -184,7 +184,7 @@ let test_truncate_cow_inside_pinned_prefix () =
     | None -> Alcotest.fail "paged pool has a prefix trie"
   in
   (* warm the trie: the 8-token prefix pins two full blocks *)
-  (match Serve.Kv_pool.acquire_for pool ~prompt:shared ~total_rows:12 with
+  (match Serve.Kv_pool.acquire_for pool ~prompt:shared ~total_rows:12 () with
   | `Denied -> Alcotest.fail "cold acquire denied"
   | `Cache (c, _) ->
     ignore (Llm.extend llm c (Llm.embed llm shared));
@@ -194,7 +194,7 @@ let test_truncate_cow_inside_pinned_prefix () =
   checkb "trie pinned the prefix" true (pins > 0);
   (* the retry victim shares both pinned blocks *)
   let cache, matched =
-    match Serve.Kv_pool.acquire_for pool ~prompt ~total_rows:16 with
+    match Serve.Kv_pool.acquire_for pool ~prompt ~total_rows:16 () with
     | `Denied -> Alcotest.fail "prefix-hit acquire denied"
     | `Cache (c, matched) -> (c, matched)
   in
@@ -238,7 +238,7 @@ let test_truncate_cow_inside_pinned_prefix () =
         (bits_equal (Llm.decode_step llm rc e) (Llm.decode_step llm cache e)))
     gen;
   (* the trie still serves the prefix after the rewind *)
-  (match Serve.Kv_pool.acquire_for pool ~prompt ~total_rows:16 with
+  (match Serve.Kv_pool.acquire_for pool ~prompt ~total_rows:16 () with
   | `Denied -> Alcotest.fail "trie hit denied after rewind"
   | `Cache (c, matched2) ->
     checki "trie intact after COW" 8 matched2;
@@ -299,7 +299,7 @@ let test_prefix_hit_bit_identical () =
   in
   (* warm the trie with request 0's prompt *)
   let p0 = mk_prompt 0 in
-  (match Serve.Kv_pool.acquire_for pool ~prompt:p0 ~total_rows:16 with
+  (match Serve.Kv_pool.acquire_for pool ~prompt:p0 ~total_rows:16 () with
   | `Denied -> Alcotest.fail "cold acquire denied"
   | `Cache (c, matched) ->
     checki "cold lookup matches nothing" 0 matched;
@@ -308,7 +308,7 @@ let test_prefix_hit_bit_identical () =
   (* request 1 shares the 8-token prefix (2 full blocks) *)
   let p1 = mk_prompt 1 in
   let cache, matched =
-    match Serve.Kv_pool.acquire_for pool ~prompt:p1 ~total_rows:16 with
+    match Serve.Kv_pool.acquire_for pool ~prompt:p1 ~total_rows:16 () with
     | `Denied -> Alcotest.fail "prefix-hit acquire denied"
     | `Cache (c, matched) -> (c, matched)
   in
@@ -352,10 +352,10 @@ let test_pool_denies_on_exhausted_arena () =
   let prompt = Array.init 6 (fun i -> i + 1) in
   (* 16 arena rows: a 12-row request fits, the next one must be refused
      at admission (not fail mid-decode) *)
-  (match Serve.Kv_pool.acquire_for pool ~prompt ~total_rows:12 with
+  (match Serve.Kv_pool.acquire_for pool ~prompt ~total_rows:12 () with
   | `Denied -> Alcotest.fail "first request denied"
   | `Cache (c, _) -> ignore (Llm.extend llm c (Llm.embed llm prompt)));
-  (match Serve.Kv_pool.acquire_for pool ~prompt ~total_rows:12 with
+  (match Serve.Kv_pool.acquire_for pool ~prompt ~total_rows:12 () with
   | `Denied -> ()
   | `Cache _ -> Alcotest.fail "admitted past the arena");
   checki "denial counted" 1 (Serve.Kv_pool.denied pool)

@@ -536,6 +536,46 @@ let test_chaos_deterministic () =
   checki "same compared" a.Serve.Chaos.compared b.Serve.Chaos.compared;
   checki "same mismatched" a.Serve.Chaos.mismatched b.Serve.Chaos.mismatched
 
+(* trace conservation under chaos: with the flight recorder armed, every
+   ledgered request — whatever faults it survived — must leave a complete
+   well-nested causal timeline (a check failure lands in [violations]) *)
+let test_chaos_trace_conservation () =
+  clean ();
+  Telemetry.Recorder.set_enabled true;
+  let config = { Serve.Chaos.default with Serve.Chaos.requests = 8 } in
+  let r = Serve.Chaos.run ~config () in
+  Alcotest.(check (list string)) "no violations" [] r.Serve.Chaos.violations;
+  checki "every ledgered request trace-checked" r.Serve.Chaos.submitted
+    r.Serve.Chaos.traces_checked
+
+(* the same invariant over the paged arena with speculative decoding:
+   rewinds, spec-verify rounds and block-level COW must not truncate or
+   reorder a request's span tree *)
+let test_chaos_trace_conservation_paged_spec () =
+  clean ();
+  Telemetry.Recorder.set_enabled true;
+  let scheduler =
+    { Serve.Chaos.default.Serve.Chaos.scheduler with
+      Serve.Scheduler.paged = true;
+      block_size = 16;
+      num_blocks = 128;
+      spec_k = 4
+    }
+  in
+  let config =
+    { Serve.Chaos.default with
+      Serve.Chaos.requests = 12;
+      scheduler;
+      shared_prefix = 12
+    }
+  in
+  let r = Serve.Chaos.run ~config () in
+  Alcotest.(check (list string)) "no violations" [] r.Serve.Chaos.violations;
+  checki "every ledgered request trace-checked" r.Serve.Chaos.submitted
+    r.Serve.Chaos.traces_checked;
+  checkb "paged arena actually exercised" true
+    (r.Serve.Chaos.pages_allocated > 0)
+
 (* ---- online tuning: hot-swapped specs stay bit-identical ---- *)
 
 (* an online-tune scheduler must produce the same tokens as an untuned
@@ -638,6 +678,10 @@ let () =
             test_denial_sheds_then_recovers;
           Alcotest.test_case "chaos deterministic" `Quick
             test_chaos_deterministic;
+          Alcotest.test_case "chaos trace conservation" `Quick
+            test_chaos_trace_conservation;
+          Alcotest.test_case "chaos trace conservation (paged+spec)" `Quick
+            test_chaos_trace_conservation_paged_spec;
         ] );
       ( "online-tune",
         [

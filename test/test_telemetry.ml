@@ -473,6 +473,270 @@ let test_recorder_emit_no_alloc () =
     Alcotest.failf "emit allocated %.0f minor words over 200 events" delta;
   Telemetry.Recorder.reset ()
 
+(* ---- causal request tracing (Trace) ---- *)
+
+let trace_fresh () =
+  Telemetry.Recorder.reset ();
+  Telemetry.Recorder.set_enabled true;
+  Telemetry.Trace.reset ();
+  (* baseline off: retention below is explicit, never a lucky draw *)
+  Telemetry.Trace.set_baseline 0
+
+let trace_done () =
+  Telemetry.Trace.set_baseline 16;
+  Telemetry.Trace.reset ();
+  Telemetry.Recorder.reset ()
+
+let temit k id b =
+  Telemetry.Recorder.emit k ~label:Telemetry.Trace.solo_label ~a:id ~b
+
+let test_trace_check () =
+  trace_fresh ();
+  let lbl = Telemetry.Trace.solo_label in
+  (* complete lifecycle: queued -> prefill -> decode -> end *)
+  temit Telemetry.Recorder.Trace_queued 1 0;
+  temit Telemetry.Recorder.Trace_prefill 1 8;
+  temit Telemetry.Recorder.Trace_decode 1 2;
+  Telemetry.Trace.terminal ~id:1 ~label:lbl ~state:3 ();
+  (match Telemetry.Trace.check 1 with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "complete timeline rejected: %s" m);
+  checkb "healthy unsampled trace not retained" false
+    (Telemetry.Trace.is_retained 1);
+  (* negative: no queued first *)
+  temit Telemetry.Recorder.Trace_prefill 2 4;
+  Telemetry.Trace.terminal ~id:2 ~label:lbl ~state:3 ();
+  checkb "missing trace_queued rejected" true
+    (Result.is_error (Telemetry.Trace.check 2));
+  (* negative: decode before prefill *)
+  temit Telemetry.Recorder.Trace_queued 3 0;
+  temit Telemetry.Recorder.Trace_decode 3 1;
+  Telemetry.Trace.terminal ~id:3 ~label:lbl ~state:3 ();
+  checkb "decode before prefill rejected" true
+    (Result.is_error (Telemetry.Trace.check 3));
+  (* negative: no terminal span *)
+  temit Telemetry.Recorder.Trace_queued 4 0;
+  checkb "missing trace_end rejected" true
+    (Result.is_error (Telemetry.Trace.check 4));
+  (* negative: finished while detached (KV copy vanished mid-migration) *)
+  temit Telemetry.Recorder.Trace_queued 5 0;
+  temit Telemetry.Recorder.Trace_prefill 5 2;
+  temit Telemetry.Recorder.Trace_detach 5 3;
+  Telemetry.Trace.terminal ~id:5 ~label:lbl ~state:3 ();
+  checkb "finished with unmatched detach rejected" true
+    (Result.is_error (Telemetry.Trace.check 5));
+  (* a full migration join is well-nested *)
+  temit Telemetry.Recorder.Trace_queued 6 0;
+  temit Telemetry.Recorder.Trace_prefill 6 2;
+  temit Telemetry.Recorder.Trace_detach 6 3;
+  temit Telemetry.Recorder.Trace_import 6 3;
+  temit Telemetry.Recorder.Trace_resume 6 1;
+  temit Telemetry.Recorder.Trace_decode 6 1;
+  Telemetry.Trace.terminal ~id:6 ~label:lbl ~state:3 ~reason:"migrated" ();
+  (match Telemetry.Trace.check 6 with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "migration join rejected: %s" m);
+  Alcotest.(check (option string))
+    "migration retained" (Some "migrated")
+    (Telemetry.Trace.retention_reason 6);
+  trace_done ()
+
+let test_trace_retention () =
+  trace_fresh ();
+  let lbl = Telemetry.Trace.solo_label in
+  (* an explicit terminal reason always retains *)
+  Telemetry.Trace.terminal ~id:10 ~label:lbl ~state:5
+    ~reason:"deadline_cancelled" ();
+  checkb "breacher retained" true (Telemetry.Trace.is_retained 10);
+  (* first reason wins: the mid-flight fault beats the terminal label *)
+  Telemetry.Trace.retain ~id:11 ~reason:"fault_retry";
+  Telemetry.Trace.terminal ~id:11 ~label:lbl ~state:3
+    ~reason:"deadline_breach" ();
+  Alcotest.(check (option string))
+    "first reason wins" (Some "fault_retry")
+    (Telemetry.Trace.retention_reason 11);
+  (* baseline 1-in-1 retains every healthy id; the draw is seeded *)
+  Telemetry.Trace.set_baseline 1;
+  Telemetry.Trace.terminal ~id:12 ~label:lbl ~state:3 ();
+  Alcotest.(check (option string))
+    "baseline draw retained" (Some "baseline")
+    (Telemetry.Trace.retention_reason 12);
+  checki "retained count" 3 (List.length (Telemetry.Trace.retained ()));
+  trace_done ()
+
+let test_trace_exemplars () =
+  trace_fresh ();
+  Telemetry.Trace.retain ~id:7 ~reason:"ttft_breach";
+  Telemetry.Trace.exemplar ~metric:Telemetry.Trace.metric_ttft ~value_ms:12.0
+    ~id:7;
+  Telemetry.Trace.exemplar ~metric:Telemetry.Trace.metric_ttft ~value_ms:100.0
+    ~id:9;
+  (* id 9 observed a worse value but was never retained: the worst
+     *resolvable* exemplar is id 7 *)
+  (match Telemetry.Trace.worst ~metric:Telemetry.Trace.metric_ttft with
+  | Some (7, v) -> checkb "worst value" true (Float.abs (v -. 12.0) < 1e-9)
+  | Some (id, _) -> Alcotest.failf "worst resolved unretained trace %d" id
+  | None -> Alcotest.fail "no worst exemplar");
+  Telemetry.Trace.retain ~id:9 ~reason:"shed";
+  (match Telemetry.Trace.worst ~metric:Telemetry.Trace.metric_ttft with
+  | Some (9, _) -> ()
+  | _ -> Alcotest.fail "worst did not move to the newly retained trace");
+  trace_done ()
+
+let test_trace_chrome_lanes () =
+  trace_fresh ();
+  (* one request crossing two replicas: each lane becomes its own Chrome
+     pid so the migration reads as a cross-process arrow *)
+  let l0 = Telemetry.Trace.replica_label 0
+  and l1 = Telemetry.Trace.replica_label 1 in
+  Telemetry.Recorder.emit Telemetry.Recorder.Trace_queued ~label:l0 ~a:21 ~b:0;
+  Telemetry.Recorder.emit Telemetry.Recorder.Trace_prefill ~label:l0 ~a:21
+    ~b:4;
+  Telemetry.Recorder.emit Telemetry.Recorder.Trace_detach ~label:l0 ~a:21 ~b:2;
+  Telemetry.Recorder.emit Telemetry.Recorder.Trace_import ~label:l1 ~a:21 ~b:2;
+  Telemetry.Recorder.emit Telemetry.Recorder.Trace_resume ~label:l1 ~a:21 ~b:1;
+  Telemetry.Trace.terminal ~id:21 ~label:l1 ~state:3 ~reason:"migrated" ();
+  let s = Telemetry.Trace.chrome_of_timeline 21 in
+  (try parse_json s with
+  | Telemetry.Json_check.Bad_json m ->
+    Alcotest.failf "invalid chrome timeline: %s" m);
+  checkb "replica 0 lane" true (contains ~needle:"\"pid\":2" s);
+  checkb "replica 1 lane" true (contains ~needle:"\"pid\":3" s);
+  trace_done ()
+
+let test_trace_dump () =
+  trace_fresh ();
+  let lbl = Telemetry.Trace.solo_label in
+  temit Telemetry.Recorder.Trace_queued 31 0;
+  temit Telemetry.Recorder.Trace_prefill 31 4;
+  temit Telemetry.Recorder.Trace_decode 31 1;
+  Telemetry.Trace.terminal ~id:31 ~label:lbl ~state:3 ~reason:"deadline_breach"
+    ();
+  Telemetry.Trace.exemplar ~metric:Telemetry.Trace.metric_ttft ~value_ms:9.5
+    ~id:31;
+  let dir = Filename.temp_file "parlooper-traces" ".d" in
+  Sys.remove dir;
+  checki "one trace dumped" 1 (Telemetry.Trace.dump ~dir);
+  checkb "text timeline on disk" true
+    (Sys.file_exists (Filename.concat dir "trace-31.txt"));
+  let slurp p =
+    let ic = open_in_bin p in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let tr = slurp (Filename.concat dir "trace-31.trace.json") in
+  (try parse_json tr with
+  | Telemetry.Json_check.Bad_json m ->
+    Alcotest.failf "dumped chrome timeline invalid: %s" m);
+  checkb "index row" true
+    (contains ~needle:"31 deadline_breach" (slurp (Filename.concat dir "index.txt")));
+  checkb "exemplar row links the retained id" true
+    (contains ~needle:"ttft 9.5 31"
+       (slurp (Filename.concat dir "exemplars.txt")));
+  trace_done ()
+
+(* the regression behind the dedicated trace lane: a drive whose kernel
+   events wrap the dense ring thousands of times must not evict the few
+   causal spans a timeline is assembled from *)
+let test_trace_survives_dense_wrap () =
+  trace_fresh ();
+  Telemetry.Recorder.set_capacity 16;
+  let t =
+    Thread.create
+      (fun () ->
+        let lbl = Telemetry.Trace.solo_label in
+        Telemetry.Recorder.emit Telemetry.Recorder.Trace_queued ~label:lbl
+          ~a:41 ~b:0;
+        Telemetry.Recorder.emit Telemetry.Recorder.Trace_prefill ~label:lbl
+          ~a:41 ~b:4;
+        for i = 1 to 1_000 do
+          Telemetry.Recorder.emit Telemetry.Recorder.Kernel_begin ~label:lbl
+            ~a:i ~b:0;
+          Telemetry.Recorder.emit Telemetry.Recorder.Kernel_end ~label:lbl
+            ~a:i ~b:0
+        done;
+        Telemetry.Recorder.emit Telemetry.Recorder.Trace_decode ~label:lbl
+          ~a:41 ~b:1;
+        Telemetry.Trace.terminal ~id:41 ~label:lbl ~state:3 ())
+      ()
+  in
+  Thread.join t;
+  Telemetry.Recorder.set_capacity 4096;
+  (match Telemetry.Trace.check 41 with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "trace evicted by dense wrap: %s" m);
+  checki "full causal timeline survived" 4
+    (List.length (Telemetry.Trace.timeline 41));
+  trace_done ()
+
+(* ---- Prometheus exposition details ---- *)
+
+let test_expose_escape_label () =
+  Alcotest.(check string)
+    "backslash, quote and newline escaped" "a\\\"b\\\\c\\nd"
+    (Telemetry.Expose.escape_label "a\"b\\c\nd")
+
+let test_expose_histogram_exposition () =
+  reset_on ();
+  let h = Telemetry.Histogram.find_or_create "test.prom.lat_ms" in
+  Telemetry.Histogram.observe h 1.0;
+  Telemetry.Histogram.observe h 10.0;
+  Telemetry.Histogram.observe h 10.0;
+  off ();
+  let s = Telemetry.Expose.prometheus () in
+  checkb "TYPE histogram line" true
+    (contains ~needle:"# TYPE test_prom_lat_ms histogram" s);
+  checkb "le buckets" true (contains ~needle:"test_prom_lat_ms_bucket{le=\"" s);
+  checkb "+Inf bucket" true
+    (contains ~needle:"test_prom_lat_ms_bucket{le=\"+Inf\"} 3" s);
+  checkb "sum line" true (contains ~needle:"test_prom_lat_ms_sum 21" s);
+  checkb "count line" true (contains ~needle:"test_prom_lat_ms_count 3" s);
+  match Telemetry.Expose.check s with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "exposition rejected by its own checker: %s" m
+
+let test_expose_exemplar_gauge () =
+  reset_on ();
+  Telemetry.Trace.reset ();
+  Telemetry.Trace.retain ~id:77 ~reason:"ttft_breach";
+  Telemetry.Trace.exemplar ~metric:Telemetry.Trace.metric_ttft ~value_ms:33.0
+    ~id:77;
+  let s = Telemetry.Expose.prometheus () in
+  off ();
+  Telemetry.Trace.reset ();
+  checkb "exemplar TYPE line" true
+    (contains ~needle:"# TYPE parlooper_trace_exemplar gauge" s);
+  checkb "exemplar links trace id" true
+    (contains
+       ~needle:"parlooper_trace_exemplar{metric=\"ttft\",trace_id=\"77\"} 33"
+       s);
+  match Telemetry.Expose.check s with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "exposition rejected by its own checker: %s" m
+
+(* Json_check-style negative cases: the validator must reject the
+   malformations the escaping exists to prevent *)
+let test_expose_check_rejects_malformed () =
+  let t = "# TYPE m counter\n" in
+  let bad =
+    [ ("name starting with a digit", "9metric 1\n");
+      ("unterminated label value", t ^ "m{l=\"oops} 1\n");
+      ("unescaped quote in label value", t ^ "m{l=\"a\"b\"} 1\n");
+      ("missing value", t ^ "m{l=\"v\"}\n");
+      ("non-numeric value", t ^ "m 1.2.3\n");
+      ("sample without a TYPE line", "m 1\n") ]
+  in
+  List.iter
+    (fun (what, s) ->
+      match Telemetry.Expose.check s with
+      | Ok () -> Alcotest.failf "checker accepted %s" what
+      | Error _ -> ())
+    bad;
+  match Telemetry.Expose.check "# TYPE m counter\nm 1\nm{l=\"a\\\"b\"} 2\n" with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "checker rejected a valid exposition: %s" m
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -490,6 +754,26 @@ let () =
         [
           Alcotest.test_case "jsonl snapshots" `Quick test_expose_jsonl;
           Alcotest.test_case "prometheus" `Quick test_expose_prometheus;
+          Alcotest.test_case "escape_label" `Quick test_expose_escape_label;
+          Alcotest.test_case "histogram buckets" `Quick
+            test_expose_histogram_exposition;
+          Alcotest.test_case "trace exemplar gauge" `Quick
+            test_expose_exemplar_gauge;
+          Alcotest.test_case "check rejects malformed" `Quick
+            test_expose_check_rejects_malformed;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span-tree conservation" `Quick test_trace_check;
+          Alcotest.test_case "tail-based retention" `Quick
+            test_trace_retention;
+          Alcotest.test_case "exemplars resolve retained" `Quick
+            test_trace_exemplars;
+          Alcotest.test_case "chrome replica lanes" `Quick
+            test_trace_chrome_lanes;
+          Alcotest.test_case "dump round-trip" `Quick test_trace_dump;
+          Alcotest.test_case "survives dense-lane wrap" `Quick
+            test_trace_survives_dense_wrap;
         ] );
       ( "recorder",
         [
